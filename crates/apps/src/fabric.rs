@@ -1,0 +1,303 @@
+//! A BFT ordering service for a Fabric-like permissioned blockchain.
+//!
+//! "The ordering service is the core of Fabric, being responsible for
+//! ordering and grouping issued transactions in signed blocks that form the
+//! blockchain" (paper §7.4, citing Sousa et al. 2018). The replicated
+//! service accepts raw transactions, cuts a block every `block_size`
+//! transactions (the paper uses 10), hash-chains it to its predecessor, and
+//! answers block-header queries so receivers can follow the chain.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use lazarus_bft::crypto::Digest;
+use lazarus_bft::service::Service;
+use lazarus_bft::types::ClientId;
+
+/// Command opcodes.
+const OP_SUBMIT: u8 = 1;
+const OP_HEADER: u8 = 2;
+
+/// Builds a transaction-submission command.
+pub fn submit_op(tx: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 + tx.len());
+    buf.put_u8(OP_SUBMIT);
+    buf.put_slice(tx);
+    buf.freeze()
+}
+
+/// Builds a block-header query.
+pub fn header_op(number: u64) -> Bytes {
+    let mut buf = BytesMut::with_capacity(9);
+    buf.put_u8(OP_HEADER);
+    buf.put_u64(number);
+    buf.freeze()
+}
+
+/// A cut block's header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Block number (genesis = 0 is implicit; first cut block is 1).
+    pub number: u64,
+    /// Digest of the previous block header (hash chain).
+    pub previous: Digest,
+    /// Merkle-style digest over the block's transaction digests.
+    pub tx_root: Digest,
+    /// Number of transactions.
+    pub tx_count: u32,
+}
+
+impl BlockHeader {
+    /// Canonical digest of this header.
+    pub fn digest(&self) -> Digest {
+        Digest::of_parts(&[
+            &self.number.to_be_bytes(),
+            &self.previous.0,
+            &self.tx_root.0,
+            &self.tx_count.to_be_bytes(),
+        ])
+    }
+
+    /// Wire encoding (the reply to a header query).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + 32 + 32 + 4);
+        buf.put_u64(self.number);
+        buf.put_slice(&self.previous.0);
+        buf.put_slice(&self.tx_root.0);
+        buf.put_u32(self.tx_count);
+        buf.freeze()
+    }
+}
+
+/// The replicated ordering service.
+#[derive(Debug, Clone)]
+pub struct OrderingService {
+    block_size: usize,
+    pending: Vec<Digest>,
+    pending_bytes: usize,
+    headers: Vec<BlockHeader>,
+    chain_bytes: usize,
+}
+
+impl OrderingService {
+    /// A service cutting blocks of `block_size` transactions (paper: 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    pub fn new(block_size: usize) -> OrderingService {
+        assert!(block_size > 0, "block size must be positive");
+        OrderingService {
+            block_size,
+            pending: Vec::new(),
+            pending_bytes: 0,
+            headers: Vec::new(),
+            chain_bytes: 0,
+        }
+    }
+
+    /// Number of blocks cut so far.
+    pub fn height(&self) -> u64 {
+        self.headers.len() as u64
+    }
+
+    /// The header of block `number` (1-based), if cut.
+    pub fn header(&self, number: u64) -> Option<&BlockHeader> {
+        if number == 0 {
+            return None;
+        }
+        self.headers.get(number as usize - 1)
+    }
+
+    /// Verifies the hash chain end to end.
+    pub fn verify_chain(&self) -> bool {
+        let mut previous = Digest::ZERO;
+        for (i, h) in self.headers.iter().enumerate() {
+            if h.number != i as u64 + 1 || h.previous != previous {
+                return false;
+            }
+            previous = h.digest();
+        }
+        true
+    }
+
+    fn cut_block(&mut self) -> BlockHeader {
+        let previous = self.headers.last().map(BlockHeader::digest).unwrap_or(Digest::ZERO);
+        let parts: Vec<&[u8]> = self.pending.iter().map(|d| d.0.as_slice()).collect();
+        let header = BlockHeader {
+            number: self.headers.len() as u64 + 1,
+            previous,
+            tx_root: Digest::of_parts(&parts),
+            tx_count: self.pending.len() as u32,
+        };
+        self.headers.push(header.clone());
+        self.chain_bytes += 76;
+        self.pending.clear();
+        self.pending_bytes = 0;
+        header
+    }
+}
+
+impl Service for OrderingService {
+    fn execute(&mut self, _client: ClientId, payload: &[u8]) -> Bytes {
+        match payload.first() {
+            Some(&OP_SUBMIT) => {
+                let tx = &payload[1..];
+                if tx.is_empty() {
+                    return Bytes::from_static(b"ERR:empty-tx");
+                }
+                self.pending.push(Digest::of(tx));
+                self.pending_bytes += tx.len();
+                if self.pending.len() >= self.block_size {
+                    let header = self.cut_block();
+                    // Receipt: the block that sealed this transaction.
+                    let mut buf = BytesMut::with_capacity(9);
+                    buf.put_u8(b'B');
+                    buf.put_u64(header.number);
+                    buf.freeze()
+                } else {
+                    Bytes::from_static(b"P") // pending
+                }
+            }
+            Some(&OP_HEADER) if payload.len() == 9 => {
+                let number = u64::from_be_bytes(payload[1..9].try_into().expect("checked"));
+                match self.header(number) {
+                    Some(h) => h.encode(),
+                    None => Bytes::from_static(b"ERR:no-such-block"),
+                }
+            }
+            _ => Bytes::from_static(b"ERR:malformed"),
+        }
+    }
+
+    fn snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u64(self.block_size as u64);
+        buf.put_u64(self.headers.len() as u64);
+        for h in &self.headers {
+            buf.put_slice(&h.encode());
+        }
+        buf.put_u64(self.pending.len() as u64);
+        for d in &self.pending {
+            buf.put_slice(&d.0);
+        }
+        buf.put_u64(self.pending_bytes as u64);
+        buf.freeze()
+    }
+
+    fn install(&mut self, mut snapshot: &[u8]) {
+        fn take<'a>(data: &mut &'a [u8], n: usize) -> &'a [u8] {
+            let (head, rest) = data.split_at(n);
+            *data = rest;
+            head
+        }
+        fn take_u64(data: &mut &[u8]) -> u64 {
+            u64::from_be_bytes(take(data, 8).try_into().expect("len"))
+        }
+        self.block_size = take_u64(&mut snapshot) as usize;
+        let blocks = take_u64(&mut snapshot);
+        self.headers.clear();
+        self.chain_bytes = 0;
+        for _ in 0..blocks {
+            let number = take_u64(&mut snapshot);
+            let previous = Digest(take(&mut snapshot, 32).try_into().expect("digest"));
+            let tx_root = Digest(take(&mut snapshot, 32).try_into().expect("digest"));
+            let tx_count =
+                u32::from_be_bytes(take(&mut snapshot, 4).try_into().expect("count"));
+            self.headers.push(BlockHeader { number, previous, tx_root, tx_count });
+            self.chain_bytes += 76;
+        }
+        let pending = take_u64(&mut snapshot);
+        self.pending = (0..pending)
+            .map(|_| Digest(take(&mut snapshot, 32).try_into().expect("digest")))
+            .collect();
+        self.pending_bytes = take_u64(&mut snapshot) as usize;
+    }
+
+    fn state_size(&self) -> usize {
+        self.chain_bytes + self.pending.len() * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_cut_every_block_size_transactions() {
+        let mut s = OrderingService::new(10);
+        for i in 0..9u32 {
+            let r = s.execute(ClientId(1), &submit_op(&i.to_be_bytes()));
+            assert_eq!(&r[..], b"P");
+        }
+        let r = s.execute(ClientId(1), &submit_op(b"tenth"));
+        assert_eq!(r[0], b'B');
+        assert_eq!(u64::from_be_bytes(r[1..9].try_into().unwrap()), 1);
+        assert_eq!(s.height(), 1);
+        assert_eq!(s.header(1).unwrap().tx_count, 10);
+    }
+
+    #[test]
+    fn chain_links_and_verifies() {
+        let mut s = OrderingService::new(2);
+        for i in 0..10u32 {
+            s.execute(ClientId(1), &submit_op(&i.to_be_bytes()));
+        }
+        assert_eq!(s.height(), 5);
+        assert!(s.verify_chain());
+        assert_eq!(s.header(1).unwrap().previous, Digest::ZERO);
+        assert_eq!(s.header(2).unwrap().previous, s.header(1).unwrap().digest());
+        // identical submissions on a second replica produce the same chain
+        let mut t = OrderingService::new(2);
+        for i in 0..10u32 {
+            t.execute(ClientId(9), &submit_op(&i.to_be_bytes()));
+        }
+        assert_eq!(t.header(5).unwrap().digest(), s.header(5).unwrap().digest());
+    }
+
+    #[test]
+    fn header_queries() {
+        let mut s = OrderingService::new(2);
+        s.execute(ClientId(1), &submit_op(b"a"));
+        s.execute(ClientId(1), &submit_op(b"b"));
+        let reply = s.execute(ClientId(1), &header_op(1));
+        assert_eq!(reply.len(), 76);
+        assert_eq!(&s.execute(ClientId(1), &header_op(7))[..], b"ERR:no-such-block");
+        assert_eq!(&s.execute(ClientId(1), &header_op(0))[..], b"ERR:no-such-block");
+    }
+
+    #[test]
+    fn rejects_malformed_and_empty() {
+        let mut s = OrderingService::new(2);
+        assert_eq!(&s.execute(ClientId(1), b"")[..], b"ERR:malformed");
+        assert_eq!(&s.execute(ClientId(1), &[OP_SUBMIT])[..], b"ERR:empty-tx");
+        assert_eq!(&s.execute(ClientId(1), &[OP_HEADER, 1])[..], b"ERR:malformed");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_chain_and_pending() {
+        let mut a = OrderingService::new(3);
+        for i in 0..7u32 {
+            a.execute(ClientId(1), &submit_op(&i.to_be_bytes()));
+        }
+        let snap = a.snapshot();
+        let mut b = OrderingService::new(99);
+        b.install(&snap);
+        assert_eq!(b.height(), 2);
+        assert!(b.verify_chain());
+        assert_eq!(a.snapshot(), b.snapshot());
+        // the restored replica continues the chain identically (two more
+        // submissions complete block 3: pending was 1 of 3)
+        for tx in [b"x8".as_slice(), b"x9".as_slice()] {
+            a.execute(ClientId(1), &submit_op(tx));
+            b.execute(ClientId(1), &submit_op(tx));
+        }
+        assert_eq!(a.height(), 3);
+        assert_eq!(a.header(3).unwrap().digest(), b.header(3).unwrap().digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_size_panics() {
+        OrderingService::new(0);
+    }
+}

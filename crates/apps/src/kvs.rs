@@ -1,0 +1,285 @@
+//! The replicated in-memory Key-Value Store.
+//!
+//! "A consistent non-relational database that stores data in memory,
+//! similarly to a coordination service" (paper §7.4) — the application used
+//! for the reconfiguration experiment (Fig 9, 500 MB state, YCSB 50/50) and
+//! the first bar group of Fig 10.
+//!
+//! Operations are length-framed binary commands (PUT/GET/DELETE). Besides
+//! the live map, the service can carry *ballast*: an opaque pre-loaded blob
+//! standing in for the paper's 500 MB preloaded state, so checkpoints and
+//! state transfers move realistic volumes without simulating half a million
+//! YCSB preload operations.
+
+use std::collections::BTreeMap;
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use lazarus_bft::service::Service;
+use lazarus_bft::types::ClientId;
+
+/// KVS command opcodes.
+const OP_PUT: u8 = 1;
+const OP_GET: u8 = 2;
+const OP_DELETE: u8 = 3;
+
+/// A KVS command (the client-side encoder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvsOp {
+    /// Store `value` under `key`.
+    Put {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Fetch the value under `key`.
+    Get {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// Remove `key`.
+    Delete {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+}
+
+impl KvsOp {
+    /// Encodes the command for the wire.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            KvsOp::Put { key, value } => {
+                buf.put_u8(OP_PUT);
+                buf.put_u32(key.len() as u32);
+                buf.put_slice(key);
+                buf.put_u32(value.len() as u32);
+                buf.put_slice(value);
+            }
+            KvsOp::Get { key } => {
+                buf.put_u8(OP_GET);
+                buf.put_u32(key.len() as u32);
+                buf.put_slice(key);
+            }
+            KvsOp::Delete { key } => {
+                buf.put_u8(OP_DELETE);
+                buf.put_u32(key.len() as u32);
+                buf.put_slice(key);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a command from the wire.
+    pub fn decode(mut data: &[u8]) -> Option<KvsOp> {
+        fn take<'a>(data: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+            if data.len() < n {
+                return None;
+            }
+            let (head, rest) = data.split_at(n);
+            *data = rest;
+            Some(head)
+        }
+        fn take_u32(data: &mut &[u8]) -> Option<usize> {
+            let b = take(data, 4)?;
+            Some(u32::from_be_bytes([b[0], b[1], b[2], b[3]]) as usize)
+        }
+        let op = *take(&mut data, 1)?.first()?;
+        let klen = take_u32(&mut data)?;
+        let key = take(&mut data, klen)?.to_vec();
+        match op {
+            OP_PUT => {
+                let vlen = take_u32(&mut data)?;
+                let value = take(&mut data, vlen)?.to_vec();
+                Some(KvsOp::Put { key, value })
+            }
+            OP_GET => Some(KvsOp::Get { key }),
+            OP_DELETE => Some(KvsOp::Delete { key }),
+            _ => None,
+        }
+    }
+}
+
+/// The replicated KVS service.
+#[derive(Debug, Clone, Default)]
+pub struct KvsService {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    data_bytes: usize,
+    ballast: Vec<u8>,
+}
+
+impl KvsService {
+    /// An empty store.
+    pub fn new() -> KvsService {
+        KvsService::default()
+    }
+
+    /// A store carrying `bytes` of opaque ballast state (the Fig 9 500 MB
+    /// preload). Ballast is part of snapshots and therefore of checkpoint
+    /// and state-transfer cost.
+    pub fn with_ballast(bytes: usize) -> KvsService {
+        KvsService { ballast: vec![0xB5; bytes], ..Default::default() }
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Reads a value directly (test/diagnostic path, not ordered).
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.map.get(key).map(Vec::as_slice)
+    }
+}
+
+impl Service for KvsService {
+    fn execute(&mut self, _client: ClientId, payload: &[u8]) -> Bytes {
+        match KvsOp::decode(payload) {
+            Some(KvsOp::Put { key, value }) => {
+                let (klen, vlen) = (key.len(), value.len());
+                match self.map.insert(key, value) {
+                    Some(old) => {
+                        // The key's bytes are already accounted for.
+                        self.data_bytes = self.data_bytes + vlen - old.len();
+                        Bytes::from_static(b"OK:replaced")
+                    }
+                    None => {
+                        self.data_bytes += klen + vlen;
+                        Bytes::from_static(b"OK:new")
+                    }
+                }
+            }
+            Some(KvsOp::Get { key }) => match self.map.get(&key) {
+                Some(v) => Bytes::copy_from_slice(v),
+                None => Bytes::from_static(b"ERR:not-found"),
+            },
+            Some(KvsOp::Delete { key }) => match self.map.remove(&key) {
+                Some(old) => {
+                    self.data_bytes -= key.len() + old.len();
+                    Bytes::from_static(b"OK:deleted")
+                }
+                None => Bytes::from_static(b"ERR:not-found"),
+            },
+            None => Bytes::from_static(b"ERR:malformed"),
+        }
+    }
+
+    fn snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.ballast.len() + self.data_bytes + 64);
+        buf.put_u64(self.ballast.len() as u64);
+        buf.put_slice(&self.ballast);
+        buf.put_u64(self.map.len() as u64);
+        for (k, v) in &self.map {
+            buf.put_u32(k.len() as u32);
+            buf.put_slice(k);
+            buf.put_u32(v.len() as u32);
+            buf.put_slice(v);
+        }
+        buf.freeze()
+    }
+
+    fn install(&mut self, mut snapshot: &[u8]) {
+        fn take<'a>(data: &mut &'a [u8], n: usize) -> &'a [u8] {
+            let (head, rest) = data.split_at(n);
+            *data = rest;
+            head
+        }
+        let blen = u64::from_be_bytes(take(&mut snapshot, 8).try_into().expect("len")) as usize;
+        self.ballast = take(&mut snapshot, blen).to_vec();
+        let entries = u64::from_be_bytes(take(&mut snapshot, 8).try_into().expect("len"));
+        self.map.clear();
+        self.data_bytes = 0;
+        for _ in 0..entries {
+            let klen =
+                u32::from_be_bytes(take(&mut snapshot, 4).try_into().expect("len")) as usize;
+            let key = take(&mut snapshot, klen).to_vec();
+            let vlen =
+                u32::from_be_bytes(take(&mut snapshot, 4).try_into().expect("len")) as usize;
+            let value = take(&mut snapshot, vlen).to_vec();
+            self.data_bytes += key.len() + value.len();
+            self.map.insert(key, value);
+        }
+    }
+
+    fn state_size(&self) -> usize {
+        self.ballast.len() + self.data_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(s: &mut KvsService, k: &[u8], v: &[u8]) -> Bytes {
+        s.execute(ClientId(1), &KvsOp::Put { key: k.to_vec(), value: v.to_vec() }.encode())
+    }
+
+    #[test]
+    fn op_encoding_roundtrips() {
+        for op in [
+            KvsOp::Put { key: b"k".to_vec(), value: vec![7; 100] },
+            KvsOp::Get { key: b"key".to_vec() },
+            KvsOp::Delete { key: vec![] },
+        ] {
+            assert_eq!(KvsOp::decode(&op.encode()), Some(op));
+        }
+        assert_eq!(KvsOp::decode(b""), None);
+        assert_eq!(KvsOp::decode(&[9, 0, 0, 0, 1, b'x']), None); // bad opcode
+        assert_eq!(KvsOp::decode(&[1, 0, 0, 0, 9]), None); // truncated
+    }
+
+    #[test]
+    fn put_get_delete_lifecycle() {
+        let mut s = KvsService::new();
+        assert_eq!(&put(&mut s, b"a", b"1")[..], b"OK:new");
+        assert_eq!(&put(&mut s, b"a", b"2")[..], b"OK:replaced");
+        let got = s.execute(ClientId(1), &KvsOp::Get { key: b"a".to_vec() }.encode());
+        assert_eq!(&got[..], b"2");
+        let del = s.execute(ClientId(1), &KvsOp::Delete { key: b"a".to_vec() }.encode());
+        assert_eq!(&del[..], b"OK:deleted");
+        let miss = s.execute(ClientId(1), &KvsOp::Get { key: b"a".to_vec() }.encode());
+        assert_eq!(&miss[..], b"ERR:not-found");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn malformed_payload_is_rejected_not_fatal() {
+        let mut s = KvsService::new();
+        let r = s.execute(ClientId(1), b"\xFFgarbage");
+        assert_eq!(&r[..], b"ERR:malformed");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_map_and_ballast() {
+        let mut a = KvsService::with_ballast(1000);
+        put(&mut a, b"x", b"42");
+        put(&mut a, b"y", &[9; 300]);
+        let snap = a.snapshot();
+        let mut b = KvsService::new();
+        b.install(&snap);
+        assert_eq!(b.get(b"x"), Some(&b"42"[..]));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.state_size(), a.state_size());
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn state_size_tracks_mutations() {
+        let mut s = KvsService::new();
+        assert_eq!(s.state_size(), 0);
+        put(&mut s, b"k", &[0; 100]);
+        assert_eq!(s.state_size(), 101);
+        put(&mut s, b"k", &[0; 50]); // overwrite shrinks
+        assert_eq!(s.state_size(), 51);
+        s.execute(ClientId(1), &KvsOp::Delete { key: b"k".to_vec() }.encode());
+        assert_eq!(s.state_size(), 0);
+        let big = KvsService::with_ballast(500);
+        assert_eq!(big.state_size(), 500);
+    }
+}

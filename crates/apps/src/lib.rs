@@ -1,0 +1,38 @@
+//! The BFT applications evaluated on Lazarus (paper §7.4).
+//!
+//! * [`kvs`] — an in-memory key-value store (with the [`ycsb`] workload
+//!   generator), used by the reconfiguration experiment (Fig 9) and the
+//!   application benchmark (Fig 10);
+//! * [`sieveq`] — the SieveQ layered BFT message queue / application-level
+//!   firewall;
+//! * [`fabric`] — a Fabric-like BFT ordering service cutting hash-chained
+//!   blocks of transactions.
+//!
+//! All three implement [`lazarus_bft::service::Service`], so they run
+//! unmodified on the replication library, in the deterministic testkit, and
+//! in the performance testbed.
+//!
+//! # Example
+//!
+//! ```
+//! use lazarus_apps::kvs::{KvsOp, KvsService};
+//! use lazarus_bft::service::Service;
+//! use lazarus_bft::types::ClientId;
+//!
+//! let mut kvs = KvsService::new();
+//! kvs.execute(ClientId(1), &KvsOp::Put { key: b"k".to_vec(), value: b"v".to_vec() }.encode());
+//! let got = kvs.execute(ClientId(1), &KvsOp::Get { key: b"k".to_vec() }.encode());
+//! assert_eq!(&got[..], b"v");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fabric;
+pub mod kvs;
+pub mod sieveq;
+pub mod ycsb;
+
+pub use fabric::OrderingService;
+pub use kvs::KvsService;
+pub use sieveq::SieveQService;
+pub use ycsb::{YcsbConfig, YcsbWorkload};

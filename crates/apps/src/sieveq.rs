@@ -1,0 +1,294 @@
+//! SieveQ: a layered BFT message queue / application-level firewall.
+//!
+//! SieveQ (paper §7.4, citing Garcia et al. 2018) protects a critical
+//! service with a message queue whose *filtering layers* discard invalid
+//! traffic before it reaches the BFT-replicated core — which is why its
+//! measured slowdown under Lazarus virtualization is the smallest of the
+//! three applications: "most of the message validations happen before the
+//! message reaches the BFT-replicated state machine".
+//!
+//! The reproduction keeps that architecture: a [`FilterPipeline`] of
+//! stateless sanity layers plus a stateful rate/duplicate layer runs in
+//! front (at the sender/front-end), and only accepted messages are ordered
+//! into the replicated [`SieveQService`] queue.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use lazarus_bft::crypto::Digest;
+use lazarus_bft::service::Service;
+use lazarus_bft::types::ClientId;
+
+/// Why a message was rejected by the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterReject {
+    /// Message exceeds the configured size bound.
+    TooLarge,
+    /// Message is empty.
+    Empty,
+    /// Malformed header (first byte must be a known message kind).
+    Malformed,
+    /// The sender exceeded its per-window message budget.
+    RateLimited,
+    /// An identical message was already accepted recently.
+    Duplicate,
+}
+
+impl std::fmt::Display for FilterReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FilterReject::TooLarge => "message too large",
+            FilterReject::Empty => "empty message",
+            FilterReject::Malformed => "malformed header",
+            FilterReject::RateLimited => "sender rate-limited",
+            FilterReject::Duplicate => "duplicate message",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Message kinds accepted by the queue front-end.
+const KIND_ENQUEUE: u8 = 1;
+const KIND_DEQUEUE: u8 = 2;
+
+/// The filtering front-end: syntactic sanity, rate limiting and duplicate
+/// suppression, applied before ordering.
+#[derive(Debug, Clone)]
+pub struct FilterPipeline {
+    /// Maximum accepted message size.
+    pub max_size: usize,
+    /// Messages allowed per sender per window.
+    pub rate_limit: u32,
+    counters: HashMap<u64, u32>,
+    recent: VecDeque<Digest>,
+    recent_cap: usize,
+}
+
+impl FilterPipeline {
+    /// A pipeline with the given bounds.
+    pub fn new(max_size: usize, rate_limit: u32) -> FilterPipeline {
+        FilterPipeline {
+            max_size,
+            rate_limit,
+            counters: HashMap::new(),
+            recent: VecDeque::new(),
+            recent_cap: 4096,
+        }
+    }
+
+    /// Runs all layers over one message from `sender`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first layer's rejection.
+    pub fn check(&mut self, sender: u64, message: &[u8]) -> Result<(), FilterReject> {
+        // Layer 1: syntactic sanity.
+        if message.is_empty() {
+            return Err(FilterReject::Empty);
+        }
+        if message.len() > self.max_size {
+            return Err(FilterReject::TooLarge);
+        }
+        if message[0] != KIND_ENQUEUE && message[0] != KIND_DEQUEUE {
+            return Err(FilterReject::Malformed);
+        }
+        // Layer 2: rate limiting.
+        let counter = self.counters.entry(sender).or_insert(0);
+        if *counter >= self.rate_limit {
+            return Err(FilterReject::RateLimited);
+        }
+        *counter += 1;
+        // Layer 3: duplicate suppression (enqueues only — dequeues are
+        // idempotent by design).
+        if message[0] == KIND_ENQUEUE {
+            let digest = Digest::of(message);
+            if self.recent.contains(&digest) {
+                return Err(FilterReject::Duplicate);
+            }
+            self.recent.push_back(digest);
+            if self.recent.len() > self.recent_cap {
+                self.recent.pop_front();
+            }
+        }
+        Ok(())
+    }
+
+    /// Starts a new rate window (clears the counters).
+    pub fn roll_window(&mut self) {
+        self.counters.clear();
+    }
+}
+
+/// Builds an ENQUEUE command.
+pub fn enqueue_op(body: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 + body.len());
+    buf.put_u8(KIND_ENQUEUE);
+    buf.put_slice(body);
+    buf.freeze()
+}
+
+/// Builds a DEQUEUE command.
+pub fn dequeue_op() -> Bytes {
+    Bytes::from_static(&[KIND_DEQUEUE])
+}
+
+/// The BFT-replicated queue core.
+#[derive(Debug, Clone, Default)]
+pub struct SieveQService {
+    queue: VecDeque<Vec<u8>>,
+    bytes: usize,
+    enqueued_total: u64,
+}
+
+impl SieveQService {
+    /// An empty queue.
+    pub fn new() -> SieveQService {
+        SieveQService::default()
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total messages ever enqueued.
+    pub fn enqueued_total(&self) -> u64 {
+        self.enqueued_total
+    }
+}
+
+impl Service for SieveQService {
+    fn execute(&mut self, _client: ClientId, payload: &[u8]) -> Bytes {
+        match payload.first() {
+            Some(&KIND_ENQUEUE) => {
+                let body = payload[1..].to_vec();
+                self.bytes += body.len();
+                self.queue.push_back(body);
+                self.enqueued_total += 1;
+                Bytes::from_static(b"OK:queued")
+            }
+            Some(&KIND_DEQUEUE) => match self.queue.pop_front() {
+                Some(body) => {
+                    self.bytes -= body.len();
+                    Bytes::from(body)
+                }
+                None => Bytes::from_static(b"ERR:empty"),
+            },
+            _ => Bytes::from_static(b"ERR:malformed"),
+        }
+    }
+
+    fn snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.bytes + 16 * self.queue.len() + 16);
+        buf.put_u64(self.enqueued_total);
+        buf.put_u64(self.queue.len() as u64);
+        for m in &self.queue {
+            buf.put_u32(m.len() as u32);
+            buf.put_slice(m);
+        }
+        buf.freeze()
+    }
+
+    fn install(&mut self, mut snapshot: &[u8]) {
+        fn take<'a>(data: &mut &'a [u8], n: usize) -> &'a [u8] {
+            let (head, rest) = data.split_at(n);
+            *data = rest;
+            head
+        }
+        self.enqueued_total = u64::from_be_bytes(take(&mut snapshot, 8).try_into().expect("len"));
+        let count = u64::from_be_bytes(take(&mut snapshot, 8).try_into().expect("len"));
+        self.queue.clear();
+        self.bytes = 0;
+        for _ in 0..count {
+            let len = u32::from_be_bytes(take(&mut snapshot, 4).try_into().expect("len")) as usize;
+            let body = take(&mut snapshot, len).to_vec();
+            self.bytes += body.len();
+            self.queue.push_back(body);
+        }
+    }
+
+    fn state_size(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filters_reject_garbage_before_ordering() {
+        let mut p = FilterPipeline::new(2048, 100);
+        assert_eq!(p.check(1, b""), Err(FilterReject::Empty));
+        assert_eq!(p.check(1, &vec![1u8; 4096]), Err(FilterReject::TooLarge));
+        assert_eq!(p.check(1, &[9, 1, 2]), Err(FilterReject::Malformed));
+        assert_eq!(p.check(1, &enqueue_op(b"fine")), Ok(()));
+    }
+
+    #[test]
+    fn rate_limit_per_sender() {
+        let mut p = FilterPipeline::new(2048, 2);
+        assert!(p.check(1, &enqueue_op(b"a")).is_ok());
+        assert!(p.check(1, &enqueue_op(b"b")).is_ok());
+        assert_eq!(p.check(1, &enqueue_op(b"c")), Err(FilterReject::RateLimited));
+        // other senders unaffected
+        assert!(p.check(2, &enqueue_op(b"d")).is_ok());
+        // new window resets
+        p.roll_window();
+        assert!(p.check(1, &enqueue_op(b"e")).is_ok());
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        let mut p = FilterPipeline::new(2048, 100);
+        let m = enqueue_op(b"same");
+        assert!(p.check(1, &m).is_ok());
+        assert_eq!(p.check(2, &m), Err(FilterReject::Duplicate));
+        // dequeues are never duplicates
+        assert!(p.check(1, &dequeue_op()).is_ok());
+        assert!(p.check(1, &dequeue_op()).is_ok());
+    }
+
+    #[test]
+    fn queue_fifo_semantics() {
+        let mut s = SieveQService::new();
+        s.execute(ClientId(1), &enqueue_op(b"first"));
+        s.execute(ClientId(2), &enqueue_op(b"second"));
+        assert_eq!(s.len(), 2);
+        assert_eq!(&s.execute(ClientId(3), &dequeue_op())[..], b"first");
+        assert_eq!(&s.execute(ClientId(3), &dequeue_op())[..], b"second");
+        assert_eq!(&s.execute(ClientId(3), &dequeue_op())[..], b"ERR:empty");
+        assert_eq!(s.enqueued_total(), 2);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut a = SieveQService::new();
+        a.execute(ClientId(1), &enqueue_op(&[1; 100]));
+        a.execute(ClientId(1), &enqueue_op(&[2; 200]));
+        a.execute(ClientId(1), &dequeue_op());
+        let snap = a.snapshot();
+        let mut b = SieveQService::new();
+        b.install(&snap);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.enqueued_total(), 2);
+        assert_eq!(b.state_size(), 200);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn malformed_at_service_level_is_safe() {
+        // Defense in depth: even if a Byzantine replica bypassed the
+        // filters, the core rejects garbage deterministically.
+        let mut s = SieveQService::new();
+        assert_eq!(&s.execute(ClientId(1), &[77])[..], b"ERR:malformed");
+        assert_eq!(&s.execute(ClientId(1), b"")[..], b"ERR:malformed");
+    }
+}

@@ -1,0 +1,178 @@
+//! A YCSB-style workload generator for the KVS.
+//!
+//! Reproduces the workload of paper §7.3/§7.4: a read/write mix (50/50 in
+//! the paper) over small numeric keys with fixed-size values, drawn from a
+//! Zipfian key-popularity distribution as in the original YCSB benchmark.
+//! Each generator is seeded, so workloads replay identically.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kvs::KvsOp;
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    /// Fraction of reads (the paper uses 0.5).
+    pub read_ratio: f64,
+    /// Key space size.
+    pub keys: u64,
+    /// Value size in bytes (1 KiB in Fig 9, 4 KiB in Fig 10).
+    pub value_size: usize,
+    /// Zipfian skew (`0.0` = uniform; YCSB default ≈ 0.99).
+    pub zipf_theta: f64,
+}
+
+impl YcsbConfig {
+    /// The Fig 9 workload: 50/50, 1 KiB values.
+    pub fn fig9() -> YcsbConfig {
+        YcsbConfig { read_ratio: 0.5, keys: 100_000, value_size: 1024, zipf_theta: 0.99 }
+    }
+
+    /// The Fig 10 KVS workload: 50/50, 4 KiB values.
+    pub fn fig10() -> YcsbConfig {
+        YcsbConfig { read_ratio: 0.5, keys: 100_000, value_size: 4096, zipf_theta: 0.99 }
+    }
+}
+
+/// The seeded generator.
+#[derive(Debug, Clone)]
+pub struct YcsbWorkload {
+    cfg: YcsbConfig,
+    rng: StdRng,
+    zipf_zeta: f64,
+}
+
+impl YcsbWorkload {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is zero or `read_ratio` is outside `0.0..=1.0`.
+    pub fn new(cfg: YcsbConfig, seed: u64) -> YcsbWorkload {
+        assert!(cfg.keys > 0, "key space must be non-empty");
+        assert!((0.0..=1.0).contains(&cfg.read_ratio), "read_ratio out of range");
+        // Zeta normalization constant for the (truncated) Zipfian; computed
+        // over a capped support for constant-time setup.
+        let support = cfg.keys.min(10_000);
+        let zipf_zeta = (1..=support)
+            .map(|i| 1.0 / (i as f64).powf(cfg.zipf_theta))
+            .sum();
+        YcsbWorkload { cfg, rng: StdRng::seed_from_u64(seed), zipf_zeta }
+    }
+
+    /// Draws the next operation, encoded for the KVS.
+    pub fn next_op(&mut self) -> Bytes {
+        let key = self.next_key().to_be_bytes().to_vec();
+        if self.rng.gen_bool(self.cfg.read_ratio) {
+            KvsOp::Get { key }.encode()
+        } else {
+            let value = vec![0xAB; self.cfg.value_size];
+            KvsOp::Put { key, value }.encode()
+        }
+    }
+
+    fn next_key(&mut self) -> u64 {
+        if self.cfg.zipf_theta <= 0.0 {
+            return self.rng.gen_range(0..self.cfg.keys);
+        }
+        // Inverse-CDF sampling over the capped support, mapped onto the full
+        // key space in blocks (popular block 0 first).
+        let support = self.cfg.keys.min(10_000);
+        let mut target = self.rng.gen_range(0.0..self.zipf_zeta);
+        let mut rank = support;
+        for i in 1..=support {
+            let w = 1.0 / (i as f64).powf(self.cfg.zipf_theta);
+            if target < w {
+                rank = i;
+                break;
+            }
+            target -= w;
+        }
+        let block = self.cfg.keys / support;
+        (rank - 1) * block.max(1) % self.cfg.keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kvs::KvsOp;
+
+    #[test]
+    fn respects_read_ratio() {
+        let mut w = YcsbWorkload::new(YcsbConfig { read_ratio: 0.5, ..YcsbConfig::fig9() }, 1);
+        let mut reads = 0;
+        for _ in 0..2000 {
+            match KvsOp::decode(&w.next_op()).unwrap() {
+                KvsOp::Get { .. } => reads += 1,
+                KvsOp::Put { value, .. } => assert_eq!(value.len(), 1024),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!((800..1200).contains(&reads), "reads {reads}");
+    }
+
+    #[test]
+    fn all_reads_or_all_writes() {
+        let mut r = YcsbWorkload::new(YcsbConfig { read_ratio: 1.0, ..YcsbConfig::fig9() }, 2);
+        for _ in 0..50 {
+            assert!(matches!(KvsOp::decode(&r.next_op()), Some(KvsOp::Get { .. })));
+        }
+        let mut w = YcsbWorkload::new(YcsbConfig { read_ratio: 0.0, ..YcsbConfig::fig9() }, 2);
+        for _ in 0..50 {
+            assert!(matches!(KvsOp::decode(&w.next_op()), Some(KvsOp::Put { .. })));
+        }
+    }
+
+    #[test]
+    fn zipfian_skews_toward_popular_keys() {
+        let mut w = YcsbWorkload::new(
+            YcsbConfig { read_ratio: 1.0, keys: 1000, value_size: 8, zipf_theta: 0.99 },
+            3,
+        );
+        let mut top_key = 0usize;
+        let mut total = 0usize;
+        for _ in 0..2000 {
+            if let Some(KvsOp::Get { key }) = KvsOp::decode(&w.next_op()) {
+                total += 1;
+                if key == 0u64.to_be_bytes().to_vec() {
+                    top_key += 1;
+                }
+            }
+        }
+        // The hottest key should far exceed its uniform share (1/1000).
+        assert!(top_key as f64 / total as f64 > 0.05, "{top_key}/{total}");
+    }
+
+    #[test]
+    fn uniform_mode_spreads_keys() {
+        let mut w = YcsbWorkload::new(
+            YcsbConfig { read_ratio: 1.0, keys: 10, value_size: 8, zipf_theta: 0.0 },
+            4,
+        );
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            if let Some(KvsOp::Get { key }) = KvsOp::decode(&w.next_op()) {
+                seen.insert(key);
+            }
+        }
+        assert!(seen.len() >= 9, "uniform draw covers the space: {}", seen.len());
+    }
+
+    #[test]
+    fn seeded_replay_is_identical() {
+        let mut a = YcsbWorkload::new(YcsbConfig::fig9(), 42);
+        let mut b = YcsbWorkload::new(YcsbConfig::fig9(), 42);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "key space")]
+    fn zero_keys_panics() {
+        YcsbWorkload::new(YcsbConfig { keys: 0, ..YcsbConfig::fig9() }, 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Criterion microbenchmarks for the performance-critical components:
+//! crypto, scoring, risk evaluation, clustering, the consensus critical
+//! path, the application services, and the discrete-event simulator itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use bytes::Bytes;
+use lazarus_apps::kvs::{KvsOp, KvsService};
+use lazarus_bft::client::Client;
+use lazarus_bft::crypto::{hmac_sha256, sha256, Digest};
+use lazarus_bft::service::Service;
+use lazarus_bft::testkit::{TestCluster, TEST_SECRET};
+use lazarus_bft::types::ClientId;
+use lazarus_nlp::VulnClusters;
+use lazarus_osint::catalog::study_oses;
+use lazarus_osint::date::Date;
+use lazarus_osint::feed::NvdFeed;
+use lazarus_osint::kb::KnowledgeBase;
+use lazarus_osint::synth::{SyntheticWorld, WorldConfig};
+use lazarus_risk::oracle::RiskOracle;
+use lazarus_risk::score::ScoreParams;
+use lazarus_risk::strategies::{for_each_combination, min_config_risk};
+
+fn world() -> SyntheticWorld {
+    let mut cfg = WorldConfig::paper_study(77);
+    cfg.start = Date::from_ymd(2016, 1, 1);
+    cfg.end = Date::from_ymd(2018, 1, 1);
+    SyntheticWorld::generate(cfg)
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data = vec![0xABu8; 1024];
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("sha256_1k", |b| b.iter(|| sha256(std::hint::black_box(&data))));
+    g.bench_function("hmac_sha256_1k", |b| {
+        b.iter(|| hmac_sha256(b"key", std::hint::black_box(&data)))
+    });
+    g.bench_function("digest_of_parts", |b| {
+        b.iter(|| Digest::of_parts(&[std::hint::black_box(&data), b"tail"]))
+    });
+    g.finish();
+}
+
+fn bench_feed_parsing(c: &mut Criterion) {
+    let world = world();
+    let feeds = world.nvd_feeds();
+    let biggest = feeds.iter().max_by_key(|f| f.len()).unwrap().clone();
+    let mut g = c.benchmark_group("osint");
+    g.throughput(Throughput::Bytes(biggest.len() as u64));
+    g.bench_function("nvd_feed_parse", |b| {
+        b.iter(|| {
+            NvdFeed::parse(std::hint::black_box(&biggest))
+                .unwrap()
+                .to_vulnerabilities()
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_risk(c: &mut Criterion) {
+    let world = world();
+    let kb: KnowledgeBase = world.vulnerabilities.iter().cloned().collect();
+    let clusters = VulnClusters::build(&world.vulnerabilities, 9);
+    let universe = study_oses();
+    let oracle = RiskOracle::build(&kb, &clusters, &universe, ScoreParams::paper());
+    let day = Date::from_ymd(2018, 1, 1);
+    let mut g = c.benchmark_group("risk");
+    g.bench_function("oracle_build", |b| {
+        b.iter(|| RiskOracle::build(&kb, &clusters, &universe, ScoreParams::paper()))
+    });
+    g.bench_function("daily_matrix", |b| b.iter(|| oracle.matrix(std::hint::black_box(day))));
+    let matrix = oracle.matrix(day);
+    g.bench_function("config_risk", |b| {
+        b.iter(|| matrix.risk(std::hint::black_box(&[0usize, 5, 10, 15])))
+    });
+    g.bench_function("min_config_risk_exhaustive", |b| {
+        b.iter(|| min_config_risk(&matrix, 4))
+    });
+    g.bench_function("combinations_21_choose_4", |b| {
+        b.iter(|| {
+            let mut count = 0u32;
+            for_each_combination(21, 4, |_| count += 1);
+            count
+        })
+    });
+    g.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let world = world();
+    let corpus: Vec<_> = world.vulnerabilities.iter().take(300).cloned().collect();
+    let mut g = c.benchmark_group("clustering");
+    g.sample_size(10);
+    g.bench_function("kmeans_300_docs_k40", |b| {
+        b.iter(|| VulnClusters::build_with_k(&corpus, 40, 7))
+    });
+    g.finish();
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus");
+    g.bench_function("ordered_op_4_replicas", |b| {
+        b.iter_batched(
+            || {
+                let cluster = TestCluster::new(4, 100_000);
+                let client = Client::new(ClientId(1), cluster.membership(), TEST_SECRET);
+                (cluster, client)
+            },
+            |(mut cluster, mut client)| cluster.run_client_op(&mut client, b"bench"),
+            BatchSize::SmallInput,
+        )
+    });
+    // steady-state: one pre-warmed cluster, many ops
+    g.bench_function("ordered_op_steady_state", |b| {
+        let mut cluster = TestCluster::new(4, 100_000);
+        let mut client = Client::new(ClientId(1), cluster.membership(), TEST_SECRET);
+        cluster.run_client_op(&mut client, b"warm");
+        b.iter(|| cluster.run_client_op(&mut client, b"bench"));
+    });
+    g.finish();
+}
+
+fn bench_threaded_runtime(c: &mut Criterion) {
+    use lazarus_bft::runtime::ThreadCluster;
+    use lazarus_bft::service::CounterService;
+    use std::time::Duration;
+    let mut g = c.benchmark_group("threaded_runtime");
+    g.sample_size(20);
+    let cluster = ThreadCluster::start(4, 100_000, CounterService::new);
+    let mut client = cluster.client(1);
+    client
+        .invoke(Bytes::from_static(b"warm"), Duration::from_secs(5))
+        .expect("warm-up");
+    g.bench_function("wallclock_ordered_op", |b| {
+        b.iter(|| {
+            client
+                .invoke(Bytes::from_static(b"bench"), Duration::from_secs(5))
+                .expect("completes")
+        })
+    });
+    g.finish();
+    cluster.shutdown();
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apps");
+    let mut kvs = KvsService::new();
+    let put = KvsOp::Put { key: b"key".to_vec(), value: vec![0; 1024] }.encode();
+    let get = KvsOp::Get { key: b"key".to_vec() }.encode();
+    g.bench_function("kvs_put_1k", |b| {
+        b.iter(|| kvs.execute(ClientId(1), std::hint::black_box(&put)))
+    });
+    g.bench_function("kvs_get_1k", |b| {
+        b.iter(|| kvs.execute(ClientId(1), std::hint::black_box(&get)))
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    use lazarus_bft::service::CounterService;
+    use lazarus_bft::types::{Epoch, Membership, ReplicaId};
+    use lazarus_testbed::cluster::{SimCluster, SimConfig};
+    use lazarus_testbed::oscatalog::PerfProfile;
+    use lazarus_testbed::sim::MS;
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("sim_100ms_40_clients", |b| {
+        b.iter(|| {
+            let membership = Membership::new(Epoch(0), (0..4).map(ReplicaId).collect());
+            let mut sim = SimCluster::new(SimConfig::default());
+            for r in 0..4 {
+                sim.add_node(
+                    ReplicaId(r),
+                    PerfProfile::bare_metal(),
+                    membership.clone(),
+                    Box::new(CounterService::new()),
+                );
+            }
+            sim.add_clients(1, 40, membership, |_| Bytes::new());
+            sim.run_until(100 * MS);
+            sim.metrics.completed()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_feed_parsing,
+    bench_risk,
+    bench_clustering,
+    bench_consensus,
+    bench_threaded_runtime,
+    bench_apps,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table 2: the 17 testbed OS versions and their VM configurations.
+
+use lazarus_bench::print_table;
+use lazarus_testbed::oscatalog::table2;
+
+fn main() {
+    let rows: Vec<(String, String)> = table2()
+        .into_iter()
+        .map(|e| {
+            (
+                format!("{} ({})", e.os.short_id(), e.os),
+                format!("{} cores, {} GB", e.profile.cores, e.profile.memory_gb),
+            )
+        })
+        .collect();
+    print_table(
+        "Table 2 — OSes used in the experiments and their VM configurations",
+        ("ID (name)", "VM resources"),
+        &rows,
+    );
+}

@@ -1,0 +1,76 @@
+//! Shared harness utilities for the figure/table reproduction binaries.
+//!
+//! Each paper figure has a `fig*`/`table*` binary in `src/bin/`; they share
+//! the microbenchmark driver and table formatting below. Run them all via
+//! `cargo run --release -p lazarus-bench --bin <name>`.
+
+#![warn(missing_docs)]
+
+use bytes::Bytes;
+use lazarus_bft::service::Service;
+use lazarus_bft::types::{Epoch, Membership, ReplicaId};
+use lazarus_testbed::cluster::{SimCluster, SimConfig};
+use lazarus_testbed::oscatalog::PerfProfile;
+use lazarus_testbed::sim::{Micros, SEC};
+
+/// Drives a 4-replica cluster under a closed-loop client population and
+/// returns the steady-state throughput in ops/s (measured after a 1 s
+/// warm-up).
+pub fn measure_throughput(
+    profiles: &[PerfProfile],
+    services: impl Fn() -> Box<dyn Service>,
+    payload: impl Fn(u64) -> Bytes + Clone + 'static,
+    clients: usize,
+    run_secs: u64,
+) -> f64 {
+    let membership =
+        Membership::new(Epoch(0), (0..profiles.len() as u32).map(ReplicaId).collect());
+    let mut sim = SimCluster::new(SimConfig::default());
+    for (r, p) in profiles.iter().enumerate() {
+        sim.add_node(ReplicaId(r as u32), *p, membership.clone(), services());
+    }
+    sim.add_clients(1, clients, membership, payload);
+    let horizon: Micros = run_secs * SEC;
+    sim.run_until(horizon);
+    sim.metrics.throughput(SEC, horizon)
+}
+
+/// The §7.1 microbenchmark: an echo service under `payload_size`-byte
+/// requests/replies.
+pub fn microbenchmark(profiles: &[PerfProfile], payload_size: usize, clients: usize) -> f64 {
+    let body = Bytes::from(vec![0u8; payload_size]);
+    measure_throughput(
+        profiles,
+        || Box::new(lazarus_bft::service::CounterService::new()),
+        move |_| body.clone(),
+        clients,
+        3,
+    )
+}
+
+/// Prints a two-column numeric table with a caption.
+pub fn print_table(caption: &str, header: (&str, &str), rows: &[(String, String)]) {
+    println!("\n=== {caption} ===");
+    let w = rows
+        .iter()
+        .map(|(a, _)| a.len())
+        .chain([header.0.len()])
+        .max()
+        .unwrap_or(8)
+        + 2;
+    println!("{:<w$}{}", header.0, header.1);
+    for (a, b) in rows {
+        println!("{a:<w$}{b}");
+    }
+}
+
+/// Formats an ops/s figure the way the paper's plots label them.
+pub fn fmt_kops(value: f64) -> String {
+    if value >= 10_000.0 {
+        format!("{:.1}k", value / 1000.0)
+    } else if value >= 1_000.0 {
+        format!("{:.2}k", value / 1000.0)
+    } else {
+        format!("{value:.0}")
+    }
+}

@@ -1,0 +1,291 @@
+//! The BFT client.
+//!
+//! Clients broadcast each operation to every replica and wait for `f + 1`
+//! matching replies (the standard BFT client rule: at least one of any
+//! `f + 1` repliers is correct). Replies carry the membership epoch, so the
+//! client learns about reconfigurations and refreshes its replica set from
+//! the controller when the epoch moves.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use crate::crypto::{Digest, Keyring, Principal};
+use crate::messages::{Message, Reply, Request};
+use crate::types::{ClientId, Epoch, Membership, ReplicaId};
+
+/// One in-flight operation.
+#[derive(Debug)]
+struct PendingOp {
+    op: u64,
+    payload: Bytes,
+    votes: HashMap<Digest, Vec<ReplicaId>>,
+    results: HashMap<Digest, Bytes>,
+}
+
+/// A closed-loop BFT client state machine.
+#[derive(Debug)]
+pub struct Client {
+    id: ClientId,
+    keyring: Keyring,
+    membership: Membership,
+    next_op: u64,
+    pending: Option<PendingOp>,
+}
+
+/// The completed result of an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The client operation number.
+    pub op: u64,
+    /// The agreed result.
+    pub result: Bytes,
+    /// The highest epoch observed among the matching replies.
+    pub epoch: Epoch,
+}
+
+impl Client {
+    /// Creates a client for the given deployment.
+    pub fn new(id: ClientId, membership: Membership, master_secret: &[u8]) -> Client {
+        Client {
+            id,
+            keyring: Keyring::new(master_secret),
+            membership,
+            next_op: 1,
+            pending: None,
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The membership the client currently targets.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Adopts a new membership (after a reconfiguration notice).
+    pub fn set_membership(&mut self, membership: Membership) {
+        self.membership = membership;
+    }
+
+    /// True when an operation is in flight.
+    pub fn busy(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Starts an operation: returns the request messages to send (one per
+    /// replica).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in flight (this is a closed-loop
+    /// client).
+    pub fn invoke(&mut self, payload: Bytes) -> Vec<(ReplicaId, Message)> {
+        assert!(self.pending.is_none(), "closed-loop client already has an operation in flight");
+        let op = self.next_op;
+        self.next_op += 1;
+        let tag = self.keyring.sign(
+            Principal::Client(self.id.0),
+            &Request::auth_bytes(self.id, op, &payload),
+        );
+        let request = Request { client: self.id, op, payload: payload.clone(), tag };
+        self.pending = Some(PendingOp {
+            op,
+            payload,
+            votes: HashMap::new(),
+            results: HashMap::new(),
+        });
+        self.membership
+            .replicas
+            .iter()
+            .map(|&r| (r, Message::Request(request.clone())))
+            .collect()
+    }
+
+    /// Retransmission of the in-flight request (on timeout), if any.
+    pub fn retransmit(&self) -> Vec<(ReplicaId, Message)> {
+        let Some(pending) = &self.pending else { return Vec::new() };
+        let tag = self.keyring.sign(
+            Principal::Client(self.id.0),
+            &Request::auth_bytes(self.id, pending.op, &pending.payload),
+        );
+        let request = Request {
+            client: self.id,
+            op: pending.op,
+            payload: pending.payload.clone(),
+            tag,
+        };
+        self.membership
+            .replicas
+            .iter()
+            .map(|&r| (r, Message::Request(request.clone())))
+            .collect()
+    }
+
+    /// Processes a reply. Returns the completion once `f + 1` matching
+    /// replies arrived.
+    pub fn on_reply(&mut self, reply: Reply) -> Option<Completion> {
+        let pending = self.pending.as_mut()?;
+        if reply.op != pending.op {
+            return None;
+        }
+        // Verify the replica's tag.
+        let mut bytes = Vec::with_capacity(16 + reply.result.len());
+        bytes.extend_from_slice(&reply.op.to_be_bytes());
+        bytes.extend_from_slice(&reply.result);
+        if !self
+            .keyring
+            .verify(Principal::Replica(reply.from.0), &bytes, &reply.tag)
+        {
+            return None;
+        }
+        let digest = Digest::of_parts(&[&reply.result, &reply.epoch.0.to_be_bytes()]);
+        let voters = pending.votes.entry(digest).or_default();
+        if voters.contains(&reply.from) {
+            return None;
+        }
+        voters.push(reply.from);
+        pending.results.insert(digest, reply.result.clone());
+        if voters.len() >= self.membership.f() + 1 {
+            let result = pending.results[&digest].clone();
+            let op = pending.op;
+            self.pending = None;
+            Some(Completion { op, result, epoch: reply.epoch })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypto::AuthTag;
+
+    fn membership() -> Membership {
+        Membership::new(Epoch(0), (0..4).map(ReplicaId).collect())
+    }
+
+    fn reply_from(client: &Client, replica: u32, op: u64, result: &[u8], epoch: Epoch) -> Reply {
+        let keyring = Keyring::new(b"secret");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&op.to_be_bytes());
+        bytes.extend_from_slice(result);
+        let _ = client;
+        Reply {
+            from: ReplicaId(replica),
+            op,
+            result: Bytes::copy_from_slice(result),
+            epoch,
+            tag: keyring.sign(Principal::Replica(replica), &bytes),
+        }
+    }
+
+    #[test]
+    fn invoke_sends_to_all_replicas() {
+        let mut c = Client::new(ClientId(7), membership(), b"secret");
+        let sends = c.invoke(Bytes::from_static(b"op"));
+        assert_eq!(sends.len(), 4);
+        assert!(c.busy());
+        let targets: Vec<u32> = sends.iter().map(|(r, _)| r.0).collect();
+        assert_eq!(targets, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn completes_with_f_plus_one_matching() {
+        let mut c = Client::new(ClientId(7), membership(), b"secret");
+        c.invoke(Bytes::from_static(b"op"));
+        assert!(c.on_reply(reply_from(&c, 0, 1, b"res", Epoch(0))).is_none());
+        let done = c.on_reply(reply_from(&c, 1, 1, b"res", Epoch(0))).expect("f+1 matching");
+        assert_eq!(done.op, 1);
+        assert_eq!(&done.result[..], b"res");
+        assert!(!c.busy());
+    }
+
+    #[test]
+    fn divergent_replies_do_not_complete() {
+        let mut c = Client::new(ClientId(7), membership(), b"secret");
+        c.invoke(Bytes::from_static(b"op"));
+        assert!(c.on_reply(reply_from(&c, 0, 1, b"a", Epoch(0))).is_none());
+        assert!(c.on_reply(reply_from(&c, 1, 1, b"b", Epoch(0))).is_none());
+        // a second vote for "a" completes
+        assert!(c.on_reply(reply_from(&c, 2, 1, b"a", Epoch(0))).is_some());
+    }
+
+    #[test]
+    fn duplicate_and_stale_replies_ignored() {
+        let mut c = Client::new(ClientId(7), membership(), b"secret");
+        c.invoke(Bytes::from_static(b"op"));
+        assert!(c.on_reply(reply_from(&c, 0, 1, b"res", Epoch(0))).is_none());
+        // same replica repeating does not count twice
+        assert!(c.on_reply(reply_from(&c, 0, 1, b"res", Epoch(0))).is_none());
+        // wrong op
+        assert!(c.on_reply(reply_from(&c, 1, 9, b"res", Epoch(0))).is_none());
+        assert!(c.busy());
+    }
+
+    #[test]
+    fn forged_reply_tag_rejected() {
+        let mut c = Client::new(ClientId(7), membership(), b"secret");
+        c.invoke(Bytes::from_static(b"op"));
+        let mut r = reply_from(&c, 0, 1, b"res", Epoch(0));
+        r.tag = AuthTag([0; 32]);
+        assert!(c.on_reply(r).is_none());
+        // and a reply signed under a different master secret
+        let other = {
+            let keyring = Keyring::new(b"other");
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&1u64.to_be_bytes());
+            bytes.extend_from_slice(b"res");
+            Reply {
+                from: ReplicaId(1),
+                op: 1,
+                result: Bytes::from_static(b"res"),
+                epoch: Epoch(0),
+                tag: keyring.sign(Principal::Replica(1), &bytes),
+            }
+        };
+        assert!(c.on_reply(other).is_none());
+    }
+
+    #[test]
+    fn epoch_mismatch_counts_separately() {
+        let mut c = Client::new(ClientId(7), membership(), b"secret");
+        c.invoke(Bytes::from_static(b"op"));
+        assert!(c.on_reply(reply_from(&c, 0, 1, b"res", Epoch(0))).is_none());
+        // an epoch-1 reply is a different vote bucket
+        assert!(c.on_reply(reply_from(&c, 1, 1, b"res", Epoch(1))).is_none());
+        let done = c.on_reply(reply_from(&c, 2, 1, b"res", Epoch(1))).expect("two epoch-1 votes");
+        assert_eq!(done.epoch, Epoch(1));
+    }
+
+    #[test]
+    fn retransmit_reissues_same_op() {
+        let mut c = Client::new(ClientId(7), membership(), b"secret");
+        let first = c.invoke(Bytes::from_static(b"op"));
+        let again = c.retransmit();
+        assert_eq!(first.len(), again.len());
+        match (&first[0].1, &again[0].1) {
+            (Message::Request(a), Message::Request(b)) => {
+                assert_eq!(a.op, b.op);
+                assert_eq!(a.payload, b.payload);
+            }
+            _ => panic!("expected requests"),
+        }
+        // idle client retransmits nothing
+        let mut idle = Client::new(ClientId(8), membership(), b"secret");
+        idle.next_op = 5;
+        assert!(idle.retransmit().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "in flight")]
+    fn closed_loop_enforced() {
+        let mut c = Client::new(ClientId(7), membership(), b"secret");
+        c.invoke(Bytes::from_static(b"a"));
+        c.invoke(Bytes::from_static(b"b"));
+    }
+}

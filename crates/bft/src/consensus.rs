@@ -1,0 +1,242 @@
+//! Per-slot consensus bookkeeping (the VP-Consensus phases).
+//!
+//! Each slot runs PROPOSE → WRITE → ACCEPT. The instance tracks votes per
+//! digest (so an equivocating leader cannot mix votes for different values)
+//! and remembers whether this replica already sent its WRITE/ACCEPT, which
+//! both drives the protocol and yields the write certificate needed by the
+//! leader-change protocol.
+
+use std::collections::BTreeMap;
+
+use crate::crypto::Digest;
+use crate::messages::{Batch, WriteCertificate};
+use crate::types::{ReplicaId, SeqNo, View};
+
+/// State of one consensus slot.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The slot.
+    pub seq: SeqNo,
+    /// The view of the current proposal.
+    pub view: View,
+    /// The proposed batch (from PROPOSE, or a SYNC re-proposal).
+    pub batch: Option<Batch>,
+    /// Digest of `batch`.
+    pub digest: Option<Digest>,
+    writes: BTreeMap<Digest, Vec<ReplicaId>>,
+    accepts: BTreeMap<Digest, Vec<ReplicaId>>,
+    /// Whether this replica broadcast its WRITE.
+    pub sent_write: bool,
+    /// Whether this replica broadcast its ACCEPT (implies it saw a write
+    /// quorum — the precondition of a write certificate).
+    pub sent_accept: bool,
+    /// Whether the slot is decided.
+    pub decided: bool,
+}
+
+impl Instance {
+    /// A fresh instance for `seq` in `view`.
+    pub fn new(seq: SeqNo, view: View) -> Instance {
+        Instance {
+            seq,
+            view,
+            batch: None,
+            digest: None,
+            writes: BTreeMap::new(),
+            accepts: BTreeMap::new(),
+            sent_write: false,
+            sent_accept: false,
+            decided: false,
+        }
+    }
+
+    /// Installs the proposal. Returns `false` when a *different* proposal
+    /// was already accepted for this view (leader equivocation — the caller
+    /// should ignore the message).
+    pub fn set_proposal(&mut self, view: View, batch: Batch) -> bool {
+        let digest = batch.digest();
+        match self.digest {
+            Some(existing) if self.view == view => existing == digest,
+            _ => {
+                self.view = view;
+                self.digest = Some(digest);
+                self.batch = Some(batch);
+                // Votes from an older view are meaningless for the new value.
+                if self.view != view {
+                    self.writes.clear();
+                    self.accepts.clear();
+                }
+                true
+            }
+        }
+    }
+
+    /// Records a WRITE vote. Returns the current count for that digest.
+    pub fn on_write(&mut self, from: ReplicaId, view: View, digest: Digest) -> usize {
+        if view != self.view {
+            return 0;
+        }
+        let voters = self.writes.entry(digest).or_default();
+        if !voters.contains(&from) {
+            voters.push(from);
+        }
+        voters.len()
+    }
+
+    /// Records an ACCEPT vote. Returns the current count for that digest.
+    pub fn on_accept(&mut self, from: ReplicaId, view: View, digest: Digest) -> usize {
+        if view != self.view {
+            return 0;
+        }
+        let voters = self.accepts.entry(digest).or_default();
+        if !voters.contains(&from) {
+            voters.push(from);
+        }
+        voters.len()
+    }
+
+    /// WRITE votes currently held for our proposal's digest.
+    pub fn write_votes(&self) -> usize {
+        match self.digest {
+            Some(d) => self.writes.get(&d).map(Vec::len).unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// ACCEPT votes currently held for our proposal's digest.
+    pub fn accept_votes(&self) -> usize {
+        match self.digest {
+            Some(d) => self.accepts.get(&d).map(Vec::len).unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// The write certificate if this replica reached the ACCEPT phase.
+    pub fn certificate(&self) -> Option<WriteCertificate> {
+        if self.sent_accept && !self.decided {
+            self.batch.clone().map(|batch| WriteCertificate {
+                view: self.view,
+                seq: self.seq,
+                batch,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Restarts the instance in a later view (leader change), keeping any
+    /// re-proposed value out until SYNC/PROPOSE installs one.
+    pub fn reset_for_view(&mut self, view: View) {
+        if self.decided {
+            return;
+        }
+        self.view = view;
+        self.batch = None;
+        self.digest = None;
+        self.writes.clear();
+        self.accepts.clear();
+        self.sent_write = false;
+        self.sent_accept = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(tagbyte: u8) -> Batch {
+        use crate::crypto::AuthTag;
+        use crate::types::ClientId;
+        Batch {
+            requests: vec![crate::messages::Request {
+                client: ClientId(1),
+                op: 1,
+                payload: bytes::Bytes::copy_from_slice(&[tagbyte]),
+                tag: AuthTag([0; 32]),
+            }],
+        }
+    }
+
+    #[test]
+    fn proposal_then_votes() {
+        let mut inst = Instance::new(SeqNo(1), View(0));
+        let b = batch(1);
+        let d = b.digest();
+        assert!(inst.set_proposal(View(0), b));
+        assert_eq!(inst.on_write(ReplicaId(0), View(0), d), 1);
+        assert_eq!(inst.on_write(ReplicaId(1), View(0), d), 2);
+        // duplicate vote ignored
+        assert_eq!(inst.on_write(ReplicaId(1), View(0), d), 2);
+        assert_eq!(inst.write_votes(), 2);
+        assert_eq!(inst.on_accept(ReplicaId(2), View(0), d), 1);
+        assert_eq!(inst.accept_votes(), 1);
+    }
+
+    #[test]
+    fn equivocation_is_rejected() {
+        let mut inst = Instance::new(SeqNo(1), View(0));
+        assert!(inst.set_proposal(View(0), batch(1)));
+        assert!(!inst.set_proposal(View(0), batch(2)));
+        // same proposal again is fine (idempotent)
+        assert!(inst.set_proposal(View(0), batch(1)));
+    }
+
+    #[test]
+    fn votes_for_other_views_do_not_count() {
+        let mut inst = Instance::new(SeqNo(1), View(0));
+        let b = batch(1);
+        let d = b.digest();
+        inst.set_proposal(View(0), b);
+        assert_eq!(inst.on_write(ReplicaId(1), View(1), d), 0);
+        assert_eq!(inst.write_votes(), 0);
+    }
+
+    #[test]
+    fn votes_per_digest_are_segregated() {
+        let mut inst = Instance::new(SeqNo(1), View(0));
+        let good = batch(1);
+        let d_good = good.digest();
+        let d_evil = batch(2).digest();
+        inst.set_proposal(View(0), good);
+        inst.on_write(ReplicaId(1), View(0), d_evil);
+        inst.on_write(ReplicaId(2), View(0), d_evil);
+        assert_eq!(inst.write_votes(), 0, "votes for another digest don't help");
+        inst.on_write(ReplicaId(3), View(0), d_good);
+        assert_eq!(inst.write_votes(), 1);
+    }
+
+    #[test]
+    fn certificate_only_after_accept_phase() {
+        let mut inst = Instance::new(SeqNo(1), View(0));
+        inst.set_proposal(View(0), batch(1));
+        assert!(inst.certificate().is_none());
+        inst.sent_accept = true;
+        let cert = inst.certificate().expect("certificate");
+        assert_eq!(cert.seq, SeqNo(1));
+        assert_eq!(cert.view, View(0));
+        inst.decided = true;
+        assert!(inst.certificate().is_none(), "decided slots need no cert");
+    }
+
+    #[test]
+    fn reset_for_view_clears_undecided_state() {
+        let mut inst = Instance::new(SeqNo(1), View(0));
+        let b = batch(1);
+        let d = b.digest();
+        inst.set_proposal(View(0), b);
+        inst.on_write(ReplicaId(1), View(0), d);
+        inst.sent_write = true;
+        inst.reset_for_view(View(1));
+        assert_eq!(inst.view, View(1));
+        assert!(inst.batch.is_none());
+        assert!(!inst.sent_write);
+        assert_eq!(inst.write_votes(), 0);
+        // decided instances are immutable
+        let mut done = Instance::new(SeqNo(2), View(0));
+        done.set_proposal(View(0), batch(3));
+        done.decided = true;
+        done.reset_for_view(View(5));
+        assert_eq!(done.view, View(0));
+        assert!(done.batch.is_some());
+    }
+}

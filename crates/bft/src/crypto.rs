@@ -1,0 +1,385 @@
+//! Cryptographic primitives for the replication library.
+//!
+//! A from-scratch SHA-256 (FIPS 180-4) plus HMAC-SHA256, used for message
+//! digests and authentication. Key distribution is simulated: every
+//! principal's MAC key is derived from a deployment-wide master secret and
+//! the principal's identity, which models the pairwise-shared-key setup of
+//! BFT-SMaRt without a PKI. The controller ("trusted third party") holds a
+//! dedicated key for signing reconfiguration commands.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 32-byte SHA-256 digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest (placeholder for "no value").
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Digest of a byte string.
+    pub fn of(data: &[u8]) -> Digest {
+        Digest(sha256(data))
+    }
+
+    /// Digest of the concatenation of several byte strings, length-framed so
+    /// `("ab", "c")` and `("a", "bc")` differ.
+    pub fn of_parts(parts: &[&[u8]]) -> Digest {
+        let mut hasher = Sha256::new();
+        for p in parts {
+            hasher.update(&(p.len() as u64).to_be_bytes());
+            hasher.update(p);
+        }
+        Digest(hasher.finalize())
+    }
+
+    /// Hex rendering of the first 8 bytes (for logs).
+    pub fn short_hex(&self) -> String {
+        self.0[..8].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}…)", self.short_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental SHA-256.
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    length: u64,
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2,
+];
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Fresh hasher.
+    pub fn new() -> Sha256 {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c,
+                0x1f83d9ab, 0x5be0cd19,
+            ],
+            buffer: [0u8; 64],
+            buffered: 0,
+            length: 0,
+        }
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        if self.buffered > 0 {
+            let need = 64 - self.buffered;
+            let take = need.min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffered = data.len();
+        }
+    }
+
+    /// Produces the digest, consuming the hasher.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.length.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buffered, 0);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// HMAC-SHA256 (RFC 2104).
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut key_block = [0u8; 64];
+    if key.len() > 64 {
+        key_block[..32].copy_from_slice(&sha256(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_hash = inner.finalize();
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_hash);
+    outer.finalize()
+}
+
+/// A principal identity for keying (replica, client, or the controller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Principal {
+    /// A service replica.
+    Replica(u32),
+    /// A service client.
+    Client(u64),
+    /// The Lazarus controller (trusted third party for reconfigurations).
+    Controller,
+}
+
+impl Principal {
+    fn key_material(&self) -> Vec<u8> {
+        match self {
+            Principal::Replica(id) => format!("replica:{id}").into_bytes(),
+            Principal::Client(id) => format!("client:{id}").into_bytes(),
+            Principal::Controller => b"controller".to_vec(),
+        }
+    }
+}
+
+/// The deployment-wide keyring: derives per-principal MAC keys from a master
+/// secret (simulated key distribution).
+#[derive(Debug, Clone)]
+pub struct Keyring {
+    master: [u8; 32],
+}
+
+/// An authentication tag over a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AuthTag(pub [u8; 32]);
+
+impl Keyring {
+    /// Keyring for a deployment secret.
+    pub fn new(master_secret: &[u8]) -> Keyring {
+        Keyring { master: sha256(master_secret) }
+    }
+
+    fn key_of(&self, principal: Principal) -> [u8; 32] {
+        hmac_sha256(&self.master, &principal.key_material())
+    }
+
+    /// Authenticates `message` as `sender`.
+    pub fn sign(&self, sender: Principal, message: &[u8]) -> AuthTag {
+        AuthTag(hmac_sha256(&self.key_of(sender), message))
+    }
+
+    /// Verifies a tag allegedly produced by `sender`.
+    pub fn verify(&self, sender: Principal, message: &[u8], tag: &AuthTag) -> bool {
+        // Constant-time comparison.
+        let expected = self.sign(sender, message);
+        let mut diff = 0u8;
+        for (a, b) in expected.0.iter().zip(&tag.0) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// NIST / well-known SHA-256 vectors.
+    #[test]
+    fn sha256_test_vectors() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // One million 'a' characters.
+        let million = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha256(&million)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect();
+        for chunk in [1usize, 3, 7, 63, 64, 65, 128, 999] {
+            let mut h = Sha256::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), sha256(&data), "chunk size {chunk}");
+        }
+    }
+
+    /// RFC 4231 test case 2 (short key "Jefe").
+    #[test]
+    fn hmac_test_vectors() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        // RFC 4231 test case 1.
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        // Long key (> block size) path, RFC 4231 test case 6.
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn keyring_sign_verify() {
+        let ring = Keyring::new(b"deployment-secret");
+        let msg = b"PROPOSE view=0 seq=1";
+        let tag = ring.sign(Principal::Replica(0), msg);
+        assert!(ring.verify(Principal::Replica(0), msg, &tag));
+        // wrong sender
+        assert!(!ring.verify(Principal::Replica(1), msg, &tag));
+        // tampered message
+        assert!(!ring.verify(Principal::Replica(0), b"PROPOSE view=0 seq=2", &tag));
+        // controller key is distinct
+        let ctag = ring.sign(Principal::Controller, msg);
+        assert_ne!(tag, ctag);
+        assert!(ring.verify(Principal::Controller, msg, &ctag));
+    }
+
+    #[test]
+    fn different_masters_different_tags() {
+        let a = Keyring::new(b"secret-a");
+        let b = Keyring::new(b"secret-b");
+        let tag = a.sign(Principal::Client(7), b"hello");
+        assert!(!b.verify(Principal::Client(7), b"hello", &tag));
+    }
+
+    #[test]
+    fn digest_of_parts_is_framed() {
+        assert_ne!(
+            Digest::of_parts(&[b"ab", b"c"]),
+            Digest::of_parts(&[b"a", b"bc"])
+        );
+        assert_eq!(Digest::of_parts(&[b"ab"]), Digest::of_parts(&[b"ab"]));
+        assert_ne!(Digest::of(b""), Digest::ZERO);
+    }
+
+    #[test]
+    fn digest_display() {
+        let d = Digest::of(b"abc");
+        assert_eq!(d.to_string().len(), 64);
+        assert!(d.to_string().starts_with("ba7816bf"));
+        assert_eq!(d.short_hex().len(), 16);
+        assert!(format!("{d:?}").contains("ba7816bf"));
+    }
+}

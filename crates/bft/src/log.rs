@@ -1,0 +1,265 @@
+//! The decided log and checkpointing.
+//!
+//! Replicas append decided batches in slot order, periodically snapshot the
+//! service, gather `2f + 1` matching CHECKPOINT messages to make a
+//! checkpoint *stable*, and trim the log below it (paper §7.3 measures the
+//! throughput dips these checkpoints and the ensuing state transfers cause).
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+use crate::crypto::Digest;
+use crate::messages::Batch;
+use crate::types::{ReplicaId, SeqNo};
+
+/// A service snapshot pinned to a slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Last slot reflected in the snapshot.
+    pub seq: SeqNo,
+    /// Snapshot bytes.
+    pub snapshot: Bytes,
+    /// Snapshot digest.
+    pub digest: Digest,
+}
+
+/// The decided log with checkpoint management.
+#[derive(Debug, Clone)]
+pub struct DecidedLog {
+    /// Decided batches above the stable checkpoint.
+    entries: BTreeMap<u64, Batch>,
+    /// The latest stable checkpoint (proven by a quorum).
+    stable: Checkpoint,
+    /// A local checkpoint awaiting quorum proof.
+    pending: Option<Checkpoint>,
+    /// CHECKPOINT votes per (seq, digest).
+    votes: BTreeMap<(u64, Digest), Vec<ReplicaId>>,
+    /// Snapshot cadence in slots.
+    period: u64,
+}
+
+impl DecidedLog {
+    /// A log starting from genesis (`seq` −, an empty snapshot) with the
+    /// given checkpoint period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: u64, genesis_snapshot: Bytes) -> DecidedLog {
+        assert!(period > 0, "checkpoint period must be positive");
+        let digest = Digest::of(&genesis_snapshot);
+        DecidedLog {
+            entries: BTreeMap::new(),
+            stable: Checkpoint { seq: SeqNo(0), snapshot: genesis_snapshot, digest },
+            pending: None,
+            votes: BTreeMap::new(),
+            period,
+        }
+    }
+
+    /// The checkpoint cadence.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// The latest stable checkpoint.
+    pub fn stable_checkpoint(&self) -> &Checkpoint {
+        &self.stable
+    }
+
+    /// The local checkpoint still waiting for quorum, if any.
+    pub fn pending_checkpoint(&self) -> Option<&Checkpoint> {
+        self.pending.as_ref()
+    }
+
+    /// Appends a decided batch at `seq`. Returns `true` when the slot
+    /// completes a checkpoint period (the caller should snapshot the
+    /// service and call [`local_checkpoint`](Self::local_checkpoint)).
+    pub fn append(&mut self, seq: SeqNo, batch: Batch) -> bool {
+        self.entries.insert(seq.0, batch);
+        seq.0 % self.period == 0
+    }
+
+    /// Number of batches retained above the stable checkpoint.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no batches are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The decided batch at `seq`, if retained.
+    pub fn get(&self, seq: SeqNo) -> Option<&Batch> {
+        self.entries.get(&seq.0)
+    }
+
+    /// Decided batches strictly after `from`, in order.
+    pub fn suffix(&self, from: SeqNo) -> Vec<(SeqNo, Batch)> {
+        self.entries
+            .range((from.0 + 1)..)
+            .map(|(&s, b)| (SeqNo(s), b.clone()))
+            .collect()
+    }
+
+    /// Records the local snapshot for `seq` and returns its digest (to be
+    /// broadcast in a CHECKPOINT message).
+    pub fn local_checkpoint(&mut self, seq: SeqNo, snapshot: Bytes) -> Digest {
+        let digest = Digest::of(&snapshot);
+        self.pending = Some(Checkpoint { seq, snapshot, digest });
+        digest
+    }
+
+    /// Registers a CHECKPOINT vote. When `quorum` votes agree on the same
+    /// `(seq, digest)` *and* it matches our local pending (or stable)
+    /// snapshot, the checkpoint becomes stable, the log is trimmed, and the
+    /// newly stable slot is returned.
+    pub fn on_checkpoint_vote(
+        &mut self,
+        from: ReplicaId,
+        seq: SeqNo,
+        digest: Digest,
+        quorum: usize,
+    ) -> Option<SeqNo> {
+        if seq <= self.stable.seq {
+            return None;
+        }
+        let voters = self.votes.entry((seq.0, digest)).or_default();
+        if !voters.contains(&from) {
+            voters.push(from);
+        }
+        if voters.len() < quorum {
+            return None;
+        }
+        let matches_local = self
+            .pending
+            .as_ref()
+            .is_some_and(|p| p.seq == seq && p.digest == digest);
+        if !matches_local {
+            // Quorum agrees on a snapshot we do not hold — the caller must
+            // state-transfer. Keep the votes so it can re-check later.
+            return None;
+        }
+        let pending = self.pending.take().expect("checked above");
+        self.stable = pending;
+        self.trim();
+        Some(seq)
+    }
+
+    /// Installs a checkpoint obtained via state transfer (trusted because
+    /// `f + 1` repliers matched) and the decided suffix after it.
+    pub fn install(&mut self, checkpoint: Checkpoint, suffix: Vec<(SeqNo, Batch)>) {
+        self.stable = checkpoint;
+        self.pending = None;
+        self.entries.clear();
+        for (seq, batch) in suffix {
+            self.entries.insert(seq.0, batch);
+        }
+        self.trim();
+    }
+
+    fn trim(&mut self) {
+        let stable = self.stable.seq.0;
+        self.entries.retain(|&s, _| s > stable);
+        self.votes.retain(|&(s, _), _| s > stable);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> Batch {
+        Batch::default()
+    }
+
+    #[test]
+    fn append_flags_checkpoint_slots() {
+        let mut log = DecidedLog::new(5, Bytes::new());
+        assert!(!log.append(SeqNo(1), batch()));
+        assert!(!log.append(SeqNo(4), batch()));
+        assert!(log.append(SeqNo(5), batch()));
+        assert!(log.append(SeqNo(10), batch()));
+        assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    fn checkpoint_becomes_stable_with_quorum_and_trims() {
+        let mut log = DecidedLog::new(2, Bytes::new());
+        for s in 1..=4u64 {
+            log.append(SeqNo(s), batch());
+        }
+        let snap = Bytes::from_static(b"state@2");
+        let digest = log.local_checkpoint(SeqNo(2), snap);
+        assert!(log.pending_checkpoint().is_some());
+        assert_eq!(log.on_checkpoint_vote(ReplicaId(0), SeqNo(2), digest, 3), None);
+        assert_eq!(log.on_checkpoint_vote(ReplicaId(1), SeqNo(2), digest, 3), None);
+        // duplicate vote does not count twice
+        assert_eq!(log.on_checkpoint_vote(ReplicaId(1), SeqNo(2), digest, 3), None);
+        assert_eq!(
+            log.on_checkpoint_vote(ReplicaId(2), SeqNo(2), digest, 3),
+            Some(SeqNo(2))
+        );
+        assert_eq!(log.stable_checkpoint().seq, SeqNo(2));
+        // slots 1..=2 trimmed, 3..=4 retained
+        assert!(log.get(SeqNo(2)).is_none());
+        assert!(log.get(SeqNo(3)).is_some());
+        assert_eq!(log.len(), 2);
+        assert!(log.pending_checkpoint().is_none());
+    }
+
+    #[test]
+    fn divergent_digest_never_stabilizes_locally() {
+        let mut log = DecidedLog::new(2, Bytes::new());
+        log.append(SeqNo(2), batch());
+        log.local_checkpoint(SeqNo(2), Bytes::from_static(b"mine"));
+        let other = Digest::of(b"theirs");
+        for r in 0..4 {
+            assert_eq!(log.on_checkpoint_vote(ReplicaId(r), SeqNo(2), other, 3), None);
+        }
+        // our stable checkpoint unchanged — state transfer must resolve it
+        assert_eq!(log.stable_checkpoint().seq, SeqNo(0));
+    }
+
+    #[test]
+    fn stale_votes_are_ignored() {
+        let mut log = DecidedLog::new(2, Bytes::new());
+        log.append(SeqNo(2), batch());
+        let d = log.local_checkpoint(SeqNo(2), Bytes::from_static(b"s"));
+        for r in 0..3 {
+            log.on_checkpoint_vote(ReplicaId(r), SeqNo(2), d, 3);
+        }
+        // votes for an already-stable or older seq do nothing
+        assert_eq!(log.on_checkpoint_vote(ReplicaId(3), SeqNo(2), d, 3), None);
+        assert_eq!(log.on_checkpoint_vote(ReplicaId(3), SeqNo(1), d, 3), None);
+    }
+
+    #[test]
+    fn suffix_and_install() {
+        let mut log = DecidedLog::new(100, Bytes::new());
+        for s in 1..=5u64 {
+            log.append(SeqNo(s), batch());
+        }
+        let suffix = log.suffix(SeqNo(3));
+        assert_eq!(suffix.iter().map(|(s, _)| s.0).collect::<Vec<_>>(), vec![4, 5]);
+
+        let ck = Checkpoint {
+            seq: SeqNo(10),
+            snapshot: Bytes::from_static(b"transferred"),
+            digest: Digest::of(b"transferred"),
+        };
+        log.install(ck.clone(), vec![(SeqNo(11), batch()), (SeqNo(12), batch())]);
+        assert_eq!(log.stable_checkpoint().seq, SeqNo(10));
+        assert_eq!(log.len(), 2);
+        assert!(log.get(SeqNo(11)).is_some());
+        assert!(log.get(SeqNo(5)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        DecidedLog::new(0, Bytes::new());
+    }
+}

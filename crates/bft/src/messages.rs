@@ -1,0 +1,464 @@
+//! Protocol messages.
+//!
+//! The message vocabulary of a Mod-SMaRt-style protocol: client requests and
+//! replies; the three-phase consensus messages (PROPOSE / WRITE / ACCEPT);
+//! the leader-change messages (STOP / STOP-DATA / SYNC); checkpointing;
+//! state transfer (CST); and the controller-signed reconfiguration command
+//! that Lazarus uses to rotate replicas.
+
+use bytes::Bytes;
+
+use crate::crypto::{AuthTag, Digest};
+use crate::types::{ClientId, Epoch, Membership, ReplicaId, SeqNo, View};
+
+/// A client operation to be totally ordered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Issuing client.
+    pub client: ClientId,
+    /// Client-local sequence number (for reply matching and dedup).
+    pub op: u64,
+    /// Opaque service payload.
+    pub payload: Bytes,
+    /// Client authentication tag.
+    pub tag: AuthTag,
+}
+
+impl Request {
+    /// Canonical digest of the request.
+    pub fn digest(&self) -> Digest {
+        Digest::of_parts(&[
+            &self.client.0.to_be_bytes(),
+            &self.op.to_be_bytes(),
+            &self.payload,
+        ])
+    }
+
+    /// The bytes the client tag authenticates.
+    pub fn auth_bytes(client: ClientId, op: u64, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + payload.len());
+        out.extend_from_slice(&client.0.to_be_bytes());
+        out.extend_from_slice(&op.to_be_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+}
+
+/// An ordered batch of requests (the value decided by one consensus
+/// instance).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Batch {
+    /// Requests in proposal order.
+    pub requests: Vec<Request>,
+}
+
+impl Batch {
+    /// Digest of the batch (digest of the request digests, order-sensitive).
+    pub fn digest(&self) -> Digest {
+        let digests: Vec<[u8; 32]> = self.requests.iter().map(|r| r.digest().0).collect();
+        let parts: Vec<&[u8]> = digests.iter().map(|d| d.as_slice()).collect();
+        Digest::of_parts(&parts)
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the batch carries no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// The reply sent back to a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Responding replica.
+    pub from: ReplicaId,
+    /// The client's operation number this answers.
+    pub op: u64,
+    /// Service result.
+    pub result: Bytes,
+    /// Membership epoch at execution time (lets clients track
+    /// reconfigurations).
+    pub epoch: Epoch,
+    /// Replica authentication tag.
+    pub tag: AuthTag,
+}
+
+/// Consensus phase of one instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsensusMsg {
+    /// Leader's proposal of a batch for slot `seq`.
+    Propose {
+        /// Leader regency the proposal belongs to.
+        view: View,
+        /// Slot.
+        seq: SeqNo,
+        /// Proposed value.
+        batch: Batch,
+    },
+    /// First echo phase: the replica vouches for the proposal digest.
+    Write {
+        /// Regency.
+        view: View,
+        /// Slot.
+        seq: SeqNo,
+        /// Digest of the proposed batch.
+        digest: Digest,
+    },
+    /// Second phase: a write quorum was observed.
+    Accept {
+        /// Regency.
+        view: View,
+        /// Slot.
+        seq: SeqNo,
+        /// Digest of the proposed batch.
+        digest: Digest,
+    },
+}
+
+impl ConsensusMsg {
+    /// The slot this message concerns.
+    pub fn seq(&self) -> SeqNo {
+        match self {
+            ConsensusMsg::Propose { seq, .. }
+            | ConsensusMsg::Write { seq, .. }
+            | ConsensusMsg::Accept { seq, .. } => *seq,
+        }
+    }
+
+    /// The regency this message belongs to.
+    pub fn view(&self) -> View {
+        match self {
+            ConsensusMsg::Propose { view, .. }
+            | ConsensusMsg::Write { view, .. }
+            | ConsensusMsg::Accept { view, .. } => *view,
+        }
+    }
+}
+
+/// Evidence that a batch reached the WRITE quorum in some view — the value
+/// a new leader must re-propose (carried in STOP-DATA).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteCertificate {
+    /// View in which the quorum was observed.
+    pub view: View,
+    /// Slot.
+    pub seq: SeqNo,
+    /// The batch itself (so the new leader can re-propose it).
+    pub batch: Batch,
+}
+
+/// A reconfiguration command, authenticated by the controller's key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigCommand {
+    /// Epoch this command applies to (guards against replay).
+    pub epoch: Epoch,
+    /// Replica joining, if any.
+    pub add: Option<ReplicaId>,
+    /// Replica leaving, if any.
+    pub remove: Option<ReplicaId>,
+    /// Controller tag over the command bytes.
+    pub tag: AuthTag,
+}
+
+impl ReconfigCommand {
+    /// The bytes the controller tag authenticates.
+    pub fn auth_bytes(epoch: Epoch, add: Option<ReplicaId>, remove: Option<ReplicaId>) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&epoch.0.to_be_bytes());
+        out.extend_from_slice(&add.map(|r| r.0 + 1).unwrap_or(0).to_be_bytes());
+        out.extend_from_slice(&remove.map(|r| r.0 + 1).unwrap_or(0).to_be_bytes());
+        out
+    }
+}
+
+/// A checkpoint proof fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointMsg {
+    /// Last slot covered by the snapshot.
+    pub seq: SeqNo,
+    /// Digest of the service snapshot.
+    pub digest: Digest,
+}
+
+/// State-transfer reply: a stable checkpoint plus the decided suffix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CstReply {
+    /// Slot of the included checkpoint.
+    pub checkpoint_seq: SeqNo,
+    /// Snapshot digest (all repliers), snapshot bytes (one designated
+    /// replier — the BFT-SMaRt optimization of fetching the state once and
+    /// digests from the rest).
+    pub snapshot_digest: Digest,
+    /// The snapshot itself, when this replica was the designated sender.
+    pub snapshot: Option<Bytes>,
+    /// Decided batches after the checkpoint, in slot order.
+    pub suffix: Vec<(SeqNo, Batch)>,
+    /// Membership at the reply.
+    pub membership: Membership,
+    /// Current view at the reply.
+    pub view: View,
+}
+
+impl CstReply {
+    /// Digest summarizing the reply (checkpoint digest + suffix digests +
+    /// membership), used to cross-check `f + 1` replies.
+    pub fn summary_digest(&self) -> Digest {
+        let mut parts: Vec<Vec<u8>> = vec![
+            self.checkpoint_seq.0.to_be_bytes().to_vec(),
+            self.snapshot_digest.0.to_vec(),
+            self.membership.epoch.0.to_be_bytes().to_vec(),
+        ];
+        for r in &self.membership.replicas {
+            parts.push(r.0.to_be_bytes().to_vec());
+        }
+        for (seq, batch) in &self.suffix {
+            parts.push(seq.0.to_be_bytes().to_vec());
+            parts.push(batch.digest().0.to_vec());
+        }
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        Digest::of_parts(&refs)
+    }
+}
+
+/// Every replica-to-replica (and client-to-replica) message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A client request (possibly forwarded by another replica).
+    Request(Request),
+    /// A consensus-phase message.
+    Consensus {
+        /// Sending replica.
+        from: ReplicaId,
+        /// Phase payload.
+        msg: ConsensusMsg,
+    },
+    /// Checkpoint announcement.
+    Checkpoint {
+        /// Sending replica.
+        from: ReplicaId,
+        /// Proof fragment.
+        msg: CheckpointMsg,
+    },
+    /// Leader-change: `STOP` — the sender asks to move past `view`.
+    Stop {
+        /// Sending replica.
+        from: ReplicaId,
+        /// The view being abandoned.
+        view: View,
+    },
+    /// Leader-change: `STOP-DATA` — the sender reports its prepared state to
+    /// the leader of `new_view`.
+    StopData {
+        /// Sending replica.
+        from: ReplicaId,
+        /// The view being installed.
+        new_view: View,
+        /// Highest slot decided by the sender.
+        last_decided: SeqNo,
+        /// The sender's write certificate for the in-flight slot, if any.
+        prepared: Option<WriteCertificate>,
+    },
+    /// Leader-change: `SYNC` — the new leader's installation message.
+    Sync {
+        /// Sending replica (the new leader).
+        from: ReplicaId,
+        /// The view being installed.
+        new_view: View,
+        /// The value that must be re-proposed first, if any (the highest
+        /// write certificate among 2f+1 STOP-DATA messages).
+        repropose: Option<WriteCertificate>,
+    },
+    /// State-transfer request: the sender wants everything after `from_seq`.
+    CstRequest {
+        /// Requesting replica.
+        from: ReplicaId,
+        /// Last slot the requester has applied.
+        from_seq: SeqNo,
+        /// Whether the receiver is the designated full-state sender.
+        want_snapshot: bool,
+    },
+    /// State-transfer reply.
+    CstReply {
+        /// Replying replica.
+        from: ReplicaId,
+        /// Payload.
+        reply: Box<CstReply>,
+    },
+    /// A controller-issued reconfiguration (enters the total order like a
+    /// request).
+    Reconfig(ReconfigCommand),
+}
+
+impl Message {
+    /// Short label for logs and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Message::Request(_) => "REQUEST",
+            Message::Consensus { msg: ConsensusMsg::Propose { .. }, .. } => "PROPOSE",
+            Message::Consensus { msg: ConsensusMsg::Write { .. }, .. } => "WRITE",
+            Message::Consensus { msg: ConsensusMsg::Accept { .. }, .. } => "ACCEPT",
+            Message::Checkpoint { .. } => "CHECKPOINT",
+            Message::Stop { .. } => "STOP",
+            Message::StopData { .. } => "STOP-DATA",
+            Message::Sync { .. } => "SYNC",
+            Message::CstRequest { .. } => "CST-REQUEST",
+            Message::CstReply { .. } => "CST-REPLY",
+            Message::Reconfig(_) => "RECONFIG",
+        }
+    }
+
+    /// Approximate wire size in bytes (drives the performance model of the
+    /// testbed; exact serialization is not required for the simulation).
+    pub fn wire_size(&self) -> usize {
+        const HEADER: usize = 48; // ids, view/seq numbers, tag
+        match self {
+            Message::Request(r) => HEADER + r.payload.len(),
+            Message::Consensus { msg: ConsensusMsg::Propose { batch, .. }, .. } => {
+                HEADER + batch.requests.iter().map(|r| 48 + r.payload.len()).sum::<usize>()
+            }
+            Message::Consensus { .. } => HEADER + 32,
+            Message::Checkpoint { .. } => HEADER + 40,
+            Message::Stop { .. } => HEADER,
+            Message::StopData { prepared, .. } => {
+                HEADER
+                    + prepared
+                        .as_ref()
+                        .map(|c| c.batch.requests.iter().map(|r| 48 + r.payload.len()).sum::<usize>())
+                        .unwrap_or(0)
+            }
+            Message::Sync { repropose, .. } => {
+                HEADER
+                    + repropose
+                        .as_ref()
+                        .map(|c| c.batch.requests.iter().map(|r| 48 + r.payload.len()).sum::<usize>())
+                        .unwrap_or(0)
+            }
+            Message::CstRequest { .. } => HEADER,
+            Message::CstReply { from: _, reply } => {
+                HEADER
+                    + reply.snapshot.as_ref().map(Bytes::len).unwrap_or(32)
+                    + reply
+                        .suffix
+                        .iter()
+                        .map(|(_, b)| b.requests.iter().map(|r| 48 + r.payload.len()).sum::<usize>())
+                        .sum::<usize>()
+            }
+            Message::Reconfig(_) => HEADER + 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypto::Keyring;
+
+    fn request(client: u64, op: u64, payload: &[u8]) -> Request {
+        let ring = Keyring::new(b"test");
+        Request {
+            client: ClientId(client),
+            op,
+            payload: Bytes::copy_from_slice(payload),
+            tag: ring.sign(
+                crate::crypto::Principal::Client(client),
+                &Request::auth_bytes(ClientId(client), op, payload),
+            ),
+        }
+    }
+
+    #[test]
+    fn request_digest_depends_on_content() {
+        let a = request(1, 1, b"x");
+        let b = request(1, 1, b"y");
+        let c = request(1, 2, b"x");
+        let d = request(2, 1, b"x");
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        assert_ne!(a.digest(), d.digest());
+        assert_eq!(a.digest(), request(1, 1, b"x").digest());
+    }
+
+    #[test]
+    fn batch_digest_is_order_sensitive() {
+        let a = request(1, 1, b"x");
+        let b = request(2, 1, b"y");
+        let ab = Batch { requests: vec![a.clone(), b.clone()] };
+        let ba = Batch { requests: vec![b, a] };
+        assert_ne!(ab.digest(), ba.digest());
+        assert!(!ab.is_empty());
+        assert_eq!(ab.len(), 2);
+        assert!(Batch::default().is_empty());
+    }
+
+    #[test]
+    fn consensus_accessors() {
+        let m = ConsensusMsg::Write { view: View(3), seq: SeqNo(7), digest: Digest::ZERO };
+        assert_eq!(m.seq(), SeqNo(7));
+        assert_eq!(m.view(), View(3));
+    }
+
+    #[test]
+    fn labels_and_sizes() {
+        let r = request(1, 1, &[0u8; 100]);
+        let msg = Message::Request(r.clone());
+        assert_eq!(msg.label(), "REQUEST");
+        assert!(msg.wire_size() >= 100);
+        let propose = Message::Consensus {
+            from: ReplicaId(0),
+            msg: ConsensusMsg::Propose {
+                view: View(0),
+                seq: SeqNo(1),
+                batch: Batch { requests: vec![r] },
+            },
+        };
+        assert_eq!(propose.label(), "PROPOSE");
+        assert!(propose.wire_size() > msg.wire_size());
+        let write = Message::Consensus {
+            from: ReplicaId(0),
+            msg: ConsensusMsg::Write { view: View(0), seq: SeqNo(1), digest: Digest::ZERO },
+        };
+        assert!(write.wire_size() < propose.wire_size());
+    }
+
+    #[test]
+    fn reconfig_auth_bytes_distinguish_commands() {
+        let a = ReconfigCommand::auth_bytes(Epoch(0), Some(ReplicaId(4)), Some(ReplicaId(1)));
+        let b = ReconfigCommand::auth_bytes(Epoch(0), Some(ReplicaId(1)), Some(ReplicaId(4)));
+        let c = ReconfigCommand::auth_bytes(Epoch(1), Some(ReplicaId(4)), Some(ReplicaId(1)));
+        let d = ReconfigCommand::auth_bytes(Epoch(0), None, None);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn cst_summary_digest_detects_divergence() {
+        let membership = Membership::new(Epoch(0), (0..4).map(ReplicaId).collect());
+        let base = CstReply {
+            checkpoint_seq: SeqNo(10),
+            snapshot_digest: Digest::of(b"state"),
+            snapshot: None,
+            suffix: vec![(SeqNo(11), Batch { requests: vec![request(1, 1, b"x")] })],
+            membership: membership.clone(),
+            view: View(0),
+        };
+        let same_with_snapshot =
+            CstReply { snapshot: Some(Bytes::from_static(b"full state")), ..base.clone() };
+        // the summary covers content, not who shipped the snapshot bytes
+        assert_eq!(base.summary_digest(), same_with_snapshot.summary_digest());
+        let diverged = CstReply { snapshot_digest: Digest::of(b"other"), ..base.clone() };
+        assert_ne!(base.summary_digest(), diverged.summary_digest());
+        let longer = CstReply {
+            suffix: vec![
+                (SeqNo(11), Batch { requests: vec![request(1, 1, b"x")] }),
+                (SeqNo(12), Batch::default()),
+            ],
+            ..base.clone()
+        };
+        assert_ne!(base.summary_digest(), longer.summary_digest());
+    }
+}

@@ -1,0 +1,1269 @@
+//! The replica state machine.
+//!
+//! A Mod-SMaRt-style replica: sequential consensus slots (PROPOSE → WRITE →
+//! ACCEPT with Byzantine quorums), request watchdogs that escalate to a
+//! leader change (STOP / STOP-DATA / SYNC), quorum-stable checkpoints with
+//! log trimming, state transfer for joining or lagging replicas, and
+//! controller-signed replica-set reconfiguration — the feature Lazarus
+//! drives (add the new replica, then remove the quarantined one, §7.3).
+//!
+//! The replica is a *pure state machine*: every input (`on_message`,
+//! `on_client_request`, `on_timer`) returns a list of [`Action`]s for the
+//! embedding runtime to perform. This keeps the protocol deterministic and
+//! lets the same code run under the discrete-event testbed (virtual time)
+//! and the threaded runtime (wall-clock benches).
+//!
+//! # Simplifications vs. a hardened deployment
+//!
+//! * Message authentication uses pairwise MACs from the simulated
+//!   [`Keyring`](crate::crypto::Keyring); leader-change certificates are
+//!   accepted from quorum counting without per-vote signatures.
+//! * The client-reply cache is not carried by state transfer, so a freshly
+//!   transferred replica may re-execute one in-flight duplicate per client
+//!   (clients filter by `op`, so this is invisible to callers).
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use bytes::Bytes;
+
+use crate::consensus::Instance;
+use crate::crypto::{Digest, Keyring, Principal};
+use crate::log::{Checkpoint, DecidedLog};
+use crate::messages::{
+    Batch, CheckpointMsg, ConsensusMsg, CstReply, Message, ReconfigCommand, Reply, Request,
+    WriteCertificate,
+};
+use crate::service::Service;
+use crate::types::{ClientId, Epoch, Membership, ReplicaId, SeqNo, View};
+
+/// The pseudo-client identity under which reconfiguration commands enter
+/// the total order.
+pub const CONTROLLER_CLIENT: ClientId = ClientId(u64::MAX);
+
+/// Timers a replica may arm; durations are chosen by the runtime from the
+/// hint carried in [`Action::SetTimer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimerId {
+    /// Request watchdog (escalates to forwarding, then to a leader change).
+    Request,
+    /// Waiting for the new leader's SYNC after a view change.
+    Sync,
+    /// State-transfer retry.
+    Cst,
+}
+
+/// Effects requested by the state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Send a protocol message to another replica.
+    Send(ReplicaId, Message),
+    /// Send a reply to a client.
+    SendClient(ClientId, Reply),
+    /// Arm (or re-arm) a timer after the given logical duration.
+    SetTimer(TimerId, u64),
+    /// Cancel a timer.
+    CancelTimer(TimerId),
+    /// A slot was executed (`seq`, number of requests) — for metrics.
+    Executed(SeqNo, usize),
+    /// The membership changed (reconfiguration executed).
+    EpochChanged(Membership),
+    /// This replica was removed from the membership and stopped.
+    Retired,
+    /// This replica finished a state transfer at the given slot.
+    StateTransferred(SeqNo),
+}
+
+/// Liveness/participation status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Normal operation.
+    Active,
+    /// Fetching state (joining or recovering from a gap).
+    StateTransfer,
+    /// Removed from the membership.
+    Retired,
+}
+
+/// Static replica configuration.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// This replica's identity.
+    pub id: ReplicaId,
+    /// Initial membership.
+    pub membership: Membership,
+    /// Checkpoint cadence in slots.
+    pub checkpoint_period: u64,
+    /// Maximum requests per proposed batch.
+    pub max_batch: usize,
+    /// Watchdog period hint (logical time units).
+    pub request_timeout: u64,
+    /// Slot gap that triggers a state transfer.
+    pub cst_gap: u64,
+    /// Deployment master secret for the keyring.
+    pub master_secret: Vec<u8>,
+    /// Start in joining mode (fetch state before participating).
+    pub join: bool,
+}
+
+impl ReplicaConfig {
+    /// A sensible default configuration for `id` in `membership`.
+    pub fn new(id: ReplicaId, membership: Membership) -> ReplicaConfig {
+        ReplicaConfig {
+            id,
+            membership,
+            checkpoint_period: 1000,
+            max_batch: 400,
+            request_timeout: 200,
+            cst_gap: 2000,
+            master_secret: b"lazarus-deployment".to_vec(),
+            join: false,
+        }
+    }
+}
+
+/// In-progress state transfer bookkeeping.
+#[derive(Debug)]
+struct CstState {
+    summaries: HashMap<ReplicaId, Digest>,
+    full: Option<CstReply>,
+    designee: usize,
+}
+
+/// The replica state machine (generic over the replicated [`Service`]).
+pub struct Replica<S: Service> {
+    cfg: ReplicaConfig,
+    keyring: Keyring,
+    service: S,
+    membership: Membership,
+    view: View,
+    status: Status,
+
+    // Request handling. Digests are cached alongside each queued request —
+    // SHA-256 recomputation on every scan dominates profiles otherwise.
+    pending: VecDeque<(Digest, Request)>,
+    pending_digests: HashSet<Digest>,
+    last_replies: HashMap<ClientId, (u64, Reply)>,
+    watchdog_strikes: u8,
+    executed_at_last_strike: SeqNo,
+
+    // Ordering.
+    log: DecidedLog,
+    insts: BTreeMap<u64, Instance>,
+    last_decided: SeqNo,
+    future: BTreeMap<u64, Vec<(ReplicaId, ConsensusMsg)>>,
+
+    // Leader change.
+    stops: HashMap<u64, HashSet<ReplicaId>>,
+    stop_datas: HashMap<u64, HashMap<ReplicaId, (SeqNo, Option<WriteCertificate>)>>,
+    sent_stop_for: Option<View>,
+
+    // State transfer.
+    cst: Option<CstState>,
+}
+
+impl<S: Service> std::fmt::Debug for Replica<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("id", &self.cfg.id)
+            .field("view", &self.view)
+            .field("epoch", &self.membership.epoch)
+            .field("status", &self.status)
+            .field("last_decided", &self.last_decided)
+            .finish()
+    }
+}
+
+impl<S: Service> Replica<S> {
+    /// Creates the replica. Joining replicas immediately request state.
+    pub fn new(cfg: ReplicaConfig, service: S) -> (Replica<S>, Vec<Action>) {
+        let keyring = Keyring::new(&cfg.master_secret);
+        let genesis = service.snapshot();
+        let membership = cfg.membership.clone();
+        let status = if cfg.join { Status::StateTransfer } else { Status::Active };
+        let log = DecidedLog::new(cfg.checkpoint_period, genesis);
+        let mut replica = Replica {
+            cfg,
+            keyring,
+            service,
+            membership,
+            view: View(0),
+            status,
+            pending: VecDeque::new(),
+            pending_digests: HashSet::new(),
+            last_replies: HashMap::new(),
+            watchdog_strikes: 0,
+            executed_at_last_strike: SeqNo(0),
+            log,
+            insts: BTreeMap::new(),
+            last_decided: SeqNo(0),
+            future: BTreeMap::new(),
+            stops: HashMap::new(),
+            stop_datas: HashMap::new(),
+            sent_stop_for: None,
+            cst: None,
+        };
+        let mut actions = Vec::new();
+        if replica.cfg().join {
+            replica.start_cst(&mut actions);
+        } else {
+            actions.push(Action::SetTimer(TimerId::Request, replica.cfg.request_timeout));
+        }
+        (replica, actions)
+    }
+
+    /// The static configuration.
+    pub fn cfg(&self) -> &ReplicaConfig {
+        &self.cfg
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.cfg.id
+    }
+
+    /// Current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// Current membership.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Participation status.
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// Highest contiguously decided (and executed) slot.
+    pub fn last_decided(&self) -> SeqNo {
+        self.last_decided
+    }
+
+    /// Read access to the replicated service.
+    pub fn service(&self) -> &S {
+        &self.service
+    }
+
+    /// Read access to the decided log.
+    pub fn decided_log(&self) -> &DecidedLog {
+        &self.log
+    }
+
+    /// True when this replica currently leads.
+    pub fn is_leader(&self) -> bool {
+        self.membership.leader(self.view) == self.cfg.id
+    }
+
+    // -----------------------------------------------------------------
+    // Inputs
+    // -----------------------------------------------------------------
+
+    /// Handles a client request arriving at this replica.
+    pub fn on_client_request(&mut self, request: Request) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.enqueue_request(request, &mut actions);
+        self.maybe_propose(&mut actions);
+        actions
+    }
+
+    /// Handles a protocol message.
+    pub fn on_message(&mut self, message: Message) -> Vec<Action> {
+        if self.status == Status::Retired {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        match message {
+            Message::Request(request) => {
+                self.enqueue_request(request, &mut actions);
+                self.maybe_propose(&mut actions);
+            }
+            Message::Consensus { from, msg } => {
+                self.on_consensus(from, msg, &mut actions);
+            }
+            Message::Checkpoint { from, msg } => {
+                self.on_checkpoint(from, msg);
+            }
+            Message::Stop { from, view } => {
+                self.on_stop(from, view, &mut actions);
+            }
+            Message::StopData { from, new_view, last_decided, prepared } => {
+                self.on_stop_data(from, new_view, last_decided, prepared, &mut actions);
+            }
+            Message::Sync { from, new_view, repropose } => {
+                self.on_sync(from, new_view, repropose, &mut actions);
+            }
+            Message::CstRequest { from, from_seq, want_snapshot } => {
+                self.on_cst_request(from, from_seq, want_snapshot, &mut actions);
+            }
+            Message::CstReply { from, reply } => {
+                self.on_cst_reply(from, *reply, &mut actions);
+            }
+            Message::Reconfig(cmd) => {
+                self.on_reconfig_command(cmd, &mut actions);
+            }
+        }
+        actions
+    }
+
+    /// Handles a timer expiry.
+    pub fn on_timer(&mut self, timer: TimerId) -> Vec<Action> {
+        if self.status == Status::Retired {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        match timer {
+            TimerId::Request => self.on_request_timer(&mut actions),
+            TimerId::Sync => {
+                // The new leader never sent SYNC — stop again.
+                if self.status == Status::Active {
+                    self.trigger_stop(&mut actions);
+                }
+            }
+            TimerId::Cst => {
+                if self.status == Status::StateTransfer {
+                    // Rotate the designated snapshot sender and retry.
+                    let designee = self.cst.as_ref().map(|c| c.designee + 1).unwrap_or(0);
+                    self.cst = None;
+                    self.start_cst_with_designee(designee, &mut actions);
+                }
+            }
+        }
+        actions
+    }
+
+    // -----------------------------------------------------------------
+    // Requests and proposals
+    // -----------------------------------------------------------------
+
+    fn enqueue_request(&mut self, request: Request, _actions: &mut [Action]) {
+        // Authentication: reject forged client tags.
+        let principal = if request.client == CONTROLLER_CLIENT {
+            Principal::Controller
+        } else {
+            Principal::Client(request.client.0)
+        };
+        let bytes = Request::auth_bytes(request.client, request.op, &request.payload);
+        if !self.keyring.verify(principal, &bytes, &request.tag) {
+            return;
+        }
+        // Drop already-answered or queued duplicates.
+        if let Some((last_op, _)) = self.last_replies.get(&request.client) {
+            if request.op <= *last_op && request.client != CONTROLLER_CLIENT {
+                return;
+            }
+        }
+        let digest = request.digest();
+        if self.pending_digests.contains(&digest) {
+            return;
+        }
+        self.pending_digests.insert(digest);
+        self.pending.push_back((digest, request));
+    }
+
+    fn open_slot(&self) -> SeqNo {
+        self.last_decided.next()
+    }
+
+    fn instance(&mut self, seq: SeqNo) -> &mut Instance {
+        let view = self.view;
+        self.insts.entry(seq.0).or_insert_with(|| Instance::new(seq, view))
+    }
+
+    fn maybe_propose(&mut self, actions: &mut Vec<Action>) {
+        if self.status != Status::Active || !self.is_leader() || self.pending.is_empty() {
+            return;
+        }
+        let seq = self.open_slot();
+        let view = self.view;
+        if self.instance(seq).batch.is_some() {
+            return; // a proposal is already in flight
+        }
+        let take = self.cfg.max_batch.min(self.pending.len());
+        let requests: Vec<Request> =
+            self.pending.iter().take(take).map(|(_, r)| r.clone()).collect();
+        let batch = Batch { requests };
+        let msg = ConsensusMsg::Propose { view, seq, batch: batch.clone() };
+        self.broadcast_consensus(msg.clone(), actions);
+        self.handle_consensus_local(self.cfg.id, msg, actions);
+    }
+
+    fn broadcast_consensus(&self, msg: ConsensusMsg, actions: &mut Vec<Action>) {
+        for peer in self.membership.others(self.cfg.id) {
+            actions.push(Action::Send(peer, Message::Consensus { from: self.cfg.id, msg: msg.clone() }));
+        }
+    }
+
+    fn on_consensus(&mut self, from: ReplicaId, msg: ConsensusMsg, actions: &mut Vec<Action>) {
+        let seq = msg.seq();
+        if seq <= self.last_decided {
+            return; // stale
+        }
+        if self.status == Status::StateTransfer {
+            // Keep the evidence; it is replayed after the transfer.
+            self.future.entry(seq.0).or_default().push((from, msg));
+            return;
+        }
+        if self.status != Status::Active || !self.membership.contains(from) {
+            return;
+        }
+        if seq.0 > self.open_slot().0 {
+            // Ahead of us: buffer. If the cluster is provably past our open
+            // slot (f+1 distinct senders vouch for a future slot — at least
+            // one of them is correct) or the gap is large, transfer state.
+            self.future.entry(seq.0).or_default().push((from, msg));
+            let distinct: HashSet<ReplicaId> = self
+                .future
+                .get(&seq.0)
+                .map(|v| v.iter().map(|(f, _)| *f).collect())
+                .unwrap_or_default();
+            if distinct.len() > self.membership.f()
+                || seq.0 > self.last_decided.0 + self.cfg.cst_gap
+            {
+                self.start_cst(actions);
+            }
+            return;
+        }
+        self.handle_consensus_local(from, msg, actions);
+    }
+
+    /// Core consensus handling for the open slot (assumes `seq` is open).
+    fn handle_consensus_local(
+        &mut self,
+        from: ReplicaId,
+        msg: ConsensusMsg,
+        actions: &mut Vec<Action>,
+    ) {
+        let seq = msg.seq();
+        let view = self.view;
+        match msg {
+            ConsensusMsg::Propose { view: pview, seq, batch } => {
+                if pview != view {
+                    return;
+                }
+                // Only the leader of the view may propose.
+                if from != self.membership.leader(view) {
+                    return;
+                }
+                let inst = self.instance(seq);
+                if !inst.set_proposal(pview, batch) {
+                    return; // equivocation
+                }
+            }
+            ConsensusMsg::Write { view: wview, seq, digest } => {
+                self.instance(seq).on_write(from, wview, digest);
+            }
+            ConsensusMsg::Accept { view: aview, seq, digest } => {
+                self.instance(seq).on_accept(from, aview, digest);
+            }
+        }
+        self.try_advance(seq, actions);
+    }
+
+    /// Drives the open slot through its phases as evidence accumulates.
+    fn try_advance(&mut self, seq: SeqNo, actions: &mut Vec<Action>) {
+        if seq != self.open_slot() {
+            return;
+        }
+        let quorum = self.membership.quorum();
+        let view = self.view;
+        let me = self.cfg.id;
+
+        let inst = match self.insts.get_mut(&seq.0) {
+            Some(i) => i,
+            None => return,
+        };
+        if inst.view != view || inst.decided {
+            return;
+        }
+        let digest = match inst.digest {
+            Some(d) => d,
+            None => return, // no proposal yet
+        };
+        // Phase 1 → 2: echo the proposal.
+        if !inst.sent_write {
+            inst.sent_write = true;
+            inst.on_write(me, view, digest);
+            let msg = ConsensusMsg::Write { view, seq, digest };
+            self.broadcast_consensus(msg, actions);
+            // fallthrough to re-check quorums with our own vote
+        }
+        let inst = self.insts.get_mut(&seq.0).expect("instance exists");
+        // Phase 2 → 3: write quorum observed.
+        if !inst.sent_accept && inst.write_votes() >= quorum {
+            inst.sent_accept = true;
+            inst.on_accept(me, view, digest);
+            let msg = ConsensusMsg::Accept { view, seq, digest };
+            self.broadcast_consensus(msg, actions);
+        }
+        let inst = self.insts.get_mut(&seq.0).expect("instance exists");
+        // Decision.
+        if inst.accept_votes() >= quorum && inst.batch.is_some() {
+            inst.decided = true;
+            let batch = inst.batch.clone().expect("checked");
+            self.decide(seq, batch, actions);
+        }
+    }
+
+    /// Applies a decided slot: log append, checkpointing, execution, and
+    /// opening the next slot.
+    fn decide(&mut self, seq: SeqNo, batch: Batch, actions: &mut Vec<Action>) {
+        debug_assert_eq!(seq, self.open_slot());
+        let checkpoint_due = self.log.append(seq, batch.clone());
+        self.execute_batch(seq, &batch, actions);
+        self.last_decided = seq;
+        self.insts.remove(&seq.0);
+        if checkpoint_due {
+            let snapshot = self.service.snapshot();
+            let digest = self.log.local_checkpoint(seq, snapshot);
+            let msg = CheckpointMsg { seq, digest };
+            for peer in self.membership.others(self.cfg.id) {
+                actions.push(Action::Send(peer, Message::Checkpoint { from: self.cfg.id, msg: msg.clone() }));
+            }
+            // Count our own vote.
+            let quorum = self.membership.quorum();
+            self.log.on_checkpoint_vote(self.cfg.id, seq, digest, quorum);
+        }
+        // Progress resets the watchdog escalation (and its baseline, so the
+        // next timer tick doesn't see stale progress).
+        self.watchdog_strikes = 0;
+        self.executed_at_last_strike = seq;
+
+        // Open the next slot and replay buffered messages for it.
+        let next = self.open_slot();
+        if let Some(buffered) = self.future.remove(&next.0) {
+            for (from, msg) in buffered {
+                self.handle_consensus_local(from, msg, actions);
+            }
+        }
+        self.maybe_propose(actions);
+    }
+
+    fn execute_batch(&mut self, seq: SeqNo, batch: &Batch, actions: &mut Vec<Action>) {
+        let mut executed = 0usize;
+        for request in &batch.requests {
+            let digest = request.digest();
+            if self.pending_digests.remove(&digest) {
+                if let Some(pos) = self.pending.iter().position(|(d, _)| *d == digest) {
+                    self.pending.remove(pos);
+                }
+            }
+            if request.client == CONTROLLER_CLIENT {
+                self.apply_reconfig_payload(&request.payload, actions);
+                executed += 1;
+                continue;
+            }
+            // At-most-once execution per (client, op).
+            if let Some((last_op, reply)) = self.last_replies.get(&request.client) {
+                if request.op < *last_op {
+                    continue;
+                }
+                if request.op == *last_op {
+                    actions.push(Action::SendClient(request.client, reply.clone()));
+                    continue;
+                }
+            }
+            let result = self.service.execute(request.client, &request.payload);
+            executed += 1;
+            let reply = self.make_reply(request.op, result);
+            self.last_replies.insert(request.client, (request.op, reply.clone()));
+            if self.status != Status::StateTransfer {
+                actions.push(Action::SendClient(request.client, reply));
+            }
+        }
+        actions.push(Action::Executed(seq, executed));
+    }
+
+    fn make_reply(&self, op: u64, result: Bytes) -> Reply {
+        let mut bytes = Vec::with_capacity(16 + result.len());
+        bytes.extend_from_slice(&op.to_be_bytes());
+        bytes.extend_from_slice(&result);
+        let tag = self.keyring.sign(Principal::Replica(self.cfg.id.0), &bytes);
+        Reply { from: self.cfg.id, op, result, epoch: self.membership.epoch, tag }
+    }
+
+    // -----------------------------------------------------------------
+    // Watchdog / leader change
+    // -----------------------------------------------------------------
+
+    fn on_request_timer(&mut self, actions: &mut Vec<Action>) {
+        actions.push(Action::SetTimer(TimerId::Request, self.cfg.request_timeout));
+        if self.status != Status::Active || self.pending.is_empty() {
+            self.watchdog_strikes = 0;
+            return;
+        }
+        let progressed = self.last_decided > self.executed_at_last_strike;
+        self.executed_at_last_strike = self.last_decided;
+        if progressed {
+            self.watchdog_strikes = 0;
+            return;
+        }
+        self.watchdog_strikes = self.watchdog_strikes.saturating_add(1);
+        match self.watchdog_strikes {
+            1 => {
+                // First strike: forward pending requests to the leader.
+                let leader = self.membership.leader(self.view);
+                if leader != self.cfg.id {
+                    for (_, request) in self.pending.iter().take(self.cfg.max_batch) {
+                        actions.push(Action::Send(leader, Message::Request(request.clone())));
+                    }
+                } else {
+                    self.maybe_propose(actions);
+                }
+            }
+            _ => {
+                // Second strike: the leader is faulty — change it.
+                self.trigger_stop(actions);
+                self.watchdog_strikes = 0;
+            }
+        }
+    }
+
+    fn trigger_stop(&mut self, actions: &mut Vec<Action>) {
+        let view = self.view;
+        if self.sent_stop_for.is_some_and(|v| v >= view) {
+            return;
+        }
+        self.sent_stop_for = Some(view);
+        for peer in self.membership.others(self.cfg.id) {
+            actions.push(Action::Send(peer, Message::Stop { from: self.cfg.id, view }));
+        }
+        self.record_stop(self.cfg.id, view, actions);
+    }
+
+    fn on_stop(&mut self, from: ReplicaId, view: View, actions: &mut Vec<Action>) {
+        if self.status != Status::Active || !self.membership.contains(from) || view < self.view {
+            return;
+        }
+        self.record_stop(from, view, actions);
+    }
+
+    fn record_stop(&mut self, from: ReplicaId, view: View, actions: &mut Vec<Action>) {
+        let votes = self.stops.entry(view.0).or_default();
+        votes.insert(from);
+        let count = votes.len();
+        let f = self.membership.f();
+        if count >= f + 1 && view == self.view && self.sent_stop_for.is_none_or(|v| v < view) {
+            // Join the stop wave (Mod-SMaRt's f+1 amplification).
+            self.sent_stop_for = Some(view);
+            for peer in self.membership.others(self.cfg.id) {
+                actions.push(Action::Send(peer, Message::Stop { from: self.cfg.id, view }));
+            }
+            let votes = self.stops.entry(view.0).or_default();
+            votes.insert(self.cfg.id);
+        }
+        let count = self.stops.get(&view.0).map(HashSet::len).unwrap_or(0);
+        if count >= self.membership.quorum() && view == self.view {
+            self.install_view(view.next(), actions);
+        }
+    }
+
+    fn install_view(&mut self, new_view: View, actions: &mut Vec<Action>) {
+        self.view = new_view;
+        self.stops.remove(&new_view.0.saturating_sub(1));
+        // Capture our write certificate *before* resetting the open slot —
+        // it is the evidence the new leader must respect.
+        let prepared = self.prepared_certificate();
+        let open = self.open_slot();
+        if let Some(inst) = self.insts.get_mut(&open.0) {
+            inst.reset_for_view(new_view);
+        }
+        let leader = self.membership.leader(new_view);
+        if leader == self.cfg.id {
+            let last_decided = self.last_decided;
+            let entry = self.stop_datas.entry(new_view.0).or_default();
+            entry.insert(self.cfg.id, (last_decided, prepared));
+            self.maybe_sync(new_view, actions);
+        } else {
+            actions.push(Action::Send(
+                leader,
+                Message::StopData {
+                    from: self.cfg.id,
+                    new_view,
+                    last_decided: self.last_decided,
+                    prepared,
+                },
+            ));
+            actions.push(Action::SetTimer(TimerId::Sync, self.cfg.request_timeout * 4));
+        }
+    }
+
+    fn on_stop_data(
+        &mut self,
+        from: ReplicaId,
+        new_view: View,
+        last_decided: SeqNo,
+        prepared: Option<WriteCertificate>,
+        actions: &mut Vec<Action>,
+    ) {
+        if self.status != Status::Active
+            || !self.membership.contains(from)
+            || self.membership.leader(new_view) != self.cfg.id
+            || new_view < self.view
+        {
+            return;
+        }
+        let entry = self.stop_datas.entry(new_view.0).or_default();
+        entry.insert(from, (last_decided, prepared));
+        if new_view == self.view {
+            self.maybe_sync(new_view, actions);
+        }
+    }
+
+    fn maybe_sync(&mut self, new_view: View, actions: &mut Vec<Action>) {
+        let quorum = self.membership.quorum();
+        let Some(reports) = self.stop_datas.get(&new_view.0) else { return };
+        if reports.len() < quorum {
+            return;
+        }
+        // If someone decided further than us, catch up first.
+        let max_decided = reports.values().map(|(d, _)| *d).max().unwrap_or(self.last_decided);
+        if max_decided > self.last_decided.next() {
+            self.start_cst(actions);
+            return;
+        }
+        // The value to re-propose: the highest-view certificate for our open
+        // slot among the reports.
+        let open = self.open_slot();
+        let repropose = reports
+            .values()
+            .filter_map(|(_, cert)| cert.as_ref())
+            .filter(|c| c.seq == open)
+            .max_by_key(|c| c.view)
+            .cloned();
+        self.stop_datas.remove(&new_view.0);
+        for peer in self.membership.others(self.cfg.id) {
+            actions.push(Action::Send(
+                peer,
+                Message::Sync { from: self.cfg.id, new_view, repropose: repropose.clone() },
+            ));
+        }
+        self.adopt_sync(new_view, repropose, actions);
+    }
+
+    fn on_sync(
+        &mut self,
+        from: ReplicaId,
+        new_view: View,
+        repropose: Option<WriteCertificate>,
+        actions: &mut Vec<Action>,
+    ) {
+        if self.status != Status::Active || new_view < self.view {
+            return;
+        }
+        if self.membership.leader(new_view) != from {
+            return;
+        }
+        actions.push(Action::CancelTimer(TimerId::Sync));
+        self.adopt_sync(new_view, repropose, actions);
+    }
+
+    fn adopt_sync(
+        &mut self,
+        new_view: View,
+        repropose: Option<WriteCertificate>,
+        actions: &mut Vec<Action>,
+    ) {
+        if new_view > self.view {
+            self.view = new_view;
+            let open = self.open_slot();
+            if let Some(inst) = self.insts.get_mut(&open.0) {
+                inst.reset_for_view(new_view);
+            }
+        }
+        if let Some(cert) = repropose {
+            if cert.seq == self.open_slot() {
+                let view = self.view;
+                let seq = cert.seq;
+                let inst = self.instance(seq);
+                inst.set_proposal(view, cert.batch);
+                self.try_advance(seq, actions);
+            }
+        }
+        self.maybe_propose(actions);
+    }
+
+    // -----------------------------------------------------------------
+    // Checkpointing
+    // -----------------------------------------------------------------
+
+    fn on_checkpoint(&mut self, from: ReplicaId, msg: CheckpointMsg) {
+        if !self.membership.contains(from) {
+            return;
+        }
+        let quorum = self.membership.quorum();
+        self.log.on_checkpoint_vote(from, msg.seq, msg.digest, quorum);
+    }
+
+    // -----------------------------------------------------------------
+    // State transfer
+    // -----------------------------------------------------------------
+
+    fn start_cst(&mut self, actions: &mut Vec<Action>) {
+        if self.cst.is_some() {
+            return;
+        }
+        self.start_cst_with_designee(0, actions);
+    }
+
+    fn start_cst_with_designee(&mut self, designee: usize, actions: &mut Vec<Action>) {
+        self.status = Status::StateTransfer;
+        let others: Vec<ReplicaId> = self.membership.others(self.cfg.id).collect();
+        if others.is_empty() {
+            return;
+        }
+        let designee = designee % others.len();
+        self.cst = Some(CstState { summaries: HashMap::new(), full: None, designee });
+        for (i, peer) in others.iter().enumerate() {
+            actions.push(Action::Send(
+                *peer,
+                Message::CstRequest {
+                    from: self.cfg.id,
+                    from_seq: self.last_decided,
+                    want_snapshot: i == designee,
+                },
+            ));
+        }
+        actions.push(Action::SetTimer(TimerId::Cst, self.cfg.request_timeout * 8));
+    }
+
+    fn on_cst_request(
+        &mut self,
+        from: ReplicaId,
+        _from_seq: SeqNo,
+        want_snapshot: bool,
+        actions: &mut Vec<Action>,
+    ) {
+        if self.status != Status::Active {
+            return;
+        }
+        let stable = self.log.stable_checkpoint();
+        let reply = CstReply {
+            checkpoint_seq: stable.seq,
+            snapshot_digest: stable.digest,
+            snapshot: want_snapshot.then(|| stable.snapshot.clone()),
+            suffix: self.log.suffix(stable.seq),
+            membership: self.membership.clone(),
+            view: self.view,
+        };
+        actions.push(Action::Send(from, Message::CstReply { from: self.cfg.id, reply: Box::new(reply) }));
+    }
+
+    fn on_cst_reply(&mut self, from: ReplicaId, reply: CstReply, actions: &mut Vec<Action>) {
+        if self.status != Status::StateTransfer {
+            return;
+        }
+        let Some(cst) = self.cst.as_mut() else { return };
+        let summary = reply.summary_digest();
+        cst.summaries.insert(from, summary);
+        if reply.snapshot.is_some() {
+            // Verify the shipped snapshot against its claimed digest.
+            if reply
+                .snapshot
+                .as_ref()
+                .is_some_and(|s| Digest::of(s) == reply.snapshot_digest)
+            {
+                cst.full = Some(reply);
+            }
+        }
+        let Some(full) = cst.full.clone() else { return };
+        let full_summary = full.summary_digest();
+        let matching = cst.summaries.values().filter(|&&s| s == full_summary).count();
+        // f+1 matching summaries (the full reply counts as one of them).
+        let f = full.membership.f();
+        if matching < f + 1 {
+            return;
+        }
+        // Install.
+        let snapshot = full.snapshot.clone().expect("full reply has the snapshot");
+        self.service.install(&snapshot);
+        self.membership = full.membership.clone();
+        self.view = full.view;
+        self.log.install(
+            Checkpoint {
+                seq: full.checkpoint_seq,
+                snapshot,
+                digest: full.snapshot_digest,
+            },
+            full.suffix.clone(),
+        );
+        self.last_decided = full.checkpoint_seq;
+        self.insts.clear();
+        self.cst = None;
+        // Replay the decided suffix through the service.
+        for (seq, batch) in full.suffix {
+            self.execute_batch(seq, &batch, actions);
+            self.last_decided = seq;
+        }
+        self.status = Status::Active;
+        actions.push(Action::CancelTimer(TimerId::Cst));
+        actions.push(Action::StateTransferred(self.last_decided));
+        actions.push(Action::SetTimer(TimerId::Request, self.cfg.request_timeout));
+        // Replay consensus traffic buffered during the transfer.
+        let last = self.last_decided;
+        self.future.retain(|&s, _| s > last.0);
+        let open = self.open_slot();
+        if let Some(buffered) = self.future.remove(&open.0) {
+            for (from, msg) in buffered {
+                if self.membership.contains(from) {
+                    self.handle_consensus_local(from, msg, actions);
+                }
+            }
+        }
+        self.maybe_propose(actions);
+    }
+
+    // -----------------------------------------------------------------
+    // Reconfiguration
+    // -----------------------------------------------------------------
+
+    /// Builds the ordered-request encoding of a reconfiguration command.
+    pub fn encode_reconfig(epoch: Epoch, add: Option<ReplicaId>, remove: Option<ReplicaId>) -> Bytes {
+        let mut out = Vec::with_capacity(12);
+        out.extend_from_slice(&epoch.0.to_be_bytes());
+        out.extend_from_slice(&add.map(|r| r.0 + 1).unwrap_or(0).to_be_bytes());
+        out.extend_from_slice(&remove.map(|r| r.0 + 1).unwrap_or(0).to_be_bytes());
+        Bytes::from(out)
+    }
+
+    fn decode_reconfig(payload: &[u8]) -> Option<(Epoch, Option<ReplicaId>, Option<ReplicaId>)> {
+        if payload.len() != 12 {
+            return None;
+        }
+        let word = |i: usize| u32::from_be_bytes([payload[i], payload[i + 1], payload[i + 2], payload[i + 3]]);
+        let epoch = Epoch(word(0));
+        let add = match word(4) {
+            0 => None,
+            v => Some(ReplicaId(v - 1)),
+        };
+        let remove = match word(8) {
+            0 => None,
+            v => Some(ReplicaId(v - 1)),
+        };
+        Some((epoch, add, remove))
+    }
+
+    fn on_reconfig_command(&mut self, cmd: ReconfigCommand, actions: &mut Vec<Action>) {
+        // Verify the controller's authorization.
+        let bytes = ReconfigCommand::auth_bytes(cmd.epoch, cmd.add, cmd.remove);
+        if !self.keyring.verify(Principal::Controller, &bytes, &cmd.tag) {
+            return;
+        }
+        if cmd.epoch != self.membership.epoch {
+            return; // stale or replayed
+        }
+        // Enter the total order as a controller request.
+        let payload = Self::encode_reconfig(cmd.epoch, cmd.add, cmd.remove);
+        let op = cmd.epoch.0 as u64 + 1;
+        let request = Request {
+            client: CONTROLLER_CLIENT,
+            op,
+            tag: self
+                .keyring
+                .sign(Principal::Controller, &Request::auth_bytes(CONTROLLER_CLIENT, op, &payload)),
+            payload,
+        };
+        self.enqueue_request(request, actions);
+        self.maybe_propose(actions);
+        // Non-leaders hand it to the leader immediately (no watchdog wait).
+        if !self.is_leader() {
+            let leader = self.membership.leader(self.view);
+            if let Some((_, r)) = self.pending.back().cloned() {
+                if r.client == CONTROLLER_CLIENT {
+                    actions.push(Action::Send(leader, Message::Request(r)));
+                }
+            }
+        }
+    }
+
+    fn apply_reconfig_payload(&mut self, payload: &[u8], actions: &mut Vec<Action>) {
+        let Some((epoch, add, remove)) = Self::decode_reconfig(payload) else {
+            return;
+        };
+        if epoch != self.membership.epoch {
+            return;
+        }
+        self.membership = self.membership.reconfigured(add, remove);
+        actions.push(Action::EpochChanged(self.membership.clone()));
+        if remove == Some(self.cfg.id) {
+            self.status = Status::Retired;
+            actions.push(Action::Retired);
+        }
+    }
+}
+
+impl<S: Service> Replica<S> {
+    /// Our write certificate for the open slot, if the ACCEPT phase was
+    /// reached (the value a new leader must re-propose).
+    fn prepared_certificate(&self) -> Option<WriteCertificate> {
+        self.insts.get(&self.open_slot().0).and_then(Instance::certificate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::testkit::{TestCluster, TEST_SECRET};
+
+    fn client(id: u64, cluster: &TestCluster) -> Client {
+        Client::new(ClientId(id), cluster.membership(), TEST_SECRET)
+    }
+
+    #[test]
+    fn normal_case_decides_and_replies() {
+        let mut cluster = TestCluster::new(4, 1000);
+        let mut c = client(1, &cluster);
+        let result = cluster.run_client_op(&mut c, b"ping");
+        assert_eq!(&result[..], b"ping");
+        // all four replicas executed slot 1
+        for id in 0..4 {
+            assert_eq!(cluster.replica(id).last_decided(), SeqNo(1));
+            assert_eq!(cluster.replica(id).service().executed(), 1);
+        }
+    }
+
+    #[test]
+    fn many_sequential_ops_stay_consistent() {
+        let mut cluster = TestCluster::new(4, 1000);
+        let mut c = client(1, &cluster);
+        for i in 0..20u32 {
+            let payload = i.to_be_bytes();
+            let result = cluster.run_client_op(&mut c, &payload);
+            assert_eq!(&result[..], &payload);
+        }
+        for id in 0..4 {
+            assert_eq!(cluster.replica(id).service().executed(), 20);
+        }
+    }
+
+    #[test]
+    fn multiple_clients_interleave() {
+        let mut cluster = TestCluster::new(4, 1000);
+        let mut c1 = client(1, &cluster);
+        let mut c2 = client(2, &cluster);
+        // launch both, then pump
+        for (to, m) in c1.invoke(Bytes::from_static(b"a")) {
+            cluster.inject(to, m);
+        }
+        for (to, m) in c2.invoke(Bytes::from_static(b"b")) {
+            cluster.inject(to, m);
+        }
+        cluster.run_to_quiescence();
+        let mut done = 0;
+        for (cid, reply) in std::mem::take(&mut cluster.client_replies) {
+            if cid == c1.id() && c1.on_reply(reply.clone()).is_some() {
+                done += 1;
+            } else if cid == c2.id() && c2.on_reply(reply).is_some() {
+                done += 1;
+            }
+        }
+        assert_eq!(done, 2);
+        // identical service state everywhere
+        let snap0 = cluster.replica(0).service().snapshot();
+        for id in 1..4 {
+            assert_eq!(cluster.replica(id).service().snapshot(), snap0);
+        }
+    }
+
+    #[test]
+    fn duplicate_request_executes_once() {
+        let mut cluster = TestCluster::new(4, 1000);
+        let mut c = client(1, &cluster);
+        let sends = c.invoke(Bytes::from_static(b"once"));
+        for (to, m) in sends.clone() {
+            cluster.inject(to, m);
+        }
+        // the same request injected again (e.g. a client retransmission)
+        for (to, m) in sends {
+            cluster.inject(to, m);
+        }
+        cluster.run_to_quiescence();
+        for id in 0..4 {
+            assert_eq!(cluster.replica(id).service().executed(), 1, "replica {id}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_stabilizes_and_trims() {
+        let mut cluster = TestCluster::new(4, 2);
+        let mut c = client(1, &cluster);
+        for _ in 0..5 {
+            cluster.run_client_op(&mut c, b"x");
+        }
+        for id in 0..4 {
+            let log = cluster.replica(id).decided_log();
+            assert_eq!(log.stable_checkpoint().seq, SeqNo(4), "replica {id}");
+            assert!(log.len() <= 1, "trimmed log, replica {id}");
+        }
+    }
+
+    #[test]
+    fn leader_crash_triggers_view_change_and_progress() {
+        let mut cluster = TestCluster::new(4, 1000);
+        let mut c = client(1, &cluster);
+        cluster.run_client_op(&mut c, b"before");
+        // Crash the view-0 leader (replica 0).
+        cluster.crash(0);
+        for (to, m) in c.invoke(Bytes::from_static(b"after")) {
+            cluster.inject(to, m);
+        }
+        cluster.run_to_quiescence();
+        // Watchdogs: first tick forwards to the (dead) leader…
+        cluster.fire_timers(TimerId::Request);
+        cluster.run_to_quiescence();
+        // …second tick stops the view.
+        cluster.fire_timers(TimerId::Request);
+        cluster.run_to_quiescence();
+        // Replicas 1..3 moved to view 1 and decided the request.
+        let mut completed = false;
+        for (cid, reply) in std::mem::take(&mut cluster.client_replies) {
+            if cid == c.id() && c.on_reply(reply).is_some() {
+                completed = true;
+            }
+        }
+        assert!(completed, "operation must complete under the new leader");
+        for id in 1..4 {
+            assert_eq!(cluster.replica(id).view(), View(1), "replica {id}");
+            assert_eq!(cluster.replica(id).last_decided(), SeqNo(2));
+            assert!(cluster.replica(id).is_leader() == (id == 1));
+        }
+    }
+
+    #[test]
+    fn lagging_replica_catches_up_via_state_transfer() {
+        let mut cluster = TestCluster::new(4, 2);
+        let mut c = client(1, &cluster);
+        cluster.run_client_op(&mut c, b"warm");
+        // Join a brand-new replica 9 that must fetch the state.
+        cluster.spawn_joiner(9, cluster.membership());
+        cluster.run_to_quiescence();
+        assert_eq!(cluster.replica(9).status(), Status::Active);
+        assert_eq!(cluster.replica(9).service().executed(), 1);
+        assert_eq!(cluster.replica(9).last_decided(), SeqNo(1));
+    }
+
+    #[test]
+    fn reconfiguration_add_then_remove() {
+        let mut cluster = TestCluster::new(4, 1000);
+        let mut c = client(1, &cluster);
+        cluster.run_client_op(&mut c, b"seed");
+
+        // The controller adds replica 4 (Lazarus: add first).
+        let keyring = Keyring::new(TEST_SECRET);
+        let add = ReconfigCommand {
+            epoch: Epoch(0),
+            add: Some(ReplicaId(4)),
+            remove: None,
+            tag: keyring.sign(
+                Principal::Controller,
+                &ReconfigCommand::auth_bytes(Epoch(0), Some(ReplicaId(4)), None),
+            ),
+        };
+        // Boot the joiner with the post-reconfig membership.
+        let new_membership = cluster.membership().reconfigured(Some(ReplicaId(4)), None);
+        cluster.spawn_joiner(4, new_membership.clone());
+        for id in 0..4 {
+            cluster.inject(ReplicaId(id), Message::Reconfig(add.clone()));
+        }
+        cluster.run_to_quiescence();
+        for id in 0..4 {
+            assert_eq!(cluster.replica(id).membership().epoch, Epoch(1), "replica {id}");
+            assert!(cluster.replica(id).membership().contains(ReplicaId(4)));
+            assert_eq!(cluster.replica(id).membership().n(), 5);
+        }
+        // The joiner transferred state and is active.
+        assert_eq!(cluster.replica(4).status(), Status::Active);
+
+        // Now remove replica 3 (Lazarus: quarantine the old one).
+        let remove = ReconfigCommand {
+            epoch: Epoch(1),
+            add: None,
+            remove: Some(ReplicaId(3)),
+            tag: keyring.sign(
+                Principal::Controller,
+                &ReconfigCommand::auth_bytes(Epoch(1), None, Some(ReplicaId(3))),
+            ),
+        };
+        for id in [0u32, 1, 2, 3, 4] {
+            cluster.inject(ReplicaId(id), Message::Reconfig(remove.clone()));
+        }
+        cluster.run_to_quiescence();
+        for id in [0u32, 1, 2, 4] {
+            assert_eq!(cluster.replica(id).membership().epoch, Epoch(2), "replica {id}");
+            assert!(!cluster.replica(id).membership().contains(ReplicaId(3)));
+            assert_eq!(cluster.replica(id).membership().n(), 4);
+        }
+        assert_eq!(cluster.replica(3).status(), Status::Retired);
+
+        // The reconfigured cluster still serves requests.
+        c.set_membership(cluster.replica(0).membership().clone());
+        let result = cluster.run_client_op(&mut c, b"post-reconfig");
+        assert_eq!(&result[..], b"post-reconfig");
+    }
+
+    #[test]
+    fn forged_reconfig_is_ignored() {
+        let mut cluster = TestCluster::new(4, 1000);
+        let forged = ReconfigCommand {
+            epoch: Epoch(0),
+            add: None,
+            remove: Some(ReplicaId(0)),
+            tag: crate::crypto::AuthTag([7; 32]),
+        };
+        for id in 0..4 {
+            cluster.inject(ReplicaId(id), Message::Reconfig(forged.clone()));
+        }
+        cluster.run_to_quiescence();
+        for id in 0..4 {
+            assert_eq!(cluster.replica(id).membership().epoch, Epoch(0));
+            assert_eq!(cluster.replica(id).membership().n(), 4);
+        }
+    }
+
+    #[test]
+    fn forged_client_request_is_ignored() {
+        let mut cluster = TestCluster::new(4, 1000);
+        let forged = Request {
+            client: ClientId(1),
+            op: 1,
+            payload: Bytes::from_static(b"evil"),
+            tag: crate::crypto::AuthTag([0; 32]),
+        };
+        for id in 0..4 {
+            cluster.inject(ReplicaId(id), Message::Request(forged.clone()));
+        }
+        cluster.run_to_quiescence();
+        for id in 0..4 {
+            assert_eq!(cluster.replica(id).service().executed(), 0);
+        }
+    }
+
+    #[test]
+    fn randomized_delivery_preserves_agreement() {
+        for seed in 0..10 {
+            let mut cluster = TestCluster::new(4, 5);
+            cluster.randomize_delivery(seed);
+            let mut c = client(1, &cluster);
+            for i in 0..8u32 {
+                let result = cluster.run_client_op(&mut c, &i.to_be_bytes());
+                assert_eq!(&result[..], &i.to_be_bytes());
+            }
+            let snap = cluster.replica(0).service().snapshot();
+            for id in 1..4 {
+                assert_eq!(cluster.replica(id).service().snapshot(), snap, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconfig_encoding_roundtrip() {
+        type R = Replica<crate::service::CounterService>;
+        let payload = R::encode_reconfig(Epoch(3), Some(ReplicaId(7)), None);
+        assert_eq!(R::decode_reconfig(&payload), Some((Epoch(3), Some(ReplicaId(7)), None)));
+        let payload = R::encode_reconfig(Epoch(0), None, Some(ReplicaId(0)));
+        assert_eq!(R::decode_reconfig(&payload), Some((Epoch(0), None, Some(ReplicaId(0)))));
+        assert_eq!(R::decode_reconfig(b"short"), None);
+    }
+}

@@ -1,0 +1,219 @@
+//! A minimal deterministic in-memory cluster for protocol testing.
+//!
+//! This is *not* the performance testbed (see `lazarus-testbed` for the
+//! discrete-event simulator with timing); it is a synchronous message pump
+//! used by unit, integration and property tests: actions go into a FIFO (or
+//! seeded-random) queue, crashed replicas drop their traffic, and timers
+//! fire only when the test says so. Determinism makes every failure
+//! reproducible from its seed.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::messages::{Message, Reply};
+use crate::replica::{Action, Replica, ReplicaConfig, TimerId};
+use crate::service::CounterService;
+use crate::types::{ClientId, Epoch, Membership, ReplicaId};
+
+/// The shared test master secret.
+pub const TEST_SECRET: &[u8] = b"lazarus-deployment";
+
+/// An in-memory cluster of [`CounterService`] replicas.
+pub struct TestCluster {
+    replicas: BTreeMap<u32, Replica<CounterService>>,
+    queue: VecDeque<(ReplicaId, Message)>,
+    /// Replies emitted to clients, in delivery order.
+    pub client_replies: Vec<(ClientId, Reply)>,
+    crashed: HashSet<ReplicaId>,
+    armed: HashSet<(ReplicaId, TimerId)>,
+    rng: Option<StdRng>,
+    /// Messages delivered so far (diagnostic).
+    pub delivered: usize,
+}
+
+impl std::fmt::Debug for TestCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TestCluster")
+            .field("replicas", &self.replicas.len())
+            .field("queued", &self.queue.len())
+            .field("crashed", &self.crashed)
+            .finish()
+    }
+}
+
+impl TestCluster {
+    /// A fresh cluster of `n` replicas with the given checkpoint period.
+    pub fn new(n: u32, checkpoint_period: u64) -> TestCluster {
+        let membership = Membership::new(Epoch(0), (0..n).map(ReplicaId).collect());
+        let mut cluster = TestCluster {
+            replicas: BTreeMap::new(),
+            queue: VecDeque::new(),
+            client_replies: Vec::new(),
+            crashed: HashSet::new(),
+            armed: HashSet::new(),
+            rng: None,
+            delivered: 0,
+        };
+        for id in 0..n {
+            let mut cfg = ReplicaConfig::new(ReplicaId(id), membership.clone());
+            cfg.checkpoint_period = checkpoint_period;
+            let (replica, actions) = Replica::new(cfg, CounterService::new());
+            cluster.replicas.insert(id, replica);
+            cluster.absorb(ReplicaId(id), actions);
+        }
+        cluster
+    }
+
+    /// Switches delivery order to seeded-random (for schedule exploration).
+    pub fn randomize_delivery(&mut self, seed: u64) {
+        self.rng = Some(StdRng::seed_from_u64(seed));
+    }
+
+    /// The default membership used by this cluster's clients.
+    pub fn membership(&self) -> Membership {
+        self.replicas
+            .values()
+            .next()
+            .map(|r| r.membership().clone())
+            .expect("cluster has replicas")
+    }
+
+    /// Access to a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica does not exist.
+    pub fn replica(&self, id: u32) -> &Replica<CounterService> {
+        &self.replicas[&id]
+    }
+
+    /// Marks a replica crashed: its queued and future traffic is dropped and
+    /// it takes no further steps.
+    pub fn crash(&mut self, id: u32) {
+        self.crashed.insert(ReplicaId(id));
+    }
+
+    /// Injects a message addressed to `to`.
+    pub fn inject(&mut self, to: ReplicaId, message: Message) {
+        self.queue.push_back((to, message));
+    }
+
+    /// Fires a timer on a live replica and absorbs the resulting actions.
+    /// Returns `true` if the timer was armed.
+    pub fn fire_timer(&mut self, id: u32, timer: TimerId) -> bool {
+        if self.crashed.contains(&ReplicaId(id)) {
+            return false;
+        }
+        if !self.armed.remove(&(ReplicaId(id), timer)) {
+            return false;
+        }
+        let actions = match self.replicas.get_mut(&id) {
+            Some(r) => r.on_timer(timer),
+            None => return false,
+        };
+        self.absorb(ReplicaId(id), actions);
+        true
+    }
+
+    /// Fires a timer on every live replica (e.g. a cluster-wide watchdog
+    /// tick).
+    pub fn fire_timers(&mut self, timer: TimerId) {
+        let ids: Vec<u32> = self.replicas.keys().copied().collect();
+        for id in ids {
+            self.fire_timer(id, timer);
+        }
+    }
+
+    fn absorb(&mut self, from: ReplicaId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send(to, message) => {
+                    if !self.crashed.contains(&from) {
+                        self.queue.push_back((to, message));
+                    }
+                }
+                Action::SendClient(client, reply) => {
+                    if !self.crashed.contains(&from) {
+                        self.client_replies.push((client, reply));
+                    }
+                }
+                Action::SetTimer(timer, _) => {
+                    self.armed.insert((from, timer));
+                }
+                Action::CancelTimer(timer) => {
+                    self.armed.remove(&(from, timer));
+                }
+                Action::Executed(..)
+                | Action::EpochChanged(_)
+                | Action::Retired
+                | Action::StateTransferred(_) => {}
+            }
+        }
+    }
+
+    /// Delivers one queued message. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let next = match &mut self.rng {
+            Some(rng) if self.queue.len() > 1 => {
+                let i = rng.gen_range(0..self.queue.len());
+                self.queue.swap_remove_back(i)
+            }
+            _ => self.queue.pop_front(),
+        };
+        let Some((to, message)) = next else { return false };
+        self.delivered += 1;
+        if self.crashed.contains(&to) {
+            return true;
+        }
+        let Some(replica) = self.replicas.get_mut(&to.0) else { return true };
+        let actions = replica.on_message(message);
+        self.absorb(to, actions);
+        true
+    }
+
+    /// Runs until no messages remain (bounded to avoid runaway loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics after a million deliveries — protocols must quiesce.
+    pub fn run_to_quiescence(&mut self) {
+        let mut steps = 0usize;
+        while self.step() {
+            steps += 1;
+            assert!(steps < 1_000_000, "cluster did not quiesce");
+        }
+    }
+
+    /// Adds a brand-new joining replica (status `StateTransfer`): it will
+    /// fetch state from the others. The caller is responsible for having the
+    /// controller reconfigure it into the membership.
+    pub fn spawn_joiner(&mut self, id: u32, membership: Membership) {
+        let mut cfg = ReplicaConfig::new(ReplicaId(id), membership);
+        cfg.join = true;
+        let (replica, actions) = Replica::new(cfg, CounterService::new());
+        self.replicas.insert(id, replica);
+        self.absorb(ReplicaId(id), actions);
+    }
+
+    /// Convenience: drive a full client operation to completion, asserting
+    /// it completes. Returns the agreed result.
+    pub fn run_client_op(&mut self, client: &mut crate::client::Client, payload: &[u8]) -> Bytes {
+        for (to, message) in client.invoke(Bytes::copy_from_slice(payload)) {
+            self.inject(to, message);
+        }
+        self.run_to_quiescence();
+        let mut done = None;
+        let replies = std::mem::take(&mut self.client_replies);
+        for (cid, reply) in replies {
+            if cid == client.id() {
+                if let Some(completion) = client.on_reply(reply) {
+                    done = Some(completion);
+                }
+            }
+        }
+        done.expect("operation should complete").result
+    }
+}

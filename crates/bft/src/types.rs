@@ -1,0 +1,215 @@
+//! Core identifier types of the replication library.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A replica identifier (stable across views and epochs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ReplicaId(pub u32);
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A client identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClientId(pub u64);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A consensus instance number (the slot in the total order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SeqNo(pub u64);
+
+impl SeqNo {
+    /// The next slot.
+    pub fn next(self) -> SeqNo {
+        SeqNo(self.0 + 1)
+    }
+}
+
+impl fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A leader-regency (view) number within a membership epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct View(pub u64);
+
+impl View {
+    /// The following view.
+    pub fn next(self) -> View {
+        View(self.0 + 1)
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A membership epoch: bumped by every reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Epoch(pub u32);
+
+impl Epoch {
+    /// The following epoch.
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The replica membership of one epoch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Membership {
+    /// Epoch this membership belongs to.
+    pub epoch: Epoch,
+    /// Member replicas, sorted by id.
+    pub replicas: Vec<ReplicaId>,
+}
+
+impl Membership {
+    /// Creates a membership; replicas are sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 4 replicas are given (BFT needs `n ≥ 3f + 1`
+    /// with `f ≥ 1`).
+    pub fn new(epoch: Epoch, mut replicas: Vec<ReplicaId>) -> Membership {
+        replicas.sort_unstable();
+        replicas.dedup();
+        assert!(replicas.len() >= 4, "membership needs at least 4 replicas");
+        Membership { epoch, replicas }
+    }
+
+    /// Number of replicas `n`.
+    pub fn n(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Fault threshold `f = ⌊(n − 1) / 3⌋`.
+    pub fn f(&self) -> usize {
+        (self.n() - 1) / 3
+    }
+
+    /// Byzantine quorum size `⌈(n + f + 1) / 2⌉` (equals `2f + 1` when
+    /// `n = 3f + 1`).
+    pub fn quorum(&self) -> usize {
+        (self.n() + self.f() + 1).div_ceil(2)
+    }
+
+    /// The leader of `view` (round-robin over members).
+    pub fn leader(&self, view: View) -> ReplicaId {
+        self.replicas[(view.0 % self.n() as u64) as usize]
+    }
+
+    /// Whether `id` is a member.
+    pub fn contains(&self, id: ReplicaId) -> bool {
+        self.replicas.binary_search(&id).is_ok()
+    }
+
+    /// Members other than `id`.
+    pub fn others(&self, id: ReplicaId) -> impl Iterator<Item = ReplicaId> + '_ {
+        self.replicas.iter().copied().filter(move |&r| r != id)
+    }
+
+    /// The membership after adding `add` and removing `remove`, in the next
+    /// epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would drop below 4 replicas.
+    pub fn reconfigured(&self, add: Option<ReplicaId>, remove: Option<ReplicaId>) -> Membership {
+        let mut replicas = self.replicas.clone();
+        if let Some(r) = add {
+            if !replicas.contains(&r) {
+                replicas.push(r);
+            }
+        }
+        if let Some(r) = remove {
+            replicas.retain(|&x| x != r);
+        }
+        Membership::new(self.epoch.next(), replicas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn membership(n: u32) -> Membership {
+        Membership::new(Epoch(0), (0..n).map(ReplicaId).collect())
+    }
+
+    #[test]
+    fn quorum_math() {
+        let m = membership(4);
+        assert_eq!(m.n(), 4);
+        assert_eq!(m.f(), 1);
+        assert_eq!(m.quorum(), 3);
+        let m = membership(7);
+        assert_eq!(m.f(), 2);
+        assert_eq!(m.quorum(), 5);
+        let m = membership(5); // n = 3f+2
+        assert_eq!(m.f(), 1);
+        assert_eq!(m.quorum(), 4);
+    }
+
+    #[test]
+    fn leader_rotates() {
+        let m = membership(4);
+        assert_eq!(m.leader(View(0)), ReplicaId(0));
+        assert_eq!(m.leader(View(1)), ReplicaId(1));
+        assert_eq!(m.leader(View(4)), ReplicaId(0));
+    }
+
+    #[test]
+    fn reconfiguration_bumps_epoch() {
+        let m = membership(4);
+        let m2 = m.reconfigured(Some(ReplicaId(9)), Some(ReplicaId(1)));
+        assert_eq!(m2.epoch, Epoch(1));
+        assert_eq!(m2.n(), 4);
+        assert!(m2.contains(ReplicaId(9)));
+        assert!(!m2.contains(ReplicaId(1)));
+        // leaders recomputed over the new set
+        assert_eq!(m2.leader(View(3)), ReplicaId(9));
+    }
+
+    #[test]
+    fn add_existing_and_remove_missing_are_noops() {
+        let m = membership(4);
+        let m2 = m.reconfigured(Some(ReplicaId(2)), Some(ReplicaId(77)));
+        assert_eq!(m2.replicas, m.replicas);
+        assert_eq!(m2.epoch, Epoch(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 replicas")]
+    fn too_small_membership_panics() {
+        membership(3);
+    }
+
+    #[test]
+    fn sequence_helpers() {
+        assert_eq!(SeqNo(3).next(), SeqNo(4));
+        assert_eq!(View(0).next(), View(1));
+        assert_eq!(Epoch(1).next(), Epoch(2));
+        assert_eq!(format!("{} {} {} {}", ReplicaId(2), ClientId(5), SeqNo(9), View(1)), "r2 c5 #9 v1");
+    }
+}

@@ -1,0 +1,451 @@
+//! The Lazarus controller: the control-plane loop of Figure 4.
+//!
+//! Each monitoring round (daily in the paper) the controller:
+//!
+//! 1. reads the knowledge base maintained by the **Data manager**
+//!    (`lazarus_osint::datamgr`);
+//! 2. asks the **Risk manager** for the day's risk oracle and for alarms on
+//!    newly published critical vulnerabilities;
+//! 3. runs Algorithm 1 over the CONFIG/POOL/QUARANTINE partition, with the
+//!    adaptive threshold (minimum achievable risk + slack — the automated
+//!    form of the §4.4 "increase the threshold" remedy);
+//! 4. turns any decision into a **Deploy manager** plan: build image, LTU
+//!    power-on, BFT add-then-remove reconfiguration, power-off, quarantine
+//!    patching.
+//!
+//! The controller is deliberately execution-plane-agnostic: the returned
+//! [`RoundReport`] carries the plan; the embedder applies it to a simulated
+//! cluster (`lazarus-testbed`), the in-memory testkit, or a real
+//! provisioner.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use lazarus_osint::catalog::OsVersion;
+use lazarus_osint::datamgr::DataManager;
+use lazarus_osint::date::Date;
+use lazarus_risk::algorithm::{MonitorOutcome, ReplicaSets};
+use lazarus_risk::strategies::min_config_risk;
+use lazarus_risk::Reconfigurator;
+
+use crate::deploy_manager::{DeployManager, DeploymentStep};
+use crate::risk_manager::{Alarm, RiskManager};
+
+/// Controller configuration.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Replica-set size `n` (paper: 4).
+    pub n: usize,
+    /// The OS universe the controller may deploy.
+    pub universe: Vec<OsVersion>,
+    /// Risk-threshold slack over the day's minimum achievable risk.
+    pub slack: f64,
+    /// RNG seed (randomized candidate selection, Algorithm 1 line 15).
+    pub seed: u64,
+    /// Physical hosts available to the deploy manager.
+    pub hosts: usize,
+}
+
+impl ControllerConfig {
+    /// A §7-style deployment: `n = 4` over the given universe.
+    pub fn new(universe: Vec<OsVersion>) -> ControllerConfig {
+        ControllerConfig { n: 4, universe, slack: 15.0, seed: 42, hosts: 8 }
+    }
+}
+
+/// An entry of the controller's audit trail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditEvent {
+    /// Initial CONFIG selected and deployed.
+    Bootstrapped {
+        /// Round date.
+        date: Date,
+        /// The chosen OSes.
+        config: Vec<OsVersion>,
+    },
+    /// An urgent-vulnerability alarm fired.
+    AlarmRaised {
+        /// Round date.
+        date: Date,
+        /// The alarm.
+        alarm: Alarm,
+    },
+    /// A replica swap was planned.
+    Reconfigured {
+        /// Round date.
+        date: Date,
+        /// OS leaving (to quarantine).
+        removed: OsVersion,
+        /// OS joining from the pool.
+        added: OsVersion,
+        /// Human-readable trigger.
+        reason: String,
+    },
+    /// A reconfiguration was needed but no candidate met the threshold.
+    Exhausted {
+        /// Round date.
+        date: Date,
+    },
+}
+
+/// The outcome of one monitoring round.
+#[derive(Debug)]
+pub struct RoundReport {
+    /// Round date.
+    pub date: Date,
+    /// Eq. 5 risk of the active CONFIG at the start of the round.
+    pub config_risk: f64,
+    /// The effective threshold used (min achievable + slack).
+    pub threshold: f64,
+    /// Alarms raised this round.
+    pub alarms: Vec<Alarm>,
+    /// What Algorithm 1 decided.
+    pub outcome: MonitorOutcome,
+    /// Deployment steps to execute.
+    pub plan: Vec<DeploymentStep>,
+}
+
+/// The Lazarus controller.
+#[derive(Debug)]
+pub struct Controller {
+    cfg: ControllerConfig,
+    /// The shared knowledge-base handle (feed the Data manager externally
+    /// or through [`Controller::data`]).
+    data: DataManager,
+    risk: RiskManager,
+    deploy: DeployManager,
+    recon: Reconfigurator,
+    sets: Option<ReplicaSets>,
+    rng: StdRng,
+    audit: Vec<AuditEvent>,
+}
+
+impl Controller {
+    /// Creates a controller over an externally filled knowledge base.
+    pub fn new(cfg: ControllerConfig, data: DataManager) -> Controller {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Controller {
+            risk: RiskManager::new(cfg.seed ^ 0xC1A5),
+            deploy: DeployManager::new(cfg.hosts),
+            recon: Reconfigurator::with_threshold(cfg.slack),
+            sets: None,
+            rng,
+            audit: Vec::new(),
+            data,
+            cfg,
+        }
+    }
+
+    /// The data-manager handle (for OSINT synchronization).
+    pub fn data(&self) -> &DataManager {
+        &self.data
+    }
+
+    /// The audit trail.
+    pub fn audit(&self) -> &[AuditEvent] {
+        &self.audit
+    }
+
+    /// The deploy manager (host/replica inventory).
+    pub fn deploy(&self) -> &DeployManager {
+        &self.deploy
+    }
+
+    /// The active CONFIG as OS versions (empty before bootstrap).
+    pub fn active_config(&self) -> Vec<OsVersion> {
+        match &self.sets {
+            Some(sets) => sets.config.iter().map(|&i| self.cfg.universe[i]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The CONFIG/POOL/QUARANTINE partition (None before bootstrap).
+    pub fn sets(&self) -> Option<&ReplicaSets> {
+        self.sets.as_ref()
+    }
+
+    /// Selects and deploys the initial CONFIG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn bootstrap(&mut self, today: Date) -> RoundReport {
+        assert!(self.sets.is_none(), "already bootstrapped");
+        let oracle = {
+            let data = &self.data;
+            let risk = &mut self.risk;
+            let universe = &self.cfg.universe;
+            data.read(|kb| risk.oracle(kb, universe))
+        };
+        let matrix = oracle.matrix(today);
+        let min = min_config_risk(&matrix, self.cfg.n);
+        self.recon.threshold = min + self.cfg.slack;
+        let config = self.recon.initial_config(&matrix, self.cfg.n, &mut self.rng);
+        let sets = ReplicaSets::new(config.clone(), self.cfg.universe.len());
+        let oses: Vec<OsVersion> = config.iter().map(|&i| self.cfg.universe[i]).collect();
+        let plan = self.deploy.initial_deployment(&oses);
+        self.audit.push(AuditEvent::Bootstrapped { date: today, config: oses });
+        let config_risk = matrix.risk(&sets.config);
+        self.sets = Some(sets);
+        RoundReport {
+            date: today,
+            config_risk,
+            threshold: self.recon.threshold,
+            alarms: Vec::new(),
+            outcome: MonitorOutcome::NoChange,
+            plan,
+        }
+    }
+
+    /// One monitoring round (Algorithm 1 + alarms + deployment planning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`bootstrap`](Self::bootstrap).
+    pub fn monitor_round(&mut self, today: Date) -> RoundReport {
+        assert!(self.sets.is_some(), "bootstrap first");
+        let oracle = {
+            let data = &self.data;
+            let risk = &mut self.risk;
+            let universe = &self.cfg.universe;
+            data.read(|kb| risk.oracle(kb, universe))
+        };
+        let matrix = oracle.matrix(today);
+        let min = min_config_risk(&matrix, self.cfg.n);
+        self.recon.threshold = min + self.cfg.slack;
+
+        let active = self.active_config();
+        let alarms = {
+            let data = &self.data;
+            let risk = &mut self.risk;
+            data.read(|kb| risk.scan_alarms(kb, &active, today))
+        };
+        for alarm in &alarms {
+            self.audit.push(AuditEvent::AlarmRaised { date: today, alarm: alarm.clone() });
+        }
+
+        let sets = self.sets.as_mut().expect("bootstrapped");
+        let config_before = sets.config.clone();
+        let config_risk = matrix.risk(&config_before);
+        let mut outcome = self.recon.monitor(sets, &matrix, &mut self.rng);
+
+        // Alarm path (§2, threat 1): if an alarmed replica survived the
+        // regular round, force its replacement.
+        if !matches!(outcome, MonitorOutcome::Reconfigured { .. }) {
+            if let Some(alarm) = alarms.iter().find(|a| {
+                a.affected
+                    .iter()
+                    .any(|os| self.sets.as_ref().expect("set").config.iter().any(|&i| self.cfg.universe[i] == *os))
+            }) {
+                let victim_os = alarm.affected[0];
+                outcome = self.force_swap(victim_os, &matrix);
+            }
+        }
+
+        let mut plan = Vec::new();
+        match outcome {
+            MonitorOutcome::Reconfigured { removed, added, reason } => {
+                let removed_os = self.cfg.universe[removed];
+                let added_os = self.cfg.universe[added];
+                plan = self.deploy.swap(added_os, removed_os);
+                self.audit.push(AuditEvent::Reconfigured {
+                    date: today,
+                    removed: removed_os,
+                    added: added_os,
+                    reason: format!("{reason:?}"),
+                });
+            }
+            MonitorOutcome::Exhausted => {
+                self.audit.push(AuditEvent::Exhausted { date: today });
+            }
+            MonitorOutcome::NoChange => {}
+        }
+        RoundReport {
+            date: today,
+            config_risk,
+            threshold: self.recon.threshold,
+            alarms,
+            outcome,
+            plan,
+        }
+    }
+
+    /// Replaces `victim_os` with the pool candidate minimizing risk,
+    /// regardless of the threshold (the alarm fast path).
+    fn force_swap(
+        &mut self,
+        victim_os: OsVersion,
+        matrix: &lazarus_risk::RiskMatrix,
+    ) -> MonitorOutcome {
+        let sets = self.sets.as_mut().expect("bootstrapped");
+        let Some(victim_idx) = self
+            .cfg
+            .universe
+            .iter()
+            .position(|&os| os == victim_os)
+            .filter(|i| sets.config.contains(i))
+        else {
+            return MonitorOutcome::NoChange;
+        };
+        if sets.pool.is_empty() {
+            return MonitorOutcome::Exhausted;
+        }
+        let slot = sets.config.iter().position(|&r| r == victim_idx).expect("in config");
+        let mut best: Option<(f64, usize)> = None;
+        for &candidate in &sets.pool {
+            let mut config = sets.config.clone();
+            config[slot] = candidate;
+            let risk = matrix.risk(&config);
+            if best.as_ref().is_none_or(|(b, _)| risk < *b) {
+                best = Some((risk, candidate));
+            }
+        }
+        let (_, incoming) = best.expect("pool non-empty");
+        sets.pool.retain(|&r| r != incoming);
+        sets.quarantine.push(victim_idx);
+        sets.config[slot] = incoming;
+        MonitorOutcome::Reconfigured {
+            removed: victim_idx,
+            added: incoming,
+            reason: lazarus_risk::algorithm::ReconfigReason::HighAverageScore,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazarus_osint::catalog::study_oses;
+    use lazarus_osint::cvss::CvssV3;
+    use lazarus_osint::kb::KnowledgeBase;
+    use lazarus_osint::model::{AffectedPlatform, CveId, ExploitRecord, Vulnerability};
+    use lazarus_osint::synth::{SyntheticWorld, WorldConfig};
+
+    fn world_data() -> DataManager {
+        let mut cfg = WorldConfig::paper_study(5);
+        cfg.start = Date::from_ymd(2017, 9, 1);
+        cfg.end = Date::from_ymd(2018, 1, 1);
+        let world = SyntheticWorld::generate(cfg);
+        let kb: KnowledgeBase = world.vulnerabilities.into_iter().collect();
+        DataManager::new(kb)
+    }
+
+    #[test]
+    fn bootstrap_selects_and_deploys_n_replicas() {
+        let data = world_data();
+        let mut c = Controller::new(ControllerConfig::new(study_oses()), data);
+        let report = c.bootstrap(Date::from_ymd(2018, 1, 1));
+        assert_eq!(c.active_config().len(), 4);
+        assert_eq!(c.deploy().active().len(), 4);
+        assert_eq!(report.plan.len(), 8); // build + power-on ×4
+        assert!(report.config_risk <= report.threshold);
+        assert!(matches!(c.audit()[0], AuditEvent::Bootstrapped { .. }));
+        // distinct OSes
+        let mut oses = c.active_config();
+        oses.dedup();
+        assert_eq!(oses.len(), 4);
+    }
+
+    #[test]
+    fn quiet_rounds_do_not_reconfigure() {
+        let data = world_data();
+        let mut c = Controller::new(ControllerConfig::new(study_oses()), data);
+        c.bootstrap(Date::from_ymd(2018, 1, 1));
+        let before = c.active_config();
+        // a far-future quiet day (all vulnerabilities old and patched)
+        let report = c.monitor_round(Date::from_ymd(2020, 6, 1));
+        assert_eq!(report.outcome, MonitorOutcome::NoChange);
+        assert!(report.plan.is_empty());
+        assert_eq!(c.active_config(), before);
+    }
+
+    #[test]
+    fn alarm_forces_replacement_and_deployment_plan() {
+        let data = world_data();
+        let mut c = Controller::new(ControllerConfig::new(study_oses()), data);
+        c.bootstrap(Date::from_ymd(2018, 1, 1));
+        c.monitor_round(Date::from_ymd(2018, 1, 2)); // set the alarm window
+        let victim = c.active_config()[0];
+        // Publish an exploited critical against an active replica.
+        let today = Date::from_ymd(2018, 1, 3);
+        let mut v = Vulnerability::new(
+            CveId::new(2018, 99_999),
+            today,
+            CvssV3::CRITICAL_RCE,
+            "remote code execution in the victim, exploited in the wild",
+        )
+        .affecting(AffectedPlatform::exact(victim.to_cpe()));
+        v.exploits.push(ExploitRecord { published: today, source: "edb".into(), verified: true });
+        c.data().write(|kb| {
+            kb.upsert(v);
+        });
+        let report = c.monitor_round(today);
+        assert!(!report.alarms.is_empty(), "alarm must fire");
+        match report.outcome {
+            MonitorOutcome::Reconfigured { .. } => {}
+            other => panic!("alarmed replica must be replaced, got {other:?}"),
+        }
+        assert!(!c.active_config().contains(&victim), "victim quarantined");
+        // The plan follows add-then-remove.
+        let adds = report.plan.iter().position(|s| matches!(s, DeploymentStep::AddReplica { .. }));
+        let removes =
+            report.plan.iter().position(|s| matches!(s, DeploymentStep::RemoveReplica { .. }));
+        assert!(adds.unwrap() < removes.unwrap());
+        let sets = c.sets().unwrap();
+        assert!(sets.is_partition());
+        assert_eq!(sets.quarantine.len(), 1);
+    }
+
+    #[test]
+    fn audit_trail_records_history() {
+        let data = world_data();
+        let mut c = Controller::new(ControllerConfig::new(study_oses()), data);
+        c.bootstrap(Date::from_ymd(2018, 1, 1));
+        for d in 2..8 {
+            c.monitor_round(Date::from_ymd(2018, 1, d));
+        }
+        assert!(!c.audit().is_empty());
+        assert!(matches!(c.audit()[0], AuditEvent::Bootstrapped { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "bootstrap first")]
+    fn monitor_before_bootstrap_panics() {
+        let data = world_data();
+        let mut c = Controller::new(ControllerConfig::new(study_oses()), data);
+        c.monitor_round(Date::from_ymd(2018, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already bootstrapped")]
+    fn double_bootstrap_panics() {
+        let data = world_data();
+        let mut c = Controller::new(ControllerConfig::new(study_oses()), data);
+        c.bootstrap(Date::from_ymd(2018, 1, 1));
+        c.bootstrap(Date::from_ymd(2018, 1, 2));
+    }
+
+    #[test]
+    fn deploy_inventory_follows_reconfigurations() {
+        let data = world_data();
+        // Small slack so reconfigurations are likely.
+        let mut cfg = ControllerConfig::new(study_oses());
+        cfg.slack = 0.5;
+        let mut c = Controller::new(cfg, data);
+        c.bootstrap(Date::from_ymd(2018, 1, 1));
+        let mut reconfigs = 0;
+        for d in 2..20 {
+            let r = c.monitor_round(Date::from_ymd(2018, 1, d));
+            if matches!(r.outcome, MonitorOutcome::Reconfigured { .. }) {
+                reconfigs += 1;
+            }
+            // deploy inventory always matches the active config
+            let mut deployed: Vec<OsVersion> = c.deploy().active().iter().map(|d| d.os).collect();
+            let mut active = c.active_config();
+            deployed.sort();
+            active.sort();
+            assert_eq!(deployed, active);
+        }
+        let _ = reconfigs; // may legitimately be zero on calm landscapes
+    }
+}

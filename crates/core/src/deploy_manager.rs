@@ -1,0 +1,296 @@
+//! The Deploy manager (paper §5.1, module 3).
+//!
+//! Turns the risk manager's decisions into an executable deployment plan:
+//! build the new replica's image (Vagrant-like), power it on through the
+//! host's LTU, reconfigure the BFT group (add first, then remove — §7.3),
+//! power the old replica off, and patch it in quarantine. The plan is a
+//! list of [`DeploymentStep`]s with durations, so the embedder (testbed
+//! simulation, or a real provisioner) can execute it against its execution
+//! plane.
+
+use lazarus_bft::types::{Epoch, ReplicaId};
+use lazarus_osint::catalog::OsVersion;
+use lazarus_testbed::sim::Micros;
+use lazarus_testbed::vmm::{deploy_timing, Host, LtuCommand, ReplicaBuilder, VmImage};
+
+/// One step of a deployment plan, with its expected duration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeploymentStep {
+    /// Provision the VM image for the incoming OS.
+    BuildImage {
+        /// OS to provision.
+        os: OsVersion,
+        /// Provisioning time.
+        duration: Micros,
+    },
+    /// Power the incoming replica on (LTU command); it is ready after
+    /// `boot`.
+    PowerOn {
+        /// Host running the VM.
+        host: String,
+        /// New BFT replica id.
+        replica: ReplicaId,
+        /// OS version powered on.
+        os: OsVersion,
+        /// Boot duration.
+        boot: Micros,
+    },
+    /// Issue the controller-signed ADD reconfiguration.
+    AddReplica {
+        /// Epoch the command applies to.
+        epoch: Epoch,
+        /// The joining replica.
+        replica: ReplicaId,
+    },
+    /// Issue the controller-signed REMOVE reconfiguration.
+    RemoveReplica {
+        /// Epoch the command applies to.
+        epoch: Epoch,
+        /// The leaving replica.
+        replica: ReplicaId,
+    },
+    /// Power the outgoing replica off.
+    PowerOff {
+        /// Host of the outgoing VM.
+        host: String,
+        /// The removed replica.
+        replica: ReplicaId,
+    },
+    /// Apply pending patches to the quarantined image.
+    QuarantinePatch {
+        /// OS being patched.
+        os: OsVersion,
+        /// Patch duration.
+        duration: Micros,
+    },
+}
+
+/// A running replica as tracked by the deploy manager.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deployment {
+    /// BFT replica id.
+    pub replica: ReplicaId,
+    /// Guest OS.
+    pub os: OsVersion,
+    /// Host name.
+    pub host: String,
+}
+
+/// The deploy manager: host inventory, image builder, and the replica-id
+/// allocator.
+#[derive(Debug)]
+pub struct DeployManager {
+    hosts: Vec<Host>,
+    builder: ReplicaBuilder,
+    active: Vec<Deployment>,
+    next_replica: u32,
+    epoch: Epoch,
+}
+
+impl DeployManager {
+    /// A manager over `host_count` testbed hosts.
+    pub fn new(host_count: usize) -> DeployManager {
+        DeployManager {
+            hosts: (0..host_count).map(|i| Host::r410(format!("node{i}"))).collect(),
+            builder: ReplicaBuilder::new(),
+            active: Vec::new(),
+            next_replica: 0,
+            epoch: Epoch(0),
+        }
+    }
+
+    /// The current membership epoch as tracked by the controller.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Currently deployed replicas.
+    pub fn active(&self) -> &[Deployment] {
+        &self.active
+    }
+
+    /// The deployment running `os`, if any.
+    pub fn deployment_of(&self, os: OsVersion) -> Option<&Deployment> {
+        self.active.iter().find(|d| d.os == os)
+    }
+
+    /// Deploys the initial CONFIG; returns the plan and records the
+    /// deployments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are not enough free hosts.
+    pub fn initial_deployment(&mut self, oses: &[OsVersion]) -> Vec<DeploymentStep> {
+        let mut plan = Vec::new();
+        for &os in oses {
+            plan.extend(self.power_on_steps(os));
+        }
+        plan
+    }
+
+    fn free_host(&mut self) -> usize {
+        self.hosts
+            .iter()
+            .position(Host::is_free)
+            .expect("a free host is available")
+    }
+
+    fn power_on_steps(&mut self, os: OsVersion) -> Vec<DeploymentStep> {
+        let (image, build_time) = self.builder.build(os);
+        let host_idx = self.free_host();
+        let host_name = self.hosts[host_idx].name.clone();
+        let replica = ReplicaId(self.next_replica);
+        self.next_replica += 1;
+        let response = self.hosts[host_idx]
+            .ltu_execute(LtuCommand::PowerOn(image))
+            .expect("free host accepts power-on");
+        self.hosts[host_idx].boot_complete();
+        self.active.push(Deployment { replica, os, host: host_name.clone() });
+        vec![
+            DeploymentStep::BuildImage { os, duration: build_time },
+            DeploymentStep::PowerOn { host: host_name, replica, os, boot: response.duration },
+        ]
+    }
+
+    /// Plans a replica swap: `incoming` OS replaces the replica running
+    /// `outgoing` (paper §7.3: add the new replica *before* removing the
+    /// old one, so the group never shrinks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outgoing` is not deployed or no host is free.
+    pub fn swap(&mut self, incoming: OsVersion, outgoing: OsVersion) -> Vec<DeploymentStep> {
+        let out = self
+            .deployment_of(outgoing)
+            .cloned()
+            .expect("outgoing OS is deployed");
+        let mut plan = self.power_on_steps(incoming);
+        let joined = self.active.last().expect("just added").replica;
+        plan.push(DeploymentStep::AddReplica { epoch: self.epoch, replica: joined });
+        self.epoch = self.epoch.next();
+        plan.push(DeploymentStep::RemoveReplica { epoch: self.epoch, replica: out.replica });
+        self.epoch = self.epoch.next();
+        plan.push(DeploymentStep::PowerOff { host: out.host.clone(), replica: out.replica });
+        // Release the host and schedule quarantine patching.
+        if let Some(host) = self.hosts.iter_mut().find(|h| h.name == out.host) {
+            let _ = host.ltu_execute(LtuCommand::PowerOff);
+            // Free the slot for future deployments (image archived for
+            // patching in quarantine).
+            *host = Host::r410(host.name.clone());
+        }
+        self.active.retain(|d| d.replica != out.replica);
+        plan.push(DeploymentStep::QuarantinePatch {
+            os: outgoing,
+            duration: deploy_timing(outgoing).patch_round,
+        });
+        plan
+    }
+
+    /// Total expected duration of a plan (steps overlap in reality; this is
+    /// the conservative serial bound).
+    pub fn plan_duration(plan: &[DeploymentStep]) -> Micros {
+        plan.iter()
+            .map(|s| match s {
+                DeploymentStep::BuildImage { duration, .. } => *duration,
+                DeploymentStep::PowerOn { boot, .. } => *boot,
+                DeploymentStep::QuarantinePatch { duration, .. } => *duration,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// A reusable image for tests and harnesses.
+    pub fn image_of(os: OsVersion) -> VmImage {
+        VmImage { os, profile: lazarus_testbed::oscatalog::vm_profile(os), patch_level: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazarus_testbed::oscatalog::by_short_id;
+
+    fn os(id: &str) -> OsVersion {
+        by_short_id(id).unwrap().os
+    }
+
+    #[test]
+    fn initial_deployment_uses_distinct_hosts() {
+        let mut dm = DeployManager::new(5);
+        let plan = dm.initial_deployment(&[os("UB16"), os("W10"), os("SO11"), os("OB61")]);
+        assert_eq!(plan.len(), 8); // build + power-on per replica
+        assert_eq!(dm.active().len(), 4);
+        let hosts: std::collections::HashSet<_> =
+            dm.active().iter().map(|d| d.host.clone()).collect();
+        assert_eq!(hosts.len(), 4);
+        let ids: Vec<u32> = dm.active().iter().map(|d| d.replica.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn swap_follows_add_then_remove_order() {
+        let mut dm = DeployManager::new(5);
+        dm.initial_deployment(&[os("UB16"), os("W10"), os("SO11"), os("OB61")]);
+        let plan = dm.swap(os("FE24"), os("W10"));
+        let labels: Vec<&str> = plan
+            .iter()
+            .map(|s| match s {
+                DeploymentStep::BuildImage { .. } => "build",
+                DeploymentStep::PowerOn { .. } => "on",
+                DeploymentStep::AddReplica { .. } => "add",
+                DeploymentStep::RemoveReplica { .. } => "remove",
+                DeploymentStep::PowerOff { .. } => "off",
+                DeploymentStep::QuarantinePatch { .. } => "patch",
+            })
+            .collect();
+        assert_eq!(labels, vec!["build", "on", "add", "remove", "off", "patch"]);
+        // epochs advance: add at 0, remove at 1
+        match (&plan[2], &plan[3]) {
+            (
+                DeploymentStep::AddReplica { epoch: e1, replica: r_in },
+                DeploymentStep::RemoveReplica { epoch: e2, replica: r_out },
+            ) => {
+                assert_eq!(*e1, Epoch(0));
+                assert_eq!(*e2, Epoch(1));
+                assert_eq!(r_in.0, 4); // fresh id
+                assert_eq!(r_out.0, 1); // W10 was the second deployment
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+        assert_eq!(dm.epoch(), Epoch(2));
+        // W10 is gone, FE24 active
+        assert!(dm.deployment_of(os("W10")).is_none());
+        assert!(dm.deployment_of(os("FE24")).is_some());
+        assert_eq!(dm.active().len(), 4);
+    }
+
+    #[test]
+    fn swapped_host_is_reusable() {
+        let mut dm = DeployManager::new(4); // exactly n hosts… plus the swap target
+        dm.initial_deployment(&[os("UB16"), os("W10"), os("SO11")]);
+        // one host left; swap uses it, then frees W10's host
+        dm.swap(os("FE24"), os("W10"));
+        // the freed host can take another swap immediately
+        let plan = dm.swap(os("DE8"), os("SO11"));
+        assert!(!plan.is_empty());
+        assert_eq!(dm.active().len(), 3);
+    }
+
+    #[test]
+    fn plan_duration_sums_the_slow_steps() {
+        let mut dm = DeployManager::new(5);
+        dm.initial_deployment(&[os("UB16"), os("W10"), os("SO11"), os("OB61")]);
+        let plan = dm.swap(os("FE24"), os("OB61"));
+        let d = DeployManager::plan_duration(&plan);
+        let timing = deploy_timing(os("FE24"));
+        assert!(d >= timing.boot, "at least the boot time");
+    }
+
+    #[test]
+    #[should_panic(expected = "deployed")]
+    fn swap_of_unknown_os_panics() {
+        let mut dm = DeployManager::new(5);
+        dm.initial_deployment(&[os("UB16"), os("W10"), os("SO11"), os("OB61")]);
+        dm.swap(os("FE24"), os("DE8"));
+    }
+}

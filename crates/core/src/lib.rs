@@ -1,0 +1,44 @@
+//! The Lazarus control plane.
+//!
+//! Ties the data plane (`lazarus-osint`), the risk engine (`lazarus-risk`),
+//! the NLP clustering (`lazarus-nlp`) and the execution plane
+//! (`lazarus-bft` + `lazarus-testbed`) into the control loop of the paper's
+//! Figure 4:
+//!
+//! * [`risk_manager`] — clustering/oracle construction with caching, and
+//!   urgent-vulnerability alarms;
+//! * [`deploy_manager`] — hosts, Vagrant-like image building, LTU power
+//!   control, and add-then-remove reconfiguration plans;
+//! * [`controller`] — the daily monitoring round.
+//!
+//! # Example
+//!
+//! ```
+//! use lazarus_core::controller::{Controller, ControllerConfig};
+//! use lazarus_osint::catalog::study_oses;
+//! use lazarus_osint::datamgr::DataManager;
+//! use lazarus_osint::date::Date;
+//! use lazarus_osint::kb::KnowledgeBase;
+//! use lazarus_osint::synth::{SyntheticWorld, WorldConfig};
+//!
+//! let mut cfg = WorldConfig::paper_study(7);
+//! cfg.end = Date::from_ymd(2014, 6, 1); // small world for the doctest
+//! let world = SyntheticWorld::generate(cfg);
+//! let kb: KnowledgeBase = world.vulnerabilities.into_iter().collect();
+//!
+//! let mut controller =
+//!     Controller::new(ControllerConfig::new(study_oses()), DataManager::new(kb));
+//! controller.bootstrap(Date::from_ymd(2014, 6, 1));
+//! let report = controller.monitor_round(Date::from_ymd(2014, 6, 2));
+//! assert!(report.config_risk <= report.threshold);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod deploy_manager;
+pub mod risk_manager;
+
+pub use controller::{AuditEvent, Controller, ControllerConfig, RoundReport};
+pub use deploy_manager::{DeployManager, DeploymentStep};
+pub use risk_manager::{Alarm, RiskManager};

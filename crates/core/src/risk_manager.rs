@@ -1,0 +1,228 @@
+//! The Risk manager (paper §5.1, module 2) and vulnerability alarms.
+//!
+//! Wraps the clustering + oracle pipeline with caching (clusters are
+//! rebuilt only when the knowledge base grows) and implements the §2
+//! "threat 1" path: when a critical, exploitable vulnerability is published
+//! against an *active* replica, an alarm is raised so the controller
+//! replaces that replica immediately rather than waiting for the risk
+//! threshold.
+
+use lazarus_nlp::VulnClusters;
+use lazarus_osint::catalog::OsVersion;
+use lazarus_osint::cvss::Severity;
+use lazarus_osint::date::Date;
+use lazarus_osint::kb::KnowledgeBase;
+use lazarus_osint::model::CveId;
+use lazarus_risk::oracle::RiskOracle;
+use lazarus_risk::score::ScoreParams;
+
+/// An urgent-vulnerability alarm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alarm {
+    /// The vulnerability that triggered the alarm.
+    pub cve: CveId,
+    /// The active replica OSes it hits.
+    pub affected: Vec<OsVersion>,
+    /// Whether a public exploit is already circulating.
+    pub exploited: bool,
+}
+
+/// The risk manager: clustering cache, oracle construction, and alarms.
+#[derive(Debug)]
+pub struct RiskManager {
+    params: ScoreParams,
+    cluster_seed: u64,
+    /// Minimum severity that can raise an alarm.
+    pub alarm_severity: Severity,
+    cached_clusters: Option<(usize, VulnClusters)>,
+    last_alarm_scan: Option<Date>,
+}
+
+impl RiskManager {
+    /// A manager with the paper's scoring parameters.
+    pub fn new(cluster_seed: u64) -> RiskManager {
+        RiskManager {
+            params: ScoreParams::paper(),
+            cluster_seed,
+            alarm_severity: Severity::Critical,
+            cached_clusters: None,
+            last_alarm_scan: None,
+        }
+    }
+
+    /// The scoring parameters in use.
+    pub fn params(&self) -> &ScoreParams {
+        &self.params
+    }
+
+    /// (Re)builds the description clusters, reusing the cache when the
+    /// knowledge base has not grown since the last call.
+    pub fn clusters(&mut self, kb: &KnowledgeBase) -> &VulnClusters {
+        let needs_rebuild = self
+            .cached_clusters
+            .as_ref()
+            .map(|(n, _)| *n != kb.len())
+            .unwrap_or(true);
+        if needs_rebuild {
+            let corpus: Vec<_> = kb.iter().cloned().collect();
+            let clusters = VulnClusters::build(&corpus, self.cluster_seed);
+            self.cached_clusters = Some((kb.len(), clusters));
+        }
+        &self.cached_clusters.as_ref().expect("just built").1
+    }
+
+    /// Builds the risk oracle for the given universe.
+    pub fn oracle(&mut self, kb: &KnowledgeBase, universe: &[OsVersion]) -> RiskOracle {
+        let params = *self.params();
+        let clusters = self.clusters(kb).clone();
+        RiskOracle::build(kb, &clusters, universe, params)
+    }
+
+    /// Scans for alarms: vulnerabilities published since the previous scan
+    /// (inclusive window start) whose severity reaches
+    /// [`alarm_severity`](Self::alarm_severity) and that affect an active
+    /// replica. Exploited vulnerabilities alarm regardless of severity band.
+    pub fn scan_alarms(
+        &mut self,
+        kb: &KnowledgeBase,
+        active: &[OsVersion],
+        today: Date,
+    ) -> Vec<Alarm> {
+        let since = self.last_alarm_scan.unwrap_or(today);
+        self.last_alarm_scan = Some(today + 1);
+        let cpes: Vec<_> = active.iter().map(|o| (o, o.to_cpe())).collect();
+        let mut alarms = Vec::new();
+        for v in kb.published_between(since, today) {
+            let exploited = v.is_exploited(today);
+            let severe = v.cvss.severity() >= self.alarm_severity;
+            if !(severe || (exploited && v.cvss.severity() >= Severity::High)) {
+                continue;
+            }
+            let affected: Vec<OsVersion> = cpes
+                .iter()
+                .filter(|(_, cpe)| v.affects(cpe) && !v.is_patched_for(cpe, today))
+                .map(|(os, _)| **os)
+                .collect();
+            if !affected.is_empty() {
+                alarms.push(Alarm { cve: v.id, affected, exploited });
+            }
+        }
+        alarms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazarus_osint::catalog::OsFamily;
+    use lazarus_osint::cvss::CvssV3;
+    use lazarus_osint::model::{AffectedPlatform, ExploitRecord, Vulnerability};
+
+    fn os(f: OsFamily, v: &'static str) -> OsVersion {
+        OsVersion::new(f, v)
+    }
+
+    fn kb_with(vulns: Vec<Vulnerability>) -> KnowledgeBase {
+        vulns.into_iter().collect()
+    }
+
+    fn critical(id: u32, published: Date, target: OsVersion) -> Vulnerability {
+        Vulnerability::new(CveId::new(2018, id), published, CvssV3::CRITICAL_RCE, format!("flaw {id}"))
+            .affecting(AffectedPlatform::exact(target.to_cpe()))
+    }
+
+    #[test]
+    fn alarm_on_critical_hit_of_active_replica() {
+        let ub = os(OsFamily::Ubuntu, "16.04");
+        let fb = os(OsFamily::FreeBsd, "11");
+        let today = Date::from_ymd(2018, 5, 8);
+        let kb = kb_with(vec![critical(1, today, ub), critical(2, today, fb)]);
+        let mut rm = RiskManager::new(1);
+        let alarms = rm.scan_alarms(&kb, &[ub], today);
+        assert_eq!(alarms.len(), 1);
+        assert_eq!(alarms[0].cve, CveId::new(2018, 1));
+        assert_eq!(alarms[0].affected, vec![ub]);
+        assert!(!alarms[0].exploited);
+    }
+
+    #[test]
+    fn scan_window_does_not_realarm() {
+        let ub = os(OsFamily::Ubuntu, "16.04");
+        let today = Date::from_ymd(2018, 5, 8);
+        let kb = kb_with(vec![critical(1, today, ub)]);
+        let mut rm = RiskManager::new(1);
+        assert_eq!(rm.scan_alarms(&kb, &[ub], today).len(), 1);
+        // next day: the same CVE does not alarm again
+        assert!(rm.scan_alarms(&kb, &[ub], today + 1).is_empty());
+    }
+
+    #[test]
+    fn exploited_high_also_alarms() {
+        let ub = os(OsFamily::Ubuntu, "16.04");
+        let today = Date::from_ymd(2018, 5, 8);
+        let mut v = critical(1, today, ub);
+        v.cvss = "CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H".parse().unwrap(); // 7.8 HIGH
+        assert_eq!(v.cvss.severity(), Severity::High);
+        v.exploits.push(ExploitRecord { published: today, source: "edb".into(), verified: true });
+        let kb = kb_with(vec![v]);
+        let mut rm = RiskManager::new(1);
+        let alarms = rm.scan_alarms(&kb, &[ub], today);
+        assert_eq!(alarms.len(), 1);
+        assert!(alarms[0].exploited);
+    }
+
+    #[test]
+    fn medium_unexploited_does_not_alarm() {
+        let ub = os(OsFamily::Ubuntu, "16.04");
+        let today = Date::from_ymd(2018, 5, 8);
+        let mut v = critical(1, today, ub);
+        v.cvss = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N".parse().unwrap(); // 5.3
+        let kb = kb_with(vec![v]);
+        let mut rm = RiskManager::new(1);
+        assert!(rm.scan_alarms(&kb, &[ub], today).is_empty());
+    }
+
+    #[test]
+    fn patched_vulnerability_does_not_alarm() {
+        let ub = os(OsFamily::Ubuntu, "16.04");
+        let today = Date::from_ymd(2018, 5, 8);
+        let mut v = critical(1, today, ub);
+        v.patches.push(lazarus_osint::model::PatchRecord {
+            product: ub.to_cpe(),
+            released: today,
+            advisory: "USN".into(),
+        });
+        let kb = kb_with(vec![v]);
+        let mut rm = RiskManager::new(1);
+        assert!(rm.scan_alarms(&kb, &[ub], today).is_empty());
+    }
+
+    #[test]
+    fn cluster_cache_reuses_until_kb_grows() {
+        let ub = os(OsFamily::Ubuntu, "16.04");
+        let today = Date::from_ymd(2018, 1, 1);
+        let mut kb = kb_with(vec![critical(1, today, ub), critical(2, today, ub)]);
+        let mut rm = RiskManager::new(1);
+        let k1 = rm.clusters(&kb).k();
+        let k2 = rm.clusters(&kb).k();
+        assert_eq!(k1, k2);
+        kb.upsert(critical(3, today, ub));
+        let _ = rm.clusters(&kb);
+        assert_eq!(rm.cached_clusters.as_ref().unwrap().0, 3);
+    }
+
+    #[test]
+    fn oracle_builds_over_universe() {
+        let ub = os(OsFamily::Ubuntu, "16.04");
+        let de = os(OsFamily::Debian, "8");
+        let today = Date::from_ymd(2018, 1, 1);
+        let mut v = critical(1, today, ub);
+        v.affected.push(AffectedPlatform::exact(de.to_cpe()));
+        let kb = kb_with(vec![v]);
+        let mut rm = RiskManager::new(1);
+        let universe = vec![ub, de, os(OsFamily::FreeBsd, "11"), os(OsFamily::Windows, "10")];
+        let oracle = rm.oracle(&kb, &universe);
+        assert!(oracle.pair_risk(0, 1, today) > 0.0);
+        assert_eq!(oracle.pair_risk(2, 3, today), 0.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Vulnerability clusters: from CVE descriptions to shared-weakness groups.
+//!
+//! This is the end-to-end pipeline of paper §4.1/§5.1: tokenize every
+//! description, fit a bounded TF-IDF vocabulary, cluster with K-means (K by
+//! the elbow method), and index the result by CVE so the risk manager can
+//! ask "are these two vulnerabilities likely the same weakness?" even when
+//! NVD lists them against different products.
+
+use std::collections::HashMap;
+
+use lazarus_osint::model::{CveId, Vulnerability};
+
+use crate::elbow::{default_candidates, elbow};
+use crate::kmeans::SparseVec;
+use crate::text::tokenize;
+use crate::vectorize::{Vocabulary, DEFAULT_MAX_TERMS};
+
+/// A cluster index over a vulnerability corpus.
+///
+/// Besides the K-means partition, the index retains each description's
+/// TF-IDF vector so callers can refine "same cluster" into "same cluster
+/// *and* textually similar" — K-means topics are broad (a cluster may hold a
+/// whole weakness class), while the paper's premise is that near-identical
+/// descriptions indicate "(variations of) the same exploit" (§4.1).
+#[derive(Debug, Clone, Default)]
+pub struct VulnClusters {
+    by_cve: HashMap<CveId, usize>,
+    members: Vec<Vec<CveId>>,
+    vectors: HashMap<CveId, SparseVec>,
+}
+
+impl VulnClusters {
+    /// An empty index (no corpus yet) — every `same_cluster` query is false.
+    pub fn new() -> VulnClusters {
+        VulnClusters::default()
+    }
+
+    /// Builds clusters over the corpus with elbow-selected K.
+    pub fn build<'a>(corpus: impl IntoIterator<Item = &'a Vulnerability>, seed: u64) -> VulnClusters {
+        Self::build_inner(corpus, None, seed)
+    }
+
+    /// Builds clusters with a fixed K (for experiments and ablations).
+    pub fn build_with_k<'a>(
+        corpus: impl IntoIterator<Item = &'a Vulnerability>,
+        k: usize,
+        seed: u64,
+    ) -> VulnClusters {
+        Self::build_inner(corpus, Some(k), seed)
+    }
+
+    fn build_inner<'a>(
+        corpus: impl IntoIterator<Item = &'a Vulnerability>,
+        fixed_k: Option<usize>,
+        seed: u64,
+    ) -> VulnClusters {
+        let items: Vec<(&CveId, &str)> =
+            corpus.into_iter().map(|v| (&v.id, v.description.as_str())).collect();
+        if items.is_empty() {
+            return VulnClusters::default();
+        }
+        let docs: Vec<Vec<String>> = items.iter().map(|(_, d)| tokenize(d)).collect();
+        let vocab = Vocabulary::fit(&docs, DEFAULT_MAX_TERMS);
+        let vectors = vocab.transform_all_sparse(&docs);
+        let candidates = match fixed_k {
+            Some(k) => vec![k],
+            None => default_candidates(items.len()),
+        };
+        let result = elbow(&vectors, &candidates, seed);
+        let k = result.clustering.k();
+        let mut members = vec![Vec::new(); k];
+        let mut by_cve = HashMap::with_capacity(items.len());
+        let mut stored = HashMap::with_capacity(items.len());
+        for (((cve, _), &cluster), vector) in
+            items.iter().zip(&result.clustering.assignments).zip(vectors)
+        {
+            by_cve.insert(**cve, cluster);
+            members[cluster].push(**cve);
+            stored.insert(**cve, vector);
+        }
+        VulnClusters { by_cve, members, vectors: stored }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of indexed CVEs.
+    pub fn len(&self) -> usize {
+        self.by_cve.len()
+    }
+
+    /// True when the index holds no CVEs.
+    pub fn is_empty(&self) -> bool {
+        self.by_cve.is_empty()
+    }
+
+    /// The cluster id of a CVE, if it was part of the corpus.
+    pub fn cluster_of(&self, cve: CveId) -> Option<usize> {
+        self.by_cve.get(&cve).copied()
+    }
+
+    /// True when both CVEs were clustered together — the "similar weakness,
+    /// potentially the same exploit" relation of §4.1.
+    pub fn same_cluster(&self, a: CveId, b: CveId) -> bool {
+        match (self.cluster_of(a), self.cluster_of(b)) {
+            (Some(ca), Some(cb)) => ca == cb,
+            _ => false,
+        }
+    }
+
+    /// CVEs in cluster `c` (empty slice when out of range).
+    pub fn cluster_members(&self, c: usize) -> &[CveId] {
+        self.members.get(c).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates `(cluster_id, members)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[CveId])> {
+        self.members.iter().enumerate().map(|(i, m)| (i, m.as_slice()))
+    }
+
+    /// Cosine similarity of two indexed descriptions (vectors are
+    /// L2-normalized, so this is their dot product). `None` when either CVE
+    /// was not in the corpus.
+    pub fn similarity(&self, a: CveId, b: CveId) -> Option<f64> {
+        let va = self.vectors.get(&a)?;
+        let vb = self.vectors.get(&b)?;
+        Some(va.dot_dense(&vb.to_dense()))
+    }
+
+    /// True when the CVEs share a cluster *and* their descriptions are at
+    /// least `min_similarity`-cosine-similar — the relation the risk oracle
+    /// uses to infer hidden vulnerability sharing.
+    pub fn similar(&self, a: CveId, b: CveId, min_similarity: f64) -> bool {
+        self.same_cluster(a, b)
+            && self.similarity(a, b).is_some_and(|s| s >= min_similarity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazarus_osint::cvss::CvssV3;
+    use lazarus_osint::date::Date;
+    use lazarus_osint::fixtures;
+
+    fn mk(id: u32, desc: &str) -> Vulnerability {
+        Vulnerability::new(
+            CveId::new(2018, id),
+            Date::from_ymd(2018, 1, 1),
+            CvssV3::CRITICAL_RCE,
+            desc,
+        )
+    }
+
+    /// A corpus with three clear topic groups.
+    fn corpus() -> Vec<Vulnerability> {
+        vec![
+            mk(1, "Cross-site scripting (XSS) in the dashboard allows remote attackers to inject arbitrary web script via a template field"),
+            mk(2, "Cross-site scripting (XSS) in the dashboard allows remote users to inject arbitrary web script via a form metadata"),
+            mk(3, "Cross-site scripting (XSS) in the dashboard allows injection of arbitrary HTML via an AngularJS template"),
+            mk(4, "Buffer overflow in the kernel memory subsystem allows local users to gain privileges via a crafted syscall"),
+            mk(5, "Buffer overflow in the kernel network stack allows local users to gain privileges via a crafted packet"),
+            mk(6, "Buffer overflow in the kernel filesystem allows local users to gain privileges via a crafted image"),
+            mk(7, "Information disclosure in the DNS resolver allows remote attackers to read memory via malformed responses"),
+            mk(8, "Information disclosure in the DNS cache allows remote attackers to read memory via malformed queries"),
+        ]
+    }
+
+    #[test]
+    fn groups_by_topic_with_fixed_k() {
+        let corpus = corpus();
+        let c = VulnClusters::build_with_k(&corpus, 3, 11);
+        assert_eq!(c.k(), 3);
+        assert_eq!(c.len(), 8);
+        // XSS trio together
+        assert!(c.same_cluster(CveId::new(2018, 1), CveId::new(2018, 2)));
+        assert!(c.same_cluster(CveId::new(2018, 1), CveId::new(2018, 3)));
+        // kernel trio together
+        assert!(c.same_cluster(CveId::new(2018, 4), CveId::new(2018, 5)));
+        // across topics: separate
+        assert!(!c.same_cluster(CveId::new(2018, 1), CveId::new(2018, 4)));
+        assert!(!c.same_cluster(CveId::new(2018, 4), CveId::new(2018, 7)));
+    }
+
+    #[test]
+    fn table1_triplet_lands_in_one_cluster() {
+        // The paper's motivating example: three XSS CVEs in OpenStack
+        // Horizon reported against OpenSuse / Solaris / Debian must cluster
+        // together despite disjoint product lists.
+        let mut corpus = fixtures::table1_triplet();
+        corpus.extend(fixtures::may_2018_cluster());
+        let c = VulnClusters::build_with_k(&corpus, 3, 5);
+        assert!(c.same_cluster(CveId::new(2014, 157), CveId::new(2015, 3988)));
+        assert!(c.same_cluster(CveId::new(2014, 157), CveId::new(2016, 4428)));
+        // And the Windows kernel CVEs do not join the XSS cluster.
+        assert!(!c.same_cluster(CveId::new(2014, 157), CveId::new(2018, 8134)));
+    }
+
+    #[test]
+    fn elbow_build_is_reasonable() {
+        let corpus = corpus();
+        let c = VulnClusters::build(&corpus, 3);
+        assert!(c.k() >= 2, "k={}", c.k());
+        assert_eq!(c.len(), 8);
+        // members partition the corpus
+        let total: usize = (0..c.k()).map(|i| c.cluster_members(i).len()).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn unknown_cves_are_never_similar() {
+        let c = VulnClusters::build_with_k(&corpus(), 3, 1);
+        assert_eq!(c.cluster_of(CveId::new(1999, 1)), None);
+        assert!(!c.same_cluster(CveId::new(1999, 1), CveId::new(2018, 1)));
+        assert!(!c.same_cluster(CveId::new(1999, 1), CveId::new(1999, 2)));
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = VulnClusters::build(std::iter::empty(), 0);
+        assert!(c.is_empty());
+        assert_eq!(c.k(), 0);
+        assert_eq!(c.cluster_members(0), &[] as &[CveId]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let corpus = corpus();
+        let a = VulnClusters::build(&corpus, 77);
+        let b = VulnClusters::build(&corpus, 77);
+        for v in &corpus {
+            assert_eq!(a.cluster_of(v.id), b.cluster_of(v.id));
+        }
+    }
+
+    #[test]
+    fn similarity_orders_by_text_overlap() {
+        let corpus = corpus();
+        let c = VulnClusters::build_with_k(&corpus, 3, 11);
+        let xss_pair = c.similarity(CveId::new(2018, 1), CveId::new(2018, 2)).unwrap();
+        let cross = c.similarity(CveId::new(2018, 1), CveId::new(2018, 4)).unwrap();
+        assert!(xss_pair > cross, "{xss_pair} !> {cross}");
+        assert!(xss_pair > 0.5);
+        assert_eq!(c.similarity(CveId::new(1999, 1), CveId::new(2018, 1)), None);
+        // similar() composes cluster + similarity
+        assert!(c.similar(CveId::new(2018, 1), CveId::new(2018, 2), 0.4));
+        assert!(!c.similar(CveId::new(2018, 1), CveId::new(2018, 4), 0.0)); // different cluster
+    }
+
+    #[test]
+    fn table1_triplet_is_mutually_similar() {
+        let mut corpus = fixtures::table1_triplet();
+        corpus.extend(fixtures::may_2018_cluster());
+        let c = VulnClusters::build_with_k(&corpus, 3, 5);
+        let s12 = c.similarity(CveId::new(2014, 157), CveId::new(2015, 3988)).unwrap();
+        let s13 = c.similarity(CveId::new(2014, 157), CveId::new(2016, 4428)).unwrap();
+        assert!(s12 > 0.35 && s13 > 0.35, "triplet similarity {s12} {s13}");
+    }
+
+    #[test]
+    fn iter_covers_all_clusters() {
+        let c = VulnClusters::build_with_k(&corpus(), 3, 2);
+        let seen: usize = c.iter().map(|(_, m)| m.len()).sum();
+        assert_eq!(seen, c.len());
+        assert_eq!(c.iter().count(), c.k());
+    }
+}

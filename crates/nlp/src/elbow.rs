@@ -1,0 +1,169 @@
+//! Elbow-method selection of the cluster count.
+//!
+//! The prototype determines K "by the elbow method" (paper §5.1, citing
+//! Thorndike 1953): run K-means for a range of candidate K, plot the
+//! within-cluster sum of squares (WCSS), and pick the K at the bend of the
+//! curve. The bend is found as the point with maximum perpendicular distance
+//! from the chord joining the curve's endpoints — the standard geometric
+//! formalization of "where the curve stops dropping fast".
+
+use crate::kmeans::{kmeans, Clustering, SparseVec};
+
+/// The evaluated WCSS curve and the chosen K.
+#[derive(Debug, Clone)]
+pub struct ElbowResult {
+    /// `(k, wcss)` pairs, in increasing `k`.
+    pub curve: Vec<(usize, f64)>,
+    /// The K at the elbow.
+    pub chosen_k: usize,
+    /// The clustering computed at the chosen K.
+    pub clustering: Clustering,
+}
+
+/// Default candidate Ks for a corpus of `n` points: a multiplicative sweep
+/// from 2 up to roughly `n / 4` (bounded to 320). CVE corpora cluster at the
+/// granularity of shared components and weakness families — a few documents
+/// per cluster — so the sweep must reach corpus-scale K or the elbow sits on
+/// an artificial boundary and clusters degenerate into giant topic blobs.
+pub fn default_candidates(n: usize) -> Vec<usize> {
+    if n < 2 {
+        return vec![1.min(n)];
+    }
+    let max_k = (n / 4).clamp(2, 320);
+    let mut ks = vec![2usize];
+    let mut k = 2;
+    while k < max_k {
+        k = (k * 8 / 5).max(k + 1);
+        ks.push(k.min(max_k));
+    }
+    ks.dedup();
+    ks
+}
+
+/// Runs the elbow method over `candidates` (must be non-empty, increasing).
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty while `points` is non-empty.
+pub fn elbow(points: &[SparseVec], candidates: &[usize], seed: u64) -> ElbowResult {
+    if points.is_empty() {
+        return ElbowResult {
+            curve: vec![],
+            chosen_k: 0,
+            clustering: kmeans(points, 0, seed),
+        };
+    }
+    assert!(!candidates.is_empty(), "need at least one candidate k");
+    let mut runs: Vec<(usize, Clustering)> = candidates
+        .iter()
+        .map(|&k| (k.min(points.len()), kmeans(points, k.max(1), seed ^ (k as u64))))
+        .collect();
+    runs.dedup_by_key(|(k, _)| *k);
+    let curve: Vec<(usize, f64)> = runs.iter().map(|(k, c)| (*k, c.wcss)).collect();
+
+    let chosen_idx = if curve.len() <= 2 {
+        curve.len() - 1
+    } else {
+        max_chord_distance(&curve)
+    };
+    let (chosen_k, clustering) = runs.swap_remove(chosen_idx);
+    ElbowResult { curve, chosen_k, clustering }
+}
+
+/// Index of the curve point farthest (perpendicular) from the chord between
+/// the first and last points.
+fn max_chord_distance(curve: &[(usize, f64)]) -> usize {
+    let (x1, y1) = (curve[0].0 as f64, curve[0].1);
+    let (x2, y2) = (curve[curve.len() - 1].0 as f64, curve[curve.len() - 1].1);
+    let dx = x2 - x1;
+    let dy = y2 - y1;
+    let len = (dx * dx + dy * dy).sqrt().max(f64::EPSILON);
+    let mut best = 0;
+    let mut best_d = f64::MIN;
+    for (i, &(k, w)) in curve.iter().enumerate() {
+        let d = ((k as f64 - x1) * dy - (w - y1) * dx).abs() / len;
+        if d > best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// `g` well-separated Gaussian-ish blobs of `per` points each.
+    fn blobs(g: usize, per: usize, seed: u64) -> Vec<SparseVec> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        for b in 0..g {
+            let cx = 5.0 + (b as f64) * 50.0;
+            let cy = 5.0 + (b as f64 % 3.0) * 50.0;
+            for _ in 0..per {
+                pts.push(SparseVec::from_dense(&[
+                    cx + rng.gen_range(-1.0..1.0),
+                    cy + rng.gen_range(-1.0..1.0),
+                ]));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn finds_the_true_blob_count() {
+        let pts = blobs(4, 15, 3);
+        let result = elbow(&pts, &[2, 3, 4, 5, 6, 8, 10], 7);
+        assert_eq!(result.chosen_k, 4, "curve: {:?}", result.curve);
+        // The chosen clustering has nearly zero inertia.
+        assert!(result.clustering.wcss < pts.len() as f64);
+    }
+
+    #[test]
+    fn curve_is_decreasing_overall() {
+        let pts = blobs(3, 10, 9);
+        let result = elbow(&pts, &[2, 3, 4, 6, 8], 1);
+        let first = result.curve.first().unwrap().1;
+        let last = result.curve.last().unwrap().1;
+        assert!(last <= first);
+    }
+
+    #[test]
+    fn default_candidates_shape() {
+        assert_eq!(default_candidates(0), vec![0]);
+        assert_eq!(default_candidates(1), vec![1]);
+        let ks = default_candidates(400);
+        assert_eq!(*ks.first().unwrap(), 2);
+        assert_eq!(*ks.last().unwrap(), 100); // n/4
+        assert!(ks.windows(2).all(|w| w[0] < w[1]), "{ks:?}");
+        let big = default_candidates(100_000);
+        assert_eq!(*big.last().unwrap(), 320);
+    }
+
+    #[test]
+    fn empty_points() {
+        let r = elbow(&[], &[2, 3], 0);
+        assert_eq!(r.chosen_k, 0);
+        assert!(r.curve.is_empty());
+    }
+
+    #[test]
+    fn single_candidate() {
+        let pts = blobs(2, 5, 1);
+        let r = elbow(&pts, &[3], 0);
+        assert_eq!(r.chosen_k, 3);
+        assert_eq!(r.curve.len(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts = blobs(3, 8, 5);
+        let a = elbow(&pts, &[2, 3, 4, 5], 42);
+        let b = elbow(&pts, &[2, 3, 4, 5], 42);
+        assert_eq!(a.chosen_k, b.chosen_k);
+        assert_eq!(a.clustering.assignments, b.clustering.assignments);
+    }
+}

@@ -1,0 +1,413 @@
+//! K-means clustering with k-means++ seeding, over sparse vectors.
+//!
+//! The prototype clusters vulnerability vectors with Weka's K-means
+//! (paper §5.1); this is a native replacement: k-means++ initialization
+//! (Arthur & Vassilvitskii), Lloyd iterations to convergence, deterministic
+//! under a caller-provided seed, with empty clusters reseeded to the point
+//! farthest from its centroid.
+//!
+//! TF-IDF document vectors are extremely sparse (a CVE description touches
+//! 10–20 of the 200 vocabulary terms), so points are [`SparseVec`]s and all
+//! point–centroid distances use the `‖x‖² + ‖c‖² − 2·x·c` identity with the
+//! dot product running over the point's non-zeros only. This makes
+//! corpus-scale K (hundreds of clusters) affordable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A sparse vector with cached squared norm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVec {
+    dim: usize,
+    idx: Vec<u32>,
+    val: Vec<f64>,
+    norm2: f64,
+}
+
+impl SparseVec {
+    /// Builds from a dense vector, dropping zeros.
+    pub fn from_dense(dense: &[f64]) -> SparseVec {
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        let mut norm2 = 0.0;
+        for (i, &x) in dense.iter().enumerate() {
+            if x != 0.0 {
+                idx.push(i as u32);
+                val.push(x);
+                norm2 += x * x;
+            }
+        }
+        SparseVec { dim: dense.len(), idx, val, norm2 }
+    }
+
+    /// Builds from parallel `(index, value)` lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or an index is out of `dim` bounds.
+    pub fn new(dim: usize, idx: Vec<u32>, val: Vec<f64>) -> SparseVec {
+        assert_eq!(idx.len(), val.len(), "index/value length mismatch");
+        assert!(idx.iter().all(|&i| (i as usize) < dim), "index out of bounds");
+        let norm2 = val.iter().map(|v| v * v).sum();
+        SparseVec { dim, idx, val, norm2 }
+    }
+
+    /// The nominal dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Cached squared L2 norm.
+    pub fn norm2(&self) -> f64 {
+        self.norm2
+    }
+
+    /// Dot product against a dense vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if dimensions mismatch.
+    pub fn dot_dense(&self, dense: &[f64]) -> f64 {
+        debug_assert_eq!(self.dim, dense.len());
+        self.idx
+            .iter()
+            .zip(&self.val)
+            .map(|(&i, &v)| v * dense[i as usize])
+            .sum()
+    }
+
+    /// Squared Euclidean distance to a dense centroid with known norm.
+    fn distance_sq_to(&self, centroid: &[f64], centroid_norm2: f64) -> f64 {
+        (self.norm2 + centroid_norm2 - 2.0 * self.dot_dense(centroid)).max(0.0)
+    }
+
+    /// Materializes the dense form.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        for (&i, &v) in self.idx.iter().zip(&self.val) {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    fn add_into(&self, acc: &mut [f64]) {
+        for (&i, &v) in self.idx.iter().zip(&self.val) {
+            acc[i as usize] += v;
+        }
+    }
+}
+
+/// The result of one K-means run.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Cluster index (`0..k`) per input point.
+    pub assignments: Vec<usize>,
+    /// Final centroids, `k` dense rows.
+    pub centroids: Vec<Vec<f64>>,
+    /// Within-cluster sum of squares (inertia) — the elbow-method input.
+    pub wcss: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Indices of points in cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Sizes of all clusters.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+/// Maximum Lloyd iterations; text corpora converge in well under this.
+const MAX_ITERS: usize = 60;
+
+/// Runs K-means over sparse `points`.
+///
+/// `k` is clamped to `points.len()`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` while `points` is non-empty, or if points have
+/// inconsistent dimensionality.
+pub fn kmeans(points: &[SparseVec], k: usize, seed: u64) -> Clustering {
+    if points.is_empty() {
+        return Clustering { assignments: vec![], centroids: vec![], wcss: 0.0, iterations: 0 };
+    }
+    assert!(k > 0, "k must be positive for a non-empty input");
+    let k = k.min(points.len());
+    let dim = points[0].dim();
+    assert!(points.iter().all(|p| p.dim() == dim), "inconsistent dimensions");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centroids = plus_plus_init(points, k, &mut rng);
+    let mut centroid_norms: Vec<f64> = centroids
+        .iter()
+        .map(|c| c.iter().map(|x| x * x).sum())
+        .collect();
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, cent) in centroids.iter().enumerate() {
+                let d = p.distance_sq_to(cent, centroid_norms[c]);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            p.add_into(&mut sums[a]);
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Reseed an empty cluster at the point farthest from its
+                // assigned centroid.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(i, p), (j, q)| {
+                        let di = p.distance_sq_to(&centroids[assignments[*i]], centroid_norms[assignments[*i]]);
+                        let dj = q.distance_sq_to(&centroids[assignments[*j]], centroid_norms[assignments[*j]]);
+                        di.partial_cmp(&dj).expect("finite distances")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("nonempty points");
+                centroids[c] = points[far].to_dense();
+                changed = true;
+            } else {
+                let inv = 1.0 / counts[c] as f64;
+                for (cent, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *cent = s * inv;
+                }
+            }
+            centroid_norms[c] = centroids[c].iter().map(|x| x * x).sum();
+        }
+        if !changed || iterations >= MAX_ITERS {
+            break;
+        }
+    }
+
+    let wcss = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| p.distance_sq_to(&centroids[a], centroid_norms[a]))
+        .sum();
+    Clustering { assignments, centroids, wcss, iterations }
+}
+
+/// k-means++ seeding: first centroid uniform, then each next centroid drawn
+/// with probability proportional to D²(x).
+fn plus_plus_init(points: &[SparseVec], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = points[rng.gen_range(0..points.len())].to_dense();
+    let first_norm: f64 = first.iter().map(|x| x * x).sum();
+    let mut d2: Vec<f64> = points.iter().map(|p| p.distance_sq_to(&first, first_norm)).collect();
+    centroids.push(first);
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All remaining points coincide with a centroid; pick uniformly.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = points.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        let cent = points[next].to_dense();
+        let cent_norm: f64 = cent.iter().map(|x| x * x).sum();
+        for (i, p) in points.iter().enumerate() {
+            let d = p.distance_sq_to(&cent, cent_norm);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+        centroids.push(cent);
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse(points: Vec<Vec<f64>>) -> Vec<SparseVec> {
+        points.iter().map(|p| SparseVec::from_dense(p)).collect()
+    }
+
+    /// Two well-separated blobs in 2-D.
+    fn blobs() -> Vec<SparseVec> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![1.0 + (i as f64) * 0.01, 0.0]);
+            pts.push(vec![10.0 + (i as f64) * 0.01, 10.0]);
+        }
+        sparse(pts)
+    }
+
+    #[test]
+    fn sparse_vec_roundtrip() {
+        let dense = vec![0.0, 2.0, 0.0, -1.5, 0.0];
+        let s = SparseVec::from_dense(&dense);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.dim(), 5);
+        assert_eq!(s.to_dense(), dense);
+        assert!((s.norm2() - (4.0 + 2.25)).abs() < 1e-12);
+        assert!((s.dot_dense(&[1.0, 1.0, 1.0, 1.0, 1.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_distance_matches_dense() {
+        let a = SparseVec::from_dense(&[0.0, 3.0, 0.0]);
+        let c = [1.0, 1.0, 1.0];
+        let norm2 = 3.0;
+        // dense: (0-1)² + (3-1)² + (0-1)² = 6
+        assert!((a.distance_sq_to(&c, norm2) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = blobs();
+        let c = kmeans(&pts, 2, 7);
+        assert_eq!(c.k(), 2);
+        let a = c.assignments[0];
+        for (i, &assign) in c.assignments.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(assign, a);
+            } else {
+                assert_ne!(assign, a);
+            }
+        }
+        assert!(c.wcss < 1.0, "tight blobs should have tiny inertia: {}", c.wcss);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let pts = blobs();
+        let a = kmeans(&pts, 2, 123);
+        let b = kmeans(&pts, 2, 123);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.wcss, b.wcss);
+    }
+
+    #[test]
+    fn every_point_assigned_to_nearest_centroid() {
+        let pts = blobs();
+        let c = kmeans(&pts, 3, 99);
+        for (p, &a) in pts.iter().zip(&c.assignments) {
+            let d = |cent: &[f64]| {
+                let n: f64 = cent.iter().map(|x| x * x).sum();
+                p.distance_sq_to(cent, n)
+            };
+            let d_assigned = d(&c.centroids[a]);
+            for cent in &c.centroids {
+                assert!(d_assigned <= d(cent) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn wcss_is_monotone_in_k() {
+        let pts = blobs();
+        let best = |k: usize| {
+            (0..3)
+                .map(|s| kmeans(&pts, k, s).wcss)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let w1 = best(1);
+        let w2 = best(2);
+        let w4 = best(4);
+        assert!(w1 >= w2 && w2 >= w4 - 1e-9, "{w1} {w2} {w4}");
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = sparse(vec![vec![1.0], vec![2.0]]);
+        let c = kmeans(&pts, 10, 1);
+        assert_eq!(c.k(), 2);
+        assert!(c.wcss < 1e-12);
+    }
+
+    #[test]
+    fn k_equals_n_is_perfect() {
+        let pts = blobs();
+        let c = kmeans(&pts, pts.len(), 5);
+        assert!(c.wcss < 1e-9);
+        let sizes = c.sizes();
+        assert!(sizes.iter().all(|&s| s >= 1), "no empty clusters: {sizes:?}");
+    }
+
+    #[test]
+    fn identical_points_are_fine() {
+        let pts = sparse(vec![vec![1.0, 1.0]; 8]);
+        let c = kmeans(&pts, 3, 11);
+        assert_eq!(c.assignments.len(), 8);
+        assert!(c.wcss < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = kmeans(&[], 0, 0);
+        assert!(c.assignments.is_empty());
+        assert_eq!(c.wcss, 0.0);
+    }
+
+    #[test]
+    fn members_and_sizes_agree() {
+        let pts = blobs();
+        let c = kmeans(&pts, 2, 3);
+        let sizes = c.sizes();
+        for k in 0..c.k() {
+            assert_eq!(c.members(k).len(), sizes[k]);
+        }
+        assert_eq!(sizes.iter().sum::<usize>(), pts.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn sparse_vec_validates_indices() {
+        SparseVec::new(3, vec![5], vec![1.0]);
+    }
+}

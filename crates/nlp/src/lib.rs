@@ -1,0 +1,36 @@
+//! Text clustering of vulnerability descriptions for Lazarus.
+//!
+//! Implements the "vulnerability clusters" half of the risk manager
+//! (paper §4.1 and §5.1): NVD descriptions are tokenized and canonicalized
+//! ([`text`]), vectorized with a bounded TF-IDF scheme ([`vectorize`],
+//! "up to 200 words … less frequent words are given higher weights"),
+//! clustered with K-means ([`kmeans`]) where K is picked by the elbow method
+//! ([`elbow`]), and indexed by CVE id ([`cluster`]) so that the risk metric
+//! can treat same-cluster vulnerabilities on different products as a shared
+//! weakness.
+//!
+//! # Example
+//!
+//! ```
+//! use lazarus_nlp::cluster::VulnClusters;
+//! use lazarus_osint::fixtures;
+//! use lazarus_osint::model::CveId;
+//!
+//! // The paper's Table 1: three XSS CVEs in OpenStack Horizon, listed
+//! // against three different OSes, cluster together by description.
+//! let mut corpus = fixtures::table1_triplet();
+//! corpus.extend(fixtures::may_2018_cluster());
+//! let clusters = VulnClusters::build_with_k(&corpus, 3, 42);
+//! assert!(clusters.same_cluster(CveId::new(2014, 157), CveId::new(2016, 4428)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod elbow;
+pub mod kmeans;
+pub mod text;
+pub mod vectorize;
+
+pub use cluster::VulnClusters;

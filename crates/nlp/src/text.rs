@@ -1,0 +1,167 @@
+//! Text preprocessing for vulnerability descriptions.
+//!
+//! Mirrors the Weka `StringToWordVector` preprocessing the prototype used
+//! (paper §5.1, Risk manager): descriptions are lowercased, tokenized,
+//! stripped of stop words, and reduced to a canonical form with a light
+//! suffix stemmer, before TF-IDF vectorization.
+
+/// English stop words plus boilerplate that appears in virtually every CVE
+/// description and therefore carries no clustering signal.
+const STOP_WORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "before", "by", "can", "could", "do", "does",
+    "earlier", "for", "from", "has", "have", "how", "in", "is", "it", "its", "of", "on", "or",
+    "than", "that", "the", "their", "there", "these", "this", "through", "to", "via", "was",
+    "when", "where", "which", "while", "who", "will", "with", "within",
+    // CVE boilerplate
+    "vulnerability", "vulnerabilities", "allow", "allows", "allowing", "attacker", "attackers",
+    "issue", "affected", "affects", "version", "versions", "aka", "other", "certain",
+    "unspecified", "multiple",
+];
+
+/// True when `word` is a stop word (after lowercasing).
+pub fn is_stop_word(word: &str) -> bool {
+    STOP_WORDS.contains(&word)
+}
+
+/// A light suffix stemmer (Porter step-1 flavoured): collapses plurals and
+/// common verbal/nominal suffixes so `injected`, `injection` and `injects`
+/// share a stem. Precision matters less than stability here — identical
+/// descriptions must map to identical token streams.
+pub fn stem(word: &str) -> String {
+    let w = word;
+    let try_strip = |w: &str, suffix: &str, min_stem: usize| -> Option<String> {
+        w.strip_suffix(suffix)
+            .filter(|stem| stem.len() >= min_stem)
+            .map(|s| s.to_string())
+    };
+    if let Some(s) = try_strip(w, "ization", 3) {
+        return s + "ize";
+    }
+    if let Some(s) = try_strip(w, "ations", 3) {
+        return s + "ate";
+    }
+    if let Some(s) = try_strip(w, "ation", 3) {
+        return s + "ate";
+    }
+    if let Some(s) = try_strip(w, "ments", 3) {
+        return s + "ment";
+    }
+    if let Some(s) = try_strip(w, "nesses", 3) {
+        return s + "ness";
+    }
+    if let Some(s) = try_strip(w, "ingly", 3) {
+        return s;
+    }
+    if let Some(s) = try_strip(w, "tions", 3) {
+        return s + "tion";
+    }
+    if let Some(s) = try_strip(w, "sses", 2) {
+        return s + "ss";
+    }
+    if let Some(s) = try_strip(w, "ies", 2) {
+        return s + "i";
+    }
+    if let Some(s) = try_strip(w, "ing", 3) {
+        return s;
+    }
+    if let Some(s) = try_strip(w, "edly", 3) {
+        return s;
+    }
+    if let Some(s) = try_strip(w, "ed", 3) {
+        return s;
+    }
+    if let Some(s) = try_strip(w, "ly", 3) {
+        return s;
+    }
+    if w.ends_with('s') && !w.ends_with("ss") && w.len() > 3 {
+        return w[..w.len() - 1].to_string();
+    }
+    w.to_string()
+}
+
+/// Tokenizes a description into canonical terms: lowercase, alphanumeric
+/// runs, stop words removed, short/purely-numeric tokens dropped, stemmed.
+///
+/// # Examples
+///
+/// ```
+/// use lazarus_nlp::text::tokenize;
+///
+/// let tokens = tokenize("Cross-site scripting (XSS) allows remote attackers to inject scripts");
+/// assert!(tokens.contains(&"cross".to_string()));
+/// assert!(tokens.contains(&"xss".to_string()));
+/// assert!(tokens.contains(&"inject".to_string()));   // "inject" stemmed
+/// assert!(!tokens.contains(&"to".to_string()));      // stop word
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let lower = text.to_ascii_lowercase();
+    lower
+        .split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| t.len() >= 3)
+        .filter(|t| !t.chars().all(|c| c.is_ascii_digit()))
+        .filter(|t| !is_stop_word(t))
+        .map(stem)
+        .filter(|t| t.len() >= 3)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stemming_collapses_variants() {
+        assert_eq!(stem("injection"), stem("injections"));
+        assert_eq!(stem("scripting"), "script");
+        assert_eq!(stem("crafted"), "craft");
+        assert_eq!(stem("packets"), "packet");
+        assert_eq!(stem("overflows"), "overflow");
+        assert_eq!(stem("randomization"), "randomize");
+        // words that must survive unchanged
+        assert_eq!(stem("kernel"), "kernel");
+        assert_eq!(stem("xss"), "xss");
+        // no over-stripping of short words
+        assert_eq!(stem("les"), "les");
+    }
+
+    #[test]
+    fn tokenize_drops_noise() {
+        let t = tokenize("The 2013.2 release of the dashboard allows attackers via a crafted URL!");
+        assert!(!t.iter().any(|w| w == "the"));
+        assert!(!t.iter().any(|w| w == "2013"));
+        assert!(!t.iter().any(|w| w == "allows" || w == "allow"));
+        assert!(t.contains(&"dashboard".to_string()));
+        assert!(t.contains(&"craft".to_string()));
+        assert!(t.contains(&"url".to_string()));
+    }
+
+    #[test]
+    fn identical_text_identical_tokens() {
+        let a = "Buffer overflow in the kernel allows local privilege escalation.";
+        assert_eq!(tokenize(a), tokenize(a));
+    }
+
+    #[test]
+    fn table1_style_descriptions_overlap() {
+        let a = tokenize(
+            "Cross-site scripting (XSS) vulnerability in the Horizon Orchestration dashboard \
+             in OpenStack Dashboard (aka Horizon) allows remote attackers to inject arbitrary \
+             web script or HTML via the description field of a Heat template.",
+        );
+        let b = tokenize(
+            "Cross-site scripting (XSS) vulnerability in OpenStack Dashboard (Horizon) allows \
+             remote authenticated users to inject arbitrary web script or HTML by injecting an \
+             AngularJS template in a dashboard form.",
+        );
+        let set_a: std::collections::HashSet<_> = a.iter().collect();
+        let set_b: std::collections::HashSet<_> = b.iter().collect();
+        let shared = set_a.intersection(&set_b).count();
+        assert!(shared >= 8, "expected strong overlap, got {shared}");
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ??? 123 42").is_empty());
+    }
+}

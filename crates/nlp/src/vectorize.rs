@@ -1,0 +1,246 @@
+//! TF-IDF vectorization of token streams.
+//!
+//! Following the prototype (paper §5.1): "the vulnerability description
+//! needs to be transformed into a vector, where a numerical value is
+//! associated with the most relevant words (up to 200 words) … converting
+//! all words to a canonical form and calculating their frequency (less
+//! frequent words are given higher weights)". That is a TF-IDF scheme over a
+//! bounded vocabulary; vectors are L2-normalized so K-means distances
+//! compare direction, not document length.
+
+use std::collections::HashMap;
+
+use crate::kmeans::SparseVec;
+
+/// Default vocabulary bound, per the paper ("up to 200 words").
+pub const DEFAULT_MAX_TERMS: usize = 200;
+
+/// A fitted vocabulary: term → dimension index, with per-term IDF weights.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    index: HashMap<String, usize>,
+    idf: Vec<f64>,
+    documents: usize,
+}
+
+impl Vocabulary {
+    /// Fits a vocabulary over tokenized documents, keeping the `max_terms`
+    /// terms with the highest document frequency (ties broken
+    /// alphabetically, so fitting is deterministic). Terms must appear in at
+    /// least two documents — hapaxes cannot indicate sharing.
+    pub fn fit(documents: &[Vec<String>], max_terms: usize) -> Vocabulary {
+        let mut df: HashMap<&str, usize> = HashMap::new();
+        for doc in documents {
+            let mut seen: Vec<&str> = doc.iter().map(String::as_str).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for term in seen {
+                *df.entry(term).or_insert(0) += 1;
+            }
+        }
+        let mut ranked: Vec<(&str, usize)> =
+            df.into_iter().filter(|&(_, count)| count >= 2).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        ranked.truncate(max_terms);
+
+        let n = documents.len().max(1) as f64;
+        let mut terms = Vec::with_capacity(ranked.len());
+        let mut idf = Vec::with_capacity(ranked.len());
+        let mut index = HashMap::with_capacity(ranked.len());
+        for (term, count) in ranked {
+            index.insert(term.to_string(), terms.len());
+            terms.push(term.to_string());
+            // Smoothed IDF; rarer terms weigh more.
+            idf.push((n / (count as f64)).ln() + 1.0);
+        }
+        Vocabulary { terms, index, idf, documents: documents.len() }
+    }
+
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when the vocabulary is empty (e.g. fitted on an empty corpus).
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of documents the vocabulary was fitted on.
+    pub fn documents(&self) -> usize {
+        self.documents
+    }
+
+    /// The term at dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= self.len()`.
+    pub fn term(&self, dim: usize) -> &str {
+        &self.terms[dim]
+    }
+
+    /// Dimension of `term`, if in vocabulary.
+    pub fn dim_of(&self, term: &str) -> Option<usize> {
+        self.index.get(term).copied()
+    }
+
+    /// Transforms one tokenized document into an L2-normalized TF-IDF
+    /// vector. Out-of-vocabulary tokens are ignored; a document with no
+    /// in-vocabulary token yields the zero vector.
+    pub fn transform(&self, tokens: &[String]) -> Vec<f64> {
+        let mut v = vec![0.0; self.terms.len()];
+        for t in tokens {
+            if let Some(&i) = self.index.get(t) {
+                v[i] += 1.0;
+            }
+        }
+        for (i, x) in v.iter_mut().enumerate() {
+            if *x > 0.0 {
+                *x = (1.0 + f64::ln(*x)) * self.idf[i]; // sublinear TF
+            }
+        }
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        v
+    }
+
+    /// Transforms a whole corpus.
+    pub fn transform_all(&self, documents: &[Vec<String>]) -> Vec<Vec<f64>> {
+        documents.iter().map(|d| self.transform(d)).collect()
+    }
+
+    /// Transforms one document directly into sparse form (what the
+    /// clustering pipeline consumes).
+    pub fn transform_sparse(&self, tokens: &[String]) -> SparseVec {
+        SparseVec::from_dense(&self.transform(tokens))
+    }
+
+    /// Transforms a whole corpus into sparse vectors.
+    pub fn transform_all_sparse(&self, documents: &[Vec<String>]) -> Vec<SparseVec> {
+        documents.iter().map(|d| self.transform_sparse(d)).collect()
+    }
+}
+
+/// Squared Euclidean distance between equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn distance_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Cosine similarity between equal-length vectors (0 for zero vectors).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::tokenize;
+
+    fn corpus() -> Vec<Vec<String>> {
+        [
+            "Cross-site scripting in the dashboard allows script injection via a template",
+            "Cross-site scripting in the dashboard allows HTML injection via a form",
+            "Buffer overflow in the kernel allows privilege escalation via a crafted packet",
+            "Buffer overflow in the kernel allows code execution via a crafted message",
+            "Information disclosure in the resolver allows reading memory",
+        ]
+        .iter()
+        .map(|s| tokenize(s))
+        .collect()
+    }
+
+    #[test]
+    fn vocabulary_is_bounded_and_deterministic() {
+        let docs = corpus();
+        let a = Vocabulary::fit(&docs, 10);
+        let b = Vocabulary::fit(&docs, 10);
+        assert!(a.len() <= 10);
+        assert!(!a.is_empty());
+        assert_eq!(a.documents(), 5);
+        for d in 0..a.len() {
+            assert_eq!(a.term(d), b.term(d));
+        }
+    }
+
+    #[test]
+    fn hapaxes_are_excluded() {
+        let docs = corpus();
+        let v = Vocabulary::fit(&docs, DEFAULT_MAX_TERMS);
+        // "resolver" appears in exactly one document
+        assert_eq!(v.dim_of("resolver"), None);
+        // "kernel" appears in two
+        assert!(v.dim_of("kernel").is_some());
+    }
+
+    #[test]
+    fn vectors_are_unit_norm() {
+        let docs = corpus();
+        let v = Vocabulary::fit(&docs, DEFAULT_MAX_TERMS);
+        for vec in v.transform_all(&docs) {
+            let norm: f64 = vec.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!(norm == 0.0 || (norm - 1.0).abs() < 1e-9, "norm {norm}");
+        }
+    }
+
+    #[test]
+    fn similar_documents_are_closer() {
+        let docs = corpus();
+        let v = Vocabulary::fit(&docs, DEFAULT_MAX_TERMS);
+        let vecs = v.transform_all(&docs);
+        let xss_pair = distance_sq(&vecs[0], &vecs[1]);
+        let cross_pair = distance_sq(&vecs[0], &vecs[2]);
+        assert!(xss_pair < cross_pair, "{xss_pair} !< {cross_pair}");
+        assert!(cosine_similarity(&vecs[0], &vecs[1]) > cosine_similarity(&vecs[0], &vecs[2]));
+    }
+
+    #[test]
+    fn oov_document_is_zero_vector() {
+        let docs = corpus();
+        let v = Vocabulary::fit(&docs, DEFAULT_MAX_TERMS);
+        let z = v.transform(&tokenize("entirely unrelated astronomy telescope nebula"));
+        assert!(z.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let v = Vocabulary::fit(&[], DEFAULT_MAX_TERMS);
+        assert!(v.is_empty());
+        assert_eq!(v.transform(&tokenize("anything")), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn distance_and_similarity_basics() {
+        assert_eq!(distance_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn distance_dimension_mismatch_panics() {
+        distance_sq(&[1.0], &[1.0, 2.0]);
+    }
+}

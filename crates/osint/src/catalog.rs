@@ -1,0 +1,334 @@
+//! The operating-system catalog used throughout the evaluation.
+//!
+//! Paper §6 studies 21 OS versions drawn from eight distributions (OpenBSD,
+//! FreeBSD, Solaris, Windows, Ubuntu, Debian, Fedora, RedHat); §7 runs 17 of
+//! them (plus OpenSuse) under VirtualBox. This module provides the identity
+//! side of that catalog — families, versions, CPE names, and the structural
+//! relationships (shared kernel, shared package base) that drive common
+//! vulnerabilities. Performance profiles live in `lazarus-testbed`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpe::Cpe;
+
+/// An OS distribution family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OsFamily {
+    /// OpenBSD.
+    OpenBsd,
+    /// FreeBSD.
+    FreeBsd,
+    /// Oracle Solaris.
+    Solaris,
+    /// Microsoft Windows (client and server).
+    Windows,
+    /// Ubuntu.
+    Ubuntu,
+    /// Debian.
+    Debian,
+    /// Fedora.
+    Fedora,
+    /// Red Hat Enterprise Linux.
+    RedHat,
+    /// OpenSuse (appears only in the §7 testbed).
+    OpenSuse,
+}
+
+impl OsFamily {
+    /// All families, in the paper's order.
+    pub const ALL: [OsFamily; 9] = [
+        OsFamily::OpenBsd,
+        OsFamily::FreeBsd,
+        OsFamily::Solaris,
+        OsFamily::Windows,
+        OsFamily::Ubuntu,
+        OsFamily::Debian,
+        OsFamily::Fedora,
+        OsFamily::RedHat,
+        OsFamily::OpenSuse,
+    ];
+
+    /// The broad kernel lineage, the strongest axis of vulnerability
+    /// sharing: a kernel flaw tends to affect every distribution of the
+    /// lineage (e.g. CVE-2018-8897 hit Ubuntu and Debian simultaneously).
+    pub fn kernel(self) -> Kernel {
+        match self {
+            OsFamily::Ubuntu | OsFamily::Debian | OsFamily::Fedora | OsFamily::RedHat
+            | OsFamily::OpenSuse => Kernel::Linux,
+            OsFamily::Windows => Kernel::Nt,
+            OsFamily::FreeBsd => Kernel::FreeBsd,
+            OsFamily::OpenBsd => Kernel::OpenBsd,
+            OsFamily::Solaris => Kernel::SunOs,
+        }
+    }
+
+    /// The userland package base; Debian-derived systems share packaging
+    /// (and therefore packaged-software vulnerabilities) more tightly than
+    /// the kernel lineage alone suggests, as do the RPM distributions.
+    pub fn package_base(self) -> PackageBase {
+        match self {
+            OsFamily::Ubuntu | OsFamily::Debian => PackageBase::Deb,
+            OsFamily::Fedora | OsFamily::RedHat | OsFamily::OpenSuse => PackageBase::Rpm,
+            OsFamily::Windows => PackageBase::Windows,
+            OsFamily::FreeBsd | OsFamily::OpenBsd => PackageBase::BsdPorts,
+            OsFamily::Solaris => PackageBase::Ips,
+        }
+    }
+
+    /// CPE `vendor` component.
+    pub fn cpe_vendor(self) -> &'static str {
+        match self {
+            OsFamily::OpenBsd => "openbsd",
+            OsFamily::FreeBsd => "freebsd",
+            OsFamily::Solaris => "oracle",
+            OsFamily::Windows => "microsoft",
+            OsFamily::Ubuntu => "canonical",
+            OsFamily::Debian => "debian",
+            OsFamily::Fedora => "fedoraproject",
+            OsFamily::RedHat => "redhat",
+            OsFamily::OpenSuse => "opensuse",
+        }
+    }
+
+    /// CPE `product` component.
+    pub fn cpe_product(self) -> &'static str {
+        match self {
+            OsFamily::OpenBsd => "openbsd",
+            OsFamily::FreeBsd => "freebsd",
+            OsFamily::Solaris => "solaris",
+            OsFamily::Windows => "windows",
+            OsFamily::Ubuntu => "ubuntu_linux",
+            OsFamily::Debian => "debian_linux",
+            OsFamily::Fedora => "fedora",
+            OsFamily::RedHat => "enterprise_linux",
+            OsFamily::OpenSuse => "leap",
+        }
+    }
+}
+
+impl fmt::Display for OsFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OsFamily::OpenBsd => "OpenBSD",
+            OsFamily::FreeBsd => "FreeBSD",
+            OsFamily::Solaris => "Solaris",
+            OsFamily::Windows => "Windows",
+            OsFamily::Ubuntu => "Ubuntu",
+            OsFamily::Debian => "Debian",
+            OsFamily::Fedora => "Fedora",
+            OsFamily::RedHat => "RedHat",
+            OsFamily::OpenSuse => "OpenSuse",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Kernel lineage (see [`OsFamily::kernel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Kernel {
+    /// The Linux kernel.
+    Linux,
+    /// Windows NT.
+    Nt,
+    /// FreeBSD kernel.
+    FreeBsd,
+    /// OpenBSD kernel.
+    OpenBsd,
+    /// SunOS / illumos.
+    SunOs,
+}
+
+/// Userland package base (see [`OsFamily::package_base`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PackageBase {
+    /// dpkg/apt world (Debian, Ubuntu).
+    Deb,
+    /// rpm world (Fedora, RHEL, OpenSuse).
+    Rpm,
+    /// Windows component store.
+    Windows,
+    /// BSD ports/pkg.
+    BsdPorts,
+    /// Solaris IPS.
+    Ips,
+}
+
+/// One concrete OS version — the unit of diversity in Lazarus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OsVersion {
+    /// The distribution family.
+    pub family: OsFamily,
+    /// Version label (static; the catalog is closed).
+    pub version: &'static str,
+}
+
+impl OsVersion {
+    /// Creates an OS version entry.
+    pub const fn new(family: OsFamily, version: &'static str) -> OsVersion {
+        OsVersion { family, version }
+    }
+
+    /// The concrete CPE name for this OS version.
+    pub fn to_cpe(self) -> Cpe {
+        Cpe::os(self.family.cpe_vendor(), self.family.cpe_product(), self.version)
+    }
+
+    /// Short identifier in the style of paper Table 2 (`UB16`, `SO11`, …).
+    pub fn short_id(self) -> String {
+        let fam = match self.family {
+            OsFamily::OpenBsd => "OB",
+            OsFamily::FreeBsd => "FB",
+            OsFamily::Solaris => "SO",
+            OsFamily::Windows => "W",
+            OsFamily::Ubuntu => "UB",
+            OsFamily::Debian => "DE",
+            OsFamily::Fedora => "FE",
+            OsFamily::RedHat => "RH",
+            OsFamily::OpenSuse => "OS",
+        };
+        // Windows Server gets the paper's dedicated "WS" prefix (WS12).
+        if self.family == OsFamily::Windows {
+            if let Some(year) = self.version.strip_prefix("server_") {
+                let digits: String = year.chars().filter(|c| c.is_ascii_digit()).collect();
+                let short = if digits.len() > 2 { &digits[2..] } else { &digits[..] };
+                return format!("WS{short}");
+            }
+        }
+        let digits: String = self.version.chars().filter(|c| c.is_ascii_digit()).collect();
+        let trimmed: String = match self.family {
+            OsFamily::Ubuntu | OsFamily::OpenBsd | OsFamily::FreeBsd | OsFamily::OpenSuse => {
+                digits.chars().take(2).collect()
+            }
+            _ => digits,
+        };
+        format!("{fam}{trimmed}")
+    }
+}
+
+impl fmt::Display for OsVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.family, self.version)
+    }
+}
+
+/// The 21 OS versions of the §6 risk study.
+pub fn study_oses() -> Vec<OsVersion> {
+    use OsFamily::*;
+    vec![
+        OsVersion::new(OpenBsd, "6.0"),
+        OsVersion::new(OpenBsd, "6.1"),
+        OsVersion::new(FreeBsd, "10"),
+        OsVersion::new(FreeBsd, "11"),
+        OsVersion::new(Solaris, "10"),
+        OsVersion::new(Solaris, "11"),
+        OsVersion::new(Windows, "7"),
+        OsVersion::new(Windows, "8.1"),
+        OsVersion::new(Windows, "10"),
+        OsVersion::new(Windows, "server_2012"),
+        OsVersion::new(Ubuntu, "14.04"),
+        OsVersion::new(Ubuntu, "16.04"),
+        OsVersion::new(Ubuntu, "17.04"),
+        OsVersion::new(Debian, "7"),
+        OsVersion::new(Debian, "8"),
+        OsVersion::new(Debian, "9"),
+        OsVersion::new(Fedora, "24"),
+        OsVersion::new(Fedora, "25"),
+        OsVersion::new(Fedora, "26"),
+        OsVersion::new(RedHat, "6"),
+        OsVersion::new(RedHat, "7"),
+    ]
+}
+
+/// The 17 OS versions of the §7 performance testbed (paper Table 2).
+pub fn testbed_oses() -> Vec<OsVersion> {
+    use OsFamily::*;
+    vec![
+        OsVersion::new(Ubuntu, "14.04"),
+        OsVersion::new(Ubuntu, "16.04"),
+        OsVersion::new(Ubuntu, "17.04"),
+        OsVersion::new(OpenSuse, "42.1"),
+        OsVersion::new(Fedora, "24"),
+        OsVersion::new(Fedora, "25"),
+        OsVersion::new(Fedora, "26"),
+        OsVersion::new(Debian, "7"),
+        OsVersion::new(Debian, "8"),
+        OsVersion::new(Windows, "10"),
+        OsVersion::new(Windows, "server_2012"),
+        OsVersion::new(FreeBsd, "10"),
+        OsVersion::new(FreeBsd, "11"),
+        OsVersion::new(Solaris, "10"),
+        OsVersion::new(Solaris, "11"),
+        OsVersion::new(OpenBsd, "6.0"),
+        OsVersion::new(OpenBsd, "6.1"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn study_catalog_has_21_distinct_versions() {
+        let oses = study_oses();
+        assert_eq!(oses.len(), 21);
+        let unique: HashSet<_> = oses.iter().collect();
+        assert_eq!(unique.len(), 21);
+    }
+
+    #[test]
+    fn testbed_catalog_has_17_versions() {
+        let oses = testbed_oses();
+        assert_eq!(oses.len(), 17);
+        let unique: HashSet<_> = oses.iter().collect();
+        assert_eq!(unique.len(), 17);
+    }
+
+    #[test]
+    fn study_catalog_covers_eight_families() {
+        let fams: HashSet<_> = study_oses().iter().map(|o| o.family).collect();
+        assert_eq!(fams.len(), 8);
+        assert!(!fams.contains(&OsFamily::OpenSuse));
+    }
+
+    #[test]
+    fn short_ids_match_table2() {
+        assert_eq!(OsVersion::new(OsFamily::Ubuntu, "16.04").short_id(), "UB16");
+        assert_eq!(OsVersion::new(OsFamily::OpenSuse, "42.1").short_id(), "OS42");
+        assert_eq!(OsVersion::new(OsFamily::Fedora, "24").short_id(), "FE24");
+        assert_eq!(OsVersion::new(OsFamily::Debian, "8").short_id(), "DE8");
+        assert_eq!(OsVersion::new(OsFamily::Windows, "10").short_id(), "W10");
+        assert_eq!(OsVersion::new(OsFamily::Windows, "server_2012").short_id(), "WS12");
+        assert_eq!(OsVersion::new(OsFamily::FreeBsd, "11").short_id(), "FB11");
+        assert_eq!(OsVersion::new(OsFamily::Solaris, "11").short_id(), "SO11");
+        assert_eq!(OsVersion::new(OsFamily::OpenBsd, "6.1").short_id(), "OB61");
+    }
+
+    #[test]
+    fn cpe_identity() {
+        let ub = OsVersion::new(OsFamily::Ubuntu, "16.04").to_cpe();
+        assert_eq!(ub.to_string(), "cpe:2.3:o:canonical:ubuntu_linux:16.04:*:*:*:*:*:*:*");
+        // CPEs of different versions are distinct but same product.
+        let ub17 = OsVersion::new(OsFamily::Ubuntu, "17.04").to_cpe();
+        assert_ne!(ub, ub17);
+        assert!(ub.same_product(&ub17));
+    }
+
+    #[test]
+    fn kernel_and_package_relationships() {
+        assert_eq!(OsFamily::Ubuntu.kernel(), OsFamily::Debian.kernel());
+        assert_eq!(OsFamily::Fedora.kernel(), Kernel::Linux);
+        assert_ne!(OsFamily::FreeBsd.kernel(), OsFamily::OpenBsd.kernel());
+        assert_eq!(OsFamily::Ubuntu.package_base(), OsFamily::Debian.package_base());
+        assert_eq!(OsFamily::Fedora.package_base(), OsFamily::RedHat.package_base());
+        assert_ne!(OsFamily::Ubuntu.package_base(), OsFamily::Fedora.package_base());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(OsVersion::new(OsFamily::Ubuntu, "16.04").to_string(), "Ubuntu 16.04");
+        assert_eq!(OsVersion::new(OsFamily::Windows, "server_2012").to_string(), "Windows server_2012");
+    }
+}

@@ -1,0 +1,386 @@
+//! Common Platform Enumeration (CPE) 2.3: product identifiers and matching.
+//!
+//! NVD lists the platforms affected by each vulnerability as CPE 2.3
+//! formatted strings such as
+//! `cpe:2.3:o:canonical:ubuntu_linux:16.04:*:*:*:lts:*:*:*`. The Lazarus data
+//! manager matches these against the administrator-selected software stack of
+//! each replica (paper §5.1, module 1) to decide which vulnerabilities are
+//! relevant.
+//!
+//! # Examples
+//!
+//! ```
+//! use lazarus_osint::cpe::Cpe;
+//!
+//! let listed: Cpe = "cpe:2.3:o:canonical:ubuntu_linux:16.04:*:*:*:*:*:*:*".parse()?;
+//! let mine = Cpe::os("canonical", "ubuntu_linux", "16.04");
+//! assert!(listed.matches(&mine));
+//! # Ok::<(), lazarus_osint::cpe::ParseCpeError>(())
+//! ```
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// The `part` component of a CPE name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CpePart {
+    /// `o` — operating system.
+    Os,
+    /// `a` — application.
+    Application,
+    /// `h` — hardware.
+    Hardware,
+    /// `*` — any.
+    Any,
+}
+
+/// A single CPE 2.3 attribute value: a literal, the wildcard `*`, or `-`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CpeValue {
+    /// `*` — matches anything.
+    Any,
+    /// `-` — "not applicable"; matches only `-` or `*`.
+    Na,
+    /// A literal value (lowercase by CPE convention).
+    Literal(String),
+}
+
+impl CpeValue {
+    fn parse(s: &str) -> CpeValue {
+        match s {
+            "*" => CpeValue::Any,
+            "-" => CpeValue::Na,
+            other => CpeValue::Literal(other.to_ascii_lowercase()),
+        }
+    }
+
+    /// CPE name-matching for one attribute: `*` matches anything, `-`
+    /// matches `-`/`*`, literals match case-insensitively.
+    pub fn matches(&self, target: &CpeValue) -> bool {
+        match (self, target) {
+            (CpeValue::Any, _) | (_, CpeValue::Any) => true,
+            (CpeValue::Na, CpeValue::Na) => true,
+            (CpeValue::Literal(a), CpeValue::Literal(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// The literal value, if this is a literal.
+    pub fn as_literal(&self) -> Option<&str> {
+        match self {
+            CpeValue::Literal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CpeValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpeValue::Any => f.write_str("*"),
+            CpeValue::Na => f.write_str("-"),
+            CpeValue::Literal(s) => f.write_str(s),
+        }
+    }
+}
+
+/// A CPE 2.3 name. Only the attributes Lazarus uses (part, vendor, product,
+/// version, update) are kept structured; the remaining five are preserved
+/// verbatim for round-tripping.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cpe {
+    /// Platform part.
+    pub part: CpePart,
+    /// Vendor, e.g. `canonical`.
+    pub vendor: CpeValue,
+    /// Product, e.g. `ubuntu_linux`.
+    pub product: CpeValue,
+    /// Version, e.g. `16.04`.
+    pub version: CpeValue,
+    /// Update / patch level.
+    pub update: CpeValue,
+    /// `edition:language:sw_edition:target_sw:target_hw:other`, verbatim.
+    tail: [CpeValue; 6],
+}
+
+impl Cpe {
+    /// Convenience constructor for an operating-system CPE with concrete
+    /// vendor/product/version and wildcards elsewhere.
+    pub fn os(vendor: &str, product: &str, version: &str) -> Cpe {
+        Cpe {
+            part: CpePart::Os,
+            vendor: CpeValue::Literal(vendor.to_ascii_lowercase()),
+            product: CpeValue::Literal(product.to_ascii_lowercase()),
+            version: CpeValue::Literal(version.to_ascii_lowercase()),
+            update: CpeValue::Any,
+            tail: std::array::from_fn(|_| CpeValue::Any),
+        }
+    }
+
+    /// Convenience constructor for an application CPE.
+    pub fn app(vendor: &str, product: &str, version: &str) -> Cpe {
+        Cpe { part: CpePart::Application, ..Cpe::os(vendor, product, version) }
+    }
+
+    /// True when `self` (as listed in a vulnerability report) matches the
+    /// concrete platform `target`, attribute by attribute.
+    pub fn matches(&self, target: &Cpe) -> bool {
+        let part_ok = matches!(self.part, CpePart::Any)
+            || matches!(target.part, CpePart::Any)
+            || self.part == target.part;
+        part_ok
+            && self.vendor.matches(&target.vendor)
+            && self.product.matches(&target.product)
+            && self.version.matches(&target.version)
+            && self.update.matches(&target.update)
+    }
+
+    /// True when both names identify the same vendor+product, ignoring
+    /// version — the granularity at which vendor advisories report patches.
+    pub fn same_product(&self, other: &Cpe) -> bool {
+        self.vendor.matches(&other.vendor) && self.product.matches(&other.product)
+    }
+}
+
+impl fmt::Display for Cpe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let part = match self.part {
+            CpePart::Os => "o",
+            CpePart::Application => "a",
+            CpePart::Hardware => "h",
+            CpePart::Any => "*",
+        };
+        write!(
+            f,
+            "cpe:2.3:{part}:{}:{}:{}:{}",
+            self.vendor, self.product, self.version, self.update
+        )?;
+        for t in &self.tail {
+            write!(f, ":{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing a [`Cpe`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCpeError {
+    detail: String,
+}
+
+impl fmt::Display for ParseCpeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CPE 2.3 name: {}", self.detail)
+    }
+}
+
+impl std::error::Error for ParseCpeError {}
+
+impl FromStr for Cpe {
+    type Err = ParseCpeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |d: &str| ParseCpeError { detail: format!("{d} in {s:?}") };
+        let body = s.strip_prefix("cpe:2.3:").ok_or_else(|| err("missing cpe:2.3 prefix"))?;
+        let fields: Vec<&str> = body.split(':').collect();
+        if fields.len() != 11 {
+            return Err(err(&format!("expected 11 components, found {}", fields.len())));
+        }
+        let part = match fields[0] {
+            "o" => CpePart::Os,
+            "a" => CpePart::Application,
+            "h" => CpePart::Hardware,
+            "*" => CpePart::Any,
+            other => return Err(err(&format!("unknown part {other:?}"))),
+        };
+        if fields.iter().any(|f| f.is_empty()) {
+            return Err(err("empty component"));
+        }
+        Ok(Cpe {
+            part,
+            vendor: CpeValue::parse(fields[1]),
+            product: CpeValue::parse(fields[2]),
+            version: CpeValue::parse(fields[3]),
+            update: CpeValue::parse(fields[4]),
+            tail: std::array::from_fn(|i| CpeValue::parse(fields[5 + i])),
+        })
+    }
+}
+
+/// Compares two dotted version strings numerically where possible
+/// (`"10.2" > "10.10"` is false), falling back to lexicographic comparison of
+/// non-numeric segments. Used to evaluate NVD `versionStart*`/`versionEnd*`
+/// range constraints.
+pub fn compare_versions(a: &str, b: &str) -> Ordering {
+    let mut xa = a.split(['.', '-', '_']);
+    let mut xb = b.split(['.', '-', '_']);
+    loop {
+        match (xa.next(), xb.next()) {
+            (None, None) => return Ordering::Equal,
+            (None, Some(_)) => return Ordering::Less,
+            (Some(_), None) => return Ordering::Greater,
+            (Some(sa), Some(sb)) => {
+                let ord = match (sa.parse::<u64>(), sb.parse::<u64>()) {
+                    (Ok(na), Ok(nb)) => na.cmp(&nb),
+                    _ => sa.cmp(sb),
+                };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+        }
+    }
+}
+
+/// A version range constraint as attached to CPE matches in NVD feeds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VersionRange {
+    /// Inclusive lower bound.
+    pub start_including: Option<String>,
+    /// Exclusive lower bound.
+    pub start_excluding: Option<String>,
+    /// Inclusive upper bound.
+    pub end_including: Option<String>,
+    /// Exclusive upper bound.
+    pub end_excluding: Option<String>,
+}
+
+impl VersionRange {
+    /// An unconstrained range (matches every version).
+    pub fn any() -> VersionRange {
+        VersionRange::default()
+    }
+
+    /// Range with an exclusive upper bound — NVD's most common shape
+    /// ("before 2013.2.4").
+    pub fn before(end_excluding: &str) -> VersionRange {
+        VersionRange { end_excluding: Some(end_excluding.to_string()), ..Default::default() }
+    }
+
+    /// True when `version` satisfies every present bound.
+    pub fn contains(&self, version: &str) -> bool {
+        use Ordering::*;
+        if let Some(s) = &self.start_including {
+            if compare_versions(version, s) == Less {
+                return false;
+            }
+        }
+        if let Some(s) = &self.start_excluding {
+            if compare_versions(version, s) != Greater {
+                return false;
+            }
+        }
+        if let Some(e) = &self.end_including {
+            if compare_versions(version, e) == Greater {
+                return false;
+            }
+        }
+        if let Some(e) = &self.end_excluding {
+            if compare_versions(version, e) != Less {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let s = "cpe:2.3:o:canonical:ubuntu_linux:16.04:*:*:*:lts:*:*:*";
+        let cpe: Cpe = s.parse().unwrap();
+        assert_eq!(cpe.to_string(), s);
+        assert_eq!(cpe.part, CpePart::Os);
+        assert_eq!(cpe.vendor.as_literal(), Some("canonical"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "cpe:/o:canonical:ubuntu_linux:16.04", // CPE 2.2 URI form
+            "cpe:2.3:o:canonical",                 // too few components
+            "cpe:2.3:q:v:p:1:*:*:*:*:*:*:*",       // bad part
+            "cpe:2.3:o::p:1:*:*:*:*:*:*:*",        // empty component
+        ] {
+            assert!(bad.parse::<Cpe>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn wildcard_matching() {
+        let listed: Cpe = "cpe:2.3:o:canonical:ubuntu_linux:*:*:*:*:*:*:*:*".parse().unwrap();
+        assert!(listed.matches(&Cpe::os("canonical", "ubuntu_linux", "16.04")));
+        assert!(listed.matches(&Cpe::os("Canonical", "UBUNTU_LINUX", "17.04")));
+        assert!(!listed.matches(&Cpe::os("debian", "debian_linux", "8.0")));
+    }
+
+    #[test]
+    fn exact_version_matching() {
+        let listed = Cpe::os("canonical", "ubuntu_linux", "16.04");
+        assert!(listed.matches(&Cpe::os("canonical", "ubuntu_linux", "16.04")));
+        assert!(!listed.matches(&Cpe::os("canonical", "ubuntu_linux", "17.04")));
+    }
+
+    #[test]
+    fn part_mismatch_fails() {
+        let os = Cpe::os("oracle", "solaris", "11.2");
+        let app = Cpe::app("oracle", "solaris", "11.2");
+        assert!(!os.matches(&app));
+    }
+
+    #[test]
+    fn same_product_ignores_version() {
+        let a = Cpe::os("debian", "debian_linux", "7.0");
+        let b = Cpe::os("debian", "debian_linux", "8.0");
+        assert!(a.same_product(&b));
+        assert!(!a.same_product(&Cpe::os("fedoraproject", "fedora", "24")));
+    }
+
+    #[test]
+    fn version_comparison_is_numeric_aware() {
+        use Ordering::*;
+        assert_eq!(compare_versions("10.10", "10.2"), Greater);
+        assert_eq!(compare_versions("2013.2.4", "2013.2.4"), Equal);
+        assert_eq!(compare_versions("9.0.0", "9.0.1"), Less);
+        assert_eq!(compare_versions("8.0", "8.0.1"), Less);
+        assert_eq!(compare_versions("icehouse", "juno"), Less); // lexicographic fallback
+    }
+
+    #[test]
+    fn version_ranges() {
+        let r = VersionRange::before("2013.2.4");
+        assert!(r.contains("2013.2"));
+        assert!(!r.contains("2013.2.4"));
+        let r = VersionRange {
+            start_including: Some("9.0.0".into()),
+            end_including: Some("9.0.1".into()),
+            ..Default::default()
+        };
+        assert!(r.contains("9.0.0"));
+        assert!(r.contains("9.0.1"));
+        assert!(!r.contains("8.0.1"));
+        assert!(!r.contains("9.0.2"));
+        assert!(VersionRange::any().contains("anything"));
+        let r = VersionRange {
+            start_excluding: Some("1.0".into()),
+            ..Default::default()
+        };
+        assert!(!r.contains("1.0"));
+        assert!(r.contains("1.1"));
+    }
+
+    #[test]
+    fn na_value_semantics() {
+        let na = CpeValue::Na;
+        assert!(na.matches(&CpeValue::Na));
+        assert!(na.matches(&CpeValue::Any));
+        assert!(!na.matches(&CpeValue::Literal("x".into())));
+    }
+}

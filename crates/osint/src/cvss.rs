@@ -1,0 +1,573 @@
+//! CVSS v3.1 base metrics: vector-string parsing and score computation.
+//!
+//! The National Vulnerability Database publishes a CVSS vector (e.g.
+//! `CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H`) and a base score for every
+//! vulnerability. Lazarus uses the base score as the starting factor of its
+//! extended metric (paper Eq. 1) and several individual attributes (attack
+//! vector, privileges required, impacted security properties) for reporting.
+//!
+//! This module implements the full v3.1 base-score equation from the FIRST
+//! specification, so synthetic feeds can carry internally-consistent vectors
+//! and parsed real-world vectors reproduce NVD's published scores.
+//!
+//! # Examples
+//!
+//! ```
+//! use lazarus_osint::cvss::{CvssV3, Severity};
+//!
+//! let cvss: CvssV3 = "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse()?;
+//! assert_eq!(cvss.base_score(), 9.8);
+//! assert_eq!(cvss.severity(), Severity::Critical);
+//! # Ok::<(), lazarus_osint::cvss::ParseCvssError>(())
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Attack Vector (AV): where the attacker must be to exploit the flaw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackVector {
+    /// `AV:N` — exploitable across the network (most severe).
+    Network,
+    /// `AV:A` — requires adjacent-network access.
+    Adjacent,
+    /// `AV:L` — requires local access.
+    Local,
+    /// `AV:P` — requires physical access.
+    Physical,
+}
+
+/// Attack Complexity (AC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackComplexity {
+    /// `AC:L` — no specialised conditions required.
+    Low,
+    /// `AC:H` — attack depends on conditions beyond the attacker's control.
+    High,
+}
+
+/// Privileges Required (PR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrivilegesRequired {
+    /// `PR:N` — unauthenticated.
+    None,
+    /// `PR:L` — basic user privileges.
+    Low,
+    /// `PR:H` — administrative privileges.
+    High,
+}
+
+/// User Interaction (UI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UserInteraction {
+    /// `UI:N` — no user participation needed.
+    None,
+    /// `UI:R` — a user must take some action.
+    Required,
+}
+
+/// Scope (S): whether the exploit escapes the vulnerable component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// `S:U` — impact confined to the vulnerable component.
+    Unchanged,
+    /// `S:C` — impact extends beyond the vulnerable component.
+    Changed,
+}
+
+/// Impact level for each of the C/I/A security properties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Impact {
+    /// `H` — total loss of the property.
+    High,
+    /// `L` — partial loss.
+    Low,
+    /// `N` — no impact.
+    None,
+}
+
+/// Qualitative severity rating derived from the base score
+/// (spec section 5, also quoted in paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// 0.0
+    None,
+    /// 0.1 – 3.9
+    Low,
+    /// 4.0 – 6.9
+    Medium,
+    /// 7.0 – 8.9
+    High,
+    /// 9.0 – 10.0
+    Critical,
+}
+
+impl Severity {
+    /// Classifies a score into its qualitative band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `score` is outside `0.0..=10.0`.
+    pub fn from_score(score: f64) -> Severity {
+        assert!((0.0..=10.0).contains(&score), "score {score} out of range");
+        if score == 0.0 {
+            Severity::None
+        } else if score < 4.0 {
+            Severity::Low
+        } else if score < 7.0 {
+            Severity::Medium
+        } else if score < 9.0 {
+            Severity::High
+        } else {
+            Severity::Critical
+        }
+    }
+
+    /// Lower bound of this band, used by Algorithm 1 (`maxScore ← HIGH`).
+    pub fn floor(self) -> f64 {
+        match self {
+            Severity::None => 0.0,
+            Severity::Low => 0.1,
+            Severity::Medium => 4.0,
+            Severity::High => 7.0,
+            Severity::Critical => 9.0,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::None => "NONE",
+            Severity::Low => "LOW",
+            Severity::Medium => "MEDIUM",
+            Severity::High => "HIGH",
+            Severity::Critical => "CRITICAL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A complete CVSS v3.1 base-metric group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CvssV3 {
+    /// Attack Vector.
+    pub av: AttackVector,
+    /// Attack Complexity.
+    pub ac: AttackComplexity,
+    /// Privileges Required.
+    pub pr: PrivilegesRequired,
+    /// User Interaction.
+    pub ui: UserInteraction,
+    /// Scope.
+    pub s: Scope,
+    /// Confidentiality impact.
+    pub c: Impact,
+    /// Integrity impact.
+    pub i: Impact,
+    /// Availability impact.
+    pub a: Impact,
+}
+
+impl CvssV3 {
+    /// The canonical worst-case vector (`9.8 CRITICAL`), a convenient default
+    /// for tests and synthetic worst-case vulnerabilities.
+    pub const CRITICAL_RCE: CvssV3 = CvssV3 {
+        av: AttackVector::Network,
+        ac: AttackComplexity::Low,
+        pr: PrivilegesRequired::None,
+        ui: UserInteraction::None,
+        s: Scope::Unchanged,
+        c: Impact::High,
+        i: Impact::High,
+        a: Impact::High,
+    };
+
+    /// Base score per the v3.1 specification, rounded up to one decimal.
+    pub fn base_score(&self) -> f64 {
+        let iss = self.impact_subscore_raw();
+        let impact = self.impact_subscore();
+        if impact <= 0.0 {
+            return 0.0;
+        }
+        let _ = iss;
+        let expl = self.exploitability_subscore();
+        let raw = match self.s {
+            Scope::Unchanged => (impact + expl).min(10.0),
+            Scope::Changed => (1.08 * (impact + expl)).min(10.0),
+        };
+        round_up_1(raw)
+    }
+
+    /// The exploitability sub-score, `8.22 × AV × AC × PR × UI`.
+    pub fn exploitability_subscore(&self) -> f64 {
+        8.22 * self.av_weight() * self.ac_weight() * self.pr_weight() * self.ui_weight()
+    }
+
+    /// The impact sub-score after the scope adjustment.
+    pub fn impact_subscore(&self) -> f64 {
+        let iss = self.impact_subscore_raw();
+        match self.s {
+            Scope::Unchanged => 6.42 * iss,
+            Scope::Changed => 7.52 * (iss - 0.029) - 3.25 * (iss - 0.02).powi(15),
+        }
+    }
+
+    /// Qualitative severity of [`base_score`](Self::base_score).
+    pub fn severity(&self) -> Severity {
+        Severity::from_score(self.base_score())
+    }
+
+    /// True if the vulnerability can be triggered remotely without
+    /// authentication — the profile of the wormable flaws (WannaCry, Petya)
+    /// studied in paper §6.2.
+    pub fn is_remote_unauthenticated(&self) -> bool {
+        self.av == AttackVector::Network && self.pr == PrivilegesRequired::None
+    }
+
+    fn impact_subscore_raw(&self) -> f64 {
+        let c = impact_weight(self.c);
+        let i = impact_weight(self.i);
+        let a = impact_weight(self.a);
+        1.0 - (1.0 - c) * (1.0 - i) * (1.0 - a)
+    }
+
+    fn av_weight(&self) -> f64 {
+        match self.av {
+            AttackVector::Network => 0.85,
+            AttackVector::Adjacent => 0.62,
+            AttackVector::Local => 0.55,
+            AttackVector::Physical => 0.2,
+        }
+    }
+
+    fn ac_weight(&self) -> f64 {
+        match self.ac {
+            AttackComplexity::Low => 0.77,
+            AttackComplexity::High => 0.44,
+        }
+    }
+
+    fn pr_weight(&self) -> f64 {
+        match (self.pr, self.s) {
+            (PrivilegesRequired::None, _) => 0.85,
+            (PrivilegesRequired::Low, Scope::Unchanged) => 0.62,
+            (PrivilegesRequired::Low, Scope::Changed) => 0.68,
+            (PrivilegesRequired::High, Scope::Unchanged) => 0.27,
+            (PrivilegesRequired::High, Scope::Changed) => 0.5,
+        }
+    }
+
+    fn ui_weight(&self) -> f64 {
+        match self.ui {
+            UserInteraction::None => 0.85,
+            UserInteraction::Required => 0.62,
+        }
+    }
+}
+
+fn impact_weight(i: Impact) -> f64 {
+    match i {
+        Impact::High => 0.56,
+        Impact::Low => 0.22,
+        Impact::None => 0.0,
+    }
+}
+
+/// The v3.1 "Roundup" helper: smallest number with one decimal place that is
+/// greater than or equal to the input, computed with the spec's integer trick
+/// to avoid floating-point artefacts.
+fn round_up_1(x: f64) -> f64 {
+    let int_input = (x * 100_000.0).round() as i64;
+    if int_input % 10_000 == 0 {
+        int_input as f64 / 100_000.0
+    } else {
+        ((int_input / 10_000) as f64 + 1.0) / 10.0
+    }
+}
+
+impl fmt::Display for CvssV3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let av = match self.av {
+            AttackVector::Network => 'N',
+            AttackVector::Adjacent => 'A',
+            AttackVector::Local => 'L',
+            AttackVector::Physical => 'P',
+        };
+        let ac = match self.ac {
+            AttackComplexity::Low => 'L',
+            AttackComplexity::High => 'H',
+        };
+        let pr = match self.pr {
+            PrivilegesRequired::None => 'N',
+            PrivilegesRequired::Low => 'L',
+            PrivilegesRequired::High => 'H',
+        };
+        let ui = match self.ui {
+            UserInteraction::None => 'N',
+            UserInteraction::Required => 'R',
+        };
+        let s = match self.s {
+            Scope::Unchanged => 'U',
+            Scope::Changed => 'C',
+        };
+        let cia = |x: Impact| match x {
+            Impact::High => 'H',
+            Impact::Low => 'L',
+            Impact::None => 'N',
+        };
+        write!(
+            f,
+            "CVSS:3.1/AV:{av}/AC:{ac}/PR:{pr}/UI:{ui}/S:{s}/C:{}/I:{}/A:{}",
+            cia(self.c),
+            cia(self.i),
+            cia(self.a)
+        )
+    }
+}
+
+/// Error returned when a CVSS vector string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCvssError {
+    detail: String,
+}
+
+impl ParseCvssError {
+    fn new(detail: impl Into<String>) -> Self {
+        ParseCvssError { detail: detail.into() }
+    }
+}
+
+impl fmt::Display for ParseCvssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CVSS v3 vector: {}", self.detail)
+    }
+}
+
+impl std::error::Error for ParseCvssError {}
+
+impl FromStr for CvssV3 {
+    type Err = ParseCvssError;
+
+    /// Parses a v3.0/v3.1 vector string. The `CVSS:3.x/` prefix is optional;
+    /// metrics may appear in any order but all eight base metrics must be
+    /// present exactly once.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s
+            .strip_prefix("CVSS:3.1/")
+            .or_else(|| s.strip_prefix("CVSS:3.0/"))
+            .unwrap_or(s);
+        let (mut av, mut ac, mut pr, mut ui) = (None, None, None, None);
+        let (mut sc, mut c, mut i, mut a) = (None, None, None, None);
+        for part in body.split('/') {
+            let (key, val) = part
+                .split_once(':')
+                .ok_or_else(|| ParseCvssError::new(format!("metric {part:?} missing ':'")))?;
+            let dup = |name: &str| ParseCvssError::new(format!("duplicate metric {name}"));
+            let badv = || ParseCvssError::new(format!("bad value {val:?} for {key}"));
+            match key {
+                "AV" => {
+                    let v = match val {
+                        "N" => AttackVector::Network,
+                        "A" => AttackVector::Adjacent,
+                        "L" => AttackVector::Local,
+                        "P" => AttackVector::Physical,
+                        _ => return Err(badv()),
+                    };
+                    if av.replace(v).is_some() {
+                        return Err(dup("AV"));
+                    }
+                }
+                "AC" => {
+                    let v = match val {
+                        "L" => AttackComplexity::Low,
+                        "H" => AttackComplexity::High,
+                        _ => return Err(badv()),
+                    };
+                    if ac.replace(v).is_some() {
+                        return Err(dup("AC"));
+                    }
+                }
+                "PR" => {
+                    let v = match val {
+                        "N" => PrivilegesRequired::None,
+                        "L" => PrivilegesRequired::Low,
+                        "H" => PrivilegesRequired::High,
+                        _ => return Err(badv()),
+                    };
+                    if pr.replace(v).is_some() {
+                        return Err(dup("PR"));
+                    }
+                }
+                "UI" => {
+                    let v = match val {
+                        "N" => UserInteraction::None,
+                        "R" => UserInteraction::Required,
+                        _ => return Err(badv()),
+                    };
+                    if ui.replace(v).is_some() {
+                        return Err(dup("UI"));
+                    }
+                }
+                "S" => {
+                    let v = match val {
+                        "U" => Scope::Unchanged,
+                        "C" => Scope::Changed,
+                        _ => return Err(badv()),
+                    };
+                    if sc.replace(v).is_some() {
+                        return Err(dup("S"));
+                    }
+                }
+                "C" | "I" | "A" => {
+                    let v = match val {
+                        "H" => Impact::High,
+                        "L" => Impact::Low,
+                        "N" => Impact::None,
+                        _ => return Err(badv()),
+                    };
+                    let slot = match key {
+                        "C" => &mut c,
+                        "I" => &mut i,
+                        _ => &mut a,
+                    };
+                    if slot.replace(v).is_some() {
+                        return Err(dup(key));
+                    }
+                }
+                // Temporal/environmental metrics are tolerated and ignored.
+                "E" | "RL" | "RC" | "CR" | "IR" | "AR" | "MAV" | "MAC" | "MPR" | "MUI"
+                | "MS" | "MC" | "MI" | "MA" => {}
+                _ => return Err(ParseCvssError::new(format!("unknown metric {key:?}"))),
+            }
+        }
+        let missing = |name: &str| ParseCvssError::new(format!("missing metric {name}"));
+        Ok(CvssV3 {
+            av: av.ok_or_else(|| missing("AV"))?,
+            ac: ac.ok_or_else(|| missing("AC"))?,
+            pr: pr.ok_or_else(|| missing("PR"))?,
+            ui: ui.ok_or_else(|| missing("UI"))?,
+            s: sc.ok_or_else(|| missing("S"))?,
+            c: c.ok_or_else(|| missing("C"))?,
+            i: i.ok_or_else(|| missing("I"))?,
+            a: a.ok_or_else(|| missing("A"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(vector: &str) -> f64 {
+        vector.parse::<CvssV3>().unwrap().base_score()
+    }
+
+    /// Vectors and scores cross-checked against NVD entries.
+    #[test]
+    fn known_nvd_scores() {
+        // CVE-2017-0144 (EternalBlue / WannaCry vector)
+        assert_eq!(score("CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H"), 8.1);
+        // Classic unauthenticated RCE
+        assert_eq!(score("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"), 9.8);
+        // CVE-2018-8897 (pop SS) style local flaw
+        assert_eq!(score("CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H"), 7.8);
+        // Scope-changed XSS (Table 1 family)
+        assert_eq!(score("CVSS:3.0/AV:N/AC:L/PR:L/UI:R/S:C/C:L/I:L/A:N"), 5.4);
+        // Information disclosure, network, no privileges
+        assert_eq!(score("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N"), 5.3);
+        // Scope changed critical
+        assert_eq!(score("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H"), 10.0);
+        // CVE-2016-7180 style local high-privilege flaw
+        assert_eq!(score("CVSS:3.0/AV:L/AC:L/PR:H/UI:N/S:U/C:H/I:H/A:H"), 6.7);
+    }
+
+    #[test]
+    fn zero_impact_is_zero_score() {
+        assert_eq!(score("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N"), 0.0);
+        assert_eq!(
+            "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N"
+                .parse::<CvssV3>()
+                .unwrap()
+                .severity(),
+            Severity::None
+        );
+    }
+
+    #[test]
+    fn severity_bands() {
+        assert_eq!(Severity::from_score(0.0), Severity::None);
+        assert_eq!(Severity::from_score(3.9), Severity::Low);
+        assert_eq!(Severity::from_score(4.0), Severity::Medium);
+        assert_eq!(Severity::from_score(6.9), Severity::Medium);
+        assert_eq!(Severity::from_score(7.0), Severity::High);
+        assert_eq!(Severity::from_score(9.0), Severity::Critical);
+        assert_eq!(Severity::from_score(10.0), Severity::Critical);
+        assert!(Severity::High < Severity::Critical);
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let v = "CVSS:3.1/AV:N/AC:H/PR:L/UI:R/S:C/C:H/I:L/A:N";
+        let parsed: CvssV3 = v.parse().unwrap();
+        assert_eq!(parsed.to_string(), v);
+        let reparsed: CvssV3 = parsed.to_string().parse().unwrap();
+        assert_eq!(parsed, reparsed);
+    }
+
+    #[test]
+    fn prefix_is_optional_and_order_free() {
+        let a: CvssV3 = "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap();
+        let b: CvssV3 = "CVSS:3.1/A:H/I:H/C:H/S:U/UI:N/PR:N/AC:L/AV:N".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "CVSS:3.1/AV:N",                                     // missing metrics
+            "CVSS:3.1/AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",      // bad value
+            "CVSS:3.1/AV:N/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", // duplicate
+            "CVSS:3.1/QQ:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",      // unknown metric
+            "AV-N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",               // missing colon
+        ] {
+            assert!(bad.parse::<CvssV3>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn temporal_metrics_tolerated() {
+        let v: CvssV3 = "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/E:F/RL:O"
+            .parse()
+            .unwrap();
+        assert_eq!(v.base_score(), 9.8);
+    }
+
+    #[test]
+    fn roundup_matches_spec_examples() {
+        assert_eq!(round_up_1(4.02), 4.1);
+        assert_eq!(round_up_1(4.0), 4.0);
+        // The spec's integer trick first rounds to 5 decimals so float
+        // artefacts like 4.0000004 do NOT bump the score...
+        assert_eq!(round_up_1(4.000001), 4.0);
+        // ...but anything at or above a 10^-5 excess does.
+        assert_eq!(round_up_1(4.0001), 4.1);
+    }
+
+    #[test]
+    fn remote_unauthenticated_predicate() {
+        assert!(CvssV3::CRITICAL_RCE.is_remote_unauthenticated());
+        let local: CvssV3 = "CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H".parse().unwrap();
+        assert!(!local.is_remote_unauthenticated());
+    }
+
+    #[test]
+    fn subscores_are_positive_for_critical() {
+        let v = CvssV3::CRITICAL_RCE;
+        assert!(v.exploitability_subscore() > 3.8 && v.exploitability_subscore() < 4.0);
+        assert!(v.impact_subscore() > 5.8 && v.impact_subscore() < 6.1);
+    }
+}

@@ -1,0 +1,316 @@
+//! The Data manager: the threaded collection pipeline of the control plane.
+//!
+//! Paper §5.1 (module 1): "The processing is carried out with several
+//! threads cooperatively assembling as much data as possible about each
+//! vulnerability — a queue is populated with requests pertaining a particular
+//! vulnerability, and other threads will look for related data in additional
+//! OSINT sources."
+//!
+//! [`DataManager`] owns the shared [`KnowledgeBase`] behind a
+//! `parking_lot::RwLock`. Feed documents are parsed on the calling thread;
+//! the secondary sources are crawled concurrently on scoped worker threads
+//! that stream [`Enrichment`]s over a crossbeam channel back to an applier.
+
+use std::sync::Arc;
+
+use crossbeam::channel;
+use parking_lot::RwLock;
+
+use crate::date::Date;
+use crate::feed::{FeedError, NvdFeed};
+use crate::kb::KnowledgeBase;
+use crate::sources::{OsintSource, SourceError};
+
+/// Statistics from one synchronization round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Vulnerabilities parsed from the feeds.
+    pub parsed: usize,
+    /// Vulnerabilities retained (relevant to monitored products).
+    pub retained: usize,
+    /// Enrichments applied to known CVEs.
+    pub enrichments_applied: usize,
+    /// Enrichments buffered for unknown CVEs.
+    pub enrichments_buffered: usize,
+}
+
+/// The shared, thread-safe knowledge base handle with feed/source sync.
+#[derive(Debug, Clone, Default)]
+pub struct DataManager {
+    kb: Arc<RwLock<KnowledgeBase>>,
+}
+
+impl DataManager {
+    /// Wraps a knowledge base for shared use.
+    pub fn new(kb: KnowledgeBase) -> DataManager {
+        DataManager { kb: Arc::new(RwLock::new(kb)) }
+    }
+
+    /// Runs `f` with read access to the knowledge base.
+    pub fn read<R>(&self, f: impl FnOnce(&KnowledgeBase) -> R) -> R {
+        f(&self.kb.read())
+    }
+
+    /// Runs `f` with write access to the knowledge base.
+    pub fn write<R>(&self, f: impl FnOnce(&mut KnowledgeBase) -> R) -> R {
+        f(&mut self.kb.write())
+    }
+
+    /// Parses NVD feed documents and upserts their vulnerabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FeedError`] encountered; earlier documents remain
+    /// applied (each sync round is itself idempotent, so retrying after a
+    /// fix is safe).
+    pub fn sync_feeds<S: AsRef<str>>(&self, feed_documents: &[S]) -> Result<SyncStats, FeedError> {
+        let mut stats = SyncStats::default();
+        for doc in feed_documents {
+            let vulns = NvdFeed::parse(doc.as_ref())?.to_vulnerabilities()?;
+            stats.parsed += vulns.len();
+            let mut kb = self.kb.write();
+            for v in vulns {
+                if kb.upsert(v) {
+                    stats.retained += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Crawls the secondary sources concurrently (one worker per source) and
+    /// applies everything they report since `since`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SourceError`]; enrichments from healthy sources
+    /// are still applied (partial progress is fine — rounds are idempotent).
+    pub fn sync_sources(
+        &self,
+        sources: &[&(dyn OsintSource + Sync)],
+        since: Date,
+    ) -> Result<SyncStats, SourceError> {
+        let mut stats = SyncStats::default();
+        let (tx, rx) = channel::unbounded();
+        let first_error = std::thread::scope(|scope| {
+            for &source in sources {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let result = source.fetch(since);
+                    // The receiver outlives all workers within the scope.
+                    let _ = tx.send(result);
+                });
+            }
+            drop(tx);
+            let mut first_error = None;
+            // Apply as results stream in; a single writer thread avoids
+            // write-lock contention between workers.
+            for result in rx {
+                match result {
+                    Ok(enrichments) => {
+                        let mut kb = self.kb.write();
+                        for e in enrichments {
+                            if kb.apply_enrichment(e) {
+                                stats.enrichments_applied += 1;
+                            } else {
+                                stats.enrichments_buffered += 1;
+                            }
+                        }
+                    }
+                    Err(e) => first_error = first_error.or(Some(e)),
+                }
+            }
+            first_error
+        });
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(stats),
+        }
+    }
+
+    /// Full round: feeds first (so CVEs exist), then sources.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feed errors as `Err(Ok(_))`-free [`SyncError`].
+    pub fn sync_round<S: AsRef<str>>(
+        &self,
+        feed_documents: &[S],
+        sources: &[&(dyn OsintSource + Sync)],
+        since: Date,
+    ) -> Result<SyncStats, SyncError> {
+        let a = self.sync_feeds(feed_documents)?;
+        let b = self.sync_sources(sources, since)?;
+        Ok(SyncStats {
+            parsed: a.parsed,
+            retained: a.retained,
+            enrichments_applied: b.enrichments_applied,
+            enrichments_buffered: b.enrichments_buffered,
+        })
+    }
+}
+
+/// Error from a full synchronization round.
+#[derive(Debug)]
+pub enum SyncError {
+    /// An NVD feed was malformed.
+    Feed(FeedError),
+    /// A secondary source document was malformed.
+    Source(SourceError),
+}
+
+impl std::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncError::Feed(e) => write!(f, "feed sync failed: {e}"),
+            SyncError::Source(e) => write!(f, "source sync failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SyncError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SyncError::Feed(e) => Some(e),
+            SyncError::Source(e) => Some(e),
+        }
+    }
+}
+
+impl From<FeedError> for SyncError {
+    fn from(e: FeedError) -> Self {
+        SyncError::Feed(e)
+    }
+}
+
+impl From<SourceError> for SyncError {
+    fn from(e: SourceError) -> Self {
+        SyncError::Source(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{OsFamily, OsVersion};
+    use crate::cvss::CvssV3;
+    use crate::feed::{NvdFeed, NvdItem};
+    use crate::model::{AffectedPlatform, CveId, Vulnerability};
+    use crate::sources::{DebianSource, ExploitDbSource, UbuntuSource};
+    use crate::sources::{Enrichment, EnrichmentKind};
+
+    fn feed_with(ids: &[u32]) -> String {
+        let items: Vec<NvdItem> = ids
+            .iter()
+            .map(|&n| {
+                let v = Vulnerability::new(
+                    CveId::new(2018, n),
+                    Date::from_ymd(2018, 5, 8),
+                    CvssV3::CRITICAL_RCE,
+                    format!("flaw {n} in the kernel"),
+                )
+                .affecting(AffectedPlatform::exact(
+                    OsVersion::new(OsFamily::Ubuntu, "16.04").to_cpe(),
+                ));
+                NvdItem::from_vulnerability(&v)
+            })
+            .collect();
+        NvdFeed::from_items(items).to_json()
+    }
+
+    #[test]
+    fn feed_sync_counts() {
+        let dm = DataManager::default();
+        let stats = dm.sync_feeds(&[feed_with(&[1, 2, 3])]).unwrap();
+        assert_eq!(stats.parsed, 3);
+        assert_eq!(stats.retained, 3);
+        assert_eq!(dm.read(|kb| kb.len()), 3);
+    }
+
+    #[test]
+    fn concurrent_source_sync() {
+        let dm = DataManager::default();
+        dm.sync_feeds(&[feed_with(&[8897])]).unwrap();
+
+        let exploitdb = ExploitDbSource::new(
+            "id,file,description,date_published,author,type,platform,port,verified,codes\n\
+             1,f,d,2018-05-21,a,local,linux,0,1,CVE-2018-8897\n",
+        );
+        let ubuntu = UbuntuSource::new(UbuntuSource::render(&[
+            crate::sources::vendors::AdvisoryEntry {
+                advisory: "USN-3641-1".into(),
+                subject: "linux".into(),
+                date: Date::from_ymd(2018, 5, 20),
+                cves: vec![CveId::new(2018, 8897)],
+                versions: vec!["16.04".into()],
+            },
+        ]));
+        let debian = DebianSource::default();
+
+        let stats = dm
+            .sync_sources(&[&exploitdb, &ubuntu, &debian], Date::EPOCH)
+            .unwrap();
+        assert_eq!(stats.enrichments_applied, 2);
+        dm.read(|kb| {
+            let v = kb.get(CveId::new(2018, 8897)).unwrap();
+            assert!(v.is_exploited(Date::from_ymd(2018, 5, 21)));
+            assert!(v.is_patched(Date::from_ymd(2018, 5, 20)));
+        });
+    }
+
+    #[test]
+    fn unknown_cves_buffer_and_later_apply() {
+        let dm = DataManager::default();
+        let exploitdb = ExploitDbSource::new(
+            "id,file,description,date_published,author,type,platform,port,verified,codes\n\
+             1,f,d,2018-05-21,a,local,linux,0,1,CVE-2018-8897\n",
+        );
+        let stats = dm.sync_sources(&[&exploitdb], Date::EPOCH).unwrap();
+        assert_eq!(stats.enrichments_buffered, 1);
+        dm.sync_feeds(&[feed_with(&[8897])]).unwrap();
+        dm.read(|kb| {
+            assert!(kb.get(CveId::new(2018, 8897)).unwrap().is_exploited(Date::from_ymd(2018, 6, 1)));
+        });
+    }
+
+    #[test]
+    fn source_error_propagates_but_good_sources_apply() {
+        let dm = DataManager::default();
+        dm.sync_feeds(&[feed_with(&[1])]).unwrap();
+        let bad = ExploitDbSource::new(""); // empty doc → error
+        let good = ExploitDbSource::new(
+            "id,file,description,date_published,author,type,platform,port,verified,codes\n\
+             1,f,d,2018-05-21,a,local,linux,0,1,CVE-2018-0001\n",
+        );
+        let err = dm.sync_sources(&[&bad, &good], Date::EPOCH).unwrap_err();
+        assert_eq!(err.source, "exploit-db");
+        // the healthy source still landed
+        dm.read(|kb| {
+            assert!(kb.get(CveId::new(2018, 1)).unwrap().is_exploited(Date::from_ymd(2018, 6, 1)));
+        });
+    }
+
+    #[test]
+    fn feed_error_propagates() {
+        let dm = DataManager::default();
+        assert!(matches!(dm.sync_feeds(&["{"]), Err(FeedError::Json(_))));
+    }
+
+    #[test]
+    fn manual_enrichment_via_write() {
+        let dm = DataManager::default();
+        dm.sync_feeds(&[feed_with(&[1])]).unwrap();
+        dm.write(|kb| {
+            kb.apply_enrichment(Enrichment {
+                cve: CveId::new(2018, 1),
+                source: "manual",
+                kind: EnrichmentKind::Exploit(crate::model::ExploitRecord {
+                    published: Date::from_ymd(2018, 6, 1),
+                    source: "manual".into(),
+                    verified: true,
+                }),
+            });
+        });
+        assert_eq!(dm.read(|kb| kb.get(CveId::new(2018, 1)).unwrap().exploits.len()), 1);
+    }
+}

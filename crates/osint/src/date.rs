@@ -1,0 +1,314 @@
+//! Calendar dates with day resolution.
+//!
+//! All Lazarus timing (vulnerability publication, patch and exploit
+//! availability, monitoring rounds) happens at day granularity, matching the
+//! paper's daily `Monitor()` rounds. [`Date`] is a thin wrapper over "days
+//! since 1970-01-01" with civil-calendar conversions, so arithmetic is plain
+//! integer math and the type is `Copy`, totally ordered, and hashable.
+//!
+//! # Examples
+//!
+//! ```
+//! use lazarus_osint::date::Date;
+//!
+//! let published = Date::from_ymd(2018, 5, 8);
+//! let patched = published + 12;
+//! assert_eq!(patched.to_string(), "2018-05-20");
+//! assert_eq!(patched - published, 12);
+//! ```
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A calendar date, stored as days since the Unix epoch (1970-01-01).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Date(i32);
+
+impl Date {
+    /// The Unix epoch, 1970-01-01.
+    pub const EPOCH: Date = Date(0);
+
+    /// Creates a date from a count of days since 1970-01-01.
+    pub const fn from_days(days: i32) -> Self {
+        Date(days)
+    }
+
+    /// Days since 1970-01-01 (negative for earlier dates).
+    pub const fn days(self) -> i32 {
+        self.0
+    }
+
+    /// Creates a date from a civil year/month/day triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `month` is not in `1..=12` or `day` is not a valid day of
+    /// that month.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Self {
+        assert!((1..=12).contains(&month), "month {month} out of range");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "day {day} out of range for {year}-{month:02}"
+        );
+        Date(days_from_civil(year, month, day))
+    }
+
+    /// Fallible variant of [`from_ymd`](Self::from_ymd): `None` when the
+    /// triple is not a valid calendar date.
+    pub fn try_from_ymd(year: i32, month: u32, day: u32) -> Option<Self> {
+        if (1..=12).contains(&month) && day >= 1 && day <= days_in_month(year, month) {
+            Some(Date(days_from_civil(year, month, day)))
+        } else {
+            None
+        }
+    }
+
+    /// Decomposes the date into `(year, month, day)`.
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.0)
+    }
+
+    /// The calendar year.
+    pub fn year(self) -> i32 {
+        self.ymd().0
+    }
+
+    /// The calendar month, `1..=12`.
+    pub fn month(self) -> u32 {
+        self.ymd().1
+    }
+
+    /// The day of the month, `1..=31`.
+    pub fn day(self) -> u32 {
+        self.ymd().2
+    }
+
+    /// First day of this date's month.
+    pub fn first_of_month(self) -> Date {
+        let (y, m, _) = self.ymd();
+        Date::from_ymd(y, m, 1)
+    }
+
+    /// First day of the month following this date's month.
+    pub fn first_of_next_month(self) -> Date {
+        let (y, m, _) = self.ymd();
+        if m == 12 {
+            Date::from_ymd(y + 1, 1, 1)
+        } else {
+            Date::from_ymd(y, m + 1, 1)
+        }
+    }
+
+    /// Saturating day difference `self - earlier`, clamped at zero.
+    ///
+    /// Useful for "age" computations where a publication date in the future
+    /// (clock skew between sources) must not produce a negative age.
+    pub fn age_since(self, earlier: Date) -> u32 {
+        (self.0 - earlier.0).max(0) as u32
+    }
+}
+
+impl Add<i32> for Date {
+    type Output = Date;
+    fn add(self, days: i32) -> Date {
+        Date(self.0 + days)
+    }
+}
+
+impl AddAssign<i32> for Date {
+    fn add_assign(&mut self, days: i32) {
+        self.0 += days;
+    }
+}
+
+impl Sub<Date> for Date {
+    type Output = i32;
+    fn sub(self, other: Date) -> i32 {
+        self.0 - other.0
+    }
+}
+
+impl Sub<i32> for Date {
+    type Output = Date;
+    fn sub(self, days: i32) -> Date {
+        Date(self.0 - days)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+impl fmt::Debug for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Date({self})")
+    }
+}
+
+/// Error returned when parsing a [`Date`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDateError {
+    input: String,
+}
+
+impl fmt::Display for ParseDateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid date syntax: {:?} (expected YYYY-MM-DD)", self.input)
+    }
+}
+
+impl std::error::Error for ParseDateError {}
+
+impl FromStr for Date {
+    type Err = ParseDateError;
+
+    /// Parses `YYYY-MM-DD`; a trailing `T...` timestamp suffix (as found in
+    /// NVD feeds, e.g. `2018-05-08T13:29Z`) is ignored.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseDateError { input: s.to_string() };
+        let date_part = s.split('T').next().unwrap_or("");
+        let mut parts = date_part.splitn(3, '-');
+        let y: i32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let m: u32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let d: u32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        if !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+            return Err(err());
+        }
+        Ok(Date::from_ymd(y, m, d))
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap(year) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+/// Days since 1970-01-01 from a civil date (Howard Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i32 - 719468
+}
+
+/// Civil date from days since 1970-01-01 (inverse of `days_from_civil`).
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        assert_eq!(Date::EPOCH.ymd(), (1970, 1, 1));
+        assert_eq!(Date::from_ymd(1970, 1, 1).days(), 0);
+    }
+
+    #[test]
+    fn known_dates_roundtrip() {
+        for &(y, m, d) in &[
+            (2014, 1, 1),
+            (2016, 2, 29),
+            (2017, 12, 31),
+            (2018, 5, 8),
+            (2018, 8, 31),
+            (2000, 2, 29),
+            (1999, 12, 31),
+        ] {
+            let date = Date::from_ymd(y, m, d);
+            assert_eq!(date.ymd(), (y, m, d), "roundtrip for {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let d = Date::from_ymd(2018, 1, 31);
+        assert_eq!((d + 1).ymd(), (2018, 2, 1));
+        assert_eq!((d - 31).ymd(), (2017, 12, 31));
+        assert_eq!(Date::from_ymd(2018, 3, 1) - Date::from_ymd(2018, 2, 1), 28);
+        assert_eq!(Date::from_ymd(2016, 3, 1) - Date::from_ymd(2016, 2, 1), 29);
+    }
+
+    #[test]
+    fn ordering_follows_calendar() {
+        assert!(Date::from_ymd(2018, 5, 1) < Date::from_ymd(2018, 5, 2));
+        assert!(Date::from_ymd(2017, 12, 31) < Date::from_ymd(2018, 1, 1));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Date::from_ymd(2018, 5, 8).to_string(), "2018-05-08");
+        assert_eq!(Date::from_ymd(2014, 11, 23).to_string(), "2014-11-23");
+    }
+
+    #[test]
+    fn parse_plain_and_nvd_timestamp() {
+        assert_eq!("2018-05-08".parse::<Date>().unwrap(), Date::from_ymd(2018, 5, 8));
+        assert_eq!(
+            "2016-09-08T13:29Z".parse::<Date>().unwrap(),
+            Date::from_ymd(2016, 9, 8)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "2018", "2018-13-01", "2018-02-30", "20-1a-02", "x-y-z"] {
+            assert!(bad.parse::<Date>().is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn age_since_saturates() {
+        let a = Date::from_ymd(2018, 1, 1);
+        let b = Date::from_ymd(2018, 2, 1);
+        assert_eq!(b.age_since(a), 31);
+        assert_eq!(a.age_since(b), 0);
+    }
+
+    #[test]
+    fn month_helpers() {
+        let d = Date::from_ymd(2018, 12, 15);
+        assert_eq!(d.first_of_month(), Date::from_ymd(2018, 12, 1));
+        assert_eq!(d.first_of_next_month(), Date::from_ymd(2019, 1, 1));
+        let d = Date::from_ymd(2018, 1, 31);
+        assert_eq!(d.first_of_next_month(), Date::from_ymd(2018, 2, 1));
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap(2016));
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(!is_leap(2018));
+    }
+}

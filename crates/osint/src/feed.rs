@@ -1,0 +1,495 @@
+//! NVD JSON data-feed parsing (NVD_CVE schema 1.1 subset).
+//!
+//! NVD publishes vulnerability feeds as JSON documents
+//! (`nvdcve-1.1-<year>.json`). The Lazarus data manager parses these feeds,
+//! "considering only the vulnerabilities that affect the chosen products"
+//! (paper §5.1). This module models the subset of the schema Lazarus needs —
+//! CVE metadata, English description, CPE applicability (including version
+//! ranges and nested configuration nodes), and CVSS v3 impact — and converts
+//! items into [`Vulnerability`] records.
+//!
+//! Serialization is also supported so the synthetic OSINT world
+//! (`crate::synth`) can emit byte-faithful feeds that exercise this same
+//! parser, exactly as a live deployment would.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpe::{Cpe, VersionRange};
+use crate::cvss::CvssV3;
+use crate::date::Date;
+use crate::model::{AffectedPlatform, CveId, Vulnerability};
+
+/// Top-level NVD feed document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NvdFeed {
+    /// Always `"CVE"`.
+    #[serde(rename = "CVE_data_type")]
+    pub data_type: String,
+    /// Feed format label.
+    #[serde(rename = "CVE_data_format")]
+    pub data_format: String,
+    /// Number of items, as a string (sic — NVD encodes it that way).
+    #[serde(rename = "CVE_data_numberOfCVEs")]
+    pub number_of_cves: String,
+    /// The vulnerability entries.
+    #[serde(rename = "CVE_Items")]
+    pub items: Vec<NvdItem>,
+}
+
+/// One `CVE_Items[]` entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NvdItem {
+    /// CVE block: id and descriptions.
+    pub cve: NvdCve,
+    /// Platform applicability statements.
+    #[serde(default)]
+    pub configurations: NvdConfigurations,
+    /// Impact block (CVSS).
+    #[serde(default)]
+    pub impact: NvdImpact,
+    /// Publication timestamp, e.g. `2018-05-08T13:29Z`.
+    #[serde(rename = "publishedDate")]
+    pub published_date: String,
+}
+
+/// The `cve` sub-object.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NvdCve {
+    /// Metadata holding the CVE id.
+    #[serde(rename = "CVE_data_meta")]
+    pub meta: NvdMeta,
+    /// Description list.
+    pub description: NvdDescription,
+}
+
+/// `CVE_data_meta`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NvdMeta {
+    /// The CVE identifier, e.g. `CVE-2018-8897`.
+    #[serde(rename = "ID")]
+    pub id: String,
+}
+
+/// `description` block.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NvdDescription {
+    /// Language-tagged description strings.
+    pub description_data: Vec<NvdLangString>,
+}
+
+/// One language-tagged string.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NvdLangString {
+    /// BCP-47 language tag (NVD uses `en`).
+    pub lang: String,
+    /// The text.
+    pub value: String,
+}
+
+/// `configurations` block: a forest of applicability nodes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NvdConfigurations {
+    /// Root nodes.
+    #[serde(default)]
+    pub nodes: Vec<NvdNode>,
+}
+
+/// One applicability node (possibly an AND/OR combination).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NvdNode {
+    /// `AND` / `OR`; Lazarus flattens both, taking the union of vulnerable
+    /// platforms (the conservative reading for risk purposes).
+    #[serde(default)]
+    pub operator: String,
+    /// CPE match expressions at this node.
+    #[serde(default)]
+    pub cpe_match: Vec<NvdCpeMatch>,
+    /// Nested nodes.
+    #[serde(default)]
+    pub children: Vec<NvdNode>,
+}
+
+/// One CPE match expression.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NvdCpeMatch {
+    /// Whether the matched platform is vulnerable (vs. merely present).
+    pub vulnerable: bool,
+    /// CPE 2.3 formatted string.
+    #[serde(rename = "cpe23Uri")]
+    pub cpe23_uri: String,
+    /// Inclusive version lower bound.
+    #[serde(rename = "versionStartIncluding", skip_serializing_if = "Option::is_none")]
+    pub version_start_including: Option<String>,
+    /// Exclusive version lower bound.
+    #[serde(rename = "versionStartExcluding", skip_serializing_if = "Option::is_none")]
+    pub version_start_excluding: Option<String>,
+    /// Inclusive version upper bound.
+    #[serde(rename = "versionEndIncluding", skip_serializing_if = "Option::is_none")]
+    pub version_end_including: Option<String>,
+    /// Exclusive version upper bound.
+    #[serde(rename = "versionEndExcluding", skip_serializing_if = "Option::is_none")]
+    pub version_end_excluding: Option<String>,
+}
+
+/// `impact` block.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NvdImpact {
+    /// CVSS v3 metrics, when assigned.
+    #[serde(rename = "baseMetricV3", skip_serializing_if = "Option::is_none")]
+    pub base_metric_v3: Option<NvdBaseMetricV3>,
+}
+
+/// `baseMetricV3`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NvdBaseMetricV3 {
+    /// The CVSS v3 object.
+    #[serde(rename = "cvssV3")]
+    pub cvss_v3: NvdCvssV3,
+}
+
+/// `cvssV3`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NvdCvssV3 {
+    /// The vector string, e.g. `CVSS:3.1/AV:N/...`.
+    #[serde(rename = "vectorString")]
+    pub vector_string: String,
+    /// The published base score (we recompute and cross-check).
+    #[serde(rename = "baseScore")]
+    pub base_score: f64,
+}
+
+/// Error produced while parsing or converting an NVD feed.
+#[derive(Debug)]
+pub enum FeedError {
+    /// The document is not valid JSON / does not fit the schema.
+    Json(serde_json::Error),
+    /// An item carried an invalid field (CVE id, date, CPE, CVSS vector).
+    Item {
+        /// The offending CVE id (or raw string when the id itself is bad).
+        cve: String,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeedError::Json(e) => write!(f, "malformed NVD feed JSON: {e}"),
+            FeedError::Item { cve, detail } => write!(f, "invalid NVD item {cve}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FeedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FeedError::Json(e) => Some(e),
+            FeedError::Item { .. } => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for FeedError {
+    fn from(e: serde_json::Error) -> Self {
+        FeedError::Json(e)
+    }
+}
+
+impl NvdFeed {
+    /// Wraps items in a feed document with correct counters.
+    pub fn from_items(items: Vec<NvdItem>) -> NvdFeed {
+        NvdFeed {
+            data_type: "CVE".to_string(),
+            data_format: "MITRE".to_string(),
+            number_of_cves: items.len().to_string(),
+            items,
+        }
+    }
+
+    /// Parses a feed document from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeedError::Json`] when the text is not schema-valid JSON.
+    pub fn parse(json: &str) -> Result<NvdFeed, FeedError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Serializes the feed to JSON text.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("feed serialization cannot fail")
+    }
+
+    /// Converts every item into a [`Vulnerability`] record.
+    ///
+    /// Items without a CVSS v3 assignment or an English description are
+    /// skipped (NVD marks them `** RESERVED **` / awaiting analysis), which
+    /// mirrors the prototype's behaviour of acting only on analysed entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FeedError::Item`] when an analysed item carries malformed
+    /// data (bad CVE id, date, CPE or CVSS vector) — corrupt feeds should be
+    /// surfaced, not silently dropped.
+    pub fn to_vulnerabilities(&self) -> Result<Vec<Vulnerability>, FeedError> {
+        let mut out = Vec::with_capacity(self.items.len());
+        for item in &self.items {
+            if let Some(v) = item.to_vulnerability()? {
+                out.push(v);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl NvdItem {
+    /// Builds an item from a [`Vulnerability`] (used by feed generators).
+    pub fn from_vulnerability(v: &Vulnerability) -> NvdItem {
+        NvdItem {
+            cve: NvdCve {
+                meta: NvdMeta { id: v.id.to_string() },
+                description: NvdDescription {
+                    description_data: vec![NvdLangString {
+                        lang: "en".to_string(),
+                        value: v.description.clone(),
+                    }],
+                },
+            },
+            configurations: NvdConfigurations {
+                nodes: vec![NvdNode {
+                    operator: "OR".to_string(),
+                    cpe_match: v
+                        .affected
+                        .iter()
+                        .map(|p| NvdCpeMatch {
+                            vulnerable: true,
+                            cpe23_uri: p.cpe.to_string(),
+                            version_start_including: p.range.start_including.clone(),
+                            version_start_excluding: p.range.start_excluding.clone(),
+                            version_end_including: p.range.end_including.clone(),
+                            version_end_excluding: p.range.end_excluding.clone(),
+                        })
+                        .collect(),
+                    children: Vec::new(),
+                }],
+            },
+            impact: NvdImpact {
+                base_metric_v3: Some(NvdBaseMetricV3 {
+                    cvss_v3: NvdCvssV3 {
+                        vector_string: v.cvss.to_string(),
+                        base_score: v.cvss.base_score(),
+                    },
+                }),
+            },
+            published_date: format!("{}T00:00Z", v.published),
+        }
+    }
+
+    /// Converts into a [`Vulnerability`]; `Ok(None)` for unanalysed items.
+    pub fn to_vulnerability(&self) -> Result<Option<Vulnerability>, FeedError> {
+        let cve_raw = &self.cve.meta.id;
+        let item_err = |detail: String| FeedError::Item { cve: cve_raw.clone(), detail };
+
+        let Some(metric) = &self.impact.base_metric_v3 else {
+            return Ok(None);
+        };
+        let Some(desc) = self
+            .cve
+            .description
+            .description_data
+            .iter()
+            .find(|d| d.lang == "en")
+        else {
+            return Ok(None);
+        };
+        if desc.value.starts_with("** RESERVED **") || desc.value.starts_with("** REJECT **") {
+            return Ok(None);
+        }
+
+        let id: CveId = cve_raw
+            .parse()
+            .map_err(|e| item_err(format!("bad CVE id: {e}")))?;
+        let published: Date = self
+            .published_date
+            .parse()
+            .map_err(|e| item_err(format!("bad publishedDate: {e}")))?;
+        let cvss: CvssV3 = metric
+            .cvss_v3
+            .vector_string
+            .parse()
+            .map_err(|e| item_err(format!("bad CVSS vector: {e}")))?;
+
+        let mut vuln = Vulnerability::new(id, published, cvss, desc.value.clone());
+        let mut stack: Vec<&NvdNode> = self.configurations.nodes.iter().collect();
+        while let Some(node) = stack.pop() {
+            for m in &node.cpe_match {
+                if !m.vulnerable {
+                    continue;
+                }
+                let cpe: Cpe = m
+                    .cpe23_uri
+                    .parse()
+                    .map_err(|e| item_err(format!("bad CPE: {e}")))?;
+                vuln.affected.push(AffectedPlatform {
+                    cpe,
+                    range: VersionRange {
+                        start_including: m.version_start_including.clone(),
+                        start_excluding: m.version_start_excluding.clone(),
+                        end_including: m.version_end_including.clone(),
+                        end_excluding: m.version_end_excluding.clone(),
+                    },
+                });
+            }
+            stack.extend(node.children.iter());
+        }
+        Ok(Some(vuln))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{OsFamily, OsVersion};
+
+    /// A hand-written feed fragment in genuine NVD 1.1 shape.
+    const SAMPLE: &str = r#"{
+      "CVE_data_type": "CVE",
+      "CVE_data_format": "MITRE",
+      "CVE_data_numberOfCVEs": "2",
+      "CVE_Items": [
+        {
+          "cve": {
+            "CVE_data_meta": { "ID": "CVE-2016-4428" },
+            "description": { "description_data": [
+              { "lang": "en",
+                "value": "Cross-site scripting (XSS) vulnerability in OpenStack Dashboard (Horizon) 8.0.1 and earlier and 9.0.0 through 9.0.1 allows remote authenticated users to inject arbitrary web script or HTML by injecting an AngularJS template in a dashboard form." }
+            ] }
+          },
+          "configurations": { "nodes": [
+            { "operator": "OR",
+              "cpe_match": [
+                { "vulnerable": true,
+                  "cpe23Uri": "cpe:2.3:a:openstack:horizon:*:*:*:*:*:*:*:*",
+                  "versionEndIncluding": "8.0.1" },
+                { "vulnerable": true,
+                  "cpe23Uri": "cpe:2.3:a:openstack:horizon:*:*:*:*:*:*:*:*",
+                  "versionStartIncluding": "9.0.0",
+                  "versionEndIncluding": "9.0.1" }
+              ],
+              "children": [
+                { "operator": "OR",
+                  "cpe_match": [
+                    { "vulnerable": true,
+                      "cpe23Uri": "cpe:2.3:o:debian:debian_linux:8:*:*:*:*:*:*:*" },
+                    { "vulnerable": false,
+                      "cpe23Uri": "cpe:2.3:h:generic:server:-:*:*:*:*:*:*:*" }
+                  ] }
+              ] }
+          ] },
+          "impact": { "baseMetricV3": { "cvssV3": {
+            "vectorString": "CVSS:3.0/AV:N/AC:L/PR:L/UI:R/S:C/C:L/I:L/A:N",
+            "baseScore": 5.4
+          } } },
+          "publishedDate": "2016-07-01T20:59Z"
+        },
+        {
+          "cve": {
+            "CVE_data_meta": { "ID": "CVE-2018-99999" },
+            "description": { "description_data": [
+              { "lang": "en", "value": "** RESERVED ** pending analysis." }
+            ] }
+          },
+          "publishedDate": "2018-01-01T00:00Z"
+        }
+      ]
+    }"#;
+
+    #[test]
+    fn parses_real_shape_feed() {
+        let feed = NvdFeed::parse(SAMPLE).unwrap();
+        assert_eq!(feed.items.len(), 2);
+        let vulns = feed.to_vulnerabilities().unwrap();
+        // The RESERVED item (also lacking CVSS) is skipped.
+        assert_eq!(vulns.len(), 1);
+        let v = &vulns[0];
+        assert_eq!(v.id.to_string(), "CVE-2016-4428");
+        assert_eq!(v.published, Date::from_ymd(2016, 7, 1));
+        assert_eq!(v.cvss.base_score(), 5.4);
+        assert!(v.description.contains("AngularJS template"));
+    }
+
+    #[test]
+    fn nested_nodes_are_flattened_and_nonvulnerable_skipped() {
+        let feed = NvdFeed::parse(SAMPLE).unwrap();
+        let v = &feed.to_vulnerabilities().unwrap()[0];
+        // 2 horizon ranges + 1 vulnerable debian child, not the hardware entry.
+        assert_eq!(v.affected.len(), 3);
+        assert!(v.affects(&OsVersion::new(OsFamily::Debian, "8").to_cpe()));
+        assert!(v.affects(&Cpe::app("openstack", "horizon", "9.0.1")));
+        assert!(!v.affects(&Cpe::app("openstack", "horizon", "9.0.2")));
+        assert!(v.affects(&Cpe::app("openstack", "horizon", "8.0.1")));
+    }
+
+    #[test]
+    fn cross_checks_published_score() {
+        let feed = NvdFeed::parse(SAMPLE).unwrap();
+        let metric = feed.items[0].impact.base_metric_v3.as_ref().unwrap();
+        let recomputed: CvssV3 = metric.cvss_v3.vector_string.parse().unwrap();
+        assert_eq!(recomputed.base_score(), metric.cvss_v3.base_score);
+    }
+
+    #[test]
+    fn roundtrip_through_json() {
+        let v = Vulnerability::new(
+            CveId::new(2018, 8897),
+            Date::from_ymd(2018, 5, 8),
+            "CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H".parse().unwrap(),
+            "A statement in the SDM mishandled by multiple OS kernels.",
+        )
+        .affecting(AffectedPlatform::exact(
+            OsVersion::new(OsFamily::Ubuntu, "16.04").to_cpe(),
+        ))
+        .affecting(AffectedPlatform::exact(
+            OsVersion::new(OsFamily::Debian, "8").to_cpe(),
+        ));
+        let feed = NvdFeed::from_items(vec![NvdItem::from_vulnerability(&v)]);
+        let json = feed.to_json();
+        let parsed = NvdFeed::parse(&json).unwrap().to_vulnerabilities().unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].id, v.id);
+        assert_eq!(parsed[0].published, v.published);
+        assert_eq!(parsed[0].cvss, v.cvss);
+        assert_eq!(parsed[0].description, v.description);
+        assert_eq!(parsed[0].affected.len(), 2);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(matches!(NvdFeed::parse("{"), Err(FeedError::Json(_))));
+        assert!(matches!(NvdFeed::parse("[]"), Err(FeedError::Json(_))));
+    }
+
+    #[test]
+    fn corrupt_item_is_reported_not_dropped() {
+        let mut feed = NvdFeed::parse(SAMPLE).unwrap();
+        feed.items[0].cve.meta.id = "NOT-A-CVE".to_string();
+        let err = feed.to_vulnerabilities().unwrap_err();
+        match err {
+            FeedError::Item { cve, detail } => {
+                assert_eq!(cve, "NOT-A-CVE");
+                assert!(detail.contains("bad CVE id"), "{detail}");
+            }
+            other => panic!("expected Item error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn feed_counter_matches_items() {
+        let feed = NvdFeed::from_items(vec![]);
+        assert_eq!(feed.number_of_cves, "0");
+        assert_eq!(feed.data_type, "CVE");
+    }
+}

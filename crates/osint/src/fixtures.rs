@@ -1,0 +1,280 @@
+//! Real CVE fixtures quoted in the paper.
+//!
+//! These are the concrete vulnerabilities the paper uses to motivate and
+//! illustrate its design: the Table 1 triplet of similar XSS flaws reported
+//! against "different" OSes, the May 2018 CVEs that made that month hard to
+//! survive (§6.1), and the score-evolution examples of Figure 3. They serve
+//! as ground truth for clustering tests and as the inputs of the Figure 3
+//! and Table 1 harnesses.
+
+use crate::catalog::{OsFamily, OsVersion};
+use crate::cpe::{Cpe, CpeValue, VersionRange};
+use crate::date::Date;
+use crate::model::{AffectedPlatform, CveId, ExploitRecord, PatchRecord, Vulnerability};
+
+fn horizon(range: VersionRange) -> AffectedPlatform {
+    let mut cpe = Cpe::app("openstack", "horizon", "x");
+    cpe.version = CpeValue::Any;
+    AffectedPlatform { cpe, range }
+}
+
+fn on(os: OsVersion) -> AffectedPlatform {
+    AffectedPlatform::exact(os.to_cpe())
+}
+
+/// Table 1, row 1: CVE-2014-0157 — XSS in the Horizon Orchestration
+/// dashboard, reported against OpenSuse 13.
+pub fn cve_2014_0157() -> Vulnerability {
+    Vulnerability::new(
+        CveId::new(2014, 157),
+        Date::from_ymd(2014, 4, 3),
+        "CVSS:3.0/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N".parse().expect("static"),
+        "Cross-site scripting (XSS) vulnerability in the Horizon Orchestration dashboard \
+         in OpenStack Dashboard (aka Horizon) 2013.2 before 2013.2.4 and icehouse before \
+         icehouse-rc2 allows remote attackers to inject arbitrary web script or HTML via \
+         the description field of a Heat template.",
+    )
+    .affecting(horizon(VersionRange::before("2013.2.4")))
+    .affecting(AffectedPlatform::exact(Cpe::os("opensuse", "opensuse", "13.1")))
+}
+
+/// Table 1, row 2: CVE-2015-3988 — XSS in OpenStack Dashboard, reported
+/// against Solaris 11.2.
+pub fn cve_2015_3988() -> Vulnerability {
+    Vulnerability::new(
+        CveId::new(2015, 3988),
+        Date::from_ymd(2015, 5, 27),
+        "CVSS:3.0/AV:N/AC:L/PR:L/UI:R/S:C/C:L/I:L/A:N".parse().expect("static"),
+        "Multiple cross-site scripting (XSS) vulnerabilities in OpenStack Dashboard \
+         (Horizon) 2015.1.0 allow remote authenticated users to inject arbitrary web \
+         script or HTML via the metadata to a (1) Glance image, (2) Nova flavor or (3) \
+         Host Aggregate.",
+    )
+    .affecting(horizon(VersionRange {
+        end_including: Some("2015.1.0".into()),
+        ..Default::default()
+    }))
+    .affecting(AffectedPlatform::exact(Cpe::os("oracle", "solaris", "11.2")))
+}
+
+/// Table 1, row 3: CVE-2016-4428 — XSS in OpenStack Dashboard, reported
+/// against Debian 8.0 (and, per Oracle's bulletin, also affecting Solaris).
+pub fn cve_2016_4428() -> Vulnerability {
+    Vulnerability::new(
+        CveId::new(2016, 4428),
+        Date::from_ymd(2016, 7, 1),
+        "CVSS:3.0/AV:N/AC:L/PR:L/UI:R/S:C/C:L/I:L/A:N".parse().expect("static"),
+        "Cross-site scripting (XSS) vulnerability in OpenStack Dashboard (Horizon) 8.0.1 \
+         and earlier and 9.0.0 through 9.0.1 allows remote authenticated users to inject \
+         arbitrary web script or HTML by injecting an AngularJS template in a dashboard \
+         form.",
+    )
+    .affecting(horizon(VersionRange {
+        end_including: Some("8.0.1".into()),
+        ..Default::default()
+    }))
+    .affecting(on(OsVersion::new(OsFamily::Debian, "8")))
+}
+
+/// The Table 1 triplet: three CVEs, three "different" OS lists, one
+/// underlying weakness.
+pub fn table1_triplet() -> Vec<Vulnerability> {
+    vec![cve_2014_0157(), cve_2015_3988(), cve_2016_4428()]
+}
+
+/// Figure 3(a): CVE-2018-8303 — new, an exploit appears 17 days after
+/// publication, no patch in the window (scenario NE).
+pub fn cve_2018_8303() -> Vulnerability {
+    let mut v = Vulnerability::new(
+        CveId::new(2018, 8303),
+        Date::from_ymd(2018, 9, 7),
+        "CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().expect("static"),
+        "A memory corruption vulnerability exists when a server improperly handles \
+         specially crafted requests, leading to remote code execution.",
+    );
+    v.exploits.push(ExploitRecord {
+        published: Date::from_ymd(2018, 9, 24),
+        source: "exploit-db".into(),
+        verified: true,
+    });
+    v
+}
+
+/// Figure 3(b): CVE-2018-8012 — an exploit four days after publication
+/// raises the score to its 9.37 peak, then the patch three days later
+/// halves it to ≈ 4.6 (scenario NPE; the paper's annotated values).
+pub fn cve_2018_8012() -> Vulnerability {
+    let mut v = Vulnerability::new(
+        CveId::new(2018, 8012),
+        Date::from_ymd(2018, 5, 20),
+        "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:H/A:N".parse().expect("static"), // 7.5
+        "No authentication/authorization is enforced when a server attempts to join a \
+         quorum, allowing arbitrary ensemble reconfiguration.",
+    );
+    v.exploits.push(ExploitRecord {
+        published: Date::from_ymd(2018, 5, 24),
+        source: "exploit-db".into(),
+        verified: false,
+    });
+    v.patches.push(PatchRecord {
+        product: Cpe::app("apache", "zookeeper", "3.4.12"),
+        released: Date::from_ymd(2018, 5, 27),
+        advisory: "ZOOKEEPER-3009".into(),
+    });
+    v
+}
+
+/// Figure 3(c): CVE-2016-7180 — old and patched, no exploit (scenario OP).
+pub fn cve_2016_7180() -> Vulnerability {
+    let mut v = Vulnerability::new(
+        CveId::new(2016, 7180),
+        Date::from_ymd(2016, 9, 8),
+        "CVSS:3.0/AV:L/AC:L/PR:H/UI:N/S:U/C:H/I:H/A:H".parse().expect("static"),
+        "A local elevation of privilege exists in how a system service handles objects \
+         in memory.",
+    );
+    v.patches.push(PatchRecord {
+        product: Cpe::os("microsoft", "windows", "10"),
+        released: Date::from_ymd(2016, 9, 19),
+        advisory: "MS16-111".into(),
+    });
+    v
+}
+
+/// §6.1: the May 2018 CVEs that defeated every strategy — kernel flaws
+/// shared by Ubuntu and Debian, Windows-wide flaws, and a Fedora/RedHat
+/// network-manager flaw.
+pub fn may_2018_cluster() -> Vec<Vulnerability> {
+    let kernel = |id: CveId, desc: &str, published: Date, oses: &[OsVersion]| {
+        let mut v = Vulnerability::new(
+            id,
+            published,
+            "CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H".parse().expect("static"),
+            desc.to_string(),
+        );
+        for os in oses {
+            v.affected.push(on(*os));
+        }
+        v
+    };
+    use OsFamily::*;
+    vec![
+        kernel(
+            CveId::new(2018, 1125),
+            "Stack-based buffer overflow in the procps-ng library allows local attackers \
+             to cause a denial of service or escalate privileges.",
+            Date::from_ymd(2018, 5, 23),
+            &[
+                OsVersion::new(Ubuntu, "16.04"),
+                OsVersion::new(Ubuntu, "17.04"),
+                OsVersion::new(Debian, "8"),
+                OsVersion::new(Debian, "9"),
+            ],
+        ),
+        kernel(
+            CveId::new(2018, 8897),
+            "A statement in the System Programming Guide was mishandled in the development \
+             of multiple operating system kernels, allowing local users to crash the kernel \
+             or escalate privileges via the MOV SS / POP SS instructions.",
+            Date::from_ymd(2018, 5, 8),
+            &[
+                OsVersion::new(Ubuntu, "14.04"),
+                OsVersion::new(Ubuntu, "16.04"),
+                OsVersion::new(Debian, "8"),
+                OsVersion::new(Debian, "9"),
+            ],
+        ),
+        kernel(
+            CveId::new(2018, 8134),
+            "An elevation of privilege vulnerability exists in the way the Windows kernel \
+             handles objects in memory.",
+            Date::from_ymd(2018, 5, 8),
+            &[
+                OsVersion::new(Windows, "10"),
+                OsVersion::new(Windows, "server_2012"),
+            ],
+        ),
+        kernel(
+            CveId::new(2018, 959),
+            "A remote code execution vulnerability exists when Windows Hyper-V on a host \
+             server fails to properly validate input from an authenticated user.",
+            Date::from_ymd(2018, 5, 8),
+            &[
+                OsVersion::new(Windows, "10"),
+                OsVersion::new(Windows, "8.1"),
+                OsVersion::new(Windows, "server_2012"),
+            ],
+        ),
+        kernel(
+            CveId::new(2018, 1111),
+            "DHCP packages as shipped include a script that allows a malicious DHCP server \
+             to execute arbitrary commands via crafted responses (dhclient integration).",
+            Date::from_ymd(2018, 5, 15),
+            &[
+                OsVersion::new(Fedora, "26"),
+                OsVersion::new(Fedora, "25"),
+                OsVersion::new(RedHat, "7"),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_descriptions_are_mutually_similar() {
+        let t = table1_triplet();
+        assert_eq!(t.len(), 3);
+        for v in &t {
+            assert!(v.description.contains("XSS"));
+            assert!(v.description.to_lowercase().contains("horizon"));
+        }
+        // Distinct OS platforms, as published.
+        assert!(t[0].affects(&Cpe::os("opensuse", "opensuse", "13.1")));
+        assert!(t[1].affects(&Cpe::os("oracle", "solaris", "11.2")));
+        assert!(t[2].affects(&OsVersion::new(OsFamily::Debian, "8").to_cpe()));
+        // No pair shares an OS platform in the published record.
+        assert!(!t[0].affects(&OsVersion::new(OsFamily::Debian, "8").to_cpe()));
+    }
+
+    #[test]
+    fn figure3_lifecycles() {
+        let ne = cve_2018_8303();
+        assert_eq!(ne.cvss.base_score(), 8.1);
+        assert!(ne.patches.is_empty());
+        assert_eq!(ne.first_exploit_date(), Some(Date::from_ymd(2018, 9, 24)));
+
+        let npe = cve_2018_8012();
+        assert_eq!(npe.cvss.base_score(), 7.5);
+        assert!(npe.is_patched(Date::from_ymd(2018, 5, 27)));
+        assert!(npe.is_exploited(Date::from_ymd(2018, 5, 24)));
+        assert!(!npe.is_exploited(Date::from_ymd(2018, 5, 23)));
+
+        let op = cve_2016_7180();
+        assert!(op.is_patched(Date::from_ymd(2016, 9, 19)));
+        assert!(op.exploits.is_empty());
+    }
+
+    #[test]
+    fn may_2018_hits_pairs_across_families() {
+        let cluster = may_2018_cluster();
+        let v8897 = cluster.iter().find(|v| v.id == CveId::new(2018, 8897)).unwrap();
+        assert!(v8897.affects(&OsVersion::new(OsFamily::Ubuntu, "16.04").to_cpe()));
+        assert!(v8897.affects(&OsVersion::new(OsFamily::Debian, "9").to_cpe()));
+        let v1111 = cluster.iter().find(|v| v.id == CveId::new(2018, 1111)).unwrap();
+        assert!(v1111.affects(&OsVersion::new(OsFamily::Fedora, "26").to_cpe()));
+        assert!(v1111.affects(&OsVersion::new(OsFamily::RedHat, "7").to_cpe()));
+    }
+
+    #[test]
+    fn fixtures_roundtrip_through_feed() {
+        use crate::feed::{NvdFeed, NvdItem};
+        let mut all = table1_triplet();
+        all.extend(may_2018_cluster());
+        let feed = NvdFeed::from_items(all.iter().map(NvdItem::from_vulnerability).collect());
+        let parsed = NvdFeed::parse(&feed.to_json()).unwrap().to_vulnerabilities().unwrap();
+        assert_eq!(parsed.len(), all.len());
+    }
+}

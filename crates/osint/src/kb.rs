@@ -1,0 +1,303 @@
+//! The vulnerability knowledge base.
+//!
+//! The Lazarus prototype stores collected intelligence in a MySQL database
+//! (paper §5.1); here the knowledge base is an in-memory indexed store with
+//! the same query surface: per-CVE lookup, per-product applicability, date
+//! ranges, and the pairwise shared-vulnerability query at the heart of the
+//! risk metric (Eq. 5).
+
+use std::collections::BTreeMap;
+
+use crate::cpe::Cpe;
+use crate::date::Date;
+use crate::model::{CveId, Vulnerability};
+use crate::sources::{Enrichment, EnrichmentKind};
+
+/// An in-memory vulnerability store with product filtering.
+///
+/// When constructed with [`KnowledgeBase::for_products`], only
+/// vulnerabilities affecting one of the monitored products are retained —
+/// mirroring the administrator's product selection from the CPE dictionary.
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeBase {
+    vulns: BTreeMap<CveId, Vulnerability>,
+    monitored: Vec<Cpe>,
+    /// Enrichments whose CVE was unknown at application time; kept for a
+    /// later feed round (sources and NVD are not synchronized).
+    pending: Vec<Enrichment>,
+}
+
+impl KnowledgeBase {
+    /// An unfiltered knowledge base (keeps everything).
+    pub fn new() -> KnowledgeBase {
+        KnowledgeBase::default()
+    }
+
+    /// A knowledge base monitoring only the given products.
+    pub fn for_products(products: impl IntoIterator<Item = Cpe>) -> KnowledgeBase {
+        KnowledgeBase { monitored: products.into_iter().collect(), ..Default::default() }
+    }
+
+    /// The monitored product list (empty means "everything").
+    pub fn monitored_products(&self) -> &[Cpe] {
+        &self.monitored
+    }
+
+    /// Whether a vulnerability is relevant to the monitored products.
+    fn relevant(&self, v: &Vulnerability) -> bool {
+        self.monitored.is_empty() || self.monitored.iter().any(|p| v.affects(p))
+    }
+
+    /// Inserts or merges a vulnerability. Returns `true` if it was retained
+    /// (relevant to the monitored products).
+    ///
+    /// Merging keeps the earliest publication date and unions the affected
+    /// platform, patch and exploit lists — repeated feed syncs are
+    /// idempotent.
+    pub fn upsert(&mut self, v: Vulnerability) -> bool {
+        if !self.relevant(&v) {
+            return false;
+        }
+        let id = v.id;
+        match self.vulns.get_mut(&id) {
+            None => {
+                self.vulns.insert(id, v);
+            }
+            Some(existing) => {
+                existing.published = existing.published.min(v.published);
+                existing.cvss = v.cvss;
+                if !v.description.is_empty() {
+                    existing.description = v.description;
+                }
+                for p in v.affected {
+                    if !existing.affected.contains(&p) {
+                        existing.affected.push(p);
+                    }
+                }
+                for p in v.patches {
+                    if !existing.patches.contains(&p) {
+                        existing.patches.push(p);
+                    }
+                }
+                for e in v.exploits {
+                    if !existing.exploits.contains(&e) {
+                        existing.exploits.push(e);
+                    }
+                }
+            }
+        }
+        // A new record may make buffered enrichments applicable.
+        let pending = std::mem::take(&mut self.pending);
+        for e in pending {
+            self.apply_enrichment(e);
+        }
+        true
+    }
+
+    /// Applies an enrichment from a secondary source. Unknown CVEs are
+    /// buffered and retried on the next [`upsert`](Self::upsert). Returns
+    /// `true` when applied immediately.
+    pub fn apply_enrichment(&mut self, e: Enrichment) -> bool {
+        match self.vulns.get_mut(&e.cve) {
+            Some(v) => {
+                e.apply(v);
+                true
+            }
+            None => {
+                // Platform facts can make a filtered-out CVE relevant later;
+                // keep everything until the CVE itself shows up.
+                if !matches!(e.kind, EnrichmentKind::AdditionalPlatform(_))
+                    || !self.monitored.is_empty()
+                {
+                    self.pending.push(e);
+                }
+                false
+            }
+        }
+    }
+
+    /// Number of stored vulnerabilities.
+    pub fn len(&self) -> usize {
+        self.vulns.len()
+    }
+
+    /// True when no vulnerabilities are stored.
+    pub fn is_empty(&self) -> bool {
+        self.vulns.is_empty()
+    }
+
+    /// Number of buffered, not-yet-applicable enrichments.
+    pub fn pending_enrichments(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Looks up one vulnerability.
+    pub fn get(&self, id: CveId) -> Option<&Vulnerability> {
+        self.vulns.get(&id)
+    }
+
+    /// Iterates over all vulnerabilities in CVE order.
+    pub fn iter(&self) -> impl Iterator<Item = &Vulnerability> {
+        self.vulns.values()
+    }
+
+    /// All vulnerabilities affecting `product`.
+    pub fn affecting<'a>(&'a self, product: &'a Cpe) -> impl Iterator<Item = &'a Vulnerability> {
+        self.iter().filter(move |v| v.affects(product))
+    }
+
+    /// All vulnerabilities published in `[from, to]`.
+    pub fn published_between(&self, from: Date, to: Date) -> impl Iterator<Item = &Vulnerability> {
+        self.iter().filter(move |v| v.published >= from && v.published <= to)
+    }
+
+    /// Vulnerabilities NVD lists as affecting *both* products — the direct
+    /// component of `V(ri, rj)` in Eq. 5 (cluster-inferred sharing is added
+    /// by `lazarus-risk`).
+    pub fn shared<'a>(
+        &'a self,
+        a: &'a Cpe,
+        b: &'a Cpe,
+    ) -> impl Iterator<Item = &'a Vulnerability> {
+        self.iter().filter(move |v| v.affects(a) && v.affects(b))
+    }
+
+    /// Restricts the view to vulnerabilities known at `on` (published on or
+    /// before that day) — used to rebuild the historical knowledge of a
+    /// given simulation day.
+    pub fn known_at(&self, on: Date) -> impl Iterator<Item = &Vulnerability> {
+        self.iter().filter(move |v| v.published <= on)
+    }
+}
+
+impl Extend<Vulnerability> for KnowledgeBase {
+    fn extend<T: IntoIterator<Item = Vulnerability>>(&mut self, iter: T) {
+        for v in iter {
+            self.upsert(v);
+        }
+    }
+}
+
+impl FromIterator<Vulnerability> for KnowledgeBase {
+    fn from_iter<T: IntoIterator<Item = Vulnerability>>(iter: T) -> Self {
+        let mut kb = KnowledgeBase::new();
+        kb.extend(iter);
+        kb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{OsFamily, OsVersion};
+    use crate::cvss::CvssV3;
+    use crate::model::{AffectedPlatform, ExploitRecord};
+
+    fn os(f: OsFamily, v: &'static str) -> Cpe {
+        OsVersion::new(f, v).to_cpe()
+    }
+
+    fn vuln(id: u32, oses: &[Cpe]) -> Vulnerability {
+        let mut v = Vulnerability::new(
+            CveId::new(2018, id),
+            Date::from_ymd(2018, 3, 1),
+            CvssV3::CRITICAL_RCE,
+            format!("synthetic flaw {id}"),
+        );
+        for o in oses {
+            v.affected.push(AffectedPlatform::exact(o.clone()));
+        }
+        v
+    }
+
+    #[test]
+    fn upsert_and_query() {
+        let ub = os(OsFamily::Ubuntu, "16.04");
+        let de = os(OsFamily::Debian, "8");
+        let fb = os(OsFamily::FreeBsd, "11");
+        let mut kb = KnowledgeBase::new();
+        kb.upsert(vuln(1, &[ub.clone(), de.clone()]));
+        kb.upsert(vuln(2, &[fb.clone()]));
+        assert_eq!(kb.len(), 2);
+        assert_eq!(kb.affecting(&ub).count(), 1);
+        assert_eq!(kb.shared(&ub, &de).count(), 1);
+        assert_eq!(kb.shared(&ub, &fb).count(), 0);
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_unions() {
+        let ub = os(OsFamily::Ubuntu, "16.04");
+        let de = os(OsFamily::Debian, "8");
+        let mut kb = KnowledgeBase::new();
+        kb.upsert(vuln(1, &[ub.clone()]));
+        kb.upsert(vuln(1, &[ub.clone(), de.clone()]));
+        kb.upsert(vuln(1, &[ub.clone()]));
+        assert_eq!(kb.len(), 1);
+        let v = kb.get(CveId::new(2018, 1)).unwrap();
+        assert_eq!(v.affected.len(), 2);
+    }
+
+    #[test]
+    fn merge_keeps_earliest_publication() {
+        let ub = os(OsFamily::Ubuntu, "16.04");
+        let mut kb = KnowledgeBase::new();
+        let mut early = vuln(1, &[ub.clone()]);
+        early.published = Date::from_ymd(2018, 1, 1);
+        kb.upsert(vuln(1, &[ub.clone()]));
+        kb.upsert(early);
+        assert_eq!(kb.get(CveId::new(2018, 1)).unwrap().published, Date::from_ymd(2018, 1, 1));
+    }
+
+    #[test]
+    fn product_filter_drops_irrelevant() {
+        let ub = os(OsFamily::Ubuntu, "16.04");
+        let fb = os(OsFamily::FreeBsd, "11");
+        let mut kb = KnowledgeBase::for_products([ub.clone()]);
+        assert!(kb.upsert(vuln(1, &[ub.clone()])));
+        assert!(!kb.upsert(vuln(2, &[fb])));
+        assert_eq!(kb.len(), 1);
+    }
+
+    #[test]
+    fn enrichment_buffering() {
+        let ub = os(OsFamily::Ubuntu, "16.04");
+        let mut kb = KnowledgeBase::new();
+        let e = Enrichment {
+            cve: CveId::new(2018, 1),
+            source: "exploit-db",
+            kind: EnrichmentKind::Exploit(ExploitRecord {
+                published: Date::from_ymd(2018, 3, 10),
+                source: "exploit-db".into(),
+                verified: true,
+            }),
+        };
+        assert!(!kb.apply_enrichment(e));
+        assert_eq!(kb.pending_enrichments(), 1);
+        // Once the CVE arrives, the buffered exploit is applied.
+        kb.upsert(vuln(1, &[ub]));
+        assert_eq!(kb.pending_enrichments(), 0);
+        let v = kb.get(CveId::new(2018, 1)).unwrap();
+        assert!(v.is_exploited(Date::from_ymd(2018, 3, 10)));
+    }
+
+    #[test]
+    fn known_at_windows_history() {
+        let ub = os(OsFamily::Ubuntu, "16.04");
+        let mut kb = KnowledgeBase::new();
+        let mut old = vuln(1, &[ub.clone()]);
+        old.published = Date::from_ymd(2016, 1, 1);
+        kb.upsert(old);
+        kb.upsert(vuln(2, &[ub.clone()]));
+        assert_eq!(kb.known_at(Date::from_ymd(2017, 1, 1)).count(), 1);
+        assert_eq!(kb.known_at(Date::from_ymd(2018, 12, 1)).count(), 2);
+        assert_eq!(kb.published_between(Date::from_ymd(2018, 1, 1), Date::from_ymd(2018, 12, 31)).count(), 1);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let ub = os(OsFamily::Ubuntu, "16.04");
+        let kb: KnowledgeBase = vec![vuln(1, &[ub.clone()]), vuln(2, &[ub])].into_iter().collect();
+        assert_eq!(kb.len(), 2);
+        assert!(!kb.is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Vulnerability intelligence for Lazarus: data model, feed parsing,
+//! OSINT sources, and the knowledge base.
+//!
+//! This crate is the data plane of the Lazarus control loop (paper §5.1,
+//! "Data manager"). It provides:
+//!
+//! * [`model`] — CVE records with CPE applicability, patches and exploits;
+//! * [`cvss`] — a complete CVSS v3.1 base-score implementation;
+//! * [`cpe`] — CPE 2.3 parsing and platform matching;
+//! * [`feed`] — the NVD JSON feed schema and parser;
+//! * [`sources`] — specialized parsers for the eight secondary OSINT
+//!   sources (ExploitDB, CVE-Details, and six vendor advisory sites);
+//! * [`kb`] / [`datamgr`] — the indexed knowledge base and the threaded
+//!   collection pipeline that fills it;
+//! * [`synth`] — a seeded synthetic-world generator reproducing the
+//!   statistical structure of the 2014–2018 history used in the paper;
+//! * [`fixtures`] — the real CVEs quoted in the paper (Table 1, Figure 3,
+//!   the May 2018 cluster);
+//! * [`catalog`] — the OS versions studied in §6 and §7.
+//!
+//! # Quick example
+//!
+//! ```
+//! use lazarus_osint::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generate a small world, render it as NVD feeds, and ingest it the way
+//! // a live deployment would.
+//! let mut config = WorldConfig::paper_study(42);
+//! config.end = Date::from_ymd(2014, 3, 1); // keep the doctest fast
+//! let world = SyntheticWorld::generate(config);
+//!
+//! let dm = DataManager::new(KnowledgeBase::new());
+//! dm.sync_feeds(&world.nvd_feeds())?;
+//! let ubuntu = OsVersion::new(OsFamily::Ubuntu, "16.04").to_cpe();
+//! let n = dm.read(|kb| kb.affecting(&ubuntu).count());
+//! assert!(n <= dm.read(|kb| kb.len()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+pub mod cpe;
+pub mod cvss;
+pub mod datamgr;
+pub mod date;
+pub mod feed;
+pub mod fixtures;
+pub mod kb;
+pub mod model;
+pub mod sources;
+pub mod synth;
+
+/// Convenience re-exports of the most used types.
+pub mod prelude {
+    pub use crate::catalog::{OsFamily, OsVersion};
+    pub use crate::cpe::Cpe;
+    pub use crate::cvss::{CvssV3, Severity};
+    pub use crate::datamgr::DataManager;
+    pub use crate::date::Date;
+    pub use crate::feed::NvdFeed;
+    pub use crate::kb::KnowledgeBase;
+    pub use crate::model::{CveId, Vulnerability};
+    pub use crate::sources::OsintSource;
+    pub use crate::synth::{Campaign, SyntheticWorld, WorldConfig};
+}

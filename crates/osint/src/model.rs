@@ -1,0 +1,314 @@
+//! The vulnerability data model: CVE identifiers, affected platforms,
+//! patch and exploit records.
+//!
+//! This mirrors what the Lazarus data manager stores in its knowledge base
+//! (paper §5.1): for each vulnerability, "its CVE identifier, the published
+//! date, the products it affects, its text description, the CVSS attributes,
+//! exploit and patching dates".
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpe::{Cpe, VersionRange};
+use crate::cvss::CvssV3;
+use crate::date::Date;
+
+/// A CVE identifier, e.g. `CVE-2018-8897`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CveId {
+    /// Year component of the identifier.
+    pub year: u16,
+    /// Sequence number within the year.
+    pub number: u32,
+}
+
+impl CveId {
+    /// Creates a CVE id from its year and sequence number.
+    pub const fn new(year: u16, number: u32) -> CveId {
+        CveId { year, number }
+    }
+}
+
+impl fmt::Display for CveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CVE-{}-{:04}", self.year, self.number)
+    }
+}
+
+impl fmt::Debug for CveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Error returned when a CVE identifier cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCveIdError {
+    input: String,
+}
+
+impl fmt::Display for ParseCveIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CVE identifier: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseCveIdError {}
+
+impl FromStr for CveId {
+    type Err = ParseCveIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseCveIdError { input: s.to_string() };
+        let rest = s.strip_prefix("CVE-").ok_or_else(err)?;
+        let (year, number) = rest.split_once('-').ok_or_else(err)?;
+        Ok(CveId {
+            year: year.parse().map_err(|_| err())?,
+            number: number.parse().map_err(|_| err())?,
+        })
+    }
+}
+
+/// One platform entry from a vulnerability's CPE applicability list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AffectedPlatform {
+    /// The (possibly wildcarded) CPE name listed by the report.
+    pub cpe: Cpe,
+    /// Optional version-range constraint refining the CPE version field.
+    pub range: VersionRange,
+}
+
+impl AffectedPlatform {
+    /// An entry affecting exactly one concrete platform.
+    pub fn exact(cpe: Cpe) -> AffectedPlatform {
+        AffectedPlatform { cpe, range: VersionRange::any() }
+    }
+
+    /// True when this entry covers the concrete platform `target`.
+    pub fn matches(&self, target: &Cpe) -> bool {
+        if !self.cpe.matches(target) {
+            return false;
+        }
+        match target.version.as_literal() {
+            Some(v) => self.range.contains(v),
+            // A wildcard target can only be covered by an unconstrained range.
+            None => self.range == VersionRange::any(),
+        }
+    }
+}
+
+/// A vendor patch (security update) for one product.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatchRecord {
+    /// The product the patch applies to.
+    pub product: Cpe,
+    /// Day the fix became available.
+    pub released: Date,
+    /// Advisory identifier at the vendor (e.g. `USN-3654-1`, `DSA-4196`).
+    pub advisory: String,
+}
+
+/// A public exploit observed for the vulnerability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExploitRecord {
+    /// Day the exploit was first distributed.
+    pub published: Date,
+    /// Where it was observed (e.g. `exploit-db`).
+    pub source: String,
+    /// Whether the exploit is verified/weaponised (vs. proof of concept).
+    pub verified: bool,
+}
+
+/// A fully-enriched vulnerability record, aggregating NVD data with the
+/// patch/exploit intelligence collected from the other OSINT sources.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vulnerability {
+    /// CVE identifier.
+    pub id: CveId,
+    /// Free-text description from the CVE entry (input to clustering).
+    pub description: String,
+    /// Publication day at NVD.
+    pub published: Date,
+    /// CVSS v3 base metrics.
+    pub cvss: CvssV3,
+    /// Platforms listed as affected.
+    pub affected: Vec<AffectedPlatform>,
+    /// Known patches, per product.
+    pub patches: Vec<PatchRecord>,
+    /// Known public exploits.
+    pub exploits: Vec<ExploitRecord>,
+}
+
+impl Vulnerability {
+    /// Creates a minimal record; patches and exploits can be added as the
+    /// enrichment pipeline discovers them.
+    pub fn new(id: CveId, published: Date, cvss: CvssV3, description: impl Into<String>) -> Self {
+        Vulnerability {
+            id,
+            description: description.into(),
+            published,
+            cvss,
+            affected: Vec::new(),
+            patches: Vec::new(),
+            exploits: Vec::new(),
+        }
+    }
+
+    /// Builder-style helper adding an affected platform.
+    pub fn affecting(mut self, platform: AffectedPlatform) -> Self {
+        self.affected.push(platform);
+        self
+    }
+
+    /// True when any listed platform covers `target`.
+    pub fn affects(&self, target: &Cpe) -> bool {
+        self.affected.iter().any(|p| p.matches(target))
+    }
+
+    /// Earliest patch date applying to `target`, if any patch is out.
+    pub fn patch_date_for(&self, target: &Cpe) -> Option<Date> {
+        self.patches
+            .iter()
+            .filter(|p| p.product.matches(target) || p.product.same_product(target))
+            .map(|p| p.released)
+            .min()
+    }
+
+    /// True if a patch for `target` is available on day `on`.
+    pub fn is_patched_for(&self, target: &Cpe, on: Date) -> bool {
+        self.patch_date_for(target).is_some_and(|d| d <= on)
+    }
+
+    /// True if *some* patch exists by `on` — the flag `v.patched` of Eq. 3,
+    /// which the paper evaluates per vulnerability (not per platform).
+    pub fn is_patched(&self, on: Date) -> bool {
+        self.patches.iter().any(|p| p.released <= on)
+    }
+
+    /// Earliest public exploit date, if any.
+    pub fn first_exploit_date(&self) -> Option<Date> {
+        self.exploits.iter().map(|e| e.published).min()
+    }
+
+    /// True if an exploit is circulating on day `on` — the flag
+    /// `v.exploited` of Eq. 4.
+    pub fn is_exploited(&self, on: Date) -> bool {
+        self.first_exploit_date().is_some_and(|d| d <= on)
+    }
+
+    /// Age in days at `on` (zero before publication).
+    pub fn age_at(&self, on: Date) -> u32 {
+        on.age_since(self.published)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cvss::CvssV3;
+
+    fn vuln() -> Vulnerability {
+        Vulnerability::new(
+            CveId::new(2018, 8897),
+            Date::from_ymd(2018, 5, 8),
+            CvssV3::CRITICAL_RCE,
+            "mishandled exception on pop ss instruction",
+        )
+        .affecting(AffectedPlatform::exact(Cpe::os("canonical", "ubuntu_linux", "16.04")))
+        .affecting(AffectedPlatform::exact(Cpe::os("debian", "debian_linux", "8.0")))
+    }
+
+    #[test]
+    fn cve_id_display_and_parse() {
+        let id = CveId::new(2018, 8897);
+        assert_eq!(id.to_string(), "CVE-2018-8897");
+        assert_eq!("CVE-2018-8897".parse::<CveId>().unwrap(), id);
+        assert_eq!("CVE-2014-0157".parse::<CveId>().unwrap().to_string(), "CVE-2014-0157");
+        assert!("CVE-2018".parse::<CveId>().is_err());
+        assert!("cve-2018-1".parse::<CveId>().is_err());
+        assert!("CVE-20x8-1".parse::<CveId>().is_err());
+    }
+
+    #[test]
+    fn cve_ids_order_by_year_then_number() {
+        let mut ids = vec![CveId::new(2018, 2), CveId::new(2014, 9999), CveId::new(2018, 1)];
+        ids.sort();
+        assert_eq!(ids, vec![CveId::new(2014, 9999), CveId::new(2018, 1), CveId::new(2018, 2)]);
+    }
+
+    #[test]
+    fn affects_matches_listed_platforms() {
+        let v = vuln();
+        assert!(v.affects(&Cpe::os("canonical", "ubuntu_linux", "16.04")));
+        assert!(v.affects(&Cpe::os("debian", "debian_linux", "8.0")));
+        assert!(!v.affects(&Cpe::os("freebsd", "freebsd", "11")));
+    }
+
+    #[test]
+    fn version_range_refines_cpe_match() {
+        let mut listed = Cpe::os("openstack", "horizon", "x");
+        listed.version = crate::cpe::CpeValue::Any;
+        let entry = AffectedPlatform { cpe: listed, range: VersionRange::before("2013.2.4") };
+        assert!(entry.matches(&Cpe::os("openstack", "horizon", "2013.2")));
+        assert!(!entry.matches(&Cpe::os("openstack", "horizon", "2013.2.4")));
+    }
+
+    #[test]
+    fn patch_lifecycle() {
+        let mut v = vuln();
+        let ubuntu = Cpe::os("canonical", "ubuntu_linux", "16.04");
+        assert!(!v.is_patched(Date::from_ymd(2018, 6, 1)));
+        assert_eq!(v.patch_date_for(&ubuntu), None);
+        v.patches.push(PatchRecord {
+            product: ubuntu.clone(),
+            released: Date::from_ymd(2018, 5, 20),
+            advisory: "USN-3641-1".into(),
+        });
+        assert!(v.is_patched_for(&ubuntu, Date::from_ymd(2018, 5, 20)));
+        assert!(!v.is_patched_for(&ubuntu, Date::from_ymd(2018, 5, 19)));
+        // Debian remains unpatched even though the vulnerability "is patched".
+        assert!(v.is_patched(Date::from_ymd(2018, 5, 20)));
+        assert!(!v.is_patched_for(&Cpe::os("debian", "debian_linux", "8.0"), Date::from_ymd(2018, 6, 1)));
+    }
+
+    #[test]
+    fn patch_applies_across_versions_of_same_product() {
+        let mut v = vuln();
+        v.patches.push(PatchRecord {
+            product: Cpe::os("canonical", "ubuntu_linux", "17.04"),
+            released: Date::from_ymd(2018, 5, 20),
+            advisory: "USN-3641-2".into(),
+        });
+        // same_product fallback: an Ubuntu advisory covers the Ubuntu line.
+        assert!(v.is_patched_for(&Cpe::os("canonical", "ubuntu_linux", "16.04"), Date::from_ymd(2018, 5, 21)));
+    }
+
+    #[test]
+    fn exploit_lifecycle() {
+        let mut v = vuln();
+        assert!(!v.is_exploited(Date::from_ymd(2018, 12, 31)));
+        v.exploits.push(ExploitRecord {
+            published: Date::from_ymd(2018, 5, 30),
+            source: "exploit-db".into(),
+            verified: true,
+        });
+        v.exploits.push(ExploitRecord {
+            published: Date::from_ymd(2018, 6, 15),
+            source: "metasploit".into(),
+            verified: true,
+        });
+        assert_eq!(v.first_exploit_date(), Some(Date::from_ymd(2018, 5, 30)));
+        assert!(v.is_exploited(Date::from_ymd(2018, 5, 30)));
+        assert!(!v.is_exploited(Date::from_ymd(2018, 5, 29)));
+    }
+
+    #[test]
+    fn age_computation() {
+        let v = vuln();
+        assert_eq!(v.age_at(Date::from_ymd(2018, 5, 8)), 0);
+        assert_eq!(v.age_at(Date::from_ymd(2019, 5, 8)), 365);
+        assert_eq!(v.age_at(Date::from_ymd(2018, 1, 1)), 0); // before publication
+    }
+}

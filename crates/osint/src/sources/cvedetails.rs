@@ -1,0 +1,128 @@
+//! CVE-Details: a secondary aggregator used to corroborate exploit sightings.
+//!
+//! `cvedetails.com` cross-references CVEs with known exploit counts. Lazarus
+//! uses it as a second witness for the `v.exploited` flag: ExploitDB rows can
+//! lag, and an exploit count on CVE-Details marks the vulnerability as
+//! exploited even before a public PoC lands in the archive.
+
+use crate::date::Date;
+use crate::model::{CveId, ExploitRecord};
+
+use super::html::extract_text;
+use super::{Enrichment, EnrichmentKind, OsintSource, SourceError};
+
+const NAME: &str = "cve-details";
+
+/// The CVE-Details source, holding a vulnerability-list page.
+#[derive(Debug, Clone, Default)]
+pub struct CveDetailsSource {
+    document: String,
+}
+
+impl CveDetailsSource {
+    /// Creates the source over a raw page.
+    pub fn new(document: impl Into<String>) -> Self {
+        CveDetailsSource { document: document.into() }
+    }
+
+    /// Replaces the document (a crawler refresh).
+    pub fn set_document(&mut self, document: impl Into<String>) {
+        self.document = document.into();
+    }
+
+    /// Renders `(cve, exploit_count, first_seen)` rows as a listing page.
+    pub fn render(rows: &[(CveId, u32, Date)]) -> String {
+        let mut html = String::from("<html><body><table class=\"searchresults\">\n");
+        html.push_str("<tr><th>CVE ID</th><th># of Exploits</th><th>Exploit Date</th></tr>\n");
+        for (cve, count, date) in rows {
+            html.push_str(&format!(
+                "<tr><td><a href=\"/cve/{cve}/\">{cve}</a></td><td>{count}</td><td>{date}</td></tr>\n"
+            ));
+        }
+        html.push_str("</table></body></html>\n");
+        html
+    }
+}
+
+impl OsintSource for CveDetailsSource {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn fetch(&self, since: Date) -> Result<Vec<Enrichment>, SourceError> {
+        let text = extract_text(&self.document);
+        let lines: Vec<&str> = text.lines().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < lines.len() {
+            if let Ok(cve) = lines[i].trim().parse::<CveId>() {
+                let count: u32 = lines
+                    .get(i + 1)
+                    .and_then(|l| l.trim().parse().ok())
+                    .ok_or_else(|| SourceError::new(NAME, format!("{cve}: bad exploit count")))?;
+                let date: Date = lines
+                    .get(i + 2)
+                    .and_then(|l| l.trim().parse().ok())
+                    .ok_or_else(|| SourceError::new(NAME, format!("{cve}: bad exploit date")))?;
+                if count > 0 && date >= since {
+                    out.push(Enrichment {
+                        cve,
+                        source: NAME,
+                        kind: EnrichmentKind::Exploit(ExploitRecord {
+                            published: date,
+                            source: NAME.to_string(),
+                            verified: false,
+                        }),
+                    });
+                }
+                i += 3;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let rows = vec![
+            (CveId::new(2018, 8897), 2, Date::from_ymd(2018, 5, 21)),
+            (CveId::new(2018, 1111), 0, Date::from_ymd(2018, 5, 30)),
+        ];
+        let src = CveDetailsSource::new(CveDetailsSource::render(&rows));
+        let out = src.fetch(Date::EPOCH).unwrap();
+        // zero-exploit rows are not sightings
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].cve, CveId::new(2018, 8897));
+        match &out[0].kind {
+            EnrichmentKind::Exploit(e) => {
+                assert_eq!(e.published, Date::from_ymd(2018, 5, 21));
+                assert!(!e.verified);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn since_filter() {
+        let rows = vec![(CveId::new(2017, 144), 5, Date::from_ymd(2017, 5, 17))];
+        let src = CveDetailsSource::new(CveDetailsSource::render(&rows));
+        assert!(src.fetch(Date::from_ymd(2018, 1, 1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_row_is_error() {
+        let src = CveDetailsSource::new("<tr><td>CVE-2018-0001</td><td>not-a-number</td></tr>");
+        assert!(src.fetch(Date::EPOCH).is_err());
+    }
+
+    #[test]
+    fn empty_is_ok() {
+        assert!(CveDetailsSource::default().fetch(Date::EPOCH).unwrap().is_empty());
+    }
+}

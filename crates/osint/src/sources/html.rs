@@ -1,0 +1,154 @@
+//! A minimal HTML text extractor for the vendor-site parsers.
+//!
+//! Vendor advisory pages are HTML; their parsers (paper §5.1: "we had to
+//! develop specialized HTML parsers for them") first strip markup to a text
+//! stream, then scan for advisory identifiers, CVE ids and dates. This is
+//! deliberately a *text extractor*, not a DOM: advisory pages are scraped by
+//! pattern, and a tolerant extractor survives the tag soup real vendor pages
+//! contain.
+
+/// Strips tags, comments and script/style bodies from an HTML fragment,
+/// decoding the handful of entities that occur in advisory pages. Block-level
+/// closing tags produce newlines so line-oriented scanning keeps working.
+///
+/// # Examples
+///
+/// ```
+/// use lazarus_osint::sources::extract_text;
+///
+/// let html = "<html><body><h1>USN-3641-1</h1><p>Fixed &amp; released</p></body></html>";
+/// assert_eq!(extract_text(html), "USN-3641-1\nFixed & released\n");
+/// ```
+pub fn extract_text(html: &str) -> String {
+    let mut out = String::with_capacity(html.len() / 2);
+    let bytes = html.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            // Comment?
+            if html[i..].starts_with("<!--") {
+                i = html[i..].find("-->").map(|p| i + p + 3).unwrap_or(bytes.len());
+                continue;
+            }
+            let close = match html[i..].find('>') {
+                Some(p) => i + p,
+                None => break,
+            };
+            let tag_body = &html[i + 1..close];
+            let tag_name: String = tag_body
+                .trim_start_matches('/')
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_ascii_lowercase();
+            // Skip script/style contents entirely.
+            if !tag_body.starts_with('/') && (tag_name == "script" || tag_name == "style") {
+                let end_tag = format!("</{tag_name}");
+                i = html[close..]
+                    .to_ascii_lowercase()
+                    .find(&end_tag)
+                    .map(|p| close + p)
+                    .unwrap_or(bytes.len());
+                continue;
+            }
+            if tag_body.starts_with('/') && is_block_tag(&tag_name) {
+                out.push('\n');
+            } else if tag_name == "br" {
+                out.push('\n');
+            }
+            i = close + 1;
+        } else if bytes[i] == b'&' {
+            let (decoded, advance) = decode_entity(&html[i..]);
+            out.push_str(decoded);
+            i += advance;
+        } else {
+            let ch = html[i..].chars().next().unwrap_or('\u{FFFD}');
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    // Collapse runs of spaces within lines; keep line structure.
+    let mut cleaned = String::with_capacity(out.len());
+    for line in out.lines() {
+        let trimmed: Vec<&str> = line.split_whitespace().collect();
+        if !trimmed.is_empty() {
+            cleaned.push_str(&trimmed.join(" "));
+            cleaned.push('\n');
+        }
+    }
+    cleaned
+}
+
+fn is_block_tag(name: &str) -> bool {
+    matches!(
+        name,
+        "p" | "div" | "li" | "tr" | "td" | "th" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6"
+            | "table" | "ul" | "ol" | "dt" | "dd" | "pre" | "blockquote" | "section"
+            | "article" | "header" | "footer"
+    )
+}
+
+fn decode_entity(s: &str) -> (&'static str, usize) {
+    const ENTITIES: [(&str, &str); 6] = [
+        ("&amp;", "&"),
+        ("&lt;", "<"),
+        ("&gt;", ">"),
+        ("&quot;", "\""),
+        ("&#39;", "'"),
+        ("&nbsp;", " "),
+    ];
+    for (ent, rep) in ENTITIES {
+        if s.starts_with(ent) {
+            return (rep, ent.len());
+        }
+    }
+    ("&", 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_tags_and_keeps_text() {
+        let html = "<div class=\"usn\"><a href=\"/x\">USN-3641-1</a>: Linux kernel</div>";
+        assert_eq!(extract_text(html), "USN-3641-1: Linux kernel\n");
+    }
+
+    #[test]
+    fn block_tags_break_lines() {
+        let html = "<tr><td>CVE-2018-8897</td><td>2018-05-08</td></tr>";
+        assert_eq!(extract_text(html), "CVE-2018-8897\n2018-05-08\n");
+    }
+
+    #[test]
+    fn entities_are_decoded() {
+        assert_eq!(extract_text("a &amp; b &lt;c&gt; &quot;d&quot; &#39;e&#39;"), "a & b <c> \"d\" 'e'\n");
+        assert_eq!(extract_text("x&nbsp;y"), "x y\n");
+        // Unknown entity: keep the ampersand literally.
+        assert_eq!(extract_text("R&D"), "R&D\n");
+    }
+
+    #[test]
+    fn script_and_style_bodies_are_dropped() {
+        let html = "<p>keep</p><script>var CVE = 'CVE-0000-0000';</script><style>p{}</style><p>also</p>";
+        assert_eq!(extract_text(html), "keep\nalso\n");
+    }
+
+    #[test]
+    fn comments_are_dropped() {
+        assert_eq!(extract_text("a<!-- CVE-9999-1 -->b"), "ab\n");
+    }
+
+    #[test]
+    fn tolerates_truncated_markup() {
+        assert_eq!(extract_text("text <unclosed"), "text\n");
+        assert_eq!(extract_text("<!-- never closed"), "");
+        assert_eq!(extract_text("<script>never closed"), "");
+    }
+
+    #[test]
+    fn whitespace_is_collapsed() {
+        assert_eq!(extract_text("a   b\n\n\n   c  "), "a b\nc\n");
+    }
+}

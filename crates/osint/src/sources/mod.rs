@@ -1,0 +1,199 @@
+//! The non-NVD OSINT sources and their specialized parsers.
+//!
+//! Besides NVD, the Lazarus prototype monitors eight additional sources —
+//! ExploitDB, CVE-Details, Ubuntu, Debian, RedHat, Solaris (Oracle), FreeBSD
+//! and Microsoft (paper §5.1). These sources are "not as well structured as
+//! NVD", so each gets a specialized parser for its native document format:
+//! ExploitDB's CSV index, Debian's DSA list, Ubuntu's USN pages, Oracle's
+//! CVE-to-advisory map, and so on.
+//!
+//! Every source implements [`OsintSource`], producing [`Enrichment`] records
+//! (exploit sightings, patch releases, extra affected platforms) that the
+//! data manager merges into the knowledge base. In this reproduction the raw
+//! documents come from the synthetic world generator instead of HTTP, but
+//! they pass through the same parsers a live crawler would use.
+
+mod cvedetails;
+pub mod exploitdb;
+mod html;
+pub mod vendors;
+
+pub use cvedetails::CveDetailsSource;
+pub use exploitdb::{ExploitDbRow, ExploitDbSource};
+pub use html::extract_text;
+pub use vendors::{
+    AdvisoryEntry, DebianSource, FreeBsdSource, MicrosoftSource, OracleSource, RedhatSource,
+    UbuntuSource,
+};
+
+use std::fmt;
+
+use crate::date::Date;
+use crate::model::{AffectedPlatform, CveId, ExploitRecord, PatchRecord, Vulnerability};
+
+/// One fact learned from a secondary OSINT source about a CVE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Enrichment {
+    /// The CVE the fact is about.
+    pub cve: CveId,
+    /// The fact itself.
+    pub kind: EnrichmentKind,
+    /// Which source reported it.
+    pub source: &'static str,
+}
+
+/// The kinds of intelligence secondary sources contribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnrichmentKind {
+    /// A public exploit was observed.
+    Exploit(ExploitRecord),
+    /// A vendor released a patch.
+    Patch(PatchRecord),
+    /// The source lists an affected platform NVD missed (paper §4.2:
+    /// "often vendor sites also give additional product versions
+    /// compromised by the vulnerability").
+    AdditionalPlatform(AffectedPlatform),
+}
+
+impl Enrichment {
+    /// Merges this fact into `vuln` (which must be the matching CVE),
+    /// skipping exact duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vuln.id` differs from `self.cve`.
+    pub fn apply(&self, vuln: &mut Vulnerability) {
+        assert_eq!(vuln.id, self.cve, "enrichment applied to wrong CVE");
+        match &self.kind {
+            EnrichmentKind::Exploit(e) => {
+                if !vuln.exploits.contains(e) {
+                    vuln.exploits.push(e.clone());
+                }
+            }
+            EnrichmentKind::Patch(p) => {
+                if !vuln.patches.contains(p) {
+                    vuln.patches.push(p.clone());
+                }
+            }
+            EnrichmentKind::AdditionalPlatform(p) => {
+                if !vuln.affected.contains(p) {
+                    vuln.affected.push(p.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Error raised by a source whose document could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceError {
+    /// Source name.
+    pub source: &'static str,
+    /// Human-readable description of the malformation.
+    pub detail: String,
+}
+
+impl SourceError {
+    pub(crate) fn new(source: &'static str, detail: impl Into<String>) -> Self {
+        SourceError { source, detail: detail.into() }
+    }
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to parse {} document: {}", self.source, self.detail)
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// A crawlable OSINT source.
+///
+/// `fetch` parses the source's current documents and returns every fact
+/// published on or after `since` — the data manager polls with the date of
+/// its previous round.
+pub trait OsintSource: Send {
+    /// Stable source name (`"exploit-db"`, `"ubuntu-usn"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Parses the documents and returns new enrichments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SourceError`] when a document is malformed.
+    fn fetch(&self, since: Date) -> Result<Vec<Enrichment>, SourceError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpe::Cpe;
+    use crate::cvss::CvssV3;
+
+    fn vuln() -> Vulnerability {
+        Vulnerability::new(
+            CveId::new(2018, 8897),
+            Date::from_ymd(2018, 5, 8),
+            CvssV3::CRITICAL_RCE,
+            "pop ss",
+        )
+    }
+
+    #[test]
+    fn apply_exploit_and_dedup() {
+        let mut v = vuln();
+        let e = Enrichment {
+            cve: v.id,
+            source: "exploit-db",
+            kind: EnrichmentKind::Exploit(ExploitRecord {
+                published: Date::from_ymd(2018, 5, 15),
+                source: "exploit-db".into(),
+                verified: true,
+            }),
+        };
+        e.apply(&mut v);
+        e.apply(&mut v);
+        assert_eq!(v.exploits.len(), 1);
+    }
+
+    #[test]
+    fn apply_patch_and_platform() {
+        let mut v = vuln();
+        Enrichment {
+            cve: v.id,
+            source: "ubuntu-usn",
+            kind: EnrichmentKind::Patch(PatchRecord {
+                product: Cpe::os("canonical", "ubuntu_linux", "16.04"),
+                released: Date::from_ymd(2018, 5, 20),
+                advisory: "USN-3641-1".into(),
+            }),
+        }
+        .apply(&mut v);
+        Enrichment {
+            cve: v.id,
+            source: "oracle",
+            kind: EnrichmentKind::AdditionalPlatform(AffectedPlatform::exact(Cpe::os(
+                "oracle", "solaris", "11",
+            ))),
+        }
+        .apply(&mut v);
+        assert_eq!(v.patches.len(), 1);
+        assert!(v.affects(&Cpe::os("oracle", "solaris", "11")));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong CVE")]
+    fn apply_to_wrong_cve_panics() {
+        let mut v = vuln();
+        Enrichment {
+            cve: CveId::new(2017, 1),
+            source: "x",
+            kind: EnrichmentKind::Exploit(ExploitRecord {
+                published: Date::EPOCH,
+                source: "x".into(),
+                verified: false,
+            }),
+        }
+        .apply(&mut v);
+    }
+}

@@ -1,0 +1,767 @@
+//! Vendor advisory sources: Ubuntu, Debian, RedHat, Oracle (Solaris),
+//! FreeBSD and Microsoft.
+//!
+//! Each vendor publishes security advisories in its own house format; the
+//! parsers here scrape the formats the Lazarus prototype supported
+//! (paper §5.1). Advisories yield [`EnrichmentKind::Patch`] records — the
+//! patch date drives Eq. 3 — and, for Oracle's CVE-to-advisory map, also
+//! [`EnrichmentKind::AdditionalPlatform`] facts: the paper's motivating
+//! example is that Oracle's bulletin revealed CVE-2016-4428 also affects
+//! Solaris even though NVD's CPE list omits it.
+
+use crate::cpe::{Cpe, CpeValue};
+use crate::date::Date;
+use crate::model::{AffectedPlatform, CveId, PatchRecord};
+
+use super::html::extract_text;
+use super::{Enrichment, EnrichmentKind, OsintSource, SourceError};
+
+/// A vendor advisory as produced by the synthetic world generator, rendered
+/// by each source into its native document format.
+#[derive(Debug, Clone)]
+pub struct AdvisoryEntry {
+    /// Advisory identifier (`USN-3641-1`, `DSA-4196-1`, `RHSA-2018:1318`…).
+    pub advisory: String,
+    /// Short subject (package or component).
+    pub subject: String,
+    /// Release date of the fix.
+    pub date: Date,
+    /// CVEs the advisory fixes.
+    pub cves: Vec<CveId>,
+    /// Affected product versions, vendor notation (e.g. `16.04`, `11.2`).
+    pub versions: Vec<String>,
+}
+
+/// A product CPE whose version field is a wildcard — vendor advisories
+/// usually cover "all supported releases" unless versions are listed.
+fn product_cpe(vendor: &str, product: &str) -> Cpe {
+    let mut cpe = Cpe::os(vendor, product, "x");
+    cpe.version = CpeValue::Any;
+    cpe
+}
+
+fn month_number(name: &str) -> Option<u32> {
+    const MONTHS: [&str; 12] = [
+        "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
+    ];
+    let lower = name.to_ascii_lowercase();
+    MONTHS.iter().position(|m| lower.starts_with(m)).map(|i| i as u32 + 1)
+}
+
+fn month_name(m: u32) -> &'static str {
+    const MONTHS: [&str; 12] = [
+        "January", "February", "March", "April", "May", "June", "July", "August",
+        "September", "October", "November", "December",
+    ];
+    MONTHS[(m - 1) as usize]
+}
+
+/// Parses `20 May 2018` or `May 20, 2018` into a [`Date`].
+fn parse_human_date(s: &str) -> Option<Date> {
+    let cleaned: String = s
+        .chars()
+        .map(|c| if c == ',' { ' ' } else { c })
+        .collect();
+    let parts: Vec<&str> = cleaned.split_whitespace().collect();
+    if parts.len() != 3 {
+        return None;
+    }
+    let (d, m, y) = if parts[0].chars().all(|c| c.is_ascii_digit()) {
+        (parts[0], parts[1], parts[2]) // 20 May 2018
+    } else {
+        (parts[1], parts[0], parts[2]) // May 20, 2018
+    };
+    let day: u32 = d.parse().ok()?;
+    let month = month_number(m)?;
+    let year: i32 = y.parse().ok()?;
+    Date::try_from_ymd(year, month, day)
+}
+
+fn scan_cves(text: &str) -> Vec<CveId> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("CVE-") {
+        let candidate: String = rest[pos..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+            .collect();
+        if let Ok(id) = candidate.parse::<CveId>() {
+            if !out.contains(&id) {
+                out.push(id);
+            }
+        }
+        rest = &rest[pos + 4..];
+    }
+    out
+}
+
+macro_rules! document_source {
+    ($name:ident) => {
+        impl $name {
+            /// Creates the source over a raw document.
+            pub fn new(document: impl Into<String>) -> Self {
+                Self { document: document.into() }
+            }
+
+            /// Replaces the document (a crawler refresh).
+            pub fn set_document(&mut self, document: impl Into<String>) {
+                self.document = document.into();
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Ubuntu Security Notices
+// ---------------------------------------------------------------------------
+
+/// Ubuntu Security Notices (`usn.ubuntu.com`), an HTML listing.
+#[derive(Debug, Clone, Default)]
+pub struct UbuntuSource {
+    document: String,
+}
+document_source!(UbuntuSource);
+
+impl UbuntuSource {
+    /// Renders advisories as a USN index page.
+    pub fn render(entries: &[AdvisoryEntry]) -> String {
+        let mut html = String::from("<html><body><div id=\"usn-list\">\n");
+        for e in entries {
+            let (_, m, d) = e.date.ymd();
+            html.push_str(&format!(
+                "<div class=\"usn\"><h3>{}: {} vulnerabilities</h3>\
+                 <p class=\"date\">{} {} {}</p><p class=\"releases\">{}</p>\
+                 <p class=\"cves\">{}</p></div>\n",
+                e.advisory,
+                e.subject,
+                d,
+                month_name(m),
+                e.date.year(),
+                e.versions.iter().map(|v| format!("Ubuntu {v}")).collect::<Vec<_>>().join(", "),
+                e.cves.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", "),
+            ));
+        }
+        html.push_str("</div></body></html>\n");
+        html
+    }
+}
+
+impl OsintSource for UbuntuSource {
+    fn name(&self) -> &'static str {
+        "ubuntu-usn"
+    }
+
+    fn fetch(&self, since: Date) -> Result<Vec<Enrichment>, SourceError> {
+        let text = extract_text(&self.document);
+        let mut out = Vec::new();
+        let mut lines = text.lines().peekable();
+        while let Some(line) = lines.next() {
+            if !line.starts_with("USN-") {
+                continue;
+            }
+            let advisory = line.split(':').next().unwrap_or(line).trim().to_string();
+            let date_line = lines
+                .next()
+                .ok_or_else(|| SourceError::new("ubuntu-usn", format!("{advisory}: missing date")))?;
+            let date = parse_human_date(date_line)
+                .ok_or_else(|| SourceError::new("ubuntu-usn", format!("{advisory}: bad date {date_line:?}")))?;
+            let versions_line = lines.next().unwrap_or("");
+            let cves_line = lines.next().unwrap_or("");
+            if date < since {
+                continue;
+            }
+            let versions: Vec<&str> = versions_line
+                .split(',')
+                .filter_map(|v| v.trim().strip_prefix("Ubuntu "))
+                .collect();
+            for cve in scan_cves(cves_line) {
+                if versions.is_empty() {
+                    out.push(Enrichment {
+                        cve,
+                        source: "ubuntu-usn",
+                        kind: EnrichmentKind::Patch(PatchRecord {
+                            product: product_cpe("canonical", "ubuntu_linux"),
+                            released: date,
+                            advisory: advisory.clone(),
+                        }),
+                    });
+                }
+                for v in &versions {
+                    out.push(Enrichment {
+                        cve,
+                        source: "ubuntu-usn",
+                        kind: EnrichmentKind::Patch(PatchRecord {
+                            product: Cpe::os("canonical", "ubuntu_linux", v),
+                            released: date,
+                            advisory: advisory.clone(),
+                        }),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Debian Security Advisories (plain-text DSA list)
+// ---------------------------------------------------------------------------
+
+/// The Debian security tracker's DSA list — a plain-text format:
+///
+/// ```text
+/// [20 May 2018] DSA-4196-1 linux - security update
+///     {CVE-2018-8897 CVE-2018-1087}
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DebianSource {
+    document: String,
+}
+document_source!(DebianSource);
+
+impl DebianSource {
+    /// Renders advisories in DSA-list format.
+    pub fn render(entries: &[AdvisoryEntry]) -> String {
+        let mut out = String::new();
+        for e in entries {
+            let (_, m, d) = e.date.ymd();
+            out.push_str(&format!(
+                "[{:02} {} {}] {} {} - security update\n\t{{{}}}\n",
+                d,
+                &month_name(m)[..3],
+                e.date.year(),
+                e.advisory,
+                e.subject,
+                e.cves.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" "),
+            ));
+        }
+        out
+    }
+}
+
+impl OsintSource for DebianSource {
+    fn name(&self) -> &'static str {
+        "debian-dsa"
+    }
+
+    fn fetch(&self, since: Date) -> Result<Vec<Enrichment>, SourceError> {
+        let mut out = Vec::new();
+        let mut current: Option<(String, Date)> = None;
+        for line in self.document.lines() {
+            let trimmed = line.trim();
+            if trimmed.starts_with('[') {
+                let close = trimmed
+                    .find(']')
+                    .ok_or_else(|| SourceError::new("debian-dsa", format!("unterminated date in {trimmed:?}")))?;
+                let date = parse_human_date(&trimmed[1..close])
+                    .ok_or_else(|| SourceError::new("debian-dsa", format!("bad date in {trimmed:?}")))?;
+                let advisory = trimmed[close + 1..]
+                    .trim()
+                    .split_whitespace()
+                    .next()
+                    .unwrap_or("DSA-?")
+                    .to_string();
+                current = Some((advisory, date));
+            } else if trimmed.starts_with('{') {
+                let Some((advisory, date)) = current.clone() else { continue };
+                if date < since {
+                    continue;
+                }
+                for cve in scan_cves(trimmed) {
+                    out.push(Enrichment {
+                        cve,
+                        source: "debian-dsa",
+                        kind: EnrichmentKind::Patch(PatchRecord {
+                            product: product_cpe("debian", "debian_linux"),
+                            released: date,
+                            advisory: advisory.clone(),
+                        }),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RedHat CVE database (HTML table)
+// ---------------------------------------------------------------------------
+
+/// RedHat's CVE database pages: an HTML table of
+/// `CVE | advisory | date | product`.
+#[derive(Debug, Clone, Default)]
+pub struct RedhatSource {
+    document: String,
+}
+document_source!(RedhatSource);
+
+impl RedhatSource {
+    /// Renders advisories as the CVE-table page.
+    pub fn render(entries: &[AdvisoryEntry]) -> String {
+        let mut html = String::from("<html><body><table class=\"cve-table\">\n");
+        html.push_str("<tr><th>CVE</th><th>Advisory</th><th>Date</th></tr>\n");
+        for e in entries {
+            for cve in &e.cves {
+                html.push_str(&format!(
+                    "<tr><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                    cve, e.advisory, e.date
+                ));
+            }
+        }
+        html.push_str("</table></body></html>\n");
+        html
+    }
+}
+
+impl OsintSource for RedhatSource {
+    fn name(&self) -> &'static str {
+        "redhat-cve"
+    }
+
+    fn fetch(&self, since: Date) -> Result<Vec<Enrichment>, SourceError> {
+        let text = extract_text(&self.document);
+        let mut out = Vec::new();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut i = 0;
+        while i < lines.len() {
+            if let Ok(cve) = lines[i].trim().parse::<CveId>() {
+                let advisory = lines
+                    .get(i + 1)
+                    .ok_or_else(|| SourceError::new("redhat-cve", format!("{cve}: truncated row")))?
+                    .trim()
+                    .to_string();
+                let date: Date = lines
+                    .get(i + 2)
+                    .and_then(|l| l.trim().parse().ok())
+                    .ok_or_else(|| SourceError::new("redhat-cve", format!("{cve}: bad date")))?;
+                if date >= since {
+                    out.push(Enrichment {
+                        cve,
+                        source: "redhat-cve",
+                        kind: EnrichmentKind::Patch(PatchRecord {
+                            product: product_cpe("redhat", "enterprise_linux"),
+                            released: date,
+                            advisory,
+                        }),
+                    });
+                }
+                i += 3;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle CVE-to-advisory map (Solaris)
+// ---------------------------------------------------------------------------
+
+/// Oracle's "Map of CVE to Advisory/Alert" page. Besides patch dates it
+/// names Solaris versions affected — platform facts NVD may miss.
+#[derive(Debug, Clone, Default)]
+pub struct OracleSource {
+    document: String,
+}
+document_source!(OracleSource);
+
+impl OracleSource {
+    /// Renders entries as the CVE-to-advisory map.
+    pub fn render(entries: &[AdvisoryEntry]) -> String {
+        let mut html = String::from("<html><body><table>\n");
+        for e in entries {
+            for cve in &e.cves {
+                html.push_str(&format!(
+                    "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                    cve,
+                    e.advisory,
+                    e.date,
+                    e.versions
+                        .iter()
+                        .map(|v| format!("Solaris {v}"))
+                        .collect::<Vec<_>>()
+                        .join("; "),
+                ));
+            }
+        }
+        html.push_str("</table></body></html>\n");
+        html
+    }
+}
+
+impl OsintSource for OracleSource {
+    fn name(&self) -> &'static str {
+        "oracle-cpu"
+    }
+
+    fn fetch(&self, since: Date) -> Result<Vec<Enrichment>, SourceError> {
+        let text = extract_text(&self.document);
+        let mut out = Vec::new();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut i = 0;
+        while i < lines.len() {
+            if let Ok(cve) = lines[i].trim().parse::<CveId>() {
+                let advisory = lines.get(i + 1).unwrap_or(&"").trim().to_string();
+                let date: Date = lines
+                    .get(i + 2)
+                    .and_then(|l| l.trim().parse().ok())
+                    .ok_or_else(|| SourceError::new("oracle-cpu", format!("{cve}: bad date")))?;
+                let platforms = lines.get(i + 3).unwrap_or(&"");
+                if date >= since {
+                    out.push(Enrichment {
+                        cve,
+                        source: "oracle-cpu",
+                        kind: EnrichmentKind::Patch(PatchRecord {
+                            product: product_cpe("oracle", "solaris"),
+                            released: date,
+                            advisory,
+                        }),
+                    });
+                    for p in platforms.split(';') {
+                        if let Some(v) = p.trim().strip_prefix("Solaris ") {
+                            out.push(Enrichment {
+                                cve,
+                                source: "oracle-cpu",
+                                kind: EnrichmentKind::AdditionalPlatform(AffectedPlatform::exact(
+                                    Cpe::os("oracle", "solaris", v),
+                                )),
+                            });
+                        }
+                    }
+                }
+                i += 4;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FreeBSD security advisories
+// ---------------------------------------------------------------------------
+
+/// FreeBSD security advisories (`FreeBSD-SA-…`), an HTML list of
+/// `advisory | date | CVEs`.
+#[derive(Debug, Clone, Default)]
+pub struct FreeBsdSource {
+    document: String,
+}
+document_source!(FreeBsdSource);
+
+impl FreeBsdSource {
+    /// Renders advisories as the SA index.
+    pub fn render(entries: &[AdvisoryEntry]) -> String {
+        let mut html = String::from("<html><body><ul>\n");
+        for e in entries {
+            html.push_str(&format!(
+                "<li>{} {} {}</li>\n",
+                e.advisory,
+                e.date,
+                e.cves.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" "),
+            ));
+        }
+        html.push_str("</ul></body></html>\n");
+        html
+    }
+}
+
+impl OsintSource for FreeBsdSource {
+    fn name(&self) -> &'static str {
+        "freebsd-sa"
+    }
+
+    fn fetch(&self, since: Date) -> Result<Vec<Enrichment>, SourceError> {
+        let text = extract_text(&self.document);
+        let mut out = Vec::new();
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if !trimmed.starts_with("FreeBSD-SA-") {
+                continue;
+            }
+            let mut parts = trimmed.split_whitespace();
+            let advisory = parts.next().unwrap_or("").to_string();
+            let date: Date = parts
+                .next()
+                .and_then(|d| d.parse().ok())
+                .ok_or_else(|| SourceError::new("freebsd-sa", format!("{advisory}: bad date")))?;
+            if date < since {
+                continue;
+            }
+            for cve in scan_cves(trimmed) {
+                out.push(Enrichment {
+                    cve,
+                    source: "freebsd-sa",
+                    kind: EnrichmentKind::Patch(PatchRecord {
+                        product: product_cpe("freebsd", "freebsd"),
+                        released: date,
+                        advisory: advisory.clone(),
+                    }),
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Microsoft security bulletins
+// ---------------------------------------------------------------------------
+
+/// Microsoft security bulletins / update-guide pages: HTML rows of
+/// `bulletin | Month DD, YYYY | CVEs | products`.
+#[derive(Debug, Clone, Default)]
+pub struct MicrosoftSource {
+    document: String,
+}
+document_source!(MicrosoftSource);
+
+impl MicrosoftSource {
+    /// Renders entries as a bulletin index.
+    pub fn render(entries: &[AdvisoryEntry]) -> String {
+        let mut html = String::from("<html><body><table>\n");
+        for e in entries {
+            let (_, m, d) = e.date.ymd();
+            html.push_str(&format!(
+                "<tr><td>{}</td><td>{} {}, {}</td><td>{}</td><td>{}</td></tr>\n",
+                e.advisory,
+                month_name(m),
+                d,
+                e.date.year(),
+                e.cves.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", "),
+                e.versions
+                    .iter()
+                    .map(|v| format!("Windows {v}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ));
+        }
+        html.push_str("</table></body></html>\n");
+        html
+    }
+}
+
+impl OsintSource for MicrosoftSource {
+    fn name(&self) -> &'static str {
+        "microsoft-bulletin"
+    }
+
+    fn fetch(&self, since: Date) -> Result<Vec<Enrichment>, SourceError> {
+        let text = extract_text(&self.document);
+        let lines: Vec<&str> = text.lines().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < lines.len() {
+            let line = lines[i].trim();
+            if line.starts_with("MS") && line.len() >= 4 && line[2..4].chars().all(|c| c.is_ascii_digit())
+                || line.starts_with("ADV")
+            {
+                let advisory = line.to_string();
+                let date = lines
+                    .get(i + 1)
+                    .and_then(|l| parse_human_date(l))
+                    .ok_or_else(|| SourceError::new("microsoft-bulletin", format!("{advisory}: bad date")))?;
+                let cves = scan_cves(lines.get(i + 2).unwrap_or(&""));
+                let products = lines.get(i + 3).unwrap_or(&"");
+                if date >= since {
+                    for cve in cves {
+                        out.push(Enrichment {
+                            cve,
+                            source: "microsoft-bulletin",
+                            kind: EnrichmentKind::Patch(PatchRecord {
+                                product: product_cpe("microsoft", "windows"),
+                                released: date,
+                                advisory: advisory.clone(),
+                            }),
+                        });
+                        for p in products.split(',') {
+                            if let Some(v) = p.trim().strip_prefix("Windows ") {
+                                out.push(Enrichment {
+                                    cve,
+                                    source: "microsoft-bulletin",
+                                    kind: EnrichmentKind::AdditionalPlatform(
+                                        AffectedPlatform::exact(Cpe::os(
+                                            "microsoft",
+                                            "windows",
+                                            &v.to_ascii_lowercase().replace(' ', "_"),
+                                        )),
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                i += 4;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(advisory: &str, date: Date, cves: Vec<CveId>, versions: Vec<&str>) -> AdvisoryEntry {
+        AdvisoryEntry {
+            advisory: advisory.to_string(),
+            subject: "kernel".to_string(),
+            date,
+            cves,
+            versions: versions.into_iter().map(String::from).collect(),
+        }
+    }
+
+    #[test]
+    fn human_dates() {
+        assert_eq!(parse_human_date("20 May 2018"), Some(Date::from_ymd(2018, 5, 20)));
+        assert_eq!(parse_human_date("May 20, 2018"), Some(Date::from_ymd(2018, 5, 20)));
+        assert_eq!(parse_human_date("03 Jan 2017"), Some(Date::from_ymd(2017, 1, 3)));
+        assert_eq!(parse_human_date("garbage"), None);
+        assert_eq!(parse_human_date("99 Foo 2018"), None);
+    }
+
+    #[test]
+    fn cve_scanning() {
+        let found = scan_cves("fixes CVE-2018-8897, CVE-2018-1087 and CVE-2018-8897 again");
+        assert_eq!(found, vec![CveId::new(2018, 8897), CveId::new(2018, 1087)]);
+        assert!(scan_cves("no ids here, CVE-broken").is_empty());
+    }
+
+    #[test]
+    fn ubuntu_roundtrip() {
+        let entries = vec![entry(
+            "USN-3641-1",
+            Date::from_ymd(2018, 5, 20),
+            vec![CveId::new(2018, 8897)],
+            vec!["16.04", "17.04"],
+        )];
+        let src = UbuntuSource::new(UbuntuSource::render(&entries));
+        let out = src.fetch(Date::EPOCH).unwrap();
+        assert_eq!(out.len(), 2); // one patch per listed release
+        match &out[0].kind {
+            EnrichmentKind::Patch(p) => {
+                assert_eq!(p.advisory, "USN-3641-1");
+                assert_eq!(p.released, Date::from_ymd(2018, 5, 20));
+                assert!(p.product.matches(&Cpe::os("canonical", "ubuntu_linux", "16.04")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // since-filter
+        assert!(src.fetch(Date::from_ymd(2018, 6, 1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn debian_roundtrip() {
+        let entries = vec![entry(
+            "DSA-4196-1",
+            Date::from_ymd(2018, 5, 20),
+            vec![CveId::new(2018, 8897), CveId::new(2018, 1087)],
+            vec![],
+        )];
+        let doc = DebianSource::render(&entries);
+        assert!(doc.contains("[20 May 2018] DSA-4196-1"));
+        let src = DebianSource::new(doc);
+        let out = src.fetch(Date::EPOCH).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|e| matches!(e.kind, EnrichmentKind::Patch(_))));
+    }
+
+    #[test]
+    fn redhat_roundtrip() {
+        let entries = vec![entry(
+            "RHSA-2018:1318",
+            Date::from_ymd(2018, 5, 21),
+            vec![CveId::new(2018, 8897)],
+            vec![],
+        )];
+        let src = RedhatSource::new(RedhatSource::render(&entries));
+        let out = src.fetch(Date::EPOCH).unwrap();
+        assert_eq!(out.len(), 1);
+        match &out[0].kind {
+            EnrichmentKind::Patch(p) => assert_eq!(p.advisory, "RHSA-2018:1318"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oracle_reports_additional_platforms() {
+        let entries = vec![entry(
+            "bulletinjul2016",
+            Date::from_ymd(2016, 7, 19),
+            vec![CveId::new(2016, 4428)],
+            vec!["11.2"],
+        )];
+        let src = OracleSource::new(OracleSource::render(&entries));
+        let out = src.fetch(Date::EPOCH).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0].kind, EnrichmentKind::Patch(_)));
+        match &out[1].kind {
+            EnrichmentKind::AdditionalPlatform(p) => {
+                assert!(p.matches(&Cpe::os("oracle", "solaris", "11.2")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn freebsd_roundtrip() {
+        let entries = vec![entry(
+            "FreeBSD-SA-18:01.ipsec",
+            Date::from_ymd(2018, 3, 7),
+            vec![CveId::new(2018, 6916)],
+            vec![],
+        )];
+        let src = FreeBsdSource::new(FreeBsdSource::render(&entries));
+        let out = src.fetch(Date::EPOCH).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].cve, CveId::new(2018, 6916));
+    }
+
+    #[test]
+    fn microsoft_roundtrip_with_platforms() {
+        let entries = vec![entry(
+            "MS17-010",
+            Date::from_ymd(2017, 3, 14),
+            vec![CveId::new(2017, 144)],
+            vec!["10", "Server 2012"],
+        )];
+        let src = MicrosoftSource::new(MicrosoftSource::render(&entries));
+        let out = src.fetch(Date::EPOCH).unwrap();
+        // 1 patch + 2 platform facts
+        assert_eq!(out.len(), 3);
+        let platforms: Vec<_> = out
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EnrichmentKind::AdditionalPlatform(p) => Some(p.cpe.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert!(platforms.iter().any(|p| p.contains("server_2012")));
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        let src = UbuntuSource::new("<div>USN-1-1: x</div>"); // no date line
+        assert!(src.fetch(Date::EPOCH).is_err());
+        let src = DebianSource::new("[zz zz zz] DSA-1 x - y\n\t{CVE-2018-0001}");
+        assert!(src.fetch(Date::EPOCH).is_err());
+        let src = FreeBsdSource::new("<li>FreeBSD-SA-18:01 notadate CVE-2018-0001</li>");
+        assert!(src.fetch(Date::EPOCH).is_err());
+    }
+
+    #[test]
+    fn empty_documents_yield_nothing() {
+        assert!(UbuntuSource::default().fetch(Date::EPOCH).unwrap().is_empty());
+        assert!(DebianSource::default().fetch(Date::EPOCH).unwrap().is_empty());
+        assert!(RedhatSource::default().fetch(Date::EPOCH).unwrap().is_empty());
+        assert!(OracleSource::default().fetch(Date::EPOCH).unwrap().is_empty());
+        assert!(FreeBsdSource::default().fetch(Date::EPOCH).unwrap().is_empty());
+        assert!(MicrosoftSource::default().fetch(Date::EPOCH).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,1170 @@
+//! Synthetic OSINT world generation.
+//!
+//! The paper's §6 experiments replay four-plus years of real NVD history.
+//! That corpus is not redistributable, so this module generates a synthetic
+//! vulnerability history with the same *structure*, which is what the risk
+//! experiments actually exercise:
+//!
+//! * **Campaigns.** The unit of generation is a *campaign*: one underlying
+//!   weakness with a ground-truth set of affected OS versions. A campaign is
+//!   published as one or more CVE entries; with configurable probability the
+//!   entries are *split* — each lists only a subset of the truly affected
+//!   platforms, exactly the NVD imprecision that Table 1 of the paper
+//!   documents (three CVEs, same XSS, three "different" OS lists). Split
+//!   entries share description phrasing, so description clustering can
+//!   recover the hidden sharing while product-list counting cannot.
+//! * **Sharing axes.** Campaigns are kernel-level (hit a kernel lineage),
+//!   family-level (one distribution), package-base-level (the Deb or Rpm
+//!   world), or application-level (a cross-platform component such as
+//!   OpenStack or OpenSSL) — the empirically observed sharing structure
+//!   from the OS-diversity studies the paper builds on.
+//! * **Lifecycles.** Patches arrive per vendor with vendor-specific delays;
+//!   exploits appear for a fraction of campaigns after (sometimes before)
+//!   disclosure. These drive Eqs. 2–4.
+//! * **Bursts.** Vulnerability discovery is bursty: a component that just
+//!   produced CVEs is likely to produce more soon (an audit or a fuzzing
+//!   campaign found a seam), then goes quiet. Each component carries an
+//!   activity state with on/off hazards; campaigns only fire for active
+//!   components. This is what makes *recency* informative — the property
+//!   the Lazarus score exploits and raw CVSS ignores.
+//!
+//! The generated world can be rendered to genuine NVD JSON feeds and to each
+//! secondary source's native document format, so the entire collection
+//! pipeline (parsers included) runs exactly as it would against live data.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::catalog::{Kernel, OsFamily, OsVersion, PackageBase};
+use crate::cpe::Cpe;
+use crate::cvss::CvssV3;
+use crate::date::Date;
+use crate::feed::{NvdFeed, NvdItem};
+use crate::model::{AffectedPlatform, CveId, ExploitRecord, PatchRecord, Vulnerability};
+use crate::sources::vendors::AdvisoryEntry;
+use crate::sources::{
+    CveDetailsSource, DebianSource, ExploitDbSource, FreeBsdSource, MicrosoftSource,
+    OracleSource, RedhatSource, UbuntuSource,
+};
+
+/// Broad vulnerability class, selecting description templates and CVSS shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VulnClass {
+    /// Cross-site scripting in a web component.
+    Xss,
+    /// Memory-corruption / buffer overflow.
+    Overflow,
+    /// Local privilege escalation.
+    PrivEsc,
+    /// Remote code execution.
+    Rce,
+    /// Denial of service.
+    DoS,
+    /// Information disclosure.
+    InfoLeak,
+}
+
+impl VulnClass {
+    const ALL: [VulnClass; 6] = [
+        VulnClass::Xss,
+        VulnClass::Overflow,
+        VulnClass::PrivEsc,
+        VulnClass::Rce,
+        VulnClass::DoS,
+        VulnClass::InfoLeak,
+    ];
+
+    fn cvss(self) -> CvssV3 {
+        let parse = |s: &str| s.parse::<CvssV3>().expect("static vector");
+        match self {
+            VulnClass::Xss => parse("CVSS:3.0/AV:N/AC:L/PR:L/UI:R/S:C/C:L/I:L/A:N"),
+            VulnClass::Overflow => parse("CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H"),
+            VulnClass::PrivEsc => parse("CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H"),
+            VulnClass::Rce => parse("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"),
+            VulnClass::DoS => parse("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H"),
+            VulnClass::InfoLeak => parse("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N"),
+        }
+    }
+
+    fn exploit_probability(self) -> f64 {
+        match self {
+            VulnClass::Rce => 0.35,
+            VulnClass::Overflow => 0.25,
+            VulnClass::PrivEsc => 0.30,
+            VulnClass::Xss => 0.15,
+            VulnClass::DoS => 0.10,
+            VulnClass::InfoLeak => 0.08,
+        }
+    }
+}
+
+/// How widely a campaign's weakness is shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignScope {
+    /// A kernel flaw in one lineage (e.g. all Linux distributions).
+    Kernel(Kernel),
+    /// A flaw in one distribution family.
+    Family(OsFamily),
+    /// A packaged-software flaw shared across a package base.
+    PackageBase(PackageBase),
+    /// A cross-platform application present on several OSes.
+    Application(&'static str),
+}
+
+/// One underlying weakness with ground truth about who it affects.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Stable index within the world.
+    pub id: usize,
+    /// Vulnerability class.
+    pub class: VulnClass,
+    /// Sharing scope.
+    pub scope: CampaignScope,
+    /// Ground-truth affected OS versions (may exceed what any CVE lists).
+    pub affected: Vec<OsVersion>,
+    /// Earliest public disclosure.
+    pub published: Date,
+    /// CVE ids published for this campaign.
+    pub cves: Vec<CveId>,
+    /// Whether the split entries were written too differently to cluster
+    /// (see [`WorldConfig::stealth_probability`]).
+    pub stealth: bool,
+}
+
+impl Campaign {
+    /// Ground-truth test: does this campaign hit `os`?
+    pub fn hits(&self, os: OsVersion) -> bool {
+        self.affected.contains(&os)
+    }
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// RNG seed; same seed + same config → identical world.
+    pub seed: u64,
+    /// First day of generated history (paper: 2014-01-01).
+    pub start: Date,
+    /// Last day (exclusive) of generated history.
+    pub end: Date,
+    /// OS versions in scope.
+    pub oses: Vec<OsVersion>,
+    /// Expected kernel-scope campaigns per 30 days.
+    pub kernel_rate: f64,
+    /// Expected family-scope campaigns per 30 days.
+    pub family_rate: f64,
+    /// Expected package-base campaigns per 30 days.
+    pub package_rate: f64,
+    /// Expected cross-platform application campaigns per 30 days.
+    pub app_rate: f64,
+    /// Probability a multi-OS campaign is published as split CVEs.
+    pub split_probability: f64,
+    /// Probability that a *split* campaign is also "stealthy": each vendor's
+    /// CVE is written so differently that no text clustering can link them.
+    /// These model the hidden sharing not even Lazarus can anticipate — the
+    /// residual compromises the paper's Figure 5 shows for every strategy.
+    pub stealth_probability: f64,
+    /// Mean length (days) of a component's active (bursting) period.
+    pub burst_on_days: f64,
+    /// Mean length (days) of a component's quiet period.
+    pub burst_off_days: f64,
+}
+
+impl WorldConfig {
+    /// The paper's study setting: 21 OS versions, 2014-01-01 .. 2018-09-01.
+    ///
+    /// Rates are calibrated so that *within-family* sharing dominates (the
+    /// empirical finding of the OS-diversity studies) while cross-family
+    /// sharing — kernel-lineage and cross-platform applications — stays
+    /// rare enough that well-chosen configurations have materially lower
+    /// risk than random ones.
+    pub fn paper_study(seed: u64) -> WorldConfig {
+        WorldConfig {
+            seed,
+            start: Date::from_ymd(2014, 1, 1),
+            end: Date::from_ymd(2018, 9, 1),
+            oses: crate::catalog::study_oses(),
+            // Rates are *attempt* rates; the per-component burst gating
+            // passes ≈ 25% of attempts, so effective volumes are ~¼ of
+            // these (≈ 0.7 / 6 / 0.7 / 1.6 campaigns per month).
+            kernel_rate: 2.8,
+            family_rate: 24.0,
+            package_rate: 2.8,
+            app_rate: 6.4,
+            // Multi-vendor weaknesses are usually filed as separate
+            // per-vendor CVEs (the Table 1 pattern), so the cross-platform
+            // structure is rarely visible in any single product list.
+            split_probability: 0.8,
+            stealth_probability: 0.2,
+            burst_on_days: 90.0,
+            burst_off_days: 270.0,
+        }
+    }
+}
+
+/// Cross-platform applications and which families ship them.
+const APPLICATIONS: [(&str, &[OsFamily]); 7] = [
+    (
+        "OpenStack Dashboard (Horizon)",
+        &[OsFamily::Ubuntu, OsFamily::Debian, OsFamily::OpenSuse, OsFamily::Solaris, OsFamily::RedHat],
+    ),
+    (
+        "OpenSSL",
+        &[
+            OsFamily::Ubuntu,
+            OsFamily::Debian,
+            OsFamily::Fedora,
+            OsFamily::RedHat,
+            OsFamily::FreeBsd,
+            OsFamily::OpenBsd,
+            OsFamily::Solaris,
+        ],
+    ),
+    (
+        "Samba",
+        &[OsFamily::Ubuntu, OsFamily::Debian, OsFamily::Fedora, OsFamily::RedHat, OsFamily::FreeBsd],
+    ),
+    (
+        "ntpd",
+        &[OsFamily::FreeBsd, OsFamily::OpenBsd, OsFamily::Solaris, OsFamily::Debian, OsFamily::RedHat],
+    ),
+    (
+        "the Java SE runtime",
+        &[OsFamily::Windows, OsFamily::Solaris, OsFamily::Ubuntu, OsFamily::RedHat],
+    ),
+    (
+        "the BIND DNS server",
+        &[OsFamily::Debian, OsFamily::Ubuntu, OsFamily::FreeBsd, OsFamily::Solaris, OsFamily::RedHat],
+    ),
+    (
+        "the X.Org server",
+        &[OsFamily::Ubuntu, OsFamily::Debian, OsFamily::Fedora, OsFamily::OpenBsd, OsFamily::Solaris],
+    ),
+];
+
+/// The generated world: ground truth plus the public record.
+#[derive(Debug, Clone)]
+pub struct SyntheticWorld {
+    /// Generation parameters used.
+    pub config: WorldConfig,
+    /// Ground-truth campaigns.
+    pub campaigns: Vec<Campaign>,
+    /// Public CVE records (what NVD + secondary sources reveal).
+    pub vulnerabilities: Vec<Vulnerability>,
+}
+
+impl SyntheticWorld {
+    /// Generates a world from the configuration.
+    pub fn generate(config: WorldConfig) -> SyntheticWorld {
+        Generator::new(config).run()
+    }
+
+    /// Injects a hand-crafted attack bundle (see [`attacks`]): the
+    /// vulnerabilities become part of the public record and the campaign of
+    /// the ground truth.
+    pub fn inject(&mut self, campaign: Campaign, vulns: Vec<Vulnerability>) {
+        assert_eq!(
+            campaign.cves.len(),
+            vulns.len(),
+            "campaign CVE list must match injected vulnerabilities"
+        );
+        self.campaigns.push(campaign);
+        self.vulnerabilities.extend(vulns);
+    }
+
+    /// Renders the public record as NVD JSON feeds, one per calendar year.
+    pub fn nvd_feeds(&self) -> Vec<String> {
+        let mut years: std::collections::BTreeMap<i32, Vec<NvdItem>> = Default::default();
+        for v in &self.vulnerabilities {
+            years
+                .entry(v.published.year())
+                .or_default()
+                .push(NvdItem::from_vulnerability(v));
+        }
+        years
+            .into_values()
+            .map(|items| NvdFeed::from_items(items).to_json())
+            .collect()
+    }
+
+    /// Renders the ExploitDB index covering every exploited CVE.
+    pub fn exploitdb_document(&self) -> String {
+        use crate::sources::exploitdb::ExploitDbRow;
+        let mut rows = Vec::new();
+        for (i, v) in self.vulnerabilities.iter().enumerate() {
+            for e in &v.exploits {
+                rows.push(ExploitDbRow {
+                    id: 40_000 + i as u32,
+                    file: format!("exploits/multiple/{}.c", v.id),
+                    description: format!("{} exploit", v.id),
+                    date: e.published,
+                    author: "synthetic".into(),
+                    exploit_type: "remote",
+                    platform: "multiple".into(),
+                    port: 0,
+                    verified: e.verified,
+                    codes: vec![v.id],
+                });
+            }
+        }
+        ExploitDbSource::render_csv(&rows)
+    }
+
+    /// Renders each vendor's advisory document from the patch records.
+    ///
+    /// Returns `(ubuntu, debian, redhat, oracle, freebsd, microsoft)` raw
+    /// documents, ready for the corresponding sources.
+    pub fn vendor_documents(&self) -> VendorDocuments {
+        let mut ubuntu = Vec::new();
+        let mut debian = Vec::new();
+        let mut redhat = Vec::new();
+        let mut oracle = Vec::new();
+        let mut freebsd = Vec::new();
+        let mut microsoft = Vec::new();
+        for (i, v) in self.vulnerabilities.iter().enumerate() {
+            for p in &v.patches {
+                let entry = |versions: Vec<String>| AdvisoryEntry {
+                    advisory: p.advisory.clone(),
+                    subject: "security update".into(),
+                    date: p.released,
+                    cves: vec![v.id],
+                    versions,
+                };
+                match p.product.vendor.as_literal() {
+                    Some("canonical") => ubuntu.push(entry(
+                        p.product.version.as_literal().map(|s| vec![s.to_string()]).unwrap_or_default(),
+                    )),
+                    Some("debian") => debian.push(entry(vec![])),
+                    Some("redhat") | Some("fedoraproject") | Some("opensuse") => {
+                        redhat.push(entry(vec![]))
+                    }
+                    Some("oracle") => oracle.push(entry(
+                        p.product.version.as_literal().map(|s| vec![s.to_string()]).unwrap_or_default(),
+                    )),
+                    Some("freebsd") | Some("openbsd") => freebsd.push(entry(vec![])),
+                    Some("microsoft") => microsoft.push(entry(
+                        p.product.version.as_literal().map(|s| vec![s.to_string()]).unwrap_or_default(),
+                    )),
+                    _ => {}
+                }
+            }
+            let _ = i;
+        }
+        VendorDocuments {
+            ubuntu: UbuntuSource::render(&ubuntu),
+            debian: DebianSource::render(&debian),
+            redhat: RedhatSource::render(&redhat),
+            oracle: OracleSource::render(&oracle),
+            freebsd: FreeBsdSource::render(&freebsd),
+            microsoft: MicrosoftSource::render(&microsoft),
+            cvedetails: CveDetailsSource::render(
+                &self
+                    .vulnerabilities
+                    .iter()
+                    .filter_map(|v| v.first_exploit_date().map(|d| (v.id, 1u32, d)))
+                    .collect::<Vec<_>>(),
+            ),
+        }
+    }
+}
+
+/// The rendered vendor documents (see [`SyntheticWorld::vendor_documents`]).
+#[derive(Debug, Clone)]
+pub struct VendorDocuments {
+    /// Ubuntu USN index page.
+    pub ubuntu: String,
+    /// Debian DSA list.
+    pub debian: String,
+    /// RedHat CVE table.
+    pub redhat: String,
+    /// Oracle CVE-to-advisory map.
+    pub oracle: String,
+    /// FreeBSD SA index.
+    pub freebsd: String,
+    /// Microsoft bulletin index.
+    pub microsoft: String,
+    /// CVE-Details listing.
+    pub cvedetails: String,
+}
+
+// ---------------------------------------------------------------------------
+// Generator internals
+// ---------------------------------------------------------------------------
+
+/// A component whose vulnerability discovery can burst.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ComponentKey {
+    Family(OsFamily),
+    Kernel(Kernel),
+    Package(PackageBase),
+    App(&'static str),
+}
+
+struct Generator {
+    config: WorldConfig,
+    rng: StdRng,
+    next_cve: u32,
+    next_campaign: usize,
+    activity: std::collections::HashMap<ComponentKey, bool>,
+}
+
+impl Generator {
+    fn new(config: WorldConfig) -> Generator {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Generator {
+            config,
+            rng,
+            next_cve: 1,
+            next_campaign: 0,
+            activity: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Daily activity update: active components go quiet with hazard
+    /// `1/burst_on_days`, quiet ones wake with `1/burst_off_days`.
+    fn update_activity(&mut self) {
+        let on = self.config.burst_on_days.max(1.0);
+        let off = self.config.burst_off_days.max(1.0);
+        let stationary = off > 0.0; // components start mostly quiet
+        let keys: Vec<ComponentKey> = OsFamily::ALL
+            .iter()
+            .map(|f| ComponentKey::Family(*f))
+            .chain(
+                [Kernel::Linux, Kernel::Nt, Kernel::FreeBsd, Kernel::OpenBsd, Kernel::SunOs]
+                    .into_iter()
+                    .map(ComponentKey::Kernel),
+            )
+            .chain(
+                [PackageBase::Deb, PackageBase::Rpm, PackageBase::BsdPorts]
+                    .into_iter()
+                    .map(ComponentKey::Package),
+            )
+            .chain(APPLICATIONS.iter().map(|(name, _)| ComponentKey::App(name)))
+            .collect();
+        let init = on / (on + off);
+        let _ = stationary;
+        for key in keys {
+            let state = match self.activity.get(&key) {
+                Some(&s) => s,
+                None => {
+                    let s = self.rng.gen_bool(init);
+                    self.activity.insert(key.clone(), s);
+                    s
+                }
+            };
+            let flipped = if state {
+                !self.rng.gen_bool(1.0 / on)
+            } else {
+                self.rng.gen_bool(1.0 / off)
+            };
+            self.activity.insert(key, flipped);
+        }
+    }
+
+    fn is_active(&self, key: &ComponentKey) -> bool {
+        // Two streams never pause in reality: Windows ships fixes every
+        // patch Tuesday, and the Linux kernel's CVE flow is continuous.
+        // Keeping them always-on prevents the decayed metric from
+        // re-admitting those monocultures during artificial quiet spells.
+        if matches!(key, ComponentKey::Family(OsFamily::Windows) | ComponentKey::Kernel(Kernel::Linux)) {
+            return true;
+        }
+        self.activity.get(key).copied().unwrap_or(false)
+    }
+
+    fn run(mut self) -> SyntheticWorld {
+        let mut campaigns = Vec::new();
+        let mut vulnerabilities = Vec::new();
+        let total_days = (self.config.end - self.config.start).max(0);
+        for day in 0..total_days {
+            let date = self.config.start + day;
+            self.update_activity();
+            let daily = |per_month: f64| per_month / 30.0;
+            for _ in 0..bernoulli_count(&mut self.rng, daily(self.config.kernel_rate)) {
+                self.spawn(CampaignKindPick::Kernel, date, &mut campaigns, &mut vulnerabilities);
+            }
+            for _ in 0..bernoulli_count(&mut self.rng, daily(self.config.family_rate)) {
+                self.spawn(CampaignKindPick::Family, date, &mut campaigns, &mut vulnerabilities);
+            }
+            for _ in 0..bernoulli_count(&mut self.rng, daily(self.config.package_rate)) {
+                self.spawn(CampaignKindPick::Package, date, &mut campaigns, &mut vulnerabilities);
+            }
+            for _ in 0..bernoulli_count(&mut self.rng, daily(self.config.app_rate)) {
+                self.spawn(CampaignKindPick::App, date, &mut campaigns, &mut vulnerabilities);
+            }
+        }
+        SyntheticWorld { config: self.config, campaigns, vulnerabilities }
+    }
+
+    fn spawn(
+        &mut self,
+        pick: CampaignKindPick,
+        date: Date,
+        campaigns: &mut Vec<Campaign>,
+        vulnerabilities: &mut Vec<Vulnerability>,
+    ) {
+        let oses = self.config.oses.clone();
+        let (scope, candidates): (CampaignScope, Vec<OsVersion>) = match pick {
+            CampaignKindPick::Kernel => {
+                let kernels: Vec<Kernel> = {
+                    let mut ks: Vec<Kernel> = oses.iter().map(|o| o.family.kernel()).collect();
+                    ks.sort_by_key(|k| format!("{k:?}"));
+                    ks.dedup();
+                    ks
+                };
+                let kernel = *kernels.choose(&mut self.rng).expect("nonempty catalog");
+                let members: Vec<OsVersion> =
+                    oses.iter().copied().filter(|o| o.family.kernel() == kernel).collect();
+                (CampaignScope::Kernel(kernel), members)
+            }
+            CampaignKindPick::Family => {
+                let families: Vec<OsFamily> = {
+                    let mut fs: Vec<OsFamily> = oses.iter().map(|o| o.family).collect();
+                    fs.sort();
+                    fs.dedup();
+                    fs
+                };
+                let family = *families.choose(&mut self.rng).expect("nonempty catalog");
+                let members: Vec<OsVersion> =
+                    oses.iter().copied().filter(|o| o.family == family).collect();
+                (CampaignScope::Family(family), members)
+            }
+            CampaignKindPick::Package => {
+                let bases = [PackageBase::Deb, PackageBase::Rpm, PackageBase::BsdPorts];
+                let base = *bases.choose(&mut self.rng).expect("static");
+                let members: Vec<OsVersion> =
+                    oses.iter().copied().filter(|o| o.family.package_base() == base).collect();
+                (CampaignScope::PackageBase(base), members)
+            }
+            CampaignKindPick::App => {
+                let (name, fams) = APPLICATIONS.choose(&mut self.rng).expect("static");
+                // Not every OS ships (or enables) the vulnerable component:
+                // each campaign touches only a subset of the app's families.
+                let mut fams: Vec<OsFamily> = fams.to_vec();
+                fams.shuffle(&mut self.rng);
+                let take = self.rng.gen_range(2..=3.min(fams.len()));
+                fams.truncate(take);
+                let members: Vec<OsVersion> =
+                    oses.iter().copied().filter(|o| fams.contains(&o.family)).collect();
+                (CampaignScope::Application(name), members)
+            }
+        };
+        if candidates.is_empty() {
+            return;
+        }
+        // Burst gating: quiet components do not produce campaigns.
+        let key = match &scope {
+            CampaignScope::Kernel(k) => ComponentKey::Kernel(*k),
+            CampaignScope::Family(f) => ComponentKey::Family(*f),
+            CampaignScope::PackageBase(b) => ComponentKey::Package(*b),
+            CampaignScope::Application(name) => ComponentKey::App(name),
+        };
+        if !self.is_active(&key) {
+            return;
+        }
+        // Within the scope, each version is affected with moderate
+        // probability (version ranges rarely cover the whole line). Windows
+        // is a monolithic product line: its flaws almost always span every
+        // supported version simultaneously (the WannaCry pattern).
+        let per_version = match (&pick, &scope) {
+            (CampaignKindPick::Family, CampaignScope::Family(OsFamily::Windows)) => 0.95,
+            (CampaignKindPick::Family, _) => 0.75,
+            _ => 0.55,
+        };
+        let mut affected: Vec<OsVersion> = candidates
+            .iter()
+            .copied()
+            .filter(|_| self.rng.gen_bool(per_version))
+            .collect();
+        if affected.is_empty() {
+            affected.push(*candidates.choose(&mut self.rng).expect("nonempty"));
+        }
+
+        let class = *VulnClass::ALL.choose(&mut self.rng).expect("static");
+        let campaign_id = self.next_campaign;
+        self.next_campaign += 1;
+
+        // Decide CVE splitting: multi-OS campaigns may surface as several
+        // entries, each listing a strict subset of the truth.
+        let multi_family = {
+            let mut fams: Vec<OsFamily> = affected.iter().map(|o| o.family).collect();
+            fams.sort();
+            fams.dedup();
+            fams.len() > 1
+        };
+        let split = multi_family && self.rng.gen_bool(self.config.split_probability);
+        let stealth = split && self.rng.gen_bool(self.config.stealth_probability);
+        let groups: Vec<Vec<OsVersion>> = if split {
+            // One CVE per affected family, published within a coordinated-
+            // disclosure window of a few weeks.
+            let mut by_family: std::collections::BTreeMap<OsFamily, Vec<OsVersion>> =
+                Default::default();
+            for os in &affected {
+                by_family.entry(os.family).or_default().push(*os);
+            }
+            by_family.into_values().collect()
+        } else {
+            vec![affected.clone()]
+        };
+
+        let component = self.component_name(&scope);
+        let details = self.detail_words();
+        let mut cves = Vec::new();
+        for (gi, group) in groups.iter().enumerate() {
+            let cve_date = if gi == 0 {
+                date
+            } else {
+                date + self.rng.gen_range(2..21)
+            };
+            if cve_date >= self.config.end {
+                continue;
+            }
+            let id = CveId::new(cve_date.year() as u16, 100_000 + self.next_cve);
+            self.next_cve += 1;
+            cves.push(id);
+
+            // Stealthy campaigns re-draw the technical vocabulary per CVE,
+            // so the entries no longer look alike.
+            let group_details = if stealth && gi > 0 { self.detail_words() } else { details };
+            let description =
+                self.describe(class, &component, &group_details, group, campaign_id, gi);
+            let mut v = Vulnerability::new(id, cve_date, class.cvss(), description);
+            for os in group {
+                v.affected.push(AffectedPlatform::exact(os.to_cpe()));
+            }
+            // Patches: per family in the group, vendor-specific delay.
+            let families: Vec<OsFamily> = {
+                let mut fs: Vec<OsFamily> = group.iter().map(|o| o.family).collect();
+                fs.sort();
+                fs.dedup();
+                fs
+            };
+            for family in families {
+                let delay = self.patch_delay(family);
+                if let Some(days) = delay {
+                    let released = cve_date + days;
+                    if released < self.config.end + 365 {
+                        v.patches.push(PatchRecord {
+                            product: family_patch_cpe(family),
+                            released,
+                            advisory: advisory_name(family, id),
+                        });
+                    }
+                }
+            }
+            // Exploit: class-dependent probability, mostly after disclosure.
+            if self.rng.gen_bool(class.exploit_probability()) {
+                let offset: i32 = if self.rng.gen_bool(0.1) {
+                    -self.rng.gen_range(1..30) // weaponised before disclosure
+                } else {
+                    self.rng.gen_range(1..60)
+                };
+                v.exploits.push(ExploitRecord {
+                    published: cve_date + offset,
+                    source: "exploit-db".into(),
+                    verified: self.rng.gen_bool(0.6),
+                });
+            }
+            vulnerabilities.push(v);
+        }
+        if cves.is_empty() {
+            return;
+        }
+        campaigns.push(Campaign { id: campaign_id, class, scope, affected, published: date, cves, stealth });
+    }
+
+    fn component_name(&mut self, scope: &CampaignScope) -> String {
+        match scope {
+            CampaignScope::Kernel(Kernel::Linux) => "the Linux kernel".to_string(),
+            CampaignScope::Kernel(Kernel::Nt) => "the Windows kernel".to_string(),
+            CampaignScope::Kernel(Kernel::FreeBsd) => "the FreeBSD kernel".to_string(),
+            CampaignScope::Kernel(Kernel::OpenBsd) => "the OpenBSD kernel".to_string(),
+            CampaignScope::Kernel(Kernel::SunOs) => "the Solaris kernel".to_string(),
+            CampaignScope::Family(f) => format!("the {f} base system"),
+            CampaignScope::PackageBase(PackageBase::Deb) => "the apt package manager".to_string(),
+            CampaignScope::PackageBase(PackageBase::Rpm) => "the rpm package manager".to_string(),
+            CampaignScope::PackageBase(_) => "the ports packaging tools".to_string(),
+            CampaignScope::Application(name) => name.to_string(),
+        }
+    }
+
+    /// Picks the campaign's distinguishing technical vocabulary — the
+    /// subcomponent and code-path words a real CVE description would name
+    /// (e.g. "in the ioctl handler", "during TLS handshake parsing"). Words
+    /// are drawn from a bounded pool, so they recur often enough across the
+    /// corpus to enter the 200-term TF-IDF vocabulary, yet rarely enough
+    /// that campaigns get near-unique signatures the clustering can key on.
+    fn detail_words(&mut self) -> [&'static str; 2] {
+        const SUBCOMPONENTS: [&str; 24] = [
+            "ioctl handler", "packet parser", "memory allocator", "scheduler", "socket layer",
+            "page cache", "filesystem driver", "tty subsystem", "usb stack", "crypto engine",
+            "session manager", "request router", "template renderer", "metadata loader",
+            "signature verifier", "handshake state machine", "option parser", "cache index",
+            "reassembly queue", "privilege broker", "update channel", "logging daemon",
+            "quota accountant", "timer wheel",
+        ];
+        const TRIGGERS: [&str; 16] = [
+            "an oversized length field", "a negative offset", "a recursive entity expansion",
+            "an off-by-one copy", "a race during teardown", "an unchecked return value",
+            "a dangling pointer reuse", "an integer truncation", "a format specifier",
+            "a symlink traversal", "an unvalidated redirect", "a replayed nonce",
+            "a truncated certificate chain", "a stale file descriptor",
+            "an unsigned comparison", "a double free",
+        ];
+        [
+            SUBCOMPONENTS[self.rng.gen_range(0..SUBCOMPONENTS.len())],
+            TRIGGERS[self.rng.gen_range(0..TRIGGERS.len())],
+        ]
+    }
+
+    /// Builds a class-templated description. CVEs of one campaign share the
+    /// campaign's subcomponent/trigger vocabulary plus heavily overlapping
+    /// phrasing, but differ in the platform clause — mirroring the Table 1
+    /// triplet, which a clustering pass should group.
+    fn describe(
+        &mut self,
+        class: VulnClass,
+        component: &str,
+        details: &[&'static str; 2],
+        group: &[OsVersion],
+        campaign_id: usize,
+        variant: usize,
+    ) -> String {
+        let platforms = group
+            .iter()
+            .map(|o| o.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let via = ["a crafted request", "a malformed packet", "a long argument string", "an unexpected sequence of messages"]
+            [variant.min(3)];
+        let core = match class {
+            VulnClass::Xss => format!(
+                "Cross-site scripting (XSS) vulnerability in {component} allows remote \
+                 attackers to inject arbitrary web script or HTML via {via}"
+            ),
+            VulnClass::Overflow => format!(
+                "Buffer overflow in {component} allows remote attackers to execute arbitrary \
+                 code or cause a denial of service via {via}"
+            ),
+            VulnClass::PrivEsc => format!(
+                "Improper privilege handling in {component} allows local users to gain root \
+                 privileges via {via}"
+            ),
+            VulnClass::Rce => format!(
+                "Remote code execution vulnerability in {component} allows unauthenticated \
+                 attackers to run arbitrary commands via {via}"
+            ),
+            VulnClass::DoS => format!(
+                "Unbounded resource consumption in {component} allows remote attackers to \
+                 cause a denial of service via {via}"
+            ),
+            VulnClass::InfoLeak => format!(
+                "Information disclosure in {component} allows remote attackers to read \
+                 sensitive memory contents via {via}"
+            ),
+        };
+        let _ = campaign_id;
+        format!(
+            "{core}. The flaw resides in the {} and is triggered by {}. Affects {platforms}.",
+            details[0], details[1]
+        )
+    }
+
+    /// Vendor patch delay in days; `None` models "no patch in the window".
+    fn patch_delay(&mut self, family: OsFamily) -> Option<i32> {
+        let (mean, none_prob) = match family {
+            OsFamily::Ubuntu | OsFamily::Debian => (12.0, 0.05),
+            OsFamily::Fedora | OsFamily::RedHat | OsFamily::OpenSuse => (18.0, 0.07),
+            OsFamily::Windows => (30.0, 0.10), // monthly cadence
+            OsFamily::FreeBsd | OsFamily::OpenBsd => (20.0, 0.08),
+            OsFamily::Solaris => (45.0, 0.15), // quarterly CPU cadence
+        };
+        if self.rng.gen_bool(none_prob) {
+            return None;
+        }
+        // Geometric-ish positive delay around the mean.
+        let u: f64 = self.rng.gen_range(0.0_f64..1.0).max(1e-9);
+        Some((1.0 + (-u.ln()) * mean).round() as i32)
+    }
+}
+
+enum CampaignKindPick {
+    Kernel,
+    Family,
+    Package,
+    App,
+}
+
+fn family_patch_cpe(family: OsFamily) -> Cpe {
+    let mut cpe = Cpe::os(family.cpe_vendor(), family.cpe_product(), "x");
+    cpe.version = crate::cpe::CpeValue::Any;
+    cpe
+}
+
+fn advisory_name(family: OsFamily, id: CveId) -> String {
+    match family {
+        OsFamily::Ubuntu => format!("USN-{}-1", id.number),
+        OsFamily::Debian => format!("DSA-{}-1", id.number),
+        OsFamily::RedHat | OsFamily::Fedora | OsFamily::OpenSuse => {
+            format!("RHSA-{}:{}", id.year, id.number)
+        }
+        OsFamily::Windows => format!("MS{}-{:03}", id.year % 100, id.number % 1000),
+        OsFamily::FreeBsd | OsFamily::OpenBsd => {
+            format!("FreeBSD-SA-{}:{:02}", id.year % 100, id.number % 100)
+        }
+        OsFamily::Solaris => format!("bulletin{}", id.year),
+    }
+}
+
+/// Draws how many events fire on one day given a daily expectation `< 1`
+/// (Bernoulli) or `>= 1` (fixed part + Bernoulli remainder).
+fn bernoulli_count(rng: &mut StdRng, daily_rate: f64) -> u32 {
+    let whole = daily_rate.floor() as u32;
+    let frac = daily_rate - daily_rate.floor();
+    whole + u32::from(frac > 0.0 && rng.gen_bool(frac.min(1.0)))
+}
+
+/// Hand-crafted bundles reproducing the notable attacks of paper §6.2.
+pub mod attacks {
+    use super::*;
+
+    fn bundle(
+        world_next_id: usize,
+        class: VulnClass,
+        scope: CampaignScope,
+        affected: Vec<OsVersion>,
+        published: Date,
+        entries: Vec<(CveId, &str, Vec<OsVersion>, Option<i32>, Option<i32>)>,
+    ) -> (Campaign, Vec<Vulnerability>) {
+        let mut cves = Vec::new();
+        let mut vulns = Vec::new();
+        for (id, desc, listed, patch_delay, exploit_delay) in entries {
+            cves.push(id);
+            let mut v = Vulnerability::new(id, published, class.cvss(), desc.to_string());
+            for os in &listed {
+                v.affected.push(AffectedPlatform::exact(os.to_cpe()));
+            }
+            if let Some(d) = patch_delay {
+                let families: Vec<OsFamily> = {
+                    let mut fs: Vec<OsFamily> = listed.iter().map(|o| o.family).collect();
+                    fs.sort();
+                    fs.dedup();
+                    fs
+                };
+                for f in families {
+                    v.patches.push(PatchRecord {
+                        product: family_patch_cpe(f),
+                        released: published + d,
+                        advisory: advisory_name(f, id),
+                    });
+                }
+            }
+            if let Some(d) = exploit_delay {
+                v.exploits.push(ExploitRecord {
+                    published: published + d,
+                    source: "exploit-db".into(),
+                    verified: true,
+                });
+            }
+            vulns.push(v);
+        }
+        (
+            Campaign { id: world_next_id, class, scope, affected, published, cves, stealth: false },
+            vulns,
+        )
+    }
+
+    fn versions(f: OsFamily, oses: &[OsVersion]) -> Vec<OsVersion> {
+        oses.iter().copied().filter(|o| o.family == f).collect()
+    }
+
+    /// WannaCry-like: a wormable SMB RCE across every Windows version, with
+    /// a weaponised exploit and late patches.
+    pub fn wannacry(next_id: usize, oses: &[OsVersion], published: Date) -> (Campaign, Vec<Vulnerability>) {
+        let windows = versions(OsFamily::Windows, oses);
+        let entries = windows
+            .iter()
+            .enumerate()
+            .map(|(i, os)| {
+                (
+                    CveId::new(published.year() as u16, 90_100 + i as u32),
+                    "Remote code execution vulnerability in the SMBv1 server allows \
+                     unauthenticated attackers to run arbitrary commands via crafted packets, \
+                     as exploited in the wild by the EternalBlue toolkit.",
+                    vec![*os],
+                    Some(45),
+                    Some(0),
+                )
+            })
+            .collect();
+        bundle(next_id, VulnClass::Rce, CampaignScope::Family(OsFamily::Windows), windows.clone(), published, entries)
+    }
+
+    /// StackClash-like: a stack/heap collision in memory management hitting
+    /// most (not all) versions of every Unix lineage at once — the paper's
+    /// most destructive attack. Like the real Stack Clash, specific releases
+    /// had mitigations (larger guard gaps), so a careful configuration can
+    /// keep at most one affected replica — but only a strategy that flees on
+    /// disclosure day survives the window.
+    pub fn stackclash(next_id: usize, oses: &[OsVersion], published: Date) -> (Campaign, Vec<Vulnerability>) {
+        // The newest release of each Unix family ships the mitigation.
+        let newest_of_family = |f: OsFamily| -> Option<OsVersion> {
+            oses.iter().copied().filter(|o| o.family == f).max_by(|a, b| {
+                crate::cpe::compare_versions(a.version, b.version)
+            })
+        };
+        let mitigated: Vec<OsVersion> = OsFamily::ALL
+            .iter()
+            .filter(|f| **f != OsFamily::Windows)
+            .filter_map(|f| newest_of_family(*f))
+            .collect();
+        let affected: Vec<OsVersion> = oses
+            .iter()
+            .copied()
+            .filter(|o| o.family != OsFamily::Windows && !mitigated.contains(o))
+            .collect();
+        // Published as per-lineage CVEs (the real Stack Clash had separate
+        // CVEs for Linux, FreeBSD, OpenBSD and Solaris).
+        let lineages = [Kernel::Linux, Kernel::FreeBsd, Kernel::OpenBsd, Kernel::SunOs];
+        let entries = lineages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, k)| {
+                let listed: Vec<OsVersion> =
+                    affected.iter().copied().filter(|o| o.family.kernel() == *k).collect();
+                if listed.is_empty() {
+                    return None;
+                }
+                Some((
+                    CveId::new(published.year() as u16, 90_200 + i as u32),
+                    "Improper privilege handling in the stack guard-page implementation \
+                     allows local users to gain root privileges by clashing the stack with \
+                     another memory region, as exploited through weakness stackclash.",
+                    listed,
+                    Some(30),
+                    Some(7),
+                ))
+            })
+            .collect();
+        bundle(
+            next_id,
+            VulnClass::PrivEsc,
+            CampaignScope::Kernel(Kernel::Linux),
+            affected,
+            published,
+            entries,
+        )
+    }
+
+    /// Petya-like: ransomware chaining an SMB flaw with a compromised
+    /// software-update channel on Windows.
+    pub fn petya(next_id: usize, oses: &[OsVersion], published: Date) -> (Campaign, Vec<Vulnerability>) {
+        let windows = versions(OsFamily::Windows, oses);
+        let entries = vec![
+            (
+                CveId::new(published.year() as u16, 90_300),
+                "Remote code execution vulnerability in the SMBv1 server allows attackers to \
+                 execute arbitrary code via crafted transaction packets, as chained by \
+                 destructive ransomware.",
+                windows.clone(),
+                Some(40),
+                Some(3),
+            ),
+            (
+                CveId::new(published.year() as u16, 90_301),
+                "Remote code execution vulnerability in a software update channel allows \
+                 attackers to distribute and run arbitrary payloads, as chained by \
+                 destructive ransomware.",
+                windows.clone(),
+                None,
+                Some(3),
+            ),
+        ];
+        bundle(next_id, VulnClass::Rce, CampaignScope::Family(OsFamily::Windows), windows, published, entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(seed: u64) -> WorldConfig {
+        WorldConfig {
+            seed,
+            start: Date::from_ymd(2017, 1, 1),
+            end: Date::from_ymd(2017, 7, 1),
+            oses: crate::catalog::study_oses(),
+            kernel_rate: 4.0,
+            family_rate: 16.0,
+            package_rate: 4.0,
+            app_rate: 8.0,
+            split_probability: 0.5,
+            stealth_probability: 0.25,
+            burst_on_days: 90.0,
+            burst_off_days: 270.0,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticWorld::generate(small_config(42));
+        let b = SyntheticWorld::generate(small_config(42));
+        assert_eq!(a.vulnerabilities.len(), b.vulnerabilities.len());
+        assert_eq!(a.campaigns.len(), b.campaigns.len());
+        for (x, y) in a.vulnerabilities.iter().zip(&b.vulnerabilities) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticWorld::generate(small_config(1));
+        let b = SyntheticWorld::generate(small_config(2));
+        assert_ne!(
+            a.vulnerabilities.iter().map(|v| v.id).collect::<Vec<_>>(),
+            b.vulnerabilities.iter().map(|v| v.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn volume_is_plausible() {
+        let w = SyntheticWorld::generate(small_config(7));
+        // 6 months at ~8 campaigns/month.
+        assert!(w.campaigns.len() > 20, "too few campaigns: {}", w.campaigns.len());
+        assert!(w.campaigns.len() < 120, "too many campaigns: {}", w.campaigns.len());
+        assert!(w.vulnerabilities.len() >= w.campaigns.len());
+    }
+
+    #[test]
+    fn cves_listed_are_subset_of_ground_truth() {
+        let w = SyntheticWorld::generate(small_config(11));
+        for c in &w.campaigns {
+            for cve in &c.cves {
+                let v = w.vulnerabilities.iter().find(|v| v.id == *cve).unwrap();
+                for os in &c.affected {
+                    let _ = os;
+                }
+                // every listed platform is in the ground truth
+                for p in &v.affected {
+                    let covered = c
+                        .affected
+                        .iter()
+                        .any(|os| p.matches(&os.to_cpe()));
+                    assert!(covered, "{cve} lists a platform outside ground truth");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_campaigns_exist_and_understate_sharing() {
+        let w = SyntheticWorld::generate(small_config(13));
+        let split: Vec<&Campaign> = w.campaigns.iter().filter(|c| c.cves.len() > 1).collect();
+        assert!(!split.is_empty(), "expected some split campaigns");
+        for c in split {
+            for cve in &c.cves {
+                let v = w.vulnerabilities.iter().find(|v| v.id == *cve).unwrap();
+                let listed_count = c
+                    .affected
+                    .iter()
+                    .filter(|os| v.affects(&os.to_cpe()))
+                    .count();
+                assert!(
+                    listed_count < c.affected.len(),
+                    "split CVE should understate the campaign"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_members_share_detail_vocabulary() {
+        let w = SyntheticWorld::generate(small_config(17));
+        let detail = |desc: &str| -> String {
+            let start = desc.find("resides in the ").expect("detail clause") + 15;
+            desc[start..].split(" and is triggered").next().unwrap().to_string()
+        };
+        for c in w.campaigns.iter().filter(|c| c.cves.len() > 1 && !c.stealth) {
+            let descs: Vec<&str> = c
+                .cves
+                .iter()
+                .map(|cve| {
+                    w.vulnerabilities
+                        .iter()
+                        .find(|v| v.id == *cve)
+                        .unwrap()
+                        .description
+                        .as_str()
+                })
+                .collect();
+            let first = detail(descs[0]);
+            for d in &descs[1..] {
+                assert_eq!(detail(d), first, "split CVEs share the subcomponent clause");
+            }
+        }
+    }
+
+    #[test]
+    fn feeds_roundtrip_through_parser() {
+        let w = SyntheticWorld::generate(small_config(19));
+        let feeds = w.nvd_feeds();
+        assert!(!feeds.is_empty());
+        let mut parsed = 0;
+        for feed in &feeds {
+            parsed += NvdFeed::parse(feed).unwrap().to_vulnerabilities().unwrap().len();
+        }
+        assert_eq!(parsed, w.vulnerabilities.len());
+    }
+
+    #[test]
+    fn sources_parse_generated_documents() {
+        use crate::sources::OsintSource;
+        let w = SyntheticWorld::generate(small_config(23));
+        let docs = w.vendor_documents();
+        let exploitdb = ExploitDbSource::new(w.exploitdb_document());
+        let n_exploits = exploitdb.fetch(Date::EPOCH).unwrap().len();
+        let expected: usize = w.vulnerabilities.iter().map(|v| v.exploits.len()).sum();
+        assert_eq!(n_exploits, expected);
+        // vendor documents parse without error
+        UbuntuSource::new(docs.ubuntu).fetch(Date::EPOCH).unwrap();
+        DebianSource::new(docs.debian).fetch(Date::EPOCH).unwrap();
+        RedhatSource::new(docs.redhat).fetch(Date::EPOCH).unwrap();
+        OracleSource::new(docs.oracle).fetch(Date::EPOCH).unwrap();
+        FreeBsdSource::new(docs.freebsd).fetch(Date::EPOCH).unwrap();
+        MicrosoftSource::new(docs.microsoft).fetch(Date::EPOCH).unwrap();
+        CveDetailsSource::new(docs.cvedetails).fetch(Date::EPOCH).unwrap();
+    }
+
+    #[test]
+    fn attack_bundles() {
+        let oses = crate::catalog::study_oses();
+        let d = Date::from_ymd(2018, 3, 1);
+        let (wc, wv) = attacks::wannacry(900, &oses, d);
+        assert_eq!(wc.affected.len(), 4); // all Windows versions
+        assert_eq!(wv.len(), wc.cves.len());
+        assert!(wv.iter().all(|v| v.is_exploited(d)));
+
+        let (sc, sv) = attacks::stackclash(901, &oses, d);
+        assert!(sc.affected.len() >= 8, "stackclash hits most Unixes");
+        // the newest release of each Unix family ships the mitigation
+        assert!(!sc.hits(OsVersion::new(OsFamily::OpenBsd, "6.1")));
+        assert!(!sc.hits(OsVersion::new(OsFamily::Debian, "9")));
+        assert!(sc.hits(OsVersion::new(OsFamily::Debian, "8")));
+        assert_eq!(sv.len(), 4); // one CVE per lineage
+
+        let (pc, pv) = attacks::petya(902, &oses, d);
+        assert_eq!(pv.len(), 2);
+        assert!(pc.hits(OsVersion::new(OsFamily::Windows, "10")));
+        assert!(!pc.hits(OsVersion::new(OsFamily::Debian, "8")));
+    }
+
+    #[test]
+    fn inject_extends_world() {
+        let mut w = SyntheticWorld::generate(small_config(29));
+        let n = w.vulnerabilities.len();
+        let (c, v) = attacks::petya(usize::MAX, &w.config.oses.clone(), Date::from_ymd(2017, 6, 27));
+        w.inject(c, v);
+        assert_eq!(w.vulnerabilities.len(), n + 2);
+    }
+}

@@ -1,0 +1,540 @@
+//! Algorithm 1: diversity-aware replica-set reconfiguration.
+//!
+//! A faithful implementation of the paper's Algorithm 1 over the
+//! CONFIG / POOL / QUARANTINE partition:
+//!
+//! * when `risk(CONFIG) ≥ threshold`, every pool replica is tried as the
+//!   `n`-th element of every `(n-1)`-subset of CONFIG; all candidates whose
+//!   risk falls below the threshold are collected and one is picked *at
+//!   random* (so inspecting POOL does not predict the next CONFIG);
+//! * otherwise, the replica with the highest average vulnerability score is
+//!   replaced if that average reaches HIGH (CVSS ≥ 7.0);
+//! * the replaced replica goes to QUARANTINE, where it waits until patched
+//!   before re-joining POOL.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use lazarus_osint::cvss::Severity;
+
+use crate::comb::{combination_count, for_each_combination};
+use crate::oracle::RiskMatrix;
+
+/// The CONFIG / POOL / QUARANTINE partition of the replica universe.
+/// Elements are universe indices (see [`crate::oracle::RiskOracle`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaSets {
+    /// Replicas currently executing (the CONFIG).
+    pub config: Vec<usize>,
+    /// Replicas available for selection (the POOL).
+    pub pool: Vec<usize>,
+    /// Replicas waiting for patches (the QUARANTINE).
+    pub quarantine: Vec<usize>,
+}
+
+impl ReplicaSets {
+    /// Builds the initial partition: `config` runs, everything else in the
+    /// universe is pooled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` contains an index `≥ universe_size`.
+    pub fn new(config: Vec<usize>, universe_size: usize) -> ReplicaSets {
+        assert!(config.iter().all(|&r| r < universe_size), "config index out of range");
+        let pool = (0..universe_size).filter(|r| !config.contains(r)).collect();
+        ReplicaSets { config, pool, quarantine: Vec::new() }
+    }
+
+    /// Number of running replicas (`n`).
+    pub fn n(&self) -> usize {
+        self.config.len()
+    }
+
+    /// Checks the partition invariant: the three sets are pairwise disjoint
+    /// (ignoring intentional CONFIG duplicates, which only the Equal
+    /// baseline produces).
+    pub fn is_partition(&self) -> bool {
+        let in_pool = |r: &usize| self.pool.contains(r);
+        let in_quarantine = |r: &usize| self.quarantine.contains(r);
+        !self.config.iter().any(|r| in_pool(r) || in_quarantine(r))
+            && !self.pool.iter().any(in_quarantine)
+    }
+}
+
+/// What a monitoring round did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorOutcome {
+    /// Risk was acceptable and no replica exceeded the average-score bar.
+    NoChange,
+    /// A replica was swapped out.
+    Reconfigured {
+        /// Universe index removed (now quarantined).
+        removed: usize,
+        /// Universe index added from the pool.
+        added: usize,
+        /// Why the swap happened.
+        reason: ReconfigReason,
+    },
+    /// A reconfiguration was needed but no candidate stayed below the
+    /// threshold (or the pool is empty) — the §4.4 corner case where an
+    /// administrator should raise the threshold or release quarantined
+    /// replicas.
+    Exhausted,
+}
+
+/// The trigger that caused a reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigReason {
+    /// `risk(CONFIG) ≥ threshold` (Algorithm 1, line 6).
+    RiskAboveThreshold,
+    /// A replica's average vulnerability score reached HIGH (line 22).
+    HighAverageScore,
+}
+
+/// Algorithm 1 with its two tunables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reconfigurator {
+    /// The risk threshold of lines 6/13/30.
+    pub threshold: f64,
+    /// The average-score bar of line 19 (paper: the HIGH CVSS rating, 7.0).
+    pub high_score: f64,
+}
+
+impl Default for Reconfigurator {
+    fn default() -> Self {
+        Reconfigurator { threshold: 20.0, high_score: Severity::High.floor() }
+    }
+}
+
+impl Reconfigurator {
+    /// Creates a reconfigurator with the given risk threshold and the
+    /// paper's HIGH bar.
+    pub fn with_threshold(threshold: f64) -> Reconfigurator {
+        Reconfigurator { threshold, ..Default::default() }
+    }
+
+    /// One `Monitor()` round (Algorithm 1, lines 5–37).
+    pub fn monitor(
+        &self,
+        sets: &mut ReplicaSets,
+        matrix: &RiskMatrix,
+        rng: &mut StdRng,
+    ) -> MonitorOutcome {
+        let outcome = if matrix.risk(&sets.config) >= self.threshold {
+            self.replace_for_risk(sets, matrix, rng)
+        } else {
+            self.replace_for_average(sets, matrix, rng)
+        };
+        self.release_quarantine(sets, matrix);
+        outcome
+    }
+
+    /// Lines 6–16: risk at/above threshold — try every pool replica in every
+    /// (n−1)-combination, gather sub-threshold candidates, pick one randomly.
+    fn replace_for_risk(
+        &self,
+        sets: &mut ReplicaSets,
+        matrix: &RiskMatrix,
+        rng: &mut StdRng,
+    ) -> MonitorOutcome {
+        let n = sets.n();
+        let mut candidates: Vec<(Vec<usize>, usize, usize)> = Vec::new(); // (config', removed, added)
+        for &r in &sets.pool {
+            for omit in 0..n {
+                let mut config = Vec::with_capacity(n);
+                for (i, &member) in sets.config.iter().enumerate() {
+                    if i != omit {
+                        config.push(member);
+                    }
+                }
+                config.push(r);
+                if matrix.risk(&config) <= self.threshold {
+                    candidates.push((config, sets.config[omit], r));
+                }
+            }
+        }
+        match candidates.choose(rng) {
+            None => {
+                // §4.4 corner case, automated: no single swap reaches the
+                // threshold, but keep the system reconfiguring — take the
+                // best-effort swap if it strictly improves the risk
+                // ("greedy descent"; a few rounds reach a compliant set).
+                let current = matrix.risk(&sets.config);
+                let mut best: Option<(f64, Vec<usize>, usize, usize)> = None;
+                for &r in &sets.pool {
+                    for omit in 0..n {
+                        let mut config = Vec::with_capacity(n);
+                        for (i, &member) in sets.config.iter().enumerate() {
+                            if i != omit {
+                                config.push(member);
+                            }
+                        }
+                        config.push(r);
+                        let risk = matrix.risk(&config);
+                        if risk < current
+                            && best.as_ref().is_none_or(|(b, ..)| risk < *b)
+                        {
+                            best = Some((risk, config, sets.config[omit], r));
+                        }
+                    }
+                }
+                match best {
+                    Some((_, config, removed, added)) => {
+                        self.update_sets(sets, config, removed, added);
+                        MonitorOutcome::Reconfigured {
+                            removed,
+                            added,
+                            reason: ReconfigReason::RiskAboveThreshold,
+                        }
+                    }
+                    None => MonitorOutcome::Exhausted,
+                }
+            }
+            Some((config, removed, added)) => {
+                let (removed, added) = (*removed, *added);
+                self.update_sets(sets, config.clone(), removed, added);
+                MonitorOutcome::Reconfigured {
+                    removed,
+                    added,
+                    reason: ReconfigReason::RiskAboveThreshold,
+                }
+            }
+        }
+    }
+
+    /// Lines 17–33: risk acceptable — replace the replica with the highest
+    /// average vulnerability score if it reaches HIGH.
+    fn replace_for_average(
+        &self,
+        sets: &mut ReplicaSets,
+        matrix: &RiskMatrix,
+        rng: &mut StdRng,
+    ) -> MonitorOutcome {
+        let mut to_remove: Option<usize> = None;
+        let mut max_score = self.high_score;
+        for (slot, &r) in sets.config.iter().enumerate() {
+            let avg = matrix.avg[r];
+            if avg >= max_score {
+                to_remove = Some(slot);
+                max_score = avg;
+            }
+        }
+        let Some(slot) = to_remove else {
+            return MonitorOutcome::NoChange;
+        };
+        let removed = sets.config[slot];
+        let mut candidates: Vec<(Vec<usize>, usize)> = Vec::new();
+        for &r in &sets.pool {
+            let mut config = sets.config.clone();
+            config[slot] = r;
+            if matrix.risk(&config) <= self.threshold {
+                candidates.push((config, r));
+            }
+        }
+        match candidates.choose(rng) {
+            None => MonitorOutcome::Exhausted,
+            Some((config, added)) => {
+                let added = *added;
+                self.update_sets(sets, config.clone(), removed, added);
+                MonitorOutcome::Reconfigured {
+                    removed,
+                    added,
+                    reason: ReconfigReason::HighAverageScore,
+                }
+            }
+        }
+    }
+
+    /// Lines 38–42 (`updateSets`).
+    fn update_sets(&self, sets: &mut ReplicaSets, config: Vec<usize>, removed: usize, added: usize) {
+        sets.pool.retain(|&r| r != added);
+        sets.quarantine.push(removed);
+        sets.config = config;
+    }
+
+    /// Lines 34–37: patched quarantined replicas re-join the pool.
+    fn release_quarantine(&self, sets: &mut ReplicaSets, matrix: &RiskMatrix) {
+        let mut kept = Vec::with_capacity(sets.quarantine.len());
+        for &r in &sets.quarantine {
+            if matrix.patched[r] {
+                sets.pool.push(r);
+            } else {
+                kept.push(r);
+            }
+        }
+        sets.quarantine = kept;
+    }
+
+    /// Picks an initial configuration of `n` replicas: a random candidate
+    /// among the configurations whose risk is at or below the threshold, or
+    /// the minimum-risk configuration when none qualifies. The enumeration
+    /// is exhaustive for tractable universes (≤ ~50k combinations) and
+    /// falls back to random sampling beyond that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe is smaller than `n`.
+    pub fn initial_config(
+        &self,
+        matrix: &RiskMatrix,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
+        let universe = matrix.len();
+        assert!(universe >= n, "universe smaller than n");
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        let mut good: Vec<Vec<usize>> = Vec::new();
+        let consider = |config: &[usize], best: &mut Option<(f64, Vec<usize>)>,
+                            good: &mut Vec<Vec<usize>>| {
+            let risk = matrix.risk(config);
+            if risk <= self.threshold {
+                good.push(config.to_vec());
+            }
+            if best.as_ref().is_none_or(|(b, _)| risk < *b) {
+                *best = Some((risk, config.to_vec()));
+            }
+        };
+        if combination_count(universe, n) <= 50_000 {
+            for_each_combination(universe, n, |config| {
+                consider(config, &mut best, &mut good);
+            });
+        } else {
+            // Random sampling keeps this bounded for huge universes.
+            let samples = 2048.max(universe * 8);
+            let mut all: Vec<usize> = (0..universe).collect();
+            for _ in 0..samples {
+                all.shuffle(rng);
+                let config: Vec<usize> = all[..n].to_vec();
+                consider(&config, &mut best, &mut good);
+            }
+        }
+        if good.is_empty() {
+            best.expect("nonempty enumeration").1
+        } else {
+            good[rng.gen_range(0..good.len())].clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::RiskOracle;
+    use crate::score::ScoreParams;
+    use lazarus_osint::catalog::{OsFamily, OsVersion};
+    use lazarus_osint::cvss::CvssV3;
+    use lazarus_osint::date::Date;
+    use lazarus_osint::kb::KnowledgeBase;
+    use lazarus_osint::model::{AffectedPlatform, CveId, PatchRecord, Vulnerability};
+    use lazarus_nlp::VulnClusters;
+    use rand::SeedableRng;
+
+    fn universe() -> Vec<OsVersion> {
+        vec![
+            OsVersion::new(OsFamily::Ubuntu, "16.04"),
+            OsVersion::new(OsFamily::Debian, "8"),
+            OsVersion::new(OsFamily::FreeBsd, "11"),
+            OsVersion::new(OsFamily::Windows, "10"),
+            OsVersion::new(OsFamily::Solaris, "11"),
+            OsVersion::new(OsFamily::OpenBsd, "6.1"),
+        ]
+    }
+
+    fn vuln(id: u32, oses: &[OsVersion], patched: Option<Date>) -> Vulnerability {
+        let mut v = Vulnerability::new(
+            CveId::new(2018, id),
+            Date::from_ymd(2018, 1, 1),
+            CvssV3::CRITICAL_RCE,
+            format!("flaw {id}"),
+        );
+        for o in oses {
+            v.affected.push(AffectedPlatform::exact(o.to_cpe()));
+        }
+        if let Some(d) = patched {
+            for o in oses {
+                v.patches.push(PatchRecord { product: o.to_cpe(), released: d, advisory: "A".into() });
+            }
+        }
+        v
+    }
+
+    fn matrix_with(vulns: Vec<Vulnerability>, now: Date) -> crate::oracle::RiskMatrix {
+        let u = universe();
+        let kb: KnowledgeBase = vulns.into_iter().collect();
+        RiskOracle::build(&kb, &VulnClusters::new(), &u, ScoreParams::paper()).matrix(now)
+    }
+
+    #[test]
+    fn high_risk_pair_gets_broken_up() {
+        let u = universe();
+        // Ubuntu+Debian share three fresh criticals; FreeBSD/Windows clean.
+        let m = matrix_with(
+            vec![
+                vuln(1, &[u[0], u[1]], None),
+                vuln(2, &[u[0], u[1]], None),
+                vuln(3, &[u[0], u[1]], None),
+            ],
+            Date::from_ymd(2018, 1, 2),
+        );
+        let mut sets = ReplicaSets::new(vec![0, 1, 2, 3], 6);
+        let recon = Reconfigurator::with_threshold(10.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = recon.monitor(&mut sets, &m, &mut rng);
+        match outcome {
+            MonitorOutcome::Reconfigured { removed, reason, .. } => {
+                assert!(removed == 0 || removed == 1, "one of the risky pair leaves");
+                assert_eq!(reason, ReconfigReason::RiskAboveThreshold);
+            }
+            other => panic!("expected reconfiguration, got {other:?}"),
+        }
+        assert!(m.risk(&sets.config) <= 10.0);
+        assert!(sets.is_partition());
+        assert_eq!(sets.quarantine.len(), 1);
+    }
+
+    #[test]
+    fn low_risk_no_change() {
+        let m = matrix_with(vec![], Date::from_ymd(2018, 1, 2));
+        let mut sets = ReplicaSets::new(vec![0, 1, 2, 3], 6);
+        let recon = Reconfigurator::with_threshold(10.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(recon.monitor(&mut sets, &m, &mut rng), MonitorOutcome::NoChange);
+        assert_eq!(sets.config, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn high_average_score_triggers_swap() {
+        let u = universe();
+        // Windows (index 3) has two fresh criticals of its own — avg 9.8 —
+        // but shares nothing, so risk stays at 0.
+        let m = matrix_with(
+            vec![vuln(1, &[u[3]], None), vuln(2, &[u[3]], None)],
+            Date::from_ymd(2018, 1, 2),
+        );
+        let mut sets = ReplicaSets::new(vec![0, 1, 2, 3], 6);
+        let recon = Reconfigurator::with_threshold(10.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        match recon.monitor(&mut sets, &m, &mut rng) {
+            MonitorOutcome::Reconfigured { removed, added, reason } => {
+                assert_eq!(removed, 3);
+                assert!(added == 4 || added == 5);
+                assert_eq!(reason, ReconfigReason::HighAverageScore);
+            }
+            other => panic!("expected swap, got {other:?}"),
+        }
+        assert!(sets.quarantine.contains(&3));
+    }
+
+    #[test]
+    fn average_below_high_is_tolerated() {
+        let u = universe();
+        // A medium-severity solo vulnerability (5.3) on Windows.
+        let mut v = vuln(1, &[u[3]], None);
+        v.cvss = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N".parse().unwrap();
+        let m = matrix_with(vec![v], Date::from_ymd(2018, 1, 2));
+        let mut sets = ReplicaSets::new(vec![0, 1, 2, 3], 6);
+        let recon = Reconfigurator::with_threshold(10.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(recon.monitor(&mut sets, &m, &mut rng), MonitorOutcome::NoChange);
+    }
+
+    #[test]
+    fn exhausted_when_pool_cannot_help() {
+        let u = universe();
+        // Everything shares one weakness with everything: no candidate can
+        // drop below a tiny threshold.
+        let m = matrix_with(
+            vec![vuln(1, &u, None), vuln(2, &u, None)],
+            Date::from_ymd(2018, 1, 2),
+        );
+        let mut sets = ReplicaSets::new(vec![0, 1, 2, 3], 6);
+        let recon = Reconfigurator::with_threshold(1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(recon.monitor(&mut sets, &m, &mut rng), MonitorOutcome::Exhausted);
+        // Config unchanged on exhaustion.
+        assert_eq!(sets.config, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn quarantine_released_once_patched() {
+        let u = universe();
+        let patch_day = Date::from_ymd(2018, 2, 1);
+        let vulns =
+            vec![vuln(1, &[u[0], u[1]], Some(patch_day)), vuln(2, &[u[0], u[1]], Some(patch_day))];
+        // Day 1: unpatched → reconfigure, victim quarantined.
+        let m1 = matrix_with(vulns.clone(), Date::from_ymd(2018, 1, 2));
+        let mut sets = ReplicaSets::new(vec![0, 1, 2, 3], 6);
+        let recon = Reconfigurator::with_threshold(10.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        recon.monitor(&mut sets, &m1, &mut rng);
+        assert_eq!(sets.quarantine.len(), 1);
+        let quarantined = sets.quarantine[0];
+        // Later: patches out → released back to the pool.
+        let m2 = matrix_with(vulns, patch_day);
+        recon.monitor(&mut sets, &m2, &mut rng);
+        assert!(sets.quarantine.is_empty());
+        assert!(sets.pool.contains(&quarantined));
+        assert!(sets.is_partition());
+    }
+
+    #[test]
+    fn randomized_choice_varies_with_seed() {
+        let u = universe();
+        let m = matrix_with(
+            vec![vuln(1, &[u[0], u[1]], None), vuln(2, &[u[0], u[1]], None)],
+            Date::from_ymd(2018, 1, 2),
+        );
+        let recon = Reconfigurator::with_threshold(10.0);
+        let mut outcomes = std::collections::HashSet::new();
+        for seed in 0..20 {
+            let mut sets = ReplicaSets::new(vec![0, 1, 2, 3], 6);
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let MonitorOutcome::Reconfigured { removed, added, .. } =
+                recon.monitor(&mut sets, &m, &mut rng)
+            {
+                outcomes.insert((removed, added));
+            }
+        }
+        assert!(outcomes.len() > 1, "selection should be randomized: {outcomes:?}");
+    }
+
+    #[test]
+    fn initial_config_respects_threshold_when_possible() {
+        let u = universe();
+        let m = matrix_with(
+            vec![vuln(1, &[u[0], u[1]], None)],
+            Date::from_ymd(2018, 1, 2),
+        );
+        let recon = Reconfigurator::with_threshold(5.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let config = recon.initial_config(&m, 4, &mut rng);
+            assert_eq!(config.len(), 4);
+            // distinct members
+            let mut sorted = config.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4);
+            assert!(m.risk(&config) <= 5.0, "config {config:?} risk {}", m.risk(&config));
+        }
+    }
+
+    #[test]
+    fn partition_invariant_maintained_over_many_rounds() {
+        let u = universe();
+        let vulns: Vec<Vulnerability> = (0..12)
+            .map(|i| vuln(i, &[u[(i as usize) % 6], u[((i as usize) + 1) % 6]], None))
+            .collect();
+        let m = matrix_with(vulns, Date::from_ymd(2018, 1, 2));
+        let recon = Reconfigurator::with_threshold(15.0);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut sets = ReplicaSets::new(recon.initial_config(&m, 4, &mut rng), 6);
+        for _ in 0..50 {
+            recon.monitor(&mut sets, &m, &mut rng);
+            assert!(sets.is_partition());
+            assert_eq!(sets.n(), 4);
+            assert_eq!(sets.config.len() + sets.pool.len() + sets.quarantine.len(), 6);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Combination enumeration shared by Algorithm 1 and the strategies.
+
+/// Visits every `k`-combination of `0..n` (lexicographic order).
+pub fn for_each_combination(n: usize, k: usize, mut f: impl FnMut(&[usize])) {
+    if k > n {
+        return;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        f(&idx);
+        // advance
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
+        idx[i] += 1;
+        for j in (i + 1)..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// Number of `k`-combinations of `n` (saturating).
+pub fn combination_count(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let mut result: usize = 1;
+    for i in 0..k {
+        result = result.saturating_mul(n - i) / (i + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        assert_eq!(combination_count(21, 4), 5985);
+        assert_eq!(combination_count(4, 4), 1);
+        assert_eq!(combination_count(3, 5), 0);
+        assert_eq!(combination_count(64, 4), 635_376);
+    }
+}

@@ -1,0 +1,44 @@
+//! The Lazarus risk engine: scoring, configuration risk, Algorithm 1, and
+//! the strategy evaluation of paper §6.
+//!
+//! * [`score`] — the CVSS extension of Eqs. 1–4 (age, patch and exploit
+//!   aware), with the Figure 2 scenario ladder;
+//! * [`oracle`] — `V(ri, rj)` shared-vulnerability sets (direct listings
+//!   plus cluster-inferred sharing) and the Eq. 5 configuration risk;
+//! * [`algorithm`] — Algorithm 1 over the CONFIG/POOL/QUARANTINE partition;
+//! * [`strategies`] — Lazarus, CVSSv3, Common, Random and Equal;
+//! * [`epoch`] — the learning/execution evaluation engine behind
+//!   Figures 5 and 6.
+//!
+//! # Example
+//!
+//! ```
+//! use lazarus_osint::prelude::*;
+//! use lazarus_risk::epoch::{EpochConfig, Evaluator, ThreatScope};
+//! use lazarus_risk::strategies::StrategyKind;
+//!
+//! let mut config = WorldConfig::paper_study(1);
+//! config.start = Date::from_ymd(2017, 6, 1);
+//! config.end = Date::from_ymd(2017, 9, 1);
+//! let world = SyntheticWorld::generate(config);
+//! let eval = Evaluator::new(&world, EpochConfig::paper());
+//! let window = (Date::from_ymd(2017, 8, 1), Date::from_ymd(2017, 9, 1));
+//! let stats = eval.run_window(
+//!     StrategyKind::Lazarus, window, &ThreatScope::PublishedInWindow, 10, 7);
+//! assert!(stats.compromised <= stats.runs);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algorithm;
+pub mod comb;
+pub mod epoch;
+pub mod oracle;
+pub mod score;
+pub mod strategies;
+
+pub use algorithm::{MonitorOutcome, Reconfigurator, ReplicaSets};
+pub use oracle::{RiskMatrix, RiskOracle};
+pub use score::{Scenario, ScoreParams};
+pub use strategies::{Strategy, StrategyKind};

@@ -1,0 +1,608 @@
+//! The risk oracle: precomputed pairwise shared-vulnerability knowledge.
+//!
+//! Eq. 5 sums, over every replica pair of a CONFIG, the scores of the
+//! vulnerabilities in `V(ri, rj)` — the union of (i) vulnerabilities NVD
+//! lists against both replicas and (ii) cluster-inferred shared weaknesses
+//! (a vulnerability of `ri` whose description cluster also covers `rj`).
+//!
+//! [`RiskOracle`] flattens a [`KnowledgeBase`] + [`VulnClusters`] over a
+//! fixed OS universe into bitmask form, so the simulation engine can
+//! evaluate `risk(CONFIG)` for thousands of candidate configurations per
+//! day. [`RiskMatrix`] further freezes the oracle at one date into an
+//! `n × n` pair-score table, the unit the strategies actually consume.
+
+use lazarus_osint::catalog::OsVersion;
+use lazarus_osint::cpe::Cpe;
+use lazarus_osint::date::Date;
+use lazarus_osint::kb::KnowledgeBase;
+use lazarus_osint::model::CveId;
+use lazarus_nlp::VulnClusters;
+
+use crate::score::ScoreParams;
+
+/// A compact per-vulnerability view used for fast scoring.
+#[derive(Debug, Clone)]
+pub struct VulnView {
+    /// CVE id.
+    pub id: CveId,
+    /// NVD publication date.
+    pub published: Date,
+    /// CVSS v3 base score.
+    pub cvss: f64,
+    /// Earliest patch availability (any product) — the Eq. 3 flag.
+    pub patch_date: Option<Date>,
+    /// Earliest public exploit — the Eq. 4 flag.
+    pub exploit_date: Option<Date>,
+    /// Bit `i` set ⇔ the vulnerability is listed against universe OS `i`.
+    pub mask: u64,
+    /// Union of `mask` over all same-cluster vulnerabilities.
+    pub cluster_mask: u64,
+    /// Per-OS earliest patch date (index-aligned with the universe).
+    pub patch_by_os: Vec<Option<Date>>,
+}
+
+impl VulnView {
+    /// Eq. 1 evaluated from the flattened dates.
+    pub fn score(&self, params: &ScoreParams, now: Date) -> f64 {
+        let patched = self.patch_date.is_some_and(|d| d <= now);
+        let exploited = self.exploit_date.is_some_and(|d| d <= now);
+        self.cvss
+            * params.oldness(self.published, now)
+            * params.patched(patched)
+            * params.exploited(exploited)
+    }
+
+    /// Is this vulnerability in `V(a, b)`? Direct listing against both, or a
+    /// listing against one whose cluster covers the other.
+    pub fn links(&self, a: usize, b: usize) -> bool {
+        let bit_a = 1u64 << a;
+        let bit_b = 1u64 << b;
+        let direct = self.mask & bit_a != 0 && self.mask & bit_b != 0;
+        let via_cluster = (self.mask & bit_a != 0 && self.cluster_mask & bit_b != 0)
+            || (self.mask & bit_b != 0 && self.cluster_mask & bit_a != 0);
+        direct || via_cluster
+    }
+}
+
+/// Precomputed risk knowledge over a fixed OS universe (≤ 64 versions).
+#[derive(Debug, Clone)]
+pub struct RiskOracle {
+    oses: Vec<OsVersion>,
+    cpes: Vec<Cpe>,
+    vulns: Vec<VulnView>,
+    /// For each unordered pair `(i, j)` with `i < j`: indices into `vulns`
+    /// of the members of `V(ri, rj)`.
+    pair_vulns: Vec<Vec<u32>>,
+    params: ScoreParams,
+}
+
+fn pair_index(n: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < n);
+    i * n - i * (i + 1) / 2 + (j - i - 1)
+}
+
+/// Default similarity gate for cluster-inferred sharing.
+///
+/// K-means clusters are topics; "potentially activated by (variations of)
+/// the same exploit" (§4.1) additionally requires the descriptions to be
+/// near-duplicates. Two vulnerabilities are linked only when they share a
+/// cluster *and* their TF-IDF cosine reaches this bound.
+pub const DEFAULT_MIN_SIMILARITY: f64 = 0.5;
+
+impl RiskOracle {
+    /// Builds the oracle with the default similarity gate
+    /// ([`DEFAULT_MIN_SIMILARITY`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe holds more than 64 OS versions.
+    pub fn build(
+        kb: &KnowledgeBase,
+        clusters: &VulnClusters,
+        oses: &[OsVersion],
+        params: ScoreParams,
+    ) -> RiskOracle {
+        Self::build_with_similarity(kb, clusters, oses, params, DEFAULT_MIN_SIMILARITY)
+    }
+
+    /// Builds the oracle with an explicit similarity gate. `0.0` reduces to
+    /// pure cluster-union linking (the ablation baseline); `1.0` effectively
+    /// disables cluster inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe holds more than 64 OS versions.
+    pub fn build_with_similarity(
+        kb: &KnowledgeBase,
+        clusters: &VulnClusters,
+        oses: &[OsVersion],
+        params: ScoreParams,
+        min_similarity: f64,
+    ) -> RiskOracle {
+        assert!(oses.len() <= 64, "bitmask universe limited to 64 OS versions");
+        let cpes: Vec<Cpe> = oses.iter().map(|o| o.to_cpe()).collect();
+
+        let mut vulns: Vec<VulnView> = Vec::with_capacity(kb.len());
+        let mut index_of: std::collections::HashMap<CveId, usize> = Default::default();
+        for v in kb.iter() {
+            let mut mask = 0u64;
+            let mut patch_by_os = vec![None; oses.len()];
+            for (i, cpe) in cpes.iter().enumerate() {
+                if v.affects(cpe) {
+                    mask |= 1 << i;
+                    patch_by_os[i] = v.patch_date_for(cpe);
+                }
+            }
+            index_of.insert(v.id, vulns.len());
+            vulns.push(VulnView {
+                id: v.id,
+                published: v.published,
+                cvss: v.cvss.base_score(),
+                patch_date: v.patches.iter().map(|p| p.released).min(),
+                exploit_date: v.first_exploit_date(),
+                mask,
+                cluster_mask: 0,
+                patch_by_os,
+            });
+        }
+        // Cluster-inferred masks, gated by description similarity: each
+        // vulnerability unions the platforms of the cluster members whose
+        // text is close enough to plausibly be the same weakness.
+        for (_, members) in clusters.iter() {
+            let indexed: Vec<(CveId, usize)> = members
+                .iter()
+                .filter_map(|cve| index_of.get(cve).map(|&i| (*cve, i)))
+                .collect();
+            for &(a, ia) in &indexed {
+                let mut union = vulns[ia].mask;
+                for &(b, ib) in &indexed {
+                    if ia != ib
+                        && clusters
+                            .similarity(a, b)
+                            .is_some_and(|s| s >= min_similarity)
+                    {
+                        union |= vulns[ib].mask;
+                    }
+                }
+                vulns[ia].cluster_mask = union;
+            }
+        }
+        // Pairwise link lists.
+        let n = oses.len();
+        let mut pair_vulns = vec![Vec::new(); n * (n - 1) / 2];
+        for (vi, v) in vulns.iter().enumerate() {
+            // Quick reject: a vulnerability can only link pairs within
+            // mask | cluster_mask.
+            let reach = v.mask | v.cluster_mask;
+            if reach.count_ones() < 2 {
+                continue;
+            }
+            for i in 0..n {
+                if reach & (1 << i) == 0 {
+                    continue;
+                }
+                for j in (i + 1)..n {
+                    if reach & (1 << j) == 0 {
+                        continue;
+                    }
+                    if v.links(i, j) {
+                        pair_vulns[pair_index(n, i, j)].push(vi as u32);
+                    }
+                }
+            }
+        }
+        RiskOracle { oses: oses.to_vec(), cpes, vulns, pair_vulns, params }
+    }
+
+    /// The OS universe.
+    pub fn universe(&self) -> &[OsVersion] {
+        &self.oses
+    }
+
+    /// The scoring parameters in use.
+    pub fn params(&self) -> &ScoreParams {
+        &self.params
+    }
+
+    /// Index of an OS within the universe.
+    pub fn os_index(&self, os: OsVersion) -> Option<usize> {
+        self.oses.iter().position(|&o| o == os)
+    }
+
+    /// The flattened vulnerability views.
+    pub fn vulns(&self) -> &[VulnView] {
+        &self.vulns
+    }
+
+    /// `V(a, b)` as vulnerability views, unfiltered by date.
+    pub fn shared(&self, a: usize, b: usize) -> impl Iterator<Item = &VulnView> {
+        let (i, j) = if a < b { (a, b) } else { (b, a) };
+        let list: &[u32] = if a == b {
+            &[]
+        } else {
+            &self.pair_vulns[pair_index(self.oses.len(), i, j)]
+        };
+        list.iter().map(move |&vi| &self.vulns[vi as usize])
+    }
+
+    /// The pairwise risk term of Eq. 5 at `now`: sum of scores over
+    /// `V(a, b)` restricted to vulnerabilities already published.
+    pub fn pair_risk(&self, a: usize, b: usize, now: Date) -> f64 {
+        self.pair_risk_with(&self.params, a, b, now)
+    }
+
+    /// [`pair_risk`](Self::pair_risk) under alternative scoring parameters
+    /// (e.g. [`ScoreParams::raw_cvss`] for the CVSS v3 baseline).
+    pub fn pair_risk_with(&self, params: &ScoreParams, a: usize, b: usize, now: Date) -> f64 {
+        if a == b {
+            // A duplicated OS shares its entire vulnerability surface with
+            // itself: count every published vulnerability affecting it.
+            return self
+                .vulns
+                .iter()
+                .filter(|v| v.mask & (1 << a) != 0 && v.published <= now)
+                .map(|v| v.score(params, now))
+                .sum();
+        }
+        self.shared(a, b)
+            .filter(|v| v.published <= now)
+            .map(|v| v.score(params, now))
+            .sum()
+    }
+
+    /// Eq. 5: total risk of a configuration (universe indices) at `now`.
+    pub fn risk(&self, config: &[usize], now: Date) -> f64 {
+        let mut total = 0.0;
+        for i in 0..config.len() {
+            for j in (i + 1)..config.len() {
+                total += self.pair_risk(config[i], config[j], now);
+            }
+        }
+        total
+    }
+
+    /// Average score of the published vulnerabilities affecting OS `a` at
+    /// `now` (Algorithm 1, line 21), `0.0` when none are known.
+    pub fn avg_score(&self, a: usize, now: Date) -> f64 {
+        self.avg_score_with(&self.params, a, now)
+    }
+
+    /// [`avg_score`](Self::avg_score) under alternative scoring parameters.
+    pub fn avg_score_with(&self, params: &ScoreParams, a: usize, now: Date) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for v in &self.vulns {
+            if v.mask & (1 << a) != 0 && v.published <= now {
+                sum += v.score(params, now);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Is OS `a` fully patched at `now`? True when every published
+    /// vulnerability listing it that is younger than the oldness threshold
+    /// has a patch available for it — the quarantine exit condition
+    /// (Algorithm 1, lines 34–37).
+    pub fn is_patched(&self, a: usize, now: Date) -> bool {
+        let horizon = self.params.oldness_threshold as i32;
+        self.vulns.iter().all(|v| {
+            let listed = v.mask & (1 << a) != 0;
+            let recent = v.published <= now && (now - v.published) <= horizon;
+            if !(listed && recent) {
+                return true;
+            }
+            v.patch_by_os[a].or(v.patch_date).is_some_and(|d| d <= now)
+        })
+    }
+
+    /// Number of *directly listed* shared vulnerabilities between `a` and
+    /// `b` published by `now` — the metric of the "Common" baseline.
+    pub fn common_count(&self, a: usize, b: usize, now: Date) -> usize {
+        if a == b {
+            return self
+                .vulns
+                .iter()
+                .filter(|v| v.mask & (1 << a) != 0 && v.published <= now)
+                .count();
+        }
+        let (bit_a, bit_b) = (1u64 << a, 1u64 << b);
+        self.shared(a, b)
+            .filter(|v| v.published <= now)
+            .filter(|v| v.mask & bit_a != 0 && v.mask & bit_b != 0)
+            .count()
+    }
+
+    /// The CPE of universe OS `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn cpe(&self, a: usize) -> &Cpe {
+        &self.cpes[a]
+    }
+
+    /// Freezes pairwise risks, per-OS averages and patch state at one date.
+    pub fn matrix(&self, now: Date) -> RiskMatrix {
+        self.matrix_with(&self.params.clone(), now)
+    }
+
+    /// [`matrix`](Self::matrix) under alternative scoring parameters.
+    pub fn matrix_with(&self, params: &ScoreParams, now: Date) -> RiskMatrix {
+        let n = self.oses.len();
+        let mut pair = vec![0.0; n * (n - 1) / 2];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                pair[pair_index(n, i, j)] = self.pair_risk_with(params, i, j, now);
+            }
+        }
+        let self_risk: Vec<f64> = (0..n).map(|i| self.pair_risk_with(params, i, i, now)).collect();
+        let avg: Vec<f64> = (0..n).map(|i| self.avg_score_with(params, i, now)).collect();
+        let patched: Vec<bool> = (0..n).map(|i| self.is_patched(i, now)).collect();
+        let common: Vec<usize> = {
+            let mut c = vec![0usize; n * (n - 1) / 2];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    c[pair_index(n, i, j)] = self.common_count(i, j, now);
+                }
+            }
+            c
+        };
+        RiskMatrix { n, now, pair, self_risk, avg, patched, common }
+    }
+}
+
+/// Pairwise risk state frozen at one day (see [`RiskOracle::matrix`]).
+#[derive(Debug, Clone)]
+pub struct RiskMatrix {
+    n: usize,
+    /// The day the matrix was computed for.
+    pub now: Date,
+    pair: Vec<f64>,
+    self_risk: Vec<f64>,
+    /// Per-OS average vulnerability score (Algorithm 1, line 21).
+    pub avg: Vec<f64>,
+    /// Per-OS quarantine-exit flag.
+    pub patched: Vec<bool>,
+    common: Vec<usize>,
+}
+
+impl RiskMatrix {
+    /// Universe size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for an empty universe.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The Eq. 5 pair term for `(a, b)`.
+    pub fn pair_risk(&self, a: usize, b: usize) -> f64 {
+        if a == b {
+            return self.self_risk[a];
+        }
+        let (i, j) = if a < b { (a, b) } else { (b, a) };
+        self.pair[pair_index(self.n, i, j)]
+    }
+
+    /// Eq. 5 for a whole configuration.
+    pub fn risk(&self, config: &[usize]) -> f64 {
+        let mut total = 0.0;
+        for i in 0..config.len() {
+            for j in (i + 1)..config.len() {
+                total += self.pair_risk(config[i], config[j]);
+            }
+        }
+        total
+    }
+
+    /// Directly-listed shared-vulnerability count for `(a, b)` (the
+    /// "Common" baseline metric).
+    pub fn common_count(&self, a: usize, b: usize) -> usize {
+        if a == b {
+            return usize::MAX / 4; // a duplicated OS is maximally common
+        }
+        let (i, j) = if a < b { (a, b) } else { (b, a) };
+        self.common[pair_index(self.n, i, j)]
+    }
+
+    /// Total directly-listed shared count over a configuration.
+    pub fn common_total(&self, config: &[usize]) -> usize {
+        let mut total = 0usize;
+        for i in 0..config.len() {
+            for j in (i + 1)..config.len() {
+                total = total.saturating_add(self.common_count(config[i], config[j]));
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazarus_osint::catalog::OsFamily;
+    use lazarus_osint::cvss::CvssV3;
+    use lazarus_osint::model::{AffectedPlatform, PatchRecord, Vulnerability};
+
+    fn os(f: OsFamily, v: &'static str) -> OsVersion {
+        OsVersion::new(f, v)
+    }
+
+    fn universe() -> Vec<OsVersion> {
+        vec![
+            os(OsFamily::Ubuntu, "16.04"),
+            os(OsFamily::Debian, "8"),
+            os(OsFamily::FreeBsd, "11"),
+            os(OsFamily::Windows, "10"),
+        ]
+    }
+
+    fn vuln(id: u32, published: Date, oses: &[OsVersion], desc: &str) -> Vulnerability {
+        let mut v = Vulnerability::new(CveId::new(2018, id), published, CvssV3::CRITICAL_RCE, desc);
+        for o in oses {
+            v.affected.push(AffectedPlatform::exact(o.to_cpe()));
+        }
+        v
+    }
+
+    fn d(m: u32, day: u32) -> Date {
+        Date::from_ymd(2018, m, day)
+    }
+
+    #[test]
+    fn direct_sharing_drives_pair_risk() {
+        let u = universe();
+        let mut kb = KnowledgeBase::new();
+        kb.upsert(vuln(1, d(1, 1), &[u[0], u[1]], "kernel flaw alpha"));
+        kb.upsert(vuln(2, d(1, 1), &[u[2]], "bsd flaw beta"));
+        let oracle = RiskOracle::build(&kb, &VulnClusters::new(), &u, ScoreParams::paper());
+
+        let now = d(2, 1);
+        assert!(oracle.pair_risk(0, 1, now) > 0.0);
+        assert_eq!(oracle.pair_risk(0, 2, now), 0.0);
+        assert_eq!(oracle.pair_risk(2, 3, now), 0.0);
+        // risk of [ub, de, fb, w10] equals the single shared pair's term
+        let config = [0usize, 1, 2, 3];
+        assert!((oracle.risk(&config, now) - oracle.pair_risk(0, 1, now)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_inferred_sharing_counts() {
+        let u = universe();
+        let mut kb = KnowledgeBase::new();
+        // Two CVEs, disjoint platforms, near-identical descriptions.
+        kb.upsert(vuln(
+            10,
+            d(1, 1),
+            &[u[0]],
+            "Cross-site scripting in the dashboard allows script injection via a template",
+        ));
+        kb.upsert(vuln(
+            11,
+            d(1, 5),
+            &[u[2]],
+            "Cross-site scripting in the dashboard allows script injection via a form",
+        ));
+        // An unrelated one.
+        kb.upsert(vuln(12, d(1, 1), &[u[3]], "kernel memory corruption leads to privilege escalation"));
+        let all: Vec<Vulnerability> = kb.iter().cloned().collect();
+        let clusters = VulnClusters::build_with_k(&all, 2, 3);
+        assert!(clusters.same_cluster(CveId::new(2018, 10), CveId::new(2018, 11)));
+
+        let oracle = RiskOracle::build(&kb, &clusters, &u, ScoreParams::paper());
+        let now = d(2, 1);
+        // Without clusters the pair (ubuntu, freebsd) shares nothing...
+        let blind = RiskOracle::build(&kb, &VulnClusters::new(), &u, ScoreParams::paper());
+        assert_eq!(blind.pair_risk(0, 2, now), 0.0);
+        // ...with clusters it does.
+        assert!(oracle.pair_risk(0, 2, now) > 0.0);
+        // But the Common count (direct listings only) still sees nothing.
+        assert_eq!(oracle.common_count(0, 2, now), 0);
+    }
+
+    #[test]
+    fn publication_date_gates_risk() {
+        let u = universe();
+        let mut kb = KnowledgeBase::new();
+        kb.upsert(vuln(1, d(6, 15), &[u[0], u[1]], "future flaw"));
+        let oracle = RiskOracle::build(&kb, &VulnClusters::new(), &u, ScoreParams::paper());
+        assert_eq!(oracle.pair_risk(0, 1, d(6, 14)), 0.0);
+        assert!(oracle.pair_risk(0, 1, d(6, 15)) > 0.0);
+    }
+
+    #[test]
+    fn self_pair_counts_everything() {
+        let u = universe();
+        let mut kb = KnowledgeBase::new();
+        kb.upsert(vuln(1, d(1, 1), &[u[0]], "solo flaw"));
+        let oracle = RiskOracle::build(&kb, &VulnClusters::new(), &u, ScoreParams::paper());
+        // Equal-strategy configuration [ub, ub]: the lone vulnerability is
+        // "shared" between the duplicates.
+        assert!(oracle.pair_risk(0, 0, d(2, 1)) > 0.0);
+        assert!(oracle.risk(&[0, 0, 0, 0], d(2, 1)) > 0.0);
+    }
+
+    #[test]
+    fn avg_score_matches_hand_computation() {
+        let u = universe();
+        let mut kb = KnowledgeBase::new();
+        kb.upsert(vuln(1, d(1, 1), &[u[0]], "a"));
+        kb.upsert(vuln(2, d(1, 1), &[u[0]], "b"));
+        let oracle = RiskOracle::build(&kb, &VulnClusters::new(), &u, ScoreParams::paper());
+        let now = d(1, 1);
+        // both fresh, unpatched, unexploited: score = 9.8 each
+        assert!((oracle.avg_score(0, now) - 9.8).abs() < 1e-9);
+        assert_eq!(oracle.avg_score(2, now), 0.0);
+    }
+
+    #[test]
+    fn patched_state_for_quarantine() {
+        let u = universe();
+        let mut kb = KnowledgeBase::new();
+        let mut v = vuln(1, d(1, 1), &[u[0]], "needs patching");
+        v.patches.push(PatchRecord {
+            product: u[0].to_cpe(),
+            released: d(3, 1),
+            advisory: "USN-1".into(),
+        });
+        kb.upsert(v);
+        let oracle = RiskOracle::build(&kb, &VulnClusters::new(), &u, ScoreParams::paper());
+        assert!(!oracle.is_patched(0, d(2, 1)));
+        assert!(oracle.is_patched(0, d(3, 1)));
+        // Unaffected OS is trivially patched.
+        assert!(oracle.is_patched(2, d(2, 1)));
+        // Very old unpatched vulnerabilities stop blocking quarantine exit.
+        assert!(oracle.is_patched(0, d(1, 1) + 366 + 60));
+    }
+
+    #[test]
+    fn matrix_agrees_with_oracle() {
+        let u = universe();
+        let mut kb = KnowledgeBase::new();
+        kb.upsert(vuln(1, d(1, 1), &[u[0], u[1]], "one"));
+        kb.upsert(vuln(2, d(1, 10), &[u[1], u[2]], "two"));
+        let oracle = RiskOracle::build(&kb, &VulnClusters::new(), &u, ScoreParams::paper());
+        let now = d(4, 1);
+        let m = oracle.matrix(now);
+        assert_eq!(m.len(), 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((m.pair_risk(i, j) - oracle.pair_risk(i, j, now)).abs() < 1e-12);
+            }
+            assert!((m.avg[i] - oracle.avg_score(i, now)).abs() < 1e-12);
+        }
+        let config = [0usize, 1, 2, 3];
+        assert!((m.risk(&config) - oracle.risk(&config, now)).abs() < 1e-12);
+        assert_eq!(m.common_total(&[0, 1, 2]), 2);
+    }
+
+    #[test]
+    fn os_index_lookup() {
+        let u = universe();
+        let oracle =
+            RiskOracle::build(&KnowledgeBase::new(), &VulnClusters::new(), &u, ScoreParams::paper());
+        assert_eq!(oracle.os_index(u[2]), Some(2));
+        assert_eq!(oracle.os_index(os(OsFamily::Solaris, "11")), None);
+        assert_eq!(oracle.universe().len(), 4);
+    }
+
+    #[test]
+    fn pair_index_is_a_bijection() {
+        let n = 7;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert!(seen.insert(pair_index(n, i, j)));
+            }
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2);
+        assert_eq!(seen.iter().max(), Some(&(n * (n - 1) / 2 - 1)));
+    }
+}

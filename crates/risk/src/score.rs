@@ -1,0 +1,344 @@
+//! The Lazarus vulnerability score: the CVSS extension of paper §4.2.
+//!
+//! `score(v) = CVSS(v) × oldness(v) × patched(v) × exploited(v)` (Eq. 1):
+//!
+//! * **oldness** (Eq. 2) decays linearly with age, floored at 0.75 —
+//!   `max(1 − 0.25 × age/oldness_threshold, 0.75)`;
+//! * **patched** (Eq. 3) halves severity once a patch exists — `0.5^patched`;
+//! * **exploited** (Eq. 4) raises it by a quarter once an exploit circulates
+//!   — `1.25^exploited`.
+//!
+//! The eight scenario combinations produce the modifier ladder of Figure 2:
+//! `NE 1.25 > N 1 > OE 0.94 > O 0.75 > NPE 0.625 > NP 0.5 > OPE 0.47 >
+//! OP 0.37`.
+
+use lazarus_osint::date::Date;
+use lazarus_osint::model::Vulnerability;
+
+/// Tunable constants of Eqs. 2–4, defaulting to the paper's values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreParams {
+    /// Days over which the oldness decay runs (paper: 365).
+    pub oldness_threshold: f64,
+    /// Slope of the decay (paper: 0.25 — score loses a quarter over the
+    /// threshold).
+    pub oldness_slope: f64,
+    /// Floor of the oldness factor (paper: 0.75 — old vulnerabilities are
+    /// "less likely to be exploited" but never vanish).
+    pub oldness_floor: f64,
+    /// Multiplier once a patch is available (paper: 0.5).
+    pub patched_factor: f64,
+    /// Multiplier once an exploit is available (paper: 1.25).
+    pub exploited_factor: f64,
+}
+
+impl Default for ScoreParams {
+    fn default() -> Self {
+        ScoreParams {
+            oldness_threshold: 365.0,
+            oldness_slope: 0.25,
+            oldness_floor: 0.75,
+            patched_factor: 0.5,
+            exploited_factor: 1.25,
+        }
+    }
+}
+
+impl ScoreParams {
+    /// The paper's parameters (same as `Default`).
+    pub fn paper() -> ScoreParams {
+        ScoreParams::default()
+    }
+
+    /// Parameters that reduce the metric to the raw CVSS v3 base score —
+    /// the "CVSS v3" baseline strategy of §6.
+    pub fn raw_cvss() -> ScoreParams {
+        ScoreParams {
+            oldness_threshold: 365.0,
+            oldness_slope: 0.0,
+            oldness_floor: 1.0,
+            patched_factor: 1.0,
+            exploited_factor: 1.0,
+        }
+    }
+
+    /// Eq. 2: the oldness factor at `now` for a vulnerability published on
+    /// `published`.
+    pub fn oldness(&self, published: Date, now: Date) -> f64 {
+        let age = now.age_since(published) as f64;
+        (1.0 - self.oldness_slope * age / self.oldness_threshold).max(self.oldness_floor)
+    }
+
+    /// Eq. 3: the patched factor.
+    pub fn patched(&self, is_patched: bool) -> f64 {
+        if is_patched {
+            self.patched_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Eq. 4: the exploited factor.
+    pub fn exploited(&self, is_exploited: bool) -> f64 {
+        if is_exploited {
+            self.exploited_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Eq. 1: the full score of `v` as observed on day `now`.
+    ///
+    /// Patch/exploit flags are evaluated against their availability dates,
+    /// so the score is a function of time exactly as in Figure 3.
+    pub fn score(&self, v: &Vulnerability, now: Date) -> f64 {
+        v.cvss.base_score()
+            * self.oldness(v.published, now)
+            * self.patched(v.is_patched(now))
+            * self.exploited(v.is_exploited(now))
+    }
+
+    /// The combined modifier (score divided by the CVSS base), handy for
+    /// reproducing the Figure 2 ladder.
+    pub fn modifier(&self, v: &Vulnerability, now: Date) -> f64 {
+        self.oldness(v.published, now)
+            * self.patched(v.is_patched(now))
+            * self.exploited(v.is_exploited(now))
+    }
+}
+
+/// The qualitative scenario of a vulnerability at a point in time
+/// (Figure 2's N/O × P × E lattice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// New, exploited, unpatched — the worst case (modifier 1.25).
+    NE,
+    /// New, no patch, no exploit (1.0).
+    N,
+    /// Old, exploited, unpatched (0.94).
+    OE,
+    /// Old, no patch, no exploit (0.75).
+    O,
+    /// New, patched, exploited (0.625).
+    NPE,
+    /// New, patched (0.5).
+    NP,
+    /// Old, patched, exploited (0.47).
+    OPE,
+    /// Old, patched, no exploit — the best case (0.37).
+    OP,
+}
+
+impl Scenario {
+    /// Classifies `v` at `now`. "Old" means the oldness factor has reached
+    /// its floor.
+    pub fn classify(params: &ScoreParams, v: &Vulnerability, now: Date) -> Scenario {
+        let old = params.oldness(v.published, now) <= params.oldness_floor;
+        let patched = v.is_patched(now);
+        let exploited = v.is_exploited(now);
+        match (old, patched, exploited) {
+            (false, false, true) => Scenario::NE,
+            (false, false, false) => Scenario::N,
+            (true, false, true) => Scenario::OE,
+            (true, false, false) => Scenario::O,
+            (false, true, true) => Scenario::NPE,
+            (false, true, false) => Scenario::NP,
+            (true, true, true) => Scenario::OPE,
+            (true, true, false) => Scenario::OP,
+        }
+    }
+
+    /// The asymptotic modifier of this scenario with the paper's constants
+    /// (the Figure 2 ladder; "old" evaluated at the floor).
+    pub fn ladder_modifier(self) -> f64 {
+        match self {
+            Scenario::NE => 1.25,
+            Scenario::N => 1.0,
+            Scenario::OE => 0.9375,
+            Scenario::O => 0.75,
+            Scenario::NPE => 0.625,
+            Scenario::NP => 0.5,
+            Scenario::OPE => 0.46875,
+            Scenario::OP => 0.375,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazarus_osint::cpe::Cpe;
+    use lazarus_osint::fixtures;
+    use lazarus_osint::model::{CveId, ExploitRecord, PatchRecord};
+
+    fn base_vuln(published: Date) -> Vulnerability {
+        Vulnerability::new(
+            CveId::new(2018, 1),
+            published,
+            lazarus_osint::cvss::CvssV3::CRITICAL_RCE, // 9.8
+            "test",
+        )
+    }
+
+    #[test]
+    fn fresh_unpatched_scores_at_cvss() {
+        let p = ScoreParams::paper();
+        let d = Date::from_ymd(2018, 5, 1);
+        let v = base_vuln(d);
+        assert!((p.score(&v, d) - 9.8).abs() < 1e-9);
+        assert_eq!(Scenario::classify(&p, &v, d), Scenario::N);
+    }
+
+    #[test]
+    fn oldness_decays_linearly_then_floors() {
+        let p = ScoreParams::paper();
+        let pub_d = Date::from_ymd(2017, 1, 1);
+        assert!((p.oldness(pub_d, pub_d) - 1.0).abs() < 1e-12);
+        // Half threshold: 1 - 0.25*0.5 = 0.875
+        assert!((p.oldness(pub_d, pub_d + 182) - (1.0 - 0.25 * 182.0 / 365.0)).abs() < 1e-12);
+        // At exactly the threshold: 0.75
+        assert!((p.oldness(pub_d, pub_d + 365) - 0.75).abs() < 1e-12);
+        // Far beyond: still 0.75 (floor)
+        assert!((p.oldness(pub_d, pub_d + 3650) - 0.75).abs() < 1e-12);
+        // Before publication: clamp to 1.0
+        assert!((p.oldness(pub_d, pub_d - 100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure2_ladder_values() {
+        // NE 1.25, N 1, OE 0.94, O 0.75, NPE 0.625, NP 0.5, OPE 0.47, OP 0.37
+        assert_eq!(Scenario::NE.ladder_modifier(), 1.25);
+        assert_eq!(Scenario::N.ladder_modifier(), 1.0);
+        assert!((Scenario::OE.ladder_modifier() - 0.94).abs() < 0.005);
+        assert_eq!(Scenario::O.ladder_modifier(), 0.75);
+        assert_eq!(Scenario::NPE.ladder_modifier(), 0.625);
+        assert_eq!(Scenario::NP.ladder_modifier(), 0.5);
+        assert!((Scenario::OPE.ladder_modifier() - 0.47).abs() < 0.005);
+        assert!((Scenario::OP.ladder_modifier() - 0.37).abs() < 0.01);
+        // Strictly decreasing ladder.
+        let ladder = [
+            Scenario::NE,
+            Scenario::N,
+            Scenario::OE,
+            Scenario::O,
+            Scenario::NPE,
+            Scenario::NP,
+            Scenario::OPE,
+            Scenario::OP,
+        ];
+        for w in ladder.windows(2) {
+            assert!(w[0].ladder_modifier() > w[1].ladder_modifier());
+        }
+    }
+
+    #[test]
+    fn ladder_matches_computed_modifiers() {
+        let p = ScoreParams::paper();
+        let pub_d = Date::from_ymd(2016, 1, 1);
+        let old_day = pub_d + 3650;
+        let new_day = pub_d;
+
+        let mut v = base_vuln(pub_d);
+        assert!((p.modifier(&v, new_day) - 1.0).abs() < 1e-12); // N
+        assert!((p.modifier(&v, old_day) - 0.75).abs() < 1e-12); // O
+
+        v.exploits.push(ExploitRecord {
+            published: pub_d,
+            source: "x".into(),
+            verified: true,
+        });
+        assert!((p.modifier(&v, new_day) - 1.25).abs() < 1e-12); // NE
+        assert!((p.modifier(&v, old_day) - 0.9375).abs() < 1e-12); // OE
+
+        v.patches.push(PatchRecord {
+            product: Cpe::os("canonical", "ubuntu_linux", "16.04"),
+            released: pub_d,
+            advisory: "USN".into(),
+        });
+        assert!((p.modifier(&v, new_day) - 0.625).abs() < 1e-12); // NPE
+        assert!((p.modifier(&v, old_day) - 0.46875).abs() < 1e-12); // OPE
+
+        v.exploits.clear();
+        assert!((p.modifier(&v, new_day) - 0.5).abs() < 1e-12); // NP
+        assert!((p.modifier(&v, old_day) - 0.375).abs() < 1e-12); // OP
+    }
+
+    /// Figure 3(a): CVE-2018-8303 — slow decay, then a jump when the exploit
+    /// is published.
+    #[test]
+    fn figure3a_ne_evolution() {
+        let p = ScoreParams::paper();
+        let v = fixtures::cve_2018_8303();
+        assert_eq!(v.cvss.base_score(), 8.1);
+        let at_publication = p.score(&v, Date::from_ymd(2018, 9, 7));
+        let day_before_exploit = p.score(&v, Date::from_ymd(2018, 9, 23));
+        let at_exploit = p.score(&v, Date::from_ymd(2018, 9, 24));
+        assert!((at_publication - 8.1).abs() < 1e-9);
+        assert!(day_before_exploit < at_publication); // slow decay
+        assert!(at_exploit > 10.0 * 0.98, "exploit jump: {at_exploit}"); // ≈ 8.1 × 1.25 × oldness
+        assert!(at_exploit > day_before_exploit);
+    }
+
+    /// Figure 3(b): CVE-2018-8012 — 9.37 peak with the exploit, dropping to
+    /// ≈ 4.6 once patched (the paper's annotated values).
+    #[test]
+    fn figure3b_npe_evolution() {
+        let p = ScoreParams::paper();
+        let v = fixtures::cve_2018_8012();
+        let base = v.cvss.base_score();
+        assert_eq!(base, 7.5);
+        // At publication: full CVSS.
+        assert!((p.score(&v, Date::from_ymd(2018, 5, 20)) - base).abs() < 1e-9);
+        // Exploit out (5-24), not yet patched: the 9.37 peak.
+        let peak = p.score(&v, Date::from_ymd(2018, 5, 24));
+        assert!((peak - 9.37).abs() < 0.05, "peak {peak}");
+        // Patch (5-27) halves it to ≈ 4.6.
+        let after_patch = p.score(&v, Date::from_ymd(2018, 5, 27));
+        assert!((after_patch - 4.6).abs() < 0.08, "after patch {after_patch}");
+        // Long after: decayed patched score.
+        assert!(p.score(&v, Date::from_ymd(2019, 6, 1)) < after_patch);
+    }
+
+    /// Figure 3(c): CVE-2016-7180 — patched early, decaying to irrelevance.
+    #[test]
+    fn figure3c_op_evolution() {
+        let p = ScoreParams::paper();
+        let v = fixtures::cve_2016_7180();
+        let before_patch = p.score(&v, Date::from_ymd(2016, 9, 18));
+        let after_patch = p.score(&v, Date::from_ymd(2016, 9, 19));
+        let year_later = p.score(&v, Date::from_ymd(2017, 9, 19));
+        assert!(after_patch < before_patch);
+        assert!((after_patch / before_patch - 0.5).abs() < 0.01);
+        assert!(year_later < after_patch);
+        assert!((year_later - v.cvss.base_score() * 0.375).abs() < 0.01);
+    }
+
+    #[test]
+    fn raw_cvss_params_ignore_everything() {
+        let p = ScoreParams::raw_cvss();
+        let v = fixtures::cve_2018_8012();
+        for day in [
+            Date::from_ymd(2018, 5, 20),
+            Date::from_ymd(2018, 6, 30),
+            Date::from_ymd(2020, 1, 1),
+        ] {
+            assert!((p.score(&v, day) - v.cvss.base_score()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn score_bounds_property() {
+        // 0 <= score <= 1.25 × CVSS for the paper parameters.
+        let p = ScoreParams::paper();
+        let mut v = base_vuln(Date::from_ymd(2017, 6, 1));
+        v.exploits.push(ExploitRecord {
+            published: Date::from_ymd(2017, 6, 10),
+            source: "x".into(),
+            verified: true,
+        });
+        for offset in [0, 5, 30, 100, 365, 1000] {
+            let s = p.score(&v, v.published + offset);
+            assert!(s >= 0.0 && s <= 1.25 * v.cvss.base_score() + 1e-9);
+        }
+    }
+}

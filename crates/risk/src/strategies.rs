@@ -1,0 +1,640 @@
+//! The five replica-selection strategies compared in paper §6.
+//!
+//! * **Lazarus** — Algorithm 1 driven by the extended score (Eqs. 1–5);
+//! * **CVSS v3** — the same machinery but scoring shared vulnerabilities by
+//!   their raw CVSS v3 base score (no age/patch/exploit awareness);
+//! * **Common** — minimizes the *count* of directly-listed common
+//!   vulnerabilities (the strategy of the earlier OS-diversity studies);
+//! * **Random** — proactive recovery with daily random replacement, no
+//!   criteria;
+//! * **Equal** — all `n` replicas run one randomly-chosen OS for the whole
+//!   execution (how most BFT systems are actually deployed).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use lazarus_osint::date::Date;
+
+use crate::algorithm::{Reconfigurator, ReplicaSets};
+use crate::oracle::RiskMatrix;
+
+/// Everything a strategy may consult on one monitoring day. Shared across
+/// runs — strategies must keep per-run state in themselves, not here.
+#[derive(Debug)]
+pub struct DayView<'a> {
+    /// The calendar day.
+    pub date: Date,
+    /// Pairwise risks under the Lazarus score (Eq. 1).
+    pub lazarus: &'a RiskMatrix,
+    /// Pairwise risks under the raw CVSS v3 score.
+    pub cvss: &'a RiskMatrix,
+    /// Precomputed optimum for the Common baseline.
+    pub common_best: &'a CommonBest,
+    /// Precomputed near-optimal set for the CVSS v3 baseline.
+    pub cvss_best: &'a CvssBest,
+    /// Minimum achievable Eq. 5 risk over all `n`-subsets today (Lazarus
+    /// scoring) — the anchor for the adaptive threshold.
+    pub min_lazarus_risk: f64,
+}
+
+/// Minimum Eq. 5 risk over every `n`-subset of the universe.
+///
+/// Historical risk accumulates without bound (old vulnerabilities keep a
+/// 0.37×CVSS floor), so the Algorithm-1 strategies anchor their threshold at
+/// `min_config_risk + slack` — automating the paper's §4.4 remedy of raising
+/// the threshold when no candidate stays below it.
+pub fn min_config_risk(matrix: &RiskMatrix, n: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for_each_combination(matrix.len(), n, |c| {
+        let r = matrix.risk(c);
+        if r < best {
+            best = r;
+        }
+    });
+    if best.is_finite() {
+        best
+    } else {
+        0.0
+    }
+}
+
+/// The day's minimum total raw-CVSS risk and (a sample of) configurations
+/// within a small tolerance of it — the search target of the CVSS v3
+/// baseline ("tries different combinations to find the best one that
+/// minimizes the sum of CVSS v3 score", §6).
+#[derive(Debug, Clone)]
+pub struct CvssBest {
+    /// The minimum Eq. 5 sum under raw CVSS scoring.
+    pub best: f64,
+    /// Configurations within the tolerance (capped reservoir sample).
+    pub configs: Vec<Vec<usize>>,
+}
+
+impl CvssBest {
+    /// Evaluates every `n`-subset under `matrix.risk`, keeping up to `cap`
+    /// configurations whose risk is within `best × 1.05 + 1.0`.
+    pub fn compute(matrix: &RiskMatrix, n: usize, cap: usize) -> CvssBest {
+        let mut rng = StdRng::seed_from_u64(matrix.now.days() as u64 ^ 0xC55B);
+        let mut best = f64::INFINITY;
+        let mut tolerance = f64::INFINITY;
+        let mut configs: Vec<Vec<usize>> = Vec::new();
+        let mut seen = 0usize;
+        for_each_combination(matrix.len(), n, |config| {
+            let risk = matrix.risk(config);
+            if risk < best {
+                best = risk;
+                tolerance = best * 1.05 + 1.0;
+                configs.retain(|_| false);
+                seen = 0;
+            }
+            if risk <= tolerance {
+                seen += 1;
+                if configs.len() < cap {
+                    configs.push(config.to_vec());
+                } else {
+                    let slot = rng.gen_range(0..seen);
+                    if slot < cap {
+                        configs[slot] = config.to_vec();
+                    }
+                }
+            }
+        });
+        // A second pruning pass: entries admitted before `best` settled may
+        // exceed the final tolerance.
+        configs.retain(|c| matrix.risk(c) <= tolerance);
+        CvssBest { best, configs }
+    }
+
+    /// Whether `config` is within the day's tolerance of the optimum.
+    pub fn is_near_optimal(&self, matrix: &RiskMatrix, config: &[usize]) -> bool {
+        matrix.risk(config) <= self.best * 1.05 + 1.0
+    }
+}
+
+/// The day's minimum directly-shared-vulnerability count and (a sample of)
+/// the configurations achieving it.
+#[derive(Debug, Clone)]
+pub struct CommonBest {
+    /// The minimum `common_total` over all `n`-subsets of the universe.
+    pub best_count: usize,
+    /// Configurations achieving the minimum (capped sample).
+    pub configs: Vec<Vec<usize>>,
+}
+
+impl CommonBest {
+    /// Exhaustively evaluates every `n`-subset of the universe under
+    /// `matrix.common_total`, keeping up to `cap` optimal configurations.
+    ///
+    /// With sparse real-world listings, thousands of configurations tie at
+    /// the minimum; the kept sample is drawn by reservoir sampling
+    /// (deterministic in the matrix date) so the baseline's choice is not
+    /// biased toward low-index OSes.
+    pub fn compute(matrix: &RiskMatrix, n: usize, cap: usize) -> CommonBest {
+        let mut rng = StdRng::seed_from_u64(matrix.now.days() as u64 ^ 0xC0FF_EE00);
+        let mut best_count = usize::MAX;
+        let mut configs: Vec<Vec<usize>> = Vec::new();
+        let mut seen = 0usize;
+        for_each_combination(matrix.len(), n, |config| {
+            let count = matrix.common_total(config);
+            if count < best_count {
+                best_count = count;
+                configs.clear();
+                seen = 0;
+            }
+            if count == best_count {
+                seen += 1;
+                if configs.len() < cap {
+                    configs.push(config.to_vec());
+                } else {
+                    let slot = rng.gen_range(0..seen);
+                    if slot < cap {
+                        configs[slot] = config.to_vec();
+                    }
+                }
+            }
+        });
+        CommonBest { best_count, configs }
+    }
+}
+
+pub use crate::comb::for_each_combination;
+
+/// A replica-selection strategy driven one day at a time.
+pub trait Strategy {
+    /// Display name (matches the paper's legends).
+    fn name(&self) -> &'static str;
+
+    /// Chooses the initial CONFIG and partition.
+    fn init(&mut self, day: &DayView<'_>, universe: usize, n: usize, rng: &mut StdRng)
+        -> ReplicaSets;
+
+    /// One daily monitoring round.
+    fn daily(&mut self, sets: &mut ReplicaSets, day: &DayView<'_>, rng: &mut StdRng);
+}
+
+/// Which strategy to instantiate (the Figure 5/6 legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Algorithm 1 + extended score.
+    Lazarus,
+    /// Algorithm 1 + raw CVSS scoring.
+    CvssV3,
+    /// Minimize directly-listed common vulnerabilities.
+    Common,
+    /// Daily random replacement.
+    Random,
+    /// One OS everywhere, never changed.
+    Equal,
+}
+
+impl StrategyKind {
+    /// All strategies in the paper's presentation order.
+    pub const ALL: [StrategyKind; 5] = [
+        StrategyKind::Lazarus,
+        StrategyKind::CvssV3,
+        StrategyKind::Common,
+        StrategyKind::Random,
+        StrategyKind::Equal,
+    ];
+
+    /// Instantiates the strategy. `slack` parameterizes the two Algorithm-1
+    /// variants (ignored by the rest): their risk threshold on each day is
+    /// the day's minimum achievable risk plus this slack.
+    pub fn make(self, slack: f64) -> Box<dyn Strategy> {
+        match self {
+            StrategyKind::Lazarus => Box::new(LazarusStrategy::new(slack)),
+            StrategyKind::CvssV3 => Box::new(CvssStrategy::new(slack)),
+            StrategyKind::Common => Box::new(CommonStrategy),
+            StrategyKind::Random => Box::new(RandomStrategy),
+            StrategyKind::Equal => Box::new(EqualStrategy),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Lazarus => "Lazarus",
+            StrategyKind::CvssV3 => "CVSSv3",
+            StrategyKind::Common => "Common",
+            StrategyKind::Random => "Random",
+            StrategyKind::Equal => "Equal",
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Equal
+// ---------------------------------------------------------------------------
+
+/// All replicas run one randomly-selected OS; never reconfigured.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EqualStrategy;
+
+impl Strategy for EqualStrategy {
+    fn name(&self) -> &'static str {
+        "Equal"
+    }
+
+    fn init(
+        &mut self,
+        _day: &DayView<'_>,
+        universe: usize,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> ReplicaSets {
+        let chosen = rng.gen_range(0..universe);
+        ReplicaSets::new(vec![chosen; n], universe)
+    }
+
+    fn daily(&mut self, _sets: &mut ReplicaSets, _day: &DayView<'_>, _rng: &mut StdRng) {}
+}
+
+// ---------------------------------------------------------------------------
+// Random
+// ---------------------------------------------------------------------------
+
+/// Random distinct initial set; every day one randomly-chosen replica is
+/// replaced by a randomly-chosen pool OS.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomStrategy;
+
+impl Strategy for RandomStrategy {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn init(
+        &mut self,
+        _day: &DayView<'_>,
+        universe: usize,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> ReplicaSets {
+        let mut all: Vec<usize> = (0..universe).collect();
+        all.shuffle(rng);
+        ReplicaSets::new(all[..n].to_vec(), universe)
+    }
+
+    fn daily(&mut self, sets: &mut ReplicaSets, _day: &DayView<'_>, rng: &mut StdRng) {
+        if sets.pool.is_empty() {
+            return;
+        }
+        let slot = rng.gen_range(0..sets.config.len());
+        let pick = rng.gen_range(0..sets.pool.len());
+        let incoming = sets.pool.swap_remove(pick);
+        let outgoing = std::mem::replace(&mut sets.config[slot], incoming);
+        sets.pool.push(outgoing);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Common
+// ---------------------------------------------------------------------------
+
+/// Minimizes the number of directly-listed common vulnerabilities — the
+/// straw-man from the OS-diversity studies. Those studies select a set once
+/// from historical data, so this baseline is *static*: it picks an optimal
+/// configuration at initialization and never reconfigures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommonStrategy;
+
+impl Strategy for CommonStrategy {
+    fn name(&self) -> &'static str {
+        "Common"
+    }
+
+    fn init(
+        &mut self,
+        day: &DayView<'_>,
+        universe: usize,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> ReplicaSets {
+        let config = day
+            .common_best
+            .configs
+            .choose(rng)
+            .cloned()
+            .unwrap_or_else(|| (0..n).collect());
+        ReplicaSets::new(config, universe)
+    }
+
+    fn daily(&mut self, _sets: &mut ReplicaSets, _day: &DayView<'_>, _rng: &mut StdRng) {}
+}
+
+// ---------------------------------------------------------------------------
+// CVSS v3 / Lazarus (Algorithm 1 variants)
+// ---------------------------------------------------------------------------
+
+/// The CVSS v3 baseline: "tries different combinations to find the best one
+/// that minimizes the sum of CVSS v3 score" (§6). Re-evaluated daily — when
+/// the running configuration drifts away from the day's optimum (because
+/// new vulnerabilities were published), it jumps to a random near-optimal
+/// configuration. No age/patch/exploit awareness, no quarantine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CvssStrategy;
+
+impl CvssStrategy {
+    /// Creates the strategy (the slack parameter is unused; kept for
+    /// constructor symmetry with [`LazarusStrategy`]).
+    pub fn new(_slack: f64) -> CvssStrategy {
+        CvssStrategy
+    }
+
+    fn adopt(sets: &mut ReplicaSets, config: Vec<usize>, universe: usize) {
+        sets.pool = (0..universe).filter(|r| !config.contains(r)).collect();
+        sets.config = config;
+        sets.quarantine.clear();
+    }
+}
+
+impl Strategy for CvssStrategy {
+    fn name(&self) -> &'static str {
+        "CVSSv3"
+    }
+
+    fn init(
+        &mut self,
+        day: &DayView<'_>,
+        universe: usize,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> ReplicaSets {
+        let config = day
+            .cvss_best
+            .configs
+            .choose(rng)
+            .cloned()
+            .unwrap_or_else(|| (0..n).collect());
+        ReplicaSets::new(config, universe)
+    }
+
+    fn daily(&mut self, sets: &mut ReplicaSets, day: &DayView<'_>, rng: &mut StdRng) {
+        if !day.cvss_best.is_near_optimal(day.cvss, &sets.config) {
+            if let Some(config) = day.cvss_best.configs.choose(rng) {
+                let universe = day.cvss.len();
+                Self::adopt(sets, config.clone(), universe);
+            }
+        }
+    }
+}
+
+/// Algorithm 1 scored by the Lazarus extended metric — the paper's system.
+#[derive(Debug, Clone, Copy)]
+pub struct LazarusStrategy {
+    recon: Reconfigurator,
+    slack: f64,
+}
+
+impl LazarusStrategy {
+    /// Creates the strategy with the given threshold slack.
+    pub fn new(slack: f64) -> LazarusStrategy {
+        LazarusStrategy { recon: Reconfigurator::with_threshold(slack), slack }
+    }
+}
+
+impl LazarusStrategy {
+    /// The day's effective threshold: a relative band over the minimum
+    /// achievable risk (so the qualifying set keeps several configurations
+    /// as history accumulates) plus the absolute slack.
+    fn threshold(&self, day: &DayView<'_>) -> f64 {
+        day.min_lazarus_risk * 1.12 + self.slack
+    }
+}
+
+impl Strategy for LazarusStrategy {
+    fn name(&self) -> &'static str {
+        "Lazarus"
+    }
+
+    fn init(
+        &mut self,
+        day: &DayView<'_>,
+        universe: usize,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> ReplicaSets {
+        self.recon.threshold = self.threshold(day);
+        ReplicaSets::new(self.recon.initial_config(day.lazarus, n, rng), universe)
+    }
+
+    fn daily(&mut self, sets: &mut ReplicaSets, day: &DayView<'_>, rng: &mut StdRng) {
+        self.recon.threshold = self.threshold(day);
+        self.recon.monitor(sets, day.lazarus, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::RiskOracle;
+    use crate::score::ScoreParams;
+    use lazarus_osint::catalog::{OsFamily, OsVersion};
+    use lazarus_osint::cvss::CvssV3;
+    use lazarus_osint::kb::KnowledgeBase;
+    use lazarus_osint::model::{AffectedPlatform, CveId, Vulnerability};
+    use lazarus_nlp::VulnClusters;
+    use rand::SeedableRng;
+
+    fn universe() -> Vec<OsVersion> {
+        vec![
+            OsVersion::new(OsFamily::Ubuntu, "16.04"),
+            OsVersion::new(OsFamily::Ubuntu, "17.04"),
+            OsVersion::new(OsFamily::Debian, "8"),
+            OsVersion::new(OsFamily::FreeBsd, "11"),
+            OsVersion::new(OsFamily::Windows, "10"),
+            OsVersion::new(OsFamily::Solaris, "11"),
+            OsVersion::new(OsFamily::OpenBsd, "6.1"),
+        ]
+    }
+
+    struct Fixture {
+        lazarus: RiskMatrix,
+        cvss: RiskMatrix,
+        common: CommonBest,
+        cvss_best: CvssBest,
+    }
+
+    impl Fixture {
+        fn new() -> Fixture {
+            let u = universe();
+            let mut kb = KnowledgeBase::new();
+            // The two Ubuntus and Debian share kernel flaws.
+            for i in 0..3u32 {
+                let mut v = Vulnerability::new(
+                    CveId::new(2018, i),
+                    Date::from_ymd(2018, 1, 1),
+                    CvssV3::CRITICAL_RCE,
+                    format!("kernel flaw {i}"),
+                );
+                for os in &u[..3] {
+                    v.affected.push(AffectedPlatform::exact(os.to_cpe()));
+                }
+                kb.upsert(v);
+            }
+            let oracle = RiskOracle::build(&kb, &VulnClusters::new(), &u, ScoreParams::paper());
+            let oracle_cvss =
+                RiskOracle::build(&kb, &VulnClusters::new(), &u, ScoreParams::raw_cvss());
+            let now = Date::from_ymd(2018, 1, 2);
+            let lazarus = oracle.matrix(now);
+            let cvss = oracle_cvss.matrix(now);
+            let common = CommonBest::compute(&lazarus, 4, 64);
+            let cvss_best = CvssBest::compute(&cvss, 4, 64);
+            Fixture { lazarus, cvss, common, cvss_best }
+        }
+
+        fn day(&self) -> DayView<'_> {
+            DayView {
+                date: Date::from_ymd(2018, 1, 2),
+                lazarus: &self.lazarus,
+                cvss: &self.cvss,
+                common_best: &self.common,
+                cvss_best: &self.cvss_best,
+                min_lazarus_risk: min_config_risk(&self.lazarus, 4),
+            }
+        }
+    }
+
+    #[test]
+    fn combination_enumeration() {
+        let mut count = 0;
+        for_each_combination(21, 4, |c| {
+            assert_eq!(c.len(), 4);
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+            count += 1;
+        });
+        assert_eq!(count, 5985); // C(21,4)
+        let mut none = 0;
+        for_each_combination(3, 5, |_| none += 1);
+        assert_eq!(none, 0);
+        let mut all = 0;
+        for_each_combination(4, 4, |_| all += 1);
+        assert_eq!(all, 1);
+    }
+
+    #[test]
+    fn common_best_avoids_shared_families() {
+        let f = Fixture::new();
+        assert_eq!(f.common.best_count, 0);
+        for config in &f.common.configs {
+            // No optimal config contains two of {UB16, UB17, DE8}.
+            let risky = config.iter().filter(|&&r| r < 3).count();
+            assert!(risky <= 1, "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn equal_runs_one_os_everywhere() {
+        let f = Fixture::new();
+        let mut s = EqualStrategy;
+        let mut rng = StdRng::seed_from_u64(1);
+        let sets = s.init(&f.day(), 7, 4, &mut rng);
+        assert_eq!(sets.config.len(), 4);
+        assert!(sets.config.windows(2).all(|w| w[0] == w[1]));
+        let before = sets.clone();
+        let mut sets = sets;
+        s.daily(&mut sets, &f.day(), &mut rng);
+        assert_eq!(sets, before);
+    }
+
+    #[test]
+    fn random_swaps_one_replica_per_day() {
+        let f = Fixture::new();
+        let mut s = RandomStrategy;
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sets = s.init(&f.day(), 7, 4, &mut rng);
+        let before = sets.config.clone();
+        s.daily(&mut sets, &f.day(), &mut rng);
+        let changed = sets.config.iter().zip(&before).filter(|(a, b)| a != b).count();
+        assert_eq!(changed, 1);
+        assert!(sets.is_partition());
+        assert_eq!(sets.pool.len(), 3);
+    }
+
+    #[test]
+    fn common_strategy_starts_optimal_and_is_static() {
+        let f = Fixture::new();
+        let mut s = CommonStrategy;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sets = s.init(&f.day(), 7, 4, &mut rng);
+        assert_eq!(f.lazarus.common_total(&sets.config), 0);
+        let before = sets.clone();
+        s.daily(&mut sets, &f.day(), &mut rng);
+        assert_eq!(sets, before, "Common never reconfigures");
+    }
+
+    #[test]
+    fn lazarus_and_cvss_init_near_optimal() {
+        let f = Fixture::new();
+        // Four clean OSes exist, so the minimum achievable risk is zero and
+        // the effective threshold equals the slack.
+        assert_eq!(f.day().min_lazarus_risk, 0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lz = LazarusStrategy::new(10.0);
+        let sets = lz.init(&f.day(), 7, 4, &mut rng);
+        assert!(f.lazarus.risk(&sets.config) <= 10.0);
+        let mut cv = CvssStrategy::new(15.0);
+        let sets = cv.init(&f.day(), 7, 4, &mut rng);
+        assert!(f.day().cvss_best.is_near_optimal(&f.cvss, &sets.config));
+        // and once near-optimal, the baseline stays put
+        let before = sets.clone();
+        let mut sets = sets;
+        cv.daily(&mut sets, &f.day(), &mut rng);
+        assert_eq!(sets, before);
+    }
+
+    #[test]
+    fn cvss_baseline_jumps_when_optimum_moves() {
+        let f = Fixture::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut cv = CvssStrategy::new(0.0);
+        // Force the worst configuration (the shared trio inside).
+        let mut sets = ReplicaSets::new(vec![0, 1, 2, 3], 7);
+        assert!(!f.day().cvss_best.is_near_optimal(&f.cvss, &sets.config));
+        cv.daily(&mut sets, &f.day(), &mut rng);
+        assert!(f.day().cvss_best.is_near_optimal(&f.cvss, &sets.config));
+        assert!(sets.is_partition());
+    }
+
+    #[test]
+    fn lazarus_daily_reduces_forced_risk() {
+        let f = Fixture::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        // One swap can at best remove one member of the risky trio, leaving
+        // a shared pair (risk ≈ 29.4): the threshold must sit above a single
+        // pair's risk or Algorithm 1 legitimately reports exhaustion (§4.4).
+        let mut lz = LazarusStrategy::new(60.0);
+        let mut sets = ReplicaSets::new(vec![0, 1, 2, 3], 7); // risky trio inside
+        let start_risk = f.lazarus.risk(&sets.config);
+        assert!(start_risk > 60.0);
+        // Successive rounds evict the trio: first by the risk trigger, then
+        // by the HIGH-average-score trigger.
+        for _ in 0..6 {
+            lz.daily(&mut sets, &f.day(), &mut rng);
+        }
+        assert!(
+            f.lazarus.risk(&sets.config) < start_risk / 2.0,
+            "risk {}",
+            f.lazarus.risk(&sets.config)
+        );
+        // Evicted replicas sit in quarantine (their flaws are unpatched).
+        assert!(!sets.quarantine.is_empty());
+        assert!(sets.is_partition());
+    }
+
+    #[test]
+    fn kinds_construct_all_strategies() {
+        for kind in StrategyKind::ALL {
+            let s = kind.make(20.0);
+            assert_eq!(s.name(), kind.name());
+            assert_eq!(kind.to_string(), kind.name());
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! The simulated BFT cluster: replicas on profiled nodes, closed-loop
+//! clients, and a virtual-time network.
+//!
+//! [`SimCluster`] drives the *same* replica state machines as a real
+//! deployment, but in virtual time: every message delivery costs CPU on the
+//! receiving node's [`ProcessingStation`] according to its
+//! [`PerfProfile`], network hops add latency plus size/bandwidth time, and
+//! checkpoints/state transfers add serialization work sized by the service
+//! state. Quorum dynamics therefore emerge naturally — a 4-replica set makes
+//! progress at the speed of its 3rd-fastest member, exactly the effect the
+//! paper observes in §7.2.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use lazarus_bft::client::Client;
+use lazarus_bft::crypto::{Keyring, Principal};
+use lazarus_bft::messages::{Message, ReconfigCommand, Reply};
+use lazarus_bft::replica::{Action, Replica, ReplicaConfig, TimerId};
+use lazarus_bft::service::Service;
+use lazarus_bft::types::{ClientId, Epoch, Membership, ReplicaId};
+
+use crate::metrics::Metrics;
+use crate::oscatalog::PerfProfile;
+use crate::sim::{EventQueue, Micros, ProcessingStation, MS, SEC};
+
+/// The shared deployment secret used by the testbed.
+pub const SIM_SECRET: &[u8] = b"lazarus-deployment";
+
+/// Network parameters (a switched gigabit LAN by default, like the paper's
+/// testbed).
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkModel {
+    /// One-way propagation + switching latency.
+    pub latency: Micros,
+    /// Link bandwidth in MB/s (gigabit ≈ 117 MB/s effective).
+    pub bandwidth_mb_s: u64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel { latency: 120, bandwidth_mb_s: 117 }
+    }
+}
+
+impl NetworkModel {
+    /// One-way delivery delay for a message of `bytes`.
+    pub fn delay(&self, bytes: usize) -> Micros {
+        self.latency + bytes as u64 / self.bandwidth_mb_s.max(1)
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Network model.
+    pub network: NetworkModel,
+    /// Replica checkpoint period (slots).
+    pub checkpoint_period: u64,
+    /// Maximum batch size.
+    pub max_batch: usize,
+    /// Client retransmission interval.
+    pub client_retry: Micros,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            network: NetworkModel::default(),
+            checkpoint_period: 1000,
+            max_batch: 400,
+            client_retry: 30 * SEC,
+        }
+    }
+}
+
+enum Ev {
+    DeliverReplica(ReplicaId, Message),
+    DeliverClient(ClientId, Reply),
+    Timer(ReplicaId, TimerId, u64),
+    ClientStart(ClientId),
+    ClientRetry(ClientId, u64),
+    NodeUp(ReplicaId),
+    NodeDown(ReplicaId),
+}
+
+struct Node {
+    replica: Replica<Box<dyn Service>>,
+    station: ProcessingStation,
+    profile: PerfProfile,
+    ready: bool,
+    timer_gen: HashMap<TimerId, u64>,
+    powered: bool,
+}
+
+struct ClientState {
+    client: Client,
+    factory: Box<dyn FnMut(u64) -> Bytes>,
+    started_at: Micros,
+    current_op: u64,
+    stopped: bool,
+}
+
+/// The simulated cluster.
+pub struct SimCluster {
+    cfg: SimConfig,
+    queue: EventQueue<Ev>,
+    nodes: HashMap<u32, Node>,
+    clients: HashMap<u64, ClientState>,
+    keyring: Keyring,
+    /// Completed-operation metrics.
+    pub metrics: Metrics,
+    /// Epoch transitions observed (time, new membership) — for Fig 9
+    /// annotations.
+    pub epoch_changes: Vec<(Micros, Membership)>,
+    /// State-transfer completions (time, replica).
+    pub transfers: Vec<(Micros, ReplicaId)>,
+}
+
+impl std::fmt::Debug for SimCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCluster")
+            .field("now", &self.queue.now())
+            .field("nodes", &self.nodes.len())
+            .field("clients", &self.clients.len())
+            .field("completed", &self.metrics.completed())
+            .finish()
+    }
+}
+
+impl SimCluster {
+    /// An empty cluster.
+    pub fn new(cfg: SimConfig) -> SimCluster {
+        SimCluster {
+            cfg,
+            queue: EventQueue::new(),
+            nodes: HashMap::new(),
+            clients: HashMap::new(),
+            keyring: Keyring::new(SIM_SECRET),
+            metrics: Metrics::new(),
+            epoch_changes: Vec::new(),
+            transfers: Vec::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Micros {
+        self.queue.now()
+    }
+
+    /// Adds a ready replica node at time zero.
+    pub fn add_node(
+        &mut self,
+        id: ReplicaId,
+        profile: PerfProfile,
+        membership: Membership,
+        service: Box<dyn Service>,
+    ) {
+        let mut rcfg = ReplicaConfig::new(id, membership);
+        rcfg.checkpoint_period = self.cfg.checkpoint_period;
+        rcfg.max_batch = self.cfg.max_batch;
+        rcfg.master_secret = SIM_SECRET.to_vec();
+        let (replica, actions) = Replica::new(rcfg, service);
+        let node = Node {
+            replica,
+            station: ProcessingStation::new(profile.cores),
+            profile,
+            ready: true,
+            timer_gen: HashMap::new(),
+            powered: true,
+        };
+        self.nodes.insert(id.0, node);
+        let at = self.queue.now();
+        self.absorb(id, at, actions);
+    }
+
+    /// Powers on a *joining* replica: it boots for `profile.boot`, then
+    /// starts in state-transfer mode with the given membership.
+    pub fn boot_joiner_at(
+        &mut self,
+        at: Micros,
+        id: ReplicaId,
+        profile: PerfProfile,
+        membership: Membership,
+        service: Box<dyn Service>,
+    ) {
+        let mut rcfg = ReplicaConfig::new(id, membership);
+        rcfg.checkpoint_period = self.cfg.checkpoint_period;
+        rcfg.max_batch = self.cfg.max_batch;
+        rcfg.master_secret = SIM_SECRET.to_vec();
+        rcfg.join = true;
+        let (replica, actions) = Replica::new(rcfg, service);
+        let node = Node {
+            replica,
+            station: ProcessingStation::new(profile.cores),
+            profile,
+            ready: false,
+            timer_gen: HashMap::new(),
+            powered: true,
+        };
+        self.nodes.insert(id.0, node);
+        self.queue.schedule_at(at + profile.boot, Ev::NodeUp(id));
+        // The joiner's initial actions (its CST requests) fire once it is up.
+        let up_at = at + profile.boot;
+        for action in actions {
+            self.schedule_action(id, up_at, action);
+        }
+    }
+
+    /// Powers a node off at `at` (the Lazarus LTU's power-off command).
+    pub fn power_off_at(&mut self, at: Micros, id: ReplicaId) {
+        // Modeled as an event so in-flight work before `at` still happens.
+        self.queue.schedule_at(at, Ev::NodeDown(id));
+    }
+
+    /// Sends a controller reconfiguration command to every ready replica at
+    /// time `at`.
+    pub fn inject_reconfig_at(
+        &mut self,
+        at: Micros,
+        epoch: Epoch,
+        add: Option<ReplicaId>,
+        remove: Option<ReplicaId>,
+    ) {
+        let tag = self.keyring.sign(
+            Principal::Controller,
+            &ReconfigCommand::auth_bytes(epoch, add, remove),
+        );
+        let cmd = ReconfigCommand { epoch, add, remove, tag };
+        let ids: Vec<u32> = self.nodes.keys().copied().collect();
+        for id in ids {
+            self.queue
+                .schedule_at(at, Ev::DeliverReplica(ReplicaId(id), Message::Reconfig(cmd.clone())));
+        }
+    }
+
+    /// Adds `count` closed-loop clients issuing payloads from `factory`
+    /// (`factory(op) → payload`); they start at staggered offsets within the
+    /// first 10 ms.
+    pub fn add_clients(
+        &mut self,
+        first_id: u64,
+        count: usize,
+        membership: Membership,
+        factory: impl Fn(u64) -> Bytes + Clone + 'static,
+    ) {
+        for i in 0..count {
+            let id = first_id + i as u64;
+            let client = Client::new(ClientId(id), membership.clone(), SIM_SECRET);
+            let f = factory.clone();
+            self.clients.insert(
+                id,
+                ClientState {
+                    client,
+                    factory: Box::new(f),
+                    started_at: 0,
+                    current_op: 0,
+                    stopped: false,
+                },
+            );
+            let offset = (i as u64 * 10 * MS) / count.max(1) as u64;
+            self.queue.schedule_at(offset, Ev::ClientStart(ClientId(id)));
+        }
+    }
+
+    /// Stops issuing new client operations (in-flight ones finish).
+    pub fn stop_clients(&mut self) {
+        for c in self.clients.values_mut() {
+            c.stopped = true;
+        }
+    }
+
+    /// Runs until virtual time `until` (or quiescence).
+    pub fn run_until(&mut self, until: Micros) {
+        while let Some(next) = self.queue.next_time() {
+            if next > until {
+                break;
+            }
+            let (at, ev) = self.queue.pop().expect("peeked");
+            self.handle(at, ev);
+        }
+    }
+
+    fn handle(&mut self, at: Micros, ev: Ev) {
+        match ev {
+            Ev::DeliverReplica(to, message) => self.deliver_replica(at, to, message),
+            Ev::DeliverClient(client, reply) => self.deliver_client(at, client, reply),
+            Ev::Timer(id, timer, gen) => {
+                let fire = self
+                    .nodes
+                    .get(&id.0)
+                    .is_some_and(|n| n.powered && n.timer_gen.get(&timer) == Some(&gen));
+                if fire {
+                    let actions = self.nodes.get_mut(&id.0).expect("exists").replica.on_timer(timer);
+                    self.absorb(id, at, actions);
+                }
+            }
+            Ev::ClientStart(client) => self.client_start(at, client),
+            Ev::ClientRetry(client, op) => {
+                let Some(state) = self.clients.get_mut(&client.0) else { return };
+                if state.client.busy() && state.current_op == op {
+                    let sends = state.client.retransmit();
+                    for (to, message) in sends {
+                        let delay = self.cfg.network.delay(message.wire_size());
+                        self.queue.schedule_at(at + delay, Ev::DeliverReplica(to, message));
+                    }
+                    self.queue.schedule_at(at + self.cfg.client_retry, Ev::ClientRetry(client, op));
+                }
+            }
+            Ev::NodeUp(id) => {
+                if let Some(node) = self.nodes.get_mut(&id.0) {
+                    if node.powered {
+                        node.ready = true;
+                    }
+                }
+            }
+            Ev::NodeDown(id) => {
+                if let Some(node) = self.nodes.get_mut(&id.0) {
+                    node.powered = false;
+                    node.ready = false;
+                }
+            }
+        }
+    }
+
+    fn deliver_replica(&mut self, at: Micros, to: ReplicaId, message: Message) {
+        let Some(node) = self.nodes.get_mut(&to.0) else { return };
+        if !node.powered || !node.ready {
+            return;
+        }
+        // Extra install work for arriving snapshots.
+        let mut cost = node.profile.msg_cost(message.wire_size());
+        if let Message::CstReply { reply, .. } = &message {
+            if let Some(snapshot) = &reply.snapshot {
+                cost += snapshot_cost(node.profile.snapshot_mb_s, snapshot.len());
+            }
+        }
+        let done = node.station.submit(at, cost);
+        let actions = node.replica.on_message(message);
+        self.absorb(to, done, actions);
+    }
+
+    fn deliver_client(&mut self, at: Micros, client: ClientId, reply: Reply) {
+        let Some(state) = self.clients.get_mut(&client.0) else { return };
+        if let Some(completion) = state.client.on_reply(reply) {
+            self.metrics.record(at, at - state.started_at);
+            let _ = completion;
+            if !state.stopped {
+                self.queue.schedule_at(at, Ev::ClientStart(client));
+            }
+        }
+    }
+
+    fn client_start(&mut self, at: Micros, client: ClientId) {
+        let Some(state) = self.clients.get_mut(&client.0) else { return };
+        if state.client.busy() || state.stopped {
+            return;
+        }
+        state.started_at = at;
+        state.current_op += 1;
+        let payload = (state.factory)(state.current_op);
+        let sends = state.client.invoke(payload);
+        let op = state.current_op;
+        for (to, message) in sends {
+            let delay = self.cfg.network.delay(message.wire_size());
+            self.queue.schedule_at(at + delay, Ev::DeliverReplica(to, message));
+        }
+        self.queue.schedule_at(at + self.cfg.client_retry, Ev::ClientRetry(client, op));
+    }
+
+    /// Applies a replica's actions starting at `from` (the time its
+    /// processing completed).
+    fn absorb(&mut self, id: ReplicaId, from: Micros, actions: Vec<Action>) {
+        for action in actions {
+            self.schedule_action(id, from, action);
+        }
+    }
+
+    fn schedule_action(&mut self, id: ReplicaId, from: Micros, action: Action) {
+        match action {
+            Action::Send(to, message) => {
+                let node = self.nodes.get_mut(&id.0).expect("sender exists");
+                // Sending costs half a message-handling unit; checkpoints
+                // additionally serialize the service snapshot.
+                let mut cost = node.profile.per_msg_us / 2;
+                if matches!(message, Message::Checkpoint { .. }) {
+                    // The snapshot serialization stalls the service (the
+                    // §7.3 checkpoint dips): spread `cores ×` the snapshot
+                    // cost over the broadcast so every core is busy for the
+                    // serialization period.
+                    let stall = snapshot_cost(
+                        node.profile.snapshot_mb_s,
+                        node.replica.service().state_size(),
+                    ) * node.profile.cores as u64;
+                    cost += stall / (node.replica.membership().n() as u64 - 1).max(1);
+                }
+                if let Message::CstReply { reply, .. } = &message {
+                    if let Some(snapshot) = &reply.snapshot {
+                        // Serializing the full state for a joiner stalls the
+                        // donor like a checkpoint does.
+                        cost += snapshot_cost(node.profile.snapshot_mb_s, snapshot.len())
+                            * node.profile.cores as u64;
+                    }
+                }
+                let departed = node.station.submit(from, cost);
+                let delay = self.cfg.network.delay(message.wire_size());
+                self.queue.schedule_at(departed + delay, Ev::DeliverReplica(to, message));
+            }
+            Action::SendClient(client, reply) => {
+                let node = self.nodes.get_mut(&id.0).expect("sender exists");
+                // Large replies cost proportionally to serialize/transmit.
+                let cost = node.profile.per_msg_us / 2
+                    + (reply.result.len() as u64 * node.profile.per_kb_us) / 2048;
+                let departed = node.station.submit(from, cost);
+                let delay = self.cfg.network.delay(48 + reply.result.len());
+                self.queue.schedule_at(departed + delay, Ev::DeliverClient(client, reply));
+            }
+            Action::SetTimer(timer, hint_ms) => {
+                let node = self.nodes.get_mut(&id.0).expect("node exists");
+                let gen = node.timer_gen.entry(timer).or_insert(0);
+                *gen += 1;
+                let gen = *gen;
+                self.queue.schedule_at(from + hint_ms * MS, Ev::Timer(id, timer, gen));
+            }
+            Action::CancelTimer(timer) => {
+                let node = self.nodes.get_mut(&id.0).expect("node exists");
+                *node.timer_gen.entry(timer).or_insert(0) += 1;
+            }
+            Action::Executed(..) => {}
+            Action::EpochChanged(membership) => {
+                self.epoch_changes.push((from, membership));
+            }
+            Action::Retired => {}
+            Action::StateTransferred(_) => {
+                self.transfers.push((from, id));
+            }
+        }
+    }
+
+    /// Access to a node's replica (panics if absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn replica(&self, id: ReplicaId) -> &Replica<Box<dyn Service>> {
+        &self.nodes[&id.0].replica
+    }
+
+    /// Whether the node exists and is powered + ready.
+    pub fn node_ready(&self, id: ReplicaId) -> bool {
+        self.nodes.get(&id.0).is_some_and(|n| n.powered && n.ready)
+    }
+}
+
+/// CPU time to serialize/install `bytes` of state at `mb_s` MB/s.
+fn snapshot_cost(mb_s: u64, bytes: usize) -> Micros {
+    (bytes as u64).saturating_mul(1) / mb_s.max(1) // bytes / (MB/s) = µs
+}

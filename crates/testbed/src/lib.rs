@@ -1,0 +1,45 @@
+//! The Lazarus execution-plane testbed: a deterministic discrete-event
+//! simulator for diverse BFT clusters.
+//!
+//! * [`sim`] — the event engine (virtual clock, processing stations);
+//! * [`oscatalog`] — paper Table 2: the 17 testbed OSes and their
+//!   calibrated VM performance profiles;
+//! * [`cluster`] — [`cluster::SimCluster`]: BFT replicas on profiled nodes
+//!   with closed-loop clients, reconfiguration injection and node power
+//!   control (the LTU surface);
+//! * [`vmm`] — the virtualization substrate: hosts, VM images, the
+//!   Vagrant-like replica builder and the Local Trusted Units;
+//! * [`metrics`] — throughput/latency recording.
+//!
+//! # Example: a 4-replica microbenchmark
+//!
+//! ```
+//! use bytes::Bytes;
+//! use lazarus_bft::service::CounterService;
+//! use lazarus_bft::types::{Epoch, Membership, ReplicaId};
+//! use lazarus_testbed::cluster::{SimCluster, SimConfig};
+//! use lazarus_testbed::oscatalog::PerfProfile;
+//! use lazarus_testbed::sim::MS;
+//!
+//! let membership = Membership::new(Epoch(0), (0..4).map(ReplicaId).collect());
+//! let mut sim = SimCluster::new(SimConfig::default());
+//! for r in 0..4 {
+//!     sim.add_node(ReplicaId(r), PerfProfile::bare_metal(), membership.clone(),
+//!                  Box::new(CounterService::new()));
+//! }
+//! sim.add_clients(1, 20, membership, |_| Bytes::new());
+//! sim.run_until(100 * MS);
+//! assert!(sim.metrics.completed() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod metrics;
+pub mod oscatalog;
+pub mod sim;
+pub mod vmm;
+
+pub use cluster::{SimCluster, SimConfig};
+pub use metrics::Metrics;
+pub use oscatalog::PerfProfile;

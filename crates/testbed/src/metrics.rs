@@ -1,0 +1,149 @@
+//! Experiment metrics: throughput time series and latency summaries.
+
+use crate::sim::{Micros, SEC};
+
+/// A recorder of completed operations.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// `(completion_time, latency)` per completed operation.
+    completions: Vec<(Micros, Micros)>,
+}
+
+impl Metrics {
+    /// An empty recorder.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records one completed operation.
+    pub fn record(&mut self, completed_at: Micros, latency: Micros) {
+        self.completions.push((completed_at, latency));
+    }
+
+    /// Total completed operations.
+    pub fn completed(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Mean throughput over `[from, to)` in operations per second.
+    pub fn throughput(&self, from: Micros, to: Micros) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let n = self
+            .completions
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .count();
+        n as f64 * SEC as f64 / (to - from) as f64
+    }
+
+    /// Throughput per bucket of `bucket` µs over `[0, horizon)` — the
+    /// Figure 9 time series.
+    pub fn throughput_series(&self, bucket: Micros, horizon: Micros) -> Vec<(Micros, f64)> {
+        assert!(bucket > 0, "bucket must be positive");
+        let buckets = horizon.div_ceil(bucket);
+        let mut counts = vec![0usize; buckets as usize];
+        for &(t, _) in &self.completions {
+            if t < horizon {
+                counts[(t / bucket) as usize] += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| (i as Micros * bucket, n as f64 * SEC as f64 / bucket as f64))
+            .collect()
+    }
+
+    /// Latency percentile (0.0–1.0) over all completions.
+    pub fn latency_percentile(&self, p: f64) -> Option<Micros> {
+        if self.completions.is_empty() {
+            return None;
+        }
+        let mut lats: Vec<Micros> = self.completions.iter().map(|&(_, l)| l).collect();
+        lats.sort_unstable();
+        let idx = ((lats.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        Some(lats[idx])
+    }
+
+    /// Mean latency in µs.
+    pub fn mean_latency(&self) -> Option<f64> {
+        if self.completions.is_empty() {
+            return None;
+        }
+        let sum: u64 = self.completions.iter().map(|&(_, l)| l).sum();
+        Some(sum as f64 / self.completions.len() as f64)
+    }
+
+    /// Peak sustained throughput: the maximum over a sliding window of
+    /// `window` µs, sampled at `window / 4` steps (the "peak sustained
+    /// throughput" the paper reports in §7.4).
+    pub fn peak_throughput(&self, window: Micros, horizon: Micros) -> f64 {
+        assert!(window > 0, "window must be positive");
+        let step = (window / 4).max(1);
+        let mut best: f64 = 0.0;
+        let mut start = 0;
+        while start + window <= horizon {
+            best = best.max(self.throughput(start, start + window));
+            start += step;
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::MS;
+
+    fn sample() -> Metrics {
+        let mut m = Metrics::new();
+        // 10 ops/s in the first second, 20 in the second.
+        for i in 0..10 {
+            m.record(i * 100 * MS, 5 * MS);
+        }
+        for i in 0..20 {
+            m.record(SEC + i * 50 * MS, 10 * MS);
+        }
+        m
+    }
+
+    #[test]
+    fn throughput_windows() {
+        let m = sample();
+        assert_eq!(m.completed(), 30);
+        assert!((m.throughput(0, SEC) - 10.0).abs() < 1e-9);
+        assert!((m.throughput(SEC, 2 * SEC) - 20.0).abs() < 1e-9);
+        assert!((m.throughput(0, 2 * SEC) - 15.0).abs() < 1e-9);
+        assert_eq!(m.throughput(SEC, SEC), 0.0);
+    }
+
+    #[test]
+    fn series_buckets() {
+        let m = sample();
+        let series = m.throughput_series(SEC, 2 * SEC);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, 0);
+        assert!((series[0].1 - 10.0).abs() < 1e-9);
+        assert!((series[1].1 - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_stats() {
+        let m = sample();
+        assert_eq!(m.latency_percentile(0.0), Some(5 * MS));
+        assert_eq!(m.latency_percentile(1.0), Some(10 * MS));
+        let mean = m.mean_latency().unwrap();
+        assert!((mean - (10.0 * 5000.0 + 20.0 * 10000.0) / 30.0).abs() < 1e-6);
+        assert_eq!(Metrics::new().latency_percentile(0.5), None);
+        assert_eq!(Metrics::new().mean_latency(), None);
+    }
+
+    #[test]
+    fn peak_finds_the_best_window() {
+        let m = sample();
+        let peak = m.peak_throughput(SEC, 2 * SEC);
+        assert!((peak - 20.0).abs() < 1e-9, "peak {peak}");
+    }
+}

@@ -1,0 +1,252 @@
+//! The discrete-event simulation engine.
+//!
+//! A classic virtual-time core: a priority queue of timestamped events with
+//! deterministic tie-breaking (time, then insertion order), a virtual clock
+//! in microseconds, and a seeded RNG. All testbed timing — message latency,
+//! per-OS processing costs, boot and state-transfer durations — is expressed
+//! as events on this engine, so experiments are exactly reproducible from
+//! their seed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time in microseconds.
+pub type Micros = u64;
+
+/// One microsecond in [`Micros`] units (for readability).
+pub const US: Micros = 1;
+/// One millisecond.
+pub const MS: Micros = 1_000;
+/// One second.
+pub const SEC: Micros = 1_000_000;
+
+/// A scheduled occurrence, ordered by time then schedule order.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: Micros,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The event queue and clock.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    now: Micros,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> EventQueue<E> {
+        EventQueue { heap: BinaryHeap::new(), now: 0, seq: 0 }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at` (clamped to now — the past
+    /// cannot be scheduled).
+    pub fn schedule_at(&mut self, at: Micros, event: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Schedules `event` after a delay.
+    pub fn schedule_in(&mut self, delay: Micros, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(Micros, E)> {
+        let Reverse(next) = self.heap.pop()?;
+        debug_assert!(next.at >= self.now, "time cannot go backwards");
+        self.now = next.at;
+        Some((next.at, next.event))
+    }
+
+    /// Peeks at the next event time without advancing.
+    pub fn next_time(&self) -> Option<Micros> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// A multi-server processing station (one per simulated node): `cores`
+/// parallel servers with FIFO overflow, used to model CPU contention. Work
+/// submitted at time `t` with duration `d` completes at
+/// `max(t, earliest-free-core) + d`.
+#[derive(Debug, Clone)]
+pub struct ProcessingStation {
+    core_free: Vec<Micros>,
+}
+
+impl ProcessingStation {
+    /// A station with `cores` parallel servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize) -> ProcessingStation {
+        assert!(cores > 0, "a node needs at least one core");
+        ProcessingStation { core_free: vec![0; cores] }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.core_free.len()
+    }
+
+    /// Submits work arriving at `arrival` lasting `duration`; returns the
+    /// completion time.
+    pub fn submit(&mut self, arrival: Micros, duration: Micros) -> Micros {
+        let idx = self
+            .core_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &free)| free)
+            .map(|(i, _)| i)
+            .expect("at least one core");
+        let start = self.core_free[idx].max(arrival);
+        let done = start + duration;
+        self.core_free[idx] = done;
+        done
+    }
+
+    /// The earliest time any core becomes free.
+    pub fn earliest_free(&self) -> Micros {
+        self.core_free.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Utilization: busy time of all cores up to `horizon`, divided by
+    /// `cores × horizon`. (Approximation: assumes cores were busy from 0 up
+    /// to their free time, so it is only meaningful under sustained load.)
+    pub fn utilization(&self, horizon: Micros) -> f64 {
+        if horizon == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.core_free.iter().map(|&f| f.min(horizon)).sum();
+        busy as f64 / (self.core_free.len() as u64 * horizon) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.now(), 10);
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, "first");
+        q.schedule_at(5, "second");
+        q.schedule_at(5, "third");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "x");
+        q.pop();
+        q.schedule_at(50, "late");
+        let (at, _) = q.pop().unwrap();
+        assert_eq!(at, 100);
+    }
+
+    #[test]
+    fn relative_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule_in(10, "a");
+        q.pop();
+        q.schedule_in(5, "b");
+        assert_eq!(q.next_time(), Some(15));
+    }
+
+    #[test]
+    fn single_core_station_serializes() {
+        let mut s = ProcessingStation::new(1);
+        assert_eq!(s.submit(0, 10), 10);
+        assert_eq!(s.submit(0, 10), 20); // queued behind the first
+        assert_eq!(s.submit(100, 10), 110); // idle gap
+        assert_eq!(s.cores(), 1);
+    }
+
+    #[test]
+    fn multi_core_station_parallelizes() {
+        let mut s = ProcessingStation::new(2);
+        assert_eq!(s.submit(0, 10), 10);
+        assert_eq!(s.submit(0, 10), 10); // second core
+        assert_eq!(s.submit(0, 10), 20); // back to core 1
+        assert_eq!(s.earliest_free(), 10); // core 2 frees first
+    }
+
+    #[test]
+    fn utilization_under_full_load() {
+        let mut s = ProcessingStation::new(2);
+        for _ in 0..10 {
+            s.submit(0, 100);
+        }
+        let u = s.utilization(500);
+        assert!((u - 1.0).abs() < 1e-9, "fully busy: {u}");
+        assert_eq!(s.utilization(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        ProcessingStation::new(0);
+    }
+}

@@ -1,0 +1,282 @@
+//! The virtualization substrate: hosts, VM images, the replica builder and
+//! the Local Trusted Units.
+//!
+//! Models the deployment side of the paper's testbed: each physical host
+//! (a Dell R410 in §7) runs a hypervisor plus an LTU — the small trusted
+//! component that accepts power on/off commands from the Lazarus controller
+//! over an isolated channel. The replica builder plays the role of Vagrant:
+//! it provisions ready-to-use VM images for each catalog OS (import + guest
+//! setup + software stack), and quarantined images are patched in place
+//! before re-entering the pool.
+
+use std::collections::HashMap;
+
+use lazarus_osint::catalog::OsVersion;
+
+use crate::oscatalog::{vm_profile, PerfProfile, Tier};
+use crate::sim::{Micros, SEC};
+
+/// Lifecycle state of a VM on a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmState {
+    /// Image being provisioned by the builder.
+    Provisioning,
+    /// Powered on, guest booting.
+    Booting,
+    /// Replica process running.
+    Running,
+    /// Powered off.
+    Off,
+}
+
+/// A provisioned VM image for one OS version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmImage {
+    /// The guest OS.
+    pub os: OsVersion,
+    /// The VM resource/performance profile.
+    pub profile: PerfProfile,
+    /// Number of patch rounds applied while quarantined.
+    pub patch_level: u32,
+}
+
+/// A physical host with its LTU and (at most) one replica VM — the paper
+/// runs one replica per physical machine.
+#[derive(Debug)]
+pub struct Host {
+    /// Host name (e.g. `node3`).
+    pub name: String,
+    /// Physical cores available to guests.
+    pub cores: usize,
+    /// Physical memory in GB.
+    pub memory_gb: u32,
+    vm: Option<(VmImage, VmState)>,
+}
+
+impl Host {
+    /// A paper-testbed host (16 hardware threads, 32 GB).
+    pub fn r410(name: impl Into<String>) -> Host {
+        Host { name: name.into(), cores: 16, memory_gb: 32, vm: None }
+    }
+
+    /// The VM currently assigned, if any.
+    pub fn vm(&self) -> Option<(&VmImage, VmState)> {
+        self.vm.as_ref().map(|(img, st)| (img, *st))
+    }
+
+    /// True when no VM is assigned.
+    pub fn is_free(&self) -> bool {
+        self.vm.is_none()
+    }
+
+    /// Executes an LTU command on this host.
+    ///
+    /// # Errors
+    ///
+    /// Rejects power-on when a VM is already active, and power-off when no
+    /// VM is assigned.
+    pub fn ltu_execute(&mut self, command: LtuCommand) -> Result<LtuResponse, LtuError> {
+        match command {
+            LtuCommand::PowerOn(image) => {
+                if self.vm.as_ref().is_some_and(|(_, st)| *st != VmState::Off) {
+                    return Err(LtuError { detail: format!("{}: a VM is already active", self.name) });
+                }
+                if image.profile.memory_gb > self.memory_gb {
+                    return Err(LtuError {
+                        detail: format!("{}: image needs more memory than the host has", self.name),
+                    });
+                }
+                let boot = image.profile.boot;
+                self.vm = Some((image, VmState::Booting));
+                Ok(LtuResponse { state: VmState::Booting, duration: boot })
+            }
+            LtuCommand::PowerOff => match self.vm.take() {
+                Some((image, _)) => {
+                    self.vm = Some((image, VmState::Off));
+                    Ok(LtuResponse { state: VmState::Off, duration: 5 * SEC })
+                }
+                None => Err(LtuError { detail: format!("{}: no VM assigned", self.name) }),
+            },
+        }
+    }
+
+    /// Marks the booting VM as running (called when the boot delay elapses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no VM is booting.
+    pub fn boot_complete(&mut self) {
+        match &mut self.vm {
+            Some((_, state @ VmState::Booting)) => *state = VmState::Running,
+            other => panic!("no VM booting on {}: {other:?}", self.name),
+        }
+    }
+}
+
+/// Provisioning/boot/patch timing for one OS (all deterministic, so
+/// experiment timelines are reproducible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeployTiming {
+    /// Image import + guest preparation (Vagrant `up` minus boot).
+    pub provision: Micros,
+    /// Guest boot to replica-ready.
+    pub boot: Micros,
+    /// Applying one security update round in quarantine.
+    pub patch_round: Micros,
+}
+
+/// Deterministic deployment timing for an OS version.
+pub fn deploy_timing(os: OsVersion) -> DeployTiming {
+    let profile = vm_profile(os);
+    let provision = match crate::oscatalog::tier(os) {
+        Tier::Fast => 25 * SEC,
+        Tier::Medium => 45 * SEC,
+        Tier::SingleCore => 60 * SEC,
+    };
+    DeployTiming { provision, boot: profile.boot, patch_round: 90 * SEC }
+}
+
+/// The Vagrant-like replica builder: turns catalog OSes into ready images.
+#[derive(Debug, Default)]
+pub struct ReplicaBuilder {
+    /// Cached base boxes (first build of an OS pays the provision cost;
+    /// later builds reuse the box and pay a fraction).
+    boxes: HashMap<OsVersion, u32>,
+}
+
+impl ReplicaBuilder {
+    /// A builder with an empty box cache.
+    pub fn new() -> ReplicaBuilder {
+        ReplicaBuilder::default()
+    }
+
+    /// Builds an image for `os`; returns the image and the provisioning
+    /// time spent.
+    pub fn build(&mut self, os: OsVersion) -> (VmImage, Micros) {
+        let count = self.boxes.entry(os).or_insert(0);
+        *count += 1;
+        let timing = deploy_timing(os);
+        let cost = if *count == 1 { timing.provision } else { timing.provision / 4 };
+        (VmImage { os, profile: vm_profile(os), patch_level: 0 }, cost)
+    }
+
+    /// Applies pending patches to a quarantined image; returns the patched
+    /// image and the time spent.
+    pub fn patch(&self, mut image: VmImage, rounds: u32) -> (VmImage, Micros) {
+        image.patch_level += rounds;
+        let cost = deploy_timing(image.os).patch_round * rounds as u64;
+        (image, cost)
+    }
+}
+
+/// Commands an LTU accepts from the controller (paper Fig. 1: "power
+/// on/off commands … through TLS channels").
+#[derive(Debug, Clone, PartialEq)]
+pub enum LtuCommand {
+    /// Install an image and power the VM on.
+    PowerOn(VmImage),
+    /// Power the VM off (the replica is being quarantined).
+    PowerOff,
+}
+
+/// The result of an LTU command: the new VM state and how long the
+/// transition takes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LtuResponse {
+    /// State after the transition completes.
+    pub state: VmState,
+    /// Transition duration.
+    pub duration: Micros,
+}
+
+/// Error from an invalid LTU command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LtuError {
+    /// What was wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for LtuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LTU command rejected: {}", self.detail)
+    }
+}
+
+impl std::error::Error for LtuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oscatalog::by_short_id;
+
+    fn os(id: &str) -> OsVersion {
+        by_short_id(id).unwrap().os
+    }
+
+    #[test]
+    fn builder_caches_boxes() {
+        let mut b = ReplicaBuilder::new();
+        let (img1, t1) = b.build(os("UB16"));
+        let (_, t2) = b.build(os("UB16"));
+        assert_eq!(img1.os.short_id(), "UB16");
+        assert!(t2 < t1, "cached box builds faster: {t2} vs {t1}");
+        // a different OS pays full price again
+        let (_, t3) = b.build(os("SO11"));
+        assert!(t3 > t2);
+    }
+
+    #[test]
+    fn patching_increases_level_and_costs_time() {
+        let b = ReplicaBuilder::new();
+        let img = VmImage { os: os("DE8"), profile: vm_profile(os("DE8")), patch_level: 0 };
+        let (patched, t) = b.patch(img, 3);
+        assert_eq!(patched.patch_level, 3);
+        assert_eq!(t, deploy_timing(os("DE8")).patch_round * 3);
+    }
+
+    #[test]
+    fn ltu_power_cycle() {
+        let mut host = Host::r410("node1");
+        assert!(host.is_free());
+        let img = VmImage { os: os("UB16"), profile: vm_profile(os("UB16")), patch_level: 0 };
+        let on = host.ltu_execute(LtuCommand::PowerOn(img.clone())).unwrap();
+        assert_eq!(on.state, VmState::Booting);
+        assert_eq!(on.duration, img.profile.boot);
+        // double power-on rejected
+        assert!(host.ltu_execute(LtuCommand::PowerOn(img.clone())).is_err());
+        host.boot_complete();
+        assert_eq!(host.vm().unwrap().1, VmState::Running);
+        let off = host.ltu_execute(LtuCommand::PowerOff).unwrap();
+        assert_eq!(off.state, VmState::Off);
+        // a powered-off host can start a new image
+        assert!(host.ltu_execute(LtuCommand::PowerOn(img)).is_ok());
+    }
+
+    #[test]
+    fn ltu_rejects_oversized_images() {
+        let mut host = Host::r410("node1");
+        let mut img = VmImage { os: os("UB16"), profile: vm_profile(os("UB16")), patch_level: 0 };
+        img.profile.memory_gb = 64;
+        assert!(host.ltu_execute(LtuCommand::PowerOn(img)).is_err());
+    }
+
+    #[test]
+    fn power_off_without_vm_fails() {
+        let mut host = Host::r410("node1");
+        assert!(host.ltu_execute(LtuCommand::PowerOff).is_err());
+    }
+
+    #[test]
+    fn timing_tiers_are_ordered() {
+        let fast = deploy_timing(os("UB16"));
+        let slow = deploy_timing(os("OB61"));
+        assert!(fast.provision < slow.provision);
+        assert!(fast.boot < slow.boot);
+    }
+
+    #[test]
+    #[should_panic(expected = "no VM booting")]
+    fn boot_complete_requires_booting_vm() {
+        Host::r410("node1").boot_complete();
+    }
+}

@@ -1,0 +1,106 @@
+//! A BFT ordering service for a permissioned blockchain, end to end.
+//!
+//! Submits transactions through the full BFT protocol (testkit cluster of
+//! four replicas running [`OrderingService`]), lets the service cut
+//! 10-transaction blocks, and verifies that every replica built the exact
+//! same hash chain.
+//!
+//! Run with: `cargo run --release --example fabric_ordering`
+
+use lazarus::apps::fabric::{header_op, submit_op, OrderingService};
+use lazarus::bft::client::Client;
+use lazarus::bft::replica::{Replica, ReplicaConfig};
+use lazarus::bft::types::{ClientId, Epoch, Membership, ReplicaId};
+
+use bytes::Bytes;
+use lazarus::bft::messages::Message;
+use lazarus::bft::replica::Action;
+use std::collections::VecDeque;
+
+/// A minimal synchronous pump for `OrderingService` replicas (the bft
+/// testkit is specialized to its counter service, so this example wires the
+/// generic replica API directly — it is exactly what an embedder does).
+struct Pump {
+    replicas: Vec<Replica<OrderingService>>,
+    queue: VecDeque<(ReplicaId, Message)>,
+    replies: Vec<(ClientId, lazarus::bft::messages::Reply)>,
+}
+
+impl Pump {
+    fn new(n: u32, block_size: usize) -> Pump {
+        let membership = Membership::new(Epoch(0), (0..n).map(ReplicaId).collect());
+        let mut replicas = Vec::new();
+        for id in 0..n {
+            let cfg = ReplicaConfig::new(ReplicaId(id), membership.clone());
+            let (replica, _) = Replica::new(cfg, OrderingService::new(block_size));
+            replicas.push(replica);
+        }
+        Pump { replicas, queue: VecDeque::new(), replies: Vec::new() }
+    }
+
+    fn run(&mut self) {
+        while let Some((to, message)) = self.queue.pop_front() {
+            let actions = self.replicas[to.0 as usize].on_message(message);
+            for action in actions {
+                match action {
+                    Action::Send(peer, m) => self.queue.push_back((peer, m)),
+                    Action::SendClient(c, r) => self.replies.push((c, r)),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut pump = Pump::new(4, 10);
+    let membership = pump.replicas[0].membership().clone();
+    let mut client = Client::new(ClientId(1), membership, b"lazarus-deployment");
+
+    // Submit 35 transactions → 3 full blocks + 5 pending.
+    let mut receipts = Vec::new();
+    for i in 0..35u32 {
+        let tx = format!("transfer #{i}: alice -> bob : {} coins", i * 3 + 1);
+        for (to, m) in client.invoke(submit_op(tx.as_bytes())) {
+            pump.queue.push_back((to, m));
+        }
+        pump.run();
+        for (cid, reply) in std::mem::take(&mut pump.replies) {
+            if cid == client.id() {
+                if let Some(done) = client.on_reply(reply) {
+                    if done.result.first() == Some(&b'B') {
+                        let block = u64::from_be_bytes(done.result[1..9].try_into().unwrap());
+                        receipts.push((i, block));
+                    }
+                }
+            }
+        }
+    }
+    println!("sealed blocks (tx → block):");
+    for (tx, block) in &receipts {
+        println!("    tx #{tx} sealed block {block}");
+    }
+
+    // Query block 2's header through the ordered path.
+    for (to, m) in client.invoke(header_op(2)) {
+        pump.queue.push_back((to, m));
+    }
+    pump.run();
+    for (cid, reply) in std::mem::take(&mut pump.replies) {
+        if cid == client.id() {
+            if let Some(done) = client.on_reply(reply) {
+                println!("\nblock 2 header: {} bytes (number | prev-hash | tx-root | count)", done.result.len());
+            }
+        }
+    }
+
+    // Every replica holds the identical verified chain.
+    let reference = pump.replicas[0].service().header(3).expect("3 blocks").digest();
+    for r in &pump.replicas {
+        assert!(r.service().verify_chain(), "chain verifies on {}", r.id());
+        assert_eq!(r.service().height(), 3);
+        assert_eq!(r.service().header(3).unwrap().digest(), reference);
+    }
+    println!("\n✓ all 4 replicas agree on a verified 3-block chain (+5 pending txs)");
+    let _ = Bytes::new();
+}

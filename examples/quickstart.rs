@@ -1,0 +1,94 @@
+//! Quickstart: the whole Lazarus loop in one file.
+//!
+//! 1. Generate a synthetic OSINT world and render it as *real* NVD JSON
+//!    feeds plus vendor advisory documents.
+//! 2. Ingest everything through the Data manager (the same parsers a live
+//!    deployment would use).
+//! 3. Bootstrap the controller: it picks the most failure-independent
+//!    4-OS configuration and plans its deployment.
+//! 4. Run daily monitoring rounds and print every reconfiguration.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lazarus::core::controller::{Controller, ControllerConfig};
+use lazarus::core::DeploymentStep;
+use lazarus::osint::catalog::study_oses;
+use lazarus::osint::datamgr::DataManager;
+use lazarus::osint::date::Date;
+use lazarus::osint::kb::KnowledgeBase;
+use lazarus::osint::sources::{
+    CveDetailsSource, DebianSource, ExploitDbSource, FreeBsdSource, MicrosoftSource,
+    OracleSource, OsintSource, RedhatSource, UbuntuSource,
+};
+use lazarus::osint::synth::{SyntheticWorld, WorldConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A year and a half of synthetic vulnerability history.
+    let mut config = WorldConfig::paper_study(2024);
+    config.start = Date::from_ymd(2017, 1, 1);
+    config.end = Date::from_ymd(2018, 7, 1);
+    let world = SyntheticWorld::generate(config);
+    println!(
+        "world: {} campaigns → {} CVEs",
+        world.campaigns.len(),
+        world.vulnerabilities.len()
+    );
+
+    // 2. Ingest through the real collection pipeline: NVD JSON feeds plus
+    //    the eight secondary sources, crawled concurrently.
+    let data = DataManager::new(KnowledgeBase::new());
+    let feeds = world.nvd_feeds();
+    data.sync_feeds(&feeds)?;
+    let docs = world.vendor_documents();
+    let exploitdb = ExploitDbSource::new(world.exploitdb_document());
+    let ubuntu = UbuntuSource::new(docs.ubuntu);
+    let debian = DebianSource::new(docs.debian);
+    let redhat = RedhatSource::new(docs.redhat);
+    let oracle = OracleSource::new(docs.oracle);
+    let freebsd = FreeBsdSource::new(docs.freebsd);
+    let microsoft = MicrosoftSource::new(docs.microsoft);
+    let cvedetails = CveDetailsSource::new(docs.cvedetails);
+    let sources: Vec<&(dyn OsintSource + Sync)> = vec![
+        &exploitdb, &ubuntu, &debian, &redhat, &oracle, &freebsd, &microsoft, &cvedetails,
+    ];
+    let stats = data.sync_sources(&sources, Date::from_ymd(2017, 1, 1))?;
+    println!(
+        "knowledge base: {} CVEs, {} enrichments applied",
+        data.read(|kb| kb.len()),
+        stats.enrichments_applied
+    );
+
+    // 3. Bootstrap the controller over the 21-OS catalog.
+    let mut controller = Controller::new(ControllerConfig::new(study_oses()), data);
+    let report = controller.bootstrap(Date::from_ymd(2018, 6, 1));
+    println!(
+        "\ninitial CONFIG (risk {:.1} ≤ threshold {:.1}):",
+        report.config_risk, report.threshold
+    );
+    for os in controller.active_config() {
+        println!("    {os}");
+    }
+
+    // 4. A month of daily monitoring rounds.
+    for day in 2..=30 {
+        let today = Date::from_ymd(2018, 6, day);
+        let report = controller.monitor_round(today);
+        for alarm in &report.alarms {
+            println!("{today}  ALARM {} (exploited: {})", alarm.cve, alarm.exploited);
+        }
+        for step in &report.plan {
+            if let DeploymentStep::PowerOn { os, replica, .. } = step {
+                println!("{today}  power on {os} as {replica}");
+            }
+            if let DeploymentStep::RemoveReplica { replica, .. } = step {
+                println!("{today}  remove {replica} (quarantined)");
+            }
+        }
+    }
+    println!("\nfinal CONFIG:");
+    for os in controller.active_config() {
+        println!("    {os}");
+    }
+    println!("\naudit events: {}", controller.audit().len());
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! # Lazarus — automatic management of diversity in BFT systems
+//!
+//! A from-scratch Rust reproduction of *Lazarus: Automatic Management of
+//! Diversity in BFT Systems* (Garcia, Bessani, Neves — Middleware '19):
+//! a control plane that continuously mines OSINT vulnerability feeds,
+//! clusters similar vulnerability descriptions to uncover hidden sharing,
+//! scores the risk of every replica configuration, and reconfigures a BFT
+//! replica group to always run the most failure-independent set of
+//! operating systems.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`osint`] | CVE/CVSS/CPE model, NVD feed parsing, eight OSINT source parsers, knowledge base, synthetic world generator |
+//! | [`nlp`] | TF-IDF vectorization, K-means++ clustering, elbow method |
+//! | [`risk`] | the extended score (Eqs. 1–4), configuration risk (Eq. 5), Algorithm 1, the five §6 strategies, the epoch evaluator |
+//! | [`bft`] | the BFT state-machine-replication library (consensus, leader change, checkpoints, state transfer, reconfiguration) |
+//! | [`testbed`] | discrete-event performance simulator, OS catalog (Table 2), VM/LTU substrate |
+//! | [`apps`] | KVS (+YCSB), SieveQ, Fabric-like ordering service |
+//! | [`core`] | the controller: Data / Risk / Deploy managers and the monitoring loop |
+//!
+//! See `examples/` for runnable end-to-end scenarios, and
+//! `crates/bench/src/bin/` for the per-figure reproduction harnesses.
+
+#![warn(missing_docs)]
+
+pub use lazarus_apps as apps;
+pub use lazarus_bft as bft;
+pub use lazarus_core as core;
+pub use lazarus_nlp as nlp;
+pub use lazarus_osint as osint;
+pub use lazarus_risk as risk;
+pub use lazarus_testbed as testbed;

@@ -1,0 +1,160 @@
+//! Cross-crate BFT safety and recovery tests: agreement under adversarial
+//! schedules, leader failure, and reconfiguration with real application
+//! services on top.
+
+use bytes::Bytes;
+use lazarus::apps::kvs::{KvsOp, KvsService};
+use lazarus::apps::sieveq::{dequeue_op, enqueue_op, SieveQService};
+use lazarus::bft::client::Client;
+use lazarus::bft::messages::Message;
+use lazarus::bft::replica::{Action, Replica, ReplicaConfig, TimerId};
+use lazarus::bft::testkit::{TestCluster, TEST_SECRET};
+use lazarus::bft::types::{ClientId, Epoch, Membership, ReplicaId};
+use lazarus::bft::Service;
+
+use std::collections::VecDeque;
+
+/// A generic synchronous pump over any `Service` (the testkit is
+/// specialized to the counter service).
+struct Pump<S: Service> {
+    replicas: Vec<Replica<S>>,
+    queue: VecDeque<(ReplicaId, Message)>,
+    replies: Vec<(ClientId, lazarus::bft::messages::Reply)>,
+}
+
+impl<S: Service> Pump<S> {
+    fn new(n: u32, mut make: impl FnMut() -> S) -> Pump<S> {
+        let membership = Membership::new(Epoch(0), (0..n).map(ReplicaId).collect());
+        let replicas = (0..n)
+            .map(|id| {
+                let cfg = ReplicaConfig::new(ReplicaId(id), membership.clone());
+                Replica::new(cfg, make()).0
+            })
+            .collect();
+        Pump { replicas, queue: VecDeque::new(), replies: Vec::new() }
+    }
+
+    fn membership(&self) -> Membership {
+        self.replicas[0].membership().clone()
+    }
+
+    fn invoke(&mut self, client: &mut Client, payload: Bytes) -> Bytes {
+        for (to, m) in client.invoke(payload) {
+            self.queue.push_back((to, m));
+        }
+        self.run();
+        let mut out = None;
+        for (cid, reply) in std::mem::take(&mut self.replies) {
+            if cid == client.id() {
+                if let Some(done) = client.on_reply(reply) {
+                    out = Some(done.result);
+                }
+            }
+        }
+        out.expect("operation completes")
+    }
+
+    fn run(&mut self) {
+        let mut steps = 0;
+        while let Some((to, message)) = self.queue.pop_front() {
+            steps += 1;
+            assert!(steps < 1_000_000, "no quiescence");
+            let actions = self.replicas[to.0 as usize].on_message(message);
+            for action in actions {
+                match action {
+                    Action::Send(peer, m) => self.queue.push_back((peer, m)),
+                    Action::SendClient(c, r) => self.replies.push((c, r)),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn kvs_linearizes_across_clients() {
+    let mut pump = Pump::new(4, KvsService::new);
+    let membership = pump.membership();
+    let mut alice = Client::new(ClientId(1), membership.clone(), TEST_SECRET);
+    let mut bob = Client::new(ClientId(2), membership, TEST_SECRET);
+
+    let put = |k: &[u8], v: &[u8]| KvsOp::Put { key: k.to_vec(), value: v.to_vec() }.encode();
+    let get = |k: &[u8]| KvsOp::Get { key: k.to_vec() }.encode();
+
+    assert_eq!(&pump.invoke(&mut alice, put(b"x", b"1"))[..], b"OK:new");
+    assert_eq!(&pump.invoke(&mut bob, put(b"x", b"2"))[..], b"OK:replaced");
+    assert_eq!(&pump.invoke(&mut alice, get(b"x"))[..], b"2");
+    // all replicas converged on the same state
+    let reference = pump.replicas[0].service().snapshot();
+    for r in &pump.replicas {
+        assert_eq!(r.service().snapshot(), reference);
+    }
+}
+
+#[test]
+fn sieveq_preserves_fifo_across_replicas() {
+    let mut pump = Pump::new(4, SieveQService::new);
+    let membership = pump.membership();
+    let mut producer = Client::new(ClientId(1), membership.clone(), TEST_SECRET);
+    let mut consumer = Client::new(ClientId(2), membership, TEST_SECRET);
+    for i in 0..5u32 {
+        pump.invoke(&mut producer, enqueue_op(format!("msg-{i}").as_bytes()));
+    }
+    for i in 0..5u32 {
+        let got = pump.invoke(&mut consumer, dequeue_op());
+        assert_eq!(got, Bytes::from(format!("msg-{i}")));
+    }
+    assert_eq!(&pump.invoke(&mut consumer, dequeue_op())[..], b"ERR:empty");
+}
+
+#[test]
+fn agreement_under_randomized_schedules_with_checkpoints() {
+    for seed in 0..6 {
+        let mut cluster = TestCluster::new(4, 3);
+        cluster.randomize_delivery(seed);
+        let mut c1 = Client::new(ClientId(1), cluster.membership(), TEST_SECRET);
+        let mut c2 = Client::new(ClientId(2), cluster.membership(), TEST_SECRET);
+        for i in 0..6u32 {
+            let r = cluster.run_client_op(&mut c1, format!("a{i}").as_bytes());
+            assert_eq!(&r[..], format!("a{i}").as_bytes());
+            let r = cluster.run_client_op(&mut c2, format!("b{i}").as_bytes());
+            assert_eq!(&r[..], format!("b{i}").as_bytes());
+        }
+        // agreement
+        let reference = cluster.replica(0).service().snapshot();
+        for id in 1..4 {
+            assert_eq!(cluster.replica(id).service().snapshot(), reference, "seed {seed}");
+        }
+        // checkpoints advanced and trimmed the log
+        assert!(cluster.replica(0).decided_log().stable_checkpoint().seq.0 >= 9);
+    }
+}
+
+#[test]
+fn progress_resumes_after_two_leader_failures() {
+    let mut cluster = TestCluster::new(7, 1000); // f = 2
+    let mut client = Client::new(ClientId(1), cluster.membership(), TEST_SECRET);
+    cluster.run_client_op(&mut client, b"warm");
+    // Crash the leaders of views 0 and 1.
+    cluster.crash(0);
+    cluster.crash(1);
+    for (to, m) in client.invoke(Bytes::from_static(b"after crashes")) {
+        cluster.inject(to, m);
+    }
+    cluster.run_to_quiescence();
+    // Two rounds of watchdog escalation per view change.
+    for _ in 0..4 {
+        cluster.fire_timers(TimerId::Request);
+        cluster.run_to_quiescence();
+    }
+    let mut done = false;
+    for (cid, reply) in std::mem::take(&mut cluster.client_replies) {
+        if cid == client.id() && client.on_reply(reply).is_some() {
+            done = true;
+        }
+    }
+    assert!(done, "must complete under the view-2 leader");
+    for id in 2..7 {
+        assert_eq!(cluster.replica(id).service().executed(), 2, "replica {id}");
+    }
+}

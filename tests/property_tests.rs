@@ -1,0 +1,222 @@
+//! Property-based tests (proptest) over the core invariants:
+//! parser robustness, score bounds, risk monotonicity, Algorithm 1 set
+//! invariants, clustering partitions, and consensus agreement under
+//! arbitrary delivery schedules.
+
+use proptest::prelude::*;
+
+use lazarus::bft::client::Client;
+use lazarus::bft::testkit::{TestCluster, TEST_SECRET};
+use lazarus::bft::types::ClientId;
+use lazarus::nlp::kmeans::{kmeans, SparseVec};
+use lazarus::nlp::text::tokenize;
+use lazarus::osint::catalog::{OsFamily, OsVersion};
+use lazarus::osint::cpe::Cpe;
+use lazarus::osint::cvss::CvssV3;
+use lazarus::osint::date::Date;
+use lazarus::osint::kb::KnowledgeBase;
+use lazarus::osint::model::{AffectedPlatform, CveId, ExploitRecord, PatchRecord, Vulnerability};
+use lazarus::risk::algorithm::{Reconfigurator, ReplicaSets};
+use lazarus::risk::oracle::RiskOracle;
+use lazarus::risk::score::ScoreParams;
+use lazarus::bft::Service as _;
+use lazarus::nlp::VulnClusters;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// The CVSS vector parser never panics on arbitrary input, and every
+    /// successfully parsed vector round-trips through Display.
+    #[test]
+    fn cvss_parser_total(input in "\\PC{0,60}") {
+        if let Ok(v) = input.parse::<CvssV3>() {
+            let shown = v.to_string();
+            prop_assert_eq!(shown.parse::<CvssV3>().unwrap(), v);
+            let score = v.base_score();
+            prop_assert!((0.0..=10.0).contains(&score));
+        }
+    }
+
+    /// The CPE parser never panics; parsed names round-trip.
+    #[test]
+    fn cpe_parser_total(input in "\\PC{0,80}") {
+        if let Ok(cpe) = input.parse::<Cpe>() {
+            let shown = cpe.to_string();
+            prop_assert_eq!(&shown.parse::<Cpe>().unwrap(), &cpe);
+            prop_assert!(cpe.matches(&cpe) || true); // self-match is total
+        }
+    }
+
+    /// Date arithmetic round-trips for every day in 1970–2100.
+    #[test]
+    fn date_roundtrip(days in 0i32..47_500) {
+        let d = Date::from_days(days);
+        let (y, m, day) = d.ymd();
+        prop_assert_eq!(Date::from_ymd(y, m, day), d);
+        prop_assert_eq!(d.to_string().parse::<Date>().unwrap(), d);
+    }
+
+    /// Eq. 1 is bounded: 0 ≤ score ≤ 1.25 × CVSS, for any lifecycle.
+    #[test]
+    fn score_bounds(
+        age in 0i32..2000,
+        patch_delay in proptest::option::of(0i32..900),
+        exploit_delay in proptest::option::of(-30i32..900),
+        cvss_idx in 0usize..4,
+    ) {
+        let vectors = [
+            "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+            "CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H",
+            "CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H",
+            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N",
+        ];
+        let published = Date::from_ymd(2016, 1, 1);
+        let mut v = Vulnerability::new(
+            CveId::new(2016, 1),
+            published,
+            vectors[cvss_idx].parse().unwrap(),
+            "prop",
+        );
+        if let Some(d) = patch_delay {
+            v.patches.push(PatchRecord {
+                product: Cpe::os("canonical", "ubuntu_linux", "16.04"),
+                released: published + d,
+                advisory: "A".into(),
+            });
+        }
+        if let Some(d) = exploit_delay {
+            v.exploits.push(ExploitRecord {
+                published: published + d,
+                source: "edb".into(),
+                verified: true,
+            });
+        }
+        let params = ScoreParams::paper();
+        let s = params.score(&v, published + age);
+        prop_assert!(s >= 0.0);
+        prop_assert!(s <= 1.25 * v.cvss.base_score() + 1e-9);
+        // and the score never increases when a patch exists vs not
+        let unpatched = Vulnerability { patches: vec![], ..v.clone() };
+        prop_assert!(s <= params.score(&unpatched, published + age) + 1e-9);
+    }
+
+    /// Adding a shared vulnerability never decreases any configuration's
+    /// risk (Eq. 5 monotonicity).
+    #[test]
+    fn risk_is_monotone_in_shared_vulns(
+        extra in 1u32..8,
+        pair in 0usize..3,
+    ) {
+        let universe = vec![
+            OsVersion::new(OsFamily::Ubuntu, "16.04"),
+            OsVersion::new(OsFamily::Debian, "8"),
+            OsVersion::new(OsFamily::FreeBsd, "11"),
+            OsVersion::new(OsFamily::Windows, "10"),
+        ];
+        let pairs = [(0usize, 1usize), (1, 2), (2, 3)];
+        let (a, b) = pairs[pair];
+        let day = Date::from_ymd(2018, 1, 1);
+        let mk = |n: u32| -> Vulnerability {
+            Vulnerability::new(CveId::new(2018, n), day, CvssV3::CRITICAL_RCE, format!("v{n}"))
+                .affecting(AffectedPlatform::exact(universe[a].to_cpe()))
+                .affecting(AffectedPlatform::exact(universe[b].to_cpe()))
+        };
+        let base_kb: KnowledgeBase = vec![mk(1)].into_iter().collect();
+        let more_kb: KnowledgeBase = (1..=extra + 1).map(mk).collect();
+        let params = ScoreParams::paper();
+        let o1 = RiskOracle::build(&base_kb, &VulnClusters::new(), &universe, params);
+        let o2 = RiskOracle::build(&more_kb, &VulnClusters::new(), &universe, params);
+        let config = [0usize, 1, 2, 3];
+        prop_assert!(o2.risk(&config, day) >= o1.risk(&config, day) - 1e-9);
+    }
+
+    /// Algorithm 1 preserves the CONFIG/POOL/QUARANTINE partition and the
+    /// replica-set size for any sequence of monitoring rounds.
+    #[test]
+    fn algorithm1_partition_invariant(seed in 0u64..200, threshold in 1.0f64..200.0) {
+        let universe = lazarus::osint::catalog::study_oses();
+        let day = Date::from_ymd(2018, 3, 1);
+        let mut kb = KnowledgeBase::new();
+        // a deterministic spread of shared vulnerabilities
+        for i in 0..30u32 {
+            let a = (i as usize * 7) % universe.len();
+            let b = (i as usize * 11 + 3) % universe.len();
+            if a == b { continue; }
+            kb.upsert(
+                Vulnerability::new(CveId::new(2018, i), day - (i as i32 * 10), CvssV3::CRITICAL_RCE, format!("w{i}"))
+                    .affecting(AffectedPlatform::exact(universe[a].to_cpe()))
+                    .affecting(AffectedPlatform::exact(universe[b].to_cpe())),
+            );
+        }
+        let oracle = RiskOracle::build(&kb, &VulnClusters::new(), &universe, ScoreParams::paper());
+        let matrix = oracle.matrix(day);
+        let recon = Reconfigurator::with_threshold(threshold);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sets = ReplicaSets::new(recon.initial_config(&matrix, 4, &mut rng), universe.len());
+        for _ in 0..12 {
+            recon.monitor(&mut sets, &matrix, &mut rng);
+            prop_assert!(sets.is_partition());
+            prop_assert_eq!(sets.config.len(), 4);
+            prop_assert_eq!(
+                sets.config.len() + sets.pool.len() + sets.quarantine.len(),
+                universe.len()
+            );
+        }
+    }
+
+    /// K-means invariants: every point lands in exactly one cluster, and
+    /// WCSS equals the recomputed distance sum.
+    #[test]
+    fn kmeans_partition_and_wcss(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 3), 1..40),
+        k in 1usize..6,
+        seed in 0u64..50,
+    ) {
+        let sparse: Vec<SparseVec> = points.iter().map(|p| SparseVec::from_dense(p)).collect();
+        let c = kmeans(&sparse, k, seed);
+        prop_assert_eq!(c.assignments.len(), points.len());
+        prop_assert!(c.assignments.iter().all(|&a| a < c.k()));
+        let recomputed: f64 = sparse
+            .iter()
+            .zip(&c.assignments)
+            .map(|(p, &a)| {
+                let cent = &c.centroids[a];
+                let dense = p.to_dense();
+                dense.iter().zip(cent).map(|(x, y)| (x - y) * (x - y)).sum::<f64>()
+            })
+            .sum();
+        prop_assert!((recomputed - c.wcss).abs() < 1e-6 * (1.0 + recomputed));
+    }
+
+    /// The tokenizer is total and never yields stop words or short tokens.
+    #[test]
+    fn tokenizer_is_clean(text in "\\PC{0,200}") {
+        for token in tokenize(&text) {
+            prop_assert!(token.len() >= 3);
+            prop_assert!(!lazarus::nlp::text::is_stop_word(&token));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Consensus agreement under arbitrary delivery schedules: whatever the
+    /// interleaving, replicas that executed the same number of slots hold
+    /// identical service state.
+    #[test]
+    fn consensus_agreement_under_any_schedule(seed in 0u64..10_000) {
+        let mut cluster = TestCluster::new(4, 5);
+        cluster.randomize_delivery(seed);
+        let mut client = Client::new(ClientId(1), cluster.membership(), TEST_SECRET);
+        for i in 0..5u32 {
+            let reply = cluster.run_client_op(&mut client, &i.to_be_bytes());
+            prop_assert_eq!(&reply[..], &i.to_be_bytes());
+        }
+        let reference = cluster.replica(0).service().snapshot();
+        for id in 1..4 {
+            prop_assert_eq!(cluster.replica(id).service().snapshot(), reference.clone());
+        }
+    }
+}
