@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# CI gate — everything the repo promises, in the order it fails fastest.
+#
+# The build is fully offline (vendored shims, no registry access), so this
+# runs on any machine with a stock Rust toolchain: `./ci.sh`.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> determinism: figure bins byte-identical across thread counts"
+cargo build --release -q -p lazarus-bench
+for bin in fig5_strategies fig6_attacks; do
+    one=$(LAZARUS_THREADS=1 "target/release/$bin" 10 42 1)
+    four=$(LAZARUS_THREADS=4 "target/release/$bin" 10 42 1)
+    if [ "$one" != "$four" ]; then
+        echo "FAIL: $bin output differs between 1 and 4 threads" >&2
+        exit 1
+    fi
+    echo "    $bin: identical"
+done
+
+echo "CI green."

@@ -201,8 +201,7 @@ impl Service for OrderingService {
             let number = take_u64(&mut snapshot);
             let previous = Digest(take(&mut snapshot, 32).try_into().expect("digest"));
             let tx_root = Digest(take(&mut snapshot, 32).try_into().expect("digest"));
-            let tx_count =
-                u32::from_be_bytes(take(&mut snapshot, 4).try_into().expect("count"));
+            let tx_count = u32::from_be_bytes(take(&mut snapshot, 4).try_into().expect("count"));
             self.headers.push(BlockHeader { number, previous, tx_root, tx_count });
             self.chain_bytes += 76;
         }

@@ -196,11 +196,9 @@ impl Service for KvsService {
         self.map.clear();
         self.data_bytes = 0;
         for _ in 0..entries {
-            let klen =
-                u32::from_be_bytes(take(&mut snapshot, 4).try_into().expect("len")) as usize;
+            let klen = u32::from_be_bytes(take(&mut snapshot, 4).try_into().expect("len")) as usize;
             let key = take(&mut snapshot, klen).to_vec();
-            let vlen =
-                u32::from_be_bytes(take(&mut snapshot, 4).try_into().expect("len")) as usize;
+            let vlen = u32::from_be_bytes(take(&mut snapshot, 4).try_into().expect("len")) as usize;
             let value = take(&mut snapshot, vlen).to_vec();
             self.data_bytes += key.len() + value.len();
             self.map.insert(key, value);

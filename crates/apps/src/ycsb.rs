@@ -56,9 +56,7 @@ impl YcsbWorkload {
         // Zeta normalization constant for the (truncated) Zipfian; computed
         // over a capped support for constant-time setup.
         let support = cfg.keys.min(10_000);
-        let zipf_zeta = (1..=support)
-            .map(|i| 1.0 / (i as f64).powf(cfg.zipf_theta))
-            .sum();
+        let zipf_zeta = (1..=support).map(|i| 1.0 / (i as f64).powf(cfg.zipf_theta)).sum();
         YcsbWorkload { cfg, rng: StdRng::seed_from_u64(seed), zipf_zeta }
     }
 

@@ -50,10 +50,7 @@ fn bench_feed_parsing(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(biggest.len() as u64));
     g.bench_function("nvd_feed_parse", |b| {
         b.iter(|| {
-            NvdFeed::parse(std::hint::black_box(&biggest))
-                .unwrap()
-                .to_vulnerabilities()
-                .unwrap()
+            NvdFeed::parse(std::hint::black_box(&biggest)).unwrap().to_vulnerabilities().unwrap()
         })
     });
     g.finish();
@@ -75,9 +72,7 @@ fn bench_risk(c: &mut Criterion) {
     g.bench_function("config_risk", |b| {
         b.iter(|| matrix.risk(std::hint::black_box(&[0usize, 5, 10, 15])))
     });
-    g.bench_function("min_config_risk_exhaustive", |b| {
-        b.iter(|| min_config_risk(&matrix, 4))
-    });
+    g.bench_function("min_config_risk_exhaustive", |b| b.iter(|| min_config_risk(&matrix, 4)));
     g.bench_function("combinations_21_choose_4", |b| {
         b.iter(|| {
             let mut count = 0u32;
@@ -130,14 +125,10 @@ fn bench_threaded_runtime(c: &mut Criterion) {
     g.sample_size(20);
     let cluster = ThreadCluster::start(4, 100_000, CounterService::new);
     let mut client = cluster.client(1);
-    client
-        .invoke(Bytes::from_static(b"warm"), Duration::from_secs(5))
-        .expect("warm-up");
+    client.invoke(Bytes::from_static(b"warm"), Duration::from_secs(5)).expect("warm-up");
     g.bench_function("wallclock_ordered_op", |b| {
         b.iter(|| {
-            client
-                .invoke(Bytes::from_static(b"bench"), Duration::from_secs(5))
-                .expect("completes")
+            client.invoke(Bytes::from_static(b"bench"), Duration::from_secs(5)).expect("completes")
         })
     });
     g.finish();

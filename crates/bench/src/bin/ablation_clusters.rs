@@ -25,7 +25,9 @@ fn main() {
     let runs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
 
-    println!("=== Ablation — similarity gate for cluster-inferred sharing ({runs} runs/setting) ===");
+    println!(
+        "=== Ablation — similarity gate for cluster-inferred sharing ({runs} runs/setting) ==="
+    );
     let world = SyntheticWorld::generate(WorldConfig::paper_study(seed));
     let kb: KnowledgeBase = world.vulnerabilities.iter().cloned().collect();
     let clusters = VulnClusters::build(&world.vulnerabilities, 4242);
@@ -58,24 +60,31 @@ fn main() {
     let window = (Date::from_ymd(2018, 1, 1), Date::from_ymd(2018, 9, 1));
     println!("\n{:<22} {:>12}", "similarity gate", "compromised");
     for gate in [0.0, 0.5, 0.75, 1.01] {
-        let oracle =
-            RiskOracle::build_with_similarity(&kb, &clusters, &universe, ScoreParams::paper(), gate);
-        // Precompute daily matrices.
-        let days: Vec<_> = (0..(window.1 - window.0))
-            .map(|d| {
-                let date = window.0 + d;
+        let oracle = RiskOracle::build_with_similarity(
+            &kb,
+            &clusters,
+            &universe,
+            ScoreParams::paper(),
+            gate,
+        );
+        // Precompute daily matrices (independent per day → worker pool).
+        let days: Vec<_> =
+            lazarus_risk::par::par_map_indexed((window.1 - window.0).max(0) as usize, |d| {
+                let date = window.0 + d as i32;
                 let m = oracle.matrix(date);
                 let min = min_config_risk(&m, 4);
                 (date, m, min)
-            })
-            .collect();
-        let mut compromised = 0usize;
-        for run in 0..runs {
+            });
+        // Runs are independent seeded trials; fan them out and fold the
+        // per-run flags in seed order (the count is order-independent, but
+        // deterministic collection keeps the harness byte-reproducible).
+        let compromised: usize = lazarus_risk::par::par_map_indexed(runs, |run| {
             let mut rng = StdRng::seed_from_u64(seed ^ (run as u64) << 17);
             let mut recon = Reconfigurator::with_threshold(0.0);
             recon.threshold = days[0].2 + 15.0;
-            let mut sets = ReplicaSets::new(recon.initial_config(&days[0].1, 4, &mut rng), universe.len());
-            'run: for (i, (date, matrix, min)) in days.iter().enumerate() {
+            let mut sets =
+                ReplicaSets::new(recon.initial_config(&days[0].1, 4, &mut rng), universe.len());
+            for (i, (date, matrix, min)) in days.iter().enumerate() {
                 if i > 0 {
                     recon.threshold = min + 15.0;
                     recon.monitor(&mut sets, matrix, &mut rng);
@@ -87,17 +96,17 @@ fn main() {
                     let exposed = sets
                         .config
                         .iter()
-                        .filter(|&&r| {
-                            mask & (1 << r) != 0 && !protect[r].is_some_and(|p| p <= *date)
-                        })
+                        .filter(|&&r| mask & (1 << r) != 0 && protect[r].is_none_or(|p| p > *date))
                         .count();
                     if exposed > 1 {
-                        compromised += 1;
-                        break 'run;
+                        return 1usize;
                     }
                 }
             }
-        }
+            0usize
+        })
+        .into_iter()
+        .sum();
         let label = if gate > 1.0 {
             "disabled (direct only)".to_string()
         } else {

@@ -1,0 +1,88 @@
+//! Hot-path benchmark: ops/s for the §7.1 echo microbenchmark and
+//! wall-clock time for the Figure 5 strategy sweep, written to
+//! `BENCH_hotpath.json` for regression tracking.
+//!
+//! Exercises the zero-copy PR end to end: memoized batch digests and the
+//! serialize-once broadcast drive the microbenchmark throughput; the
+//! deterministic worker pool drives the Figure 5 wall clock.
+//!
+//! Usage: `bench_hotpath [runs_per_slot] [seed] [worlds] [out_path]`
+//! (defaults: 200, 42, 2, `BENCH_hotpath.json`).
+
+use std::time::Instant;
+
+use lazarus_bench::{fmt_kops, microbenchmark, write_bench_json};
+use lazarus_osint::json::Value;
+use lazarus_osint::synth::{SyntheticWorld, WorldConfig};
+use lazarus_risk::epoch::{EpochConfig, Evaluator, ThreatScope};
+use lazarus_risk::strategies::StrategyKind;
+use lazarus_testbed::oscatalog::PerfProfile;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let runs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let worlds: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+
+    println!("=== Hot-path benchmark (threads: {}) ===", lazarus_risk::par::worker_count());
+
+    // §7.1 echo microbenchmark, 4 bare-metal replicas, 0/0 and 1024/1024.
+    let profiles = vec![PerfProfile::bare_metal(); 4];
+    let t = Instant::now();
+    let ops_small = microbenchmark(&profiles, 0, 600);
+    let ops_large = microbenchmark(&profiles, 1024, 300);
+    let echo_wall = t.elapsed().as_secs_f64();
+    println!(
+        "echo microbench: 0/0 {} ops/s, 1024/1024 {} ops/s  ({echo_wall:.2}s wall)",
+        fmt_kops(ops_small),
+        fmt_kops(ops_large)
+    );
+
+    // Figure 5 sweep wall-clock: worlds × 8 months × 5 strategies.
+    let t = Instant::now();
+    let evals: Vec<Evaluator> = lazarus_risk::par::par_map_indexed(worlds, |w| {
+        let world = SyntheticWorld::generate(WorldConfig::paper_study(seed + w as u64));
+        Evaluator::new(&world, EpochConfig::paper())
+    });
+    let mut compromised = 0usize;
+    for (start, end) in Evaluator::month_windows(2018, 1, 8) {
+        for kind in StrategyKind::ALL {
+            for eval in &evals {
+                compromised += eval
+                    .run_window(kind, (start, end), &ThreatScope::PublishedInWindow, runs, seed)
+                    .compromised;
+            }
+        }
+    }
+    let fig5_wall = t.elapsed().as_secs_f64();
+    println!(
+        "fig5 sweep: {worlds} worlds x 8 months x 5 strategies x {runs} runs \
+         ({compromised} compromised)  ({fig5_wall:.2}s wall)"
+    );
+
+    let report = Value::Object(vec![
+        (
+            "echo_microbench".to_string(),
+            Value::Object(vec![
+                ("payload_0_ops_s".to_string(), Value::Number(ops_small)),
+                ("payload_1024_ops_s".to_string(), Value::Number(ops_large)),
+                ("wall_clock_s".to_string(), Value::Number(echo_wall)),
+            ]),
+        ),
+        (
+            "fig5_strategies".to_string(),
+            Value::Object(vec![
+                ("wall_clock_s".to_string(), Value::Number(fig5_wall)),
+                ("worlds".to_string(), Value::Number(worlds as f64)),
+                ("runs_per_slot".to_string(), Value::Number(runs as f64)),
+                ("seed".to_string(), Value::Number(seed as f64)),
+            ]),
+        ),
+        ("threads".to_string(), Value::Number(lazarus_risk::par::worker_count() as f64)),
+    ]);
+    match write_bench_json(&out_path, &report) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("failed to write {out_path}: {e}"),
+    }
+}

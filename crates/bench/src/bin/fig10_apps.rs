@@ -91,7 +91,12 @@ fn main() {
         };
         rows.push((
             name.to_string(),
-            format!("{:>8}  {:>10}  {:>8}{suffix}", fmt_kops(kvs), fmt_kops(sieveq), fmt_kops(fabric)),
+            format!(
+                "{:>8}  {:>10}  {:>8}{suffix}",
+                fmt_kops(kvs),
+                fmt_kops(sieveq),
+                fmt_kops(fabric)
+            ),
         ));
     }
     print_table(

@@ -44,7 +44,10 @@ fn main() {
         ("All", vec![wannacry_id, stackclash_id, petya_id]),
     ];
 
-    println!("\n{:<12} {:>9} {:>9} {:>9} {:>9} {:>9}", "attack", "Lazarus", "CVSSv3", "Common", "Random", "Equal");
+    println!(
+        "\n{:<12} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "attack", "Lazarus", "CVSSv3", "Common", "Random", "Equal"
+    );
     for (name, ids) in scopes {
         print!("{name:<12}");
         for kind in StrategyKind::ALL {

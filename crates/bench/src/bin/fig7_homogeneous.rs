@@ -36,11 +36,7 @@ fn main() {
             ),
         ));
     }
-    print_table(
-        "throughput (ops/s)",
-        ("config", "     0/0  1024/1024"),
-        &rows,
-    );
+    print_table("throughput (ops/s)", ("config", "     0/0  1024/1024"), &rows);
     println!(
         "\npaper shape: BM ≈ 60k/17k; Ubuntu/OpenSuse/Fedora ≈ 66%/75% of BM; \
          Debian/Windows/FreeBSD much slower on 0/0 but closer on 1024/1024; \

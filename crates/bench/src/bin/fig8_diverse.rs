@@ -3,7 +3,9 @@
 //! [UB16 W10 SO10 OB61], and slowest [OB60 OB61 SO10 SO11].
 
 use lazarus_bench::{fmt_kops, microbenchmark, print_table};
-use lazarus_testbed::oscatalog::{cross_family_set, fastest_set, slowest_set, vm_profile, PerfProfile};
+use lazarus_testbed::oscatalog::{
+    cross_family_set, fastest_set, slowest_set, vm_profile, PerfProfile,
+};
 
 fn main() {
     println!("=== Figure 8 — diverse-set microbenchmark (0/0 and 1024/1024) ===");
@@ -32,7 +34,10 @@ fn main() {
             ),
         ));
     }
-    rows.push(("BM baseline".into(), format!("{:>8}  {:>8}", fmt_kops(bm_small), fmt_kops(bm_large))));
+    rows.push((
+        "BM baseline".into(),
+        format!("{:>8}  {:>8}", fmt_kops(bm_small), fmt_kops(bm_large)),
+    ));
     print_table("throughput (ops/s)", ("set", "     0/0  1024/1024"), &rows);
     println!(
         "\npaper shape: fastest ≈ 39k/11.5k (65%/82% of BM); the cross-family set sits \

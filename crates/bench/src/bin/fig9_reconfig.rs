@@ -35,11 +35,10 @@ struct Panel {
 
 fn run_panel(panel: &Panel, state_mb: usize) {
     let membership = Membership::new(Epoch(0), (0..4).map(ReplicaId).collect());
-    let mut cfg = SimConfig::default();
     // Periods are in consensus slots; with ~6 closed-loop clients batches
     // hold a handful of requests, so ~25k slots ≈ 40-60 s between
     // checkpoints — two dips inside the window, as in the paper.
-    cfg.checkpoint_period = 25_000;
+    let cfg = SimConfig { checkpoint_period: 25_000, ..SimConfig::default() };
     let mut sim = SimCluster::new(cfg);
     let ballast = state_mb * 1_000_000;
     for (r, p) in panel.profiles.iter().enumerate() {
@@ -58,7 +57,13 @@ fn run_panel(panel: &Panel, state_mb: usize) {
     let boot_at = 10 * SEC;
     let up_at = boot_at + panel.joiner.boot;
     let joined_membership = membership.reconfigured(Some(ReplicaId(4)), None);
-    sim.boot_joiner_at(boot_at, ReplicaId(4), panel.joiner, joined_membership, Box::new(KvsService::new()));
+    sim.boot_joiner_at(
+        boot_at,
+        ReplicaId(4),
+        panel.joiner,
+        joined_membership,
+        Box::new(KvsService::new()),
+    );
     sim.inject_reconfig_at(up_at + SEC, Epoch(0), Some(ReplicaId(4)), None);
     let remove_at = up_at + 31 * SEC;
     sim.inject_reconfig_at(remove_at, Epoch(1), None, Some(ReplicaId(panel.remove)));
@@ -89,10 +94,7 @@ fn run_panel(panel: &Panel, state_mb: usize) {
 }
 
 fn main() {
-    let state_mb: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(500);
+    let state_mb: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(500);
     println!("=== Figure 9 — KVS throughput during reconfiguration (YCSB 50/50, 1 KiB values, {state_mb} MB state) ===");
 
     let bare = Panel {

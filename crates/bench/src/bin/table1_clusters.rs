@@ -37,10 +37,7 @@ fn main() {
     println!("cluster of CVE-2016-4428: {:?}", clusters.cluster_of(c));
     println!("\nsame_cluster(0157, 3988) = {}", clusters.same_cluster(a, b));
     println!("same_cluster(0157, 4428) = {}", clusters.same_cluster(a, c));
-    println!(
-        "cosine(0157, 4428) = {:.3}",
-        clusters.similarity(a, c).unwrap_or(0.0)
-    );
+    println!("cosine(0157, 4428) = {:.3}", clusters.similarity(a, c).unwrap_or(0.0));
     assert!(
         clusters.same_cluster(a, b) && clusters.same_cluster(a, c),
         "the Table 1 triplet must land in one cluster"

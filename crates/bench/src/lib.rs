@@ -23,8 +23,7 @@ pub fn measure_throughput(
     clients: usize,
     run_secs: u64,
 ) -> f64 {
-    let membership =
-        Membership::new(Epoch(0), (0..profiles.len() as u32).map(ReplicaId).collect());
+    let membership = Membership::new(Epoch(0), (0..profiles.len() as u32).map(ReplicaId).collect());
     let mut sim = SimCluster::new(SimConfig::default());
     for (r, p) in profiles.iter().enumerate() {
         sim.add_node(ReplicaId(r as u32), *p, membership.clone(), services());
@@ -51,17 +50,23 @@ pub fn microbenchmark(profiles: &[PerfProfile], payload_size: usize, clients: us
 /// Prints a two-column numeric table with a caption.
 pub fn print_table(caption: &str, header: (&str, &str), rows: &[(String, String)]) {
     println!("\n=== {caption} ===");
-    let w = rows
-        .iter()
-        .map(|(a, _)| a.len())
-        .chain([header.0.len()])
-        .max()
-        .unwrap_or(8)
-        + 2;
+    let w = rows.iter().map(|(a, _)| a.len()).chain([header.0.len()]).max().unwrap_or(8) + 2;
     println!("{:<w$}{}", header.0, header.1);
     for (a, b) in rows {
         println!("{a:<w$}{b}");
     }
+}
+
+/// Writes a machine-readable benchmark report as compact JSON.
+///
+/// Used by `bench_hotpath` to emit `BENCH_hotpath.json`; the value keeps
+/// insertion order, so reports diff cleanly between runs.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_bench_json(path: &str, report: &lazarus_osint::json::Value) -> std::io::Result<()> {
+    std::fs::write(path, report.to_json())
 }
 
 /// Formats an ops/s figure the way the paper's plots label them.

@@ -47,13 +47,7 @@ pub struct Completion {
 impl Client {
     /// Creates a client for the given deployment.
     pub fn new(id: ClientId, membership: Membership, master_secret: &[u8]) -> Client {
-        Client {
-            id,
-            keyring: Keyring::new(master_secret),
-            membership,
-            next_op: 1,
-            pending: None,
-        }
+        Client { id, keyring: Keyring::new(master_secret), membership, next_op: 1, pending: None }
     }
 
     /// This client's id.
@@ -87,22 +81,13 @@ impl Client {
         assert!(self.pending.is_none(), "closed-loop client already has an operation in flight");
         let op = self.next_op;
         self.next_op += 1;
-        let tag = self.keyring.sign(
-            Principal::Client(self.id.0),
-            &Request::auth_bytes(self.id, op, &payload),
-        );
+        let tag = self
+            .keyring
+            .sign(Principal::Client(self.id.0), &Request::auth_bytes(self.id, op, &payload));
         let request = Request { client: self.id, op, payload: payload.clone(), tag };
-        self.pending = Some(PendingOp {
-            op,
-            payload,
-            votes: HashMap::new(),
-            results: HashMap::new(),
-        });
-        self.membership
-            .replicas
-            .iter()
-            .map(|&r| (r, Message::Request(request.clone())))
-            .collect()
+        self.pending =
+            Some(PendingOp { op, payload, votes: HashMap::new(), results: HashMap::new() });
+        self.membership.replicas.iter().map(|&r| (r, Message::Request(request.clone()))).collect()
     }
 
     /// Retransmission of the in-flight request (on timeout), if any.
@@ -112,17 +97,9 @@ impl Client {
             Principal::Client(self.id.0),
             &Request::auth_bytes(self.id, pending.op, &pending.payload),
         );
-        let request = Request {
-            client: self.id,
-            op: pending.op,
-            payload: pending.payload.clone(),
-            tag,
-        };
-        self.membership
-            .replicas
-            .iter()
-            .map(|&r| (r, Message::Request(request.clone())))
-            .collect()
+        let request =
+            Request { client: self.id, op: pending.op, payload: pending.payload.clone(), tag };
+        self.membership.replicas.iter().map(|&r| (r, Message::Request(request.clone()))).collect()
     }
 
     /// Processes a reply. Returns the completion once `f + 1` matching
@@ -136,10 +113,7 @@ impl Client {
         let mut bytes = Vec::with_capacity(16 + reply.result.len());
         bytes.extend_from_slice(&reply.op.to_be_bytes());
         bytes.extend_from_slice(&reply.result);
-        if !self
-            .keyring
-            .verify(Principal::Replica(reply.from.0), &bytes, &reply.tag)
-        {
+        if !self.keyring.verify(Principal::Replica(reply.from.0), &bytes, &reply.tag) {
             return None;
         }
         let digest = Digest::of_parts(&[&reply.result, &reply.epoch.0.to_be_bytes()]);
@@ -149,7 +123,7 @@ impl Client {
         }
         voters.push(reply.from);
         pending.results.insert(digest, reply.result.clone());
-        if voters.len() >= self.membership.f() + 1 {
+        if voters.len() > self.membership.f() {
             let result = pending.results[&digest].clone();
             let op = pending.op;
             self.pending = None;

@@ -147,14 +147,12 @@ mod tests {
     fn batch(tagbyte: u8) -> Batch {
         use crate::crypto::AuthTag;
         use crate::types::ClientId;
-        Batch {
-            requests: vec![crate::messages::Request {
-                client: ClientId(1),
-                op: 1,
-                payload: bytes::Bytes::copy_from_slice(&[tagbyte]),
-                tag: AuthTag([0; 32]),
-            }],
-        }
+        Batch::new(vec![crate::messages::Request {
+            client: ClientId(1),
+            op: 1,
+            payload: bytes::Bytes::copy_from_slice(&[tagbyte]),
+            tag: AuthTag([0; 32]),
+        }])
     }
 
     #[test]

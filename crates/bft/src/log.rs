@@ -78,7 +78,7 @@ impl DecidedLog {
     /// service and call [`local_checkpoint`](Self::local_checkpoint)).
     pub fn append(&mut self, seq: SeqNo, batch: Batch) -> bool {
         self.entries.insert(seq.0, batch);
-        seq.0 % self.period == 0
+        seq.0.is_multiple_of(self.period)
     }
 
     /// Number of batches retained above the stable checkpoint.
@@ -98,10 +98,7 @@ impl DecidedLog {
 
     /// Decided batches strictly after `from`, in order.
     pub fn suffix(&self, from: SeqNo) -> Vec<(SeqNo, Batch)> {
-        self.entries
-            .range((from.0 + 1)..)
-            .map(|(&s, b)| (SeqNo(s), b.clone()))
-            .collect()
+        self.entries.range((from.0 + 1)..).map(|(&s, b)| (SeqNo(s), b.clone())).collect()
     }
 
     /// Records the local snapshot for `seq` and returns its digest (to be
@@ -133,10 +130,8 @@ impl DecidedLog {
         if voters.len() < quorum {
             return None;
         }
-        let matches_local = self
-            .pending
-            .as_ref()
-            .is_some_and(|p| p.seq == seq && p.digest == digest);
+        let matches_local =
+            self.pending.as_ref().is_some_and(|p| p.seq == seq && p.digest == digest);
         if !matches_local {
             // Quorum agrees on a snapshot we do not hold — the caller must
             // state-transfer. Keep the votes so it can re-check later.
@@ -198,10 +193,7 @@ mod tests {
         assert_eq!(log.on_checkpoint_vote(ReplicaId(1), SeqNo(2), digest, 3), None);
         // duplicate vote does not count twice
         assert_eq!(log.on_checkpoint_vote(ReplicaId(1), SeqNo(2), digest, 3), None);
-        assert_eq!(
-            log.on_checkpoint_vote(ReplicaId(2), SeqNo(2), digest, 3),
-            Some(SeqNo(2))
-        );
+        assert_eq!(log.on_checkpoint_vote(ReplicaId(2), SeqNo(2), digest, 3), Some(SeqNo(2)));
         assert_eq!(log.stable_checkpoint().seq, SeqNo(2));
         // slots 1..=2 trimmed, 3..=4 retained
         assert!(log.get(SeqNo(2)).is_none());

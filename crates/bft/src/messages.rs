@@ -6,6 +6,8 @@
 //! state transfer (CST); and the controller-signed reconfiguration command
 //! that Lazarus uses to rotate replicas.
 
+use std::sync::{Arc, OnceLock};
+
 use bytes::Bytes;
 
 use crate::crypto::{AuthTag, Digest};
@@ -27,11 +29,7 @@ pub struct Request {
 impl Request {
     /// Canonical digest of the request.
     pub fn digest(&self) -> Digest {
-        Digest::of_parts(&[
-            &self.client.0.to_be_bytes(),
-            &self.op.to_be_bytes(),
-            &self.payload,
-        ])
+        Digest::of_parts(&[&self.client.0.to_be_bytes(), &self.op.to_be_bytes(), &self.payload])
     }
 
     /// The bytes the client tag authenticates.
@@ -46,30 +44,79 @@ impl Request {
 
 /// An ordered batch of requests (the value decided by one consensus
 /// instance).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Cloning is O(1): the request slice lives behind an [`Arc`] shared by all
+/// clones, and the batch digest is memoized in a [`OnceLock`] on the shared
+/// allocation, so a batch is hashed at most once no matter how many times it
+/// is proposed, logged, certified, or re-sent.
+#[derive(Clone, Default)]
 pub struct Batch {
+    inner: Arc<BatchInner>,
+}
+
+#[derive(Default)]
+struct BatchInner {
     /// Requests in proposal order.
-    pub requests: Vec<Request>,
+    requests: Vec<Request>,
+    /// Lazily-computed digest, shared by every clone.
+    digest: OnceLock<Digest>,
 }
 
 impl Batch {
+    /// Builds a batch from requests in proposal order.
+    pub fn new(requests: Vec<Request>) -> Batch {
+        Batch { inner: Arc::new(BatchInner { requests, digest: OnceLock::new() }) }
+    }
+
+    /// Requests in proposal order.
+    pub fn requests(&self) -> &[Request] {
+        &self.inner.requests
+    }
+
     /// Digest of the batch (digest of the request digests, order-sensitive).
+    ///
+    /// Computed on first call and memoized; subsequent calls — including on
+    /// clones made before or after the first call — return the cached value.
     pub fn digest(&self) -> Digest {
-        let digests: Vec<[u8; 32]> = self.requests.iter().map(|r| r.digest().0).collect();
-        let parts: Vec<&[u8]> = digests.iter().map(|d| d.as_slice()).collect();
-        Digest::of_parts(&parts)
+        *self.inner.digest.get_or_init(|| {
+            let digests: Vec<[u8; 32]> = self.inner.requests.iter().map(|r| r.digest().0).collect();
+            let parts: Vec<&[u8]> = digests.iter().map(|d| d.as_slice()).collect();
+            Digest::of_parts(&parts)
+        })
     }
 
     /// Number of requests.
     pub fn len(&self) -> usize {
-        self.requests.len()
+        self.inner.requests.len()
     }
 
     /// True when the batch carries no requests.
     pub fn is_empty(&self) -> bool {
-        self.requests.is_empty()
+        self.inner.requests.is_empty()
     }
 }
+
+impl From<Vec<Request>> for Batch {
+    fn from(requests: Vec<Request>) -> Batch {
+        Batch::new(requests)
+    }
+}
+
+impl std::fmt::Debug for Batch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Batch").field("requests", &self.inner.requests).finish()
+    }
+}
+
+impl PartialEq for Batch {
+    fn eq(&self, other: &Batch) -> bool {
+        // Clones share the allocation; compare by content otherwise. The
+        // memoized digest is deliberately excluded.
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner.requests == other.inner.requests
+    }
+}
+
+impl Eq for Batch {}
 
 /// The reply sent back to a client.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -318,7 +365,7 @@ impl Message {
         match self {
             Message::Request(r) => HEADER + r.payload.len(),
             Message::Consensus { msg: ConsensusMsg::Propose { batch, .. }, .. } => {
-                HEADER + batch.requests.iter().map(|r| 48 + r.payload.len()).sum::<usize>()
+                HEADER + batch.requests().iter().map(|r| 48 + r.payload.len()).sum::<usize>()
             }
             Message::Consensus { .. } => HEADER + 32,
             Message::Checkpoint { .. } => HEADER + 40,
@@ -327,14 +374,18 @@ impl Message {
                 HEADER
                     + prepared
                         .as_ref()
-                        .map(|c| c.batch.requests.iter().map(|r| 48 + r.payload.len()).sum::<usize>())
+                        .map(|c| {
+                            c.batch.requests().iter().map(|r| 48 + r.payload.len()).sum::<usize>()
+                        })
                         .unwrap_or(0)
             }
             Message::Sync { repropose, .. } => {
                 HEADER
                     + repropose
                         .as_ref()
-                        .map(|c| c.batch.requests.iter().map(|r| 48 + r.payload.len()).sum::<usize>())
+                        .map(|c| {
+                            c.batch.requests().iter().map(|r| 48 + r.payload.len()).sum::<usize>()
+                        })
                         .unwrap_or(0)
             }
             Message::CstRequest { .. } => HEADER,
@@ -344,7 +395,9 @@ impl Message {
                     + reply
                         .suffix
                         .iter()
-                        .map(|(_, b)| b.requests.iter().map(|r| 48 + r.payload.len()).sum::<usize>())
+                        .map(|(_, b)| {
+                            b.requests().iter().map(|r| 48 + r.payload.len()).sum::<usize>()
+                        })
                         .sum::<usize>()
             }
             Message::Reconfig(_) => HEADER + 16,
@@ -386,8 +439,8 @@ mod tests {
     fn batch_digest_is_order_sensitive() {
         let a = request(1, 1, b"x");
         let b = request(2, 1, b"y");
-        let ab = Batch { requests: vec![a.clone(), b.clone()] };
-        let ba = Batch { requests: vec![b, a] };
+        let ab = Batch::new(vec![a.clone(), b.clone()]);
+        let ba = Batch::new(vec![b, a]);
         assert_ne!(ab.digest(), ba.digest());
         assert!(!ab.is_empty());
         assert_eq!(ab.len(), 2);
@@ -409,11 +462,7 @@ mod tests {
         assert!(msg.wire_size() >= 100);
         let propose = Message::Consensus {
             from: ReplicaId(0),
-            msg: ConsensusMsg::Propose {
-                view: View(0),
-                seq: SeqNo(1),
-                batch: Batch { requests: vec![r] },
-            },
+            msg: ConsensusMsg::Propose { view: View(0), seq: SeqNo(1), batch: Batch::new(vec![r]) },
         };
         assert_eq!(propose.label(), "PROPOSE");
         assert!(propose.wire_size() > msg.wire_size());
@@ -442,7 +491,7 @@ mod tests {
             checkpoint_seq: SeqNo(10),
             snapshot_digest: Digest::of(b"state"),
             snapshot: None,
-            suffix: vec![(SeqNo(11), Batch { requests: vec![request(1, 1, b"x")] })],
+            suffix: vec![(SeqNo(11), Batch::new(vec![request(1, 1, b"x")]))],
             membership: membership.clone(),
             view: View(0),
         };
@@ -454,7 +503,7 @@ mod tests {
         assert_ne!(base.summary_digest(), diverged.summary_digest());
         let longer = CstReply {
             suffix: vec![
-                (SeqNo(11), Batch { requests: vec![request(1, 1, b"x")] }),
+                (SeqNo(11), Batch::new(vec![request(1, 1, b"x")])),
                 (SeqNo(12), Batch::default()),
             ],
             ..base.clone()

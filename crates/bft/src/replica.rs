@@ -23,6 +23,7 @@
 //!   (clients filter by `op`, so this is invisible to callers).
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use bytes::Bytes;
 
@@ -57,6 +58,13 @@ pub enum TimerId {
 pub enum Action {
     /// Send a protocol message to another replica.
     Send(ReplicaId, Message),
+    /// Send one shared message to every listed peer.
+    ///
+    /// The message lives behind an [`Arc`] so runtimes sign and serialize it
+    /// once per broadcast and deliver it by reference — the per-peer
+    /// delivery set (and wire accounting) is identical to pushing one
+    /// [`Action::Send`] per peer, without the per-peer deep clone.
+    Broadcast(Vec<ReplicaId>, Arc<Message>),
     /// Send a reply to a client.
     SendClient(ClientId, Reply),
     /// Arm (or re-arm) a timer after the given logical duration.
@@ -383,16 +391,22 @@ impl<S: Service> Replica<S> {
         let take = self.cfg.max_batch.min(self.pending.len());
         let requests: Vec<Request> =
             self.pending.iter().take(take).map(|(_, r)| r.clone()).collect();
-        let batch = Batch { requests };
+        let batch = Batch::new(requests);
         let msg = ConsensusMsg::Propose { view, seq, batch: batch.clone() };
         self.broadcast_consensus(msg.clone(), actions);
         self.handle_consensus_local(self.cfg.id, msg, actions);
     }
 
-    fn broadcast_consensus(&self, msg: ConsensusMsg, actions: &mut Vec<Action>) {
-        for peer in self.membership.others(self.cfg.id) {
-            actions.push(Action::Send(peer, Message::Consensus { from: self.cfg.id, msg: msg.clone() }));
+    /// Emits one [`Action::Broadcast`] of `message` to every other replica.
+    fn broadcast(&self, message: Message, actions: &mut Vec<Action>) {
+        let peers: Vec<ReplicaId> = self.membership.others(self.cfg.id).collect();
+        if !peers.is_empty() {
+            actions.push(Action::Broadcast(peers, Arc::new(message)));
         }
+    }
+
+    fn broadcast_consensus(&self, msg: ConsensusMsg, actions: &mut Vec<Action>) {
+        self.broadcast(Message::Consensus { from: self.cfg.id, msg }, actions);
     }
 
     fn on_consensus(&mut self, from: ReplicaId, msg: ConsensusMsg, actions: &mut Vec<Action>) {
@@ -518,9 +532,7 @@ impl<S: Service> Replica<S> {
             let snapshot = self.service.snapshot();
             let digest = self.log.local_checkpoint(seq, snapshot);
             let msg = CheckpointMsg { seq, digest };
-            for peer in self.membership.others(self.cfg.id) {
-                actions.push(Action::Send(peer, Message::Checkpoint { from: self.cfg.id, msg: msg.clone() }));
-            }
+            self.broadcast(Message::Checkpoint { from: self.cfg.id, msg }, actions);
             // Count our own vote.
             let quorum = self.membership.quorum();
             self.log.on_checkpoint_vote(self.cfg.id, seq, digest, quorum);
@@ -542,7 +554,7 @@ impl<S: Service> Replica<S> {
 
     fn execute_batch(&mut self, seq: SeqNo, batch: &Batch, actions: &mut Vec<Action>) {
         let mut executed = 0usize;
-        for request in &batch.requests {
+        for request in batch.requests() {
             let digest = request.digest();
             if self.pending_digests.remove(&digest) {
                 if let Some(pos) = self.pending.iter().position(|(d, _)| *d == digest) {
@@ -626,9 +638,7 @@ impl<S: Service> Replica<S> {
             return;
         }
         self.sent_stop_for = Some(view);
-        for peer in self.membership.others(self.cfg.id) {
-            actions.push(Action::Send(peer, Message::Stop { from: self.cfg.id, view }));
-        }
+        self.broadcast(Message::Stop { from: self.cfg.id, view }, actions);
         self.record_stop(self.cfg.id, view, actions);
     }
 
@@ -644,12 +654,10 @@ impl<S: Service> Replica<S> {
         votes.insert(from);
         let count = votes.len();
         let f = self.membership.f();
-        if count >= f + 1 && view == self.view && self.sent_stop_for.is_none_or(|v| v < view) {
+        if count > f && view == self.view && self.sent_stop_for.is_none_or(|v| v < view) {
             // Join the stop wave (Mod-SMaRt's f+1 amplification).
             self.sent_stop_for = Some(view);
-            for peer in self.membership.others(self.cfg.id) {
-                actions.push(Action::Send(peer, Message::Stop { from: self.cfg.id, view }));
-            }
+            self.broadcast(Message::Stop { from: self.cfg.id, view }, actions);
             let votes = self.stops.entry(view.0).or_default();
             votes.insert(self.cfg.id);
         }
@@ -733,12 +741,10 @@ impl<S: Service> Replica<S> {
             .max_by_key(|c| c.view)
             .cloned();
         self.stop_datas.remove(&new_view.0);
-        for peer in self.membership.others(self.cfg.id) {
-            actions.push(Action::Send(
-                peer,
-                Message::Sync { from: self.cfg.id, new_view, repropose: repropose.clone() },
-            ));
-        }
+        self.broadcast(
+            Message::Sync { from: self.cfg.id, new_view, repropose: repropose.clone() },
+            actions,
+        );
         self.adopt_sync(new_view, repropose, actions);
     }
 
@@ -847,7 +853,10 @@ impl<S: Service> Replica<S> {
             membership: self.membership.clone(),
             view: self.view,
         };
-        actions.push(Action::Send(from, Message::CstReply { from: self.cfg.id, reply: Box::new(reply) }));
+        actions.push(Action::Send(
+            from,
+            Message::CstReply { from: self.cfg.id, reply: Box::new(reply) },
+        ));
     }
 
     fn on_cst_reply(&mut self, from: ReplicaId, reply: CstReply, actions: &mut Vec<Action>) {
@@ -859,11 +868,7 @@ impl<S: Service> Replica<S> {
         cst.summaries.insert(from, summary);
         if reply.snapshot.is_some() {
             // Verify the shipped snapshot against its claimed digest.
-            if reply
-                .snapshot
-                .as_ref()
-                .is_some_and(|s| Digest::of(s) == reply.snapshot_digest)
-            {
+            if reply.snapshot.as_ref().is_some_and(|s| Digest::of(s) == reply.snapshot_digest) {
                 cst.full = Some(reply);
             }
         }
@@ -881,11 +886,7 @@ impl<S: Service> Replica<S> {
         self.membership = full.membership.clone();
         self.view = full.view;
         self.log.install(
-            Checkpoint {
-                seq: full.checkpoint_seq,
-                snapshot,
-                digest: full.snapshot_digest,
-            },
+            Checkpoint { seq: full.checkpoint_seq, snapshot, digest: full.snapshot_digest },
             full.suffix.clone(),
         );
         self.last_decided = full.checkpoint_seq;
@@ -919,7 +920,11 @@ impl<S: Service> Replica<S> {
     // -----------------------------------------------------------------
 
     /// Builds the ordered-request encoding of a reconfiguration command.
-    pub fn encode_reconfig(epoch: Epoch, add: Option<ReplicaId>, remove: Option<ReplicaId>) -> Bytes {
+    pub fn encode_reconfig(
+        epoch: Epoch,
+        add: Option<ReplicaId>,
+        remove: Option<ReplicaId>,
+    ) -> Bytes {
         let mut out = Vec::with_capacity(12);
         out.extend_from_slice(&epoch.0.to_be_bytes());
         out.extend_from_slice(&add.map(|r| r.0 + 1).unwrap_or(0).to_be_bytes());
@@ -931,7 +936,9 @@ impl<S: Service> Replica<S> {
         if payload.len() != 12 {
             return None;
         }
-        let word = |i: usize| u32::from_be_bytes([payload[i], payload[i + 1], payload[i + 2], payload[i + 3]]);
+        let word = |i: usize| {
+            u32::from_be_bytes([payload[i], payload[i + 1], payload[i + 2], payload[i + 3]])
+        };
         let epoch = Epoch(word(0));
         let add = match word(4) {
             0 => None,
@@ -1053,9 +1060,9 @@ mod tests {
         cluster.run_to_quiescence();
         let mut done = 0;
         for (cid, reply) in std::mem::take(&mut cluster.client_replies) {
-            if cid == c1.id() && c1.on_reply(reply.clone()).is_some() {
-                done += 1;
-            } else if cid == c2.id() && c2.on_reply(reply).is_some() {
+            if (cid == c1.id() && c1.on_reply(reply.clone()).is_some())
+                || (cid == c2.id() && c2.on_reply(reply).is_some())
+            {
                 done += 1;
             }
         }

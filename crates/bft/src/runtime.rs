@@ -24,7 +24,7 @@ use crate::service::Service;
 use crate::types::{ClientId, Epoch, Membership, ReplicaId};
 
 enum Input {
-    Msg(Message),
+    Msg(Arc<Message>),
     Shutdown,
 }
 
@@ -129,7 +129,15 @@ fn replica_loop<S: Service>(
             match action {
                 Action::Send(to, message) => {
                     if let Some(tx) = peers.get(&to.0) {
-                        let _ = tx.send(Input::Msg(message));
+                        let _ = tx.send(Input::Msg(Arc::new(message)));
+                    }
+                }
+                Action::Broadcast(peers_list, message) => {
+                    // One shared allocation fanned out to every peer inbox.
+                    for to in peers_list {
+                        if let Some(tx) = peers.get(&to.0) {
+                            let _ = tx.send(Input::Msg(Arc::clone(&message)));
+                        }
                     }
                 }
                 Action::SendClient(client, reply) => {
@@ -156,6 +164,7 @@ fn replica_loop<S: Service>(
             .unwrap_or(Duration::from_millis(50));
         match rx.recv_timeout(timeout) {
             Ok(Input::Msg(message)) => {
+                let message = Arc::try_unwrap(message).unwrap_or_else(|shared| (*shared).clone());
                 let actions = replica.on_message(message);
                 apply(actions, &mut timers);
             }
@@ -206,7 +215,7 @@ impl ThreadClient {
         let deadline = Instant::now() + timeout;
         for (to, message) in self.client.invoke(payload) {
             if let Some(tx) = self.inboxes.get(&to.0) {
-                let _ = tx.send(Input::Msg(message));
+                let _ = tx.send(Input::Msg(Arc::new(message)));
             }
         }
         let mut next_retry = Instant::now() + Duration::from_millis(500);
@@ -226,7 +235,7 @@ impl ThreadClient {
                     if Instant::now() >= next_retry {
                         for (to, message) in self.client.retransmit() {
                             if let Some(tx) = self.inboxes.get(&to.0) {
-                                let _ = tx.send(Input::Msg(message));
+                                let _ = tx.send(Input::Msg(Arc::new(message)));
                             }
                         }
                         next_retry = Instant::now() + Duration::from_millis(500);
@@ -249,9 +258,7 @@ mod tests {
         let mut client = cluster.client(1);
         for i in 0..20u32 {
             let payload = Bytes::copy_from_slice(&i.to_be_bytes());
-            let reply = client
-                .invoke(payload.clone(), Duration::from_secs(5))
-                .expect("completes");
+            let reply = client.invoke(payload.clone(), Duration::from_secs(5)).expect("completes");
             assert_eq!(reply, payload);
         }
         cluster.shutdown();

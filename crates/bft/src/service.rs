@@ -72,6 +72,24 @@ impl Service for CounterService {
     }
 }
 
+impl Service for Box<dyn Service> {
+    fn execute(&mut self, client: ClientId, payload: &[u8]) -> Bytes {
+        (**self).execute(client, payload)
+    }
+
+    fn snapshot(&self) -> Bytes {
+        (**self).snapshot()
+    }
+
+    fn install(&mut self, snapshot: &[u8]) {
+        (**self).install(snapshot)
+    }
+
+    fn state_size(&self) -> usize {
+        (**self).state_size()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,23 +116,5 @@ mod tests {
         assert_eq!(b.executed(), 5);
         assert_eq!(a.snapshot(), b.snapshot());
         assert_eq!(a.state_size(), 8);
-    }
-}
-
-impl Service for Box<dyn Service> {
-    fn execute(&mut self, client: ClientId, payload: &[u8]) -> Bytes {
-        (**self).execute(client, payload)
-    }
-
-    fn snapshot(&self) -> Bytes {
-        (**self).snapshot()
-    }
-
-    fn install(&mut self, snapshot: &[u8]) {
-        (**self).install(snapshot)
-    }
-
-    fn state_size(&self) -> usize {
-        (**self).state_size()
     }
 }

@@ -8,6 +8,7 @@
 //! reproducible from its seed.
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -24,7 +25,7 @@ pub const TEST_SECRET: &[u8] = b"lazarus-deployment";
 /// An in-memory cluster of [`CounterService`] replicas.
 pub struct TestCluster {
     replicas: BTreeMap<u32, Replica<CounterService>>,
-    queue: VecDeque<(ReplicaId, Message)>,
+    queue: VecDeque<(ReplicaId, Arc<Message>)>,
     /// Replies emitted to clients, in delivery order.
     pub client_replies: Vec<(ClientId, Reply)>,
     crashed: HashSet<ReplicaId>,
@@ -74,11 +75,7 @@ impl TestCluster {
 
     /// The default membership used by this cluster's clients.
     pub fn membership(&self) -> Membership {
-        self.replicas
-            .values()
-            .next()
-            .map(|r| r.membership().clone())
-            .expect("cluster has replicas")
+        self.replicas.values().next().map(|r| r.membership().clone()).expect("cluster has replicas")
     }
 
     /// Access to a replica.
@@ -98,7 +95,7 @@ impl TestCluster {
 
     /// Injects a message addressed to `to`.
     pub fn inject(&mut self, to: ReplicaId, message: Message) {
-        self.queue.push_back((to, message));
+        self.queue.push_back((to, Arc::new(message)));
     }
 
     /// Fires a timer on a live replica and absorbs the resulting actions.
@@ -132,7 +129,15 @@ impl TestCluster {
             match action {
                 Action::Send(to, message) => {
                     if !self.crashed.contains(&from) {
-                        self.queue.push_back((to, message));
+                        self.queue.push_back((to, Arc::new(message)));
+                    }
+                }
+                Action::Broadcast(peers, message) => {
+                    if !self.crashed.contains(&from) {
+                        // One shared allocation, N queue entries.
+                        for to in peers {
+                            self.queue.push_back((to, Arc::clone(&message)));
+                        }
                     }
                 }
                 Action::SendClient(client, reply) => {
@@ -169,6 +174,9 @@ impl TestCluster {
             return true;
         }
         let Some(replica) = self.replicas.get_mut(&to.0) else { return true };
+        // Last holder takes the message without a copy; earlier holders make
+        // a shallow clone (batches share their request slice).
+        let message = Arc::try_unwrap(message).unwrap_or_else(|shared| (*shared).clone());
         let actions = replica.on_message(message);
         self.absorb(to, actions);
         true

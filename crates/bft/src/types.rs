@@ -2,10 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A replica identifier (stable across views and epochs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ReplicaId(pub u32);
 
 impl fmt::Display for ReplicaId {
@@ -15,7 +13,7 @@ impl fmt::Display for ReplicaId {
 }
 
 /// A client identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ClientId(pub u64);
 
 impl fmt::Display for ClientId {
@@ -25,7 +23,7 @@ impl fmt::Display for ClientId {
 }
 
 /// A consensus instance number (the slot in the total order).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SeqNo(pub u64);
 
 impl SeqNo {
@@ -42,7 +40,7 @@ impl fmt::Display for SeqNo {
 }
 
 /// A leader-regency (view) number within a membership epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct View(pub u64);
 
 impl View {
@@ -59,7 +57,7 @@ impl fmt::Display for View {
 }
 
 /// A membership epoch: bumped by every reconfiguration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Epoch(pub u32);
 
 impl Epoch {
@@ -76,7 +74,7 @@ impl fmt::Display for Epoch {
 }
 
 /// The replica membership of one epoch.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Membership {
     /// Epoch this membership belongs to.
     pub epoch: Epoch,
@@ -210,6 +208,9 @@ mod tests {
         assert_eq!(SeqNo(3).next(), SeqNo(4));
         assert_eq!(View(0).next(), View(1));
         assert_eq!(Epoch(1).next(), Epoch(2));
-        assert_eq!(format!("{} {} {} {}", ReplicaId(2), ClientId(5), SeqNo(9), View(1)), "r2 c5 #9 v1");
+        assert_eq!(
+            format!("{} {} {} {}", ReplicaId(2), ClientId(5), SeqNo(9), View(1)),
+            "r2 c5 #9 v1"
+        );
     }
 }

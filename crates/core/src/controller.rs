@@ -233,9 +233,14 @@ impl Controller {
         // regular round, force its replacement.
         if !matches!(outcome, MonitorOutcome::Reconfigured { .. }) {
             if let Some(alarm) = alarms.iter().find(|a| {
-                a.affected
-                    .iter()
-                    .any(|os| self.sets.as_ref().expect("set").config.iter().any(|&i| self.cfg.universe[i] == *os))
+                a.affected.iter().any(|os| {
+                    self.sets
+                        .as_ref()
+                        .expect("set")
+                        .config
+                        .iter()
+                        .any(|&i| self.cfg.universe[i] == *os)
+                })
             }) {
                 let victim_os = alarm.affected[0];
                 outcome = self.force_swap(victim_os, &matrix);

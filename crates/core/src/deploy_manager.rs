@@ -129,10 +129,7 @@ impl DeployManager {
     }
 
     fn free_host(&mut self) -> usize {
-        self.hosts
-            .iter()
-            .position(Host::is_free)
-            .expect("a free host is available")
+        self.hosts.iter().position(Host::is_free).expect("a free host is available")
     }
 
     fn power_on_steps(&mut self, os: OsVersion) -> Vec<DeploymentStep> {
@@ -160,10 +157,7 @@ impl DeployManager {
     ///
     /// Panics if `outgoing` is not deployed or no host is free.
     pub fn swap(&mut self, incoming: OsVersion, outgoing: OsVersion) -> Vec<DeploymentStep> {
-        let out = self
-            .deployment_of(outgoing)
-            .cloned()
-            .expect("outgoing OS is deployed");
+        let out = self.deployment_of(outgoing).cloned().expect("outgoing OS is deployed");
         let mut plan = self.power_on_steps(incoming);
         let joined = self.active.last().expect("just added").replica;
         plan.push(DeploymentStep::AddReplica { epoch: self.epoch, replica: joined });

@@ -58,11 +58,8 @@ impl RiskManager {
     /// (Re)builds the description clusters, reusing the cache when the
     /// knowledge base has not grown since the last call.
     pub fn clusters(&mut self, kb: &KnowledgeBase) -> &VulnClusters {
-        let needs_rebuild = self
-            .cached_clusters
-            .as_ref()
-            .map(|(n, _)| *n != kb.len())
-            .unwrap_or(true);
+        let needs_rebuild =
+            self.cached_clusters.as_ref().map(|(n, _)| *n != kb.len()).unwrap_or(true);
         if needs_rebuild {
             let corpus: Vec<_> = kb.iter().cloned().collect();
             let clusters = VulnClusters::build(&corpus, self.cluster_seed);
@@ -127,8 +124,13 @@ mod tests {
     }
 
     fn critical(id: u32, published: Date, target: OsVersion) -> Vulnerability {
-        Vulnerability::new(CveId::new(2018, id), published, CvssV3::CRITICAL_RCE, format!("flaw {id}"))
-            .affecting(AffectedPlatform::exact(target.to_cpe()))
+        Vulnerability::new(
+            CveId::new(2018, id),
+            published,
+            CvssV3::CRITICAL_RCE,
+            format!("flaw {id}"),
+        )
+        .affecting(AffectedPlatform::exact(target.to_cpe()))
     }
 
     #[test]

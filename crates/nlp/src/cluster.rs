@@ -36,7 +36,10 @@ impl VulnClusters {
     }
 
     /// Builds clusters over the corpus with elbow-selected K.
-    pub fn build<'a>(corpus: impl IntoIterator<Item = &'a Vulnerability>, seed: u64) -> VulnClusters {
+    pub fn build<'a>(
+        corpus: impl IntoIterator<Item = &'a Vulnerability>,
+        seed: u64,
+    ) -> VulnClusters {
         Self::build_inner(corpus, None, seed)
     }
 
@@ -133,8 +136,7 @@ impl VulnClusters {
     /// least `min_similarity`-cosine-similar — the relation the risk oracle
     /// uses to infer hidden vulnerability sharing.
     pub fn similar(&self, a: CveId, b: CveId, min_similarity: f64) -> bool {
-        self.same_cluster(a, b)
-            && self.similarity(a, b).is_some_and(|s| s >= min_similarity)
+        self.same_cluster(a, b) && self.similarity(a, b).is_some_and(|s| s >= min_similarity)
     }
 }
 

@@ -47,11 +47,7 @@ pub fn default_candidates(n: usize) -> Vec<usize> {
 /// Panics if `candidates` is empty while `points` is non-empty.
 pub fn elbow(points: &[SparseVec], candidates: &[usize], seed: u64) -> ElbowResult {
     if points.is_empty() {
-        return ElbowResult {
-            curve: vec![],
-            chosen_k: 0,
-            clustering: kmeans(points, 0, seed),
-        };
+        return ElbowResult { curve: vec![], chosen_k: 0, clustering: kmeans(points, 0, seed) };
     }
     assert!(!candidates.is_empty(), "need at least one candidate k");
     let mut runs: Vec<(usize, Clustering)> = candidates
@@ -61,11 +57,7 @@ pub fn elbow(points: &[SparseVec], candidates: &[usize], seed: u64) -> ElbowResu
     runs.dedup_by_key(|(k, _)| *k);
     let curve: Vec<(usize, f64)> = runs.iter().map(|(k, c)| (*k, c.wcss)).collect();
 
-    let chosen_idx = if curve.len() <= 2 {
-        curve.len() - 1
-    } else {
-        max_chord_distance(&curve)
-    };
+    let chosen_idx = if curve.len() <= 2 { curve.len() - 1 } else { max_chord_distance(&curve) };
     let (chosen_k, clustering) = runs.swap_remove(chosen_idx);
     ElbowResult { curve, chosen_k, clustering }
 }

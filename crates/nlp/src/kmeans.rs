@@ -74,11 +74,7 @@ impl SparseVec {
     /// Panics (in debug builds) if dimensions mismatch.
     pub fn dot_dense(&self, dense: &[f64]) -> f64 {
         debug_assert_eq!(self.dim, dense.len());
-        self.idx
-            .iter()
-            .zip(&self.val)
-            .map(|(&i, &v)| v * dense[i as usize])
-            .sum()
+        self.idx.iter().zip(&self.val).map(|(&i, &v)| v * dense[i as usize]).sum()
     }
 
     /// Squared Euclidean distance to a dense centroid with known norm.
@@ -123,12 +119,7 @@ impl Clustering {
 
     /// Indices of points in cluster `c`.
     pub fn members(&self, c: usize) -> Vec<usize> {
-        self.assignments
-            .iter()
-            .enumerate()
-            .filter(|&(_, &a)| a == c)
-            .map(|(i, _)| i)
-            .collect()
+        self.assignments.iter().enumerate().filter(|&(_, &a)| a == c).map(|(i, _)| i).collect()
     }
 
     /// Sizes of all clusters.
@@ -163,10 +154,8 @@ pub fn kmeans(points: &[SparseVec], k: usize, seed: u64) -> Clustering {
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut centroids = plus_plus_init(points, k, &mut rng);
-    let mut centroid_norms: Vec<f64> = centroids
-        .iter()
-        .map(|c| c.iter().map(|x| x * x).sum())
-        .collect();
+    let mut centroid_norms: Vec<f64> =
+        centroids.iter().map(|c| c.iter().map(|x| x * x).sum()).collect();
     let mut assignments = vec![0usize; points.len()];
     let mut iterations = 0;
 
@@ -202,8 +191,14 @@ pub fn kmeans(points: &[SparseVec], k: usize, seed: u64) -> Clustering {
                     .iter()
                     .enumerate()
                     .max_by(|(i, p), (j, q)| {
-                        let di = p.distance_sq_to(&centroids[assignments[*i]], centroid_norms[assignments[*i]]);
-                        let dj = q.distance_sq_to(&centroids[assignments[*j]], centroid_norms[assignments[*j]]);
+                        let di = p.distance_sq_to(
+                            &centroids[assignments[*i]],
+                            centroid_norms[assignments[*i]],
+                        );
+                        let dj = q.distance_sq_to(
+                            &centroids[assignments[*j]],
+                            centroid_norms[assignments[*j]],
+                        );
                         di.partial_cmp(&dj).expect("finite distances")
                     })
                     .map(|(i, _)| i)
@@ -351,11 +346,7 @@ mod tests {
     #[test]
     fn wcss_is_monotone_in_k() {
         let pts = blobs();
-        let best = |k: usize| {
-            (0..3)
-                .map(|s| kmeans(&pts, k, s).wcss)
-                .fold(f64::INFINITY, f64::min)
-        };
+        let best = |k: usize| (0..3).map(|s| kmeans(&pts, k, s).wcss).fold(f64::INFINITY, f64::min);
         let w1 = best(1);
         let w2 = best(2);
         let w4 = best(4);
@@ -399,8 +390,8 @@ mod tests {
         let pts = blobs();
         let c = kmeans(&pts, 2, 3);
         let sizes = c.sizes();
-        for k in 0..c.k() {
-            assert_eq!(c.members(k).len(), sizes[k]);
+        for (k, &size) in sizes.iter().enumerate() {
+            assert_eq!(c.members(k).len(), size);
         }
         assert_eq!(sizes.iter().sum::<usize>(), pts.len());
     }

@@ -8,14 +8,69 @@
 /// English stop words plus boilerplate that appears in virtually every CVE
 /// description and therefore carries no clustering signal.
 const STOP_WORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "before", "by", "can", "could", "do", "does",
-    "earlier", "for", "from", "has", "have", "how", "in", "is", "it", "its", "of", "on", "or",
-    "than", "that", "the", "their", "there", "these", "this", "through", "to", "via", "was",
-    "when", "where", "which", "while", "who", "will", "with", "within",
+    "a",
+    "an",
+    "and",
+    "are",
+    "as",
+    "at",
+    "be",
+    "before",
+    "by",
+    "can",
+    "could",
+    "do",
+    "does",
+    "earlier",
+    "for",
+    "from",
+    "has",
+    "have",
+    "how",
+    "in",
+    "is",
+    "it",
+    "its",
+    "of",
+    "on",
+    "or",
+    "than",
+    "that",
+    "the",
+    "their",
+    "there",
+    "these",
+    "this",
+    "through",
+    "to",
+    "via",
+    "was",
+    "when",
+    "where",
+    "which",
+    "while",
+    "who",
+    "will",
+    "with",
+    "within",
     // CVE boilerplate
-    "vulnerability", "vulnerabilities", "allow", "allows", "allowing", "attacker", "attackers",
-    "issue", "affected", "affects", "version", "versions", "aka", "other", "certain",
-    "unspecified", "multiple",
+    "vulnerability",
+    "vulnerabilities",
+    "allow",
+    "allows",
+    "allowing",
+    "attacker",
+    "attackers",
+    "issue",
+    "affected",
+    "affects",
+    "version",
+    "versions",
+    "aka",
+    "other",
+    "certain",
+    "unspecified",
+    "multiple",
 ];
 
 /// True when `word` is a stop word (after lowercasing).
@@ -30,9 +85,7 @@ pub fn is_stop_word(word: &str) -> bool {
 pub fn stem(word: &str) -> String {
     let w = word;
     let try_strip = |w: &str, suffix: &str, min_stem: usize| -> Option<String> {
-        w.strip_suffix(suffix)
-            .filter(|stem| stem.len() >= min_stem)
-            .map(|s| s.to_string())
+        w.strip_suffix(suffix).filter(|stem| stem.len() >= min_stem).map(|s| s.to_string())
     };
     if let Some(s) = try_strip(w, "ization", 3) {
         return s + "ize";

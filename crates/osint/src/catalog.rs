@@ -9,12 +9,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::cpe::Cpe;
 
 /// An OS distribution family.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OsFamily {
     /// OpenBSD.
     OpenBsd,
@@ -55,7 +53,10 @@ impl OsFamily {
     /// lineage (e.g. CVE-2018-8897 hit Ubuntu and Debian simultaneously).
     pub fn kernel(self) -> Kernel {
         match self {
-            OsFamily::Ubuntu | OsFamily::Debian | OsFamily::Fedora | OsFamily::RedHat
+            OsFamily::Ubuntu
+            | OsFamily::Debian
+            | OsFamily::Fedora
+            | OsFamily::RedHat
             | OsFamily::OpenSuse => Kernel::Linux,
             OsFamily::Windows => Kernel::Nt,
             OsFamily::FreeBsd => Kernel::FreeBsd,
@@ -126,7 +127,7 @@ impl fmt::Display for OsFamily {
 }
 
 /// Kernel lineage (see [`OsFamily::kernel`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Kernel {
     /// The Linux kernel.
     Linux,
@@ -141,7 +142,7 @@ pub enum Kernel {
 }
 
 /// Userland package base (see [`OsFamily::package_base`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PackageBase {
     /// dpkg/apt world (Debian, Ubuntu).
     Deb,
@@ -156,7 +157,7 @@ pub enum PackageBase {
 }
 
 /// One concrete OS version — the unit of diversity in Lazarus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OsVersion {
     /// The distribution family.
     pub family: OsFamily,
@@ -329,6 +330,9 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(OsVersion::new(OsFamily::Ubuntu, "16.04").to_string(), "Ubuntu 16.04");
-        assert_eq!(OsVersion::new(OsFamily::Windows, "server_2012").to_string(), "Windows server_2012");
+        assert_eq!(
+            OsVersion::new(OsFamily::Windows, "server_2012").to_string(),
+            "Windows server_2012"
+        );
     }
 }

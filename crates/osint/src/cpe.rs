@@ -22,10 +22,8 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 /// The `part` component of a CPE name.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CpePart {
     /// `o` — operating system.
     Os,
@@ -38,7 +36,7 @@ pub enum CpePart {
 }
 
 /// A single CPE 2.3 attribute value: a literal, the wildcard `*`, or `-`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum CpeValue {
     /// `*` — matches anything.
     Any,
@@ -90,7 +88,7 @@ impl fmt::Display for CpeValue {
 /// A CPE 2.3 name. Only the attributes Lazarus uses (part, vendor, product,
 /// version, update) are kept structured; the remaining five are preserved
 /// verbatim for round-tripping.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Cpe {
     /// Platform part.
     pub part: CpePart,
@@ -236,7 +234,7 @@ pub fn compare_versions(a: &str, b: &str) -> Ordering {
 }
 
 /// A version range constraint as attached to CPE matches in NVD feeds.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct VersionRange {
     /// Inclusive lower bound.
     pub start_including: Option<String>,
@@ -368,10 +366,7 @@ mod tests {
         assert!(!r.contains("8.0.1"));
         assert!(!r.contains("9.0.2"));
         assert!(VersionRange::any().contains("anything"));
-        let r = VersionRange {
-            start_excluding: Some("1.0".into()),
-            ..Default::default()
-        };
+        let r = VersionRange { start_excluding: Some("1.0".into()), ..Default::default() };
         assert!(!r.contains("1.0"));
         assert!(r.contains("1.1"));
     }

@@ -24,10 +24,8 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 /// Attack Vector (AV): where the attacker must be to exploit the flaw.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttackVector {
     /// `AV:N` — exploitable across the network (most severe).
     Network,
@@ -40,7 +38,7 @@ pub enum AttackVector {
 }
 
 /// Attack Complexity (AC).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttackComplexity {
     /// `AC:L` — no specialised conditions required.
     Low,
@@ -49,7 +47,7 @@ pub enum AttackComplexity {
 }
 
 /// Privileges Required (PR).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PrivilegesRequired {
     /// `PR:N` — unauthenticated.
     None,
@@ -60,7 +58,7 @@ pub enum PrivilegesRequired {
 }
 
 /// User Interaction (UI).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UserInteraction {
     /// `UI:N` — no user participation needed.
     None,
@@ -69,7 +67,7 @@ pub enum UserInteraction {
 }
 
 /// Scope (S): whether the exploit escapes the vulnerable component.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scope {
     /// `S:U` — impact confined to the vulnerable component.
     Unchanged,
@@ -78,7 +76,7 @@ pub enum Scope {
 }
 
 /// Impact level for each of the C/I/A security properties.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Impact {
     /// `H` — total loss of the property.
     High,
@@ -90,7 +88,7 @@ pub enum Impact {
 
 /// Qualitative severity rating derived from the base score
 /// (spec section 5, also quoted in paper §4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
     /// 0.0
     None,
@@ -151,7 +149,7 @@ impl fmt::Display for Severity {
 }
 
 /// A complete CVSS v3.1 base-metric group.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CvssV3 {
     /// Attack Vector.
     pub av: AttackVector,
@@ -355,10 +353,7 @@ impl FromStr for CvssV3 {
     /// metrics may appear in any order but all eight base metrics must be
     /// present exactly once.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let body = s
-            .strip_prefix("CVSS:3.1/")
-            .or_else(|| s.strip_prefix("CVSS:3.0/"))
-            .unwrap_or(s);
+        let body = s.strip_prefix("CVSS:3.1/").or_else(|| s.strip_prefix("CVSS:3.0/")).unwrap_or(s);
         let (mut av, mut ac, mut pr, mut ui) = (None, None, None, None);
         let (mut sc, mut c, mut i, mut a) = (None, None, None, None);
         for part in body.split('/') {
@@ -438,8 +433,8 @@ impl FromStr for CvssV3 {
                     }
                 }
                 // Temporal/environmental metrics are tolerated and ignored.
-                "E" | "RL" | "RC" | "CR" | "IR" | "AR" | "MAV" | "MAC" | "MPR" | "MUI"
-                | "MS" | "MC" | "MI" | "MA" => {}
+                "E" | "RL" | "RC" | "CR" | "IR" | "AR" | "MAV" | "MAC" | "MPR" | "MUI" | "MS"
+                | "MC" | "MI" | "MA" => {}
                 _ => return Err(ParseCvssError::new(format!("unknown metric {key:?}"))),
             }
         }
@@ -488,10 +483,7 @@ mod tests {
     fn zero_impact_is_zero_score() {
         assert_eq!(score("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N"), 0.0);
         assert_eq!(
-            "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N"
-                .parse::<CvssV3>()
-                .unwrap()
-                .severity(),
+            "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N".parse::<CvssV3>().unwrap().severity(),
             Severity::None
         );
     }
@@ -540,9 +532,7 @@ mod tests {
 
     #[test]
     fn temporal_metrics_tolerated() {
-        let v: CvssV3 = "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/E:F/RL:O"
-            .parse()
-            .unwrap();
+        let v: CvssV3 = "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/E:F/RL:O".parse().unwrap();
         assert_eq!(v.base_score(), 9.8);
     }
 

@@ -236,20 +236,17 @@ mod tests {
             "id,file,description,date_published,author,type,platform,port,verified,codes\n\
              1,f,d,2018-05-21,a,local,linux,0,1,CVE-2018-8897\n",
         );
-        let ubuntu = UbuntuSource::new(UbuntuSource::render(&[
-            crate::sources::vendors::AdvisoryEntry {
+        let ubuntu =
+            UbuntuSource::new(UbuntuSource::render(&[crate::sources::vendors::AdvisoryEntry {
                 advisory: "USN-3641-1".into(),
                 subject: "linux".into(),
                 date: Date::from_ymd(2018, 5, 20),
                 cves: vec![CveId::new(2018, 8897)],
                 versions: vec!["16.04".into()],
-            },
-        ]));
+            }]));
         let debian = DebianSource::default();
 
-        let stats = dm
-            .sync_sources(&[&exploitdb, &ubuntu, &debian], Date::EPOCH)
-            .unwrap();
+        let stats = dm.sync_sources(&[&exploitdb, &ubuntu, &debian], Date::EPOCH).unwrap();
         assert_eq!(stats.enrichments_applied, 2);
         dm.read(|kb| {
             let v = kb.get(CveId::new(2018, 8897)).unwrap();
@@ -269,7 +266,10 @@ mod tests {
         assert_eq!(stats.enrichments_buffered, 1);
         dm.sync_feeds(&[feed_with(&[8897])]).unwrap();
         dm.read(|kb| {
-            assert!(kb.get(CveId::new(2018, 8897)).unwrap().is_exploited(Date::from_ymd(2018, 6, 1)));
+            assert!(kb
+                .get(CveId::new(2018, 8897))
+                .unwrap()
+                .is_exploited(Date::from_ymd(2018, 6, 1)));
         });
     }
 

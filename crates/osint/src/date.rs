@@ -21,11 +21,8 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 /// A calendar date, stored as days since the Unix epoch (1970-01-01).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Date(i32);
 
 impl Date {
@@ -274,10 +271,7 @@ mod tests {
     #[test]
     fn parse_plain_and_nvd_timestamp() {
         assert_eq!("2018-05-08".parse::<Date>().unwrap(), Date::from_ymd(2018, 5, 8));
-        assert_eq!(
-            "2016-09-08T13:29Z".parse::<Date>().unwrap(),
-            Date::from_ymd(2016, 9, 8)
-        );
+        assert_eq!("2016-09-08T13:29Z".parse::<Date>().unwrap(), Date::from_ymd(2016, 9, 8));
     }
 
     #[test]

@@ -14,73 +14,63 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::cpe::{Cpe, VersionRange};
 use crate::cvss::CvssV3;
 use crate::date::Date;
+use crate::json::{self, JsonError, Value};
 use crate::model::{AffectedPlatform, CveId, Vulnerability};
 
 /// Top-level NVD feed document.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NvdFeed {
     /// Always `"CVE"`.
-    #[serde(rename = "CVE_data_type")]
     pub data_type: String,
     /// Feed format label.
-    #[serde(rename = "CVE_data_format")]
     pub data_format: String,
     /// Number of items, as a string (sic — NVD encodes it that way).
-    #[serde(rename = "CVE_data_numberOfCVEs")]
     pub number_of_cves: String,
     /// The vulnerability entries.
-    #[serde(rename = "CVE_Items")]
     pub items: Vec<NvdItem>,
 }
 
 /// One `CVE_Items[]` entry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NvdItem {
     /// CVE block: id and descriptions.
     pub cve: NvdCve,
     /// Platform applicability statements.
-    #[serde(default)]
     pub configurations: NvdConfigurations,
     /// Impact block (CVSS).
-    #[serde(default)]
     pub impact: NvdImpact,
     /// Publication timestamp, e.g. `2018-05-08T13:29Z`.
-    #[serde(rename = "publishedDate")]
     pub published_date: String,
 }
 
 /// The `cve` sub-object.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NvdCve {
     /// Metadata holding the CVE id.
-    #[serde(rename = "CVE_data_meta")]
     pub meta: NvdMeta,
     /// Description list.
     pub description: NvdDescription,
 }
 
 /// `CVE_data_meta`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NvdMeta {
     /// The CVE identifier, e.g. `CVE-2018-8897`.
-    #[serde(rename = "ID")]
     pub id: String,
 }
 
 /// `description` block.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct NvdDescription {
     /// Language-tagged description strings.
     pub description_data: Vec<NvdLangString>,
 }
 
 /// One language-tagged string.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NvdLangString {
     /// BCP-47 language tag (NVD uses `en`).
     pub lang: String,
@@ -89,74 +79,61 @@ pub struct NvdLangString {
 }
 
 /// `configurations` block: a forest of applicability nodes.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct NvdConfigurations {
     /// Root nodes.
-    #[serde(default)]
     pub nodes: Vec<NvdNode>,
 }
 
 /// One applicability node (possibly an AND/OR combination).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct NvdNode {
     /// `AND` / `OR`; Lazarus flattens both, taking the union of vulnerable
     /// platforms (the conservative reading for risk purposes).
-    #[serde(default)]
     pub operator: String,
     /// CPE match expressions at this node.
-    #[serde(default)]
     pub cpe_match: Vec<NvdCpeMatch>,
     /// Nested nodes.
-    #[serde(default)]
     pub children: Vec<NvdNode>,
 }
 
 /// One CPE match expression.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NvdCpeMatch {
     /// Whether the matched platform is vulnerable (vs. merely present).
     pub vulnerable: bool,
     /// CPE 2.3 formatted string.
-    #[serde(rename = "cpe23Uri")]
     pub cpe23_uri: String,
     /// Inclusive version lower bound.
-    #[serde(rename = "versionStartIncluding", skip_serializing_if = "Option::is_none")]
     pub version_start_including: Option<String>,
     /// Exclusive version lower bound.
-    #[serde(rename = "versionStartExcluding", skip_serializing_if = "Option::is_none")]
     pub version_start_excluding: Option<String>,
     /// Inclusive version upper bound.
-    #[serde(rename = "versionEndIncluding", skip_serializing_if = "Option::is_none")]
     pub version_end_including: Option<String>,
     /// Exclusive version upper bound.
-    #[serde(rename = "versionEndExcluding", skip_serializing_if = "Option::is_none")]
     pub version_end_excluding: Option<String>,
 }
 
 /// `impact` block.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct NvdImpact {
     /// CVSS v3 metrics, when assigned.
-    #[serde(rename = "baseMetricV3", skip_serializing_if = "Option::is_none")]
     pub base_metric_v3: Option<NvdBaseMetricV3>,
 }
 
 /// `baseMetricV3`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NvdBaseMetricV3 {
     /// The CVSS v3 object.
-    #[serde(rename = "cvssV3")]
     pub cvss_v3: NvdCvssV3,
 }
 
 /// `cvssV3`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NvdCvssV3 {
     /// The vector string, e.g. `CVSS:3.1/AV:N/...`.
-    #[serde(rename = "vectorString")]
     pub vector_string: String,
     /// The published base score (we recompute and cross-check).
-    #[serde(rename = "baseScore")]
     pub base_score: f64,
 }
 
@@ -164,7 +141,7 @@ pub struct NvdCvssV3 {
 #[derive(Debug)]
 pub enum FeedError {
     /// The document is not valid JSON / does not fit the schema.
-    Json(serde_json::Error),
+    Json(JsonError),
     /// An item carried an invalid field (CVE id, date, CPE, CVSS vector).
     Item {
         /// The offending CVE id (or raw string when the id itself is bad).
@@ -192,8 +169,8 @@ impl std::error::Error for FeedError {
     }
 }
 
-impl From<serde_json::Error> for FeedError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<JsonError> for FeedError {
+    fn from(e: JsonError) -> Self {
         FeedError::Json(e)
     }
 }
@@ -215,12 +192,12 @@ impl NvdFeed {
     ///
     /// Returns [`FeedError::Json`] when the text is not schema-valid JSON.
     pub fn parse(json: &str) -> Result<NvdFeed, FeedError> {
-        Ok(serde_json::from_str(json)?)
+        Ok(NvdFeed::from_value(&json::parse(json)?)?)
     }
 
     /// Serializes the feed to JSON text.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("feed serialization cannot fail")
+        self.to_value().to_json()
     }
 
     /// Converts every item into a [`Vulnerability`] record.
@@ -296,12 +273,7 @@ impl NvdItem {
         let Some(metric) = &self.impact.base_metric_v3 else {
             return Ok(None);
         };
-        let Some(desc) = self
-            .cve
-            .description
-            .description_data
-            .iter()
-            .find(|d| d.lang == "en")
+        let Some(desc) = self.cve.description.description_data.iter().find(|d| d.lang == "en")
         else {
             return Ok(None);
         };
@@ -309,13 +281,9 @@ impl NvdItem {
             return Ok(None);
         }
 
-        let id: CveId = cve_raw
-            .parse()
-            .map_err(|e| item_err(format!("bad CVE id: {e}")))?;
-        let published: Date = self
-            .published_date
-            .parse()
-            .map_err(|e| item_err(format!("bad publishedDate: {e}")))?;
+        let id: CveId = cve_raw.parse().map_err(|e| item_err(format!("bad CVE id: {e}")))?;
+        let published: Date =
+            self.published_date.parse().map_err(|e| item_err(format!("bad publishedDate: {e}")))?;
         let cvss: CvssV3 = metric
             .cvss_v3
             .vector_string
@@ -329,10 +297,8 @@ impl NvdItem {
                 if !m.vulnerable {
                     continue;
                 }
-                let cpe: Cpe = m
-                    .cpe23_uri
-                    .parse()
-                    .map_err(|e| item_err(format!("bad CPE: {e}")))?;
+                let cpe: Cpe =
+                    m.cpe23_uri.parse().map_err(|e| item_err(format!("bad CPE: {e}")))?;
                 vuln.affected.push(AffectedPlatform {
                     cpe,
                     range: VersionRange {
@@ -346,6 +312,253 @@ impl NvdItem {
             stack.extend(node.children.iter());
         }
         Ok(Some(vuln))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON (de)serialization — hand-written against `crate::json`, preserving the
+// NVD 1.1 field names. Missing-field and wrong-type errors surface as
+// `FeedError::Json`, exactly like schema violations from a derive-based
+// deserializer would.
+// ---------------------------------------------------------------------------
+
+fn req_str(v: &Value, key: &str) -> Result<String, JsonError> {
+    Ok(v.req(key)?.as_str(key)?.to_string())
+}
+
+fn opt_str(v: &Value, key: &str) -> Result<Option<String>, JsonError> {
+    match v.get(key) {
+        Some(field) => Ok(Some(field.as_str(key)?.to_string())),
+        None => Ok(None),
+    }
+}
+
+fn push_opt(fields: &mut Vec<(String, Value)>, key: &str, value: &Option<String>) {
+    if let Some(s) = value {
+        fields.push((key.to_string(), Value::String(s.clone())));
+    }
+}
+
+impl NvdFeed {
+    fn from_value(v: &Value) -> Result<NvdFeed, JsonError> {
+        v.as_object("NVD feed")?;
+        Ok(NvdFeed {
+            data_type: req_str(v, "CVE_data_type")?,
+            data_format: req_str(v, "CVE_data_format")?,
+            number_of_cves: req_str(v, "CVE_data_numberOfCVEs")?,
+            items: v
+                .req("CVE_Items")?
+                .as_array("CVE_Items")?
+                .iter()
+                .map(NvdItem::from_value)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("CVE_data_type".into(), Value::String(self.data_type.clone())),
+            ("CVE_data_format".into(), Value::String(self.data_format.clone())),
+            ("CVE_data_numberOfCVEs".into(), Value::String(self.number_of_cves.clone())),
+            ("CVE_Items".into(), Value::Array(self.items.iter().map(NvdItem::to_value).collect())),
+        ])
+    }
+}
+
+impl NvdItem {
+    fn from_value(v: &Value) -> Result<NvdItem, JsonError> {
+        Ok(NvdItem {
+            cve: NvdCve::from_value(v.req("cve")?)?,
+            configurations: match v.get("configurations") {
+                Some(c) => NvdConfigurations::from_value(c)?,
+                None => NvdConfigurations::default(),
+            },
+            impact: match v.get("impact") {
+                Some(i) => NvdImpact::from_value(i)?,
+                None => NvdImpact::default(),
+            },
+            published_date: req_str(v, "publishedDate")?,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("cve".into(), self.cve.to_value()),
+            ("configurations".into(), self.configurations.to_value()),
+            ("impact".into(), self.impact.to_value()),
+            ("publishedDate".into(), Value::String(self.published_date.clone())),
+        ])
+    }
+}
+
+impl NvdCve {
+    fn from_value(v: &Value) -> Result<NvdCve, JsonError> {
+        let meta = v.req("CVE_data_meta")?;
+        let description = v.req("description")?;
+        Ok(NvdCve {
+            meta: NvdMeta { id: req_str(meta, "ID")? },
+            description: NvdDescription {
+                description_data: description
+                    .req("description_data")?
+                    .as_array("description_data")?
+                    .iter()
+                    .map(|d| {
+                        Ok(NvdLangString { lang: req_str(d, "lang")?, value: req_str(d, "value")? })
+                    })
+                    .collect::<Result<_, JsonError>>()?,
+            },
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "CVE_data_meta".into(),
+                Value::Object(vec![("ID".into(), Value::String(self.meta.id.clone()))]),
+            ),
+            (
+                "description".into(),
+                Value::Object(vec![(
+                    "description_data".into(),
+                    Value::Array(
+                        self.description
+                            .description_data
+                            .iter()
+                            .map(|d| {
+                                Value::Object(vec![
+                                    ("lang".into(), Value::String(d.lang.clone())),
+                                    ("value".into(), Value::String(d.value.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                )]),
+            ),
+        ])
+    }
+}
+
+impl NvdConfigurations {
+    fn from_value(v: &Value) -> Result<NvdConfigurations, JsonError> {
+        Ok(NvdConfigurations {
+            nodes: match v.get("nodes") {
+                Some(nodes) => nodes
+                    .as_array("nodes")?
+                    .iter()
+                    .map(NvdNode::from_value)
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
+            },
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![(
+            "nodes".into(),
+            Value::Array(self.nodes.iter().map(NvdNode::to_value).collect()),
+        )])
+    }
+}
+
+impl NvdNode {
+    fn from_value(v: &Value) -> Result<NvdNode, JsonError> {
+        Ok(NvdNode {
+            operator: opt_str(v, "operator")?.unwrap_or_default(),
+            cpe_match: match v.get("cpe_match") {
+                Some(matches) => matches
+                    .as_array("cpe_match")?
+                    .iter()
+                    .map(NvdCpeMatch::from_value)
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
+            },
+            children: match v.get("children") {
+                Some(children) => children
+                    .as_array("children")?
+                    .iter()
+                    .map(NvdNode::from_value)
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
+            },
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("operator".into(), Value::String(self.operator.clone())),
+            (
+                "cpe_match".into(),
+                Value::Array(self.cpe_match.iter().map(NvdCpeMatch::to_value).collect()),
+            ),
+            (
+                "children".into(),
+                Value::Array(self.children.iter().map(NvdNode::to_value).collect()),
+            ),
+        ])
+    }
+}
+
+impl NvdCpeMatch {
+    fn from_value(v: &Value) -> Result<NvdCpeMatch, JsonError> {
+        Ok(NvdCpeMatch {
+            vulnerable: v.req("vulnerable")?.as_bool("vulnerable")?,
+            cpe23_uri: req_str(v, "cpe23Uri")?,
+            version_start_including: opt_str(v, "versionStartIncluding")?,
+            version_start_excluding: opt_str(v, "versionStartExcluding")?,
+            version_end_including: opt_str(v, "versionEndIncluding")?,
+            version_end_excluding: opt_str(v, "versionEndExcluding")?,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("vulnerable".into(), Value::Bool(self.vulnerable)),
+            ("cpe23Uri".into(), Value::String(self.cpe23_uri.clone())),
+        ];
+        push_opt(&mut fields, "versionStartIncluding", &self.version_start_including);
+        push_opt(&mut fields, "versionStartExcluding", &self.version_start_excluding);
+        push_opt(&mut fields, "versionEndIncluding", &self.version_end_including);
+        push_opt(&mut fields, "versionEndExcluding", &self.version_end_excluding);
+        Value::Object(fields)
+    }
+}
+
+impl NvdImpact {
+    fn from_value(v: &Value) -> Result<NvdImpact, JsonError> {
+        Ok(NvdImpact {
+            base_metric_v3: match v.get("baseMetricV3") {
+                Some(metric) => {
+                    let cvss = metric.req("cvssV3")?;
+                    Some(NvdBaseMetricV3 {
+                        cvss_v3: NvdCvssV3 {
+                            vector_string: req_str(cvss, "vectorString")?,
+                            base_score: cvss.req("baseScore")?.as_f64("baseScore")?,
+                        },
+                    })
+                }
+                None => None,
+            },
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        let mut fields = Vec::new();
+        if let Some(metric) = &self.base_metric_v3 {
+            fields.push((
+                "baseMetricV3".into(),
+                Value::Object(vec![(
+                    "cvssV3".into(),
+                    Value::Object(vec![
+                        (
+                            "vectorString".into(),
+                            Value::String(metric.cvss_v3.vector_string.clone()),
+                        ),
+                        ("baseScore".into(), Value::Number(metric.cvss_v3.base_score)),
+                    ]),
+                )]),
+            ));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -449,12 +662,8 @@ mod tests {
             "CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H".parse().unwrap(),
             "A statement in the SDM mishandled by multiple OS kernels.",
         )
-        .affecting(AffectedPlatform::exact(
-            OsVersion::new(OsFamily::Ubuntu, "16.04").to_cpe(),
-        ))
-        .affecting(AffectedPlatform::exact(
-            OsVersion::new(OsFamily::Debian, "8").to_cpe(),
-        ));
+        .affecting(AffectedPlatform::exact(OsVersion::new(OsFamily::Ubuntu, "16.04").to_cpe()))
+        .affecting(AffectedPlatform::exact(OsVersion::new(OsFamily::Debian, "8").to_cpe()));
         let feed = NvdFeed::from_items(vec![NvdItem::from_vulnerability(&v)]);
         let json = feed.to_json();
         let parsed = NvdFeed::parse(&json).unwrap().to_vulnerabilities().unwrap();

@@ -69,10 +69,7 @@ pub fn cve_2016_4428() -> Vulnerability {
          arbitrary web script or HTML by injecting an AngularJS template in a dashboard \
          form.",
     )
-    .affecting(horizon(VersionRange {
-        end_including: Some("8.0.1".into()),
-        ..Default::default()
-    }))
+    .affecting(horizon(VersionRange { end_including: Some("8.0.1".into()), ..Default::default() }))
     .affecting(on(OsVersion::new(OsFamily::Debian, "8")))
 }
 
@@ -189,10 +186,7 @@ pub fn may_2018_cluster() -> Vec<Vulnerability> {
             "An elevation of privilege vulnerability exists in the way the Windows kernel \
              handles objects in memory.",
             Date::from_ymd(2018, 5, 8),
-            &[
-                OsVersion::new(Windows, "10"),
-                OsVersion::new(Windows, "server_2012"),
-            ],
+            &[OsVersion::new(Windows, "10"), OsVersion::new(Windows, "server_2012")],
         ),
         kernel(
             CveId::new(2018, 959),

@@ -1,0 +1,480 @@
+//! A small, dependency-free JSON reader/writer.
+//!
+//! The NVD feed module ([`crate::feed`]) is the only JSON consumer in the
+//! workspace, and the workspace builds fully offline (no serde). This
+//! module implements exactly what that schema needs: a strict RFC 8259
+//! parser into a [`Value`] tree (order-preserving objects, `f64` numbers,
+//! full string-escape handling including `\uXXXX` surrogate pairs) and a
+//! compact writer whose float formatting round-trips exactly (Rust's
+//! shortest-representation `Display`).
+
+use std::fmt;
+
+/// A parsed JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always stored as `f64`, like serde_json's lossy
+    /// mode; the NVD schema has no 64-bit integers).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved so output is deterministic.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object's fields, or a schema error naming `what`.
+    pub fn as_object(&self, what: &str) -> Result<&[(String, Value)], JsonError> {
+        match self {
+            Value::Object(fields) => Ok(fields),
+            other => Err(JsonError::schema(format!(
+                "expected object for {what}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The array's elements, or a schema error naming `what`.
+    pub fn as_array(&self, what: &str) -> Result<&[Value], JsonError> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => {
+                Err(JsonError::schema(format!("expected array for {what}, found {}", other.kind())))
+            }
+        }
+    }
+
+    /// The string's contents, or a schema error naming `what`.
+    pub fn as_str(&self, what: &str) -> Result<&str, JsonError> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => Err(JsonError::schema(format!(
+                "expected string for {what}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The number, or a schema error naming `what`.
+    pub fn as_f64(&self, what: &str) -> Result<f64, JsonError> {
+        match self {
+            Value::Number(n) => Ok(*n),
+            other => Err(JsonError::schema(format!(
+                "expected number for {what}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The boolean, or a schema error naming `what`.
+    pub fn as_bool(&self, what: &str) -> Result<bool, JsonError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => {
+                Err(JsonError::schema(format!("expected bool for {what}, found {}", other.kind())))
+            }
+        }
+    }
+
+    /// Looks up a field of an object (`None` for missing or non-object).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A required object field, or a schema error.
+    pub fn req(&self, key: &str) -> Result<&Value, JsonError> {
+        self.get(key).ok_or_else(|| JsonError::schema(format!("missing field `{key}`")))
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Serializes the tree as compact JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => {
+                if n.is_finite() {
+                    // Rust's shortest-roundtrip Display: parses back to the
+                    // identical f64, e.g. 5.4 → "5.4", 5.0 → "5".
+                    out.push_str(&n.to_string());
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON syntax or schema error.
+#[derive(Debug, Clone)]
+pub struct JsonError {
+    message: String,
+    /// Byte offset of the error, when produced by the parser.
+    offset: Option<usize>,
+}
+
+impl JsonError {
+    fn syntax(message: impl Into<String>, offset: usize) -> JsonError {
+        JsonError { message: message.into(), offset: Some(offset) }
+    }
+
+    /// Builds a schema-shape error (valid JSON, wrong structure).
+    #[must_use]
+    pub fn schema(message: impl Into<String>) -> JsonError {
+        JsonError { message: message.into(), offset: None }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(at) => write!(f, "{} at byte {at}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document (rejecting trailing garbage).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] with the byte offset of the first problem.
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError::syntax("trailing characters", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::syntax(format!("expected `{}`", b as char), self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(JsonError::syntax(
+                format!("unexpected character `{}`", other as char),
+                self.pos,
+            )),
+            None => Err(JsonError::syntax("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::syntax(format!("expected `{word}`"), self.pos))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(JsonError::syntax("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(JsonError::syntax("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::syntax("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.parse_unicode_escape()?;
+                            out.push(c);
+                            continue; // parse_unicode_escape consumed everything
+                        }
+                        _ => return Err(JsonError::syntax("bad escape", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(JsonError::syntax("control character in string", self.pos));
+                }
+                Some(_) => {
+                    // Copy one UTF-8 code point (input is a &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).expect("utf8"));
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(JsonError::syntax("truncated \\u escape", self.pos));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| JsonError::syntax("bad \\u escape", self.pos))?;
+        let v = u16::from_str_radix(hex, 16)
+            .map_err(|_| JsonError::syntax("bad \\u escape", self.pos))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, JsonError> {
+        let at = self.pos;
+        let high = self.parse_hex4()?;
+        if (0xD800..=0xDBFF).contains(&high) {
+            // Surrogate pair: require \uXXXX low surrogate.
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let low = self.parse_hex4()?;
+                if (0xDC00..=0xDFFF).contains(&low) {
+                    let c =
+                        0x10000 + ((u32::from(high) - 0xD800) << 10) + (u32::from(low) - 0xDC00);
+                    return char::from_u32(c)
+                        .ok_or_else(|| JsonError::syntax("bad surrogate pair", at));
+                }
+            }
+            return Err(JsonError::syntax("lone high surrogate", at));
+        }
+        if (0xDC00..=0xDFFF).contains(&high) {
+            return Err(JsonError::syntax("lone low surrogate", at));
+        }
+        char::from_u32(u32::from(high)).ok_or_else(|| JsonError::syntax("bad \\u escape", at))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>().map(Value::Number).map_err(|_| JsonError::syntax("bad number", start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("5.4").unwrap(), Value::Number(5.4));
+        assert_eq!(parse("-12e2").unwrap(), Value::Number(-1200.0));
+        assert_eq!(parse(r#""a\nb""#).unwrap(), Value::String("a\nb".into()));
+        let v = parse(r#"{"a": [1, {"b": false}], "c": "x"}"#).unwrap();
+        assert_eq!(v.req("a").unwrap().as_array("a").unwrap().len(), 2);
+        assert_eq!(v.req("c").unwrap().as_str("c").unwrap(), "x");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "1 2", "{'a':1}", ""] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogates() {
+        assert_eq!(parse(r#""é""#).unwrap(), Value::String("é".into()));
+        assert_eq!(parse(r#""🦀""#).unwrap(), Value::String("🦀".into()));
+        assert!(parse(r#""\ud83e""#).is_err());
+    }
+
+    #[test]
+    fn writer_round_trips() {
+        let doc = r#"{"CVE_data_type":"CVE","n":5.4,"items":[{"ok":true,"t":"quote \" slash \\ nl \n"}],"empty":[],"nothing":null}"#;
+        let v = parse(doc).unwrap();
+        let emitted = v.to_json();
+        assert_eq!(parse(&emitted).unwrap(), v);
+        // Floats come back bit-identical through Display.
+        assert!(emitted.contains("5.4"));
+    }
+}

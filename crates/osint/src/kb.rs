@@ -154,11 +154,7 @@ impl KnowledgeBase {
     /// Vulnerabilities NVD lists as affecting *both* products — the direct
     /// component of `V(ri, rj)` in Eq. 5 (cluster-inferred sharing is added
     /// by `lazarus-risk`).
-    pub fn shared<'a>(
-        &'a self,
-        a: &'a Cpe,
-        b: &'a Cpe,
-    ) -> impl Iterator<Item = &'a Vulnerability> {
+    pub fn shared<'a>(&'a self, a: &'a Cpe, b: &'a Cpe) -> impl Iterator<Item = &'a Vulnerability> {
         self.iter().filter(move |v| v.affects(a) && v.affects(b))
     }
 
@@ -217,7 +213,7 @@ mod tests {
         let fb = os(OsFamily::FreeBsd, "11");
         let mut kb = KnowledgeBase::new();
         kb.upsert(vuln(1, &[ub.clone(), de.clone()]));
-        kb.upsert(vuln(2, &[fb.clone()]));
+        kb.upsert(vuln(2, std::slice::from_ref(&fb)));
         assert_eq!(kb.len(), 2);
         assert_eq!(kb.affecting(&ub).count(), 1);
         assert_eq!(kb.shared(&ub, &de).count(), 1);
@@ -229,9 +225,9 @@ mod tests {
         let ub = os(OsFamily::Ubuntu, "16.04");
         let de = os(OsFamily::Debian, "8");
         let mut kb = KnowledgeBase::new();
-        kb.upsert(vuln(1, &[ub.clone()]));
+        kb.upsert(vuln(1, std::slice::from_ref(&ub)));
         kb.upsert(vuln(1, &[ub.clone(), de.clone()]));
-        kb.upsert(vuln(1, &[ub.clone()]));
+        kb.upsert(vuln(1, std::slice::from_ref(&ub)));
         assert_eq!(kb.len(), 1);
         let v = kb.get(CveId::new(2018, 1)).unwrap();
         assert_eq!(v.affected.len(), 2);
@@ -241,9 +237,9 @@ mod tests {
     fn merge_keeps_earliest_publication() {
         let ub = os(OsFamily::Ubuntu, "16.04");
         let mut kb = KnowledgeBase::new();
-        let mut early = vuln(1, &[ub.clone()]);
+        let mut early = vuln(1, std::slice::from_ref(&ub));
         early.published = Date::from_ymd(2018, 1, 1);
-        kb.upsert(vuln(1, &[ub.clone()]));
+        kb.upsert(vuln(1, std::slice::from_ref(&ub)));
         kb.upsert(early);
         assert_eq!(kb.get(CveId::new(2018, 1)).unwrap().published, Date::from_ymd(2018, 1, 1));
     }
@@ -253,7 +249,7 @@ mod tests {
         let ub = os(OsFamily::Ubuntu, "16.04");
         let fb = os(OsFamily::FreeBsd, "11");
         let mut kb = KnowledgeBase::for_products([ub.clone()]);
-        assert!(kb.upsert(vuln(1, &[ub.clone()])));
+        assert!(kb.upsert(vuln(1, std::slice::from_ref(&ub))));
         assert!(!kb.upsert(vuln(2, &[fb])));
         assert_eq!(kb.len(), 1);
     }
@@ -284,19 +280,23 @@ mod tests {
     fn known_at_windows_history() {
         let ub = os(OsFamily::Ubuntu, "16.04");
         let mut kb = KnowledgeBase::new();
-        let mut old = vuln(1, &[ub.clone()]);
+        let mut old = vuln(1, std::slice::from_ref(&ub));
         old.published = Date::from_ymd(2016, 1, 1);
         kb.upsert(old);
-        kb.upsert(vuln(2, &[ub.clone()]));
+        kb.upsert(vuln(2, std::slice::from_ref(&ub)));
         assert_eq!(kb.known_at(Date::from_ymd(2017, 1, 1)).count(), 1);
         assert_eq!(kb.known_at(Date::from_ymd(2018, 12, 1)).count(), 2);
-        assert_eq!(kb.published_between(Date::from_ymd(2018, 1, 1), Date::from_ymd(2018, 12, 31)).count(), 1);
+        assert_eq!(
+            kb.published_between(Date::from_ymd(2018, 1, 1), Date::from_ymd(2018, 12, 31)).count(),
+            1
+        );
     }
 
     #[test]
     fn collect_from_iterator() {
         let ub = os(OsFamily::Ubuntu, "16.04");
-        let kb: KnowledgeBase = vec![vuln(1, &[ub.clone()]), vuln(2, &[ub])].into_iter().collect();
+        let kb: KnowledgeBase =
+            vec![vuln(1, std::slice::from_ref(&ub)), vuln(2, &[ub])].into_iter().collect();
         assert_eq!(kb.len(), 2);
         assert!(!kb.is_empty());
     }

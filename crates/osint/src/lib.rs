@@ -49,6 +49,7 @@ pub mod datamgr;
 pub mod date;
 pub mod feed;
 pub mod fixtures;
+pub mod json;
 pub mod kb;
 pub mod model;
 pub mod sources;

@@ -9,14 +9,12 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::cpe::{Cpe, VersionRange};
 use crate::cvss::CvssV3;
 use crate::date::Date;
 
 /// A CVE identifier, e.g. `CVE-2018-8897`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CveId {
     /// Year component of the identifier.
     pub year: u16,
@@ -72,7 +70,7 @@ impl FromStr for CveId {
 }
 
 /// One platform entry from a vulnerability's CPE applicability list.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AffectedPlatform {
     /// The (possibly wildcarded) CPE name listed by the report.
     pub cpe: Cpe,
@@ -100,7 +98,7 @@ impl AffectedPlatform {
 }
 
 /// A vendor patch (security update) for one product.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PatchRecord {
     /// The product the patch applies to.
     pub product: Cpe,
@@ -111,7 +109,7 @@ pub struct PatchRecord {
 }
 
 /// A public exploit observed for the vulnerability.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExploitRecord {
     /// Day the exploit was first distributed.
     pub published: Date,
@@ -123,7 +121,7 @@ pub struct ExploitRecord {
 
 /// A fully-enriched vulnerability record, aggregating NVD data with the
 /// patch/exploit intelligence collected from the other OSINT sources.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Vulnerability {
     /// CVE identifier.
     pub id: CveId,
@@ -270,7 +268,8 @@ mod tests {
         assert!(!v.is_patched_for(&ubuntu, Date::from_ymd(2018, 5, 19)));
         // Debian remains unpatched even though the vulnerability "is patched".
         assert!(v.is_patched(Date::from_ymd(2018, 5, 20)));
-        assert!(!v.is_patched_for(&Cpe::os("debian", "debian_linux", "8.0"), Date::from_ymd(2018, 6, 1)));
+        assert!(!v
+            .is_patched_for(&Cpe::os("debian", "debian_linux", "8.0"), Date::from_ymd(2018, 6, 1)));
     }
 
     #[test]
@@ -282,7 +281,10 @@ mod tests {
             advisory: "USN-3641-2".into(),
         });
         // same_product fallback: an Ubuntu advisory covers the Ubuntu line.
-        assert!(v.is_patched_for(&Cpe::os("canonical", "ubuntu_linux", "16.04"), Date::from_ymd(2018, 5, 21)));
+        assert!(v.is_patched_for(
+            &Cpe::os("canonical", "ubuntu_linux", "16.04"),
+            Date::from_ymd(2018, 5, 21)
+        ));
     }
 
     #[test]

@@ -51,9 +51,7 @@ pub fn extract_text(html: &str) -> String {
                     .unwrap_or(bytes.len());
                 continue;
             }
-            if tag_body.starts_with('/') && is_block_tag(&tag_name) {
-                out.push('\n');
-            } else if tag_name == "br" {
+            if (tag_body.starts_with('/') && is_block_tag(&tag_name)) || tag_name == "br" {
                 out.push('\n');
             }
             i = close + 1;
@@ -82,9 +80,28 @@ pub fn extract_text(html: &str) -> String {
 fn is_block_tag(name: &str) -> bool {
     matches!(
         name,
-        "p" | "div" | "li" | "tr" | "td" | "th" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6"
-            | "table" | "ul" | "ol" | "dt" | "dd" | "pre" | "blockquote" | "section"
-            | "article" | "header" | "footer"
+        "p" | "div"
+            | "li"
+            | "tr"
+            | "td"
+            | "th"
+            | "h1"
+            | "h2"
+            | "h3"
+            | "h4"
+            | "h5"
+            | "h6"
+            | "table"
+            | "ul"
+            | "ol"
+            | "dt"
+            | "dd"
+            | "pre"
+            | "blockquote"
+            | "section"
+            | "article"
+            | "header"
+            | "footer"
     )
 }
 
@@ -123,7 +140,10 @@ mod tests {
 
     #[test]
     fn entities_are_decoded() {
-        assert_eq!(extract_text("a &amp; b &lt;c&gt; &quot;d&quot; &#39;e&#39;"), "a & b <c> \"d\" 'e'\n");
+        assert_eq!(
+            extract_text("a &amp; b &lt;c&gt; &quot;d&quot; &#39;e&#39;"),
+            "a & b <c> \"d\" 'e'\n"
+        );
         assert_eq!(extract_text("x&nbsp;y"), "x y\n");
         // Unknown entity: keep the ampersand literally.
         assert_eq!(extract_text("R&D"), "R&D\n");
@@ -131,7 +151,8 @@ mod tests {
 
     #[test]
     fn script_and_style_bodies_are_dropped() {
-        let html = "<p>keep</p><script>var CVE = 'CVE-0000-0000';</script><style>p{}</style><p>also</p>";
+        let html =
+            "<p>keep</p><script>var CVE = 'CVE-0000-0000';</script><style>p{}</style><p>also</p>";
         assert_eq!(extract_text(html), "keep\nalso\n");
     }
 

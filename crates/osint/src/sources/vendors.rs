@@ -41,27 +41,33 @@ fn product_cpe(vendor: &str, product: &str) -> Cpe {
 }
 
 fn month_number(name: &str) -> Option<u32> {
-    const MONTHS: [&str; 12] = [
-        "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
-    ];
+    const MONTHS: [&str; 12] =
+        ["jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec"];
     let lower = name.to_ascii_lowercase();
     MONTHS.iter().position(|m| lower.starts_with(m)).map(|i| i as u32 + 1)
 }
 
 fn month_name(m: u32) -> &'static str {
     const MONTHS: [&str; 12] = [
-        "January", "February", "March", "April", "May", "June", "July", "August",
-        "September", "October", "November", "December",
+        "January",
+        "February",
+        "March",
+        "April",
+        "May",
+        "June",
+        "July",
+        "August",
+        "September",
+        "October",
+        "November",
+        "December",
     ];
     MONTHS[(m - 1) as usize]
 }
 
 /// Parses `20 May 2018` or `May 20, 2018` into a [`Date`].
 fn parse_human_date(s: &str) -> Option<Date> {
-    let cleaned: String = s
-        .chars()
-        .map(|c| if c == ',' { ' ' } else { c })
-        .collect();
+    let cleaned: String = s.chars().map(|c| if c == ',' { ' ' } else { c }).collect();
     let parts: Vec<&str> = cleaned.split_whitespace().collect();
     if parts.len() != 3 {
         return None;
@@ -81,10 +87,8 @@ fn scan_cves(text: &str) -> Vec<CveId> {
     let mut out = Vec::new();
     let mut rest = text;
     while let Some(pos) = rest.find("CVE-") {
-        let candidate: String = rest[pos..]
-            .chars()
-            .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
-            .collect();
+        let candidate: String =
+            rest[pos..].chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '-').collect();
         if let Ok(id) = candidate.parse::<CveId>() {
             if !out.contains(&id) {
                 out.push(id);
@@ -160,20 +164,19 @@ impl OsintSource for UbuntuSource {
                 continue;
             }
             let advisory = line.split(':').next().unwrap_or(line).trim().to_string();
-            let date_line = lines
-                .next()
-                .ok_or_else(|| SourceError::new("ubuntu-usn", format!("{advisory}: missing date")))?;
-            let date = parse_human_date(date_line)
-                .ok_or_else(|| SourceError::new("ubuntu-usn", format!("{advisory}: bad date {date_line:?}")))?;
+            let date_line = lines.next().ok_or_else(|| {
+                SourceError::new("ubuntu-usn", format!("{advisory}: missing date"))
+            })?;
+            let date = parse_human_date(date_line).ok_or_else(|| {
+                SourceError::new("ubuntu-usn", format!("{advisory}: bad date {date_line:?}"))
+            })?;
             let versions_line = lines.next().unwrap_or("");
             let cves_line = lines.next().unwrap_or("");
             if date < since {
                 continue;
             }
-            let versions: Vec<&str> = versions_line
-                .split(',')
-                .filter_map(|v| v.trim().strip_prefix("Ubuntu "))
-                .collect();
+            let versions: Vec<&str> =
+                versions_line.split(',').filter_map(|v| v.trim().strip_prefix("Ubuntu ")).collect();
             for cve in scan_cves(cves_line) {
                 if versions.is_empty() {
                     out.push(Enrichment {
@@ -250,17 +253,14 @@ impl OsintSource for DebianSource {
         for line in self.document.lines() {
             let trimmed = line.trim();
             if trimmed.starts_with('[') {
-                let close = trimmed
-                    .find(']')
-                    .ok_or_else(|| SourceError::new("debian-dsa", format!("unterminated date in {trimmed:?}")))?;
-                let date = parse_human_date(&trimmed[1..close])
-                    .ok_or_else(|| SourceError::new("debian-dsa", format!("bad date in {trimmed:?}")))?;
-                let advisory = trimmed[close + 1..]
-                    .trim()
-                    .split_whitespace()
-                    .next()
-                    .unwrap_or("DSA-?")
-                    .to_string();
+                let close = trimmed.find(']').ok_or_else(|| {
+                    SourceError::new("debian-dsa", format!("unterminated date in {trimmed:?}"))
+                })?;
+                let date = parse_human_date(&trimmed[1..close]).ok_or_else(|| {
+                    SourceError::new("debian-dsa", format!("bad date in {trimmed:?}"))
+                })?;
+                let advisory =
+                    trimmed[close + 1..].split_whitespace().next().unwrap_or("DSA-?").to_string();
                 current = Some((advisory, date));
             } else if trimmed.starts_with('{') {
                 let Some((advisory, date)) = current.clone() else { continue };
@@ -532,11 +532,7 @@ impl MicrosoftSource {
                 d,
                 e.date.year(),
                 e.cves.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", "),
-                e.versions
-                    .iter()
-                    .map(|v| format!("Windows {v}"))
-                    .collect::<Vec<_>>()
-                    .join(", "),
+                e.versions.iter().map(|v| format!("Windows {v}")).collect::<Vec<_>>().join(", "),
             ));
         }
         html.push_str("</table></body></html>\n");
@@ -556,14 +552,15 @@ impl OsintSource for MicrosoftSource {
         let mut i = 0;
         while i < lines.len() {
             let line = lines[i].trim();
-            if line.starts_with("MS") && line.len() >= 4 && line[2..4].chars().all(|c| c.is_ascii_digit())
+            if line.starts_with("MS")
+                && line.len() >= 4
+                && line[2..4].chars().all(|c| c.is_ascii_digit())
                 || line.starts_with("ADV")
             {
                 let advisory = line.to_string();
-                let date = lines
-                    .get(i + 1)
-                    .and_then(|l| parse_human_date(l))
-                    .ok_or_else(|| SourceError::new("microsoft-bulletin", format!("{advisory}: bad date")))?;
+                let date = lines.get(i + 1).and_then(|l| parse_human_date(l)).ok_or_else(|| {
+                    SourceError::new("microsoft-bulletin", format!("{advisory}: bad date"))
+                })?;
                 let cves = scan_cves(lines.get(i + 2).unwrap_or(&""));
                 let products = lines.get(i + 3).unwrap_or(&"");
                 if date >= since {

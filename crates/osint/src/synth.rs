@@ -44,8 +44,8 @@ use crate::feed::{NvdFeed, NvdItem};
 use crate::model::{AffectedPlatform, CveId, ExploitRecord, PatchRecord, Vulnerability};
 use crate::sources::vendors::AdvisoryEntry;
 use crate::sources::{
-    CveDetailsSource, DebianSource, ExploitDbSource, FreeBsdSource, MicrosoftSource,
-    OracleSource, RedhatSource, UbuntuSource,
+    CveDetailsSource, DebianSource, ExploitDbSource, FreeBsdSource, MicrosoftSource, OracleSource,
+    RedhatSource, UbuntuSource,
 };
 
 /// Broad vulnerability class, selecting description templates and CVSS shape.
@@ -207,7 +207,13 @@ impl WorldConfig {
 const APPLICATIONS: [(&str, &[OsFamily]); 7] = [
     (
         "OpenStack Dashboard (Horizon)",
-        &[OsFamily::Ubuntu, OsFamily::Debian, OsFamily::OpenSuse, OsFamily::Solaris, OsFamily::RedHat],
+        &[
+            OsFamily::Ubuntu,
+            OsFamily::Debian,
+            OsFamily::OpenSuse,
+            OsFamily::Solaris,
+            OsFamily::RedHat,
+        ],
     ),
     (
         "OpenSSL",
@@ -223,11 +229,23 @@ const APPLICATIONS: [(&str, &[OsFamily]); 7] = [
     ),
     (
         "Samba",
-        &[OsFamily::Ubuntu, OsFamily::Debian, OsFamily::Fedora, OsFamily::RedHat, OsFamily::FreeBsd],
+        &[
+            OsFamily::Ubuntu,
+            OsFamily::Debian,
+            OsFamily::Fedora,
+            OsFamily::RedHat,
+            OsFamily::FreeBsd,
+        ],
     ),
     (
         "ntpd",
-        &[OsFamily::FreeBsd, OsFamily::OpenBsd, OsFamily::Solaris, OsFamily::Debian, OsFamily::RedHat],
+        &[
+            OsFamily::FreeBsd,
+            OsFamily::OpenBsd,
+            OsFamily::Solaris,
+            OsFamily::Debian,
+            OsFamily::RedHat,
+        ],
     ),
     (
         "the Java SE runtime",
@@ -235,11 +253,23 @@ const APPLICATIONS: [(&str, &[OsFamily]); 7] = [
     ),
     (
         "the BIND DNS server",
-        &[OsFamily::Debian, OsFamily::Ubuntu, OsFamily::FreeBsd, OsFamily::Solaris, OsFamily::RedHat],
+        &[
+            OsFamily::Debian,
+            OsFamily::Ubuntu,
+            OsFamily::FreeBsd,
+            OsFamily::Solaris,
+            OsFamily::RedHat,
+        ],
     ),
     (
         "the X.Org server",
-        &[OsFamily::Ubuntu, OsFamily::Debian, OsFamily::Fedora, OsFamily::OpenBsd, OsFamily::Solaris],
+        &[
+            OsFamily::Ubuntu,
+            OsFamily::Debian,
+            OsFamily::Fedora,
+            OsFamily::OpenBsd,
+            OsFamily::Solaris,
+        ],
     ),
 ];
 
@@ -277,15 +307,9 @@ impl SyntheticWorld {
     pub fn nvd_feeds(&self) -> Vec<String> {
         let mut years: std::collections::BTreeMap<i32, Vec<NvdItem>> = Default::default();
         for v in &self.vulnerabilities {
-            years
-                .entry(v.published.year())
-                .or_default()
-                .push(NvdItem::from_vulnerability(v));
+            years.entry(v.published.year()).or_default().push(NvdItem::from_vulnerability(v));
         }
-        years
-            .into_values()
-            .map(|items| NvdFeed::from_items(items).to_json())
-            .collect()
+        years.into_values().map(|items| NvdFeed::from_items(items).to_json()).collect()
     }
 
     /// Renders the ExploitDB index covering every exploited CVE.
@@ -333,18 +357,30 @@ impl SyntheticWorld {
                 };
                 match p.product.vendor.as_literal() {
                     Some("canonical") => ubuntu.push(entry(
-                        p.product.version.as_literal().map(|s| vec![s.to_string()]).unwrap_or_default(),
+                        p.product
+                            .version
+                            .as_literal()
+                            .map(|s| vec![s.to_string()])
+                            .unwrap_or_default(),
                     )),
                     Some("debian") => debian.push(entry(vec![])),
                     Some("redhat") | Some("fedoraproject") | Some("opensuse") => {
                         redhat.push(entry(vec![]))
                     }
                     Some("oracle") => oracle.push(entry(
-                        p.product.version.as_literal().map(|s| vec![s.to_string()]).unwrap_or_default(),
+                        p.product
+                            .version
+                            .as_literal()
+                            .map(|s| vec![s.to_string()])
+                            .unwrap_or_default(),
                     )),
                     Some("freebsd") | Some("openbsd") => freebsd.push(entry(vec![])),
                     Some("microsoft") => microsoft.push(entry(
-                        p.product.version.as_literal().map(|s| vec![s.to_string()]).unwrap_or_default(),
+                        p.product
+                            .version
+                            .as_literal()
+                            .map(|s| vec![s.to_string()])
+                            .unwrap_or_default(),
                     )),
                     _ => {}
                 }
@@ -453,11 +489,8 @@ impl Generator {
                     s
                 }
             };
-            let flipped = if state {
-                !self.rng.gen_bool(1.0 / on)
-            } else {
-                self.rng.gen_bool(1.0 / off)
-            };
+            let flipped =
+                if state { !self.rng.gen_bool(1.0 / on) } else { self.rng.gen_bool(1.0 / off) };
             self.activity.insert(key, flipped);
         }
     }
@@ -467,7 +500,10 @@ impl Generator {
         // patch Tuesday, and the Linux kernel's CVE flow is continuous.
         // Keeping them always-on prevents the decayed metric from
         // re-admitting those monocultures during artificial quiet spells.
-        if matches!(key, ComponentKey::Family(OsFamily::Windows) | ComponentKey::Kernel(Kernel::Linux)) {
+        if matches!(
+            key,
+            ComponentKey::Family(OsFamily::Windows) | ComponentKey::Kernel(Kernel::Linux)
+        ) {
             return true;
         }
         self.activity.get(key).copied().unwrap_or(false)
@@ -572,11 +608,8 @@ impl Generator {
             (CampaignKindPick::Family, _) => 0.75,
             _ => 0.55,
         };
-        let mut affected: Vec<OsVersion> = candidates
-            .iter()
-            .copied()
-            .filter(|_| self.rng.gen_bool(per_version))
-            .collect();
+        let mut affected: Vec<OsVersion> =
+            candidates.iter().copied().filter(|_| self.rng.gen_bool(per_version)).collect();
         if affected.is_empty() {
             affected.push(*candidates.choose(&mut self.rng).expect("nonempty"));
         }
@@ -612,11 +645,7 @@ impl Generator {
         let details = self.detail_words();
         let mut cves = Vec::new();
         for (gi, group) in groups.iter().enumerate() {
-            let cve_date = if gi == 0 {
-                date
-            } else {
-                date + self.rng.gen_range(2..21)
-            };
+            let cve_date = if gi == 0 { date } else { date + self.rng.gen_range(2..21) };
             if cve_date >= self.config.end {
                 continue;
             }
@@ -671,7 +700,15 @@ impl Generator {
         if cves.is_empty() {
             return;
         }
-        campaigns.push(Campaign { id: campaign_id, class, scope, affected, published: date, cves, stealth });
+        campaigns.push(Campaign {
+            id: campaign_id,
+            class,
+            scope,
+            affected,
+            published: date,
+            cves,
+            stealth,
+        });
     }
 
     fn component_name(&mut self, scope: &CampaignScope) -> String {
@@ -697,20 +734,48 @@ impl Generator {
     /// that campaigns get near-unique signatures the clustering can key on.
     fn detail_words(&mut self) -> [&'static str; 2] {
         const SUBCOMPONENTS: [&str; 24] = [
-            "ioctl handler", "packet parser", "memory allocator", "scheduler", "socket layer",
-            "page cache", "filesystem driver", "tty subsystem", "usb stack", "crypto engine",
-            "session manager", "request router", "template renderer", "metadata loader",
-            "signature verifier", "handshake state machine", "option parser", "cache index",
-            "reassembly queue", "privilege broker", "update channel", "logging daemon",
-            "quota accountant", "timer wheel",
+            "ioctl handler",
+            "packet parser",
+            "memory allocator",
+            "scheduler",
+            "socket layer",
+            "page cache",
+            "filesystem driver",
+            "tty subsystem",
+            "usb stack",
+            "crypto engine",
+            "session manager",
+            "request router",
+            "template renderer",
+            "metadata loader",
+            "signature verifier",
+            "handshake state machine",
+            "option parser",
+            "cache index",
+            "reassembly queue",
+            "privilege broker",
+            "update channel",
+            "logging daemon",
+            "quota accountant",
+            "timer wheel",
         ];
         const TRIGGERS: [&str; 16] = [
-            "an oversized length field", "a negative offset", "a recursive entity expansion",
-            "an off-by-one copy", "a race during teardown", "an unchecked return value",
-            "a dangling pointer reuse", "an integer truncation", "a format specifier",
-            "a symlink traversal", "an unvalidated redirect", "a replayed nonce",
-            "a truncated certificate chain", "a stale file descriptor",
-            "an unsigned comparison", "a double free",
+            "an oversized length field",
+            "a negative offset",
+            "a recursive entity expansion",
+            "an off-by-one copy",
+            "a race during teardown",
+            "an unchecked return value",
+            "a dangling pointer reuse",
+            "an integer truncation",
+            "a format specifier",
+            "a symlink traversal",
+            "an unvalidated redirect",
+            "a replayed nonce",
+            "a truncated certificate chain",
+            "a stale file descriptor",
+            "an unsigned comparison",
+            "a double free",
         ];
         [
             SUBCOMPONENTS[self.rng.gen_range(0..SUBCOMPONENTS.len())],
@@ -731,13 +796,13 @@ impl Generator {
         campaign_id: usize,
         variant: usize,
     ) -> String {
-        let platforms = group
-            .iter()
-            .map(|o| o.to_string())
-            .collect::<Vec<_>>()
-            .join(", ");
-        let via = ["a crafted request", "a malformed packet", "a long argument string", "an unexpected sequence of messages"]
-            [variant.min(3)];
+        let platforms = group.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", ");
+        let via = [
+            "a crafted request",
+            "a malformed packet",
+            "a long argument string",
+            "an unexpected sequence of messages",
+        ][variant.min(3)];
         let core = match class {
             VulnClass::Xss => format!(
                 "Cross-site scripting (XSS) vulnerability in {component} allows remote \
@@ -829,13 +894,17 @@ fn bernoulli_count(rng: &mut StdRng, daily_rate: f64) -> u32 {
 pub mod attacks {
     use super::*;
 
+    /// One CVE of a bundle: `(id, description, listed OSes, patch delay,
+    /// exploit delay)`.
+    type BundleEntry<'a> = (CveId, &'a str, Vec<OsVersion>, Option<i32>, Option<i32>);
+
     fn bundle(
         world_next_id: usize,
         class: VulnClass,
         scope: CampaignScope,
         affected: Vec<OsVersion>,
         published: Date,
-        entries: Vec<(CveId, &str, Vec<OsVersion>, Option<i32>, Option<i32>)>,
+        entries: Vec<BundleEntry<'_>>,
     ) -> (Campaign, Vec<Vulnerability>) {
         let mut cves = Vec::new();
         let mut vulns = Vec::new();
@@ -881,7 +950,11 @@ pub mod attacks {
 
     /// WannaCry-like: a wormable SMB RCE across every Windows version, with
     /// a weaponised exploit and late patches.
-    pub fn wannacry(next_id: usize, oses: &[OsVersion], published: Date) -> (Campaign, Vec<Vulnerability>) {
+    pub fn wannacry(
+        next_id: usize,
+        oses: &[OsVersion],
+        published: Date,
+    ) -> (Campaign, Vec<Vulnerability>) {
         let windows = versions(OsFamily::Windows, oses);
         let entries = windows
             .iter()
@@ -898,7 +971,14 @@ pub mod attacks {
                 )
             })
             .collect();
-        bundle(next_id, VulnClass::Rce, CampaignScope::Family(OsFamily::Windows), windows.clone(), published, entries)
+        bundle(
+            next_id,
+            VulnClass::Rce,
+            CampaignScope::Family(OsFamily::Windows),
+            windows.clone(),
+            published,
+            entries,
+        )
     }
 
     /// StackClash-like: a stack/heap collision in memory management hitting
@@ -907,12 +987,17 @@ pub mod attacks {
     /// had mitigations (larger guard gaps), so a careful configuration can
     /// keep at most one affected replica — but only a strategy that flees on
     /// disclosure day survives the window.
-    pub fn stackclash(next_id: usize, oses: &[OsVersion], published: Date) -> (Campaign, Vec<Vulnerability>) {
+    pub fn stackclash(
+        next_id: usize,
+        oses: &[OsVersion],
+        published: Date,
+    ) -> (Campaign, Vec<Vulnerability>) {
         // The newest release of each Unix family ships the mitigation.
         let newest_of_family = |f: OsFamily| -> Option<OsVersion> {
-            oses.iter().copied().filter(|o| o.family == f).max_by(|a, b| {
-                crate::cpe::compare_versions(a.version, b.version)
-            })
+            oses.iter()
+                .copied()
+                .filter(|o| o.family == f)
+                .max_by(|a, b| crate::cpe::compare_versions(a.version, b.version))
         };
         let mitigated: Vec<OsVersion> = OsFamily::ALL
             .iter()
@@ -959,7 +1044,11 @@ pub mod attacks {
 
     /// Petya-like: ransomware chaining an SMB flaw with a compromised
     /// software-update channel on Windows.
-    pub fn petya(next_id: usize, oses: &[OsVersion], published: Date) -> (Campaign, Vec<Vulnerability>) {
+    pub fn petya(
+        next_id: usize,
+        oses: &[OsVersion],
+        published: Date,
+    ) -> (Campaign, Vec<Vulnerability>) {
         let windows = versions(OsFamily::Windows, oses);
         let entries = vec![
             (
@@ -981,7 +1070,14 @@ pub mod attacks {
                 Some(3),
             ),
         ];
-        bundle(next_id, VulnClass::Rce, CampaignScope::Family(OsFamily::Windows), windows, published, entries)
+        bundle(
+            next_id,
+            VulnClass::Rce,
+            CampaignScope::Family(OsFamily::Windows),
+            windows,
+            published,
+            entries,
+        )
     }
 }
 
@@ -1047,10 +1143,7 @@ mod tests {
                 }
                 // every listed platform is in the ground truth
                 for p in &v.affected {
-                    let covered = c
-                        .affected
-                        .iter()
-                        .any(|os| p.matches(&os.to_cpe()));
+                    let covered = c.affected.iter().any(|os| p.matches(&os.to_cpe()));
                     assert!(covered, "{cve} lists a platform outside ground truth");
                 }
             }
@@ -1065,11 +1158,7 @@ mod tests {
         for c in split {
             for cve in &c.cves {
                 let v = w.vulnerabilities.iter().find(|v| v.id == *cve).unwrap();
-                let listed_count = c
-                    .affected
-                    .iter()
-                    .filter(|os| v.affects(&os.to_cpe()))
-                    .count();
+                let listed_count = c.affected.iter().filter(|os| v.affects(&os.to_cpe())).count();
                 assert!(
                     listed_count < c.affected.len(),
                     "split CVE should understate the campaign"
@@ -1090,12 +1179,7 @@ mod tests {
                 .cves
                 .iter()
                 .map(|cve| {
-                    w.vulnerabilities
-                        .iter()
-                        .find(|v| v.id == *cve)
-                        .unwrap()
-                        .description
-                        .as_str()
+                    w.vulnerabilities.iter().find(|v| v.id == *cve).unwrap().description.as_str()
                 })
                 .collect();
             let first = detail(descs[0]);
@@ -1163,7 +1247,8 @@ mod tests {
     fn inject_extends_world() {
         let mut w = SyntheticWorld::generate(small_config(29));
         let n = w.vulnerabilities.len();
-        let (c, v) = attacks::petya(usize::MAX, &w.config.oses.clone(), Date::from_ymd(2017, 6, 27));
+        let (c, v) =
+            attacks::petya(usize::MAX, &w.config.oses.clone(), Date::from_ymd(2017, 6, 27));
         w.inject(c, v);
         assert_eq!(w.vulnerabilities.len(), n + 2);
     }

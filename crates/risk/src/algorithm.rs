@@ -172,9 +172,7 @@ impl Reconfigurator {
                         }
                         config.push(r);
                         let risk = matrix.risk(&config);
-                        if risk < current
-                            && best.as_ref().is_none_or(|(b, ..)| risk < *b)
-                        {
+                        if risk < current && best.as_ref().is_none_or(|(b, ..)| risk < *b) {
                             best = Some((risk, config, sets.config[omit], r));
                         }
                     }
@@ -247,7 +245,13 @@ impl Reconfigurator {
     }
 
     /// Lines 38–42 (`updateSets`).
-    fn update_sets(&self, sets: &mut ReplicaSets, config: Vec<usize>, removed: usize, added: usize) {
+    fn update_sets(
+        &self,
+        sets: &mut ReplicaSets,
+        config: Vec<usize>,
+        removed: usize,
+        added: usize,
+    ) {
         sets.pool.retain(|&r| r != added);
         sets.quarantine.push(removed);
         sets.config = config;
@@ -275,26 +279,21 @@ impl Reconfigurator {
     /// # Panics
     ///
     /// Panics if the universe is smaller than `n`.
-    pub fn initial_config(
-        &self,
-        matrix: &RiskMatrix,
-        n: usize,
-        rng: &mut StdRng,
-    ) -> Vec<usize> {
+    pub fn initial_config(&self, matrix: &RiskMatrix, n: usize, rng: &mut StdRng) -> Vec<usize> {
         let universe = matrix.len();
         assert!(universe >= n, "universe smaller than n");
         let mut best: Option<(f64, Vec<usize>)> = None;
         let mut good: Vec<Vec<usize>> = Vec::new();
-        let consider = |config: &[usize], best: &mut Option<(f64, Vec<usize>)>,
-                            good: &mut Vec<Vec<usize>>| {
-            let risk = matrix.risk(config);
-            if risk <= self.threshold {
-                good.push(config.to_vec());
-            }
-            if best.as_ref().is_none_or(|(b, _)| risk < *b) {
-                *best = Some((risk, config.to_vec()));
-            }
-        };
+        let consider =
+            |config: &[usize], best: &mut Option<(f64, Vec<usize>)>, good: &mut Vec<Vec<usize>>| {
+                let risk = matrix.risk(config);
+                if risk <= self.threshold {
+                    good.push(config.to_vec());
+                }
+                if best.as_ref().is_none_or(|(b, _)| risk < *b) {
+                    *best = Some((risk, config.to_vec()));
+                }
+            };
         if combination_count(universe, n) <= 50_000 {
             for_each_combination(universe, n, |config| {
                 consider(config, &mut best, &mut good);
@@ -322,12 +321,12 @@ mod tests {
     use super::*;
     use crate::oracle::RiskOracle;
     use crate::score::ScoreParams;
+    use lazarus_nlp::VulnClusters;
     use lazarus_osint::catalog::{OsFamily, OsVersion};
     use lazarus_osint::cvss::CvssV3;
     use lazarus_osint::date::Date;
     use lazarus_osint::kb::KnowledgeBase;
     use lazarus_osint::model::{AffectedPlatform, CveId, PatchRecord, Vulnerability};
-    use lazarus_nlp::VulnClusters;
     use rand::SeedableRng;
 
     fn universe() -> Vec<OsVersion> {
@@ -353,7 +352,11 @@ mod tests {
         }
         if let Some(d) = patched {
             for o in oses {
-                v.patches.push(PatchRecord { product: o.to_cpe(), released: d, advisory: "A".into() });
+                v.patches.push(PatchRecord {
+                    product: o.to_cpe(),
+                    released: d,
+                    advisory: "A".into(),
+                });
             }
         }
         v
@@ -444,10 +447,7 @@ mod tests {
         let u = universe();
         // Everything shares one weakness with everything: no candidate can
         // drop below a tiny threshold.
-        let m = matrix_with(
-            vec![vuln(1, &u, None), vuln(2, &u, None)],
-            Date::from_ymd(2018, 1, 2),
-        );
+        let m = matrix_with(vec![vuln(1, &u, None), vuln(2, &u, None)], Date::from_ymd(2018, 1, 2));
         let mut sets = ReplicaSets::new(vec![0, 1, 2, 3], 6);
         let recon = Reconfigurator::with_threshold(1.0);
         let mut rng = StdRng::seed_from_u64(5);
@@ -502,10 +502,7 @@ mod tests {
     #[test]
     fn initial_config_respects_threshold_when_possible() {
         let u = universe();
-        let m = matrix_with(
-            vec![vuln(1, &[u[0], u[1]], None)],
-            Date::from_ymd(2018, 1, 2),
-        );
+        let m = matrix_with(vec![vuln(1, &[u[0], u[1]], None)], Date::from_ymd(2018, 1, 2));
         let recon = Reconfigurator::with_threshold(5.0);
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..10 {

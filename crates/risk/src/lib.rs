@@ -35,6 +35,7 @@ pub mod algorithm;
 pub mod comb;
 pub mod epoch;
 pub mod oracle;
+pub mod par;
 pub mod score;
 pub mod strategies;
 

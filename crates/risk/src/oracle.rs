@@ -11,12 +11,12 @@
 //! day. [`RiskMatrix`] further freezes the oracle at one date into an
 //! `n × n` pair-score table, the unit the strategies actually consume.
 
+use lazarus_nlp::VulnClusters;
 use lazarus_osint::catalog::OsVersion;
 use lazarus_osint::cpe::Cpe;
 use lazarus_osint::date::Date;
 use lazarus_osint::kb::KnowledgeBase;
 use lazarus_osint::model::CveId;
-use lazarus_nlp::VulnClusters;
 
 use crate::score::ScoreParams;
 
@@ -149,18 +149,12 @@ impl RiskOracle {
         // vulnerability unions the platforms of the cluster members whose
         // text is close enough to plausibly be the same weakness.
         for (_, members) in clusters.iter() {
-            let indexed: Vec<(CveId, usize)> = members
-                .iter()
-                .filter_map(|cve| index_of.get(cve).map(|&i| (*cve, i)))
-                .collect();
+            let indexed: Vec<(CveId, usize)> =
+                members.iter().filter_map(|cve| index_of.get(cve).map(|&i| (*cve, i))).collect();
             for &(a, ia) in &indexed {
                 let mut union = vulns[ia].mask;
                 for &(b, ib) in &indexed {
-                    if ia != ib
-                        && clusters
-                            .similarity(a, b)
-                            .is_some_and(|s| s >= min_similarity)
-                    {
+                    if ia != ib && clusters.similarity(a, b).is_some_and(|s| s >= min_similarity) {
                         union |= vulns[ib].mask;
                     }
                 }
@@ -217,11 +211,8 @@ impl RiskOracle {
     /// `V(a, b)` as vulnerability views, unfiltered by date.
     pub fn shared(&self, a: usize, b: usize) -> impl Iterator<Item = &VulnView> {
         let (i, j) = if a < b { (a, b) } else { (b, a) };
-        let list: &[u32] = if a == b {
-            &[]
-        } else {
-            &self.pair_vulns[pair_index(self.oses.len(), i, j)]
-        };
+        let list: &[u32] =
+            if a == b { &[] } else { &self.pair_vulns[pair_index(self.oses.len(), i, j)] };
         list.iter().map(move |&vi| &self.vulns[vi as usize])
     }
 
@@ -244,10 +235,7 @@ impl RiskOracle {
                 .map(|v| v.score(params, now))
                 .sum();
         }
-        self.shared(a, b)
-            .filter(|v| v.published <= now)
-            .map(|v| v.score(params, now))
-            .sum()
+        self.shared(a, b).filter(|v| v.published <= now).map(|v| v.score(params, now)).sum()
     }
 
     /// Eq. 5: total risk of a configuration (universe indices) at `now`.
@@ -491,7 +479,12 @@ mod tests {
             "Cross-site scripting in the dashboard allows script injection via a form",
         ));
         // An unrelated one.
-        kb.upsert(vuln(12, d(1, 1), &[u[3]], "kernel memory corruption leads to privilege escalation"));
+        kb.upsert(vuln(
+            12,
+            d(1, 1),
+            &[u[3]],
+            "kernel memory corruption leads to privilege escalation",
+        ));
         let all: Vec<Vulnerability> = kb.iter().cloned().collect();
         let clusters = VulnClusters::build_with_k(&all, 2, 3);
         assert!(clusters.same_cluster(CveId::new(2018, 10), CveId::new(2018, 11)));
@@ -586,8 +579,12 @@ mod tests {
     #[test]
     fn os_index_lookup() {
         let u = universe();
-        let oracle =
-            RiskOracle::build(&KnowledgeBase::new(), &VulnClusters::new(), &u, ScoreParams::paper());
+        let oracle = RiskOracle::build(
+            &KnowledgeBase::new(),
+            &VulnClusters::new(),
+            &u,
+            ScoreParams::paper(),
+        );
         assert_eq!(oracle.os_index(u[2]), Some(2));
         assert_eq!(oracle.os_index(os(OsFamily::Solaris, "11")), None);
         assert_eq!(oracle.universe().len(), 4);

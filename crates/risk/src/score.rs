@@ -242,11 +242,7 @@ mod tests {
         assert!((p.modifier(&v, new_day) - 1.0).abs() < 1e-12); // N
         assert!((p.modifier(&v, old_day) - 0.75).abs() < 1e-12); // O
 
-        v.exploits.push(ExploitRecord {
-            published: pub_d,
-            source: "x".into(),
-            verified: true,
-        });
+        v.exploits.push(ExploitRecord { published: pub_d, source: "x".into(), verified: true });
         assert!((p.modifier(&v, new_day) - 1.25).abs() < 1e-12); // NE
         assert!((p.modifier(&v, old_day) - 0.9375).abs() < 1e-12); // OE
 
@@ -317,11 +313,9 @@ mod tests {
     fn raw_cvss_params_ignore_everything() {
         let p = ScoreParams::raw_cvss();
         let v = fixtures::cve_2018_8012();
-        for day in [
-            Date::from_ymd(2018, 5, 20),
-            Date::from_ymd(2018, 6, 30),
-            Date::from_ymd(2020, 1, 1),
-        ] {
+        for day in
+            [Date::from_ymd(2018, 5, 20), Date::from_ymd(2018, 6, 30), Date::from_ymd(2020, 1, 1)]
+        {
             assert!((p.score(&v, day) - v.cvss.base_score()).abs() < 1e-12);
         }
     }

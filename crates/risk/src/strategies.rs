@@ -166,8 +166,13 @@ pub trait Strategy {
     fn name(&self) -> &'static str;
 
     /// Chooses the initial CONFIG and partition.
-    fn init(&mut self, day: &DayView<'_>, universe: usize, n: usize, rng: &mut StdRng)
-        -> ReplicaSets;
+    fn init(
+        &mut self,
+        day: &DayView<'_>,
+        universe: usize,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> ReplicaSets;
 
     /// One daily monitoring round.
     fn daily(&mut self, sets: &mut ReplicaSets, day: &DayView<'_>, rng: &mut StdRng);
@@ -317,12 +322,8 @@ impl Strategy for CommonStrategy {
         n: usize,
         rng: &mut StdRng,
     ) -> ReplicaSets {
-        let config = day
-            .common_best
-            .configs
-            .choose(rng)
-            .cloned()
-            .unwrap_or_else(|| (0..n).collect());
+        let config =
+            day.common_best.configs.choose(rng).cloned().unwrap_or_else(|| (0..n).collect());
         ReplicaSets::new(config, universe)
     }
 
@@ -367,12 +368,7 @@ impl Strategy for CvssStrategy {
         n: usize,
         rng: &mut StdRng,
     ) -> ReplicaSets {
-        let config = day
-            .cvss_best
-            .configs
-            .choose(rng)
-            .cloned()
-            .unwrap_or_else(|| (0..n).collect());
+        let config = day.cvss_best.configs.choose(rng).cloned().unwrap_or_else(|| (0..n).collect());
         ReplicaSets::new(config, universe)
     }
 
@@ -436,11 +432,11 @@ mod tests {
     use super::*;
     use crate::oracle::RiskOracle;
     use crate::score::ScoreParams;
+    use lazarus_nlp::VulnClusters;
     use lazarus_osint::catalog::{OsFamily, OsVersion};
     use lazarus_osint::cvss::CvssV3;
     use lazarus_osint::kb::KnowledgeBase;
     use lazarus_osint::model::{AffectedPlatform, CveId, Vulnerability};
-    use lazarus_nlp::VulnClusters;
     use rand::SeedableRng;
 
     fn universe() -> Vec<OsVersion> {

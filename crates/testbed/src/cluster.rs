@@ -11,6 +11,7 @@
 //! paper observes in §7.2.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bytes::Bytes;
 
@@ -76,7 +77,7 @@ impl Default for SimConfig {
 }
 
 enum Ev {
-    DeliverReplica(ReplicaId, Message),
+    DeliverReplica(ReplicaId, Arc<Message>),
     DeliverClient(ClientId, Reply),
     Timer(ReplicaId, TimerId, u64),
     ClientStart(ClientId),
@@ -223,15 +224,16 @@ impl SimCluster {
         add: Option<ReplicaId>,
         remove: Option<ReplicaId>,
     ) {
-        let tag = self.keyring.sign(
-            Principal::Controller,
-            &ReconfigCommand::auth_bytes(epoch, add, remove),
-        );
+        let tag = self
+            .keyring
+            .sign(Principal::Controller, &ReconfigCommand::auth_bytes(epoch, add, remove));
         let cmd = ReconfigCommand { epoch, add, remove, tag };
         let ids: Vec<u32> = self.nodes.keys().copied().collect();
         for id in ids {
-            self.queue
-                .schedule_at(at, Ev::DeliverReplica(ReplicaId(id), Message::Reconfig(cmd.clone())));
+            self.queue.schedule_at(
+                at,
+                Ev::DeliverReplica(ReplicaId(id), Arc::new(Message::Reconfig(cmd.clone()))),
+            );
         }
     }
 
@@ -292,7 +294,8 @@ impl SimCluster {
                     .get(&id.0)
                     .is_some_and(|n| n.powered && n.timer_gen.get(&timer) == Some(&gen));
                 if fire {
-                    let actions = self.nodes.get_mut(&id.0).expect("exists").replica.on_timer(timer);
+                    let actions =
+                        self.nodes.get_mut(&id.0).expect("exists").replica.on_timer(timer);
                     self.absorb(id, at, actions);
                 }
             }
@@ -303,7 +306,8 @@ impl SimCluster {
                     let sends = state.client.retransmit();
                     for (to, message) in sends {
                         let delay = self.cfg.network.delay(message.wire_size());
-                        self.queue.schedule_at(at + delay, Ev::DeliverReplica(to, message));
+                        self.queue
+                            .schedule_at(at + delay, Ev::DeliverReplica(to, Arc::new(message)));
                     }
                     self.queue.schedule_at(at + self.cfg.client_retry, Ev::ClientRetry(client, op));
                 }
@@ -324,19 +328,21 @@ impl SimCluster {
         }
     }
 
-    fn deliver_replica(&mut self, at: Micros, to: ReplicaId, message: Message) {
+    fn deliver_replica(&mut self, at: Micros, to: ReplicaId, message: Arc<Message>) {
         let Some(node) = self.nodes.get_mut(&to.0) else { return };
         if !node.powered || !node.ready {
             return;
         }
         // Extra install work for arriving snapshots.
         let mut cost = node.profile.msg_cost(message.wire_size());
-        if let Message::CstReply { reply, .. } = &message {
+        if let Message::CstReply { reply, .. } = &*message {
             if let Some(snapshot) = &reply.snapshot {
                 cost += snapshot_cost(node.profile.snapshot_mb_s, snapshot.len());
             }
         }
         let done = node.station.submit(at, cost);
+        // Shallow clone unless we are the last recipient of a broadcast.
+        let message = Arc::try_unwrap(message).unwrap_or_else(|shared| (*shared).clone());
         let actions = node.replica.on_message(message);
         self.absorb(to, done, actions);
     }
@@ -364,7 +370,7 @@ impl SimCluster {
         let op = state.current_op;
         for (to, message) in sends {
             let delay = self.cfg.network.delay(message.wire_size());
-            self.queue.schedule_at(at + delay, Ev::DeliverReplica(to, message));
+            self.queue.schedule_at(at + delay, Ev::DeliverReplica(to, Arc::new(message)));
         }
         self.queue.schedule_at(at + self.cfg.client_retry, Ev::ClientRetry(client, op));
     }
@@ -405,7 +411,29 @@ impl SimCluster {
                 }
                 let departed = node.station.submit(from, cost);
                 let delay = self.cfg.network.delay(message.wire_size());
-                self.queue.schedule_at(departed + delay, Ev::DeliverReplica(to, message));
+                self.queue.schedule_at(departed + delay, Ev::DeliverReplica(to, Arc::new(message)));
+            }
+            Action::Broadcast(peers, message) => {
+                let node = self.nodes.get_mut(&id.0).expect("sender exists");
+                // The zero-copy path signs and serializes once per
+                // broadcast, so the sender pays one message-handling unit
+                // (and, for checkpoints, one full snapshot serialization)
+                // regardless of fan-out.
+                let mut cost = node.profile.per_msg_us / 2;
+                if matches!(&*message, Message::Checkpoint { .. }) {
+                    cost += snapshot_cost(
+                        node.profile.snapshot_mb_s,
+                        node.replica.service().state_size(),
+                    ) * node.profile.cores as u64;
+                }
+                let departed = node.station.submit(from, cost);
+                let delay = self.cfg.network.delay(message.wire_size());
+                for to in peers {
+                    self.queue.schedule_at(
+                        departed + delay,
+                        Ev::DeliverReplica(to, Arc::clone(&message)),
+                    );
+                }
             }
             Action::SendClient(client, reply) => {
                 let node = self.nodes.get_mut(&id.0).expect("sender exists");

@@ -30,11 +30,7 @@ impl Metrics {
         if to <= from {
             return 0.0;
         }
-        let n = self
-            .completions
-            .iter()
-            .filter(|&&(t, _)| t >= from && t < to)
-            .count();
+        let n = self.completions.iter().filter(|&&(t, _)| t >= from && t < to).count();
         n as f64 * SEC as f64 / (to - from) as f64
     }
 

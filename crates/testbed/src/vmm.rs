@@ -79,7 +79,9 @@ impl Host {
         match command {
             LtuCommand::PowerOn(image) => {
                 if self.vm.as_ref().is_some_and(|(_, st)| *st != VmState::Off) {
-                    return Err(LtuError { detail: format!("{}: a VM is already active", self.name) });
+                    return Err(LtuError {
+                        detail: format!("{}: a VM is already active", self.name),
+                    });
                 }
                 if image.profile.memory_gb > self.memory_gb {
                     return Err(LtuError {

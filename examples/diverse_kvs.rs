@@ -26,8 +26,7 @@ fn main() {
     }
 
     let membership = Membership::new(Epoch(0), (0..4).map(ReplicaId).collect());
-    let mut cfg = SimConfig::default();
-    cfg.checkpoint_period = 50_000;
+    let cfg = SimConfig { checkpoint_period: 50_000, ..SimConfig::default() };
     let mut sim = SimCluster::new(cfg);
     for (i, os) in oses.iter().enumerate() {
         sim.add_node(
@@ -52,9 +51,18 @@ fn main() {
     sim.run_until(150 * SEC);
 
     println!("\nthroughput:");
-    println!("    before rotation (5–20 s):   {:>8.0} ops/s", sim.metrics.throughput(5 * SEC, 20 * SEC));
-    println!("    during join    (61–91 s):   {:>8.0} ops/s", sim.metrics.throughput(61 * SEC, 91 * SEC));
-    println!("    after rotation (100–150 s): {:>8.0} ops/s", sim.metrics.throughput(100 * SEC, 150 * SEC));
+    println!(
+        "    before rotation (5–20 s):   {:>8.0} ops/s",
+        sim.metrics.throughput(5 * SEC, 20 * SEC)
+    );
+    println!(
+        "    during join    (61–91 s):   {:>8.0} ops/s",
+        sim.metrics.throughput(61 * SEC, 91 * SEC)
+    );
+    println!(
+        "    after rotation (100–150 s): {:>8.0} ops/s",
+        sim.metrics.throughput(100 * SEC, 150 * SEC)
+    );
     println!("\nevents:");
     let mut seen = std::collections::HashSet::new();
     for (t, m) in &sim.epoch_changes {

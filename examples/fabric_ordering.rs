@@ -89,7 +89,10 @@ fn main() {
     for (cid, reply) in std::mem::take(&mut pump.replies) {
         if cid == client.id() {
             if let Some(done) = client.on_reply(reply) {
-                println!("\nblock 2 header: {} bytes (number | prev-hash | tx-root | count)", done.result.len());
+                println!(
+                    "\nblock 2 header: {} bytes (number | prev-hash | tx-root | count)",
+                    done.result.len()
+                );
             }
         }
     }

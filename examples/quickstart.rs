@@ -17,8 +17,8 @@ use lazarus::osint::datamgr::DataManager;
 use lazarus::osint::date::Date;
 use lazarus::osint::kb::KnowledgeBase;
 use lazarus::osint::sources::{
-    CveDetailsSource, DebianSource, ExploitDbSource, FreeBsdSource, MicrosoftSource,
-    OracleSource, OsintSource, RedhatSource, UbuntuSource,
+    CveDetailsSource, DebianSource, ExploitDbSource, FreeBsdSource, MicrosoftSource, OracleSource,
+    OsintSource, RedhatSource, UbuntuSource,
 };
 use lazarus::osint::synth::{SyntheticWorld, WorldConfig};
 
@@ -28,11 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.start = Date::from_ymd(2017, 1, 1);
     config.end = Date::from_ymd(2018, 7, 1);
     let world = SyntheticWorld::generate(config);
-    println!(
-        "world: {} campaigns → {} CVEs",
-        world.campaigns.len(),
-        world.vulnerabilities.len()
-    );
+    println!("world: {} campaigns → {} CVEs", world.campaigns.len(), world.vulnerabilities.len());
 
     // 2. Ingest through the real collection pipeline: NVD JSON feeds plus
     //    the eight secondary sources, crawled concurrently.
@@ -48,9 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let freebsd = FreeBsdSource::new(docs.freebsd);
     let microsoft = MicrosoftSource::new(docs.microsoft);
     let cvedetails = CveDetailsSource::new(docs.cvedetails);
-    let sources: Vec<&(dyn OsintSource + Sync)> = vec![
-        &exploitdb, &ubuntu, &debian, &redhat, &oracle, &freebsd, &microsoft, &cvedetails,
-    ];
+    let sources: Vec<&(dyn OsintSource + Sync)> =
+        vec![&exploitdb, &ubuntu, &debian, &redhat, &oracle, &freebsd, &microsoft, &cvedetails];
     let stats = data.sync_sources(&sources, Date::from_ymd(2017, 1, 1))?;
     println!(
         "knowledge base: {} CVEs, {} enrichments applied",

@@ -1,0 +1,320 @@
+//! In-tree stand-in for the `bytes` crate.
+//!
+//! The workspace builds fully offline; this shim provides the exact subset
+//! of the `bytes` API the repository uses: [`Bytes`] (a cheaply-clonable,
+//! immutable, reference-counted byte buffer), [`BytesMut`] (a growable
+//! builder), and the [`BufMut`] write trait. Semantics match the real
+//! crate for this subset: `Bytes::clone` is O(1), integers are written
+//! big-endian, `freeze` transfers the builder's contents without copying
+//! them again.
+
+#![warn(missing_docs)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply-clonable immutable byte buffer.
+///
+/// Static slices are stored by reference (zero allocation); owned data is
+/// behind an `Arc<[u8]>`, so `clone` only bumps a reference count.
+#[derive(Clone)]
+pub struct Bytes(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub const fn new() -> Bytes {
+        Bytes(Repr::Static(&[]))
+    }
+
+    /// Wraps a static slice without copying.
+    #[must_use]
+    pub const fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes(Repr::Static(bytes))
+    }
+
+    /// Copies a slice into a new shared buffer.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes(Repr::Shared(Arc::from(data)))
+    }
+
+    /// The buffer length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => a,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(Repr::Shared(Arc::from(v)))
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+/// A growable byte builder; finish with [`BytesMut::freeze`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty builder.
+    #[must_use]
+    pub const fn new() -> BytesMut {
+        BytesMut(Vec::new())
+    }
+
+    /// Creates an empty builder with `cap` bytes preallocated.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`] without
+    /// copying.
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Big-endian append-only write operations.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a `u16` in big-endian order.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a `u32` in big-endian order.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a `u64` in big-endian order.
+    fn put_u64(&mut self, v: u64);
+    /// Appends a slice verbatim.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_bytes_are_zero_copy() {
+        let b = Bytes::from_static(b"hello");
+        assert_eq!(&b[..], b"hello");
+        assert_eq!(b.len(), 5);
+        let c = b.clone();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn builder_roundtrip_big_endian() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u8(7);
+        m.put_u32(0x0102_0304);
+        m.put_u64(0x0A0B_0C0D_0E0F_1011);
+        m.put_slice(b"xy");
+        let b = m.freeze();
+        assert_eq!(b.len(), 1 + 4 + 8 + 2);
+        assert_eq!(b[0], 7);
+        assert_eq!(&b[1..5], &[1, 2, 3, 4]);
+        assert_eq!(&b[13..], b"xy");
+    }
+
+    #[test]
+    fn shared_clone_is_refcount_bump() {
+        let b = Bytes::from(vec![1u8; 1024]);
+        let c = b.clone();
+        match (&b.0, &c.0) {
+            (Repr::Shared(x), Repr::Shared(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => panic!("expected shared representation"),
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! The workspace builds fully offline; this shim provides the subset of
+//! the criterion API the benches use — `criterion_group!` /
+//! `criterion_main!`, benchmark groups with `throughput` and
+//! `sample_size`, and `Bencher::{iter, iter_batched}` — backed by a
+//! simple wall-clock harness. There are no statistics, plots, or saved
+//! baselines; each benchmark reports mean ns/iter (and derived
+//! throughput) to stdout, which is enough to compare hot-path changes.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration hint used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; accepted for API
+/// compatibility (this harness always runs one setup per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+}
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { measurement: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup { criterion: self, throughput: None, _sample_size: 0 }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        run_benchmark(id, self.measurement, None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    _sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput hint for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness sizes runs by time.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self._sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, self.criterion.measurement, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Calibration pass: find an iteration count filling `measurement`.
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let target = (measurement.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut bencher = Bencher { iters: target, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let ns = bencher.elapsed.as_nanos() as f64 / target as f64;
+
+    let mut line = format!("{id:<40} {:>12.1} ns/iter", ns);
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mbps = bytes as f64 / ns * 1e9 / (1024.0 * 1024.0);
+            line.push_str(&format!("  {mbps:>10.1} MiB/s"));
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / ns * 1e9;
+            line.push_str(&format!("  {eps:>10.0} elem/s"));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Times the closure handed to each benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` over the harness-chosen iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measures `routine` with a fresh un-timed `setup` input per
+    /// iteration.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_iter_and_batched() {
+        let mut c = Criterion { measurement: Duration::from_millis(5) };
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| 2 + 2));
+    }
+}

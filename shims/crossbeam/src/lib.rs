@@ -1,0 +1,49 @@
+//! In-tree stand-in for the `crossbeam` crate.
+//!
+//! The workspace builds fully offline; this shim backs crossbeam's
+//! unbounded channel API with `std::sync::mpsc`, which has identical
+//! semantics for the subset the repository uses (cloneable senders, a
+//! single receiver per channel, `recv_timeout`, iteration until
+//! disconnect).
+
+#![warn(missing_docs)]
+
+/// Multi-producer single-consumer channels.
+pub mod channel {
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn send_receive_and_disconnect() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        let got: Vec<i32> = rx.into_iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = channel::unbounded::<()>();
+        let err = rx.recv_timeout(Duration::from_millis(1)).unwrap_err();
+        assert_eq!(err, channel::RecvTimeoutError::Timeout);
+        drop(tx);
+        let err = rx.recv_timeout(Duration::from_millis(1)).unwrap_err();
+        assert_eq!(err, channel::RecvTimeoutError::Disconnected);
+    }
+}

@@ -1,0 +1,299 @@
+//! In-tree stand-in for the `proptest` crate.
+//!
+//! The workspace builds fully offline; this shim provides the subset of
+//! proptest the repository's property tests use: the [`proptest!`] macro
+//! (with optional `#![proptest_config(..)]`), `prop_assert!` /
+//! `prop_assert_eq!`, range strategies, string-pattern strategies,
+//! [`option::of`] and [`collection::vec`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the seed of the failing iteration, which is enough to reproduce it
+//! (every strategy here is a deterministic function of the per-case RNG).
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration, settable per `proptest!` block via
+/// `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// Builds the deterministic RNG for one test case.
+#[must_use]
+pub fn case_rng(case: u64) -> StdRng {
+    StdRng::seed_from_u64(0x5052_4F50_5445_5354 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A generator of random values for one property argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut StdRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// String-pattern strategy: a `&str` used as a strategy generates strings
+/// loosely matching proptest's regex-style patterns.
+///
+/// Only the form the repository uses is interpreted — `\PC{lo,hi}`
+/// ("any non-control characters, length lo..=hi"). Other patterns fall
+/// back to printable strings of length 0..=32. That is sufficient for
+/// robustness properties ("the parser is total"), which only need varied
+/// inputs, not exact regex semantics.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (lo, hi) = parse_repeat_bounds(self).unwrap_or((0, 32));
+        let len = rng.gen_range(lo..=hi.max(lo));
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            out.push(random_char(rng));
+        }
+        out
+    }
+}
+
+/// Extracts `{lo,hi}` repetition bounds from the tail of a pattern.
+fn parse_repeat_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let open = pattern.rfind('{')?;
+    let close = pattern.rfind('}')?;
+    if close != pattern.len() - 1 || open >= close {
+        return None;
+    }
+    let inner = &pattern[open + 1..close];
+    let (lo, hi) = inner.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// A non-control character: mostly ASCII, with structural punctuation
+/// weighted up (exercises parsers) and occasional multi-byte code points.
+fn random_char(rng: &mut StdRng) -> char {
+    const PUNCT: &[char] = &[
+        ':', '/', '.', '-', '_', '*', ',', ';', '=', '+', '(', ')', '[', ']', '"', '\'', '#', '!',
+        '?', '%', '&', '<', '>', '@', '~', '|', '\\', ' ',
+    ];
+    const WIDE: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '日', '🦀', 'ø', 'ñ', '—'];
+    match rng.gen_range(0..100u32) {
+        0..=34 => rng.gen_range(b'a'..=b'z') as char,
+        35..=49 => rng.gen_range(b'A'..=b'Z') as char,
+        50..=69 => rng.gen_range(b'0'..=b'9') as char,
+        70..=92 => PUNCT[rng.gen_range(0..PUNCT.len())],
+        _ => WIDE[rng.gen_range(0..WIDE.len())],
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy wrapper generating `None` about a quarter of the time.
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `proptest::option::of`: an optional value from `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// A vector length specification: a fixed size or a `Range<usize>`.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing vectors of values from an element strategy.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: a vector whose length is drawn from
+    /// `len` and whose elements come from `element`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Asserts a property-test condition (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` running `cases` random iterations.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::case_rng(u64::from(__case));
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+    use crate::Strategy;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3i32..9, y in 0usize..4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(proptest::ProptestConfig { cases: 5, ..proptest::ProptestConfig::default() })]
+
+        #[test]
+        fn config_override_applies(v in proptest::collection::vec(0u8..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+    }
+
+    #[test]
+    fn string_pattern_bounds() {
+        let mut rng = crate::case_rng(1);
+        for _ in 0..200 {
+            let s = "\\PC{0,60}".generate(&mut rng);
+            assert!(s.chars().count() <= 60);
+        }
+    }
+
+    #[test]
+    fn option_of_mixes_none_and_some() {
+        let mut rng = crate::case_rng(2);
+        let strat = crate::option::of(0i32..900);
+        let drawn: Vec<Option<i32>> = (0..200).map(|_| strat.generate(&mut rng)).collect();
+        assert!(drawn.iter().any(Option::is_none));
+        assert!(drawn.iter().any(Option::is_some));
+        assert!(drawn.iter().flatten().all(|&v| (0..900).contains(&v)));
+    }
+}

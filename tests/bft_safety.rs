@@ -63,6 +63,11 @@ impl<S: Service> Pump<S> {
             for action in actions {
                 match action {
                     Action::Send(peer, m) => self.queue.push_back((peer, m)),
+                    Action::Broadcast(peers, m) => {
+                        for peer in peers {
+                            self.queue.push_back((peer, (*m).clone()));
+                        }
+                    }
                     Action::SendClient(c, r) => self.replies.push((c, r)),
                     _ => {}
                 }

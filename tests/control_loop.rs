@@ -139,8 +139,7 @@ fn strategy_ranking_matches_paper_shape() {
     let eval = Evaluator::new(&world, EpochConfig::paper());
     let window = (Date::from_ymd(2018, 1, 1), Date::from_ymd(2018, 2, 1));
     let pct = |kind| {
-        eval.run_window(kind, window, &ThreatScope::PublishedInWindow, 120, 5)
-            .compromised_pct()
+        eval.run_window(kind, window, &ThreatScope::PublishedInWindow, 120, 5).compromised_pct()
     };
     let lazarus = pct(StrategyKind::Lazarus);
     let random = pct(StrategyKind::Random);
