@@ -14,16 +14,34 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> no println!/eprintln! in library crates (trace events only; bench exempt)"
+offenders=$(grep -rn 'println!(\|eprintln!(' crates/*/src --include='*.rs' \
+    | grep -v '^crates/bench/' \
+    | grep -v ':[[:space:]]*//' || true)
+if [ -n "$offenders" ]; then
+    echo "FAIL: raw prints in library crates — route through lazarus-obs tracing:" >&2
+    echo "$offenders" >&2
+    exit 1
+fi
+echo "    library crates clean"
+
 echo "==> determinism: figure bins byte-identical across thread counts"
 cargo build --release -q -p lazarus-bench
+metrics_dir=$(mktemp -d)
+trap 'rm -rf "$metrics_dir"' EXIT
 for bin in fig5_strategies fig6_attacks; do
-    one=$(LAZARUS_THREADS=1 "target/release/$bin" 10 42 1)
-    four=$(LAZARUS_THREADS=4 "target/release/$bin" 10 42 1)
+    one=$(LAZARUS_THREADS=1 LAZARUS_METRICS_DIR="$metrics_dir" "target/release/$bin" 10 42 1)
+    mv "$metrics_dir/${bin}_metrics.json" "$metrics_dir/${bin}_metrics.t1.json"
+    four=$(LAZARUS_THREADS=4 LAZARUS_METRICS_DIR="$metrics_dir" "target/release/$bin" 10 42 1)
     if [ "$one" != "$four" ]; then
         echo "FAIL: $bin output differs between 1 and 4 threads" >&2
         exit 1
     fi
-    echo "    $bin: identical"
+    if ! cmp -s "$metrics_dir/${bin}_metrics.t1.json" "$metrics_dir/${bin}_metrics.json"; then
+        echo "FAIL: ${bin}_metrics.json differs between 1 and 4 threads" >&2
+        exit 1
+    fi
+    echo "    $bin: stdout and metrics json identical"
 done
 
 echo "CI green."

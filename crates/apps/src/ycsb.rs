@@ -36,12 +36,21 @@ impl YcsbConfig {
     }
 }
 
+/// Op-mix counters a workload can feed (see [`YcsbWorkload::attach_obs`]).
+#[derive(Debug, Clone)]
+struct YcsbObs {
+    gets: lazarus_obs::Counter,
+    puts: lazarus_obs::Counter,
+    put_bytes: lazarus_obs::Counter,
+}
+
 /// The seeded generator.
 #[derive(Debug, Clone)]
 pub struct YcsbWorkload {
     cfg: YcsbConfig,
     rng: StdRng,
     zipf_zeta: f64,
+    obs: Option<YcsbObs>,
 }
 
 impl YcsbWorkload {
@@ -57,16 +66,34 @@ impl YcsbWorkload {
         // over a capped support for constant-time setup.
         let support = cfg.keys.min(10_000);
         let zipf_zeta = (1..=support).map(|i| 1.0 / (i as f64).powf(cfg.zipf_theta)).sum();
-        YcsbWorkload { cfg, rng: StdRng::seed_from_u64(seed), zipf_zeta }
+        YcsbWorkload { cfg, rng: StdRng::seed_from_u64(seed), zipf_zeta, obs: None }
+    }
+
+    /// Registers op-mix counters (`ycsb_ops_total{op=…}`,
+    /// `ycsb_put_bytes_total`) in `registry`; every subsequent
+    /// [`next_op`](Self::next_op) accounts the drawn operation.
+    pub fn attach_obs(&mut self, registry: &lazarus_obs::Registry) {
+        self.obs = Some(YcsbObs {
+            gets: registry.counter_with("ycsb_ops_total", &[("op", "get")]),
+            puts: registry.counter_with("ycsb_ops_total", &[("op", "put")]),
+            put_bytes: registry.counter("ycsb_put_bytes_total"),
+        });
     }
 
     /// Draws the next operation, encoded for the KVS.
     pub fn next_op(&mut self) -> Bytes {
         let key = self.next_key().to_be_bytes().to_vec();
         if self.rng.gen_bool(self.cfg.read_ratio) {
+            if let Some(obs) = &self.obs {
+                obs.gets.inc();
+            }
             KvsOp::Get { key }.encode()
         } else {
             let value = vec![0xAB; self.cfg.value_size];
+            if let Some(obs) = &self.obs {
+                obs.puts.inc();
+                obs.put_bytes.add(value.len() as u64);
+            }
             KvsOp::Put { key, value }.encode()
         }
     }
@@ -166,6 +193,20 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_op(), b.next_op());
         }
+    }
+
+    #[test]
+    fn attached_registry_counts_the_op_mix() {
+        let registry = lazarus_obs::Registry::new();
+        let mut w = YcsbWorkload::new(YcsbConfig::fig9(), 7);
+        w.attach_obs(&registry);
+        for _ in 0..100 {
+            w.next_op();
+        }
+        let gets = registry.counter_with("ycsb_ops_total", &[("op", "get")]).get();
+        let puts = registry.counter_with("ycsb_ops_total", &[("op", "put")]).get();
+        assert_eq!(gets + puts, 100);
+        assert_eq!(registry.counter("ycsb_put_bytes_total").get(), puts * 1024);
     }
 
     #[test]

@@ -58,6 +58,7 @@ fn main() {
         .collect();
 
     let window = (Date::from_ymd(2018, 1, 1), Date::from_ymd(2018, 9, 1));
+    let registry = lazarus_obs::Registry::new();
     println!("\n{:<22} {:>12}", "similarity gate", "compromised");
     for gate in [0.0, 0.5, 0.75, 1.01] {
         let oracle = RiskOracle::build_with_similarity(
@@ -112,6 +113,10 @@ fn main() {
         } else {
             format!("cosine ≥ {gate:.2}")
         };
+        let gate_label = format!("{gate:.2}");
+        registry
+            .gauge_with("ablation_clusters_compromised_pct", &[("gate", gate_label.as_str())])
+            .set(100.0 * compromised as f64 / runs as f64);
         println!("{label:<22} {:>11.1}%", 100.0 * compromised as f64 / runs as f64);
     }
     println!(
@@ -120,4 +125,8 @@ fn main() {
          union degenerates toward a per-OS vulnerability-volume metric whose behaviour \
          depends on the world's structure."
     );
+    match lazarus_bench::write_metrics_json("ablation_clusters", &registry) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write metrics: {e}"),
+    }
 }

@@ -17,6 +17,7 @@ fn main() {
 
     println!("=== Ablation — Algorithm 1 threshold slack ({runs} runs/setting) ===");
     let world = SyntheticWorld::generate(WorldConfig::paper_study(seed));
+    let registry = lazarus_obs::Registry::new();
     println!("\n{:<10} {:>12} {:>18}", "slack", "compromised", "reconfigs/run");
     for slack in [2.0, 8.0, 15.0, 30.0, 60.0, 120.0] {
         let cfg = EpochConfig { threshold: slack, ..EpochConfig::paper() };
@@ -35,6 +36,14 @@ fn main() {
             reconfigs += stats.reconfigurations;
         }
         let total_runs = runs * 8;
+        let slack_label = format!("{slack}");
+        let labels = [("slack", slack_label.as_str())];
+        registry
+            .gauge_with("ablation_threshold_compromised_pct", &labels)
+            .set(100.0 * compromised as f64 / total_runs as f64);
+        registry
+            .gauge_with("ablation_threshold_reconfigs_per_run", &labels)
+            .set(reconfigs as f64 / total_runs as f64);
         println!(
             "{:<10} {:>11.1}% {:>18.2}",
             slack,
@@ -47,4 +56,8 @@ fn main() {
          for a modest safety change; the compromise floor is set by hidden (stealth) \
          sharing that no threshold can see."
     );
+    match lazarus_bench::write_metrics_json("ablation_threshold", &registry) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write metrics: {e}"),
+    }
 }

@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use lazarus_bench::{fmt_kops, microbenchmark, write_bench_json};
+use lazarus_bench::{fmt_kops, microbenchmark, write_bench_json, write_metrics_json};
 use lazarus_osint::json::Value;
 use lazarus_osint::synth::{SyntheticWorld, WorldConfig};
 use lazarus_risk::epoch::{EpochConfig, Evaluator, ThreatScope};
@@ -45,12 +45,20 @@ fn main() {
         let world = SyntheticWorld::generate(WorldConfig::paper_study(seed + w as u64));
         Evaluator::new(&world, EpochConfig::paper())
     });
+    let obs = lazarus_obs::Obs::unclocked();
     let mut compromised = 0usize;
     for (start, end) in Evaluator::month_windows(2018, 1, 8) {
         for kind in StrategyKind::ALL {
             for eval in &evals {
                 compromised += eval
-                    .run_window(kind, (start, end), &ThreatScope::PublishedInWindow, runs, seed)
+                    .run_window_observed(
+                        kind,
+                        (start, end),
+                        &ThreatScope::PublishedInWindow,
+                        runs,
+                        seed,
+                        Some(&obs),
+                    )
                     .compromised;
             }
         }
@@ -84,5 +92,15 @@ fn main() {
     match write_bench_json(&out_path, &report) {
         Ok(()) => println!("wrote {out_path}"),
         Err(e) => eprintln!("failed to write {out_path}: {e}"),
+    }
+
+    let reg = &obs.registry;
+    reg.gauge_with("hotpath_echo_ops_s", &[("payload", "0")]).set(ops_small);
+    reg.gauge_with("hotpath_echo_ops_s", &[("payload", "1024")]).set(ops_large);
+    reg.gauge("hotpath_echo_wall_s").set(echo_wall);
+    reg.gauge("hotpath_fig5_wall_s").set(fig5_wall);
+    match write_metrics_json("bench_hotpath", reg) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write metrics: {e}"),
     }
 }

@@ -11,8 +11,12 @@ use lazarus_apps::fabric::{submit_op, OrderingService};
 use lazarus_apps::kvs::KvsService;
 use lazarus_apps::sieveq::{enqueue_op, SieveQService};
 use lazarus_apps::ycsb::{YcsbConfig, YcsbWorkload};
-use lazarus_bench::{fmt_kops, measure_throughput, print_table};
+use lazarus_bench::{
+    fmt_kops, measure_throughput, measure_throughput_observed, print_table, write_metrics_json,
+};
+use lazarus_obs::Registry;
 use lazarus_testbed::oscatalog::{fastest_set, slowest_set, vm_profile, PerfProfile};
+use lazarus_testbed::LatencySummary;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -20,15 +24,20 @@ use std::sync::Arc;
 /// into one ordered operation.
 const SIEVEQ_AGGREGATION: usize = 4;
 
-fn kvs_throughput(profiles: &[PerfProfile]) -> f64 {
-    let workload = Arc::new(Mutex::new(YcsbWorkload::new(YcsbConfig::fig10(), 7)));
-    measure_throughput(
+fn kvs_throughput(profiles: &[PerfProfile], registry: &Registry) -> (f64, Option<LatencySummary>) {
+    let workload = Arc::new(Mutex::new({
+        let mut w = YcsbWorkload::new(YcsbConfig::fig10(), 7);
+        w.attach_obs(registry); // op-mix counters: ycsb_ops_total{op=…}
+        w
+    }));
+    let run = measure_throughput_observed(
         profiles,
         || Box::new(KvsService::new()),
         move |_| workload.lock().next_op(),
         250,
         4,
-    )
+    );
+    (run.throughput_ops_s, run.summary)
 }
 
 fn sieveq_throughput(profiles: &[PerfProfile]) -> f64 {
@@ -65,6 +74,7 @@ fn fabric_throughput(profiles: &[PerfProfile]) -> f64 {
 
 fn main() {
     println!("=== Figure 10 — BFT applications on BM / fastest / slowest sets ===");
+    let registry = Registry::new();
     let configs: [(&str, Vec<PerfProfile>); 3] = [
         ("BM", vec![PerfProfile::bare_metal(); 4]),
         ("fastest", fastest_set().iter().map(|o| vm_profile(*o)).collect()),
@@ -72,11 +82,19 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
+    let mut summaries = Vec::new();
     let mut bm: Option<(f64, f64, f64)> = None;
     for (name, profiles) in &configs {
-        let kvs = kvs_throughput(profiles);
+        let (kvs, kvs_summary) = kvs_throughput(profiles, &registry);
         let sieveq = sieveq_throughput(profiles);
         let fabric = fabric_throughput(profiles);
+        registry.gauge_with("fig10_ops_s", &[("app", "kvs"), ("config", name)]).set(kvs);
+        registry.gauge_with("fig10_ops_s", &[("app", "sieveq"), ("config", name)]).set(sieveq);
+        registry.gauge_with("fig10_ops_s", &[("app", "fabric"), ("config", name)]).set(fabric);
+        if let Some(s) = kvs_summary {
+            registry.gauge_with("fig10_kvs_p99_us", &[("config", name)]).set(s.p99_us as f64);
+            summaries.push((*name, s));
+        }
         let suffix = match &bm {
             Some((k, s, f)) => format!(
                 "   ({:>3.0}% / {:>3.0}% / {:>3.0}% of BM)",
@@ -104,9 +122,17 @@ fn main() {
         ("config", "     KVS      SieveQ    Fabric"),
         &rows,
     );
+    println!("\nKVS client latency:");
+    for (name, s) in &summaries {
+        println!("    {name:<8} {s}");
+    }
     println!(
         "\npaper shape: on the fastest set KVS ≈ 86%, SieveQ ≈ 94% and Fabric ≈ 91% of their \
          BM throughput — SieveQ loses the least because its filtering layers run before the \
          replicated state machine; the slowest set drops to 18–53%."
     );
+    match write_metrics_json("fig10_apps", &registry) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write metrics: {e}"),
+    }
 }

@@ -24,6 +24,7 @@ fn series(label: &str, v: &Vulnerability, from: Date, days: i32, step: i32) {
 
 fn main() {
     println!("=== Figure 3 — score evolution for three vulnerabilities ===");
+    let registry = lazarus_obs::Registry::new();
     // (a) NE: published 2018-09-07, exploit 2018-09-24, never patched.
     let ne = fixtures::cve_2018_8303();
     series("(a) NE", &ne, Date::from_ymd(2018, 9, 7), 30, 3);
@@ -53,4 +54,18 @@ fn main() {
         "    CVE-2016-7180 a year after patch: paper 0.75-band, computed {:.2}",
         params.score(&op, Date::from_ymd(2017, 9, 19))
     );
+
+    let annotations: [(&str, &Vulnerability, Date); 4] = [
+        ("CVE-2018-8303@exploit", &ne, Date::from_ymd(2018, 9, 24)),
+        ("CVE-2018-8012@peak", &npe, Date::from_ymd(2018, 5, 24)),
+        ("CVE-2018-8012@patched", &npe, Date::from_ymd(2018, 5, 27)),
+        ("CVE-2016-7180@1y", &op, Date::from_ymd(2017, 9, 19)),
+    ];
+    for (point, v, day) in annotations {
+        registry.gauge_with("fig3_score", &[("point", point)]).set(params.score(v, day));
+    }
+    match lazarus_bench::write_metrics_json("fig3_score_evolution", &registry) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("failed to write metrics: {e}"),
+    }
 }

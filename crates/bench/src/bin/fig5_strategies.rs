@@ -12,11 +12,16 @@
 //! Usage: `fig5_strategies [runs] [base_seed] [worlds]`
 //! (defaults: 1000, 42, 5 — `runs` is split across the worlds).
 
+use lazarus_bench::write_metrics_json;
 use lazarus_osint::synth::{SyntheticWorld, WorldConfig};
 use lazarus_risk::epoch::{EpochConfig, Evaluator, ThreatScope};
 use lazarus_risk::strategies::StrategyKind;
 
 fn main() {
+    // Unclocked bundle: counter adds and histogram observations commute, and
+    // the per-month gauges below are set from this (single) thread in month
+    // order — so `fig5_metrics.json` is byte-identical at any LAZARUS_THREADS.
+    let obs = lazarus_obs::Obs::unclocked();
     let mut args = std::env::args().skip(1);
     let runs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1000);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
@@ -42,21 +47,29 @@ fn main() {
     let windows = Evaluator::month_windows(2018, 1, 8);
     for (start, end) in &windows {
         print!("{:<10}", format!("{}-{:02}", start.year(), start.month()));
+        let month = format!("{}-{:02}", start.year(), start.month());
         for (i, kind) in StrategyKind::ALL.iter().enumerate() {
             let mut compromised = 0usize;
             let mut total_runs = 0usize;
             for eval in &evals {
-                let stats = eval.run_window(
+                let stats = eval.run_window_observed(
                     *kind,
                     (*start, *end),
                     &ThreatScope::PublishedInWindow,
                     runs_per_world,
                     seed,
+                    Some(&obs),
                 );
                 compromised += stats.compromised;
                 total_runs += stats.runs;
             }
             let pct = 100.0 * compromised as f64 / total_runs.max(1) as f64;
+            obs.registry
+                .gauge_with(
+                    "fig5_compromised_pct",
+                    &[("month", month.as_str()), ("strategy", kind.name())],
+                )
+                .set(pct);
             totals[i] += pct;
             print!(" {:>8.1}%", pct);
         }
@@ -71,4 +84,8 @@ fn main() {
         "\npaper shape: Lazarus best overall; Random/Equal worst \
          (\"changing OSes every day with no criteria tends to create unsafe configurations\")."
     );
+    match write_metrics_json("fig5_strategies", &obs.registry) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write metrics: {e}"),
+    }
 }

@@ -9,12 +9,14 @@
 //!
 //! Usage: `fig6_attacks [runs] [seed]` (defaults: 1000, 42).
 
+use lazarus_bench::write_metrics_json;
 use lazarus_osint::date::Date;
 use lazarus_osint::synth::{attacks, SyntheticWorld, WorldConfig};
 use lazarus_risk::epoch::{EpochConfig, Evaluator, ThreatScope};
 use lazarus_risk::strategies::StrategyKind;
 
 fn main() {
+    let obs = lazarus_obs::Obs::unclocked();
     let mut args = std::env::args().skip(1);
     let runs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1000);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
@@ -51,8 +53,17 @@ fn main() {
     for (name, ids) in scopes {
         print!("{name:<12}");
         for kind in StrategyKind::ALL {
-            let stats =
-                eval.run_window(kind, window, &ThreatScope::Campaigns(ids.clone()), runs, seed);
+            let stats = eval.run_window_observed(
+                kind,
+                window,
+                &ThreatScope::Campaigns(ids.clone()),
+                runs,
+                seed,
+                Some(&obs),
+            );
+            obs.registry
+                .gauge_with("fig6_compromised_pct", &[("attack", name), ("strategy", kind.name())])
+                .set(stats.compromised_pct());
             print!(" {:>8.1}%", stats.compromised_pct());
         }
         println!();
@@ -61,4 +72,8 @@ fn main() {
         "\npaper shape: Lazarus handles every scenario with almost no compromised \
          executions; StackClash is the most destructive attack (it hits every Unix lineage)."
     );
+    match write_metrics_json("fig6_attacks", &obs.registry) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write metrics: {e}"),
+    }
 }

@@ -2,16 +2,20 @@
 //! of §7.2 — fastest [UB17 UB16 FE24 OS42], one-per-family
 //! [UB16 W10 SO10 OB61], and slowest [OB60 OB61 SO10 SO11].
 
-use lazarus_bench::{fmt_kops, microbenchmark, print_table};
+use lazarus_bench::{fmt_kops, microbenchmark, print_table, write_metrics_json};
+use lazarus_obs::Registry;
 use lazarus_testbed::oscatalog::{
     cross_family_set, fastest_set, slowest_set, vm_profile, PerfProfile,
 };
 
 fn main() {
     println!("=== Figure 8 — diverse-set microbenchmark (0/0 and 1024/1024) ===");
+    let registry = Registry::new();
     let bm = vec![PerfProfile::bare_metal(); 4];
     let bm_small = microbenchmark(&bm, 0, 1400);
     let bm_large = microbenchmark(&bm, 1024, 600);
+    registry.gauge_with("fig8_ops_s", &[("payload", "0"), ("set", "BM")]).set(bm_small);
+    registry.gauge_with("fig8_ops_s", &[("payload", "1024"), ("set", "BM")]).set(bm_large);
 
     let sets = [
         ("fastest [UB17 UB16 FE24 OS42]", fastest_set()),
@@ -23,6 +27,9 @@ fn main() {
         let profiles: Vec<PerfProfile> = oses.iter().map(|o| vm_profile(*o)).collect();
         let t0 = microbenchmark(&profiles, 0, 1400);
         let t1 = microbenchmark(&profiles, 1024, 600);
+        let set = name.split_whitespace().next().unwrap_or(name);
+        registry.gauge_with("fig8_ops_s", &[("payload", "0"), ("set", set)]).set(t0);
+        registry.gauge_with("fig8_ops_s", &[("payload", "1024"), ("set", set)]).set(t1);
         rows.push((
             name.to_string(),
             format!(
@@ -44,4 +51,8 @@ fn main() {
          close to the slowest set because BFT progresses at the speed of the 3rd-fastest \
          replica (a single-core Solaris VM); slowest ≈ 6k/2.5k."
     );
+    match write_metrics_json("fig8_diverse", &registry) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write metrics: {e}"),
+    }
 }

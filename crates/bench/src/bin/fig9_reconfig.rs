@@ -16,7 +16,9 @@
 use bytes::Bytes;
 use lazarus_apps::kvs::KvsService;
 use lazarus_apps::ycsb::{YcsbConfig, YcsbWorkload};
+use lazarus_bench::write_metrics_json;
 use lazarus_bft::types::{Epoch, Membership, ReplicaId};
+use lazarus_obs::Registry;
 use lazarus_testbed::cluster::{SimCluster, SimConfig};
 use lazarus_testbed::oscatalog::{by_short_id, reconfig_set, vm_profile, PerfProfile};
 use lazarus_testbed::sim::{Micros, SEC};
@@ -27,19 +29,21 @@ const WINDOW: Micros = 200 * SEC;
 
 struct Panel {
     name: &'static str,
+    /// Short label for metric series (`panel="a"` / `panel="b"`).
+    tag: &'static str,
     profiles: Vec<PerfProfile>,
     joiner: PerfProfile,
     /// Which replica leaves (index into the initial four).
     remove: u32,
 }
 
-fn run_panel(panel: &Panel, state_mb: usize) {
+fn run_panel(panel: &Panel, state_mb: usize, registry: &Registry) {
     let membership = Membership::new(Epoch(0), (0..4).map(ReplicaId).collect());
     // Periods are in consensus slots; with ~6 closed-loop clients batches
     // hold a handful of requests, so ~25k slots ≈ 40-60 s between
     // checkpoints — two dips inside the window, as in the paper.
     let cfg = SimConfig { checkpoint_period: 25_000, ..SimConfig::default() };
-    let mut sim = SimCluster::new(cfg);
+    let mut sim = SimCluster::new_observed(cfg);
     let ballast = state_mb * 1_000_000;
     for (r, p) in panel.profiles.iter().enumerate() {
         sim.add_node(
@@ -91,32 +95,59 @@ fn run_panel(panel: &Panel, state_mb: usize) {
     for (t, thr) in sim.metrics.throughput_series(2 * SEC, WINDOW) {
         println!("{:>6}  {:>10.0}", t / SEC, thr);
     }
+    if let Some(summary) = sim.metrics.summary() {
+        println!("client latency: {summary}");
+    }
+
+    // Fold the panel into the shared report: headline gauges, the raw
+    // client-latency distribution, and the replica-side commit latency from
+    // the instrumented cluster (all virtual-time).
+    let labels = [("panel", panel.tag)];
+    registry
+        .gauge_with("fig9_peak_ops_s", &labels)
+        .set(sim.metrics.peak_throughput(10 * SEC, WINDOW));
+    registry.gauge_with("fig9_completed_ops", &labels).set(sim.metrics.completed() as f64);
+    registry.gauge_with("fig9_state_transfers", &labels).set(sim.transfers.len() as f64);
+    sim.metrics.fill_histogram(&registry.histogram_with("fig9_client_latency_us", &labels));
+    if let Some(obs) = sim.obs() {
+        let commit = obs.registry.histogram("bft_commit_latency_us").snapshot();
+        if let Some(p99) = commit.quantile(0.99) {
+            registry.gauge_with("fig9_commit_latency_p99_us", &labels).set(p99 as f64);
+        }
+    }
 }
 
 fn main() {
     let state_mb: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(500);
     println!("=== Figure 9 — KVS throughput during reconfiguration (YCSB 50/50, 1 KiB values, {state_mb} MB state) ===");
+    let registry = Registry::new();
 
     let bare = Panel {
         name: "(a) bare metal (homogeneous)",
+        tag: "a",
         profiles: vec![PerfProfile::bare_metal(); 4],
         joiner: PerfProfile::bare_metal(),
         remove: 1,
     };
-    run_panel(&bare, state_mb);
+    run_panel(&bare, state_mb, &registry);
 
     let lazarus = Panel {
         name: "(b) Lazarus (diverse: DE8 OS42 FE26 SO11, +UB16 −OS42)",
+        tag: "b",
         profiles: reconfig_set().iter().map(|o| vm_profile(*o)).collect(),
         joiner: by_short_id("UB16").expect("catalog").profile,
         remove: 1, // OS42
     };
-    run_panel(&lazarus, state_mb);
+    run_panel(&lazarus, state_mb, &registry);
 
     println!(
         "\npaper shape: both panels dip at state checkpoints and during the state \
          transfer; the VM (b) boots ~3× faster than bare metal (40 s vs >2 min), so \
          the joiner is ready much earlier, while its transfer runs somewhat slower."
     );
+    match write_metrics_json("fig9_reconfig", &registry) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write metrics: {e}"),
+    }
     let _ = Bytes::new();
 }

@@ -23,6 +23,8 @@ fn main() {
     let mut corpus = world.vulnerabilities;
     corpus.extend(triplet);
     let clusters = VulnClusters::build(&corpus, 42);
+    let registry = lazarus_obs::Registry::new();
+    clusters.record_stats(&registry);
     println!(
         "clustered {} descriptions into k = {} clusters (elbow method)",
         clusters.len(),
@@ -43,4 +45,12 @@ fn main() {
         "the Table 1 triplet must land in one cluster"
     );
     println!("\n✓ the triplet lands in one cluster despite disjoint product lists");
+    registry
+        .gauge("table1_triplet_same_cluster")
+        .set(f64::from(u8::from(clusters.same_cluster(a, b) && clusters.same_cluster(a, c))));
+    registry.gauge("table1_cosine_0157_4428").set(clusters.similarity(a, c).unwrap_or(0.0));
+    match lazarus_bench::write_metrics_json("table1_clusters", &registry) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write metrics: {e}"),
+    }
 }

@@ -23,15 +23,67 @@ pub fn measure_throughput(
     clients: usize,
     run_secs: u64,
 ) -> f64 {
+    measure_throughput_observed(profiles, services, payload, clients, run_secs).throughput_ops_s
+}
+
+/// One [`measure_throughput_observed`] run: the headline number plus the
+/// raw material for a `*_metrics.json` report.
+pub struct ThroughputRun {
+    /// Steady-state throughput in ops/s (after a 1 s warm-up).
+    pub throughput_ops_s: f64,
+    /// Client-side latency percentiles (`None` when nothing completed).
+    pub summary: Option<lazarus_testbed::LatencySummary>,
+    /// The simulation's observability bundle: wire counters, per-replica
+    /// hot-path metrics and the `sim_client_latency_us` histogram, all on
+    /// virtual time.
+    pub obs: lazarus_obs::Obs,
+}
+
+/// [`measure_throughput`] on an instrumented cluster, returning the full
+/// [`ThroughputRun`] so harnesses can fold the run into a metrics report.
+pub fn measure_throughput_observed(
+    profiles: &[PerfProfile],
+    services: impl Fn() -> Box<dyn Service>,
+    payload: impl Fn(u64) -> Bytes + Clone + 'static,
+    clients: usize,
+    run_secs: u64,
+) -> ThroughputRun {
     let membership = Membership::new(Epoch(0), (0..profiles.len() as u32).map(ReplicaId).collect());
-    let mut sim = SimCluster::new(SimConfig::default());
+    let mut sim = SimCluster::new_observed(SimConfig::default());
     for (r, p) in profiles.iter().enumerate() {
         sim.add_node(ReplicaId(r as u32), *p, membership.clone(), services());
     }
     sim.add_clients(1, clients, membership, payload);
     let horizon: Micros = run_secs * SEC;
     sim.run_until(horizon);
-    sim.metrics.throughput(SEC, horizon)
+    let obs = sim.obs().expect("observed cluster").clone();
+    ThroughputRun {
+        throughput_ops_s: sim.metrics.throughput(SEC, horizon),
+        summary: sim.metrics.summary(),
+        obs,
+    }
+}
+
+/// The canonical metrics-report path for a figure binary: `<bin>_metrics.json`
+/// in the current directory, or under `$LAZARUS_METRICS_DIR` when set.
+pub fn metrics_path(bin: &str) -> std::path::PathBuf {
+    let dir = std::env::var("LAZARUS_METRICS_DIR").unwrap_or_else(|_| ".".to_string());
+    std::path::Path::new(&dir).join(format!("{bin}_metrics.json"))
+}
+
+/// Snapshots `registry` and writes it to [`metrics_path`]`(bin)` as the
+/// sorted JSON exposition; returns the path written.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_metrics_json(
+    bin: &str,
+    registry: &lazarus_obs::Registry,
+) -> std::io::Result<std::path::PathBuf> {
+    let path = metrics_path(bin);
+    std::fs::write(&path, registry.snapshot().to_json())?;
+    Ok(path)
 }
 
 /// The §7.1 microbenchmark: an echo service under `payload_size`-byte

@@ -44,6 +44,7 @@ pub mod consensus;
 pub mod crypto;
 pub mod log;
 pub mod messages;
+pub mod obs;
 pub mod replica;
 pub mod runtime;
 pub mod service;

@@ -1,0 +1,237 @@
+//! Observability hooks for the replica hot path.
+//!
+//! [`ReplicaObs`] is the per-replica instrumentation bundle: pre-registered
+//! counter handles (one registry lock per series at attach time, lock-free
+//! atomic adds afterwards), the proposal→execute latency histogram, and
+//! trace events for the rare transitions (view change, checkpoint, state
+//! transfer, epoch change). A replica without an attached bundle pays one
+//! `Option` branch per hook.
+//!
+//! [`WireObs`] is the embedding runtime's side: per-message-kind count and
+//! bytes-on-wire counters, fed from wherever messages actually hit the
+//! "network" (the threaded runtime's channel sends, the testbed's cost
+//! model).
+//!
+//! All counters and histograms are shared across replicas in one registry —
+//! their updates commute, so snapshots are deterministic even when replicas
+//! run on parallel workers. Timestamps come from the injected
+//! [`Clock`](lazarus_obs::Clock): sim-time under the testbed, wall time
+//! under the threaded runtime.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lazarus_obs::{Clock, Counter, Histogram, Obs, Tracer};
+
+use crate::types::{Epoch, ReplicaId, SeqNo, View};
+
+/// Every [`Message::label`](crate::messages::Message::label) value, in the
+/// protocol's phase order.
+pub const MESSAGE_KINDS: [&str; 11] = [
+    "REQUEST",
+    "PROPOSE",
+    "WRITE",
+    "ACCEPT",
+    "CHECKPOINT",
+    "STOP",
+    "STOP-DATA",
+    "SYNC",
+    "CST-REQUEST",
+    "CST-REPLY",
+    "RECONFIG",
+];
+
+fn kind_slot(label: &str) -> usize {
+    MESSAGE_KINDS.iter().position(|&k| k == label).unwrap_or(0)
+}
+
+/// Per-message-kind wire accounting for an embedding runtime.
+#[derive(Debug, Clone)]
+pub struct WireObs {
+    sent: [Counter; MESSAGE_KINDS.len()],
+    bytes: [Counter; MESSAGE_KINDS.len()],
+}
+
+impl WireObs {
+    /// Registers the `bft_wire_messages_total{kind=…}` /
+    /// `bft_wire_bytes_total{kind=…}` series in `obs`'s registry.
+    #[must_use]
+    pub fn new(obs: &Obs) -> WireObs {
+        WireObs {
+            sent: MESSAGE_KINDS.map(|kind| {
+                obs.registry.counter_with("bft_wire_messages_total", &[("kind", kind)])
+            }),
+            bytes: MESSAGE_KINDS
+                .map(|kind| obs.registry.counter_with("bft_wire_bytes_total", &[("kind", kind)])),
+        }
+    }
+
+    /// Accounts one message of `label` kind and `wire_size` bytes leaving a
+    /// replica, `copies` times (a broadcast is one call with `copies` =
+    /// fan-out).
+    pub fn sent(&self, label: &str, wire_size: usize, copies: usize) {
+        let slot = kind_slot(label);
+        self.sent[slot].add(copies as u64);
+        self.bytes[slot].add((wire_size * copies) as u64);
+    }
+}
+
+/// The instrumentation bundle a replica carries once attached.
+#[derive(Debug)]
+pub struct ReplicaObs {
+    clock: Arc<dyn Clock>,
+    tracer: Tracer,
+    id: ReplicaId,
+
+    msgs_in: [Counter; MESSAGE_KINDS.len()],
+    decided_total: Counter,
+    executed_requests_total: Counter,
+    view_changes_total: Counter,
+    checkpoints_total: Counter,
+    state_transfers_total: Counter,
+    commit_latency_us: Histogram,
+
+    /// Open proposals: slot → clock time the proposal was first accepted.
+    proposed_at: HashMap<u64, u64>,
+}
+
+impl ReplicaObs {
+    /// Builds the bundle for replica `id` against `obs`'s shared registry,
+    /// tracer, and clock.
+    #[must_use]
+    pub fn new(obs: &Obs, id: ReplicaId) -> ReplicaObs {
+        ReplicaObs {
+            clock: Arc::clone(obs.clock()),
+            tracer: obs.tracer.clone(),
+            id,
+            msgs_in: MESSAGE_KINDS
+                .map(|kind| obs.registry.counter_with("bft_messages_in_total", &[("kind", kind)])),
+            decided_total: obs.registry.counter("bft_slots_decided_total"),
+            executed_requests_total: obs.registry.counter("bft_requests_executed_total"),
+            view_changes_total: obs.registry.counter("bft_view_changes_total"),
+            checkpoints_total: obs.registry.counter("bft_checkpoints_total"),
+            state_transfers_total: obs.registry.counter("bft_state_transfers_total"),
+            commit_latency_us: obs.registry.histogram("bft_commit_latency_us"),
+            proposed_at: HashMap::new(),
+        }
+    }
+
+    /// A protocol message reached `on_message`.
+    pub fn message_in(&self, label: &str) {
+        self.msgs_in[kind_slot(label)].inc();
+    }
+
+    /// A proposal for `seq` was accepted into the local instance (starts
+    /// the proposal→execute latency clock for that slot).
+    pub fn proposal_seen(&mut self, seq: SeqNo) {
+        self.proposed_at.entry(seq.0).or_insert_with(|| self.clock.now_micros());
+    }
+
+    /// Slot `seq` was decided (closes that slot's latency measurement).
+    pub fn decided(&mut self, seq: SeqNo) {
+        self.decided_total.inc();
+        if let Some(at) = self.proposed_at.remove(&seq.0) {
+            self.commit_latency_us.observe(self.clock.now_micros().saturating_sub(at));
+        }
+    }
+
+    /// `n` requests were executed against the service.
+    pub fn executed(&self, n: usize) {
+        self.executed_requests_total.add(n as u64);
+    }
+
+    /// A local checkpoint was taken at `seq`.
+    pub fn checkpoint(&self, seq: SeqNo) {
+        self.checkpoints_total.inc();
+        self.tracer.event(
+            "replica.checkpoint",
+            vec![("replica", self.id.0.into()), ("seq", seq.0.into())],
+        );
+    }
+
+    /// The replica installed `new_view` after a leader change.
+    pub fn view_change(&mut self, new_view: View) {
+        self.view_changes_total.inc();
+        // Stale slots from the old view would otherwise pin their start
+        // timestamps forever.
+        self.proposed_at.clear();
+        self.tracer.event(
+            "replica.view_change",
+            vec![("replica", self.id.0.into()), ("view", new_view.0.into())],
+        );
+    }
+
+    /// A state transfer completed at `seq`.
+    pub fn state_transferred(&self, seq: SeqNo) {
+        self.state_transfers_total.inc();
+        self.tracer.event(
+            "replica.state_transfer",
+            vec![("replica", self.id.0.into()), ("seq", seq.0.into())],
+        );
+    }
+
+    /// The membership changed to `epoch` via an ordered reconfiguration.
+    pub fn epoch_changed(&self, epoch: Epoch, n: usize) {
+        self.tracer.event(
+            "replica.epoch_change",
+            vec![("replica", self.id.0.into()), ("epoch", epoch.0.into()), ("n", n.into())],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_cover_every_label() {
+        use crate::crypto::Digest;
+        use crate::messages::{CheckpointMsg, ConsensusMsg, Message};
+        let sample = Message::Checkpoint {
+            from: ReplicaId(0),
+            msg: CheckpointMsg { seq: SeqNo(1), digest: Digest::of(b"x") },
+        };
+        assert!(MESSAGE_KINDS.contains(&sample.label()));
+        let write = Message::Consensus {
+            from: ReplicaId(0),
+            msg: ConsensusMsg::Write { view: View(0), seq: SeqNo(1), digest: Digest::of(b"x") },
+        };
+        assert_eq!(kind_slot(write.label()), 2);
+    }
+
+    #[test]
+    fn wire_obs_accounts_broadcast_fanout() {
+        let obs = Obs::unclocked();
+        let wire = WireObs::new(&obs);
+        wire.sent("PROPOSE", 100, 3);
+        wire.sent("WRITE", 80, 1);
+        let snap = obs.registry.snapshot();
+        let get = |name: &str| {
+            snap.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+        };
+        assert_eq!(get("bft_wire_messages_total{kind=\"PROPOSE\"}"), 3);
+        assert_eq!(get("bft_wire_bytes_total{kind=\"PROPOSE\"}"), 300);
+        assert_eq!(get("bft_wire_bytes_total{kind=\"WRITE\"}"), 80);
+    }
+
+    #[test]
+    fn replica_obs_latency_runs_proposal_to_decide() {
+        let clock = Arc::new(lazarus_obs::ManualClock::new());
+        let obs = Obs::new(Arc::clone(&clock) as Arc<dyn Clock>);
+        let mut robs = ReplicaObs::new(&obs, ReplicaId(0));
+        clock.set(100);
+        robs.proposal_seen(SeqNo(1));
+        clock.set(350);
+        robs.decided(SeqNo(1));
+        robs.executed(4);
+        let snap = obs.registry.snapshot();
+        let (_, hist) =
+            snap.histograms.iter().find(|(n, _)| n == "bft_commit_latency_us").expect("registered");
+        assert_eq!(hist.count, 1);
+        assert_eq!(hist.sum, 250);
+        assert_eq!(
+            snap.counters.iter().find(|(n, _)| n == "bft_requests_executed_total").unwrap().1,
+            4
+        );
+    }
+}

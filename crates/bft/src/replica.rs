@@ -34,6 +34,7 @@ use crate::messages::{
     Batch, CheckpointMsg, ConsensusMsg, CstReply, Message, ReconfigCommand, Reply, Request,
     WriteCertificate,
 };
+use crate::obs::ReplicaObs;
 use crate::service::Service;
 use crate::types::{ClientId, Epoch, Membership, ReplicaId, SeqNo, View};
 
@@ -167,6 +168,9 @@ pub struct Replica<S: Service> {
 
     // State transfer.
     cst: Option<CstState>,
+
+    // Optional instrumentation (None = one branch per hook).
+    obs: Option<ReplicaObs>,
 }
 
 impl<S: Service> std::fmt::Debug for Replica<S> {
@@ -209,6 +213,7 @@ impl<S: Service> Replica<S> {
             stop_datas: HashMap::new(),
             sent_stop_for: None,
             cst: None,
+            obs: None,
         };
         let mut actions = Vec::new();
         if replica.cfg().join {
@@ -264,6 +269,13 @@ impl<S: Service> Replica<S> {
         self.membership.leader(self.view) == self.cfg.id
     }
 
+    /// Attaches an instrumentation bundle built against `obs`'s shared
+    /// registry, tracer, and clock. Without one, every hook is a single
+    /// `Option` branch.
+    pub fn attach_obs(&mut self, obs: &lazarus_obs::Obs) {
+        self.obs = Some(ReplicaObs::new(obs, self.cfg.id));
+    }
+
     // -----------------------------------------------------------------
     // Inputs
     // -----------------------------------------------------------------
@@ -280,6 +292,9 @@ impl<S: Service> Replica<S> {
     pub fn on_message(&mut self, message: Message) -> Vec<Action> {
         if self.status == Status::Retired {
             return Vec::new();
+        }
+        if let Some(obs) = &self.obs {
+            obs.message_in(message.label());
         }
         let mut actions = Vec::new();
         match message {
@@ -464,6 +479,9 @@ impl<S: Service> Replica<S> {
                 if !inst.set_proposal(pview, batch) {
                     return; // equivocation
                 }
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.proposal_seen(seq);
+                }
             }
             ConsensusMsg::Write { view: wview, seq, digest } => {
                 self.instance(seq).on_write(from, wview, digest);
@@ -528,6 +546,9 @@ impl<S: Service> Replica<S> {
         self.execute_batch(seq, &batch, actions);
         self.last_decided = seq;
         self.insts.remove(&seq.0);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.decided(seq);
+        }
         if checkpoint_due {
             let snapshot = self.service.snapshot();
             let digest = self.log.local_checkpoint(seq, snapshot);
@@ -536,6 +557,9 @@ impl<S: Service> Replica<S> {
             // Count our own vote.
             let quorum = self.membership.quorum();
             self.log.on_checkpoint_vote(self.cfg.id, seq, digest, quorum);
+            if let Some(obs) = &self.obs {
+                obs.checkpoint(seq);
+            }
         }
         // Progress resets the watchdog escalation (and its baseline, so the
         // next timer tick doesn't see stale progress).
@@ -583,6 +607,9 @@ impl<S: Service> Replica<S> {
             if self.status != Status::StateTransfer {
                 actions.push(Action::SendClient(request.client, reply));
             }
+        }
+        if let Some(obs) = &self.obs {
+            obs.executed(executed);
         }
         actions.push(Action::Executed(seq, executed));
     }
@@ -670,6 +697,9 @@ impl<S: Service> Replica<S> {
     fn install_view(&mut self, new_view: View, actions: &mut Vec<Action>) {
         self.view = new_view;
         self.stops.remove(&new_view.0.saturating_sub(1));
+        if let Some(obs) = self.obs.as_mut() {
+            obs.view_change(new_view);
+        }
         // Capture our write certificate *before* resetting the open slot —
         // it is the evidence the new leader must respect.
         let prepared = self.prepared_certificate();
@@ -900,6 +930,9 @@ impl<S: Service> Replica<S> {
         self.status = Status::Active;
         actions.push(Action::CancelTimer(TimerId::Cst));
         actions.push(Action::StateTransferred(self.last_decided));
+        if let Some(obs) = &self.obs {
+            obs.state_transferred(self.last_decided);
+        }
         actions.push(Action::SetTimer(TimerId::Request, self.cfg.request_timeout));
         // Replay consensus traffic buffered during the transfer.
         let last = self.last_decided;
@@ -992,6 +1025,9 @@ impl<S: Service> Replica<S> {
             return;
         }
         self.membership = self.membership.reconfigured(add, remove);
+        if let Some(obs) = &self.obs {
+            obs.epoch_changed(self.membership.epoch, self.membership.n());
+        }
         actions.push(Action::EpochChanged(self.membership.clone()));
         if remove == Some(self.cfg.id) {
             self.status = Status::Retired;

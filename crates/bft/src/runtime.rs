@@ -17,8 +17,11 @@ use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 
+use lazarus_obs::{Obs, WallClock};
+
 use crate::client::Client;
 use crate::messages::{Message, Reply};
+use crate::obs::WireObs;
 use crate::replica::{Action, Replica, ReplicaConfig, TimerId};
 use crate::service::Service;
 use crate::types::{ClientId, Epoch, Membership, ReplicaId};
@@ -38,6 +41,7 @@ pub struct ThreadCluster {
     router: ReplyRouter,
     handles: Vec<JoinHandle<()>>,
     running: Arc<AtomicBool>,
+    obs: Option<Obs>,
 }
 
 impl std::fmt::Debug for ThreadCluster {
@@ -51,7 +55,32 @@ impl std::fmt::Debug for ThreadCluster {
 
 impl ThreadCluster {
     /// Starts `n` replica threads running services from `make_service`.
-    pub fn start<S, F>(n: u32, checkpoint_period: u64, mut make_service: F) -> ThreadCluster
+    pub fn start<S, F>(n: u32, checkpoint_period: u64, make_service: F) -> ThreadCluster
+    where
+        S: Service + 'static,
+        F: FnMut() -> S,
+    {
+        Self::start_inner(n, checkpoint_period, make_service, None)
+    }
+
+    /// As [`ThreadCluster::start`], with every replica instrumented against
+    /// a fresh wall-clock [`Obs`] bundle (readable via
+    /// [`ThreadCluster::obs`]).
+    pub fn start_observed<S, F>(n: u32, checkpoint_period: u64, make_service: F) -> ThreadCluster
+    where
+        S: Service + 'static,
+        F: FnMut() -> S,
+    {
+        let obs = Obs::new(Arc::new(WallClock::new()));
+        Self::start_inner(n, checkpoint_period, make_service, Some(obs))
+    }
+
+    fn start_inner<S, F>(
+        n: u32,
+        checkpoint_period: u64,
+        mut make_service: F,
+        obs: Option<Obs>,
+    ) -> ThreadCluster
     where
         S: Service + 'static,
         F: FnMut() -> S,
@@ -75,16 +104,26 @@ impl ThreadCluster {
             cfg.checkpoint_period = checkpoint_period;
             cfg.master_secret = master_secret.clone();
             cfg.request_timeout = 50; // ms, wall clock
-            let (replica, initial_actions) = Replica::new(cfg, make_service());
+            let (mut replica, initial_actions) = Replica::new(cfg, make_service());
+            let wire = obs.as_ref().map(|o| {
+                replica.attach_obs(o);
+                WireObs::new(o)
+            });
             let peers = inboxes.clone();
             let router = Arc::clone(&router);
             let running = Arc::clone(&running);
             handles.push(std::thread::spawn(move || {
-                replica_loop(replica, rx, peers, router, running, initial_actions);
+                replica_loop(replica, rx, peers, router, running, initial_actions, wire);
             }));
         }
 
-        ThreadCluster { inboxes, membership, master_secret, router, handles, running }
+        ThreadCluster { inboxes, membership, master_secret, router, handles, running, obs }
+    }
+
+    /// The instrumentation bundle, when started via
+    /// [`ThreadCluster::start_observed`].
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_ref()
     }
 
     /// The cluster membership (for external clients).
@@ -122,17 +161,24 @@ fn replica_loop<S: Service>(
     router: ReplyRouter,
     running: Arc<AtomicBool>,
     initial_actions: Vec<Action>,
+    wire: Option<WireObs>,
 ) {
     let mut timers: HashMap<TimerId, Instant> = HashMap::new();
     let apply = |actions: Vec<Action>, timers: &mut HashMap<TimerId, Instant>| {
         for action in actions {
             match action {
                 Action::Send(to, message) => {
+                    if let Some(wire) = &wire {
+                        wire.sent(message.label(), message.wire_size(), 1);
+                    }
                     if let Some(tx) = peers.get(&to.0) {
                         let _ = tx.send(Input::Msg(Arc::new(message)));
                     }
                 }
                 Action::Broadcast(peers_list, message) => {
+                    if let Some(wire) = &wire {
+                        wire.sent(message.label(), message.wire_size(), peers_list.len());
+                    }
                     // One shared allocation fanned out to every peer inbox.
                     for to in peers_list {
                         if let Some(tx) = peers.get(&to.0) {
@@ -282,6 +328,32 @@ mod tests {
         for j in joins {
             j.join().expect("client thread");
         }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn observed_cluster_accounts_wire_traffic() {
+        let cluster = ThreadCluster::start_observed(4, 10_000, CounterService::new);
+        let mut client = cluster.client(1);
+        for i in 0..5u32 {
+            let payload = Bytes::copy_from_slice(&i.to_be_bytes());
+            client.invoke(payload, Duration::from_secs(5)).expect("completes");
+        }
+        let snap = cluster.obs().expect("observed").registry.snapshot();
+        let get = |name: &str| {
+            snap.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+        };
+        assert!(get("bft_wire_messages_total{kind=\"PROPOSE\"}") >= 5);
+        assert!(get("bft_wire_bytes_total{kind=\"WRITE\"}") > 0);
+        // The client returns on f+1 matching replies, so stragglers may not
+        // have decided every slot yet — a quorum has, though.
+        assert!(get("bft_slots_decided_total") >= 5 * 3, "a quorum decides every slot");
+        let (_, hist) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "bft_commit_latency_us")
+            .expect("latency histogram registered");
+        assert!(hist.count >= 5 * 3);
         cluster.shutdown();
     }
 

@@ -21,6 +21,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use lazarus_obs::{FieldValue, Obs};
 use lazarus_osint::catalog::OsVersion;
 use lazarus_osint::datamgr::DataManager;
 use lazarus_osint::date::Date;
@@ -118,6 +119,7 @@ pub struct Controller {
     sets: Option<ReplicaSets>,
     rng: StdRng,
     audit: Vec<AuditEvent>,
+    obs: Obs,
 }
 
 impl Controller {
@@ -131,9 +133,20 @@ impl Controller {
             sets: None,
             rng,
             audit: Vec::new(),
+            obs: Obs::noop(),
             data,
             cfg,
         }
+    }
+
+    /// Attaches an observability bundle: every subsequent round records
+    /// per-epoch gauges (`controller_config_risk`, `controller_threshold`,
+    /// `controller_cluster_count`), decision counters, deployment-duration
+    /// histograms and `controller.*` trace events into it. Before this call
+    /// the controller runs on a [`Obs::noop`] bundle (one atomic load per
+    /// hook).
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
     }
 
     /// The data-manager handle (for OSINT synchronization).
@@ -171,6 +184,10 @@ impl Controller {
     /// Panics if called twice.
     pub fn bootstrap(&mut self, today: Date) -> RoundReport {
         assert!(self.sets.is_none(), "already bootstrapped");
+        let _span = self
+            .obs
+            .tracer
+            .span("controller.bootstrap", vec![("date", FieldValue::from(today.to_string()))]);
         let oracle = {
             let data = &self.data;
             let risk = &mut self.risk;
@@ -187,14 +204,16 @@ impl Controller {
         self.audit.push(AuditEvent::Bootstrapped { date: today, config: oses });
         let config_risk = matrix.risk(&sets.config);
         self.sets = Some(sets);
-        RoundReport {
+        let report = RoundReport {
             date: today,
             config_risk,
             threshold: self.recon.threshold,
             alarms: Vec::new(),
             outcome: MonitorOutcome::NoChange,
             plan,
-        }
+        };
+        self.record_round(&report);
+        report
     }
 
     /// One monitoring round (Algorithm 1 + alarms + deployment planning).
@@ -204,6 +223,10 @@ impl Controller {
     /// Panics if called before [`bootstrap`](Self::bootstrap).
     pub fn monitor_round(&mut self, today: Date) -> RoundReport {
         assert!(self.sets.is_some(), "bootstrap first");
+        let _span = self
+            .obs
+            .tracer
+            .span("controller.round", vec![("date", FieldValue::from(today.to_string()))]);
         let oracle = {
             let data = &self.data;
             let risk = &mut self.risk;
@@ -265,13 +288,68 @@ impl Controller {
             }
             MonitorOutcome::NoChange => {}
         }
-        RoundReport {
+        let report = RoundReport {
             date: today,
             config_risk,
             threshold: self.recon.threshold,
             alarms,
             outcome,
             plan,
+        };
+        self.record_round(&report);
+        report
+    }
+
+    /// Records one round's telemetry into the attached [`Obs`] bundle.
+    ///
+    /// Gauges here hold the *latest* epoch's values (config risk, effective
+    /// threshold, cluster count); decision outcomes accumulate in counters
+    /// and the plan's serial duration feeds a histogram so long rollouts
+    /// show up in the p99.
+    fn record_round(&self, report: &RoundReport) {
+        let reg = &self.obs.registry;
+        reg.counter("controller_rounds_total").inc();
+        reg.gauge("controller_config_risk").set(report.config_risk);
+        reg.gauge("controller_threshold").set(report.threshold);
+        if let Some(k) = self.risk.cached_cluster_count() {
+            reg.gauge("controller_cluster_count").set(k as f64);
+        }
+        if !report.alarms.is_empty() {
+            reg.counter("controller_alarms_total").add(report.alarms.len() as u64);
+            for alarm in &report.alarms {
+                self.obs.tracer.event(
+                    "controller.alarm",
+                    vec![
+                        ("cve", FieldValue::from(alarm.cve.to_string())),
+                        ("exploited", FieldValue::from(alarm.exploited)),
+                        ("affected", FieldValue::from(alarm.affected.len())),
+                    ],
+                );
+            }
+        }
+        match &report.outcome {
+            MonitorOutcome::Reconfigured { removed, added, reason } => {
+                reg.counter("controller_reconfigurations_total").inc();
+                self.obs.tracer.event(
+                    "controller.reconfigured",
+                    vec![
+                        ("removed", FieldValue::from(self.cfg.universe[*removed].to_string())),
+                        ("added", FieldValue::from(self.cfg.universe[*added].to_string())),
+                        ("reason", FieldValue::from(format!("{reason:?}"))),
+                    ],
+                );
+            }
+            MonitorOutcome::Exhausted => {
+                reg.counter("controller_exhausted_total").inc();
+                self.obs.tracer.event("controller.exhausted", vec![]);
+            }
+            MonitorOutcome::NoChange => {}
+        }
+        if !report.plan.is_empty() {
+            let duration = DeployManager::plan_duration(&report.plan);
+            reg.counter("controller_deploy_steps_total").add(report.plan.len() as u64);
+            reg.gauge("controller_last_plan_duration_us").set(duration as f64);
+            reg.histogram("controller_plan_duration_us").observe(duration);
         }
     }
 
@@ -428,6 +506,40 @@ mod tests {
         let mut c = Controller::new(ControllerConfig::new(study_oses()), data);
         c.bootstrap(Date::from_ymd(2018, 1, 1));
         c.bootstrap(Date::from_ymd(2018, 1, 2));
+    }
+
+    #[test]
+    fn attached_obs_records_rounds_gauges_and_decisions() {
+        let data = world_data();
+        let mut cfg = ControllerConfig::new(study_oses());
+        cfg.slack = 0.5; // tight threshold: reconfigurations likely
+        let mut c = Controller::new(cfg, data);
+        let obs = Obs::unclocked();
+        c.attach_obs(&obs);
+        let boot = c.bootstrap(Date::from_ymd(2018, 1, 1));
+        let mut reconfigs = 0;
+        let mut exhausted = 0;
+        for d in 2..20 {
+            let r = c.monitor_round(Date::from_ymd(2018, 1, d));
+            match r.outcome {
+                MonitorOutcome::Reconfigured { .. } => reconfigs += 1,
+                MonitorOutcome::Exhausted => exhausted += 1,
+                MonitorOutcome::NoChange => {}
+            }
+        }
+        let reg = &obs.registry;
+        assert_eq!(reg.counter("controller_rounds_total").get(), 19);
+        assert_eq!(reg.counter("controller_reconfigurations_total").get(), reconfigs);
+        assert_eq!(reg.counter("controller_exhausted_total").get(), exhausted);
+        assert!(reg.gauge("controller_cluster_count").get() >= 1.0);
+        assert!(reg.gauge("controller_threshold").get() > 0.0);
+        // bootstrap planned 8 steps, so the plan histogram saw ≥ 1 sample
+        assert!(reg.histogram("controller_plan_duration_us").snapshot().count >= 1);
+        assert!(reg.counter("controller_deploy_steps_total").get() >= boot.plan.len() as u64);
+        // the bootstrap span landed in the trace ring
+        let spans = obs.tracer.recent();
+        assert!(spans.iter().any(|e| e.name == "controller.bootstrap"), "{spans:?}");
+        assert!(spans.iter().any(|e| e.name == "controller.round"));
     }
 
     #[test]

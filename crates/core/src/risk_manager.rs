@@ -68,6 +68,13 @@ impl RiskManager {
         &self.cached_clusters.as_ref().expect("just built").1
     }
 
+    /// Number of clusters in the cached clustering (None before the first
+    /// [`clusters`](Self::clusters) call) — the control plane's
+    /// cluster-count gauge reads this.
+    pub fn cached_cluster_count(&self) -> Option<usize> {
+        self.cached_clusters.as_ref().map(|(_, c)| c.k())
+    }
+
     /// Builds the risk oracle for the given universe.
     pub fn oracle(&mut self, kb: &KnowledgeBase, universe: &[OsVersion]) -> RiskOracle {
         let params = *self.params();

@@ -138,6 +138,19 @@ impl VulnClusters {
     pub fn similar(&self, a: CveId, b: CveId, min_similarity: f64) -> bool {
         self.same_cluster(a, b) && self.similarity(a, b).is_some_and(|s| s >= min_similarity)
     }
+
+    /// Publishes the clustering's shape into `registry`:
+    /// `nlp_cluster_count` / `nlp_clustered_cves` gauges plus an
+    /// `nlp_cluster_size` histogram with one observation per cluster, so a
+    /// snapshot shows whether Table 1's size distribution is skewed.
+    pub fn record_stats(&self, registry: &lazarus_obs::Registry) {
+        registry.gauge("nlp_cluster_count").set(self.k() as f64);
+        registry.gauge("nlp_clustered_cves").set(self.len() as f64);
+        let sizes = registry.histogram("nlp_cluster_size");
+        for members in &self.members {
+            sizes.observe(members.len() as u64);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +197,19 @@ mod tests {
         // across topics: separate
         assert!(!c.same_cluster(CveId::new(2018, 1), CveId::new(2018, 4)));
         assert!(!c.same_cluster(CveId::new(2018, 4), CveId::new(2018, 7)));
+    }
+
+    #[test]
+    fn record_stats_publishes_shape() {
+        let corpus = corpus();
+        let c = VulnClusters::build_with_k(&corpus, 3, 11);
+        let registry = lazarus_obs::Registry::new();
+        c.record_stats(&registry);
+        assert_eq!(registry.gauge("nlp_cluster_count").get(), 3.0);
+        assert_eq!(registry.gauge("nlp_clustered_cves").get(), 8.0);
+        let sizes = registry.histogram("nlp_cluster_size").snapshot();
+        assert_eq!(sizes.count, 3);
+        assert_eq!(sizes.sum, 8);
     }
 
     #[test]

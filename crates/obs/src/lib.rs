@@ -1,0 +1,117 @@
+//! `lazarus-obs` — deterministic metrics and tracing for the Lazarus
+//! reproduction.
+//!
+//! The crate has two halves:
+//!
+//! * [`metrics`] — a [`Registry`] of lock-cheap [`Counter`]s, [`Gauge`]s,
+//!   and fixed-bucket log₂-scale [`Histogram`]s, snapshotable to a
+//!   Prometheus-style text exposition and to JSON (the `*_metrics.json`
+//!   files the figure harnesses write).
+//! * [`trace`] — a [`Tracer`] recording spans and key/value events into a
+//!   bounded ring buffer with pluggable [`Sink`]s (stderr, JSONL file,
+//!   in-memory for tests).
+//!
+//! Every timestamp flows through the injected [`Clock`] trait
+//! ([`clock`]): the discrete-event testbed passes its [`ManualClock`]
+//! driven by sim-time, so a fixed-seed run's traces and snapshots are
+//! byte-identical at any `LAZARUS_THREADS` setting; the threaded runtime
+//! passes a [`WallClock`].
+//!
+//! Determinism contract: counter adds and histogram observations commute,
+//! so they may be recorded from parallel workers; gauges are last-write-wins
+//! and must only be set from deterministic (single-threaded) sections.
+//!
+//! Zero dependencies by design — this crate sits under every other crate in
+//! the workspace and must not disturb the offline build.
+
+pub mod clock;
+pub mod metrics;
+pub mod trace;
+
+pub use clock::{Clock, ManualClock, NullClock, WallClock};
+pub use metrics::{
+    bucket_bound, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot,
+    HISTOGRAM_BUCKETS,
+};
+pub use trace::{
+    FieldValue, JsonlSink, MemorySink, Sink, SpanGuard, StderrSink, TraceEvent, TraceKind, Tracer,
+};
+
+use std::sync::Arc;
+
+/// The registry + tracer pair most call sites thread around together.
+///
+/// Cloning shares both. [`Obs::noop`] gives a disabled bundle whose
+/// per-event cost is one atomic load — the default when a component is not
+/// being observed.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    /// Shared metric registry.
+    pub registry: Registry,
+    /// Shared tracer.
+    pub tracer: Tracer,
+    clock: Arc<dyn Clock>,
+}
+
+impl Obs {
+    /// An enabled bundle timestamping from `clock`.
+    #[must_use]
+    pub fn new(clock: Arc<dyn Clock>) -> Obs {
+        Obs { registry: Registry::new(), tracer: Tracer::new(Arc::clone(&clock)), clock }
+    }
+
+    /// An enabled bundle on the frozen [`NullClock`] — for pure-CPU
+    /// harnesses where only counters/histograms matter, not time.
+    #[must_use]
+    pub fn unclocked() -> Obs {
+        Obs::new(Arc::new(NullClock))
+    }
+
+    /// A disabled bundle: metrics still work if touched, but tracing is
+    /// off and the clock is frozen.
+    #[must_use]
+    pub fn noop() -> Obs {
+        Obs { registry: Registry::new(), tracer: Tracer::disabled(), clock: Arc::new(NullClock) }
+    }
+
+    /// The injected clock.
+    #[must_use]
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Current time in microseconds from the injected clock.
+    #[must_use]
+    pub fn now_micros(&self) -> u64 {
+        self.clock.now_micros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_bundle_shares_registry_across_clones() {
+        let obs = Obs::unclocked();
+        let clone = obs.clone();
+        obs.registry.counter("x").inc();
+        assert_eq!(clone.registry.counter("x").get(), 1);
+    }
+
+    #[test]
+    fn noop_bundle_is_silent() {
+        let obs = Obs::noop();
+        obs.tracer.event("e", vec![]);
+        assert!(obs.tracer.recent().is_empty());
+        assert_eq!(obs.now_micros(), 0);
+    }
+
+    #[test]
+    fn manual_clock_drives_obs_time() {
+        let clock = Arc::new(ManualClock::new());
+        let obs = Obs::new(Arc::clone(&clock) as Arc<dyn Clock>);
+        clock.set(777);
+        assert_eq!(obs.now_micros(), 777);
+    }
+}

@@ -1,0 +1,487 @@
+//! Structured tracing: spans and key/value events into a bounded ring
+//! buffer, with pluggable sinks.
+//!
+//! A [`Tracer`] is cheap to clone and share. Each recorded [`TraceEvent`]
+//! carries a timestamp from the injected [`Clock`] — the discrete-event
+//! testbed passes its `ManualClock`, so trace output from a fixed-seed
+//! simulation is byte-identical at any `LAZARUS_THREADS` setting.
+//!
+//! Sinks receive each event as it is recorded, already rendered to a stable
+//! one-line text form. The [`StderrSink`] is the interactive default; the
+//! [`JsonlSink`] appends one JSON object per line to a file; the
+//! [`MemorySink`] collects lines for assertions in tests.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::{Clock, NullClock};
+
+/// Default ring-buffer capacity (events retained for [`Tracer::recent`]).
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// A typed field value attached to a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> FieldValue {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> FieldValue {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+/// What a trace record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A point-in-time event.
+    Event,
+    /// A span opening.
+    SpanStart,
+    /// A span closing (carries a `dur_us` field).
+    SpanEnd,
+}
+
+impl TraceKind {
+    fn label(self) -> &'static str {
+        match self {
+            TraceKind::Event => "event",
+            TraceKind::SpanStart => "span_start",
+            TraceKind::SpanEnd => "span_end",
+        }
+    }
+}
+
+/// One recorded trace entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Timestamp from the tracer's clock, in microseconds.
+    pub at_us: u64,
+    /// Record kind.
+    pub kind: TraceKind,
+    /// Span id (0 for plain events).
+    pub span: u64,
+    /// Event name, dot-separated by convention (`replica.view_change`).
+    pub name: String,
+    /// Key/value payload, in recording order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// Renders the stable one-line text form:
+    /// `[at_us] kind name k=v k="s" …` (span records include `span=<id>`).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(48 + 16 * self.fields.len());
+        let _ = write!(out, "[{:>10}] {} {}", self.at_us, self.kind.label(), self.name);
+        if self.span != 0 {
+            let _ = write!(out, " span={}", self.span);
+        }
+        for (k, v) in &self.fields {
+            let _ = write!(out, " {k}={v}");
+        }
+        out
+    }
+
+    /// Renders the event as one JSON object (for [`JsonlSink`]).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 24 * self.fields.len());
+        let _ = write!(
+            out,
+            "{{\"at_us\":{},\"kind\":\"{}\",\"name\":{}",
+            self.at_us,
+            self.kind.label(),
+            crate::metrics::json_string(&self.name)
+        );
+        if self.span != 0 {
+            let _ = write!(out, ",\"span\":{}", self.span);
+        }
+        for (k, v) in &self.fields {
+            let _ = write!(out, ",{}:", crate::metrics::json_string(k));
+            match v {
+                FieldValue::U64(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                FieldValue::I64(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                FieldValue::F64(n) => {
+                    let _ = write!(out, "{}", crate::metrics::json_f64(*n));
+                }
+                FieldValue::Bool(b) => {
+                    let _ = write!(out, "{b}");
+                }
+                FieldValue::Str(s) => {
+                    let _ = write!(out, "{}", crate::metrics::json_string(s));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A destination receiving every recorded trace event.
+pub trait Sink: Send {
+    /// Called once per recorded event, with the pre-rendered text line.
+    fn record(&mut self, event: &TraceEvent);
+}
+
+/// Writes the text form of each event to stderr.
+///
+/// Uses `io::stderr()` directly (not the print macros) so diagnostics keep
+/// flowing even under the workspace's no-`println!` lint gate, and so a
+/// broken pipe is ignored rather than panicking.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn record(&mut self, event: &TraceEvent) {
+        let mut line = event.render();
+        line.push('\n');
+        let _ = std::io::stderr().write_all(line.as_bytes());
+    }
+}
+
+/// Appends one JSON object per event to a file.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: std::io::BufWriter<std::fs::File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path` and streams events into it.
+    pub fn create(path: &str) -> std::io::Result<JsonlSink> {
+        Ok(JsonlSink { out: std::io::BufWriter::new(std::fs::File::create(path)?) })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, event: &TraceEvent) {
+        let mut line = event.render_json();
+        line.push('\n');
+        let _ = self.out.write_all(line.as_bytes());
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Collects rendered lines in memory; the handle returned by
+/// [`MemorySink::new`] stays readable after the sink is installed.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// A fresh sink plus the shared handle to its captured lines.
+    #[must_use]
+    pub fn new() -> (MemorySink, Arc<Mutex<Vec<String>>>) {
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        (MemorySink { lines: Arc::clone(&lines) }, lines)
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.lines.lock().expect("memory sink poisoned").push(event.render());
+    }
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    clock: Arc<dyn Clock>,
+    enabled: AtomicBool,
+    ring: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    sinks: Mutex<Vec<Box<dyn Sink>>>,
+    next_span: AtomicU64,
+}
+
+impl std::fmt::Debug for Box<dyn Sink> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sink")
+    }
+}
+
+/// The tracing facade. Cloning shares the ring buffer and sinks.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    /// An enabled tracer timestamping from `clock`, with the default ring
+    /// capacity and no sinks.
+    #[must_use]
+    pub fn new(clock: Arc<dyn Clock>) -> Tracer {
+        Tracer::with_capacity(clock, DEFAULT_RING_CAPACITY)
+    }
+
+    /// As [`Tracer::new`] with an explicit ring capacity.
+    #[must_use]
+    pub fn with_capacity(clock: Arc<dyn Clock>, capacity: usize) -> Tracer {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                clock,
+                enabled: AtomicBool::new(true),
+                ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+                capacity: capacity.max(1),
+                sinks: Mutex::new(Vec::new()),
+                next_span: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// A permanently disabled tracer: every call is a single atomic load.
+    #[must_use]
+    pub fn disabled() -> Tracer {
+        let t = Tracer::with_capacity(Arc::new(NullClock), 1);
+        t.inner.enabled.store(false, Ordering::Relaxed);
+        t
+    }
+
+    /// Whether events are currently recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables recording at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Installs a sink; it receives every event recorded from now on.
+    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+        self.inner.sinks.lock().expect("sinks poisoned").push(sink);
+    }
+
+    /// Records a point-in-time event.
+    pub fn event(&self, name: &str, fields: Vec<(&'static str, FieldValue)>) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(TraceEvent {
+            at_us: self.inner.clock.now_micros(),
+            kind: TraceKind::Event,
+            span: 0,
+            name: name.to_string(),
+            fields,
+        });
+    }
+
+    /// Opens a span; the returned guard records the matching `span_end`
+    /// (with a `dur_us` field) when dropped.
+    #[must_use]
+    pub fn span(&self, name: &str, fields: Vec<(&'static str, FieldValue)>) -> SpanGuard {
+        if !self.is_enabled() {
+            return SpanGuard { tracer: self.clone(), name: String::new(), span: 0, start_us: 0 };
+        }
+        let span = self.inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let start_us = self.inner.clock.now_micros();
+        self.push(TraceEvent {
+            at_us: start_us,
+            kind: TraceKind::SpanStart,
+            span,
+            name: name.to_string(),
+            fields,
+        });
+        SpanGuard { tracer: self.clone(), name: name.to_string(), span, start_us }
+    }
+
+    /// The retained ring-buffer contents, oldest first.
+    #[must_use]
+    pub fn recent(&self) -> Vec<TraceEvent> {
+        self.inner.ring.lock().expect("ring poisoned").iter().cloned().collect()
+    }
+
+    /// Drains and returns the retained events, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.inner.ring.lock().expect("ring poisoned").drain(..).collect()
+    }
+
+    fn push(&self, event: TraceEvent) {
+        {
+            let mut sinks = self.inner.sinks.lock().expect("sinks poisoned");
+            for sink in sinks.iter_mut() {
+                sink.record(&event);
+            }
+        }
+        let mut ring = self.inner.ring.lock().expect("ring poisoned");
+        if ring.len() == self.inner.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+}
+
+/// Closes its span on drop, recording the elapsed time as `dur_us`.
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Tracer,
+    name: String,
+    span: u64,
+    start_us: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.span == 0 {
+            return;
+        }
+        let now = self.tracer.inner.clock.now_micros();
+        self.tracer.push(TraceEvent {
+            at_us: now,
+            kind: TraceKind::SpanEnd,
+            span: self.span,
+            name: std::mem::take(&mut self.name),
+            fields: vec![("dur_us", FieldValue::U64(now.saturating_sub(self.start_us)))],
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn events_carry_clock_time_and_fields() {
+        let clock = Arc::new(ManualClock::new());
+        let tracer = Tracer::new(Arc::clone(&clock) as Arc<dyn Clock>);
+        clock.set(1500);
+        tracer.event("replica.decide", vec![("seq", 7u64.into()), ("ok", true.into())]);
+        let events = tracer.recent();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].at_us, 1500);
+        assert_eq!(events[0].render(), "[      1500] event replica.decide seq=7 ok=true");
+    }
+
+    #[test]
+    fn spans_record_start_end_and_duration() {
+        let clock = Arc::new(ManualClock::new());
+        let tracer = Tracer::new(Arc::clone(&clock) as Arc<dyn Clock>);
+        clock.set(100);
+        {
+            let _g = tracer.span("epoch.round", vec![("epoch", 3u64.into())]);
+            clock.set(350);
+        }
+        let events = tracer.recent();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, TraceKind::SpanStart);
+        assert_eq!(events[1].kind, TraceKind::SpanEnd);
+        assert_eq!(events[0].span, events[1].span);
+        assert_eq!(events[1].fields, vec![("dur_us", FieldValue::U64(250))]);
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded() {
+        let tracer = Tracer::with_capacity(Arc::new(NullClock), 3);
+        for i in 0..10u64 {
+            tracer.event("tick", vec![("i", i.into())]);
+        }
+        let events = tracer.drain();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].fields, vec![("i", FieldValue::U64(7))]);
+        assert!(tracer.recent().is_empty());
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::disabled();
+        tracer.event("x", vec![]);
+        let _g = tracer.span("y", vec![]);
+        drop(_g);
+        assert!(tracer.recent().is_empty());
+    }
+
+    #[test]
+    fn memory_sink_captures_rendered_lines() {
+        let tracer = Tracer::new(Arc::new(NullClock));
+        let (sink, lines) = MemorySink::new();
+        tracer.add_sink(Box::new(sink));
+        tracer.event("hello", vec![("who", "world".into())]);
+        let lines = lines.lock().unwrap();
+        assert_eq!(lines.as_slice(), ["[         0] event hello who=\"world\""]);
+    }
+
+    #[test]
+    fn jsonl_rendering_is_well_formed() {
+        let e = TraceEvent {
+            at_us: 9,
+            kind: TraceKind::Event,
+            span: 0,
+            name: "a.b".into(),
+            fields: vec![("s", "x\"y".into()), ("n", 4u64.into()), ("f", 0.5f64.into())],
+        };
+        assert_eq!(
+            e.render_json(),
+            "{\"at_us\":9,\"kind\":\"event\",\"name\":\"a.b\",\"s\":\"x\\\"y\",\"n\":4,\"f\":0.5}"
+        );
+    }
+}

@@ -14,6 +14,7 @@
 use std::sync::Arc;
 
 use crossbeam::channel;
+use lazarus_obs::{FieldValue, Obs};
 use parking_lot::RwLock;
 
 use crate::date::Date;
@@ -35,15 +36,48 @@ pub struct SyncStats {
 }
 
 /// The shared, thread-safe knowledge base handle with feed/source sync.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DataManager {
     kb: Arc<RwLock<KnowledgeBase>>,
+    obs: Obs,
+}
+
+impl Default for DataManager {
+    fn default() -> DataManager {
+        DataManager::new(KnowledgeBase::default())
+    }
 }
 
 impl DataManager {
     /// Wraps a knowledge base for shared use.
     pub fn new(kb: KnowledgeBase) -> DataManager {
-        DataManager { kb: Arc::new(RwLock::new(kb)) }
+        DataManager { kb: Arc::new(RwLock::new(kb)), obs: Obs::noop() }
+    }
+
+    /// Attaches an observability bundle: synchronization rounds then feed
+    /// `osint_*` counters and an `osint.sync` trace event per round.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+    }
+
+    /// Feeds one round's [`SyncStats`] into the attached registry.
+    fn record_sync(&self, what: &'static str, stats: &SyncStats) {
+        let reg = &self.obs.registry;
+        reg.counter("osint_sync_rounds_total").inc();
+        reg.counter("osint_vulns_parsed_total").add(stats.parsed as u64);
+        reg.counter("osint_vulns_retained_total").add(stats.retained as u64);
+        reg.counter("osint_enrichments_applied_total").add(stats.enrichments_applied as u64);
+        reg.counter("osint_enrichments_buffered_total").add(stats.enrichments_buffered as u64);
+        self.obs.tracer.event(
+            "osint.sync",
+            vec![
+                ("what", FieldValue::from(what)),
+                ("parsed", FieldValue::from(stats.parsed)),
+                ("retained", FieldValue::from(stats.retained)),
+                ("applied", FieldValue::from(stats.enrichments_applied)),
+                ("buffered", FieldValue::from(stats.enrichments_buffered)),
+            ],
+        );
     }
 
     /// Runs `f` with read access to the knowledge base.
@@ -75,6 +109,7 @@ impl DataManager {
                 }
             }
         }
+        self.record_sync("feeds", &stats);
         Ok(stats)
     }
 
@@ -124,7 +159,10 @@ impl DataManager {
         });
         match first_error {
             Some(e) => Err(e),
-            None => Ok(stats),
+            None => {
+                self.record_sync("sources", &stats);
+                Ok(stats)
+            }
         }
     }
 
@@ -288,6 +326,24 @@ mod tests {
         dm.read(|kb| {
             assert!(kb.get(CveId::new(2018, 1)).unwrap().is_exploited(Date::from_ymd(2018, 6, 1)));
         });
+    }
+
+    #[test]
+    fn attached_obs_counts_sync_rounds() {
+        let mut dm = DataManager::default();
+        let obs = Obs::unclocked();
+        dm.attach_obs(&obs);
+        dm.sync_feeds(&[feed_with(&[1, 2])]).unwrap();
+        let exploitdb = ExploitDbSource::new(
+            "id,file,description,date_published,author,type,platform,port,verified,codes\n\
+             1,f,d,2018-05-21,a,local,linux,0,1,CVE-2018-0001\n",
+        );
+        dm.sync_sources(&[&exploitdb], Date::EPOCH).unwrap();
+        let reg = &obs.registry;
+        assert_eq!(reg.counter("osint_sync_rounds_total").get(), 2);
+        assert_eq!(reg.counter("osint_vulns_parsed_total").get(), 2);
+        assert_eq!(reg.counter("osint_enrichments_applied_total").get(), 1);
+        assert!(obs.tracer.recent().iter().any(|e| e.name == "osint.sync"));
     }
 
     #[test]

@@ -197,6 +197,26 @@ impl Evaluator {
         runs: usize,
         base_seed: u64,
     ) -> RunStats {
+        self.run_window_observed(kind, window, threat_scope, runs, base_seed, None)
+    }
+
+    /// [`run_window`](Self::run_window), additionally recording per-strategy
+    /// counters (`risk_runs_total`, `risk_compromised_total`,
+    /// `risk_reconfigurations_total`) and a days-to-first-compromise
+    /// histogram (`risk_days_to_compromise`) into `obs` when given.
+    ///
+    /// All recording happens on the aggregation side, in seed order, after
+    /// the parallel fan-out — so the registry contents are a pure function
+    /// of `base_seed` regardless of `LAZARUS_THREADS`.
+    pub fn run_window_observed(
+        &self,
+        kind: StrategyKind,
+        window: (Date, Date),
+        threat_scope: &ThreatScope,
+        runs: usize,
+        base_seed: u64,
+        obs: Option<&lazarus_obs::Obs>,
+    ) -> RunStats {
         let days = self.day_data(window);
         let active: Vec<&ThreatView> = self
             .threats
@@ -221,13 +241,13 @@ impl Evaluator {
                 min_lazarus_risk: d.min_lazarus_risk,
             }
         }
-        let per_run = |run: usize| -> (bool, usize) {
+        let per_run = |run: usize| -> (Option<usize>, usize) {
             let mut rng =
                 StdRng::seed_from_u64(base_seed ^ (run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let mut strategy = kind.make(self.cfg.threshold);
-            let Some(first) = days.first() else { return (false, 0) };
+            let Some(first) = days.first() else { return (None, 0) };
             let mut sets = strategy.init(&view(first), self.universe.len(), self.cfg.n, &mut rng);
-            let mut compromised = false;
+            let mut compromised_on = None;
             let mut reconfigurations = 0;
             for (i, day) in days.iter().enumerate() {
                 if i > 0 {
@@ -240,19 +260,32 @@ impl Evaluator {
                 if active.iter().any(|t| {
                     t.published <= day.date && t.exposed(&sets.config, day.date) > self.cfg.f
                 }) {
-                    compromised = true;
+                    compromised_on = Some(i);
                     break;
                 }
             }
-            (compromised, reconfigurations)
+            (compromised_on, reconfigurations)
         };
 
         let mut stats = RunStats { runs, compromised: 0, reconfigurations: 0 };
-        for (compromised, reconfigurations) in crate::par::par_map_indexed(runs, per_run) {
-            if compromised {
+        let labels = [("strategy", kind.name())];
+        for (compromised_on, reconfigurations) in crate::par::par_map_indexed(runs, per_run) {
+            if let Some(day) = compromised_on {
                 stats.compromised += 1;
+                if let Some(obs) = obs {
+                    obs.registry
+                        .histogram_with("risk_days_to_compromise", &labels)
+                        .observe(day as u64 + 1);
+                }
             }
             stats.reconfigurations += reconfigurations;
+        }
+        if let Some(obs) = obs {
+            let reg = &obs.registry;
+            reg.counter_with("risk_runs_total", &labels).add(stats.runs as u64);
+            reg.counter_with("risk_compromised_total", &labels).add(stats.compromised as u64);
+            reg.counter_with("risk_reconfigurations_total", &labels)
+                .add(stats.reconfigurations as u64);
         }
         stats
     }
@@ -400,6 +433,37 @@ mod tests {
             11,
         );
         assert_eq!(stats.compromised, 0, "instant patches mean no compromise");
+    }
+
+    #[test]
+    fn observed_window_mirrors_stats_into_registry() {
+        let world = world();
+        let eval = Evaluator::new(&world, small_cfg());
+        let window = (Date::from_ymd(2018, 1, 1), Date::from_ymd(2018, 2, 1));
+        let obs = lazarus_obs::Obs::unclocked();
+        let stats = eval.run_window_observed(
+            StrategyKind::Equal,
+            window,
+            &ThreatScope::PublishedInWindow,
+            30,
+            1,
+            Some(&obs),
+        );
+        let labels = [("strategy", "Equal")];
+        let reg = &obs.registry;
+        assert_eq!(reg.counter_with("risk_runs_total", &labels).get(), 30);
+        assert_eq!(
+            reg.counter_with("risk_compromised_total", &labels).get(),
+            stats.compromised as u64
+        );
+        let hist = reg.histogram_with("risk_days_to_compromise", &labels).snapshot();
+        assert_eq!(hist.count, stats.compromised as u64);
+        // Every compromise day is inside the 31-day window.
+        assert!(hist.max <= 31);
+        // The unobserved path returns identical stats.
+        let plain =
+            eval.run_window(StrategyKind::Equal, window, &ThreatScope::PublishedInWindow, 30, 1);
+        assert_eq!(plain, stats);
     }
 
     #[test]

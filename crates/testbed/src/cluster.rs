@@ -18,9 +18,11 @@ use bytes::Bytes;
 use lazarus_bft::client::Client;
 use lazarus_bft::crypto::{Keyring, Principal};
 use lazarus_bft::messages::{Message, ReconfigCommand, Reply};
+use lazarus_bft::obs::WireObs;
 use lazarus_bft::replica::{Action, Replica, ReplicaConfig, TimerId};
 use lazarus_bft::service::Service;
 use lazarus_bft::types::{ClientId, Epoch, Membership, ReplicaId};
+use lazarus_obs::{Clock, Histogram, ManualClock, Obs};
 
 use crate::metrics::Metrics;
 use crate::oscatalog::PerfProfile;
@@ -117,6 +119,19 @@ pub struct SimCluster {
     pub epoch_changes: Vec<(Micros, Membership)>,
     /// State-transfer completions (time, replica).
     pub transfers: Vec<(Micros, ReplicaId)>,
+    /// Sim-time clock behind the optional obs bundle; kept at the current
+    /// event's timestamp while the queue drains.
+    sim_clock: Arc<ManualClock>,
+    /// Instrumentation (None = uninstrumented; the simulation itself is
+    /// unaffected either way).
+    obs: Option<SimObs>,
+}
+
+/// Instrumentation handles owned by an observed [`SimCluster`].
+struct SimObs {
+    bundle: Obs,
+    wire: WireObs,
+    client_latency_us: Histogram,
 }
 
 impl std::fmt::Debug for SimCluster {
@@ -142,7 +157,30 @@ impl SimCluster {
             metrics: Metrics::new(),
             epoch_changes: Vec::new(),
             transfers: Vec::new(),
+            sim_clock: Arc::new(ManualClock::new()),
+            obs: None,
         }
+    }
+
+    /// An empty cluster instrumented against a fresh [`Obs`] bundle whose
+    /// clock is *sim-time*: snapshots and traces from a fixed-seed run are
+    /// byte-identical regardless of wall-clock scheduling. Replicas added
+    /// after this call are instrumented automatically.
+    pub fn new_observed(cfg: SimConfig) -> SimCluster {
+        let mut sim = SimCluster::new(cfg);
+        let bundle = Obs::new(Arc::clone(&sim.sim_clock) as Arc<dyn Clock>);
+        sim.obs = Some(SimObs {
+            wire: WireObs::new(&bundle),
+            client_latency_us: bundle.registry.histogram("sim_client_latency_us"),
+            bundle,
+        });
+        sim
+    }
+
+    /// The instrumentation bundle, when built via
+    /// [`SimCluster::new_observed`].
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_ref().map(|o| &o.bundle)
     }
 
     /// Current virtual time.
@@ -162,7 +200,10 @@ impl SimCluster {
         rcfg.checkpoint_period = self.cfg.checkpoint_period;
         rcfg.max_batch = self.cfg.max_batch;
         rcfg.master_secret = SIM_SECRET.to_vec();
-        let (replica, actions) = Replica::new(rcfg, service);
+        let (mut replica, actions) = Replica::new(rcfg, service);
+        if let Some(obs) = &self.obs {
+            replica.attach_obs(&obs.bundle);
+        }
         let node = Node {
             replica,
             station: ProcessingStation::new(profile.cores),
@@ -191,7 +232,10 @@ impl SimCluster {
         rcfg.max_batch = self.cfg.max_batch;
         rcfg.master_secret = SIM_SECRET.to_vec();
         rcfg.join = true;
-        let (replica, actions) = Replica::new(rcfg, service);
+        let (mut replica, actions) = Replica::new(rcfg, service);
+        if let Some(obs) = &self.obs {
+            replica.attach_obs(&obs.bundle);
+        }
         let node = Node {
             replica,
             station: ProcessingStation::new(profile.cores),
@@ -285,6 +329,9 @@ impl SimCluster {
     }
 
     fn handle(&mut self, at: Micros, ev: Ev) {
+        // Every timestamp the obs layer records while this event is handled
+        // is the event's sim-time, not wall time.
+        self.sim_clock.set(at);
         match ev {
             Ev::DeliverReplica(to, message) => self.deliver_replica(at, to, message),
             Ev::DeliverClient(client, reply) => self.deliver_client(at, client, reply),
@@ -341,6 +388,9 @@ impl SimCluster {
             }
         }
         let done = node.station.submit(at, cost);
+        // The replica's handling "happens" when its station finishes the
+        // message, so obs timestamps taken inside on_message use that time.
+        self.sim_clock.set(done);
         // Shallow clone unless we are the last recipient of a broadcast.
         let message = Arc::try_unwrap(message).unwrap_or_else(|shared| (*shared).clone());
         let actions = node.replica.on_message(message);
@@ -351,6 +401,9 @@ impl SimCluster {
         let Some(state) = self.clients.get_mut(&client.0) else { return };
         if let Some(completion) = state.client.on_reply(reply) {
             self.metrics.record(at, at - state.started_at);
+            if let Some(obs) = &self.obs {
+                obs.client_latency_us.observe(at - state.started_at);
+            }
             let _ = completion;
             if !state.stopped {
                 self.queue.schedule_at(at, Ev::ClientStart(client));
@@ -411,6 +464,9 @@ impl SimCluster {
                 }
                 let departed = node.station.submit(from, cost);
                 let delay = self.cfg.network.delay(message.wire_size());
+                if let Some(obs) = &self.obs {
+                    obs.wire.sent(message.label(), message.wire_size(), 1);
+                }
                 self.queue.schedule_at(departed + delay, Ev::DeliverReplica(to, Arc::new(message)));
             }
             Action::Broadcast(peers, message) => {
@@ -428,6 +484,9 @@ impl SimCluster {
                 }
                 let departed = node.station.submit(from, cost);
                 let delay = self.cfg.network.delay(message.wire_size());
+                if let Some(obs) = &self.obs {
+                    obs.wire.sent(message.label(), message.wire_size(), peers.len());
+                }
                 for to in peers {
                     self.queue.schedule_at(
                         departed + delay,
@@ -457,10 +516,31 @@ impl SimCluster {
             }
             Action::Executed(..) => {}
             Action::EpochChanged(membership) => {
+                if let Some(obs) = &self.obs {
+                    obs.bundle.tracer.event(
+                        "sim.epoch_change",
+                        vec![
+                            ("at_us", from.into()),
+                            ("replica", id.0.into()),
+                            ("epoch", membership.epoch.0.into()),
+                            ("n", membership.n().into()),
+                        ],
+                    );
+                }
                 self.epoch_changes.push((from, membership));
             }
             Action::Retired => {}
-            Action::StateTransferred(_) => {
+            Action::StateTransferred(seq) => {
+                if let Some(obs) = &self.obs {
+                    obs.bundle.tracer.event(
+                        "sim.state_transfer",
+                        vec![
+                            ("at_us", from.into()),
+                            ("replica", id.0.into()),
+                            ("seq", seq.0.into()),
+                        ],
+                    );
+                }
                 self.transfers.push((from, id));
             }
         }
@@ -484,4 +564,63 @@ impl SimCluster {
 /// CPU time to serialize/install `bytes` of state at `mb_s` MB/s.
 fn snapshot_cost(mb_s: u64, bytes: usize) -> Micros {
     (bytes as u64).saturating_mul(1) / mb_s.max(1) // bytes / (MB/s) = µs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oscatalog::PerfProfile;
+    use lazarus_bft::service::CounterService;
+
+    fn observed_run() -> (String, String) {
+        let membership = Membership::new(Epoch(0), (0..4).map(ReplicaId).collect());
+        let mut sim = SimCluster::new_observed(SimConfig::default());
+        for r in 0..4 {
+            sim.add_node(
+                ReplicaId(r),
+                PerfProfile::bare_metal(),
+                membership.clone(),
+                Box::new(CounterService::new()),
+            );
+        }
+        sim.add_clients(1, 10, membership, |_| Bytes::new());
+        sim.run_until(200 * MS);
+        let obs = sim.obs().expect("observed");
+        let traces: Vec<String> = obs.tracer.recent().iter().map(|e| e.render()).collect();
+        (obs.registry.snapshot().to_prometheus(), traces.join("\n"))
+    }
+
+    #[test]
+    fn observed_sim_is_deterministic_and_uses_sim_time() {
+        let (snap_a, _) = observed_run();
+        let (snap_b, _) = observed_run();
+        assert_eq!(snap_a, snap_b, "same config → byte-identical snapshot");
+        assert!(snap_a.contains("bft_wire_messages_total{kind=\"PROPOSE\"}"), "{snap_a}");
+        assert!(snap_a.contains("sim_client_latency_us_count"), "{snap_a}");
+        // Sim-time latencies are bounded by the virtual horizon — a
+        // wall-clock leak would record microseconds-scale noise instead.
+        let sim = {
+            let membership = Membership::new(Epoch(0), (0..4).map(ReplicaId).collect());
+            let mut sim = SimCluster::new_observed(SimConfig::default());
+            for r in 0..4 {
+                sim.add_node(
+                    ReplicaId(r),
+                    PerfProfile::bare_metal(),
+                    membership.clone(),
+                    Box::new(CounterService::new()),
+                );
+            }
+            sim.add_clients(1, 10, membership, |_| Bytes::new());
+            sim.run_until(200 * MS);
+            sim
+        };
+        let snap = sim.obs().expect("observed").registry.snapshot();
+        let (_, hist) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "bft_commit_latency_us")
+            .expect("commit latency recorded");
+        assert!(hist.count > 0);
+        assert!(hist.max <= 200 * MS, "latency {} exceeds the virtual horizon", hist.max);
+    }
 }

@@ -41,5 +41,5 @@ pub mod sim;
 pub mod vmm;
 
 pub use cluster::{SimCluster, SimConfig};
-pub use metrics::Metrics;
+pub use metrics::{LatencySummary, Metrics};
 pub use oscatalog::PerfProfile;

@@ -2,6 +2,38 @@
 
 use crate::sim::{Micros, SEC};
 
+/// Percentile summary of completed-operation latencies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Completed operations.
+    pub count: usize,
+    /// Mean latency in µs.
+    pub mean_us: f64,
+    /// Median (nearest-rank).
+    pub p50_us: Micros,
+    /// 95th percentile (nearest-rank).
+    pub p95_us: Micros,
+    /// 99th percentile (nearest-rank).
+    pub p99_us: Micros,
+    /// Worst observed latency.
+    pub max_us: Micros,
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms, max {:.1} ms (mean {:.1} ms, n={})",
+            self.p50_us as f64 / 1e3,
+            self.p95_us as f64 / 1e3,
+            self.p99_us as f64 / 1e3,
+            self.max_us as f64 / 1e3,
+            self.mean_us / 1e3,
+            self.count
+        )
+    }
+}
+
 /// A recorder of completed operations.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -52,15 +84,37 @@ impl Metrics {
             .collect()
     }
 
-    /// Latency percentile (0.0–1.0) over all completions.
+    /// Latency percentile (0.0–1.0) over all completions, by the standard
+    /// nearest-rank method: the `⌈p·N⌉`-th smallest sample (1-indexed).
     pub fn latency_percentile(&self, p: f64) -> Option<Micros> {
         if self.completions.is_empty() {
             return None;
         }
         let mut lats: Vec<Micros> = self.completions.iter().map(|&(_, l)| l).collect();
         lats.sort_unstable();
-        let idx = ((lats.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
-        Some(lats[idx])
+        let rank = ((p.clamp(0.0, 1.0) * lats.len() as f64).ceil() as usize).max(1);
+        Some(lats[rank.min(lats.len()) - 1])
+    }
+
+    /// p50/p95/p99/mean/max latency over all completions (`None` when no
+    /// operation completed).
+    pub fn summary(&self) -> Option<LatencySummary> {
+        Some(LatencySummary {
+            count: self.completed(),
+            mean_us: self.mean_latency()?,
+            p50_us: self.latency_percentile(0.50)?,
+            p95_us: self.latency_percentile(0.95)?,
+            p99_us: self.latency_percentile(0.99)?,
+            max_us: self.completions.iter().map(|&(_, l)| l).max()?,
+        })
+    }
+
+    /// Feeds every recorded latency into `histogram` (bridges the raw
+    /// samples into a shared obs registry snapshot).
+    pub fn fill_histogram(&self, histogram: &lazarus_obs::Histogram) {
+        for &(_, latency) in &self.completions {
+            histogram.observe(latency);
+        }
     }
 
     /// Mean latency in µs.
@@ -134,6 +188,42 @@ mod tests {
         assert!((mean - (10.0 * 5000.0 + 20.0 * 10000.0) / 30.0).abs() < 1e-6);
         assert_eq!(Metrics::new().latency_percentile(0.5), None);
         assert_eq!(Metrics::new().mean_latency(), None);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut m = Metrics::new();
+        for latency in [10, 20, 30, 40] {
+            m.record(0, latency);
+        }
+        // N=4: rank ⌈0.5·4⌉ = 2 → 20 (the old round() interpolation gave
+        // the mislabeled 30 here); ⌈0.25·4⌉ = 1 → 10; ⌈0.95·4⌉ = 4 → 40.
+        assert_eq!(m.latency_percentile(0.50), Some(20));
+        assert_eq!(m.latency_percentile(0.25), Some(10));
+        assert_eq!(m.latency_percentile(0.95), Some(40));
+    }
+
+    #[test]
+    fn summary_reports_all_percentiles() {
+        let m = sample();
+        let s = m.summary().expect("non-empty");
+        assert_eq!(s.count, 30);
+        assert_eq!(s.p50_us, 10 * MS);
+        assert_eq!(s.p95_us, 10 * MS);
+        assert_eq!(s.max_us, 10 * MS);
+        assert!(Metrics::new().summary().is_none());
+        let text = s.to_string();
+        assert!(text.contains("p50 10.0 ms"), "{text}");
+    }
+
+    #[test]
+    fn fill_histogram_bridges_samples() {
+        let m = sample();
+        let registry = lazarus_obs::Registry::new();
+        let h = registry.histogram("client_latency_us");
+        m.fill_histogram(&h);
+        assert_eq!(h.snapshot().count, 30);
+        assert_eq!(h.snapshot().sum, 10 * 5 * MS + 20 * 10 * MS);
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Cross-thread-count determinism of the observability registry.
+//!
+//! The contract (DESIGN.md "Observability"): every metric recorded during a
+//! fixed-seed evaluation is a pure function of the seed, regardless of how
+//! many worker threads `LAZARUS_THREADS` fans the runs across. This is what
+//! makes `fig5_metrics.json` byte-comparable in ci.sh.
+
+use lazarus_obs::Obs;
+use lazarus_osint::date::Date;
+use lazarus_osint::synth::{SyntheticWorld, WorldConfig};
+use lazarus_risk::epoch::{EpochConfig, Evaluator, ThreatScope};
+use lazarus_risk::strategies::StrategyKind;
+
+fn snapshot_with_threads(threads: &str) -> String {
+    // Serial with respect to the other call sites in this test binary: the
+    // env var is process-global, so the two runs happen back to back.
+    std::env::set_var("LAZARUS_THREADS", threads);
+    let world = SyntheticWorld::generate(WorldConfig::paper_study(42));
+    let eval = Evaluator::new(&world, EpochConfig::paper());
+    let obs = Obs::unclocked();
+    let window = (Date::from_ymd(2018, 1, 1), Date::from_ymd(2018, 2, 1));
+    for kind in [StrategyKind::Lazarus, StrategyKind::Random] {
+        let stats = eval.run_window_observed(
+            kind,
+            window,
+            &ThreatScope::PublishedInWindow,
+            24,
+            42,
+            Some(&obs),
+        );
+        obs.registry
+            .gauge_with("fig5_compromised_pct", &[("month", "2018-01"), ("strategy", kind.name())])
+            .set(100.0 * stats.compromised as f64 / stats.runs as f64);
+    }
+    std::env::remove_var("LAZARUS_THREADS");
+    obs.registry.snapshot().to_prometheus()
+}
+
+#[test]
+fn registry_snapshot_is_byte_identical_across_thread_counts() {
+    let serial = snapshot_with_threads("1");
+    let parallel = snapshot_with_threads("8");
+    assert!(
+        serial.contains("risk_runs_total"),
+        "expected the evaluation to record run counters:\n{serial}"
+    );
+    assert!(
+        serial.contains("risk_days_to_compromise"),
+        "expected a days-to-compromise histogram:\n{serial}"
+    );
+    assert_eq!(serial, parallel, "registry snapshot must not depend on LAZARUS_THREADS");
+}
