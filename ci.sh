@@ -25,6 +25,19 @@ if [ -n "$offenders" ]; then
 fi
 echo "    library crates clean"
 
+echo "==> no unwrap() on the BFT ingress path (malformed input must reject, not panic)"
+for f in replica.rs consensus.rs messages.rs client.rs; do
+    # Only the production half of each module counts — cut at the test module.
+    offenders=$(awk '/^(#\[cfg\(test\)\]|mod tests)/{exit} {print FILENAME":"NR": "$0}' \
+        "crates/bft/src/$f" | grep '\.unwrap()' | grep -v 'unwrap_or' || true)
+    if [ -n "$offenders" ]; then
+        echo "FAIL: unwrap() on the ingress path — reject() the message instead:" >&2
+        echo "$offenders" >&2
+        exit 1
+    fi
+done
+echo "    ingress modules panic-free"
+
 echo "==> determinism: figure bins byte-identical across thread counts"
 cargo build --release -q -p lazarus-bench
 metrics_dir=$(mktemp -d)
@@ -43,5 +56,9 @@ for bin in fig5_strategies fig6_attacks; do
     fi
     echo "    $bin: stdout and metrics json identical"
 done
+
+echo "==> nemesis smoke: every fault scenario, 2 seeds, zero violations"
+LAZARUS_METRICS_DIR="$metrics_dir" target/release/nemesis 2 > /dev/null
+echo "    nemesis sweep green"
 
 echo "CI green."

@@ -1,0 +1,67 @@
+//! The nemesis sweep: every named fault scenario × a seed range, verdicts
+//! on safety (agreement, validity, monotone checkpoints) and liveness
+//! (commits resume after the fault window closes).
+//!
+//! The sweep is a pure function of its seeds — rerunning it produces a
+//! byte-identical `nemesis_results.json` and metrics snapshot, so any
+//! failing `(scenario, seed)` pair is a complete, replayable bug report.
+//! Exits non-zero when any run fails.
+//!
+//! Usage: `nemesis [n_seeds] [scenario]` (defaults: 8 seeds, all of
+//! [`lazarus_testbed::nemesis::SCENARIOS`]).
+
+use lazarus_bench::{metrics_path, write_bench_json, write_metrics_json};
+use lazarus_testbed::nemesis::{run_matrix, SCENARIOS};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_seeds: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let filter = args.next();
+    let scenarios: Vec<&str> = match &filter {
+        Some(name) => {
+            let name = name.as_str();
+            assert!(
+                SCENARIOS.contains(&name),
+                "unknown scenario {name:?}; pick one of {SCENARIOS:?}"
+            );
+            vec![SCENARIOS[SCENARIOS.iter().position(|&s| s == name).expect("checked")]]
+        }
+        None => SCENARIOS.to_vec(),
+    };
+    let seeds: Vec<u64> = (1..=n_seeds).collect();
+
+    println!("=== Nemesis sweep — {} scenario(s) x {} seed(s) ===", scenarios.len(), seeds.len());
+    let report = run_matrix(&scenarios, &seeds);
+
+    let rows: Vec<(String, String)> = scenarios
+        .iter()
+        .map(|scenario| {
+            let runs: Vec<_> = report.verdicts.iter().filter(|v| v.scenario == *scenario).collect();
+            let passed = runs.iter().filter(|v| v.passed()).count();
+            let commits: u64 = runs.iter().map(|v| v.commits_checked).sum();
+            (
+                scenario.to_string(),
+                format!("{passed}/{} passed, {commits} commits checked", runs.len()),
+            )
+        })
+        .collect();
+    lazarus_bench::print_table("nemesis verdicts", ("scenario", "result"), &rows);
+
+    let results_path = metrics_path("nemesis").with_file_name("nemesis_results.json");
+    write_bench_json(results_path.to_str().expect("utf-8 path"), &report.to_json())
+        .expect("write nemesis_results.json");
+    let metrics = write_metrics_json("nemesis", &report.registry).expect("write metrics");
+    println!("\nresults: {} | metrics: {}", results_path.display(), metrics.display());
+
+    if !report.passed() {
+        eprintln!("\nFAILURES:");
+        for v in report.failures() {
+            eprintln!(
+                "  {}/seed {}: safety_ok={} liveness_ok={} violations={:?}",
+                v.scenario, v.seed, v.safety_ok, v.liveness_ok, v.violations
+            );
+        }
+        std::process::exit(1);
+    }
+    println!("all runs passed");
+}

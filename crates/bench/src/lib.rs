@@ -82,6 +82,9 @@ pub fn write_metrics_json(
     registry: &lazarus_obs::Registry,
 ) -> std::io::Result<std::path::PathBuf> {
     let path = metrics_path(bin);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
     std::fs::write(&path, registry.snapshot().to_json())?;
     Ok(path)
 }
@@ -118,6 +121,10 @@ pub fn print_table(caption: &str, header: (&str, &str), rows: &[(String, String)
 ///
 /// Propagates the underlying filesystem error.
 pub fn write_bench_json(path: &str, report: &lazarus_osint::json::Value) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent().filter(|p| !p.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(parent)?;
+    }
     std::fs::write(path, report.to_json())
 }
 

@@ -45,6 +45,30 @@ fn kind_slot(label: &str) -> usize {
     MESSAGE_KINDS.iter().position(|&k| k == label).unwrap_or(0)
 }
 
+/// Every reason a replica refuses an ingress message. Rejections are the
+/// *designed* response to malformed, forged, stale, or Byzantine traffic —
+/// they must be countable (for the nemesis harness and for operators), and
+/// they must never escalate to a panic.
+pub const REJECT_REASONS: [&str; 13] = [
+    "bad-request-sig",
+    "stale-request",
+    "duplicate-request",
+    "stale-consensus",
+    "non-member",
+    "wrong-view",
+    "not-leader",
+    "bad-batch",
+    "equivocation",
+    "stale-view-change",
+    "bad-snapshot",
+    "bad-reconfig-sig",
+    "stale-reconfig",
+];
+
+fn reason_slot(reason: &str) -> usize {
+    REJECT_REASONS.iter().position(|&r| r == reason).unwrap_or(0)
+}
+
 /// Per-message-kind wire accounting for an embedding runtime.
 #[derive(Debug, Clone)]
 pub struct WireObs {
@@ -84,6 +108,7 @@ pub struct ReplicaObs {
     id: ReplicaId,
 
     msgs_in: [Counter; MESSAGE_KINDS.len()],
+    rejected: [Counter; REJECT_REASONS.len()],
     decided_total: Counter,
     executed_requests_total: Counter,
     view_changes_total: Counter,
@@ -106,6 +131,9 @@ impl ReplicaObs {
             id,
             msgs_in: MESSAGE_KINDS
                 .map(|kind| obs.registry.counter_with("bft_messages_in_total", &[("kind", kind)])),
+            rejected: REJECT_REASONS.map(|reason| {
+                obs.registry.counter_with("bft_rejected_messages_total", &[("reason", reason)])
+            }),
             decided_total: obs.registry.counter("bft_slots_decided_total"),
             executed_requests_total: obs.registry.counter("bft_requests_executed_total"),
             view_changes_total: obs.registry.counter("bft_view_changes_total"),
@@ -119,6 +147,12 @@ impl ReplicaObs {
     /// A protocol message reached `on_message`.
     pub fn message_in(&self, label: &str) {
         self.msgs_in[kind_slot(label)].inc();
+    }
+
+    /// An ingress message was refused for `reason` (one of
+    /// [`REJECT_REASONS`]).
+    pub fn rejected(&self, reason: &str) {
+        self.rejected[reason_slot(reason)].inc();
     }
 
     /// A proposal for `seq` was accepted into the local instance (starts

@@ -161,6 +161,11 @@ pub struct Replica<S: Service> {
     last_decided: SeqNo,
     future: BTreeMap<u64, Vec<(ReplicaId, ConsensusMsg)>>,
 
+    // Laggard help: the (slot, view) we last re-voted towards each peer, so
+    // two up-to-date replicas exchanging stale votes cannot ping-pong help
+    // messages forever. At most one entry per peer.
+    helped: HashMap<ReplicaId, (SeqNo, View)>,
+
     // Leader change.
     stops: HashMap<u64, HashSet<ReplicaId>>,
     stop_datas: HashMap<u64, HashMap<ReplicaId, (SeqNo, Option<WriteCertificate>)>>,
@@ -209,6 +214,7 @@ impl<S: Service> Replica<S> {
             insts: BTreeMap::new(),
             last_decided: SeqNo(0),
             future: BTreeMap::new(),
+            helped: HashMap::new(),
             stops: HashMap::new(),
             stop_datas: HashMap::new(),
             sent_stop_for: None,
@@ -274,6 +280,33 @@ impl<S: Service> Replica<S> {
     /// `Option` branch.
     pub fn attach_obs(&mut self, obs: &lazarus_obs::Obs) {
         self.obs = Some(ReplicaObs::new(obs, self.cfg.id));
+    }
+
+    /// Counts a refused ingress message under
+    /// `bft_rejected_messages_total{reason=…}`. Rejection is the designed
+    /// response to forged, stale, or Byzantine traffic: drop, count, move
+    /// on — never panic.
+    fn reject(&self, reason: &'static str) {
+        if let Some(obs) = &self.obs {
+            obs.rejected(reason);
+        }
+    }
+
+    /// Validity gate for proposed batches: every request must carry a valid
+    /// client (or controller) tag. A leader that tampers with request
+    /// payloads produces a batch that fails this check everywhere, so the
+    /// corruption is rejected before it can be voted on — let alone
+    /// executed.
+    fn verify_batch(&self, batch: &Batch) -> bool {
+        batch.requests().iter().all(|request| {
+            let principal = if request.client == CONTROLLER_CLIENT {
+                Principal::Controller
+            } else {
+                Principal::Client(request.client.0)
+            };
+            let bytes = Request::auth_bytes(request.client, request.op, &request.payload);
+            self.keyring.verify(principal, &bytes, &request.tag)
+        })
     }
 
     // -----------------------------------------------------------------
@@ -369,16 +402,19 @@ impl<S: Service> Replica<S> {
         };
         let bytes = Request::auth_bytes(request.client, request.op, &request.payload);
         if !self.keyring.verify(principal, &bytes, &request.tag) {
+            self.reject("bad-request-sig");
             return;
         }
         // Drop already-answered or queued duplicates.
         if let Some((last_op, _)) = self.last_replies.get(&request.client) {
             if request.op <= *last_op && request.client != CONTROLLER_CLIENT {
+                self.reject("stale-request");
                 return;
             }
         }
         let digest = request.digest();
         if self.pending_digests.contains(&digest) {
+            self.reject("duplicate-request");
             return;
         }
         self.pending_digests.insert(digest);
@@ -427,14 +463,50 @@ impl<S: Service> Replica<S> {
     fn on_consensus(&mut self, from: ReplicaId, msg: ConsensusMsg, actions: &mut Vec<Action>) {
         let seq = msg.seq();
         if seq <= self.last_decided {
-            return; // stale
+            self.reject("stale-consensus");
+            // A member still voting on the slot we just decided is lagging
+            // one slot behind (its votes were lost). Decided values are
+            // permanent, so re-voting WRITE + ACCEPT for the logged batch is
+            // always safe — and it lets the laggard close the slot without a
+            // full state transfer. Without this, a replica that decided a
+            // slot alone stops voting on it ("stale") and the remaining
+            // voters may sit just below quorum forever.
+            // At most one help per (peer, slot, view): our help votes are
+            // themselves consensus messages for the helper's own decided
+            // slot, so unthrottled help between two up-to-date replicas
+            // would storm back and forth indefinitely.
+            let view = msg.view();
+            if seq == self.last_decided
+                && from != self.cfg.id
+                && self.membership.contains(from)
+                && self.helped.get(&from) != Some(&(seq, view))
+            {
+                if let Some(batch) = self.log.get(seq) {
+                    self.helped.insert(from, (seq, view));
+                    let digest = batch.digest();
+                    for vote in [
+                        ConsensusMsg::Write { view, seq, digest },
+                        ConsensusMsg::Accept { view, seq, digest },
+                    ] {
+                        actions.push(Action::Send(
+                            from,
+                            Message::Consensus { from: self.cfg.id, msg: vote },
+                        ));
+                    }
+                }
+            }
+            return;
         }
         if self.status == Status::StateTransfer {
             // Keep the evidence; it is replayed after the transfer.
             self.future.entry(seq.0).or_default().push((from, msg));
             return;
         }
-        if self.status != Status::Active || !self.membership.contains(from) {
+        if self.status != Status::Active {
+            return;
+        }
+        if !self.membership.contains(from) {
+            self.reject("non-member");
             return;
         }
         if seq.0 > self.open_slot().0 {
@@ -469,15 +541,25 @@ impl<S: Service> Replica<S> {
         match msg {
             ConsensusMsg::Propose { view: pview, seq, batch } => {
                 if pview != view {
+                    self.reject("wrong-view");
                     return;
                 }
                 // Only the leader of the view may propose.
                 if from != self.membership.leader(view) {
+                    self.reject("not-leader");
+                    return;
+                }
+                // Our own proposals were tag-verified request by request as
+                // they were enqueued; a remote leader's batch gets the full
+                // validity check here.
+                if from != self.cfg.id && !self.verify_batch(&batch) {
+                    self.reject("bad-batch");
                     return;
                 }
                 let inst = self.instance(seq);
                 if !inst.set_proposal(pview, batch) {
-                    return; // equivocation
+                    self.reject("equivocation");
+                    return;
                 }
                 if let Some(obs) = self.obs.as_mut() {
                     obs.proposal_seen(seq);
@@ -662,6 +744,12 @@ impl<S: Service> Replica<S> {
     fn trigger_stop(&mut self, actions: &mut Vec<Action>) {
         let view = self.view;
         if self.sent_stop_for.is_some_and(|v| v >= view) {
+            // Already stopped for this view, yet the watchdog fired again:
+            // our STOP may have been lost (drops, partitions). Re-broadcast
+            // it — STOP votes live in per-view sets, so retransmission is
+            // idempotent, and without it a single lost STOP wedges the
+            // leader change forever.
+            self.broadcast(Message::Stop { from: self.cfg.id, view }, actions);
             return;
         }
         self.sent_stop_for = Some(view);
@@ -670,7 +758,15 @@ impl<S: Service> Replica<S> {
     }
 
     fn on_stop(&mut self, from: ReplicaId, view: View, actions: &mut Vec<Action>) {
-        if self.status != Status::Active || !self.membership.contains(from) || view < self.view {
+        if self.status != Status::Active {
+            return;
+        }
+        if !self.membership.contains(from) {
+            self.reject("non-member");
+            return;
+        }
+        if view < self.view {
+            self.reject("stale-view-change");
             return;
         }
         self.record_stop(from, view, actions);
@@ -735,11 +831,15 @@ impl<S: Service> Replica<S> {
         prepared: Option<WriteCertificate>,
         actions: &mut Vec<Action>,
     ) {
-        if self.status != Status::Active
-            || !self.membership.contains(from)
-            || self.membership.leader(new_view) != self.cfg.id
-            || new_view < self.view
-        {
+        if self.status != Status::Active {
+            return;
+        }
+        if !self.membership.contains(from) {
+            self.reject("non-member");
+            return;
+        }
+        if self.membership.leader(new_view) != self.cfg.id || new_view < self.view {
+            self.reject("stale-view-change");
             return;
         }
         let entry = self.stop_datas.entry(new_view.0).or_default();
@@ -770,6 +870,14 @@ impl<S: Service> Replica<S> {
             .filter(|c| c.seq == open)
             .max_by_key(|c| c.view)
             .cloned();
+        // Someone already decided our open slot but no report carries its
+        // certificate (deciders report none — their slot is closed). Leading
+        // with a fresh proposal here could contradict that decision; fetch
+        // the decided state instead.
+        if repropose.is_none() && max_decided >= open {
+            self.start_cst(actions);
+            return;
+        }
         self.stop_datas.remove(&new_view.0);
         self.broadcast(
             Message::Sync { from: self.cfg.id, new_view, repropose: repropose.clone() },
@@ -785,10 +893,15 @@ impl<S: Service> Replica<S> {
         repropose: Option<WriteCertificate>,
         actions: &mut Vec<Action>,
     ) {
-        if self.status != Status::Active || new_view < self.view {
+        if self.status != Status::Active {
+            return;
+        }
+        if new_view < self.view {
+            self.reject("stale-view-change");
             return;
         }
         if self.membership.leader(new_view) != from {
+            self.reject("not-leader");
             return;
         }
         actions.push(Action::CancelTimer(TimerId::Sync));
@@ -810,11 +923,18 @@ impl<S: Service> Replica<S> {
         }
         if let Some(cert) = repropose {
             if cert.seq == self.open_slot() {
-                let view = self.view;
-                let seq = cert.seq;
-                let inst = self.instance(seq);
-                inst.set_proposal(view, cert.batch);
-                self.try_advance(seq, actions);
+                // A write certificate travels through STOP-DATA/SYNC, so a
+                // Byzantine reporter (or new leader) could smuggle a
+                // tampered batch in — the validity gate applies here too.
+                if !self.verify_batch(&cert.batch) {
+                    self.reject("bad-batch");
+                } else {
+                    let view = self.view;
+                    let seq = cert.seq;
+                    let inst = self.instance(seq);
+                    inst.set_proposal(view, cert.batch);
+                    self.try_advance(seq, actions);
+                }
             }
         }
         self.maybe_propose(actions);
@@ -826,6 +946,7 @@ impl<S: Service> Replica<S> {
 
     fn on_checkpoint(&mut self, from: ReplicaId, msg: CheckpointMsg) {
         if !self.membership.contains(from) {
+            self.reject("non-member");
             return;
         }
         let quorum = self.membership.quorum();
@@ -893,21 +1014,49 @@ impl<S: Service> Replica<S> {
         if self.status != Status::StateTransfer {
             return;
         }
+        if self.cst.is_none() {
+            return;
+        }
+        // Verify a shipped snapshot against its claimed digest before
+        // trusting it as the full reply.
+        let snapshot_ok =
+            reply.snapshot.as_ref().is_none_or(|s| Digest::of(s) == reply.snapshot_digest);
+        if !snapshot_ok {
+            self.reject("bad-snapshot");
+        }
+        let n_others = self.membership.others(self.cfg.id).count();
         let Some(cst) = self.cst.as_mut() else { return };
         let summary = reply.summary_digest();
         cst.summaries.insert(from, summary);
-        if reply.snapshot.is_some() {
-            // Verify the shipped snapshot against its claimed digest.
-            if reply.snapshot.as_ref().is_some_and(|s| Digest::of(s) == reply.snapshot_digest) {
-                cst.full = Some(reply);
-            }
+        if reply.snapshot.is_some() && snapshot_ok {
+            cst.full = Some(reply);
         }
-        let Some(full) = cst.full.clone() else { return };
+        let all_replied = cst.summaries.len() >= n_others;
+        let Some(full) = cst.full.clone() else {
+            // Every peer replied but the designated snapshot never made it
+            // (dropped or corrupt): rotate the designee now instead of
+            // waiting out the CST timer.
+            if all_replied {
+                let next = cst.designee + 1;
+                self.cst = None;
+                self.start_cst_with_designee(next, actions);
+            }
+            return;
+        };
         let full_summary = full.summary_digest();
         let matching = cst.summaries.values().filter(|&&s| s == full_summary).count();
         // f+1 matching summaries (the full reply counts as one of them).
         let f = full.membership.f();
         if matching < f + 1 {
+            // With all replies in and the designee's summary still in the
+            // minority, this round can never reach f+1 — the designee is
+            // either lying or (more likely) decided ahead of the cluster.
+            // Re-request with the next designee immediately.
+            if all_replied {
+                let next = cst.designee + 1;
+                self.cst = None;
+                self.start_cst_with_designee(next, actions);
+            }
             return;
         }
         // Install.
@@ -988,9 +1137,11 @@ impl<S: Service> Replica<S> {
         // Verify the controller's authorization.
         let bytes = ReconfigCommand::auth_bytes(cmd.epoch, cmd.add, cmd.remove);
         if !self.keyring.verify(Principal::Controller, &bytes, &cmd.tag) {
+            self.reject("bad-reconfig-sig");
             return;
         }
         if cmd.epoch != self.membership.epoch {
+            self.reject("stale-reconfig");
             return; // stale or replayed
         }
         // Enter the total order as a controller request.

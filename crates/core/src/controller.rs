@@ -23,8 +23,9 @@ use rand::SeedableRng;
 
 use lazarus_obs::{FieldValue, Obs};
 use lazarus_osint::catalog::OsVersion;
-use lazarus_osint::datamgr::DataManager;
+use lazarus_osint::datamgr::{DataManager, RetryPolicy};
 use lazarus_osint::date::Date;
+use lazarus_osint::sources::{OsintSource, SourceError};
 use lazarus_risk::algorithm::{MonitorOutcome, ReplicaSets};
 use lazarus_risk::strategies::min_config_risk;
 use lazarus_risk::Reconfigurator;
@@ -120,6 +121,9 @@ pub struct Controller {
     rng: StdRng,
     audit: Vec<AuditEvent>,
     obs: Obs,
+    /// Consecutive rounds whose OSINT sync was not fully healthy — the risk
+    /// oracle is running on data at least this many rounds old.
+    stale_rounds: u64,
 }
 
 impl Controller {
@@ -134,6 +138,7 @@ impl Controller {
             rng,
             audit: Vec::new(),
             obs: Obs::noop(),
+            stale_rounds: 0,
             data,
             cfg,
         }
@@ -300,6 +305,58 @@ impl Controller {
         report
     }
 
+    /// A [`monitor_round`](Self::monitor_round) preceded by a
+    /// **fault-tolerant OSINT sync**: feeds are parsed best-effort, sources
+    /// are retried under `policy` and dropped from the round if they stay
+    /// down. A degraded (or entirely failed) sync never aborts the round —
+    /// the controller keeps steering on its previous risk snapshot, which
+    /// beats steering on nothing.
+    ///
+    /// Staleness is loud, not silent: `controller_risk_staleness_rounds`
+    /// gauges how many consecutive rounds ran without a fully healthy sync
+    /// (0 = fresh) and `controller_stale_rounds_total` counts every such
+    /// round, so an operator alert on either catches a rotting knowledge
+    /// base long before the risk oracle drifts far from reality.
+    ///
+    /// Returns the round report plus the sources that stayed down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`bootstrap`](Self::bootstrap).
+    pub fn sync_and_monitor<S: AsRef<str>>(
+        &mut self,
+        feed_documents: &[S],
+        sources: &[&(dyn OsintSource + Sync)],
+        since: Date,
+        policy: RetryPolicy,
+        today: Date,
+    ) -> (RoundReport, Vec<SourceError>) {
+        let feeds_ok = self.data.sync_feeds(feed_documents).is_ok();
+        let (_, failures) = self.data.sync_sources_degraded(sources, since, policy);
+        if feeds_ok && failures.is_empty() {
+            self.stale_rounds = 0;
+        } else {
+            self.stale_rounds += 1;
+            self.obs.registry.counter("controller_stale_rounds_total").inc();
+            self.obs.tracer.event(
+                "controller.degraded_sync",
+                vec![
+                    ("feeds_ok", FieldValue::from(feeds_ok)),
+                    ("sources_down", FieldValue::from(failures.len())),
+                    ("stale_rounds", FieldValue::from(self.stale_rounds as usize)),
+                ],
+            );
+        }
+        self.obs.registry.gauge("controller_risk_staleness_rounds").set(self.stale_rounds as f64);
+        (self.monitor_round(today), failures)
+    }
+
+    /// Consecutive rounds the controller has run without a fully healthy
+    /// OSINT sync (0 = the last sync was clean).
+    pub fn risk_staleness(&self) -> u64 {
+        self.stale_rounds
+    }
+
     /// Records one round's telemetry into the attached [`Obs`] bundle.
     ///
     /// Gauges here hold the *latest* epoch's values (config risk, effective
@@ -427,6 +484,65 @@ mod tests {
         let mut oses = c.active_config();
         oses.dedup();
         assert_eq!(oses.len(), 4);
+    }
+
+    #[test]
+    fn degraded_sync_keeps_steering_and_reports_staleness() {
+        use lazarus_osint::sources::ExploitDbSource;
+        let data = world_data();
+        let obs = Obs::unclocked();
+        let mut c = Controller::new(ControllerConfig::new(study_oses()), data);
+        c.attach_obs(&obs);
+        c.bootstrap(Date::from_ymd(2018, 1, 1));
+
+        let dead = ExploitDbSource::new(""); // fails every attempt
+        let good = ExploitDbSource::new(
+            "id,file,description,date_published,author,type,platform,port,verified,codes\n\
+             1,f,d,2018-01-02,a,local,linux,0,1,CVE-2018-0001\n",
+        );
+        // 1-of-2 sources down: the round completes on partial data.
+        let (report, failures) = c.sync_and_monitor(
+            &[] as &[&str],
+            &[&dead, &good],
+            Date::from_ymd(2018, 1, 1),
+            RetryPolicy::none(),
+            Date::from_ymd(2018, 1, 2),
+        );
+        assert!(!report.threshold.is_nan());
+        assert_eq!(failures.len(), 1);
+        assert_eq!(c.risk_staleness(), 1);
+        let reg = &obs.registry;
+        assert_eq!(reg.gauge("controller_risk_staleness_rounds").get(), 1.0);
+        assert_eq!(reg.counter("controller_stale_rounds_total").get(), 1);
+        assert_eq!(
+            reg.counter_with("osint_source_failures_total", &[("source", "exploit-db")]).get(),
+            0,
+            "source metrics live on the data manager's registry, not the controller's"
+        );
+
+        // Another degraded round deepens the staleness…
+        c.sync_and_monitor(
+            &[] as &[&str],
+            &[&dead],
+            Date::from_ymd(2018, 1, 2),
+            RetryPolicy::none(),
+            Date::from_ymd(2018, 1, 3),
+        );
+        assert_eq!(c.risk_staleness(), 2);
+        assert_eq!(reg.gauge("controller_risk_staleness_rounds").get(), 2.0);
+
+        // …and one healthy sync clears it.
+        let (_, failures) = c.sync_and_monitor(
+            &[] as &[&str],
+            &[&good],
+            Date::from_ymd(2018, 1, 3),
+            RetryPolicy::none(),
+            Date::from_ymd(2018, 1, 4),
+        );
+        assert!(failures.is_empty());
+        assert_eq!(c.risk_staleness(), 0);
+        assert_eq!(reg.gauge("controller_risk_staleness_rounds").get(), 0.0);
+        assert_eq!(reg.counter("controller_stale_rounds_total").get(), 2);
     }
 
     #[test]

@@ -23,6 +23,10 @@ use crate::kb::KnowledgeBase;
 use crate::sources::{OsintSource, SourceError};
 
 /// Statistics from one synchronization round.
+///
+/// Degraded rounds ([`DataManager::sync_sources_degraded`]) additionally
+/// report per-source retries and final failures; how hard a round tries
+/// before declaring a source down is governed by [`RetryPolicy`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SyncStats {
     /// Vulnerabilities parsed from the feeds.
@@ -33,6 +37,48 @@ pub struct SyncStats {
     pub enrichments_applied: usize,
     /// Enrichments buffered for unknown CVEs.
     pub enrichments_buffered: usize,
+    /// Fetch retries performed across all sources (degraded rounds only).
+    pub source_retries: usize,
+    /// Sources that stayed down after every retry (degraded rounds only).
+    pub sources_failed: usize,
+}
+
+/// How persistently a degraded sync round retries a failing source before
+/// moving on without it.
+///
+/// Backoff between attempt `k` and `k + 1` is capped exponential:
+/// `min(base_backoff_ms << k, max_backoff_ms)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total fetch attempts per source (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Ceiling the exponential backoff saturates at, in milliseconds.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_attempts: 3, base_backoff_ms: 50, max_backoff_ms: 400 }
+    }
+}
+
+impl RetryPolicy {
+    /// One attempt, no waiting — for tests and for sources known to fail
+    /// deterministically (a malformed document does not heal by retrying,
+    /// but a flaky transport does).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, base_backoff_ms: 0, max_backoff_ms: 0 }
+    }
+
+    /// The backoff to wait after failed attempt `attempt` (0-based).
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        self.base_backoff_ms
+            .checked_shl(attempt.min(16))
+            .unwrap_or(u64::MAX)
+            .min(self.max_backoff_ms)
+    }
 }
 
 /// The shared, thread-safe knowledge base handle with feed/source sync.
@@ -118,29 +164,93 @@ impl DataManager {
     ///
     /// # Errors
     ///
-    /// Returns the first [`SourceError`]; enrichments from healthy sources
-    /// are still applied (partial progress is fine — rounds are idempotent).
+    /// Returns **every** [`SourceError`] of the round (sorted by source name
+    /// for determinism), not just the first — an operator fixing a broken
+    /// round deserves the complete damage report. Enrichments from healthy
+    /// sources are still applied (partial progress is fine — rounds are
+    /// idempotent).
     pub fn sync_sources(
         &self,
         sources: &[&(dyn OsintSource + Sync)],
         since: Date,
-    ) -> Result<SyncStats, SourceError> {
+    ) -> Result<SyncStats, SyncError> {
+        let (stats, mut errors) = self.crawl(sources, since, RetryPolicy::none());
+        if errors.is_empty() {
+            self.record_sync("sources", &stats);
+            Ok(stats)
+        } else {
+            errors.sort_by(|a, b| a.source.cmp(b.source).then_with(|| a.detail.cmp(&b.detail)));
+            Err(SyncError::Sources(errors))
+        }
+    }
+
+    /// [`sync_sources`](DataManager::sync_sources) that **degrades instead
+    /// of failing**: each source is retried under `policy` (capped
+    /// exponential backoff), and sources that stay down are dropped from
+    /// the round rather than aborting it. The knowledge base keeps whatever
+    /// the healthy sources delivered; the casualties come back sorted by
+    /// source name alongside the stats.
+    ///
+    /// Failures are visible, not silent: `osint_source_failures_total`
+    /// (per source), `osint_source_retries_total`, and
+    /// `osint_degraded_syncs_total` count every degradation on the attached
+    /// registry.
+    pub fn sync_sources_degraded(
+        &self,
+        sources: &[&(dyn OsintSource + Sync)],
+        since: Date,
+        policy: RetryPolicy,
+    ) -> (SyncStats, Vec<SourceError>) {
+        let (mut stats, mut errors) = self.crawl(sources, since, policy);
+        errors.sort_by(|a, b| a.source.cmp(b.source).then_with(|| a.detail.cmp(&b.detail)));
+        stats.sources_failed = errors.len();
+        let reg = &self.obs.registry;
+        for e in &errors {
+            reg.counter_with("osint_source_failures_total", &[("source", e.source)]).inc();
+        }
+        reg.counter("osint_source_retries_total").add(stats.source_retries as u64);
+        if !errors.is_empty() {
+            reg.counter("osint_degraded_syncs_total").inc();
+        }
+        self.record_sync("sources", &stats);
+        (stats, errors)
+    }
+
+    /// The shared worker pool behind both source-sync flavours: one worker
+    /// per source retrying under `policy`, enrichments applied as they
+    /// stream in, final errors collected (in channel order — callers sort).
+    fn crawl(
+        &self,
+        sources: &[&(dyn OsintSource + Sync)],
+        since: Date,
+        policy: RetryPolicy,
+    ) -> (SyncStats, Vec<SourceError>) {
         let mut stats = SyncStats::default();
+        let mut errors = Vec::new();
         let (tx, rx) = channel::unbounded();
-        let first_error = std::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for &source in sources {
                 let tx = tx.clone();
                 scope.spawn(move || {
-                    let result = source.fetch(since);
+                    let mut retries = 0usize;
+                    let mut result = source.fetch(since);
+                    while result.is_err() && (retries as u32) < policy.max_attempts.max(1) - 1 {
+                        let wait = policy.backoff_ms(retries as u32);
+                        if wait > 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(wait));
+                        }
+                        retries += 1;
+                        result = source.fetch(since);
+                    }
                     // The receiver outlives all workers within the scope.
-                    let _ = tx.send(result);
+                    let _ = tx.send((result, retries));
                 });
             }
             drop(tx);
-            let mut first_error = None;
             // Apply as results stream in; a single writer thread avoids
             // write-lock contention between workers.
-            for result in rx {
+            for (result, retries) in rx {
+                stats.source_retries += retries;
                 match result {
                     Ok(enrichments) => {
                         let mut kb = self.kb.write();
@@ -152,18 +262,11 @@ impl DataManager {
                             }
                         }
                     }
-                    Err(e) => first_error = first_error.or(Some(e)),
+                    Err(e) => errors.push(e),
                 }
             }
-            first_error
         });
-        match first_error {
-            Some(e) => Err(e),
-            None => {
-                self.record_sync("sources", &stats);
-                Ok(stats)
-            }
-        }
+        (stats, errors)
     }
 
     /// Full round: feeds first (so CVEs exist), then sources.
@@ -179,12 +282,7 @@ impl DataManager {
     ) -> Result<SyncStats, SyncError> {
         let a = self.sync_feeds(feed_documents)?;
         let b = self.sync_sources(sources, since)?;
-        Ok(SyncStats {
-            parsed: a.parsed,
-            retained: a.retained,
-            enrichments_applied: b.enrichments_applied,
-            enrichments_buffered: b.enrichments_buffered,
-        })
+        Ok(SyncStats { parsed: a.parsed, retained: a.retained, ..b })
     }
 }
 
@@ -193,15 +291,32 @@ impl DataManager {
 pub enum SyncError {
     /// An NVD feed was malformed.
     Feed(FeedError),
-    /// A secondary source document was malformed.
-    Source(SourceError),
+    /// One or more secondary sources failed; sorted by source name. Never
+    /// empty.
+    Sources(Vec<SourceError>),
+}
+
+impl SyncError {
+    /// True when `source` is among the failed sources.
+    pub fn involves(&self, source: &str) -> bool {
+        match self {
+            SyncError::Feed(_) => false,
+            SyncError::Sources(errors) => errors.iter().any(|e| e.source == source),
+        }
+    }
 }
 
 impl std::fmt::Display for SyncError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SyncError::Feed(e) => write!(f, "feed sync failed: {e}"),
-            SyncError::Source(e) => write!(f, "source sync failed: {e}"),
+            SyncError::Sources(errors) => {
+                write!(f, "{} source(s) failed:", errors.len())?;
+                for e in errors {
+                    write!(f, " [{e}]")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -210,7 +325,7 @@ impl std::error::Error for SyncError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SyncError::Feed(e) => Some(e),
-            SyncError::Source(e) => Some(e),
+            SyncError::Sources(errors) => errors.first().map(|e| e as _),
         }
     }
 }
@@ -223,7 +338,7 @@ impl From<FeedError> for SyncError {
 
 impl From<SourceError> for SyncError {
     fn from(e: SourceError) -> Self {
-        SyncError::Source(e)
+        SyncError::Sources(vec![e])
     }
 }
 
@@ -312,20 +427,113 @@ mod tests {
     }
 
     #[test]
-    fn source_error_propagates_but_good_sources_apply() {
+    fn source_errors_all_propagate_but_good_sources_apply() {
         let dm = DataManager::default();
         dm.sync_feeds(&[feed_with(&[1])]).unwrap();
         let bad = ExploitDbSource::new(""); // empty doc → error
+        let bad_ubuntu = UbuntuSource::new("USN-9999-1: truncated entry"); // missing date line
         let good = ExploitDbSource::new(
             "id,file,description,date_published,author,type,platform,port,verified,codes\n\
              1,f,d,2018-05-21,a,local,linux,0,1,CVE-2018-0001\n",
         );
-        let err = dm.sync_sources(&[&bad, &good], Date::EPOCH).unwrap_err();
-        assert_eq!(err.source, "exploit-db");
+        let err = dm.sync_sources(&[&bad, &bad_ubuntu, &good], Date::EPOCH).unwrap_err();
+        // every casualty is reported, sorted by source name
+        let SyncError::Sources(errors) = &err else { panic!("expected Sources: {err:?}") };
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(err.involves("exploit-db") && err.involves("ubuntu-usn"), "{errors:?}");
+        assert!(errors.windows(2).all(|w| w[0].source <= w[1].source));
         // the healthy source still landed
         dm.read(|kb| {
             assert!(kb.get(CveId::new(2018, 1)).unwrap().is_exploited(Date::from_ymd(2018, 6, 1)));
         });
+    }
+
+    /// A source that fails `fail_times` fetches before recovering — the
+    /// transient-transport case [`RetryPolicy`] exists for.
+    struct FlakySource {
+        fail_times: usize,
+        calls: std::sync::atomic::AtomicUsize,
+        inner: ExploitDbSource,
+    }
+
+    impl OsintSource for FlakySource {
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+        fn fetch(&self, since: Date) -> Result<Vec<Enrichment>, SourceError> {
+            let n = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if n < self.fail_times {
+                return Err(SourceError::new("flaky", format!("transient outage {n}")));
+            }
+            self.inner.fetch(since)
+        }
+    }
+
+    fn flaky(fail_times: usize) -> FlakySource {
+        FlakySource {
+            fail_times,
+            calls: std::sync::atomic::AtomicUsize::new(0),
+            inner: ExploitDbSource::new(
+                "id,file,description,date_published,author,type,platform,port,verified,codes\n\
+                 1,f,d,2018-05-21,a,local,linux,0,1,CVE-2018-0001\n",
+            ),
+        }
+    }
+
+    #[test]
+    fn degraded_sync_retries_transient_failures() {
+        let mut dm = DataManager::default();
+        let obs = Obs::unclocked();
+        dm.attach_obs(&obs);
+        dm.sync_feeds(&[feed_with(&[1])]).unwrap();
+        let source = flaky(2);
+        let policy = RetryPolicy { max_attempts: 3, base_backoff_ms: 1, max_backoff_ms: 2 };
+        let (stats, failures) = dm.sync_sources_degraded(&[&source], Date::EPOCH, policy);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(stats.source_retries, 2);
+        assert_eq!(stats.enrichments_applied, 1);
+        assert_eq!(obs.registry.counter("osint_source_retries_total").get(), 2);
+        assert_eq!(obs.registry.counter("osint_degraded_syncs_total").get(), 0);
+    }
+
+    #[test]
+    fn degraded_sync_survives_a_dead_source_and_counts_it() {
+        let mut dm = DataManager::default();
+        let obs = Obs::unclocked();
+        dm.attach_obs(&obs);
+        dm.sync_feeds(&[feed_with(&[1])]).unwrap();
+        let dead = ExploitDbSource::new(""); // fails every attempt
+        let good = ExploitDbSource::new(
+            "id,file,description,date_published,author,type,platform,port,verified,codes\n\
+             1,f,d,2018-05-21,a,local,linux,0,1,CVE-2018-0001\n",
+        );
+        let policy = RetryPolicy { max_attempts: 2, base_backoff_ms: 1, max_backoff_ms: 1 };
+        let (stats, failures) = dm.sync_sources_degraded(&[&dead, &good], Date::EPOCH, policy);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].source, "exploit-db");
+        assert_eq!(stats.sources_failed, 1);
+        // the healthy source's enrichment landed despite the casualty
+        assert_eq!(stats.enrichments_applied, 1);
+        dm.read(|kb| {
+            assert!(kb.get(CveId::new(2018, 1)).unwrap().is_exploited(Date::from_ymd(2018, 6, 1)));
+        });
+        let reg = &obs.registry;
+        assert_eq!(reg.counter("osint_degraded_syncs_total").get(), 1);
+        assert_eq!(
+            reg.counter_with("osint_source_failures_total", &[("source", "exploit-db")]).get(),
+            1
+        );
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let policy = RetryPolicy { max_attempts: 5, base_backoff_ms: 50, max_backoff_ms: 400 };
+        assert_eq!(policy.backoff_ms(0), 50);
+        assert_eq!(policy.backoff_ms(1), 100);
+        assert_eq!(policy.backoff_ms(2), 200);
+        assert_eq!(policy.backoff_ms(3), 400);
+        assert_eq!(policy.backoff_ms(9), 400, "saturates at the cap");
+        assert_eq!(RetryPolicy::none().backoff_ms(0), 0);
     }
 
     #[test]

@@ -17,13 +17,14 @@ use bytes::Bytes;
 
 use lazarus_bft::client::Client;
 use lazarus_bft::crypto::{Keyring, Principal};
-use lazarus_bft::messages::{Message, ReconfigCommand, Reply};
+use lazarus_bft::messages::{Batch, CheckpointMsg, ConsensusMsg, Message, ReconfigCommand, Reply};
 use lazarus_bft::obs::WireObs;
 use lazarus_bft::replica::{Action, Replica, ReplicaConfig, TimerId};
 use lazarus_bft::service::Service;
-use lazarus_bft::types::{ClientId, Epoch, Membership, ReplicaId};
+use lazarus_bft::types::{ClientId, Epoch, Membership, ReplicaId, SeqNo};
 use lazarus_obs::{Clock, Histogram, ManualClock, Obs};
 
+use crate::faults::{ByzMode, FaultPlan, FaultStats, InvariantChecker};
 use crate::metrics::Metrics;
 use crate::oscatalog::PerfProfile;
 use crate::sim::{EventQueue, Micros, ProcessingStation, MS, SEC};
@@ -86,6 +87,8 @@ enum Ev {
     ClientRetry(ClientId, u64),
     NodeUp(ReplicaId),
     NodeDown(ReplicaId),
+    /// Power restored after a scheduled crash (state retained).
+    NodeRestart(ReplicaId),
 }
 
 struct Node {
@@ -125,6 +128,13 @@ pub struct SimCluster {
     /// Instrumentation (None = uninstrumented; the simulation itself is
     /// unaffected either way).
     obs: Option<SimObs>,
+    /// Installed fault schedule (None = a perfect network). Applies to
+    /// replica→replica links only: client↔replica and controller injection
+    /// paths stay clean, so liveness after heal is attributable to the
+    /// protocol rather than to client retransmissions.
+    faults: Option<FaultPlan>,
+    /// Online safety checker (None = unchecked).
+    checker: Option<InvariantChecker>,
 }
 
 /// Instrumentation handles owned by an observed [`SimCluster`].
@@ -159,6 +169,8 @@ impl SimCluster {
             transfers: Vec::new(),
             sim_clock: Arc::new(ManualClock::new()),
             obs: None,
+            faults: None,
+            checker: None,
         }
     }
 
@@ -186,6 +198,57 @@ impl SimCluster {
     /// Current virtual time.
     pub fn now(&self) -> Micros {
         self.queue.now()
+    }
+
+    /// Installs a fault schedule: link faults and partitions gate every
+    /// replica→replica delivery from now on, crash/restart events are
+    /// queued, and Byzantine replicas are marked on the installed checker
+    /// (if any). Install faults and checker before running the simulation.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        for crash in plan.crash_schedule() {
+            self.queue.schedule_at(crash.at, Ev::NodeDown(crash.replica));
+            if let Some(restart) = crash.restart_at {
+                self.queue.schedule_at(restart, Ev::NodeRestart(crash.replica));
+            }
+        }
+        if let Some(checker) = self.checker.as_mut() {
+            for id in plan.byzantine_ids() {
+                checker.mark_byzantine(id);
+            }
+        }
+        self.faults = Some(plan);
+    }
+
+    /// Installs an invariant checker observing every commit and checkpoint.
+    pub fn install_checker(&mut self, mut checker: InvariantChecker) {
+        if let Some(plan) = &self.faults {
+            for id in plan.byzantine_ids() {
+                checker.mark_byzantine(id);
+            }
+        }
+        self.checker = Some(checker);
+    }
+
+    /// The installed checker, if any.
+    pub fn checker(&self) -> Option<&InvariantChecker> {
+        self.checker.as_ref()
+    }
+
+    /// Mutable access to the installed checker (for the end-of-run liveness
+    /// assertion).
+    pub fn checker_mut(&mut self) -> Option<&mut InvariantChecker> {
+        self.checker.as_mut()
+    }
+
+    /// Injection counters of the installed fault plan.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|p| p.stats)
+    }
+
+    /// Restores power to a crashed node at `at` (state retained; the node
+    /// rejoins and catches up through the normal protocol paths).
+    pub fn restart_at(&mut self, at: Micros, id: ReplicaId) {
+        self.queue.schedule_at(at, Ev::NodeRestart(id));
     }
 
     /// Adds a ready replica node at time zero.
@@ -372,6 +435,18 @@ impl SimCluster {
                     node.ready = false;
                 }
             }
+            Ev::NodeRestart(id) => {
+                let timeout = {
+                    let Some(node) = self.nodes.get_mut(&id.0) else { return };
+                    node.powered = true;
+                    node.ready = true;
+                    node.replica.cfg().request_timeout
+                };
+                // Timers armed before the crash were swallowed while the
+                // node was down; re-arm the request watchdog so the revived
+                // replica can still notice a stalled leader.
+                self.schedule_action(id, at, Action::SetTimer(TimerId::Request, timeout));
+            }
         }
     }
 
@@ -432,67 +507,180 @@ impl SimCluster {
     /// processing completed).
     fn absorb(&mut self, id: ReplicaId, from: Micros, actions: Vec<Action>) {
         for action in actions {
+            if let Action::Executed(seq, _) = &action {
+                self.check_commit(id, *seq);
+            }
             self.schedule_action(id, from, action);
+        }
+    }
+
+    /// Feeds a freshly-executed slot to the invariant checker. Reading the
+    /// batch right after `Action::Executed` is safe: checkpoint trimming
+    /// needs later quorum votes, so the entry is still in the decided log.
+    fn check_commit(&mut self, id: ReplicaId, seq: SeqNo) {
+        let Some(checker) = self.checker.as_mut() else { return };
+        let Some(node) = self.nodes.get(&id.0) else { return };
+        if let Some(batch) = node.replica.decided_log().get(seq) {
+            checker.record_commit(id, seq, batch);
+        }
+        checker.record_checkpoint(id, node.replica.decided_log().stable_checkpoint().seq);
+    }
+
+    /// Schedules delivery of one replica→replica message through the fault
+    /// plan (if installed): the plan may drop it, delay it, or echo a
+    /// duplicate. Fault-free clusters skip straight to the queue.
+    fn route_deliver(
+        &mut self,
+        departed: Micros,
+        from: ReplicaId,
+        to: ReplicaId,
+        delay: Micros,
+        message: Arc<Message>,
+    ) {
+        let Some(plan) = self.faults.as_mut() else {
+            self.queue.schedule_at(departed + delay, Ev::DeliverReplica(to, message));
+            return;
+        };
+        match plan.route(departed, from, to) {
+            [None, None] => {}
+            [Some(extra), None] | [None, Some(extra)] => {
+                self.queue.schedule_at(departed + delay + extra, Ev::DeliverReplica(to, message));
+            }
+            [Some(extra), Some(echo)] => {
+                self.queue.schedule_at(
+                    departed + delay + extra,
+                    Ev::DeliverReplica(to, Arc::clone(&message)),
+                );
+                self.queue.schedule_at(departed + delay + echo, Ev::DeliverReplica(to, message));
+            }
+        }
+    }
+
+    /// Applies the sender's Byzantine mode (if any) to an outbound protocol
+    /// message. Returns `None` when the message is swallowed (mute).
+    /// Equivocation is handled at the broadcast site — for unicast sends an
+    /// equivocating replica behaves normally.
+    fn byz_transform(&mut self, id: ReplicaId, message: Message) -> Option<Message> {
+        let Some(plan) = self.faults.as_mut() else { return Some(message) };
+        match plan.byz_mode(id) {
+            None | Some(ByzMode::Equivocate) => Some(message),
+            Some(ByzMode::Mute) => {
+                plan.stats.muted += 1;
+                None
+            }
+            Some(ByzMode::CorruptPayload) => Some(corrupt_message(plan, message)),
+        }
+    }
+
+    /// The cost/latency model of one broadcast (shared by the honest path
+    /// and the two halves of an equivocating leader's split broadcast).
+    fn broadcast_now(
+        &mut self,
+        id: ReplicaId,
+        from: Micros,
+        peers: Vec<ReplicaId>,
+        message: Arc<Message>,
+    ) {
+        let (departed, delay) = {
+            let node = self.nodes.get_mut(&id.0).expect("sender exists");
+            // The zero-copy path signs and serializes once per broadcast, so
+            // the sender pays one message-handling unit (and, for
+            // checkpoints, one full snapshot serialization) regardless of
+            // fan-out.
+            let mut cost = node.profile.per_msg_us / 2;
+            if matches!(&*message, Message::Checkpoint { .. }) {
+                cost +=
+                    snapshot_cost(node.profile.snapshot_mb_s, node.replica.service().state_size())
+                        * node.profile.cores as u64;
+            }
+            (node.station.submit(from, cost), self.cfg.network.delay(message.wire_size()))
+        };
+        if let Some(obs) = &self.obs {
+            obs.wire.sent(message.label(), message.wire_size(), peers.len());
+        }
+        for to in peers {
+            self.route_deliver(departed, id, to, delay, Arc::clone(&message));
         }
     }
 
     fn schedule_action(&mut self, id: ReplicaId, from: Micros, action: Action) {
         match action {
             Action::Send(to, message) => {
-                let node = self.nodes.get_mut(&id.0).expect("sender exists");
-                // Sending costs half a message-handling unit; checkpoints
-                // additionally serialize the service snapshot.
-                let mut cost = node.profile.per_msg_us / 2;
-                if matches!(message, Message::Checkpoint { .. }) {
-                    // The snapshot serialization stalls the service (the
-                    // §7.3 checkpoint dips): spread `cores ×` the snapshot
-                    // cost over the broadcast so every core is busy for the
-                    // serialization period.
-                    let stall = snapshot_cost(
-                        node.profile.snapshot_mb_s,
-                        node.replica.service().state_size(),
-                    ) * node.profile.cores as u64;
-                    cost += stall / (node.replica.membership().n() as u64 - 1).max(1);
-                }
-                if let Message::CstReply { reply, .. } = &message {
-                    if let Some(snapshot) = &reply.snapshot {
-                        // Serializing the full state for a joiner stalls the
-                        // donor like a checkpoint does.
-                        cost += snapshot_cost(node.profile.snapshot_mb_s, snapshot.len())
-                            * node.profile.cores as u64;
+                let Some(message) = self.byz_transform(id, message) else { return };
+                let (departed, delay) = {
+                    let node = self.nodes.get_mut(&id.0).expect("sender exists");
+                    // Sending costs half a message-handling unit; checkpoints
+                    // additionally serialize the service snapshot.
+                    let mut cost = node.profile.per_msg_us / 2;
+                    if matches!(message, Message::Checkpoint { .. }) {
+                        // The snapshot serialization stalls the service (the
+                        // §7.3 checkpoint dips): spread `cores ×` the snapshot
+                        // cost over the broadcast so every core is busy for the
+                        // serialization period.
+                        let stall = snapshot_cost(
+                            node.profile.snapshot_mb_s,
+                            node.replica.service().state_size(),
+                        ) * node.profile.cores as u64;
+                        cost += stall / (node.replica.membership().n() as u64 - 1).max(1);
                     }
-                }
-                let departed = node.station.submit(from, cost);
-                let delay = self.cfg.network.delay(message.wire_size());
+                    if let Message::CstReply { reply, .. } = &message {
+                        if let Some(snapshot) = &reply.snapshot {
+                            // Serializing the full state for a joiner stalls the
+                            // donor like a checkpoint does.
+                            cost += snapshot_cost(node.profile.snapshot_mb_s, snapshot.len())
+                                * node.profile.cores as u64;
+                        }
+                    }
+                    (node.station.submit(from, cost), self.cfg.network.delay(message.wire_size()))
+                };
                 if let Some(obs) = &self.obs {
                     obs.wire.sent(message.label(), message.wire_size(), 1);
                 }
-                self.queue.schedule_at(departed + delay, Ev::DeliverReplica(to, Arc::new(message)));
+                self.route_deliver(departed, id, to, delay, Arc::new(message));
             }
             Action::Broadcast(peers, message) => {
-                let node = self.nodes.get_mut(&id.0).expect("sender exists");
-                // The zero-copy path signs and serializes once per
-                // broadcast, so the sender pays one message-handling unit
-                // (and, for checkpoints, one full snapshot serialization)
-                // regardless of fan-out.
-                let mut cost = node.profile.per_msg_us / 2;
-                if matches!(&*message, Message::Checkpoint { .. }) {
-                    cost += snapshot_cost(
-                        node.profile.snapshot_mb_s,
-                        node.replica.service().state_size(),
-                    ) * node.profile.cores as u64;
+                // An equivocating leader forks its proposals: conflicting
+                // batch to one half of the peers, the original to the rest —
+                // WRITE votes split and neither digest reaches quorum.
+                let equivocates = self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|p| p.byz_mode(id) == Some(ByzMode::Equivocate));
+                if equivocates {
+                    if let Message::Consensus {
+                        from: sender,
+                        msg: ConsensusMsg::Propose { view, seq, batch },
+                    } = &*message
+                    {
+                        let plan = self.faults.as_mut().expect("checked");
+                        let forked = Arc::new(Message::Consensus {
+                            from: *sender,
+                            msg: ConsensusMsg::Propose {
+                                view: *view,
+                                seq: *seq,
+                                batch: plan.equivocate_batch(batch),
+                            },
+                        });
+                        let split = peers.len().div_ceil(2);
+                        let (fork_side, true_side) = peers.split_at(split);
+                        let (fork_side, true_side) = (fork_side.to_vec(), true_side.to_vec());
+                        self.broadcast_now(id, from, fork_side, forked);
+                        self.broadcast_now(id, from, true_side, message);
+                        return;
+                    }
                 }
-                let departed = node.station.submit(from, cost);
-                let delay = self.cfg.network.delay(message.wire_size());
-                if let Some(obs) = &self.obs {
-                    obs.wire.sent(message.label(), message.wire_size(), peers.len());
-                }
-                for to in peers {
-                    self.queue.schedule_at(
-                        departed + delay,
-                        Ev::DeliverReplica(to, Arc::clone(&message)),
-                    );
-                }
+                // Only Byzantine senders pay the deep clone; the honest
+                // path keeps the zero-copy shared Arc.
+                let is_byz = self.faults.as_ref().is_some_and(|p| p.byz_mode(id).is_some());
+                let message = if is_byz {
+                    match self.byz_transform(id, (*message).clone()) {
+                        Some(m) => Arc::new(m),
+                        None => return,
+                    }
+                } else {
+                    message
+                };
+                self.broadcast_now(id, from, peers, message);
             }
             Action::SendClient(client, reply) => {
                 let node = self.nodes.get_mut(&id.0).expect("sender exists");
@@ -564,6 +752,60 @@ impl SimCluster {
 /// CPU time to serialize/install `bytes` of state at `mb_s` MB/s.
 fn snapshot_cost(mb_s: u64, bytes: usize) -> Micros {
     (bytes as u64).saturating_mul(1) / mb_s.max(1) // bytes / (MB/s) = µs
+}
+
+/// What a payload-corrupting Byzantine sender does to each message class.
+/// Tags are deliberately left stale — the point is that every receiver-side
+/// MAC/digest check must catch the tampering and count a rejection:
+///
+/// * requests / proposed batches → flipped payload, tag now invalid;
+/// * WRITE / ACCEPT / checkpoint digests → votes for a value nobody
+///   proposed (they pile up below quorum, harmlessly);
+/// * CST snapshots → bytes that no longer match the claimed digest.
+///
+/// View-change and CST-request messages pass through: they carry no
+/// payload whose corruption the receiver could distinguish from a
+/// legitimate (if useless) message.
+fn corrupt_message(plan: &mut FaultPlan, message: Message) -> Message {
+    match message {
+        Message::Request(mut request) => {
+            request.payload = Bytes::from(plan.corrupt_bytes(&request.payload));
+            Message::Request(request)
+        }
+        Message::Consensus { from, msg: ConsensusMsg::Propose { view, seq, batch } } => {
+            let mut requests = batch.requests().to_vec();
+            if let Some(first) = requests.first_mut() {
+                first.payload = Bytes::from(plan.corrupt_bytes(&first.payload));
+            }
+            Message::Consensus {
+                from,
+                msg: ConsensusMsg::Propose { view, seq, batch: Batch::new(requests) },
+            }
+        }
+        Message::Consensus { from, msg: ConsensusMsg::Write { view, seq, digest } } => {
+            Message::Consensus {
+                from,
+                msg: ConsensusMsg::Write { view, seq, digest: plan.corrupt_digest(digest) },
+            }
+        }
+        Message::Consensus { from, msg: ConsensusMsg::Accept { view, seq, digest } } => {
+            Message::Consensus {
+                from,
+                msg: ConsensusMsg::Accept { view, seq, digest: plan.corrupt_digest(digest) },
+            }
+        }
+        Message::Checkpoint { from, msg } => Message::Checkpoint {
+            from,
+            msg: CheckpointMsg { seq: msg.seq, digest: plan.corrupt_digest(msg.digest) },
+        },
+        Message::CstReply { from, mut reply } => {
+            if let Some(snapshot) = reply.snapshot.take() {
+                reply.snapshot = Some(Bytes::from(plan.corrupt_bytes(&snapshot)));
+            }
+            Message::CstReply { from, reply }
+        }
+        other => other,
+    }
 }
 
 #[cfg(test)]

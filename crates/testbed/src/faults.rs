@@ -1,0 +1,639 @@
+//! Deterministic fault injection ("nemesis") and invariant checking.
+//!
+//! A [`FaultPlan`] is installed into a [`SimCluster`](crate::SimCluster) and
+//! consulted on every replica→replica send: per-link drop / duplicate /
+//! delay / reorder probabilities, timed partitions with heal, crash/restart
+//! schedules, and Byzantine sender modes (mute, equivocating leader,
+//! payload corruption). Every decision is drawn from the plan's own seeded
+//! RNG, and the simulator processes events in a deterministic order, so a
+//! fault schedule replays byte-identically from its seed — a failing
+//! nemesis run is always reproducible.
+//!
+//! The [`InvariantChecker`] runs alongside the cluster and asserts the
+//! properties the paper's BFT layer exists to protect:
+//!
+//! * **agreement** — no two correct replicas commit different batches at
+//!   the same sequence number;
+//! * **validity** — every committed request carries a valid client (or
+//!   controller) authentication tag, i.e. corrupted payloads never reach
+//!   the service;
+//! * **monotone checkpoints** — a replica's stable checkpoint never moves
+//!   backwards;
+//! * **liveness after heal** — asserted by the nemesis harness from the
+//!   cluster's completion metrics once the fault window closes.
+//!
+//! Crash faults are modeled as power loss with retained state
+//! (pause/resume): a restarted replica keeps its log and rejoins, catching
+//! up through the ordinary future-buffer / state-transfer paths.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lazarus_bft::crypto::{Digest, Keyring, Principal};
+use lazarus_bft::messages::{Batch, Request};
+use lazarus_bft::replica::CONTROLLER_CLIENT;
+use lazarus_bft::types::{ReplicaId, SeqNo};
+
+use crate::cluster::SIM_SECRET;
+use crate::sim::Micros;
+
+/// Byzantine behaviour assigned to a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByzMode {
+    /// Drops every outbound protocol message (fail-silent).
+    Mute,
+    /// As leader, sends conflicting proposals to different halves of the
+    /// cluster (both halves receive authentic-but-different batches, so the
+    /// WRITE votes split and the slot stalls until a view change).
+    Equivocate,
+    /// Flips bytes in outbound payloads: request payloads, consensus
+    /// digests, proposed batches and snapshots arrive corrupted and must be
+    /// rejected (counted, never executed) by correct receivers.
+    CorruptPayload,
+}
+
+/// Per-link fault probabilities, applied to replica→replica messages while
+/// the plan's fault window is open.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkFaults {
+    /// Probability a message is silently dropped.
+    pub drop_p: f64,
+    /// Probability a message is delivered twice.
+    pub dup_p: f64,
+    /// Probability a message is delayed by up to `delay_jitter_us`.
+    pub delay_p: f64,
+    /// Maximum extra delay when a delay fires.
+    pub delay_jitter_us: Micros,
+    /// Probability a message is held back long enough to land behind later
+    /// traffic (modeled as an extra `reorder_delay_us` delay — in a
+    /// discrete-event network, reordering *is* a relative delay).
+    pub reorder_p: f64,
+    /// The hold-back applied when a reorder fires.
+    pub reorder_delay_us: Micros,
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults {
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            delay_jitter_us: 0,
+            reorder_p: 0.0,
+            reorder_delay_us: 0,
+        }
+    }
+}
+
+impl LinkFaults {
+    /// A moderately lossy link: 5% drops, 5% duplicates, 20% jittered
+    /// delays and 10% reorders.
+    pub fn lossy() -> LinkFaults {
+        LinkFaults {
+            drop_p: 0.05,
+            dup_p: 0.05,
+            delay_p: 0.2,
+            delay_jitter_us: 2_000,
+            reorder_p: 0.1,
+            reorder_delay_us: 1_000,
+        }
+    }
+
+    fn is_noop(&self) -> bool {
+        self.drop_p == 0.0 && self.dup_p == 0.0 && self.delay_p == 0.0 && self.reorder_p == 0.0
+    }
+}
+
+/// A timed network partition separating `side` from its complement.
+#[derive(Debug, Clone)]
+struct Partition {
+    side: Vec<ReplicaId>,
+    from: Micros,
+    until: Micros,
+}
+
+/// One entry of the crash/restart schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashEvent {
+    /// The replica that loses power.
+    pub replica: ReplicaId,
+    /// When it goes down.
+    pub at: Micros,
+    /// When it comes back (state retained), if ever.
+    pub restart_at: Option<Micros>,
+}
+
+/// Counters of injected faults, for reporting (these count *injections*,
+/// not protocol reactions — the protocol's side lives in `bft_*` metrics).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultStats {
+    /// Messages dropped by link faults.
+    pub dropped: u64,
+    /// Messages duplicated by link faults.
+    pub duplicated: u64,
+    /// Messages delayed by link faults.
+    pub delayed: u64,
+    /// Messages held back past later traffic.
+    pub reordered: u64,
+    /// Messages severed by an active partition.
+    pub partition_blocked: u64,
+    /// Protocol sends swallowed by a mute replica.
+    pub muted: u64,
+    /// Messages corrupted by a Byzantine sender.
+    pub corrupted: u64,
+    /// Conflicting proposals fabricated by an equivocating leader.
+    pub equivocations: u64,
+}
+
+/// A seeded, deterministic fault schedule for one simulation run.
+#[derive(Debug)]
+pub struct FaultPlan {
+    rng: StdRng,
+    default_link: LinkFaults,
+    links: HashMap<(u32, u32), LinkFaults>,
+    /// Link faults apply only while `window.0 <= now < window.1`.
+    window: (Micros, Micros),
+    partitions: Vec<Partition>,
+    crashes: Vec<CrashEvent>,
+    byz: HashMap<u32, ByzMode>,
+    /// Injection counters (read them after the run).
+    pub stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) drawing decisions from `seed`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            rng: StdRng::seed_from_u64(seed),
+            default_link: LinkFaults::default(),
+            links: HashMap::new(),
+            window: (0, Micros::MAX),
+            partitions: Vec::new(),
+            crashes: Vec::new(),
+            byz: HashMap::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Applies `faults` to every replica→replica link.
+    #[must_use]
+    pub fn lossy_links(mut self, faults: LinkFaults) -> FaultPlan {
+        self.default_link = faults;
+        self
+    }
+
+    /// Overrides the faults on the directed link `from → to`.
+    #[must_use]
+    pub fn link(mut self, from: ReplicaId, to: ReplicaId, faults: LinkFaults) -> FaultPlan {
+        self.links.insert((from.0, to.0), faults);
+        self
+    }
+
+    /// Restricts link faults to `[from, until)` — the "heal" comes for free
+    /// when the window closes.
+    #[must_use]
+    pub fn fault_window(mut self, from: Micros, until: Micros) -> FaultPlan {
+        self.window = (from, until);
+        self
+    }
+
+    /// Severs `side` from the rest of the cluster over `[from, until)`.
+    #[must_use]
+    pub fn partition(mut self, side: Vec<ReplicaId>, from: Micros, until: Micros) -> FaultPlan {
+        self.partitions.push(Partition { side, from, until });
+        self
+    }
+
+    /// Powers `replica` off at `at`, never to return.
+    #[must_use]
+    pub fn crash(mut self, replica: ReplicaId, at: Micros) -> FaultPlan {
+        self.crashes.push(CrashEvent { replica, at, restart_at: None });
+        self
+    }
+
+    /// Powers `replica` off at `at` and back on (state retained) at
+    /// `restart_at`.
+    #[must_use]
+    pub fn crash_restart(
+        mut self,
+        replica: ReplicaId,
+        at: Micros,
+        restart_at: Micros,
+    ) -> FaultPlan {
+        self.crashes.push(CrashEvent { replica, at, restart_at: Some(restart_at) });
+        self
+    }
+
+    /// Assigns a Byzantine mode to `replica` for the whole run.
+    #[must_use]
+    pub fn byzantine(mut self, replica: ReplicaId, mode: ByzMode) -> FaultPlan {
+        self.byz.insert(replica.0, mode);
+        self
+    }
+
+    /// The crash/restart schedule (consumed by the cluster at install time).
+    pub fn crash_schedule(&self) -> &[CrashEvent] {
+        &self.crashes
+    }
+
+    /// The Byzantine mode of `replica`, if any.
+    pub fn byz_mode(&self, replica: ReplicaId) -> Option<ByzMode> {
+        self.byz.get(&replica.0).copied()
+    }
+
+    /// Replicas with an assigned Byzantine mode.
+    pub fn byzantine_ids(&self) -> Vec<ReplicaId> {
+        let mut ids: Vec<u32> = self.byz.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().map(ReplicaId).collect()
+    }
+
+    /// Routes one replica→replica message at `now`: returns the extra delay
+    /// of each delivered copy (`[None, None]` = dropped; a second entry is a
+    /// duplicate). At most one RNG-consuming branch per configured knob, so
+    /// the decision stream is a pure function of the seed and the (already
+    /// deterministic) event order.
+    pub fn route(&mut self, now: Micros, from: ReplicaId, to: ReplicaId) -> [Option<Micros>; 2] {
+        for p in &self.partitions {
+            if now >= p.from && now < p.until && (p.side.contains(&from) != p.side.contains(&to)) {
+                self.stats.partition_blocked += 1;
+                return [None, None];
+            }
+        }
+        let link = *self.links.get(&(from.0, to.0)).unwrap_or(&self.default_link);
+        if link.is_noop() || now < self.window.0 || now >= self.window.1 {
+            return [Some(0), None];
+        }
+        if link.drop_p > 0.0 && self.rng.gen_bool(link.drop_p) {
+            self.stats.dropped += 1;
+            return [None, None];
+        }
+        let mut delay = 0;
+        if link.delay_p > 0.0 && self.rng.gen_bool(link.delay_p) {
+            delay += self.rng.gen_range(0..=link.delay_jitter_us.max(1));
+            self.stats.delayed += 1;
+        }
+        if link.reorder_p > 0.0 && self.rng.gen_bool(link.reorder_p) {
+            delay += link.reorder_delay_us;
+            self.stats.reordered += 1;
+        }
+        if link.dup_p > 0.0 && self.rng.gen_bool(link.dup_p) {
+            self.stats.duplicated += 1;
+            let echo = delay + self.rng.gen_range(1..=link.delay_jitter_us.max(1));
+            return [Some(delay), Some(echo)];
+        }
+        [Some(delay), None]
+    }
+
+    /// A conflicting batch for an equivocating leader: same authentic
+    /// requests, different composition, hence a different digest. (Both
+    /// variants would individually pass validity — the attack is the split,
+    /// not the content.)
+    pub fn equivocate_batch(&mut self, original: &Batch) -> Batch {
+        self.stats.equivocations += 1;
+        let mut requests: Vec<Request> = original.requests().to_vec();
+        if requests.len() >= 2 {
+            requests.pop();
+        } else if let Some(first) = requests.first().cloned() {
+            requests.push(first);
+        }
+        Batch::new(requests)
+    }
+
+    /// Flips one byte of `payload` (corruption that any MAC check catches).
+    pub fn corrupt_bytes(&mut self, payload: &[u8]) -> Vec<u8> {
+        self.stats.corrupted += 1;
+        let mut out = payload.to_vec();
+        if out.is_empty() {
+            out.push(0xFF);
+        } else {
+            let i = self.rng.gen_range(0..out.len());
+            out[i] ^= 0xA5;
+        }
+        out
+    }
+
+    /// Flips one byte of a digest (makes consensus votes point at a value
+    /// nobody proposed — correct receivers simply never reach quorum on it).
+    pub fn corrupt_digest(&mut self, digest: Digest) -> Digest {
+        self.stats.corrupted += 1;
+        let mut bytes = digest.0;
+        bytes[self.rng.gen_range(0..bytes.len())] ^= 0xA5;
+        Digest(bytes)
+    }
+}
+
+/// A detected invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two correct replicas committed different batches at one slot.
+    Agreement {
+        /// The conflicting slot.
+        seq: SeqNo,
+        /// First committer and its batch digest.
+        first: (ReplicaId, Digest),
+        /// Second committer and its conflicting digest.
+        second: (ReplicaId, Digest),
+    },
+    /// A committed request failed authentication (corruption executed).
+    Validity {
+        /// The committing replica.
+        replica: ReplicaId,
+        /// The slot whose batch carried the bad request.
+        seq: SeqNo,
+    },
+    /// A replica's stable checkpoint moved backwards.
+    CheckpointRegression {
+        /// The regressing replica.
+        replica: ReplicaId,
+        /// Previously observed stable slot.
+        from: SeqNo,
+        /// Newly observed (earlier) stable slot.
+        to: SeqNo,
+    },
+    /// No client operation completed after the fault window closed.
+    Liveness,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Agreement { seq, first, second } => write!(
+                f,
+                "agreement: seq {} committed as {} by replica {} but {} by replica {}",
+                seq.0, first.1, first.0 .0, second.1, second.0 .0
+            ),
+            Violation::Validity { replica, seq } => {
+                write!(
+                    f,
+                    "validity: replica {} committed an unauthenticated request at seq {}",
+                    replica.0, seq.0
+                )
+            }
+            Violation::CheckpointRegression { replica, from, to } => write!(
+                f,
+                "checkpoint regression: replica {} stable seq {} -> {}",
+                replica.0, from.0, to.0
+            ),
+            Violation::Liveness => write!(f, "liveness: no operation completed after heal"),
+        }
+    }
+}
+
+/// Online safety checker for a simulated cluster.
+///
+/// Byzantine replicas are excluded from agreement/validity accounting (a
+/// compromised node may locally "commit" anything; the invariants only
+/// constrain correct replicas).
+#[derive(Debug)]
+pub struct InvariantChecker {
+    keyring: Keyring,
+    byzantine: HashSet<u32>,
+    /// First committed digest per slot (and who committed it).
+    commits: BTreeMap<u64, (Digest, ReplicaId)>,
+    /// Highest stable-checkpoint slot seen per replica.
+    checkpoints: HashMap<u32, u64>,
+    violations: Vec<Violation>,
+    commits_checked: u64,
+}
+
+impl Default for InvariantChecker {
+    fn default() -> Self {
+        InvariantChecker::new()
+    }
+}
+
+impl InvariantChecker {
+    /// A checker verifying request tags under the testbed's deployment
+    /// secret.
+    pub fn new() -> InvariantChecker {
+        InvariantChecker {
+            keyring: Keyring::new(SIM_SECRET),
+            byzantine: HashSet::new(),
+            commits: BTreeMap::new(),
+            checkpoints: HashMap::new(),
+            violations: Vec::new(),
+            commits_checked: 0,
+        }
+    }
+
+    /// Excludes `replica` from agreement/validity accounting.
+    pub fn mark_byzantine(&mut self, replica: ReplicaId) {
+        self.byzantine.insert(replica.0);
+    }
+
+    /// Records that `replica` committed `batch` at `seq`, checking
+    /// agreement and validity.
+    pub fn record_commit(&mut self, replica: ReplicaId, seq: SeqNo, batch: &Batch) {
+        if self.byzantine.contains(&replica.0) {
+            return;
+        }
+        self.commits_checked += 1;
+        let digest = batch.digest();
+        match self.commits.get(&seq.0) {
+            Some(&(first_digest, first_replica)) => {
+                if first_digest != digest {
+                    self.violations.push(Violation::Agreement {
+                        seq,
+                        first: (first_replica, first_digest),
+                        second: (replica, digest),
+                    });
+                }
+            }
+            None => {
+                self.commits.insert(seq.0, (digest, replica));
+            }
+        }
+        for request in batch.requests() {
+            let principal = if request.client == CONTROLLER_CLIENT {
+                Principal::Controller
+            } else {
+                Principal::Client(request.client.0)
+            };
+            let bytes = Request::auth_bytes(request.client, request.op, &request.payload);
+            if !self.keyring.verify(principal, &bytes, &request.tag) {
+                self.violations.push(Violation::Validity { replica, seq });
+                break;
+            }
+        }
+    }
+
+    /// Records `replica`'s current stable-checkpoint slot, checking
+    /// monotonicity.
+    pub fn record_checkpoint(&mut self, replica: ReplicaId, stable: SeqNo) {
+        let entry = self.checkpoints.entry(replica.0).or_insert(0);
+        if stable.0 < *entry {
+            self.violations.push(Violation::CheckpointRegression {
+                replica,
+                from: SeqNo(*entry),
+                to: stable,
+            });
+        } else {
+            *entry = stable.0;
+        }
+    }
+
+    /// Asserts liveness after the fault window: zero completions become a
+    /// [`Violation::Liveness`].
+    pub fn assert_liveness(&mut self, completed_after_heal: usize) {
+        if completed_after_heal == 0 {
+            self.violations.push(Violation::Liveness);
+        }
+    }
+
+    /// True when no invariant has been violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations detected so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Commits that went through agreement/validity checking.
+    pub fn commits_checked(&self) -> u64 {
+        self.commits_checked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use lazarus_bft::types::ClientId;
+
+    fn signed_request(op: u64, payload: &[u8]) -> Request {
+        let keyring = Keyring::new(SIM_SECRET);
+        let client = ClientId(7);
+        let payload = Bytes::copy_from_slice(payload);
+        let tag =
+            keyring.sign(Principal::Client(client.0), &Request::auth_bytes(client, op, &payload));
+        Request { client, op, payload, tag }
+    }
+
+    #[test]
+    fn route_is_deterministic_per_seed() {
+        let decide = |seed: u64| {
+            let mut plan =
+                FaultPlan::new(seed).lossy_links(LinkFaults::lossy()).fault_window(0, 1_000_000);
+            (0..200).map(|i| plan.route(i * 100, ReplicaId(0), ReplicaId(1))).collect::<Vec<_>>()
+        };
+        assert_eq!(decide(42), decide(42), "same seed, same schedule");
+        assert_ne!(decide(42), decide(43), "different seeds diverge");
+    }
+
+    #[test]
+    fn window_gates_link_faults() {
+        let mut plan = FaultPlan::new(1)
+            .lossy_links(LinkFaults { drop_p: 1.0, ..LinkFaults::default() })
+            .fault_window(100, 200);
+        assert_eq!(plan.route(50, ReplicaId(0), ReplicaId(1)), [Some(0), None]);
+        assert_eq!(plan.route(150, ReplicaId(0), ReplicaId(1)), [None, None]);
+        assert_eq!(plan.route(250, ReplicaId(0), ReplicaId(1)), [Some(0), None]);
+        assert_eq!(plan.stats.dropped, 1);
+    }
+
+    #[test]
+    fn partition_severs_only_across_the_cut() {
+        let mut plan = FaultPlan::new(1).partition(vec![ReplicaId(0), ReplicaId(1)], 100, 200);
+        // across the cut, inside the window: blocked
+        assert_eq!(plan.route(150, ReplicaId(0), ReplicaId(2)), [None, None]);
+        assert_eq!(plan.route(150, ReplicaId(3), ReplicaId(1)), [None, None]);
+        // same side: fine
+        assert_eq!(plan.route(150, ReplicaId(0), ReplicaId(1)), [Some(0), None]);
+        assert_eq!(plan.route(150, ReplicaId(2), ReplicaId(3)), [Some(0), None]);
+        // healed
+        assert_eq!(plan.route(250, ReplicaId(0), ReplicaId(2)), [Some(0), None]);
+        assert_eq!(plan.stats.partition_blocked, 2);
+    }
+
+    #[test]
+    fn duplicates_carry_a_later_echo() {
+        let mut plan = FaultPlan::new(9).lossy_links(LinkFaults {
+            dup_p: 1.0,
+            delay_jitter_us: 50,
+            ..LinkFaults::default()
+        });
+        let [first, echo] = plan.route(0, ReplicaId(0), ReplicaId(1));
+        let (first, echo) = (first.expect("delivered"), echo.expect("duplicated"));
+        assert!(echo > first, "echo {echo} must land after the original {first}");
+        assert_eq!(plan.stats.duplicated, 1);
+    }
+
+    #[test]
+    fn equivocated_batch_differs_but_stays_authentic() {
+        let mut plan = FaultPlan::new(3);
+        let original = Batch::new(vec![signed_request(1, b"a"), signed_request(2, b"b")]);
+        let forked = plan.equivocate_batch(&original);
+        assert_ne!(original.digest(), forked.digest());
+        let single = Batch::new(vec![signed_request(1, b"a")]);
+        assert_ne!(single.digest(), plan.equivocate_batch(&single).digest());
+        assert_eq!(plan.stats.equivocations, 2);
+    }
+
+    #[test]
+    fn corruption_changes_bytes_and_digests() {
+        let mut plan = FaultPlan::new(5);
+        assert_ne!(plan.corrupt_bytes(b"payload"), b"payload".to_vec());
+        let d = Digest::of(b"x");
+        assert_ne!(plan.corrupt_digest(d), d);
+        assert_eq!(plan.stats.corrupted, 2);
+    }
+
+    #[test]
+    fn checker_flags_agreement_and_validity() {
+        let mut checker = InvariantChecker::new();
+        let a = Batch::new(vec![signed_request(1, b"a")]);
+        let b = Batch::new(vec![signed_request(2, b"b")]);
+        checker.record_commit(ReplicaId(0), SeqNo(1), &a);
+        checker.record_commit(ReplicaId(1), SeqNo(1), &a);
+        assert!(checker.ok());
+        checker.record_commit(ReplicaId(2), SeqNo(1), &b);
+        assert!(matches!(checker.violations()[0], Violation::Agreement { seq: SeqNo(1), .. }));
+
+        let mut checker = InvariantChecker::new();
+        let mut forged = signed_request(3, b"c");
+        forged.payload = Bytes::from_static(b"tampered");
+        checker.record_commit(ReplicaId(0), SeqNo(1), &Batch::new(vec![forged]));
+        assert!(matches!(checker.violations()[0], Violation::Validity { .. }));
+        assert_eq!(checker.commits_checked(), 1);
+    }
+
+    #[test]
+    fn checker_ignores_byzantine_replicas() {
+        let mut checker = InvariantChecker::new();
+        checker.mark_byzantine(ReplicaId(0));
+        let a = Batch::new(vec![signed_request(1, b"a")]);
+        let b = Batch::new(vec![signed_request(2, b"b")]);
+        checker.record_commit(ReplicaId(1), SeqNo(1), &a);
+        checker.record_commit(ReplicaId(0), SeqNo(1), &b); // byz divergence: ignored
+        assert!(checker.ok());
+        assert_eq!(checker.commits_checked(), 1);
+    }
+
+    #[test]
+    fn checkpoints_must_be_monotone() {
+        let mut checker = InvariantChecker::new();
+        checker.record_checkpoint(ReplicaId(0), SeqNo(10));
+        checker.record_checkpoint(ReplicaId(0), SeqNo(10));
+        checker.record_checkpoint(ReplicaId(0), SeqNo(20));
+        assert!(checker.ok());
+        checker.record_checkpoint(ReplicaId(0), SeqNo(5));
+        assert!(matches!(
+            checker.violations()[0],
+            Violation::CheckpointRegression { from: SeqNo(20), to: SeqNo(5), .. }
+        ));
+    }
+
+    #[test]
+    fn liveness_assertion() {
+        let mut checker = InvariantChecker::new();
+        checker.assert_liveness(12);
+        assert!(checker.ok());
+        checker.assert_liveness(0);
+        assert_eq!(checker.violations(), &[Violation::Liveness]);
+    }
+}

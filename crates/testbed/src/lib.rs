@@ -9,7 +9,10 @@
 //!   control (the LTU surface);
 //! * [`vmm`] — the virtualization substrate: hosts, VM images, the
 //!   Vagrant-like replica builder and the Local Trusted Units;
-//! * [`metrics`] — throughput/latency recording.
+//! * [`metrics`] — throughput/latency recording;
+//! * [`faults`] — deterministic fault injection ([`faults::FaultPlan`]) and
+//!   online safety checking ([`faults::InvariantChecker`]);
+//! * [`nemesis`] — the scenario harness sweeping fault plans × seeds.
 //!
 //! # Example: a 4-replica microbenchmark
 //!
@@ -35,11 +38,15 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod faults;
 pub mod metrics;
+pub mod nemesis;
 pub mod oscatalog;
 pub mod sim;
 pub mod vmm;
 
 pub use cluster::{SimCluster, SimConfig};
+pub use faults::{ByzMode, FaultPlan, InvariantChecker, LinkFaults, Violation};
 pub use metrics::{LatencySummary, Metrics};
+pub use nemesis::{NemesisReport, RunVerdict};
 pub use oscatalog::PerfProfile;

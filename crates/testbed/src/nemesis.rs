@@ -1,0 +1,291 @@
+//! The nemesis harness: named fault scenarios swept across seeds, with a
+//! machine-readable verdict matrix.
+//!
+//! Each scenario builds a [`FaultPlan`] parameterized by a seed, runs a
+//! 4-replica cluster under it with an [`InvariantChecker`] attached, and
+//! reduces the outcome to a [`RunVerdict`]: were the safety invariants
+//! (agreement, validity, monotone checkpoints) preserved, and did the
+//! cluster resume committing client operations after the fault window
+//! closed? [`run_matrix`] aggregates verdicts and folds counters into a
+//! [`Registry`] so the sweep is visible through the same metrics pipeline
+//! as every other binary. The whole harness is a pure function of its
+//! seeds: rerunning a sweep yields byte-identical JSON and Prometheus
+//! snapshots, so a failing `(scenario, seed)` pair is a complete bug
+//! report.
+
+use bytes::Bytes;
+
+use lazarus_bft::service::CounterService;
+use lazarus_bft::types::{Epoch, Membership, ReplicaId};
+use lazarus_obs::Registry;
+use lazarus_osint::json::Value;
+
+use crate::cluster::{SimCluster, SimConfig};
+use crate::faults::{ByzMode, FaultPlan, FaultStats, InvariantChecker, LinkFaults};
+use crate::oscatalog::PerfProfile;
+use crate::sim::{Micros, MS, SEC};
+
+/// Every named fault scenario, in sweep order.
+pub const SCENARIOS: &[&str] =
+    &["lossy", "partition", "leader-crash", "equivocate", "corrupt", "mute"];
+
+/// Virtual horizon of one nemesis run.
+pub const HORIZON: Micros = 3 * SEC;
+/// Link faults / partitions / crashes begin here…
+pub const FAULT_FROM: Micros = 300 * MS;
+/// …and heal here (Byzantine modes persist — f = 1 must be tolerated
+/// without any heal).
+pub const FAULT_UNTIL: Micros = 1500 * MS;
+/// Liveness is judged on completions inside `[LIVENESS_FROM, HORIZON)`.
+pub const LIVENESS_FROM: Micros = 2 * SEC;
+
+/// The fault plan of a named scenario. Panics on an unknown name (the
+/// harness owns the vocabulary; see [`SCENARIOS`]).
+pub fn fault_plan(scenario: &str, seed: u64) -> FaultPlan {
+    let plan = FaultPlan::new(seed);
+    match scenario {
+        // A lossy, jittery, duplicating network between all replicas.
+        "lossy" => plan.lossy_links(LinkFaults::lossy()).fault_window(FAULT_FROM, FAULT_UNTIL),
+        // Split 2|2: no side holds a quorum, so the cluster stalls
+        // entirely until the heal.
+        "partition" => plan.partition(vec![ReplicaId(0), ReplicaId(1)], FAULT_FROM, FAULT_UNTIL),
+        // The initial leader loses power mid-run and returns after the
+        // window; the survivors must elect leader 1 and keep committing.
+        "leader-crash" => plan.crash_restart(ReplicaId(0), FAULT_FROM, FAULT_UNTIL),
+        // The initial leader proposes conflicting batches to the two
+        // halves of the cluster for the whole run.
+        "equivocate" => plan.byzantine(ReplicaId(0), ByzMode::Equivocate),
+        // The initial leader corrupts every payload it sends.
+        "corrupt" => plan.byzantine(ReplicaId(0), ByzMode::CorruptPayload),
+        // The initial leader sends nothing at all.
+        "mute" => plan.byzantine(ReplicaId(0), ByzMode::Mute),
+        other => panic!("unknown nemesis scenario {other:?}"),
+    }
+}
+
+/// The outcome of one `(scenario, seed)` run.
+#[derive(Debug, Clone)]
+pub struct RunVerdict {
+    /// Scenario name.
+    pub scenario: String,
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// No agreement / validity / checkpoint violation.
+    pub safety_ok: bool,
+    /// Client operations completed after the fault window closed.
+    pub liveness_ok: bool,
+    /// Rendered violations (empty when the run passed).
+    pub violations: Vec<String>,
+    /// Client operations completed over the whole run.
+    pub completed_total: usize,
+    /// Client operations completed in the post-heal window.
+    pub completed_after_heal: usize,
+    /// Commits that went through agreement/validity checking.
+    pub commits_checked: u64,
+    /// Injection counters of the run's fault plan.
+    pub stats: FaultStats,
+}
+
+impl RunVerdict {
+    /// Safety and liveness both held.
+    pub fn passed(&self) -> bool {
+        self.safety_ok && self.liveness_ok
+    }
+}
+
+/// Runs one scenario under one seed and returns its verdict.
+pub fn run_scenario(scenario: &str, seed: u64) -> RunVerdict {
+    let membership = Membership::new(Epoch(0), (0..4).map(ReplicaId).collect());
+    let mut sim = SimCluster::new(SimConfig::default());
+    for r in 0..4 {
+        sim.add_node(
+            ReplicaId(r),
+            PerfProfile::bare_metal(),
+            membership.clone(),
+            Box::new(CounterService::new()),
+        );
+    }
+    sim.install_checker(InvariantChecker::new());
+    sim.install_faults(fault_plan(scenario, seed));
+    sim.add_clients(1, 8, membership, |_| Bytes::new());
+    sim.run_until(HORIZON);
+
+    let completed_total = sim.metrics.completed();
+    let window_s = (HORIZON - LIVENESS_FROM) as f64 / SEC as f64;
+    let completed_after_heal =
+        (sim.metrics.throughput(LIVENESS_FROM, HORIZON) * window_s).round() as usize;
+    let checker = sim.checker_mut().expect("installed above");
+    let safety_ok = checker.ok();
+    checker.assert_liveness(completed_after_heal);
+    let violations: Vec<String> = checker.violations().iter().map(|v| v.to_string()).collect();
+    let liveness_ok = completed_after_heal > 0;
+    let commits_checked = checker.commits_checked();
+    RunVerdict {
+        scenario: scenario.to_string(),
+        seed,
+        safety_ok,
+        liveness_ok,
+        violations,
+        completed_total,
+        completed_after_heal,
+        commits_checked,
+        stats: sim.fault_stats().expect("installed above"),
+    }
+}
+
+/// A full sweep: every verdict plus the aggregated metrics registry.
+#[derive(Debug)]
+pub struct NemesisReport {
+    /// One verdict per `(scenario, seed)`, scenario-major order.
+    pub verdicts: Vec<RunVerdict>,
+    /// Aggregated sweep metrics (runs, passes, fault injections,
+    /// violations) for `<bin>_metrics.json` / Prometheus export.
+    pub registry: Registry,
+}
+
+impl NemesisReport {
+    /// True when every run passed.
+    pub fn passed(&self) -> bool {
+        self.verdicts.iter().all(RunVerdict::passed)
+    }
+
+    /// Verdicts that failed safety or liveness.
+    pub fn failures(&self) -> Vec<&RunVerdict> {
+        self.verdicts.iter().filter(|v| !v.passed()).collect()
+    }
+
+    /// The deterministic `nemesis_results.json` document.
+    pub fn to_json(&self) -> Value {
+        let runs: Vec<Value> = self
+            .verdicts
+            .iter()
+            .map(|v| {
+                Value::Object(vec![
+                    ("scenario".into(), Value::String(v.scenario.clone())),
+                    ("seed".into(), Value::Number(v.seed as f64)),
+                    ("passed".into(), Value::Bool(v.passed())),
+                    ("safety_ok".into(), Value::Bool(v.safety_ok)),
+                    ("liveness_ok".into(), Value::Bool(v.liveness_ok)),
+                    (
+                        "violations".into(),
+                        Value::Array(v.violations.iter().cloned().map(Value::String).collect()),
+                    ),
+                    ("completed_total".into(), Value::Number(v.completed_total as f64)),
+                    ("completed_after_heal".into(), Value::Number(v.completed_after_heal as f64)),
+                    ("commits_checked".into(), Value::Number(v.commits_checked as f64)),
+                    (
+                        "faults".into(),
+                        Value::Object(vec![
+                            ("dropped".into(), Value::Number(v.stats.dropped as f64)),
+                            ("duplicated".into(), Value::Number(v.stats.duplicated as f64)),
+                            ("delayed".into(), Value::Number(v.stats.delayed as f64)),
+                            ("reordered".into(), Value::Number(v.stats.reordered as f64)),
+                            (
+                                "partition_blocked".into(),
+                                Value::Number(v.stats.partition_blocked as f64),
+                            ),
+                            ("muted".into(), Value::Number(v.stats.muted as f64)),
+                            ("corrupted".into(), Value::Number(v.stats.corrupted as f64)),
+                            ("equivocations".into(), Value::Number(v.stats.equivocations as f64)),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("horizon_us".into(), Value::Number(HORIZON as f64)),
+            ("fault_window_us".into(), {
+                Value::Array(vec![
+                    Value::Number(FAULT_FROM as f64),
+                    Value::Number(FAULT_UNTIL as f64),
+                ])
+            }),
+            ("runs".into(), Value::Array(runs)),
+            ("all_passed".into(), Value::Bool(self.passed())),
+        ])
+    }
+
+    /// The aggregated Prometheus snapshot.
+    pub fn prometheus(&self) -> String {
+        self.registry.snapshot().to_prometheus()
+    }
+}
+
+/// Sweeps `scenarios × seeds` (scenario-major) and aggregates the verdict
+/// matrix.
+pub fn run_matrix(scenarios: &[&str], seeds: &[u64]) -> NemesisReport {
+    let registry = Registry::new();
+    let mut verdicts = Vec::with_capacity(scenarios.len() * seeds.len());
+    for scenario in scenarios {
+        for &seed in seeds {
+            let verdict = run_scenario(scenario, seed);
+            registry.counter("nemesis_runs_total").inc();
+            registry.counter_with("nemesis_runs", &[("scenario", scenario)]).inc();
+            if verdict.passed() {
+                registry.counter("nemesis_passed_total").inc();
+                registry.counter_with("nemesis_passed", &[("scenario", scenario)]).inc();
+            }
+            for violation in &verdict.violations {
+                let kind = violation.split(':').next().unwrap_or("unknown").to_string();
+                registry
+                    .counter_with("nemesis_invariant_violations_total", &[("kind", &kind)])
+                    .inc();
+            }
+            registry.counter("nemesis_commits_checked_total").add(verdict.commits_checked);
+            registry.counter("nemesis_completed_ops_total").add(verdict.completed_total as u64);
+            let s = verdict.stats;
+            registry.counter("nemesis_faults_dropped_total").add(s.dropped);
+            registry.counter("nemesis_faults_duplicated_total").add(s.duplicated);
+            registry.counter("nemesis_faults_delayed_total").add(s.delayed);
+            registry.counter("nemesis_faults_reordered_total").add(s.reordered);
+            registry.counter("nemesis_faults_partition_blocked_total").add(s.partition_blocked);
+            registry.counter("nemesis_faults_muted_total").add(s.muted);
+            registry.counter("nemesis_faults_corrupted_total").add(s.corrupted);
+            registry.counter("nemesis_faults_equivocations_total").add(s.equivocations);
+            verdicts.push(verdict);
+        }
+    }
+    NemesisReport { verdicts, registry }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossy_network_heals_and_commits() {
+        let verdict = run_scenario("lossy", 7);
+        assert!(verdict.safety_ok, "violations: {:?}", verdict.violations);
+        assert!(verdict.liveness_ok, "no post-heal commits: {verdict:?}");
+        assert!(verdict.stats.dropped > 0, "the lossy plan never fired: {verdict:?}");
+    }
+
+    #[test]
+    fn partition_stalls_then_recovers() {
+        let verdict = run_scenario("partition", 3);
+        assert!(verdict.passed(), "{verdict:?}");
+        assert!(verdict.stats.partition_blocked > 0, "{verdict:?}");
+    }
+
+    #[test]
+    fn leader_crash_elects_and_recovers() {
+        let verdict = run_scenario("leader-crash", 5);
+        assert!(verdict.passed(), "{verdict:?}");
+    }
+
+    #[test]
+    fn byzantine_leader_is_survived() {
+        for scenario in ["equivocate", "corrupt", "mute"] {
+            let verdict = run_scenario(scenario, 11);
+            assert!(verdict.passed(), "{scenario}: {verdict:?}");
+        }
+    }
+
+    #[test]
+    fn matrix_is_deterministic() {
+        let a = run_matrix(&["lossy", "partition"], &[1, 2]);
+        let b = run_matrix(&["lossy", "partition"], &[1, 2]);
+        assert_eq!(a.to_json().to_json(), b.to_json().to_json());
+        assert_eq!(a.prometheus(), b.prometheus());
+    }
+}
