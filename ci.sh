@@ -61,4 +61,25 @@ echo "==> nemesis smoke: every fault scenario, 2 seeds, zero violations"
 LAZARUS_METRICS_DIR="$metrics_dir" target/release/nemesis 2 > /dev/null
 echo "    nemesis sweep green"
 
+echo "==> causal tracing: streams validate, DAG complete, identical across thread counts"
+trace1="$metrics_dir/trace1"
+for t in 1 4 8; do
+    LAZARUS_THREADS=$t LAZARUS_TRACE_DIR="$metrics_dir/trace$t" \
+        LAZARUS_METRICS_DIR="$metrics_dir" \
+        target/release/nemesis 1 partition > /dev/null
+done
+# Validates every JSONL line against the schema (exit 2) and the causal
+# DAG for orphan events (exit 1).
+target/release/trace_analyze "$trace1" > /dev/null
+for t in 4 8; do
+    for f in replica_0.jsonl replica_1.jsonl replica_2.jsonl replica_3.jsonl \
+             trace_summary.json trace_chrome.json; do
+        if ! cmp -s "$trace1/$f" "$metrics_dir/trace$t/$f"; then
+            echo "FAIL: $f differs between 1 and $t threads" >&2
+            exit 1
+        fi
+    done
+done
+echo "    flight streams schema-clean, orphan-free, thread-count invariant"
+
 echo "CI green."

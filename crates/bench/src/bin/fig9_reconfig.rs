@@ -12,6 +12,12 @@
 //! joining replica.
 //!
 //! Usage: `fig9_reconfig [state_mb]` (default 500).
+//!
+//! With `LAZARUS_TRACE_DIR=<dir>` set, each panel records causal flight
+//! streams and dumps `replica_<id>.jsonl` + analyzer outputs into
+//! `<dir>/panel_<tag>/`. The rings are bounded, so a long run keeps the
+//! *last* `FlightRecorder::DEFAULT_CAPACITY` events per replica — the
+//! interesting tail covering the reconfiguration and state transfer.
 
 use bytes::Bytes;
 use lazarus_apps::kvs::KvsService;
@@ -44,6 +50,10 @@ fn run_panel(panel: &Panel, state_mb: usize, registry: &Registry) {
     // checkpoints — two dips inside the window, as in the paper.
     let cfg = SimConfig { checkpoint_period: 25_000, ..SimConfig::default() };
     let mut sim = SimCluster::new_observed(cfg);
+    let trace_dir = std::env::var("LAZARUS_TRACE_DIR").ok();
+    if trace_dir.is_some() {
+        sim.enable_flight(lazarus_obs::causal::FlightRecorder::DEFAULT_CAPACITY);
+    }
     let ballast = state_mb * 1_000_000;
     for (r, p) in panel.profiles.iter().enumerate() {
         sim.add_node(
@@ -114,6 +124,19 @@ fn run_panel(panel: &Panel, state_mb: usize, registry: &Registry) {
         if let Some(p99) = commit.quantile(0.99) {
             registry.gauge_with("fig9_commit_latency_p99_us", &labels).set(p99 as f64);
         }
+    }
+
+    if let Some(dir) = trace_dir {
+        let dir = std::path::PathBuf::from(dir).join(format!("panel_{}", panel.tag));
+        let streams = sim.flight_streams();
+        let analysis = lazarus_bench::flight::dump_traced(&dir, &streams).expect("write trace dir");
+        println!(
+            "trace: {} events, {} committed slots in window, {} orphans → {}",
+            analysis.events.len(),
+            analysis.committed_slots().count(),
+            analysis.orphans.len(),
+            dir.display()
+        );
     }
 }
 

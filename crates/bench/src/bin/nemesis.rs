@@ -9,9 +9,16 @@
 //!
 //! Usage: `nemesis [n_seeds] [scenario]` (defaults: 8 seeds, all of
 //! [`lazarus_testbed::nemesis::SCENARIOS`]).
+//!
+//! With `LAZARUS_TRACE_DIR=<dir>` set, additionally re-runs the first
+//! scenario under seed 1 with causal flight recording enabled and dumps
+//! per-replica `replica_<id>.jsonl` streams plus the analyzer outputs
+//! (`trace_summary.json`, `trace_chrome.json`) into `<dir>` — ready for
+//! `trace_analyze` or Perfetto. The dump is deterministic: same scenario
+//! and seed → byte-identical files at any `LAZARUS_THREADS`.
 
 use lazarus_bench::{metrics_path, write_bench_json, write_metrics_json};
-use lazarus_testbed::nemesis::{run_matrix, SCENARIOS};
+use lazarus_testbed::nemesis::{run_matrix, run_scenario_traced, SCENARIOS};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -52,6 +59,21 @@ fn main() {
         .expect("write nemesis_results.json");
     let metrics = write_metrics_json("nemesis", &report.registry).expect("write metrics");
     println!("\nresults: {} | metrics: {}", results_path.display(), metrics.display());
+
+    if let Ok(trace_dir) = std::env::var("LAZARUS_TRACE_DIR") {
+        let scenario = scenarios[0];
+        let traced = run_scenario_traced(scenario, 1);
+        let dir = std::path::PathBuf::from(trace_dir);
+        let analysis =
+            lazarus_bench::flight::dump_traced(&dir, &traced.streams).expect("write trace dir");
+        println!(
+            "trace ({scenario}, seed 1): {} events, {} committed slots, {} orphans → {}",
+            analysis.events.len(),
+            analysis.committed_slots().count(),
+            analysis.orphans.len(),
+            dir.display()
+        );
+    }
 
     if !report.passed() {
         eprintln!("\nFAILURES:");

@@ -1,0 +1,116 @@
+//! Offline causal-trace analyzer: merges the per-replica flight streams a
+//! traced run dumps (`LAZARUS_TRACE_DIR` on `nemesis` / `fig9_reconfig`)
+//! into one global DAG and renders per-slot commit timelines, critical
+//! paths, anomaly counts, and a Perfetto-loadable Chrome trace.
+//!
+//! Usage: `trace_analyze <dir> [--slot N]`
+//!
+//! Reads every `replica_*.jsonl` under `<dir>`, validating each line
+//! against the flight-event schema (exit 2 on the first violation). Writes
+//! `<dir>/trace_summary.json` and `<dir>/trace_chrome.json`, prints a
+//! per-slot phase table, and — with `--slot N` — the full critical path of
+//! slot N. Exits 1 when the DAG has orphan events (a parent span missing
+//! from every stream: ring eviction or a truncated capture).
+//!
+//! Output is a pure function of the input streams: rerunning over the same
+//! directory yields byte-identical JSON.
+
+use std::path::PathBuf;
+
+use lazarus_bench::flight::{load_dir, merge, Analysis};
+use lazarus_bench::print_table;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(dir) = args.next().map(PathBuf::from) else {
+        eprintln!("usage: trace_analyze <dir> [--slot N]");
+        std::process::exit(2);
+    };
+    let slot_filter: Option<u64> = match (args.next().as_deref(), args.next()) {
+        (Some("--slot"), Some(n)) => match n.parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("--slot expects a slot number, got {n:?}");
+                std::process::exit(2);
+            }
+        },
+        (Some(other), _) => {
+            eprintln!("unknown argument {other:?}; usage: trace_analyze <dir> [--slot N]");
+            std::process::exit(2);
+        }
+        (None, _) => None,
+    };
+
+    let streams = match load_dir(&dir) {
+        Ok(streams) => streams,
+        Err(err) => {
+            eprintln!("trace_analyze: {err}");
+            std::process::exit(2);
+        }
+    };
+    let names: Vec<String> = streams.iter().map(|(name, _)| name.clone()).collect();
+    let analysis = Analysis::build(merge(streams.into_iter().map(|(_, evs)| evs).collect()));
+
+    println!(
+        "=== trace_analyze — {} events from {} stream(s): {} ===",
+        analysis.events.len(),
+        names.len(),
+        names.join(", ")
+    );
+
+    let rows: Vec<(String, String)> = analysis
+        .committed_slots()
+        .map(|(seq, slot)| {
+            let phases = slot
+                .phases()
+                .iter()
+                .map(|(name, dur)| {
+                    let short = name.trim_end_matches("_us");
+                    match dur {
+                        Some(d) => format!("{short}={d}us"),
+                        None => format!("{short}=?"),
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            let path_len = analysis.critical_path(*seq).len();
+            (format!("slot {seq}"), format!("{phases} | path {path_len} hops"))
+        })
+        .collect();
+    print_table("per-slot phase breakdown (committed slots)", ("slot", "phases"), &rows);
+
+    let a = &analysis.anomalies;
+    println!(
+        "\nanomalies: view_changes={} help_revotes={} cst_fetches={} drops={} delays={} dups={} storms={}",
+        a.view_changes, a.help_revotes, a.cst_fetches, a.drops, a.delays, a.dups, a.storms.len()
+    );
+
+    if let Some(seq) = slot_filter {
+        let path = analysis.critical_path(seq);
+        if path.is_empty() {
+            println!("\nslot {seq}: no commit recorded — no critical path");
+        } else {
+            println!("\ncritical path of slot {seq} (root → commit):");
+            for ev in path {
+                println!("  {}", ev.to_jsonl());
+            }
+        }
+    }
+
+    let summary_path = dir.join("trace_summary.json");
+    let chrome_path = dir.join("trace_chrome.json");
+    std::fs::write(&summary_path, analysis.summary_json().to_json())
+        .expect("write trace_summary.json");
+    std::fs::write(&chrome_path, analysis.chrome_trace().to_json())
+        .expect("write trace_chrome.json");
+    println!("\nsummary: {} | chrome trace: {}", summary_path.display(), chrome_path.display());
+
+    if !analysis.orphans.is_empty() {
+        eprintln!(
+            "\nORPHANS: {} event(s) reference a span missing from every stream, e.g. {}",
+            analysis.orphans.len(),
+            analysis.orphans[0].to_jsonl()
+        );
+        std::process::exit(1);
+    }
+}

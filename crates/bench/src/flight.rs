@@ -1,0 +1,620 @@
+//! Offline analyzer for causal flight streams.
+//!
+//! Consumes the per-replica JSONL streams a traced run dumps (one
+//! `replica_<id>.jsonl` per node, schema fixed by
+//! [`FlightEvent::to_jsonl`]), merges them into one global causal DAG, and
+//! derives what a single node's log cannot show: per-slot commit timelines
+//! with phase breakdowns (propose → write → accept → commit → exec), the
+//! critical path of each slot, and anomaly flags (view changes, help
+//! re-votes, CST fetches, message storms). Renders a deterministic summary
+//! ([`Analysis::summary_json`]) and a Chrome trace-event file
+//! ([`Analysis::chrome_trace`]) loadable in Perfetto / `chrome://tracing`.
+//!
+//! Everything here is a pure function of the input streams: maps are
+//! B-trees, merge order is total (`(at_us, node, span_id)`), and floats
+//! only ever hold exact integers (< 2⁵³ by the ID scheme), so two runs
+//! over byte-identical streams render byte-identical output.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::path::Path;
+
+use lazarus_bft::obs::MESSAGE_KINDS;
+use lazarus_obs::causal::{slot_trace_id, EventKind, FlightEvent, NO_SPAN};
+use lazarus_osint::json::{parse, Value};
+
+/// A node records more than this many `send` events inside one
+/// [`STORM_WINDOW_US`] bucket → flagged as a message storm (retransmission
+/// or view-change amplification gone wrong).
+pub const STORM_THRESHOLD: usize = 2000;
+/// Bucket width for storm detection (µs).
+pub const STORM_WINDOW_US: u64 = 100_000;
+
+/// A schema violation in a JSONL stream: file, 1-based line, and what was
+/// wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// Offending file (or stream label).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What the validator rejected.
+    pub what: String,
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.what)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Interns a `kind` string to the `&'static str` vocabulary the recorder
+/// uses: a message label or `"-"` for protocol events.
+fn intern_kind(kind: &str) -> Option<&'static str> {
+    if kind == "-" {
+        return Some("-");
+    }
+    MESSAGE_KINDS.iter().copied().find(|k| *k == kind)
+}
+
+fn field_u64(obj: &Value, key: &str) -> Result<u64, String> {
+    let v = obj.get(key).ok_or_else(|| format!("missing key {key:?}"))?;
+    match v {
+        Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n < 9.007_199_254_740_992e15 => {
+            Ok(*n as u64)
+        }
+        other => Err(format!("key {key:?} is not a u64: {}", other.to_json())),
+    }
+}
+
+fn field_opt_u64(obj: &Value, key: &str) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None => Err(format!("missing key {key:?}")),
+        Some(Value::Null) => Ok(None),
+        Some(_) => field_u64(obj, key).map(Some),
+    }
+}
+
+/// Parses and validates one JSONL line against the flight-event schema:
+/// well-formed JSON, every field present with the right type, `event` in
+/// the closed [`EventKind`] vocabulary, `kind` a known message label (or
+/// `"-"`), and IDs inside the f64-exact range.
+pub fn parse_line(line: &str) -> Result<FlightEvent, String> {
+    let doc = parse(line).map_err(|e| format!("not JSON: {e}"))?;
+    let event_name = doc.get("event").ok_or("missing key \"event\"")?;
+    let event_name = event_name.as_str("event").map_err(|e| e.to_string())?;
+    let event =
+        EventKind::parse(event_name).ok_or_else(|| format!("unknown event kind {event_name:?}"))?;
+    let kind_str = doc.get("kind").ok_or("missing key \"kind\"")?;
+    let kind_str = kind_str.as_str("kind").map_err(|e| e.to_string())?;
+    let kind = intern_kind(kind_str).ok_or_else(|| format!("unknown message kind {kind_str:?}"))?;
+    let node = field_u64(&doc, "node")?;
+    let node = u32::try_from(node).map_err(|_| format!("node {node} exceeds u32"))?;
+    let peer = match field_opt_u64(&doc, "peer")? {
+        None => None,
+        Some(p) => Some(u32::try_from(p).map_err(|_| format!("peer {p} exceeds u32"))?),
+    };
+    let ev = FlightEvent {
+        at_us: field_u64(&doc, "at_us")?,
+        node,
+        event,
+        kind,
+        seq: field_opt_u64(&doc, "seq")?,
+        view: field_opt_u64(&doc, "view")?,
+        peer,
+        trace_id: field_u64(&doc, "trace_id")?,
+        parent_id: field_u64(&doc, "parent_id")?,
+        span_id: field_u64(&doc, "span_id")?,
+        extra: field_u64(&doc, "extra")?,
+    };
+    if ev.span_id == NO_SPAN {
+        return Err("span_id 0 is reserved".into());
+    }
+    Ok(ev)
+}
+
+/// A named per-replica event stream, as loaded from `replica_<id>.jsonl`.
+pub type NamedStream = (String, Vec<FlightEvent>);
+
+/// Loads every `replica_*.jsonl` under `dir`, validating each line.
+/// Returns streams sorted by file name (node order).
+///
+/// # Errors
+///
+/// [`SchemaError`] on the first invalid line; an opaque message when the
+/// directory is unreadable or holds no streams.
+pub fn load_dir(dir: &Path) -> Result<Vec<NamedStream>, Box<dyn std::error::Error>> {
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("replica_") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no replica_*.jsonl streams under {}", dir.display()).into());
+    }
+    let mut streams = Vec::new();
+    for path in files {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string();
+        let body = std::fs::read_to_string(&path)?;
+        let mut events = Vec::new();
+        for (i, line) in body.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ev = parse_line(line).map_err(|what| SchemaError {
+                file: name.clone(),
+                line: i + 1,
+                what,
+            })?;
+            events.push(ev);
+        }
+        streams.push((name, events));
+    }
+    Ok(streams)
+}
+
+/// Dumps a traced run into `dir` (created if missing): one
+/// `replica_<id>.jsonl` per stream plus the analyzer outputs
+/// `trace_summary.json` and `trace_chrome.json`. Returns the analysis so
+/// callers can report on it. This is what `LAZARUS_TRACE_DIR` modes call.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn dump_traced(dir: &Path, streams: &[(u32, Vec<FlightEvent>)]) -> std::io::Result<Analysis> {
+    std::fs::create_dir_all(dir)?;
+    for (node, events) in streams {
+        let mut body = String::new();
+        for ev in events {
+            body.push_str(&ev.to_jsonl());
+            body.push('\n');
+        }
+        std::fs::write(dir.join(format!("replica_{node}.jsonl")), body)?;
+    }
+    let analysis = Analysis::build(merge(streams.iter().map(|(_, evs)| evs.clone()).collect()));
+    std::fs::write(dir.join("trace_summary.json"), analysis.summary_json().to_json())?;
+    std::fs::write(dir.join("trace_chrome.json"), analysis.chrome_trace().to_json())?;
+    Ok(analysis)
+}
+
+/// Merges per-replica streams into one timeline under the total order
+/// `(at_us, node, span_id)` — deterministic for any input permutation.
+pub fn merge(streams: Vec<Vec<FlightEvent>>) -> Vec<FlightEvent> {
+    let mut all: Vec<FlightEvent> = streams.into_iter().flatten().collect();
+    all.sort_by_key(|e| (e.at_us, e.node, e.span_id));
+    all
+}
+
+/// One slot's cross-replica commit timeline: the earliest sighting of each
+/// protocol phase anywhere in the cluster.
+#[derive(Debug, Clone, Default)]
+pub struct SlotTimeline {
+    /// First PROPOSE record (leader side).
+    pub propose_at: Option<u64>,
+    /// First WRITE broadcast.
+    pub write_at: Option<u64>,
+    /// First ACCEPT broadcast.
+    pub accept_at: Option<u64>,
+    /// First local decide.
+    pub commit_at: Option<u64>,
+    /// First execution.
+    pub exec_at: Option<u64>,
+    /// Nodes that recorded a commit for the slot.
+    pub committed_on: BTreeSet<u32>,
+    /// Span of the earliest commit (critical-path endpoint).
+    pub first_commit_span: Option<u64>,
+}
+
+impl SlotTimeline {
+    /// Phase durations in µs: propose→write, write→accept, accept→commit,
+    /// commit→exec. `None` when either endpoint is missing.
+    pub fn phases(&self) -> [(&'static str, Option<u64>); 4] {
+        let d = |a: Option<u64>, b: Option<u64>| match (a, b) {
+            (Some(a), Some(b)) => Some(b.saturating_sub(a)),
+            _ => None,
+        };
+        [
+            ("propose_to_write_us", d(self.propose_at, self.write_at)),
+            ("write_to_accept_us", d(self.write_at, self.accept_at)),
+            ("accept_to_commit_us", d(self.accept_at, self.commit_at)),
+            ("commit_to_exec_us", d(self.commit_at, self.exec_at)),
+        ]
+    }
+}
+
+/// Anomaly counters surfaced by the analyzer.
+#[derive(Debug, Clone, Default)]
+pub struct Anomalies {
+    /// `view_change` events (per-node installs summed).
+    pub view_changes: u64,
+    /// `help_revote` events.
+    pub help_revotes: u64,
+    /// `cst_start` events.
+    pub cst_fetches: u64,
+    /// Transport drops (fault-plan).
+    pub drops: u64,
+    /// Transport delays.
+    pub delays: u64,
+    /// Transport duplicates.
+    pub dups: u64,
+    /// `(node, window_start_us, sends)` buckets over [`STORM_THRESHOLD`].
+    pub storms: Vec<(u32, u64, usize)>,
+}
+
+/// The global causal DAG plus everything derived from it.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Merged timeline (total order).
+    pub events: Vec<FlightEvent>,
+    /// Nodes that contributed events.
+    pub nodes: BTreeSet<u32>,
+    /// Per-slot timelines, slot-ordered.
+    pub slots: BTreeMap<u64, SlotTimeline>,
+    /// Anomaly counters.
+    pub anomalies: Anomalies,
+    /// Events whose `parent_id` matches no recorded span (ring eviction or
+    /// stream truncation). An intact capture has none.
+    pub orphans: Vec<FlightEvent>,
+    span_index: HashMap<u64, usize>,
+}
+
+impl Analysis {
+    /// Builds the DAG and derives slots, anomalies, and orphans.
+    #[must_use]
+    pub fn build(events: Vec<FlightEvent>) -> Analysis {
+        let mut span_index: HashMap<u64, usize> = HashMap::new();
+        for (i, ev) in events.iter().enumerate() {
+            span_index.entry(ev.span_id).or_insert(i);
+        }
+        let spans: HashSet<u64> = span_index.keys().copied().collect();
+        let mut nodes = BTreeSet::new();
+        let mut slots: BTreeMap<u64, SlotTimeline> = BTreeMap::new();
+        let mut anomalies = Anomalies::default();
+        let mut orphans = Vec::new();
+        let mut send_buckets: BTreeMap<(u32, u64), usize> = BTreeMap::new();
+        for ev in &events {
+            nodes.insert(ev.node);
+            if ev.parent_id != NO_SPAN && !spans.contains(&ev.parent_id) {
+                orphans.push(ev.clone());
+            }
+            match ev.event {
+                EventKind::ViewChange => anomalies.view_changes += 1,
+                EventKind::HelpRevote => anomalies.help_revotes += 1,
+                EventKind::CstStart => anomalies.cst_fetches += 1,
+                EventKind::Drop => anomalies.drops += 1,
+                EventKind::Delay => anomalies.delays += 1,
+                EventKind::Dup => anomalies.dups += 1,
+                EventKind::Send => {
+                    *send_buckets.entry((ev.node, ev.at_us / STORM_WINDOW_US)).or_insert(0) += 1;
+                }
+                _ => {}
+            }
+            let Some(seq) = ev.seq else { continue };
+            let slot = slots.entry(seq).or_default();
+            let first = |cell: &mut Option<u64>, at: u64| {
+                if cell.is_none_or(|prev| at < prev) {
+                    *cell = Some(at);
+                }
+            };
+            match ev.event {
+                EventKind::Propose => first(&mut slot.propose_at, ev.at_us),
+                EventKind::Write => first(&mut slot.write_at, ev.at_us),
+                EventKind::Accept => first(&mut slot.accept_at, ev.at_us),
+                EventKind::Commit => {
+                    if slot.commit_at.is_none_or(|prev| ev.at_us < prev) {
+                        slot.commit_at = Some(ev.at_us);
+                        slot.first_commit_span = Some(ev.span_id);
+                    }
+                    slot.committed_on.insert(ev.node);
+                }
+                EventKind::Exec => first(&mut slot.exec_at, ev.at_us),
+                _ => {}
+            }
+        }
+        for ((node, bucket), sends) in send_buckets {
+            if sends > STORM_THRESHOLD {
+                anomalies.storms.push((node, bucket * STORM_WINDOW_US, sends));
+            }
+        }
+        Analysis { events, nodes, slots, anomalies, orphans, span_index }
+    }
+
+    /// Slots that committed somewhere.
+    pub fn committed_slots(&self) -> impl Iterator<Item = (&u64, &SlotTimeline)> {
+        self.slots.iter().filter(|(_, s)| !s.committed_on.is_empty())
+    }
+
+    /// The event recording `span_id`, if present.
+    #[must_use]
+    pub fn by_span(&self, span_id: u64) -> Option<&FlightEvent> {
+        self.span_index.get(&span_id).map(|&i| &self.events[i])
+    }
+
+    /// The critical path of `seq`: parent-edge walk from the slot's
+    /// earliest commit back through the slot's own trace, returned
+    /// root-first. The walk stops at the trace boundary — with leader
+    /// pipelining, slot `n`'s propose is sent while handling slot `n-1`
+    /// traffic, and following that chain would drag in the leader's
+    /// entire history — but keeps one hop past it when that hop is a
+    /// genuine causal root (e.g. the client request that seeded the
+    /// batch). Empty when the slot never committed.
+    #[must_use]
+    pub fn critical_path(&self, seq: u64) -> Vec<&FlightEvent> {
+        let Some(slot) = self.slots.get(&seq) else { return Vec::new() };
+        let Some(mut span) = slot.first_commit_span else { return Vec::new() };
+        let trace = slot_trace_id(seq);
+        let mut path = Vec::new();
+        let mut seen = HashSet::new();
+        while let Some(ev) = self.by_span(span) {
+            if !seen.insert(span) {
+                break; // defensive: a cycle would mean corrupted streams
+            }
+            if ev.trace_id != trace && (ev.parent_id != NO_SPAN || path.is_empty()) {
+                break;
+            }
+            path.push(ev);
+            if ev.parent_id == NO_SPAN {
+                break;
+            }
+            span = ev.parent_id;
+        }
+        path.reverse();
+        path
+    }
+
+    /// The deterministic analyzer summary (insertion-ordered JSON).
+    #[must_use]
+    pub fn summary_json(&self) -> Value {
+        let n = |v: u64| Value::Number(v as f64);
+        let opt = |v: Option<u64>| v.map_or(Value::Null, |x| Value::Number(x as f64));
+        let slots: Vec<Value> = self
+            .slots
+            .iter()
+            .map(|(seq, slot)| {
+                let path = self.critical_path(*seq);
+                let mut obj = vec![
+                    ("seq".into(), n(*seq)),
+                    ("committed".into(), Value::Bool(!slot.committed_on.is_empty())),
+                    (
+                        "committed_on".into(),
+                        Value::Array(
+                            slot.committed_on.iter().map(|id| n(u64::from(*id))).collect(),
+                        ),
+                    ),
+                    ("propose_at_us".into(), opt(slot.propose_at)),
+                    ("write_at_us".into(), opt(slot.write_at)),
+                    ("accept_at_us".into(), opt(slot.accept_at)),
+                    ("commit_at_us".into(), opt(slot.commit_at)),
+                    ("exec_at_us".into(), opt(slot.exec_at)),
+                ];
+                for (name, dur) in slot.phases() {
+                    obj.push((name.into(), opt(dur)));
+                }
+                obj.push(("critical_path_len".into(), n(path.len() as u64)));
+                obj.push((
+                    "critical_path".into(),
+                    Value::Array(path.iter().map(|e| n(e.span_id)).collect()),
+                ));
+                Value::Object(obj)
+            })
+            .collect();
+        let committed = self.committed_slots().count() as u64;
+        Value::Object(vec![
+            ("events_total".into(), n(self.events.len() as u64)),
+            ("nodes".into(), Value::Array(self.nodes.iter().map(|id| n(u64::from(*id))).collect())),
+            ("slots_seen".into(), n(self.slots.len() as u64)),
+            ("slots_committed".into(), n(committed)),
+            ("orphans".into(), n(self.orphans.len() as u64)),
+            (
+                "anomalies".into(),
+                Value::Object(vec![
+                    ("view_changes".into(), n(self.anomalies.view_changes)),
+                    ("help_revotes".into(), n(self.anomalies.help_revotes)),
+                    ("cst_fetches".into(), n(self.anomalies.cst_fetches)),
+                    ("drops".into(), n(self.anomalies.drops)),
+                    ("delays".into(), n(self.anomalies.delays)),
+                    ("dups".into(), n(self.anomalies.dups)),
+                    (
+                        "storms".into(),
+                        Value::Array(
+                            self.anomalies
+                                .storms
+                                .iter()
+                                .map(|(node, at, sends)| {
+                                    Value::Object(vec![
+                                        ("node".into(), n(u64::from(*node))),
+                                        ("window_start_us".into(), n(*at)),
+                                        ("sends".into(), n(*sends as u64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            ("slots".into(), Value::Array(slots)),
+        ])
+    }
+
+    /// Chrome trace-event JSON (the Perfetto / `chrome://tracing` format):
+    /// one `"X"` (complete) slice per `(slot, node)` spanning that node's
+    /// first-to-last event for the slot, plus `"i"` (instant) markers for
+    /// anomalies and transport faults. `pid` is the replica id.
+    #[must_use]
+    pub fn chrome_trace(&self) -> Value {
+        let n = |v: u64| Value::Number(v as f64);
+        let mut spans: BTreeMap<(u64, u32), (u64, u64)> = BTreeMap::new();
+        for ev in &self.events {
+            if let Some(seq) = ev.seq {
+                let entry = spans.entry((seq, ev.node)).or_insert((ev.at_us, ev.at_us));
+                entry.0 = entry.0.min(ev.at_us);
+                entry.1 = entry.1.max(ev.at_us);
+            }
+        }
+        let mut trace_events: Vec<Value> = spans
+            .into_iter()
+            .map(|((seq, node), (start, end))| {
+                Value::Object(vec![
+                    ("name".into(), Value::String(format!("slot {seq}"))),
+                    ("ph".into(), Value::String("X".into())),
+                    ("ts".into(), n(start)),
+                    ("dur".into(), n(end.saturating_sub(start))),
+                    ("pid".into(), n(u64::from(node))),
+                    ("tid".into(), n(seq % 64)),
+                ])
+            })
+            .collect();
+        for ev in &self.events {
+            let marker = matches!(
+                ev.event,
+                EventKind::ViewChange
+                    | EventKind::HelpRevote
+                    | EventKind::CstStart
+                    | EventKind::CstDone
+                    | EventKind::Drop
+                    | EventKind::Delay
+                    | EventKind::Dup
+            );
+            if !marker {
+                continue;
+            }
+            trace_events.push(Value::Object(vec![
+                ("name".into(), Value::String(ev.event.as_str().to_string())),
+                ("ph".into(), Value::String("i".into())),
+                ("ts".into(), n(ev.at_us)),
+                ("pid".into(), n(u64::from(ev.node))),
+                ("tid".into(), n(0)),
+                ("s".into(), Value::String("p".into())),
+            ]));
+        }
+        Value::Object(vec![("traceEvents".into(), Value::Array(trace_events))])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazarus_obs::causal::slot_trace_id;
+
+    fn ev(
+        at_us: u64,
+        node: u32,
+        event: EventKind,
+        seq: Option<u64>,
+        parent_id: u64,
+        span_id: u64,
+    ) -> FlightEvent {
+        FlightEvent {
+            at_us,
+            node,
+            event,
+            kind: "-",
+            seq,
+            view: Some(0),
+            peer: None,
+            trace_id: seq.map_or(0, slot_trace_id),
+            parent_id,
+            span_id,
+            extra: 0,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_validator() {
+        let original = FlightEvent {
+            at_us: 42,
+            node: 3,
+            event: EventKind::Send,
+            kind: "PROPOSE",
+            seq: Some(7),
+            view: Some(1),
+            peer: Some(2),
+            trace_id: slot_trace_id(7),
+            parent_id: 9,
+            span_id: 10,
+            extra: 5,
+        };
+        let parsed = parse_line(&original.to_jsonl()).expect("valid line");
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn validator_rejects_bad_lines() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line("{\"at_us\":1}").is_err(), "missing keys");
+        let bad_event = ev(1, 0, EventKind::Send, None, 0, 1).to_jsonl().replace("send", "warp");
+        assert!(parse_line(&bad_event).is_err(), "unknown event kind");
+        let bad_span = ev(1, 0, EventKind::Timer, None, 0, 1).to_jsonl();
+        assert!(parse_line(&bad_span.replace("\"span_id\":1", "\"span_id\":0")).is_err());
+    }
+
+    #[test]
+    fn merge_is_a_total_order() {
+        let a = vec![
+            ev(5, 1, EventKind::Commit, Some(1), 0, 2),
+            ev(9, 1, EventKind::Exec, Some(1), 2, 3),
+        ];
+        let b = vec![ev(5, 0, EventKind::Commit, Some(1), 0, 1)];
+        let merged = merge(vec![a, b]);
+        assert_eq!(merged.iter().map(|e| e.span_id).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn slot_timeline_and_critical_path() {
+        // root timer → propose → write → accept → commit, one slot.
+        let events = vec![
+            ev(10, 0, EventKind::Timer, None, 0, 1),
+            ev(20, 0, EventKind::Propose, Some(1), 1, 2),
+            ev(30, 1, EventKind::Write, Some(1), 2, 3),
+            ev(40, 1, EventKind::Accept, Some(1), 3, 4),
+            ev(50, 1, EventKind::Commit, Some(1), 4, 5),
+            ev(55, 1, EventKind::Exec, Some(1), 5, 6),
+        ];
+        let analysis = Analysis::build(events);
+        assert!(analysis.orphans.is_empty());
+        let slot = &analysis.slots[&1];
+        assert_eq!(slot.propose_at, Some(20));
+        assert_eq!(slot.commit_at, Some(50));
+        assert_eq!(slot.phases()[0], ("propose_to_write_us", Some(10)),);
+        let path: Vec<u64> = analysis.critical_path(1).iter().map(|e| e.span_id).collect();
+        assert_eq!(path, vec![1, 2, 3, 4, 5], "root-first walk to the commit");
+    }
+
+    #[test]
+    fn orphans_and_anomalies_are_counted() {
+        let events = vec![
+            ev(10, 0, EventKind::ViewChange, None, 999, 1), // dangling parent
+            ev(20, 0, EventKind::HelpRevote, Some(2), 1, 2),
+            ev(30, 0, EventKind::Drop, None, 1, 3),
+        ];
+        let analysis = Analysis::build(events);
+        assert_eq!(analysis.orphans.len(), 1);
+        assert_eq!(analysis.anomalies.view_changes, 1);
+        assert_eq!(analysis.anomalies.help_revotes, 1);
+        assert_eq!(analysis.anomalies.drops, 1);
+    }
+
+    #[test]
+    fn summary_and_chrome_json_are_deterministic_and_valid() {
+        let events = vec![
+            ev(10, 0, EventKind::Propose, Some(1), 0, 1),
+            ev(50, 1, EventKind::Commit, Some(1), 1, 2),
+            ev(60, 1, EventKind::Drop, None, 0, 3),
+        ];
+        let a = Analysis::build(events.clone());
+        let b = Analysis::build(events);
+        assert_eq!(a.summary_json().to_json(), b.summary_json().to_json());
+        // Both documents re-parse as valid JSON.
+        let summary = parse(&a.summary_json().to_json()).expect("summary is valid JSON");
+        assert_eq!(summary.req("slots_committed").unwrap(), &Value::Number(1.0));
+        let chrome = parse(&a.chrome_trace().to_json()).expect("chrome trace is valid JSON");
+        let slices = chrome.req("traceEvents").unwrap().as_array("traceEvents").unwrap();
+        assert!(slices.iter().any(|s| s.get("ph") == Some(&Value::String("X".into()))));
+        assert!(slices.iter().any(|s| s.get("ph") == Some(&Value::String("i".into()))));
+    }
+}

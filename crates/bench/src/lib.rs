@@ -6,6 +6,8 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
+
 use bytes::Bytes;
 use lazarus_bft::service::Service;
 use lazarus_bft::types::{Epoch, Membership, ReplicaId};

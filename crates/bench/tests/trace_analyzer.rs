@@ -1,0 +1,93 @@
+//! End-to-end checks of the causal tracing pipeline: a traced nemesis run
+//! through the offline analyzer, determinism of the dump, DAG
+//! completeness for committed slots, and the anomaly-vs-metrics
+//! cross-check.
+
+use lazarus_bench::flight::{dump_traced, load_dir, merge, Analysis};
+use lazarus_obs::causal::EventKind;
+use lazarus_testbed::nemesis::run_scenario_traced;
+
+fn counter(snapshot: &lazarus_obs::Snapshot, name: &str) -> u64 {
+    snapshot.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+}
+
+#[test]
+fn traced_partition_run_yields_a_complete_causal_dag() {
+    let traced = run_scenario_traced("partition", 1);
+    assert!(traced.verdict.passed(), "baseline scenario passes: {:?}", traced.verdict);
+
+    let analysis =
+        Analysis::build(merge(traced.streams.iter().map(|(_, evs)| evs.clone()).collect()));
+    // Every committed slot has a full phase timeline and a critical path
+    // that terminates at a causal root.
+    let committed: Vec<u64> = analysis.committed_slots().map(|(seq, _)| *seq).collect();
+    assert!(committed.len() > 10, "a 3 s run commits plenty of slots ({})", committed.len());
+    for seq in &committed {
+        let slot = &analysis.slots[seq];
+        assert!(slot.propose_at.is_some(), "slot {seq} has a propose");
+        assert!(slot.commit_at.is_some(), "slot {seq} has a commit");
+        let path = analysis.critical_path(*seq);
+        assert!(path.len() >= 2, "slot {seq} path spans hops");
+        // The path stays inside the slot's trace, except for a true causal
+        // root at the head (e.g. the client request that seeded the batch).
+        let trace = lazarus_obs::causal::slot_trace_id(*seq);
+        assert!(
+            path[0].parent_id == 0 || path[0].trace_id == trace,
+            "slot {seq} path head is a root or in-trace"
+        );
+        assert!(path[1..].iter().all(|e| e.trace_id == trace), "slot {seq} path is in-trace");
+        assert_eq!(path.last().unwrap().event, EventKind::Commit);
+    }
+    // No orphan events anywhere: the DAG is complete.
+    assert!(
+        analysis.orphans.is_empty(),
+        "no dangling parents, got e.g. {}",
+        analysis.orphans[0].to_jsonl()
+    );
+    // The partition fault plan leaves transport-visible scars.
+    assert!(analysis.anomalies.drops > 0, "a 2|2 partition drops messages");
+}
+
+#[test]
+fn traced_dump_and_analyzer_outputs_are_deterministic() {
+    let a = run_scenario_traced("partition", 7);
+    let b = run_scenario_traced("partition", 7);
+    let dir_a = std::env::temp_dir().join(format!("lazarus_trace_a_{}", std::process::id()));
+    let dir_b = std::env::temp_dir().join(format!("lazarus_trace_b_{}", std::process::id()));
+    dump_traced(&dir_a, &a.streams).expect("dump a");
+    dump_traced(&dir_b, &b.streams).expect("dump b");
+    for file in ["replica_0.jsonl", "replica_3.jsonl", "trace_summary.json", "trace_chrome.json"] {
+        let body_a = std::fs::read(dir_a.join(file)).expect("read a");
+        let body_b = std::fs::read(dir_b.join(file)).expect("read b");
+        assert_eq!(body_a, body_b, "{file} is byte-identical across reruns");
+        assert!(!body_a.is_empty(), "{file} has content");
+    }
+    // The dumped streams survive the validating loader and rebuild the
+    // same analysis.
+    let streams = load_dir(&dir_a).expect("every dumped line passes the schema validator");
+    let reloaded = Analysis::build(merge(streams.into_iter().map(|(_, evs)| evs).collect()));
+    let direct = Analysis::build(merge(a.streams.iter().map(|(_, evs)| evs.clone()).collect()));
+    assert_eq!(reloaded.summary_json().to_json(), direct.summary_json().to_json());
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn analyzer_anomaly_counts_match_replica_metrics() {
+    // A crashed-and-restarted leader forces view changes and help
+    // re-votes; both surface once as flight events and once as counters.
+    let traced = run_scenario_traced("leader-crash", 3);
+    let analysis =
+        Analysis::build(merge(traced.streams.iter().map(|(_, evs)| evs.clone()).collect()));
+    let view_changes = counter(&traced.snapshot, "bft_view_changes_total");
+    let help_revotes = counter(&traced.snapshot, "bft_help_revotes_total");
+    assert!(view_changes > 0, "a leader crash forces a view change");
+    assert_eq!(analysis.anomalies.view_changes, view_changes, "view-change counts agree");
+    assert_eq!(analysis.anomalies.help_revotes, help_revotes, "help-revote counts agree");
+    // Every completed transfer the metrics saw started as a CstStart
+    // flight event; fetches may outnumber completions.
+    assert!(
+        analysis.anomalies.cst_fetches >= counter(&traced.snapshot, "bft_state_transfers_total"),
+        "cst fetches are at least the completed transfers"
+    );
+}

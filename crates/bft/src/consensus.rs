@@ -8,6 +8,8 @@
 
 use std::collections::BTreeMap;
 
+use lazarus_obs::causal::slot_trace_id;
+
 use crate::crypto::Digest;
 use crate::messages::{Batch, WriteCertificate};
 use crate::types::{ReplicaId, SeqNo, View};
@@ -32,6 +34,11 @@ pub struct Instance {
     pub sent_accept: bool,
     /// Whether the slot is decided.
     pub decided: bool,
+    /// Causal trace id of this slot ([`slot_trace_id`]): a pure function of
+    /// `seq`, so every replica adopts the same trace without coordination.
+    /// Survives [`reset_for_view`](Instance::reset_for_view) — a slot's
+    /// trace spans leader changes.
+    pub trace_id: u64,
 }
 
 impl Instance {
@@ -47,6 +54,7 @@ impl Instance {
             sent_write: false,
             sent_accept: false,
             decided: false,
+            trace_id: slot_trace_id(seq.0),
         }
     }
 
@@ -214,6 +222,15 @@ mod tests {
         assert_eq!(cert.view, View(0));
         inst.decided = true;
         assert!(inst.certificate().is_none(), "decided slots need no cert");
+    }
+
+    #[test]
+    fn trace_id_is_slot_derived_and_survives_view_resets() {
+        let mut inst = Instance::new(SeqNo(9), View(0));
+        assert_eq!(inst.trace_id, slot_trace_id(9));
+        inst.reset_for_view(View(3));
+        assert_eq!(inst.trace_id, slot_trace_id(9), "a slot's trace spans leader changes");
+        assert_ne!(Instance::new(SeqNo(10), View(0)).trace_id, inst.trace_id);
     }
 
     #[test]

@@ -5,6 +5,13 @@
 //! the leader-change messages (STOP / STOP-DATA / SYNC); checkpointing;
 //! state transfer (CST); and the controller-signed reconfiguration command
 //! that Lazarus uses to rotate replicas.
+//!
+//! The [`envelope`] module frames a serialized message with a versioned
+//! header that can carry an optional causal [`TraceCtx`]; decoders that
+//! predate the envelope skip the header by length and still recover the
+//! payload.
+
+use lazarus_obs::causal::TraceCtx;
 
 use std::sync::{Arc, OnceLock};
 
@@ -403,6 +410,110 @@ impl Message {
             Message::Reconfig(_) => HEADER + 16,
         }
     }
+
+    /// The sending replica, when the message has one (client requests and
+    /// controller reconfigurations don't).
+    pub fn sender(&self) -> Option<ReplicaId> {
+        match self {
+            Message::Consensus { from, .. }
+            | Message::Checkpoint { from, .. }
+            | Message::Stop { from, .. }
+            | Message::StopData { from, .. }
+            | Message::Sync { from, .. }
+            | Message::CstRequest { from, .. }
+            | Message::CstReply { from, .. } => Some(*from),
+            Message::Request(_) | Message::Reconfig(_) => None,
+        }
+    }
+
+    /// The `(view, slot)` a consensus-phase message concerns, `None` for
+    /// every other message kind.
+    pub fn consensus_slot(&self) -> Option<(View, SeqNo)> {
+        match self {
+            Message::Consensus { msg, .. } => Some((msg.view(), msg.seq())),
+            _ => None,
+        }
+    }
+}
+
+/// Versioned wire framing carrying an optional [`TraceCtx`] alongside a
+/// serialized message payload.
+///
+/// Layout: `[MAGIC][VERSION][header_len: u16 BE][header][payload]` where
+/// `header` is `[flags: u8]` followed by flag-gated extensions (today only
+/// [`FLAG_TRACE_CTX`] → a 24-byte [`TraceCtx`]). `header_len` counts the
+/// header bytes only, so a decoder that understands *no* flags — see
+/// [`decode_legacy`](envelope::decode_legacy) — skips the header wholesale
+/// and still recovers the payload: trace contexts are forward-compatible
+/// metadata, never load-bearing.
+pub mod envelope {
+    use super::TraceCtx;
+
+    /// First frame byte, guarding against mis-framed input.
+    pub const MAGIC: u8 = 0xC7;
+    /// Current envelope version.
+    pub const VERSION: u8 = 1;
+    /// Header flag: a 24-byte [`TraceCtx`] follows the flags byte.
+    pub const FLAG_TRACE_CTX: u8 = 0b0000_0001;
+
+    /// Frames `payload`, attaching `ctx` when present.
+    #[must_use]
+    pub fn encode(ctx: Option<&TraceCtx>, payload: &[u8]) -> Vec<u8> {
+        let header_len = 1 + if ctx.is_some() { TraceCtx::WIRE_LEN } else { 0 };
+        let mut out = Vec::with_capacity(4 + header_len + payload.len());
+        out.push(MAGIC);
+        out.push(VERSION);
+        out.extend_from_slice(&(header_len as u16).to_be_bytes());
+        match ctx {
+            Some(ctx) => {
+                out.push(FLAG_TRACE_CTX);
+                out.extend_from_slice(&ctx.encode());
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Splits `frame` into `(header, payload)` after validating magic,
+    /// version, and length. `None` on malformed input.
+    fn split(frame: &[u8]) -> Option<(&[u8], &[u8])> {
+        if frame.len() < 4 || frame[0] != MAGIC || frame[1] == 0 || frame[1] > VERSION {
+            return None;
+        }
+        let header_len = usize::from(u16::from_be_bytes([frame[2], frame[3]]));
+        let body = &frame[4..];
+        if body.len() < header_len {
+            return None;
+        }
+        Some((&body[..header_len], &body[header_len..]))
+    }
+
+    /// Decodes a frame into its optional [`TraceCtx`] and payload.
+    ///
+    /// Unknown header flags are ignored (their extension bytes, if any,
+    /// were length-prefixed away by `header_len`), so a v1 decoder accepts
+    /// frames from future encoders that only add flag-gated extensions.
+    #[must_use]
+    pub fn decode(frame: &[u8]) -> Option<(Option<TraceCtx>, &[u8])> {
+        let (header, payload) = split(frame)?;
+        let flags = *header.first()?;
+        let ctx = if flags & FLAG_TRACE_CTX != 0 {
+            Some(TraceCtx::decode(header.get(1..)?)?)
+        } else {
+            None
+        };
+        Some((ctx, payload))
+    }
+
+    /// A decoder that predates the trace-context envelope: it understands
+    /// no flags and skips the whole header by length. Demonstrates (and
+    /// pins, via tests) the forward-compatibility contract — old nodes
+    /// accept traced frames and simply lose the metadata.
+    #[must_use]
+    pub fn decode_legacy(frame: &[u8]) -> Option<&[u8]> {
+        split(frame).map(|(_, payload)| payload)
+    }
 }
 
 #[cfg(test)]
@@ -482,6 +593,78 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_ne!(a, d);
+    }
+
+    #[test]
+    fn sender_and_slot_accessors() {
+        let write = Message::Consensus {
+            from: ReplicaId(2),
+            msg: ConsensusMsg::Write { view: View(1), seq: SeqNo(9), digest: Digest::ZERO },
+        };
+        assert_eq!(write.sender(), Some(ReplicaId(2)));
+        assert_eq!(write.consensus_slot(), Some((View(1), SeqNo(9))));
+        let req = Message::Request(request(1, 1, b"x"));
+        assert_eq!(req.sender(), None);
+        assert_eq!(req.consensus_slot(), None);
+    }
+
+    #[test]
+    fn envelope_round_trips_with_and_without_ctx() {
+        let payload = b"serialized message bytes";
+        let ctx = TraceCtx { trace_id: 77, parent_id: 5, span_id: 6 };
+        let framed = envelope::encode(Some(&ctx), payload);
+        assert_eq!(envelope::decode(&framed), Some((Some(ctx), payload.as_slice())));
+        let bare = envelope::encode(None, payload);
+        assert_eq!(envelope::decode(&bare), Some((None, payload.as_slice())));
+        assert!(bare.len() < framed.len());
+    }
+
+    #[test]
+    fn envelope_rejects_malformed_frames() {
+        let good = envelope::encode(None, b"x");
+        assert_eq!(envelope::decode(&[]), None);
+        assert_eq!(envelope::decode(&good[..3]), None);
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(envelope::decode(&bad_magic), None);
+        let mut future_version = good.clone();
+        future_version[1] = envelope::VERSION + 1;
+        assert_eq!(envelope::decode(&future_version), None);
+        let mut truncated_header = envelope::encode(Some(&TraceCtx::root(1, 2)), b"x");
+        truncated_header.truncate(8);
+        assert_eq!(envelope::decode(&truncated_header), None);
+    }
+
+    #[test]
+    fn legacy_decoder_skips_unknown_header_flags() {
+        // A frame using a flag the legacy decoder has never heard of still
+        // yields the payload, because the header is length-prefixed.
+        let ctx = TraceCtx { trace_id: 3, parent_id: 2, span_id: 1 };
+        let framed = envelope::encode(Some(&ctx), b"payload");
+        assert_eq!(envelope::decode_legacy(&framed), Some(b"payload".as_slice()));
+        assert_eq!(envelope::decode_legacy(&envelope::encode(None, b"p")), Some(b"p".as_slice()));
+        assert_eq!(envelope::decode_legacy(&[0u8; 2]), None);
+    }
+
+    proptest::proptest! {
+        /// Satellite: any `TraceCtx` wire round-trips through the envelope,
+        /// and a decoder without envelope support still accepts the frame.
+        #[test]
+        fn envelope_ctx_round_trip(
+            trace_id in 0u64..=u64::MAX,
+            parent_id in 0u64..=u64::MAX,
+            span_id in 0u64..=u64::MAX,
+            payload in "\\PC{0,64}",
+        ) {
+            let ctx = TraceCtx { trace_id, parent_id, span_id };
+            let framed = envelope::encode(Some(&ctx), payload.as_bytes());
+            let (decoded, body) = envelope::decode(&framed).expect("well-formed frame");
+            proptest::prop_assert_eq!(decoded, Some(ctx));
+            proptest::prop_assert_eq!(body, payload.as_bytes());
+            // Forward compatibility: the ctx-blind decoder recovers the
+            // identical payload from the same frame.
+            proptest::prop_assert_eq!(envelope::decode_legacy(&framed), Some(payload.as_bytes()));
+        }
     }
 
     #[test]

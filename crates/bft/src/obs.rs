@@ -112,6 +112,7 @@ pub struct ReplicaObs {
     decided_total: Counter,
     executed_requests_total: Counter,
     view_changes_total: Counter,
+    help_revotes_total: Counter,
     checkpoints_total: Counter,
     state_transfers_total: Counter,
     commit_latency_us: Histogram,
@@ -137,11 +138,23 @@ impl ReplicaObs {
             decided_total: obs.registry.counter("bft_slots_decided_total"),
             executed_requests_total: obs.registry.counter("bft_requests_executed_total"),
             view_changes_total: obs.registry.counter("bft_view_changes_total"),
+            help_revotes_total: obs.registry.counter("bft_help_revotes_total"),
             checkpoints_total: obs.registry.counter("bft_checkpoints_total"),
             state_transfers_total: obs.registry.counter("bft_state_transfers_total"),
             commit_latency_us: obs.registry.histogram("bft_commit_latency_us"),
             proposed_at: HashMap::new(),
         }
+    }
+
+    /// Registers `# HELP` texts for the replica metric families (shared
+    /// registry — idempotent across replicas).
+    pub fn describe(obs: &Obs) {
+        let r = &obs.registry;
+        r.describe("bft_view_changes_total", "Views installed after a leader change.");
+        r.describe("bft_help_revotes_total", "Throttled vote re-sends to lagging peers.");
+        r.describe("bft_slots_decided_total", "Consensus slots decided locally.");
+        r.describe("bft_state_transfers_total", "Completed CST state transfers.");
+        r.describe("bft_commit_latency_us", "Proposal-to-decide latency per slot.");
     }
 
     /// A protocol message reached `on_message`.
@@ -192,6 +205,16 @@ impl ReplicaObs {
         self.tracer.event(
             "replica.view_change",
             vec![("replica", self.id.0.into()), ("view", new_view.0.into())],
+        );
+    }
+
+    /// The replica re-sent its WRITE/ACCEPT votes to help a lagging peer
+    /// (throttled to once per `(peer, slot, view)`).
+    pub fn help_revote(&self, peer: ReplicaId, seq: SeqNo) {
+        self.help_revotes_total.inc();
+        self.tracer.event(
+            "replica.help_revote",
+            vec![("replica", self.id.0.into()), ("peer", peer.0.into()), ("seq", seq.0.into())],
         );
     }
 

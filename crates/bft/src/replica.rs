@@ -26,6 +26,7 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use bytes::Bytes;
+use lazarus_obs::causal::{EventKind, FlightRecorder, TraceCtx, NO_SPAN};
 
 use crate::consensus::Instance;
 use crate::crypto::{Digest, Keyring, Principal};
@@ -176,6 +177,12 @@ pub struct Replica<S: Service> {
 
     // Optional instrumentation (None = one branch per hook).
     obs: Option<ReplicaObs>,
+
+    // Optional causal flight recorder, plus the context of the input
+    // currently being handled — every protocol event recorded while an
+    // input runs is parented to that input's receive (or timer) span.
+    flight: Option<FlightRecorder>,
+    cur_ctx: TraceCtx,
 }
 
 impl<S: Service> std::fmt::Debug for Replica<S> {
@@ -220,6 +227,8 @@ impl<S: Service> Replica<S> {
             sent_stop_for: None,
             cst: None,
             obs: None,
+            flight: None,
+            cur_ctx: TraceCtx::root(NO_SPAN, NO_SPAN),
         };
         let mut actions = Vec::new();
         if replica.cfg().join {
@@ -282,6 +291,26 @@ impl<S: Service> Replica<S> {
         self.obs = Some(ReplicaObs::new(obs, self.cfg.id));
     }
 
+    /// Attaches the causal flight recorder: protocol milestones
+    /// (propose / write / accept / commit / exec / view-change / help
+    /// re-vote / cst) are recorded into its ring, each parented to the
+    /// context of the input being handled.
+    pub fn attach_flight(&mut self, flight: FlightRecorder) {
+        self.flight = Some(flight);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Records one protocol event under the current input's context.
+    fn flight_event(&self, event: EventKind, seq: Option<u64>, view: Option<u64>, extra: u64) {
+        if let Some(flight) = &self.flight {
+            flight.protocol(event, seq, view, &self.cur_ctx, extra);
+        }
+    }
+
     /// Counts a refused ingress message under
     /// `bft_rejected_messages_total{reason=…}`. Rejection is the designed
     /// response to forged, stale, or Byzantine traffic: drop, count, move
@@ -323,6 +352,15 @@ impl<S: Service> Replica<S> {
 
     /// Handles a protocol message.
     pub fn on_message(&mut self, message: Message) -> Vec<Action> {
+        self.on_message_traced(message, None)
+    }
+
+    /// [`on_message`](Replica::on_message) under a causal context: the
+    /// transport passes the [`TraceCtx`] of its receive span (adopted from
+    /// the wire envelope), and every protocol event recorded while this
+    /// input runs links to it. `None` makes the events causal roots.
+    pub fn on_message_traced(&mut self, message: Message, ctx: Option<TraceCtx>) -> Vec<Action> {
+        self.cur_ctx = ctx.unwrap_or(TraceCtx::root(NO_SPAN, NO_SPAN));
         if self.status == Status::Retired {
             return Vec::new();
         }
@@ -365,6 +403,14 @@ impl<S: Service> Replica<S> {
 
     /// Handles a timer expiry.
     pub fn on_timer(&mut self, timer: TimerId) -> Vec<Action> {
+        self.on_timer_traced(timer, None)
+    }
+
+    /// [`on_timer`](Replica::on_timer) under a causal context (the
+    /// transport's timer span — timers are causal roots of everything they
+    /// trigger, e.g. watchdog-driven view changes).
+    pub fn on_timer_traced(&mut self, timer: TimerId, ctx: Option<TraceCtx>) -> Vec<Action> {
+        self.cur_ctx = ctx.unwrap_or(TraceCtx::root(NO_SPAN, NO_SPAN));
         if self.status == Status::Retired {
             return Vec::new();
         }
@@ -483,6 +529,15 @@ impl<S: Service> Replica<S> {
             {
                 if let Some(batch) = self.log.get(seq) {
                     self.helped.insert(from, (seq, view));
+                    if let Some(obs) = &self.obs {
+                        obs.help_revote(from, seq);
+                    }
+                    self.flight_event(
+                        EventKind::HelpRevote,
+                        Some(seq.0),
+                        Some(view.0),
+                        u64::from(from.0),
+                    );
                     let digest = batch.digest();
                     for vote in [
                         ConsensusMsg::Write { view, seq, digest },
@@ -564,6 +619,7 @@ impl<S: Service> Replica<S> {
                 if let Some(obs) = self.obs.as_mut() {
                     obs.proposal_seen(seq);
                 }
+                self.flight_event(EventKind::Propose, Some(seq.0), Some(pview.0), 0);
             }
             ConsensusMsg::Write { view: wview, seq, digest } => {
                 self.instance(seq).on_write(from, wview, digest);
@@ -601,6 +657,7 @@ impl<S: Service> Replica<S> {
             inst.on_write(me, view, digest);
             let msg = ConsensusMsg::Write { view, seq, digest };
             self.broadcast_consensus(msg, actions);
+            self.flight_event(EventKind::Write, Some(seq.0), Some(view.0), 0);
             // fallthrough to re-check quorums with our own vote
         }
         let inst = self.insts.get_mut(&seq.0).expect("instance exists");
@@ -610,6 +667,7 @@ impl<S: Service> Replica<S> {
             inst.on_accept(me, view, digest);
             let msg = ConsensusMsg::Accept { view, seq, digest };
             self.broadcast_consensus(msg, actions);
+            self.flight_event(EventKind::Accept, Some(seq.0), Some(view.0), 0);
         }
         let inst = self.insts.get_mut(&seq.0).expect("instance exists");
         // Decision.
@@ -631,6 +689,7 @@ impl<S: Service> Replica<S> {
         if let Some(obs) = self.obs.as_mut() {
             obs.decided(seq);
         }
+        self.flight_event(EventKind::Commit, Some(seq.0), Some(self.view.0), batch.len() as u64);
         if checkpoint_due {
             let snapshot = self.service.snapshot();
             let digest = self.log.local_checkpoint(seq, snapshot);
@@ -693,6 +752,7 @@ impl<S: Service> Replica<S> {
         if let Some(obs) = &self.obs {
             obs.executed(executed);
         }
+        self.flight_event(EventKind::Exec, Some(seq.0), None, executed as u64);
         actions.push(Action::Executed(seq, executed));
     }
 
@@ -796,6 +856,7 @@ impl<S: Service> Replica<S> {
         if let Some(obs) = self.obs.as_mut() {
             obs.view_change(new_view);
         }
+        self.flight_event(EventKind::ViewChange, None, Some(new_view.0), 0);
         // Capture our write certificate *before* resetting the open slot —
         // it is the evidence the new leader must respect.
         let prepared = self.prepared_certificate();
@@ -972,6 +1033,7 @@ impl<S: Service> Replica<S> {
         }
         let designee = designee % others.len();
         self.cst = Some(CstState { summaries: HashMap::new(), full: None, designee });
+        self.flight_event(EventKind::CstStart, Some(self.last_decided.0), Some(self.view.0), 0);
         for (i, peer) in others.iter().enumerate() {
             actions.push(Action::Send(
                 *peer,
@@ -1082,6 +1144,7 @@ impl<S: Service> Replica<S> {
         if let Some(obs) = &self.obs {
             obs.state_transferred(self.last_decided);
         }
+        self.flight_event(EventKind::CstDone, Some(self.last_decided.0), Some(self.view.0), 0);
         actions.push(Action::SetTimer(TimerId::Request, self.cfg.request_timeout));
         // Replay consensus traffic buffered during the transfer.
         let last = self.last_decided;

@@ -17,6 +17,9 @@ use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 
+use lazarus_obs::causal::{
+    slot_trace_id, EventKind, FlightEvent, FlightRecorder, TraceCtx, NO_SPAN,
+};
 use lazarus_obs::{Obs, WallClock};
 
 use crate::client::Client;
@@ -27,8 +30,74 @@ use crate::service::Service;
 use crate::types::{ClientId, Epoch, Membership, ReplicaId};
 
 enum Input {
-    Msg(Arc<Message>),
+    Msg(Arc<Message>, Option<TraceCtx>),
     Shutdown,
+}
+
+/// A root context with no trace: what a replica handles when the input
+/// carried no [`TraceCtx`] (client traffic, startup actions).
+const UNTRACED: TraceCtx = TraceCtx { trace_id: 0, parent_id: NO_SPAN, span_id: NO_SPAN };
+
+/// Allocates a wire span for `message` leaving for `to`, records the
+/// `send` event, and returns the context to attach on the wire. `None`
+/// when the sender has no flight recorder (tracing off).
+fn send_ctx(
+    flight: Option<&FlightRecorder>,
+    message: &Message,
+    to: ReplicaId,
+    handling: &TraceCtx,
+) -> Option<TraceCtx> {
+    let flight = flight?;
+    let slot = message.consensus_slot();
+    let trace_id = slot.map_or(handling.trace_id, |(_, seq)| slot_trace_id(seq.0));
+    let ctx = TraceCtx { trace_id, parent_id: handling.span_id, span_id: flight.next_span() };
+    flight.push(FlightEvent {
+        at_us: flight.now_micros(),
+        node: flight.node(),
+        event: EventKind::Send,
+        kind: message.label(),
+        seq: slot.map(|(_, s)| s.0),
+        view: slot.map(|(v, _)| v.0),
+        peer: Some(to.0),
+        trace_id: ctx.trace_id,
+        parent_id: ctx.parent_id,
+        span_id: ctx.span_id,
+        extra: 0,
+    });
+    Some(ctx)
+}
+
+/// Records the `recv` event for an arriving message and returns the
+/// handling context (a fresh span parented to the wire span). Without a
+/// flight recorder the wire context is adopted as-is.
+fn recv_ctx(
+    flight: Option<&FlightRecorder>,
+    message: &Message,
+    wire: Option<TraceCtx>,
+) -> Option<TraceCtx> {
+    let Some(flight) = flight else { return wire };
+    let slot = message.consensus_slot();
+    let trace_id =
+        wire.map(|c| c.trace_id).or_else(|| slot.map(|(_, seq)| slot_trace_id(seq.0))).unwrap_or(0);
+    let ctx = TraceCtx {
+        trace_id,
+        parent_id: wire.map_or(NO_SPAN, |c| c.span_id),
+        span_id: flight.next_span(),
+    };
+    flight.push(FlightEvent {
+        at_us: flight.now_micros(),
+        node: flight.node(),
+        event: EventKind::Recv,
+        kind: message.label(),
+        seq: slot.map(|(_, s)| s.0),
+        view: slot.map(|(v, _)| v.0),
+        peer: message.sender().map(|r| r.0),
+        trace_id: ctx.trace_id,
+        parent_id: ctx.parent_id,
+        span_id: ctx.span_id,
+        extra: 0,
+    });
+    Some(ctx)
 }
 
 type ReplyRouter = Arc<Mutex<HashMap<ClientId, Sender<Reply>>>>;
@@ -42,6 +111,7 @@ pub struct ThreadCluster {
     handles: Vec<JoinHandle<()>>,
     running: Arc<AtomicBool>,
     obs: Option<Obs>,
+    flights: HashMap<u32, FlightRecorder>,
 }
 
 impl std::fmt::Debug for ThreadCluster {
@@ -99,6 +169,7 @@ impl ThreadCluster {
         }
 
         let mut handles = Vec::new();
+        let mut flights = HashMap::new();
         for (id, rx) in (0..n).zip(rxs) {
             let mut cfg = ReplicaConfig::new(ReplicaId(id), membership.clone());
             cfg.checkpoint_period = checkpoint_period;
@@ -109,21 +180,40 @@ impl ThreadCluster {
                 replica.attach_obs(o);
                 WireObs::new(o)
             });
+            // An observed cluster also records causal flight events
+            // (wall-clock stamps — best-effort, unlike the deterministic
+            // sim-time streams the testbed produces).
+            let flight = obs.as_ref().map(|o| {
+                let rec = FlightRecorder::new(
+                    id,
+                    FlightRecorder::DEFAULT_CAPACITY,
+                    Arc::clone(o.clock()),
+                );
+                replica.attach_flight(rec.clone());
+                flights.insert(id, rec.clone());
+                rec
+            });
             let peers = inboxes.clone();
             let router = Arc::clone(&router);
             let running = Arc::clone(&running);
             handles.push(std::thread::spawn(move || {
-                replica_loop(replica, rx, peers, router, running, initial_actions, wire);
+                replica_loop(replica, rx, peers, router, running, initial_actions, wire, flight);
             }));
         }
 
-        ThreadCluster { inboxes, membership, master_secret, router, handles, running, obs }
+        ThreadCluster { inboxes, membership, master_secret, router, handles, running, obs, flights }
     }
 
     /// The instrumentation bundle, when started via
     /// [`ThreadCluster::start_observed`].
     pub fn obs(&self) -> Option<&Obs> {
         self.obs.as_ref()
+    }
+
+    /// Replica `id`'s flight recorder (shares the ring with the replica
+    /// thread), when started via [`ThreadCluster::start_observed`].
+    pub fn flight(&self, id: u32) -> Option<&FlightRecorder> {
+        self.flights.get(&id)
     }
 
     /// The cluster membership (for external clients).
@@ -154,6 +244,7 @@ impl ThreadCluster {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn replica_loop<S: Service>(
     mut replica: Replica<S>,
     rx: Receiver<Input>,
@@ -162,46 +253,51 @@ fn replica_loop<S: Service>(
     running: Arc<AtomicBool>,
     initial_actions: Vec<Action>,
     wire: Option<WireObs>,
+    flight: Option<FlightRecorder>,
 ) {
     let mut timers: HashMap<TimerId, Instant> = HashMap::new();
-    let apply = |actions: Vec<Action>, timers: &mut HashMap<TimerId, Instant>| {
-        for action in actions {
-            match action {
-                Action::Send(to, message) => {
-                    if let Some(wire) = &wire {
-                        wire.sent(message.label(), message.wire_size(), 1);
-                    }
-                    if let Some(tx) = peers.get(&to.0) {
-                        let _ = tx.send(Input::Msg(Arc::new(message)));
-                    }
-                }
-                Action::Broadcast(peers_list, message) => {
-                    if let Some(wire) = &wire {
-                        wire.sent(message.label(), message.wire_size(), peers_list.len());
-                    }
-                    // One shared allocation fanned out to every peer inbox.
-                    for to in peers_list {
+    let apply =
+        |actions: Vec<Action>, timers: &mut HashMap<TimerId, Instant>, handling: TraceCtx| {
+            for action in actions {
+                match action {
+                    Action::Send(to, message) => {
+                        if let Some(wire) = &wire {
+                            wire.sent(message.label(), message.wire_size(), 1);
+                        }
+                        let ctx = send_ctx(flight.as_ref(), &message, to, &handling);
                         if let Some(tx) = peers.get(&to.0) {
-                            let _ = tx.send(Input::Msg(Arc::clone(&message)));
+                            let _ = tx.send(Input::Msg(Arc::new(message), ctx));
                         }
                     }
-                }
-                Action::SendClient(client, reply) => {
-                    if let Some(tx) = router.lock().get(&client) {
-                        let _ = tx.send(reply);
+                    Action::Broadcast(peers_list, message) => {
+                        if let Some(wire) = &wire {
+                            wire.sent(message.label(), message.wire_size(), peers_list.len());
+                        }
+                        // One shared allocation fanned out to every peer inbox;
+                        // each copy gets its own wire span (distinct DAG edges).
+                        for to in peers_list {
+                            let ctx = send_ctx(flight.as_ref(), &message, to, &handling);
+                            if let Some(tx) = peers.get(&to.0) {
+                                let _ = tx.send(Input::Msg(Arc::clone(&message), ctx));
+                            }
+                        }
                     }
+                    Action::SendClient(client, reply) => {
+                        if let Some(tx) = router.lock().get(&client) {
+                            let _ = tx.send(reply);
+                        }
+                    }
+                    Action::SetTimer(timer, hint_ms) => {
+                        timers.insert(timer, Instant::now() + Duration::from_millis(hint_ms));
+                    }
+                    Action::CancelTimer(timer) => {
+                        timers.remove(&timer);
+                    }
+                    _ => {}
                 }
-                Action::SetTimer(timer, hint_ms) => {
-                    timers.insert(timer, Instant::now() + Duration::from_millis(hint_ms));
-                }
-                Action::CancelTimer(timer) => {
-                    timers.remove(&timer);
-                }
-                _ => {}
             }
-        }
-    };
-    apply(initial_actions, &mut timers);
+        };
+    apply(initial_actions, &mut timers, UNTRACED);
 
     while running.load(Ordering::Relaxed) {
         let next_deadline = timers.values().min().copied();
@@ -209,10 +305,11 @@ fn replica_loop<S: Service>(
             .map(|d| d.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(50));
         match rx.recv_timeout(timeout) {
-            Ok(Input::Msg(message)) => {
+            Ok(Input::Msg(message, wire_ctx)) => {
+                let ctx = recv_ctx(flight.as_ref(), &message, wire_ctx);
                 let message = Arc::try_unwrap(message).unwrap_or_else(|shared| (*shared).clone());
-                let actions = replica.on_message(message);
-                apply(actions, &mut timers);
+                let actions = replica.on_message_traced(message, ctx);
+                apply(actions, &mut timers, ctx.unwrap_or(UNTRACED));
             }
             Ok(Input::Shutdown) => break,
             Err(channel::RecvTimeoutError::Timeout) => {
@@ -221,8 +318,12 @@ fn replica_loop<S: Service>(
                     timers.iter().filter(|(_, &d)| d <= now).map(|(&t, _)| t).collect();
                 for timer in due {
                     timers.remove(&timer);
-                    let actions = replica.on_timer(timer);
-                    apply(actions, &mut timers);
+                    // A timer is a causal root of everything it triggers.
+                    let ctx = flight
+                        .as_ref()
+                        .map(|f| f.protocol(EventKind::Timer, None, None, &UNTRACED, 0));
+                    let actions = replica.on_timer_traced(timer, ctx);
+                    apply(actions, &mut timers, ctx.unwrap_or(UNTRACED));
                 }
             }
             Err(channel::RecvTimeoutError::Disconnected) => break,
@@ -261,7 +362,7 @@ impl ThreadClient {
         let deadline = Instant::now() + timeout;
         for (to, message) in self.client.invoke(payload) {
             if let Some(tx) = self.inboxes.get(&to.0) {
-                let _ = tx.send(Input::Msg(Arc::new(message)));
+                let _ = tx.send(Input::Msg(Arc::new(message), None));
             }
         }
         let mut next_retry = Instant::now() + Duration::from_millis(500);
@@ -281,7 +382,7 @@ impl ThreadClient {
                     if Instant::now() >= next_retry {
                         for (to, message) in self.client.retransmit() {
                             if let Some(tx) = self.inboxes.get(&to.0) {
-                                let _ = tx.send(Input::Msg(Arc::new(message)));
+                                let _ = tx.send(Input::Msg(Arc::new(message), None));
                             }
                         }
                         next_retry = Instant::now() + Duration::from_millis(500);
@@ -355,6 +456,39 @@ mod tests {
             .expect("latency histogram registered");
         assert!(hist.count >= 5 * 3);
         cluster.shutdown();
+    }
+
+    #[test]
+    fn observed_cluster_records_causal_flight_events() {
+        use lazarus_obs::causal::EventKind;
+        let cluster = ThreadCluster::start_observed(4, 10_000, CounterService::new);
+        let mut client = cluster.client(1);
+        for i in 0..3u32 {
+            let payload = Bytes::copy_from_slice(&i.to_be_bytes());
+            client.invoke(payload, Duration::from_secs(5)).expect("completes");
+        }
+        // Collect every replica's stream; the wire spans recorded at a
+        // sender must be the parents adopted by receivers.
+        let mut spans = std::collections::HashSet::new();
+        let mut events = Vec::new();
+        for id in 0..4 {
+            let flight = cluster.flight(id).expect("observed cluster records flight");
+            for ev in flight.events() {
+                spans.insert(ev.span_id);
+                events.push(ev);
+            }
+        }
+        cluster.shutdown();
+        let recvs: Vec<_> =
+            events.iter().filter(|e| e.event == EventKind::Recv && e.parent_id != 0).collect();
+        assert!(!recvs.is_empty(), "replica-to-replica traffic records recv events");
+        for recv in &recvs {
+            assert!(spans.contains(&recv.parent_id), "recv parent is a recorded send span");
+        }
+        // Protocol milestones landed in the same streams, linked to slots.
+        assert!(events
+            .iter()
+            .any(|e| e.event == EventKind::Commit && e.trace_id == slot_trace_id(1)));
     }
 
     #[test]

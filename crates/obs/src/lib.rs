@@ -1,7 +1,7 @@
 //! `lazarus-obs` — deterministic metrics and tracing for the Lazarus
 //! reproduction.
 //!
-//! The crate has two halves:
+//! The crate has three parts:
 //!
 //! * [`metrics`] — a [`Registry`] of lock-cheap [`Counter`]s, [`Gauge`]s,
 //!   and fixed-bucket log₂-scale [`Histogram`]s, snapshotable to a
@@ -10,6 +10,9 @@
 //! * [`trace`] — a [`Tracer`] recording spans and key/value events into a
 //!   bounded ring buffer with pluggable [`Sink`]s (stderr, JSONL file,
 //!   in-memory for tests).
+//! * [`causal`] — cross-replica causal tracing: the [`TraceCtx`] carried
+//!   on the wire and the bounded per-replica [`FlightRecorder`] of
+//!   protocol events, with fully deterministic ID allocation.
 //!
 //! Every timestamp flows through the injected [`Clock`] trait
 //! ([`clock`]): the discrete-event testbed passes its [`ManualClock`]
@@ -24,10 +27,12 @@
 //! Zero dependencies by design — this crate sits under every other crate in
 //! the workspace and must not disturb the offline build.
 
+pub mod causal;
 pub mod clock;
 pub mod metrics;
 pub mod trace;
 
+pub use causal::{slot_trace_id, EventKind, FlightEvent, FlightRecorder, TraceCtx, NO_SPAN};
 pub use clock::{Clock, ManualClock, NullClock, WallClock};
 pub use metrics::{
     bucket_bound, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot,

@@ -213,6 +213,7 @@ impl Metric {
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
     metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+    helps: Arc<Mutex<BTreeMap<String, String>>>,
 }
 
 impl Registry {
@@ -305,6 +306,13 @@ impl Registry {
         self.histogram(&Self::series(name, labels))
     }
 
+    /// Registers the `# HELP` text of a metric family (the bare name,
+    /// without labels). Families without a description get a readable
+    /// default derived from the name.
+    pub fn describe(&self, family: &str, help: &str) {
+        self.helps.lock().expect("registry poisoned").insert(family.to_string(), help.to_string());
+    }
+
     /// A frozen, name-sorted copy of every registered series.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
@@ -326,7 +334,14 @@ impl Registry {
                 }
             }
         }
-        Snapshot { counters, gauges, histograms }
+        let helps = self
+            .helps
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        Snapshot { counters, gauges, histograms, helps }
     }
 }
 
@@ -339,6 +354,9 @@ pub struct Snapshot {
     pub gauges: Vec<(String, f64)>,
     /// `(series, state)` histograms, sorted by series name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(family, help)` descriptions registered via [`Registry::describe`],
+    /// sorted by family name.
+    pub helps: Vec<(String, String)>,
 }
 
 /// Splits `name{labels}` into `(name, Some(labels))`.
@@ -358,16 +376,32 @@ fn with_extra_label(family: &str, labels: Option<&str>, extra: &str) -> String {
 }
 
 impl Snapshot {
+    /// The `# HELP` text of `family`: the registered description, or a
+    /// readable default derived from the name (underscores → spaces).
+    #[must_use]
+    pub fn help_for(&self, family: &str) -> String {
+        self.helps
+            .iter()
+            .find(|(f, _)| f == family)
+            .map_or_else(|| family.replace('_', " "), |(_, h)| h.clone())
+    }
+
     /// Renders the Prometheus text exposition format (metric families get
-    /// one `# TYPE` line; histogram buckets are cumulative with an `le`
-    /// label, `+Inf` last).
+    /// one `# HELP` and one `# TYPE` line; histogram buckets are cumulative
+    /// with an `le` label, `+Inf` last).
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         let mut last_family = String::new();
+        let helps = &self.helps;
         let mut type_line = |out: &mut String, series: &str, kind: &str| {
             let (family, _) = split_series(series);
             if family != last_family {
+                let help = helps
+                    .iter()
+                    .find(|(f, _)| f == family)
+                    .map_or_else(|| family.replace('_', " "), |(_, h)| h.clone());
+                let _ = writeln!(out, "# HELP {family} {help}");
                 let _ = writeln!(out, "# TYPE {family} {kind}");
                 last_family = family.to_string();
             }
@@ -606,13 +640,17 @@ mod tests {
         h.observe(1024);
         h.observe(1025);
         // Kind-grouped (counters, gauges, histograms), name-sorted within
-        // each group — the fixed order `to_prometheus` promises.
+        // each group — the fixed order `to_prometheus` promises. Families
+        // without a registered description get the derived default help.
         let expected = "\
+# HELP lazarus_messages_total lazarus messages total
 # TYPE lazarus_messages_total counter
 lazarus_messages_total{kind=\"PROPOSE\"} 3
 lazarus_messages_total{kind=\"WRITE\"} 9
+# HELP lazarus_config_risk lazarus config risk
 # TYPE lazarus_config_risk gauge
 lazarus_config_risk{epoch=\"0\"} 12.5
+# HELP lazarus_commit_latency_us lazarus commit latency us
 # TYPE lazarus_commit_latency_us histogram
 lazarus_commit_latency_us_bucket{le=\"1024\"} 2
 lazarus_commit_latency_us_bucket{le=\"2048\"} 3
@@ -621,6 +659,26 @@ lazarus_commit_latency_us_sum 2949
 lazarus_commit_latency_us_count 3
 ";
         assert_eq!(registry.snapshot().to_prometheus(), expected);
+    }
+
+    #[test]
+    fn prometheus_help_lines_use_registered_descriptions() {
+        let registry = Registry::new();
+        registry.counter_with("bft_wire_messages_total", &[("kind", "WRITE")]).add(4);
+        registry.gauge("bft_open_slot").set(7.0);
+        registry.describe("bft_wire_messages_total", "Messages sent on the wire, by kind.");
+        let expected = "\
+# HELP bft_wire_messages_total Messages sent on the wire, by kind.
+# TYPE bft_wire_messages_total counter
+bft_wire_messages_total{kind=\"WRITE\"} 4
+# HELP bft_open_slot bft open slot
+# TYPE bft_open_slot gauge
+bft_open_slot 7
+";
+        let snap = registry.snapshot();
+        assert_eq!(snap.to_prometheus(), expected);
+        assert_eq!(snap.help_for("bft_wire_messages_total"), "Messages sent on the wire, by kind.");
+        assert_eq!(snap.help_for("bft_open_slot"), "bft open slot");
     }
 
     #[test]

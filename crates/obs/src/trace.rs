@@ -210,8 +210,15 @@ pub struct JsonlSink {
 }
 
 impl JsonlSink {
-    /// Creates (truncating) `path` and streams events into it.
+    /// Creates (truncating) `path` and streams events into it, creating
+    /// missing parent directories so a `LAZARUS_TRACE_DIR` pointing at a
+    /// fresh path never errors. The buffer is flushed on drop.
     pub fn create(path: &str) -> std::io::Result<JsonlSink> {
+        if let Some(parent) =
+            std::path::Path::new(path).parent().filter(|p| !p.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(parent)?;
+        }
         Ok(JsonlSink { out: std::io::BufWriter::new(std::fs::File::create(path)?) })
     }
 }
@@ -449,6 +456,20 @@ mod tests {
         assert_eq!(events.len(), 3);
         assert_eq!(events[0].fields, vec![("i", FieldValue::U64(7))]);
         assert!(tracer.recent().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_creates_parent_dirs_and_flushes_on_drop() {
+        let dir = std::env::temp_dir().join(format!("lazarus_jsonl_{}", std::process::id()));
+        let path = dir.join("fresh/sub/trace.jsonl");
+        let tracer = Tracer::new(Arc::new(NullClock));
+        let sink = JsonlSink::create(path.to_str().expect("utf8 path")).expect("create");
+        tracer.add_sink(Box::new(sink));
+        tracer.event("hello", vec![("who", "world".into())]);
+        drop(tracer); // drops the sink, which flushes
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert!(body.contains("\"name\":\"hello\""), "{body}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

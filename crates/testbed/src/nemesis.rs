@@ -17,7 +17,8 @@ use bytes::Bytes;
 
 use lazarus_bft::service::CounterService;
 use lazarus_bft::types::{Epoch, Membership, ReplicaId};
-use lazarus_obs::Registry;
+use lazarus_obs::causal::FlightEvent;
+use lazarus_obs::{Registry, Snapshot};
 use lazarus_osint::json::Value;
 
 use crate::cluster::{SimCluster, SimConfig};
@@ -95,8 +96,49 @@ impl RunVerdict {
 
 /// Runs one scenario under one seed and returns its verdict.
 pub fn run_scenario(scenario: &str, seed: u64) -> RunVerdict {
+    run_sim(scenario, seed, false).0
+}
+
+/// A traced nemesis run: the verdict plus everything the offline trace
+/// analyzer consumes.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// The run's verdict (identical to the untraced run's — recording
+    /// observes the simulation without perturbing it).
+    pub verdict: RunVerdict,
+    /// Per-replica flight streams, sorted by node id.
+    pub streams: Vec<(u32, Vec<FlightEvent>)>,
+    /// Metrics snapshot of the run (sim-time clock), for cross-checking
+    /// analyzer anomaly counts against `bft_*` counters.
+    pub snapshot: Snapshot,
+}
+
+/// Ring capacity for traced nemesis runs. A 3 s scenario at full tilt
+/// records a few hundred thousand events per replica; the ring must hold
+/// the whole run or evicted parents surface as analyzer orphans. The
+/// ring allocates lazily, so oversizing costs nothing on short runs.
+pub const TRACE_CAPACITY: usize = 1 << 20;
+
+/// As [`run_scenario`], but with the obs bundle and causal flight
+/// recorders enabled: returns the verdict plus the per-replica event
+/// streams and the metrics snapshot. Fixed `(scenario, seed)` input yields
+/// byte-identical streams at any `LAZARUS_THREADS` setting.
+pub fn run_scenario_traced(scenario: &str, seed: u64) -> TracedRun {
+    let (verdict, sim) = run_sim(scenario, seed, true);
+    let streams = sim.flight_streams();
+    let snapshot = sim.obs().expect("traced runs are observed").registry.snapshot();
+    TracedRun { verdict, streams, snapshot }
+}
+
+fn run_sim(scenario: &str, seed: u64, traced: bool) -> (RunVerdict, SimCluster) {
     let membership = Membership::new(Epoch(0), (0..4).map(ReplicaId).collect());
-    let mut sim = SimCluster::new(SimConfig::default());
+    let mut sim = if traced {
+        let mut sim = SimCluster::new_observed(SimConfig::default());
+        sim.enable_flight(TRACE_CAPACITY);
+        sim
+    } else {
+        SimCluster::new(SimConfig::default())
+    };
     for r in 0..4 {
         sim.add_node(
             ReplicaId(r),
@@ -120,7 +162,7 @@ pub fn run_scenario(scenario: &str, seed: u64) -> RunVerdict {
     let violations: Vec<String> = checker.violations().iter().map(|v| v.to_string()).collect();
     let liveness_ok = completed_after_heal > 0;
     let commits_checked = checker.commits_checked();
-    RunVerdict {
+    let verdict = RunVerdict {
         scenario: scenario.to_string(),
         seed,
         safety_ok,
@@ -130,7 +172,8 @@ pub fn run_scenario(scenario: &str, seed: u64) -> RunVerdict {
         completed_after_heal,
         commits_checked,
         stats: sim.fault_stats().expect("installed above"),
-    }
+    };
+    (verdict, sim)
 }
 
 /// A full sweep: every verdict plus the aggregated metrics registry.
