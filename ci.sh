@@ -38,6 +38,16 @@ for f in replica.rs consensus.rs messages.rs client.rs; do
 done
 echo "    ingress modules panic-free"
 
+echo "==> no unwrap() in the health streaming fold (a stale producer must clamp, not panic)"
+offenders=$(awk '/^(#\[cfg\(test\)\]|mod tests)/{exit} {print FILENAME":"NR": "$0}' \
+    crates/obs/src/health.rs | grep '\.unwrap()' | grep -v 'unwrap_or' || true)
+if [ -n "$offenders" ]; then
+    echo "FAIL: unwrap() in obs::health — fold/evict must be total:" >&2
+    echo "$offenders" >&2
+    exit 1
+fi
+echo "    health fold panic-free"
+
 echo "==> determinism: figure bins byte-identical across thread counts"
 cargo build --release -q -p lazarus-bench
 metrics_dir=$(mktemp -d)
@@ -81,5 +91,19 @@ for t in 4 8; do
     done
 done
 echo "    flight streams schema-clean, orphan-free, thread-count invariant"
+
+echo "==> health ablation: demotion improves heal time, outputs thread-count invariant"
+for t in 1 4; do
+    mkdir -p "$metrics_dir/health$t"
+    LAZARUS_THREADS=$t LAZARUS_METRICS_DIR="$metrics_dir/health$t" \
+        target/release/fig_health_ablation mute > /dev/null
+done
+for f in fig_health_ablation_results.json fig_health_ablation_metrics.json; do
+    if ! cmp -s "$metrics_dir/health1/$f" "$metrics_dir/health4/$f"; then
+        echo "FAIL: $f differs between 1 and 4 threads" >&2
+        exit 1
+    fi
+done
+echo "    ablation green, results and metrics json identical"
 
 echo "CI green."

@@ -4,8 +4,13 @@
 //! cross-check.
 
 use lazarus_bench::flight::{dump_traced, load_dir, merge, Analysis};
+use lazarus_core::{Controller, ControllerConfig, HealthPolicy};
 use lazarus_obs::causal::EventKind;
-use lazarus_testbed::nemesis::run_scenario_traced;
+use lazarus_obs::{AnomalyKind, Obs};
+use lazarus_osint::catalog::study_oses;
+use lazarus_osint::datamgr::DataManager;
+use lazarus_osint::kb::KnowledgeBase;
+use lazarus_testbed::nemesis::{probe_health, run_scenario_traced};
 
 fn counter(snapshot: &lazarus_obs::Snapshot, name: &str) -> u64 {
     snapshot.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
@@ -90,4 +95,74 @@ fn analyzer_anomaly_counts_match_replica_metrics() {
         analysis.anomalies.cst_fetches >= counter(&traced.snapshot, "bft_state_transfers_total"),
         "cst fetches are at least the completed transfers"
     );
+}
+
+#[test]
+fn health_anomaly_counters_match_fault_and_analyzer_evidence() {
+    // A mute leader goes silent from boot: the online health ticks must
+    // count a silence onset, and the final reduction must flag exactly the
+    // muted replica — cross-checked against the fault plan's own injection
+    // stats and the flight streams (replica 0 records no Send events while
+    // everyone else floods the wire).
+    let traced = run_scenario_traced("mute", 5);
+    assert!(traced.verdict.stats.muted > 0, "the fault plan swallowed egress");
+    let silences = counter(&traced.snapshot, "health_anomalies_total{kind=\"silence\"}");
+    assert!(silences >= 1, "online ticks counted the silence onset (got {silences})");
+
+    let h0 = traced.health.replica(0).expect("replica 0 tracked");
+    assert!(h0.anomalies.contains(&AnomalyKind::Silence), "muted replica flagged: {h0:?}");
+    assert_eq!(h0.liveness_score, 0, "no egress -> fully decayed liveness");
+    for replica in 1..4 {
+        let h = traced.health.replica(replica).expect("tracked");
+        assert!(h.anomalies.is_empty(), "honest replica {replica} unflagged: {h:?}");
+    }
+
+    let sends_by_node = |node: u32| {
+        traced
+            .streams
+            .iter()
+            .find(|(id, _)| *id == node)
+            .map_or(0, |(_, evs)| evs.iter().filter(|e| e.event == EventKind::Send).count())
+    };
+    assert_eq!(sends_by_node(0), 0, "the muted replica never reaches the wire");
+    assert!(sends_by_node(1) > 100, "honest replicas flood the wire");
+}
+
+#[test]
+fn controller_demotion_counter_matches_reconfig_decision_events() {
+    // The ablation control loop in miniature: probe a mute run before the
+    // watchdog heals it, ingest the evidence, and plan. Exactly one
+    // demotion must land in `controller_leader_demotions_total`, and every
+    // counted demotion must also appear as a `reconfig_decision` trace
+    // event carrying the justifying scores.
+    let obs = Obs::unclocked();
+    let mut controller = Controller::new(
+        ControllerConfig::new(study_oses()),
+        DataManager::new(KnowledgeBase::new()),
+    );
+    controller.attach_obs(&obs);
+    controller.set_health_policy(HealthPolicy {
+        demote_score: 850,
+        demote_p99_us: 40_000,
+        promote_score: 900,
+        hysteresis_rounds: 2,
+    });
+    controller.assume_leader(0);
+    for snapshot in probe_health("mute", 5, &[330_000, 390_000]) {
+        controller.ingest_health(&snapshot);
+    }
+    let decision = controller.plan_leader();
+    assert_eq!(decision.reason, "demoted", "two degraded snapshots clear the hysteresis");
+    assert_eq!(decision.demoted, Some(0));
+    assert_ne!(decision.leader, 0, "the replacement is a different replica");
+
+    let demotions = counter(&obs.registry.snapshot(), "controller_leader_demotions_total");
+    assert_eq!(demotions, 1, "exactly one demotion counted");
+    let demotion_events = obs
+        .tracer
+        .recent()
+        .iter()
+        .filter(|e| e.name == "reconfig_decision" && e.render().contains("decision=\"demoted\""))
+        .count() as u64;
+    assert_eq!(demotion_events, demotions, "counter and trace events agree");
 }

@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use lazarus_obs::{Clock, Counter, Histogram, Obs, Tracer};
+use lazarus_obs::{Clock, Counter, HealthTracker, Histogram, Obs, Tracer};
 
 use crate::types::{Epoch, ReplicaId, SeqNo, View};
 
@@ -67,6 +67,14 @@ pub const REJECT_REASONS: [&str; 13] = [
 
 fn reason_slot(reason: &str) -> usize {
     REJECT_REASONS.iter().position(|&r| r == reason).unwrap_or(0)
+}
+
+/// Per-slot clock marks along the commit critical path.
+#[derive(Debug, Clone, Copy)]
+struct SlotMarks {
+    proposed: u64,
+    wrote: Option<u64>,
+    accepted: Option<u64>,
 }
 
 /// Per-message-kind wire accounting for an embedding runtime.
@@ -117,8 +125,12 @@ pub struct ReplicaObs {
     state_transfers_total: Counter,
     commit_latency_us: Histogram,
 
-    /// Open proposals: slot → clock time the proposal was first accepted.
-    proposed_at: HashMap<u64, u64>,
+    /// Open proposals: slot → phase timestamps along the critical path.
+    marks: HashMap<u64, SlotMarks>,
+
+    /// Streaming health aggregation fed from the same hooks (None = the
+    /// replica is metered but not health-scored).
+    health: Option<HealthTracker>,
 }
 
 impl ReplicaObs {
@@ -142,8 +154,22 @@ impl ReplicaObs {
             checkpoints_total: obs.registry.counter("bft_checkpoints_total"),
             state_transfers_total: obs.registry.counter("bft_state_transfers_total"),
             commit_latency_us: obs.registry.histogram("bft_commit_latency_us"),
-            proposed_at: HashMap::new(),
+            marks: HashMap::new(),
+            health: None,
         }
+    }
+
+    /// Attaches the streaming health tracker, registering this replica as
+    /// starting in `view` under `leader`.
+    pub fn attach_health(&mut self, health: HealthTracker, view: View, leader: ReplicaId) {
+        health.register(self.id.0, view.0, leader.0);
+        self.health = Some(health);
+    }
+
+    /// The attached health tracker, if any.
+    #[must_use]
+    pub fn health(&self) -> Option<&HealthTracker> {
+        self.health.as_ref()
     }
 
     /// Registers `# HELP` texts for the replica metric families (shared
@@ -163,22 +189,69 @@ impl ReplicaObs {
     }
 
     /// An ingress message was refused for `reason` (one of
-    /// [`REJECT_REASONS`]).
-    pub fn rejected(&self, reason: &str) {
+    /// [`REJECT_REASONS`]). When the refused message came from a member
+    /// replica, `culprit` names it and the health tracker charges the
+    /// rejection to that *sender* — so a Byzantine replica (corrupt
+    /// batches, equivocation, proposals from the wrong node) bleeds
+    /// stability score instead of its victims. Rejections with no
+    /// attributable replica (client-origin or ambiguous) only count into
+    /// the metric.
+    pub fn rejected(&self, reason: &str, culprit: Option<ReplicaId>) {
         self.rejected[reason_slot(reason)].inc();
+        if let (Some(health), Some(culprit)) = (&self.health, culprit) {
+            health.reject(culprit.0);
+        }
     }
 
     /// A proposal for `seq` was accepted into the local instance (starts
     /// the proposal→execute latency clock for that slot).
     pub fn proposal_seen(&mut self, seq: SeqNo) {
-        self.proposed_at.entry(seq.0).or_insert_with(|| self.clock.now_micros());
+        let now = self.clock.now_micros();
+        self.marks.entry(seq.0).or_insert(SlotMarks { proposed: now, wrote: None, accepted: None });
+        if let Some(health) = &self.health {
+            health.proposal_open(self.id.0, seq.0);
+        }
     }
 
-    /// Slot `seq` was decided (closes that slot's latency measurement).
+    /// This replica sent its WRITE for `seq` (propose phase done).
+    pub fn wrote(&mut self, seq: SeqNo) {
+        let now = self.clock.now_micros();
+        if let Some(marks) = self.marks.get_mut(&seq.0) {
+            marks.wrote.get_or_insert(now);
+        }
+    }
+
+    /// This replica sent its ACCEPT for `seq` (write phase done).
+    pub fn accepted(&mut self, seq: SeqNo) {
+        let now = self.clock.now_micros();
+        if let Some(marks) = self.marks.get_mut(&seq.0) {
+            marks.accepted.get_or_insert(now);
+        }
+    }
+
+    /// Slot `seq` was decided (closes that slot's latency measurement and
+    /// feeds the health windows: total latency plus per-phase durations).
     pub fn decided(&mut self, seq: SeqNo) {
         self.decided_total.inc();
-        if let Some(at) = self.proposed_at.remove(&seq.0) {
-            self.commit_latency_us.observe(self.clock.now_micros().saturating_sub(at));
+        if let Some(marks) = self.marks.remove(&seq.0) {
+            let now = self.clock.now_micros();
+            let latency = now.saturating_sub(marks.proposed);
+            self.commit_latency_us.observe(latency);
+            if let Some(health) = &self.health {
+                // Missing intermediate marks (e.g. a slot finished via a
+                // vote replay) collapse the absent phase to zero time.
+                let wrote = marks.wrote.unwrap_or(marks.proposed);
+                let accepted = marks.accepted.unwrap_or(wrote);
+                health.commit(self.id.0, seq.0, latency);
+                health.phases(
+                    self.id.0,
+                    [
+                        wrote.saturating_sub(marks.proposed),
+                        accepted.saturating_sub(wrote),
+                        now.saturating_sub(accepted),
+                    ],
+                );
+            }
         }
     }
 
@@ -196,12 +269,16 @@ impl ReplicaObs {
         );
     }
 
-    /// The replica installed `new_view` after a leader change.
-    pub fn view_change(&mut self, new_view: View) {
+    /// The replica installed `new_view` (led by `leader`) after a leader
+    /// change.
+    pub fn view_change(&mut self, new_view: View, leader: ReplicaId) {
         self.view_changes_total.inc();
         // Stale slots from the old view would otherwise pin their start
         // timestamps forever.
-        self.proposed_at.clear();
+        self.marks.clear();
+        if let Some(health) = &self.health {
+            health.view_change(self.id.0, new_view.0, leader.0);
+        }
         self.tracer.event(
             "replica.view_change",
             vec![("replica", self.id.0.into()), ("view", new_view.0.into())],
@@ -212,6 +289,10 @@ impl ReplicaObs {
     /// (throttled to once per `(peer, slot, view)`).
     pub fn help_revote(&self, peer: ReplicaId, seq: SeqNo) {
         self.help_revotes_total.inc();
+        if let Some(health) = &self.health {
+            // The *peer* needed the help — it is the one falling behind.
+            health.help_revote(peer.0);
+        }
         self.tracer.event(
             "replica.help_revote",
             vec![("replica", self.id.0.into()), ("peer", peer.0.into()), ("seq", seq.0.into())],
@@ -221,6 +302,9 @@ impl ReplicaObs {
     /// A state transfer completed at `seq`.
     pub fn state_transferred(&self, seq: SeqNo) {
         self.state_transfers_total.inc();
+        if let Some(health) = &self.health {
+            health.cst(self.id.0);
+        }
         self.tracer.event(
             "replica.state_transfer",
             vec![("replica", self.id.0.into()), ("seq", seq.0.into())],

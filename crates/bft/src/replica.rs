@@ -113,6 +113,10 @@ pub struct ReplicaConfig {
     pub master_secret: Vec<u8>,
     /// Start in joining mode (fetch state before participating).
     pub join: bool,
+    /// View to start in. Leader of view `v` is `replicas[v % n]`, so the
+    /// control plane places its chosen leader by booting the whole cluster
+    /// at the matching view. Every replica must agree on it.
+    pub initial_view: View,
 }
 
 impl ReplicaConfig {
@@ -127,6 +131,7 @@ impl ReplicaConfig {
             cst_gap: 2000,
             master_secret: b"lazarus-deployment".to_vec(),
             join: false,
+            initial_view: View(0),
         }
     }
 }
@@ -205,12 +210,13 @@ impl<S: Service> Replica<S> {
         let membership = cfg.membership.clone();
         let status = if cfg.join { Status::StateTransfer } else { Status::Active };
         let log = DecidedLog::new(cfg.checkpoint_period, genesis);
+        let initial_view = cfg.initial_view;
         let mut replica = Replica {
             cfg,
             keyring,
             service,
             membership,
-            view: View(0),
+            view: initial_view,
             status,
             pending: VecDeque::new(),
             pending_digests: HashSet::new(),
@@ -291,6 +297,17 @@ impl<S: Service> Replica<S> {
         self.obs = Some(ReplicaObs::new(obs, self.cfg.id));
     }
 
+    /// Attaches the streaming health tracker (requires [`Self::attach_obs`]
+    /// first — health signals flow through the same hook sites). The
+    /// replica registers itself under its current view and leader.
+    pub fn attach_health(&mut self, health: lazarus_obs::HealthTracker) {
+        let view = self.view;
+        let leader = self.membership.leader(view);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.attach_health(health, view, leader);
+        }
+    }
+
     /// Attaches the causal flight recorder: protocol milestones
     /// (propose / write / accept / commit / exec / view-change / help
     /// re-vote / cst) are recorded into its ring, each parented to the
@@ -314,10 +331,21 @@ impl<S: Service> Replica<S> {
     /// Counts a refused ingress message under
     /// `bft_rejected_messages_total{reason=…}`. Rejection is the designed
     /// response to forged, stale, or Byzantine traffic: drop, count, move
-    /// on — never panic.
+    /// on — never panic. This variant is for rejections with no
+    /// attributable replica (client-origin, or benign pipeline skew like
+    /// votes on already-decided slots); it carries no health charge.
     fn reject(&self, reason: &'static str) {
         if let Some(obs) = &self.obs {
-            obs.rejected(reason);
+            obs.rejected(reason, None);
+        }
+    }
+
+    /// As [`Self::reject`], but the refused message came from member
+    /// replica `from` whose own behaviour caused the refusal — the health
+    /// tracker charges the rejection to that sender.
+    fn reject_from(&self, reason: &'static str, from: ReplicaId) {
+        if let Some(obs) = &self.obs {
+            obs.rejected(reason, Some(from));
         }
     }
 
@@ -596,24 +624,24 @@ impl<S: Service> Replica<S> {
         match msg {
             ConsensusMsg::Propose { view: pview, seq, batch } => {
                 if pview != view {
-                    self.reject("wrong-view");
+                    self.reject_from("wrong-view", from);
                     return;
                 }
                 // Only the leader of the view may propose.
                 if from != self.membership.leader(view) {
-                    self.reject("not-leader");
+                    self.reject_from("not-leader", from);
                     return;
                 }
                 // Our own proposals were tag-verified request by request as
                 // they were enqueued; a remote leader's batch gets the full
                 // validity check here.
                 if from != self.cfg.id && !self.verify_batch(&batch) {
-                    self.reject("bad-batch");
+                    self.reject_from("bad-batch", from);
                     return;
                 }
                 let inst = self.instance(seq);
                 if !inst.set_proposal(pview, batch) {
-                    self.reject("equivocation");
+                    self.reject_from("equivocation", from);
                     return;
                 }
                 if let Some(obs) = self.obs.as_mut() {
@@ -658,6 +686,9 @@ impl<S: Service> Replica<S> {
             let msg = ConsensusMsg::Write { view, seq, digest };
             self.broadcast_consensus(msg, actions);
             self.flight_event(EventKind::Write, Some(seq.0), Some(view.0), 0);
+            if let Some(obs) = self.obs.as_mut() {
+                obs.wrote(seq);
+            }
             // fallthrough to re-check quorums with our own vote
         }
         let inst = self.insts.get_mut(&seq.0).expect("instance exists");
@@ -668,6 +699,9 @@ impl<S: Service> Replica<S> {
             let msg = ConsensusMsg::Accept { view, seq, digest };
             self.broadcast_consensus(msg, actions);
             self.flight_event(EventKind::Accept, Some(seq.0), Some(view.0), 0);
+            if let Some(obs) = self.obs.as_mut() {
+                obs.accepted(seq);
+            }
         }
         let inst = self.insts.get_mut(&seq.0).expect("instance exists");
         // Decision.
@@ -853,8 +887,9 @@ impl<S: Service> Replica<S> {
     fn install_view(&mut self, new_view: View, actions: &mut Vec<Action>) {
         self.view = new_view;
         self.stops.remove(&new_view.0.saturating_sub(1));
+        let new_leader = self.membership.leader(new_view);
         if let Some(obs) = self.obs.as_mut() {
-            obs.view_change(new_view);
+            obs.view_change(new_view, new_leader);
         }
         self.flight_event(EventKind::ViewChange, None, Some(new_view.0), 0);
         // Capture our write certificate *before* resetting the open slot —
@@ -864,7 +899,7 @@ impl<S: Service> Replica<S> {
         if let Some(inst) = self.insts.get_mut(&open.0) {
             inst.reset_for_view(new_view);
         }
-        let leader = self.membership.leader(new_view);
+        let leader = new_leader;
         if leader == self.cfg.id {
             let last_decided = self.last_decided;
             let entry = self.stop_datas.entry(new_view.0).or_default();
@@ -962,7 +997,7 @@ impl<S: Service> Replica<S> {
             return;
         }
         if self.membership.leader(new_view) != from {
-            self.reject("not-leader");
+            self.reject_from("not-leader", from);
             return;
         }
         actions.push(Action::CancelTimer(TimerId::Sync));
@@ -1084,7 +1119,7 @@ impl<S: Service> Replica<S> {
         let snapshot_ok =
             reply.snapshot.as_ref().is_none_or(|s| Digest::of(s) == reply.snapshot_digest);
         if !snapshot_ok {
-            self.reject("bad-snapshot");
+            self.reject_from("bad-snapshot", from);
         }
         let n_others = self.membership.others(self.cfg.id).count();
         let Some(cst) = self.cst.as_mut() else { return };

@@ -20,7 +20,7 @@ use parking_lot::Mutex;
 use lazarus_obs::causal::{
     slot_trace_id, EventKind, FlightEvent, FlightRecorder, TraceCtx, NO_SPAN,
 };
-use lazarus_obs::{Obs, WallClock};
+use lazarus_obs::{HealthConfig, HealthTracker, Obs, WallClock};
 
 use crate::client::Client;
 use crate::messages::{Message, Reply};
@@ -111,6 +111,7 @@ pub struct ThreadCluster {
     handles: Vec<JoinHandle<()>>,
     running: Arc<AtomicBool>,
     obs: Option<Obs>,
+    health: Option<HealthTracker>,
     flights: HashMap<u32, FlightRecorder>,
 }
 
@@ -168,6 +169,11 @@ impl ThreadCluster {
             rxs.push(rx);
         }
 
+        // One shared health tracker across all replica threads: producer
+        // hooks commute under its mutex, scores read from wall-clock
+        // telemetry (best-effort, unlike the deterministic sim-time health
+        // the testbed produces).
+        let health = obs.as_ref().map(|o| HealthTracker::new(HealthConfig::default(), o));
         let mut handles = Vec::new();
         let mut flights = HashMap::new();
         for (id, rx) in (0..n).zip(rxs) {
@@ -178,6 +184,9 @@ impl ThreadCluster {
             let (mut replica, initial_actions) = Replica::new(cfg, make_service());
             let wire = obs.as_ref().map(|o| {
                 replica.attach_obs(o);
+                if let Some(health) = &health {
+                    replica.attach_health(health.clone());
+                }
                 WireObs::new(o)
             });
             // An observed cluster also records causal flight events
@@ -196,18 +205,46 @@ impl ThreadCluster {
             let peers = inboxes.clone();
             let router = Arc::clone(&router);
             let running = Arc::clone(&running);
+            let health_tx = health.clone();
             handles.push(std::thread::spawn(move || {
-                replica_loop(replica, rx, peers, router, running, initial_actions, wire, flight);
+                replica_loop(
+                    replica,
+                    rx,
+                    peers,
+                    router,
+                    running,
+                    initial_actions,
+                    wire,
+                    flight,
+                    health_tx,
+                );
             }));
         }
 
-        ThreadCluster { inboxes, membership, master_secret, router, handles, running, obs, flights }
+        ThreadCluster {
+            inboxes,
+            membership,
+            master_secret,
+            router,
+            handles,
+            running,
+            obs,
+            health,
+            flights,
+        }
     }
 
     /// The instrumentation bundle, when started via
     /// [`ThreadCluster::start_observed`].
     pub fn obs(&self) -> Option<&Obs> {
         self.obs.as_ref()
+    }
+
+    /// The shared health tracker, when started via
+    /// [`ThreadCluster::start_observed`]. Call
+    /// [`HealthTracker::snapshot`] to reduce the current windows.
+    pub fn health(&self) -> Option<&HealthTracker> {
+        self.health.as_ref()
     }
 
     /// Replica `id`'s flight recorder (shares the ring with the replica
@@ -254,7 +291,9 @@ fn replica_loop<S: Service>(
     initial_actions: Vec<Action>,
     wire: Option<WireObs>,
     flight: Option<FlightRecorder>,
+    health: Option<HealthTracker>,
 ) {
+    let me = replica.id().0;
     let mut timers: HashMap<TimerId, Instant> = HashMap::new();
     let apply =
         |actions: Vec<Action>, timers: &mut HashMap<TimerId, Instant>, handling: TraceCtx| {
@@ -264,6 +303,9 @@ fn replica_loop<S: Service>(
                         if let Some(wire) = &wire {
                             wire.sent(message.label(), message.wire_size(), 1);
                         }
+                        if let Some(health) = &health {
+                            health.seen(me);
+                        }
                         let ctx = send_ctx(flight.as_ref(), &message, to, &handling);
                         if let Some(tx) = peers.get(&to.0) {
                             let _ = tx.send(Input::Msg(Arc::new(message), ctx));
@@ -272,6 +314,9 @@ fn replica_loop<S: Service>(
                     Action::Broadcast(peers_list, message) => {
                         if let Some(wire) = &wire {
                             wire.sent(message.label(), message.wire_size(), peers_list.len());
+                        }
+                        if let Some(health) = &health {
+                            health.seen(me);
                         }
                         // One shared allocation fanned out to every peer inbox;
                         // each copy gets its own wire span (distinct DAG edges).

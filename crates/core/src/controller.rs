@@ -21,7 +21,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use lazarus_obs::{FieldValue, Obs};
+use lazarus_obs::{FieldValue, HealthSnapshot, Obs};
 use lazarus_osint::catalog::OsVersion;
 use lazarus_osint::datamgr::{DataManager, RetryPolicy};
 use lazarus_osint::date::Date;
@@ -53,6 +53,50 @@ impl ControllerConfig {
     pub fn new(universe: Vec<OsVersion>) -> ControllerConfig {
         ControllerConfig { n: 4, universe, slack: 15.0, seed: 42, hosts: 8 }
     }
+}
+
+/// Thresholds of the health-driven role (leader) policy.
+///
+/// Risk chooses *which* replicas form the CONFIG (Algorithm 1); health
+/// ranks *roles within* it. Demotion is hysteresis-gated: the leader must
+/// look bad for [`HealthPolicy::hysteresis_rounds`] *consecutive* ingested
+/// snapshots before [`Controller::plan_leader`] moves the role, so one
+/// noisy window cannot flap the leadership.
+#[derive(Debug, Clone)]
+pub struct HealthPolicy {
+    /// Composite score (permille) below which the leader looks degraded.
+    pub demote_score: u32,
+    /// Windowed commit p99 (µs) above which the leader looks degraded.
+    pub demote_p99_us: u64,
+    /// Minimum composite score a replacement must show to be promoted.
+    pub promote_score: u32,
+    /// Consecutive degraded snapshots required before demotion.
+    pub hysteresis_rounds: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            demote_score: 600,
+            demote_p99_us: 40_000,
+            promote_score: 750,
+            hysteresis_rounds: 2,
+        }
+    }
+}
+
+/// What [`Controller::plan_leader`] decided, with the evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaderDecision {
+    /// The leader after this decision.
+    pub leader: u32,
+    /// The replica demoted by this decision, if any.
+    pub demoted: Option<u32>,
+    /// Why: `bootstrap`, `healthy`, `hysteresis-pending`, `demoted`, or
+    /// `no-candidate`.
+    pub reason: &'static str,
+    /// The (current or kept) leader's composite score at decision time.
+    pub leader_score: u32,
 }
 
 /// An entry of the controller's audit trail.
@@ -124,6 +168,14 @@ pub struct Controller {
     /// Consecutive rounds whose OSINT sync was not fully healthy — the risk
     /// oracle is running on data at least this many rounds old.
     stale_rounds: u64,
+
+    // Health consumer (role selection within the risk-chosen CONFIG).
+    health_policy: HealthPolicy,
+    last_health: Option<HealthSnapshot>,
+    /// Consecutive ingested snapshots in which the current leader looked
+    /// degraded (the hysteresis counter).
+    leader_bad_rounds: u32,
+    current_leader: Option<u32>,
 }
 
 impl Controller {
@@ -139,9 +191,19 @@ impl Controller {
             audit: Vec::new(),
             obs: Obs::noop(),
             stale_rounds: 0,
+            health_policy: HealthPolicy::default(),
+            last_health: None,
+            leader_bad_rounds: 0,
+            current_leader: None,
             data,
             cfg,
         }
+    }
+
+    /// Overrides the health-driven role policy (defaults are
+    /// [`HealthPolicy::default`]).
+    pub fn set_health_policy(&mut self, policy: HealthPolicy) {
+        self.health_policy = policy;
     }
 
     /// Attaches an observability bundle: every subsequent round records
@@ -355,6 +417,130 @@ impl Controller {
     /// OSINT sync (0 = the last sync was clean).
     pub fn risk_staleness(&self) -> u64 {
         self.stale_rounds
+    }
+
+    /// Seeds the role policy with the leader the deploy plane actually
+    /// booted, resetting the demotion hysteresis. Without this the
+    /// controller adopts the leader of the first ingested snapshot — which,
+    /// if the cluster already failed over on its own, is the *replacement*
+    /// rather than the placement under evaluation.
+    pub fn assume_leader(&mut self, leader: u32) {
+        self.current_leader = Some(leader);
+        self.leader_bad_rounds = 0;
+    }
+
+    /// Feeds one execution-plane health snapshot into the role policy.
+    ///
+    /// The controller keeps the latest snapshot and counts *consecutive*
+    /// snapshots in which the current leader looked degraded — composite
+    /// score below [`HealthPolicy::demote_score`], windowed commit p99
+    /// above [`HealthPolicy::demote_p99_us`], or any active anomaly. One
+    /// healthy snapshot resets the hysteresis counter.
+    pub fn ingest_health(&mut self, snapshot: &HealthSnapshot) {
+        let leader = match self.current_leader {
+            Some(leader) => leader,
+            None => {
+                let leader = snapshot.leader.unwrap_or(0);
+                self.current_leader = Some(leader);
+                leader
+            }
+        };
+        let degraded = snapshot.replica(leader).is_some_and(|h| {
+            h.score < self.health_policy.demote_score
+                || h.p99_us.is_some_and(|p99| p99 > self.health_policy.demote_p99_us)
+                || h.anomalous()
+        });
+        if degraded {
+            self.leader_bad_rounds += 1;
+        } else {
+            self.leader_bad_rounds = 0;
+        }
+        self.obs
+            .registry
+            .gauge("controller_leader_bad_rounds")
+            .set(f64::from(self.leader_bad_rounds));
+        self.last_health = Some(snapshot.clone());
+    }
+
+    /// Decides who should lead, given the ingested health evidence: risk
+    /// picks the CONFIG, health ranks the role. The current leader is
+    /// demoted only after [`HealthPolicy::hysteresis_rounds`] consecutive
+    /// degraded snapshots, and a replacement is never a replica flagged
+    /// anomalous or scoring below [`HealthPolicy::promote_score`] — if no
+    /// candidate qualifies, the incumbent keeps the role. Every decision
+    /// (kept or moved) is logged as a `reconfig_decision` trace event
+    /// carrying the scores that justified it; demotions additionally count
+    /// into `controller_leader_demotions_total`.
+    pub fn plan_leader(&mut self) -> LeaderDecision {
+        let Some(snapshot) = &self.last_health else {
+            let leader = self.current_leader.unwrap_or(0);
+            let decision =
+                LeaderDecision { leader, demoted: None, reason: "bootstrap", leader_score: 0 };
+            self.record_leader_decision(&decision, 0);
+            return decision;
+        };
+        let leader = self.current_leader.unwrap_or_else(|| snapshot.leader.unwrap_or(0));
+        let leader_score = snapshot.replica(leader).map_or(0, |h| h.score);
+        let version = snapshot.version;
+
+        let decision = if self.leader_bad_rounds == 0 {
+            LeaderDecision { leader, demoted: None, reason: "healthy", leader_score }
+        } else if self.leader_bad_rounds < self.health_policy.hysteresis_rounds {
+            LeaderDecision { leader, demoted: None, reason: "hysteresis-pending", leader_score }
+        } else {
+            // Best non-anomalous candidate above the promotion bar; ties
+            // break to the lowest id (deterministic).
+            let candidate = snapshot
+                .replicas
+                .iter()
+                .filter(|h| h.replica != leader && !h.anomalous())
+                .filter(|h| h.score >= self.health_policy.promote_score)
+                .max_by(|a, b| a.score.cmp(&b.score).then(b.replica.cmp(&a.replica)));
+            match candidate {
+                Some(next) => {
+                    self.leader_bad_rounds = 0;
+                    self.current_leader = Some(next.replica);
+                    LeaderDecision {
+                        leader: next.replica,
+                        demoted: Some(leader),
+                        reason: "demoted",
+                        leader_score: next.score,
+                    }
+                }
+                None => {
+                    LeaderDecision { leader, demoted: None, reason: "no-candidate", leader_score }
+                }
+            }
+        };
+        if decision.demoted.is_some() {
+            self.obs.registry.counter("controller_leader_demotions_total").inc();
+        }
+        self.record_leader_decision(&decision, version);
+        decision
+    }
+
+    /// Emits the `reconfig_decision` trace event for one
+    /// [`Controller::plan_leader`] call, carrying the justifying scores.
+    fn record_leader_decision(&self, decision: &LeaderDecision, health_version: u64) {
+        let mut fields = vec![
+            ("decision", FieldValue::from(decision.reason)),
+            ("leader", FieldValue::from(decision.leader)),
+            ("leader_score", FieldValue::from(u64::from(decision.leader_score))),
+            ("bad_rounds", FieldValue::from(u64::from(self.leader_bad_rounds))),
+            ("health_version", FieldValue::from(health_version)),
+        ];
+        if let Some(demoted) = decision.demoted {
+            fields.push(("demoted", FieldValue::from(demoted)));
+            if let Some(h) =
+                self.last_health.as_ref().and_then(|snapshot| snapshot.replica(demoted))
+            {
+                fields.push(("demoted_score", FieldValue::from(u64::from(h.score))));
+                if let Some(p99) = h.p99_us {
+                    fields.push(("demoted_p99_us", FieldValue::from(p99)));
+                }
+            }
+        }
+        self.obs.tracer.event("reconfig_decision", fields);
     }
 
     /// Records one round's telemetry into the attached [`Obs`] bundle.
@@ -656,6 +842,102 @@ mod tests {
         let spans = obs.tracer.recent();
         assert!(spans.iter().any(|e| e.name == "controller.bootstrap"), "{spans:?}");
         assert!(spans.iter().any(|e| e.name == "controller.round"));
+    }
+
+    fn health_snapshot(
+        version: u64,
+        leader: u32,
+        scores: &[(u32, u32, Option<u64>, bool)],
+    ) -> lazarus_obs::HealthSnapshot {
+        use lazarus_obs::{AnomalyKind, ReplicaHealth};
+        lazarus_obs::HealthSnapshot {
+            version,
+            at_us: version * 1000,
+            leader: Some(leader),
+            replicas: scores
+                .iter()
+                .map(|&(id, score, p99, anomalous)| ReplicaHealth {
+                    replica: id,
+                    version,
+                    score,
+                    latency_score: score,
+                    stability_score: score,
+                    liveness_score: score,
+                    p50_us: p99,
+                    p95_us: p99,
+                    p99_us: p99,
+                    phase_share_permille: [0; 3],
+                    commits: 0,
+                    rejects: 0,
+                    help_revotes: 0,
+                    view_changes: 0,
+                    cst_ops: 0,
+                    anomalies: if anomalous { vec![AnomalyKind::Silence] } else { Vec::new() },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn leader_demotion_waits_for_hysteresis_and_skips_anomalous() {
+        let data = world_data();
+        let obs = Obs::unclocked();
+        let mut c = Controller::new(ControllerConfig::new(study_oses()), data);
+        c.attach_obs(&obs);
+
+        // Round 1: leader 0 degraded once — hysteresis holds the role.
+        let sick = &[
+            (0, 300, Some(80_000), false),
+            (1, 900, Some(4_000), false),
+            (2, 950, Some(4_000), true), // best score but anomalous
+            (3, 800, Some(4_000), false),
+        ];
+        c.ingest_health(&health_snapshot(1, 0, sick));
+        let d = c.plan_leader();
+        assert_eq!((d.leader, d.reason), (0, "hysteresis-pending"), "{d:?}");
+
+        // Round 2: still degraded — demote, but never to the anomalous 2.
+        c.ingest_health(&health_snapshot(2, 0, sick));
+        let d = c.plan_leader();
+        assert_eq!((d.leader, d.demoted, d.reason), (1, Some(0), "demoted"), "{d:?}");
+        assert_eq!(obs.registry.counter("controller_leader_demotions_total").get(), 1);
+
+        // Every decision carried a reconfig_decision event with scores.
+        let events: Vec<_> =
+            obs.tracer.recent().into_iter().filter(|e| e.name == "reconfig_decision").collect();
+        assert_eq!(events.len(), 2);
+        assert!(events[1].render().contains("demoted_score=300"), "{:?}", events[1].render());
+
+        // Healthy follow-up snapshots keep the new leader in place.
+        c.ingest_health(&health_snapshot(3, 1, &[(0, 900, None, false), (1, 900, None, false)]));
+        let d = c.plan_leader();
+        assert_eq!((d.leader, d.reason), (1, "healthy"));
+        assert_eq!(obs.registry.counter("controller_leader_demotions_total").get(), 1);
+    }
+
+    #[test]
+    fn degraded_leader_survives_when_no_candidate_qualifies() {
+        let data = world_data();
+        let mut c = Controller::new(ControllerConfig::new(study_oses()), data);
+        // Everyone else is anomalous or below the promotion bar.
+        let bleak = &[
+            (0, 200, Some(90_000), false),
+            (1, 500, None, false),
+            (2, 990, None, true),
+            (3, 400, None, false),
+        ];
+        c.ingest_health(&health_snapshot(1, 0, bleak));
+        c.ingest_health(&health_snapshot(2, 0, bleak));
+        let d = c.plan_leader();
+        assert_eq!((d.leader, d.demoted, d.reason), (0, None, "no-candidate"), "{d:?}");
+    }
+
+    #[test]
+    fn plan_leader_without_health_is_a_bootstrap_decision() {
+        let data = world_data();
+        let mut c = Controller::new(ControllerConfig::new(study_oses()), data);
+        let d = c.plan_leader();
+        assert_eq!((d.leader, d.reason), (0, "bootstrap"));
     }
 
     #[test]

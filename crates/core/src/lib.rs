@@ -39,6 +39,8 @@ pub mod controller;
 pub mod deploy_manager;
 pub mod risk_manager;
 
-pub use controller::{AuditEvent, Controller, ControllerConfig, RoundReport};
+pub use controller::{
+    AuditEvent, Controller, ControllerConfig, HealthPolicy, LeaderDecision, RoundReport,
+};
 pub use deploy_manager::{DeployManager, DeploymentStep};
 pub use risk_manager::{Alarm, RiskManager};

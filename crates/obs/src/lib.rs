@@ -29,11 +29,16 @@
 
 pub mod causal;
 pub mod clock;
+pub mod health;
 pub mod metrics;
 pub mod trace;
 
 pub use causal::{slot_trace_id, EventKind, FlightEvent, FlightRecorder, TraceCtx, NO_SPAN};
 pub use clock::{Clock, ManualClock, NullClock, WallClock};
+pub use health::{
+    AnomalyKind, HealthConfig, HealthSnapshot, HealthTracker, ReplicaHealth, RollingWindow,
+    WindowStats,
+};
 pub use metrics::{
     bucket_bound, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot,
     HISTOGRAM_BUCKETS,

@@ -224,7 +224,9 @@ impl Registry {
     }
 
     /// Renders `name{k1="v1",…}` — the series-key convention for labelled
-    /// metrics. Label order is preserved as given.
+    /// metrics. Label order is preserved as given. Label values are escaped
+    /// per the Prometheus text exposition format (`\` → `\\`, `"` → `\"`,
+    /// newline → `\n`), so the key is safe to emit verbatim.
     #[must_use]
     pub fn series(name: &str, labels: &[(&str, &str)]) -> String {
         if labels.is_empty() {
@@ -237,7 +239,16 @@ impl Registry {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "{k}=\"{v}\"");
+            let _ = write!(out, "{k}=\"");
+            for c in v.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
         }
         out.push('}');
         out
@@ -659,6 +670,24 @@ lazarus_commit_latency_us_sum 2949
 lazarus_commit_latency_us_count 3
 ";
         assert_eq!(registry.snapshot().to_prometheus(), expected);
+    }
+
+    #[test]
+    fn prometheus_exposition_escapes_label_values() {
+        let registry = Registry::new();
+        registry.counter_with("odd_total", &[("path", "a\\b")]).add(1);
+        registry.counter_with("odd_total", &[("path", "say \"hi\"")]).add(2);
+        registry.counter_with("odd_total", &[("path", "two\nlines")]).add(3);
+        let expected = "\
+# HELP odd_total odd total
+# TYPE odd_total counter
+odd_total{path=\"a\\\\b\"} 1
+odd_total{path=\"say \\\"hi\\\"\"} 2
+odd_total{path=\"two\\nlines\"} 3
+";
+        assert_eq!(registry.snapshot().to_prometheus(), expected);
+        // The escaped forms stay distinct series keys.
+        assert_eq!(registry.counter_with("odd_total", &[("path", "a\\b")]).get(), 1);
     }
 
     #[test]

@@ -21,11 +21,13 @@ use lazarus_bft::messages::{Batch, CheckpointMsg, ConsensusMsg, Message, Reconfi
 use lazarus_bft::obs::{ReplicaObs, WireObs};
 use lazarus_bft::replica::{Action, Replica, ReplicaConfig, TimerId};
 use lazarus_bft::service::Service;
-use lazarus_bft::types::{ClientId, Epoch, Membership, ReplicaId, SeqNo};
+use lazarus_bft::types::{ClientId, Epoch, Membership, ReplicaId, SeqNo, View};
 use lazarus_obs::causal::{
     slot_trace_id, EventKind, FlightEvent, FlightRecorder, TraceCtx, NO_SPAN,
 };
-use lazarus_obs::{Clock, Histogram, ManualClock, Obs};
+use lazarus_obs::{
+    Clock, HealthConfig, HealthSnapshot, HealthTracker, Histogram, ManualClock, Obs,
+};
 
 use crate::faults::{ByzMode, FaultPlan, FaultStats, InvariantChecker};
 use crate::metrics::Metrics;
@@ -69,6 +71,9 @@ pub struct SimConfig {
     pub max_batch: usize,
     /// Client retransmission interval.
     pub client_retry: Micros,
+    /// View every replica boots in (leader of view `v` is
+    /// `replicas[v % n]` — the control plane's leader-placement knob).
+    pub initial_view: u64,
 }
 
 impl Default for SimConfig {
@@ -78,9 +83,13 @@ impl Default for SimConfig {
             checkpoint_period: 1000,
             max_batch: 400,
             client_retry: 30 * SEC,
+            initial_view: 0,
         }
     }
 }
+
+/// Cadence of the online health reduction in an observed cluster.
+const HEALTH_TICK: Micros = 250 * MS;
 
 /// The context a replica handles an input under when the input carried no
 /// trace (client traffic, controller injections, startup actions).
@@ -96,6 +105,8 @@ enum Ev {
     NodeDown(ReplicaId),
     /// Power restored after a scheduled crash (state retained).
     NodeRestart(ReplicaId),
+    /// Periodic online health reduction (observed clusters only).
+    HealthTick,
 }
 
 struct Node {
@@ -156,6 +167,9 @@ struct SimObs {
     bundle: Obs,
     wire: WireObs,
     client_latency_us: Histogram,
+    /// Streaming health aggregation over sim-time, reduced online every
+    /// [`HEALTH_TICK`].
+    health: HealthTracker,
 }
 
 impl std::fmt::Debug for SimCluster {
@@ -201,8 +215,12 @@ impl SimCluster {
         sim.obs = Some(SimObs {
             wire: WireObs::new(&bundle),
             client_latency_us: bundle.registry.histogram("sim_client_latency_us"),
+            health: HealthTracker::new(HealthConfig::default(), &bundle),
             bundle,
         });
+        // The reduction runs *online*, in virtual time: anomaly onsets and
+        // health gauges appear mid-run, not only at the end.
+        sim.queue.schedule_at(HEALTH_TICK, Ev::HealthTick);
         sim
     }
 
@@ -261,6 +279,18 @@ impl SimCluster {
     /// [`SimCluster::new_observed`].
     pub fn obs(&self) -> Option<&Obs> {
         self.obs.as_ref().map(|o| &o.bundle)
+    }
+
+    /// The streaming health tracker, when built via
+    /// [`SimCluster::new_observed`].
+    pub fn health(&self) -> Option<&HealthTracker> {
+        self.obs.as_ref().map(|o| &o.health)
+    }
+
+    /// A fresh health reduction at the current sim time (observed clusters
+    /// only).
+    pub fn health_snapshot(&self) -> Option<HealthSnapshot> {
+        self.obs.as_ref().map(|o| o.health.snapshot())
     }
 
     /// Current virtual time.
@@ -331,9 +361,11 @@ impl SimCluster {
         rcfg.checkpoint_period = self.cfg.checkpoint_period;
         rcfg.max_batch = self.cfg.max_batch;
         rcfg.master_secret = SIM_SECRET.to_vec();
+        rcfg.initial_view = View(self.cfg.initial_view);
         let (mut replica, actions) = Replica::new(rcfg, service);
         if let Some(obs) = &self.obs {
             replica.attach_obs(&obs.bundle);
+            replica.attach_health(obs.health.clone());
         }
         let node = Node {
             replica,
@@ -364,9 +396,11 @@ impl SimCluster {
         rcfg.max_batch = self.cfg.max_batch;
         rcfg.master_secret = SIM_SECRET.to_vec();
         rcfg.join = true;
+        rcfg.initial_view = View(self.cfg.initial_view);
         let (mut replica, actions) = Replica::new(rcfg, service);
         if let Some(obs) = &self.obs {
             replica.attach_obs(&obs.bundle);
+            replica.attach_health(obs.health.clone());
         }
         let node = Node {
             replica,
@@ -528,6 +562,15 @@ impl SimCluster {
                 // node was down; re-arm the request watchdog so the revived
                 // replica can still notice a stalled leader.
                 self.schedule_action(id, at, Action::SetTimer(TimerId::Request, timeout), UNTRACED);
+            }
+            Ev::HealthTick => {
+                if let Some(obs) = &self.obs {
+                    // Reduce-only: the snapshot reads the windows, publishes
+                    // gauges, and counts anomaly onsets — it never perturbs
+                    // the simulation itself.
+                    let _ = obs.health.snapshot();
+                    self.queue.schedule_at(at + HEALTH_TICK, Ev::HealthTick);
+                }
             }
         }
     }
@@ -795,6 +838,7 @@ impl SimCluster {
         };
         if let Some(obs) = &self.obs {
             obs.wire.sent(message.label(), message.wire_size(), peers.len());
+            obs.health.seen(id.0);
         }
         for to in peers {
             let ctx = self.wire_send(id, to, departed, &message, &handling);
@@ -834,6 +878,7 @@ impl SimCluster {
                 };
                 if let Some(obs) = &self.obs {
                     obs.wire.sent(message.label(), message.wire_size(), 1);
+                    obs.health.seen(id.0);
                 }
                 let ctx = self.wire_send(id, to, departed, &message, &handling);
                 self.route_deliver(departed, id, to, delay, Arc::new(message), ctx);

@@ -57,6 +57,12 @@ impl Metrics {
         self.completions.len()
     }
 
+    /// Completion time of the earliest finished operation — the cluster's
+    /// time-to-first-service, and under a from-boot fault the time-to-heal.
+    pub fn first_completion(&self) -> Option<Micros> {
+        self.completions.iter().map(|&(t, _)| t).min()
+    }
+
     /// Mean throughput over `[from, to)` in operations per second.
     pub fn throughput(&self, from: Micros, to: Micros) -> f64 {
         if to <= from {

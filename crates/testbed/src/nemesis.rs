@@ -18,11 +18,12 @@ use bytes::Bytes;
 use lazarus_bft::service::CounterService;
 use lazarus_bft::types::{Epoch, Membership, ReplicaId};
 use lazarus_obs::causal::FlightEvent;
-use lazarus_obs::{Registry, Snapshot};
+use lazarus_obs::{HealthSnapshot, Registry, Snapshot};
 use lazarus_osint::json::Value;
 
 use crate::cluster::{SimCluster, SimConfig};
 use crate::faults::{ByzMode, FaultPlan, FaultStats, InvariantChecker, LinkFaults};
+use crate::metrics::LatencySummary;
 use crate::oscatalog::PerfProfile;
 use crate::sim::{Micros, MS, SEC};
 
@@ -96,7 +97,7 @@ impl RunVerdict {
 
 /// Runs one scenario under one seed and returns its verdict.
 pub fn run_scenario(scenario: &str, seed: u64) -> RunVerdict {
-    run_sim(scenario, seed, false).0
+    run_sim(scenario, seed, Instrument::None, 0).0
 }
 
 /// A traced nemesis run: the verdict plus everything the offline trace
@@ -111,6 +112,9 @@ pub struct TracedRun {
     /// Metrics snapshot of the run (sim-time clock), for cross-checking
     /// analyzer anomaly counts against `bft_*` counters.
     pub snapshot: Snapshot,
+    /// Final health reduction of the run (the online ticks already counted
+    /// anomaly onsets into the snapshot above).
+    pub health: HealthSnapshot,
 }
 
 /// Ring capacity for traced nemesis runs. A 3 s scenario at full tilt
@@ -124,20 +128,80 @@ pub const TRACE_CAPACITY: usize = 1 << 20;
 /// streams and the metrics snapshot. Fixed `(scenario, seed)` input yields
 /// byte-identical streams at any `LAZARUS_THREADS` setting.
 pub fn run_scenario_traced(scenario: &str, seed: u64) -> TracedRun {
-    let (verdict, sim) = run_sim(scenario, seed, true);
+    let (verdict, sim) = run_sim(scenario, seed, Instrument::Traced, 0);
     let streams = sim.flight_streams();
     let snapshot = sim.obs().expect("traced runs are observed").registry.snapshot();
-    TracedRun { verdict, streams, snapshot }
+    let health = sim.health_snapshot().expect("traced runs are observed");
+    TracedRun { verdict, streams, snapshot, health }
 }
 
-fn run_sim(scenario: &str, seed: u64, traced: bool) -> (RunVerdict, SimCluster) {
+/// An observed run at a chosen leader placement: the verdict plus the
+/// metrics and health evidence the control plane consumes.
+#[derive(Debug)]
+pub struct PlacedRun {
+    /// The run's verdict.
+    pub verdict: RunVerdict,
+    /// Metrics snapshot of the run (sim-time clock).
+    pub snapshot: Snapshot,
+    /// Final health reduction of the run.
+    pub health: HealthSnapshot,
+    /// Completion time of the first client operation — under a from-boot
+    /// fault, the placement's time-to-heal.
+    pub first_commit_us: Option<Micros>,
+    /// Exact (unbucketed) client-latency percentiles of the whole run.
+    pub latency: Option<LatencySummary>,
+}
+
+/// As [`run_scenario`], but observed (metrics + health, no flight rings)
+/// and booting every replica at `initial_view` — the control plane's
+/// leader-placement knob: leader of view `v` is `replicas[v % n]`, while
+/// the fault plan keeps targeting replica 0 regardless.
+pub fn run_scenario_placed(scenario: &str, seed: u64, initial_view: u64) -> PlacedRun {
+    let (verdict, sim) = run_sim(scenario, seed, Instrument::Observed, initial_view);
+    let snapshot = sim.obs().expect("placed runs are observed").registry.snapshot();
+    let health = sim.health_snapshot().expect("placed runs are observed");
+    let first_commit_us = sim.metrics.first_completion();
+    let latency = sim.metrics.summary();
+    PlacedRun { verdict, snapshot, health, first_commit_us, latency }
+}
+
+/// Runs the opening `at.last()` microseconds of an *observed* scenario at
+/// the default placement (view 0, so the fault plan's target leads) and
+/// returns one health snapshot per instant in `at` (ascending). This is
+/// the probe evidence a control plane ingests before planning a leader
+/// placement: short, cheap, and a pure function of `(scenario, seed, at)`.
+pub fn probe_health(scenario: &str, seed: u64, at: &[Micros]) -> Vec<HealthSnapshot> {
+    let mut sim = build_sim(scenario, seed, Instrument::Observed, 0);
+    at.iter()
+        .map(|&t| {
+            sim.run_until(t);
+            sim.health_snapshot().expect("probe runs are observed")
+        })
+        .collect()
+}
+
+/// Instrumentation level of a nemesis run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Instrument {
+    /// Bare simulation — fastest, verdict only.
+    None,
+    /// Obs bundle (metrics + health) on the sim clock.
+    Observed,
+    /// Obs bundle plus per-replica causal flight rings.
+    Traced,
+}
+
+fn build_sim(scenario: &str, seed: u64, instrument: Instrument, initial_view: u64) -> SimCluster {
     let membership = Membership::new(Epoch(0), (0..4).map(ReplicaId).collect());
-    let mut sim = if traced {
-        let mut sim = SimCluster::new_observed(SimConfig::default());
-        sim.enable_flight(TRACE_CAPACITY);
-        sim
-    } else {
-        SimCluster::new(SimConfig::default())
+    let cfg = SimConfig { initial_view, ..SimConfig::default() };
+    let mut sim = match instrument {
+        Instrument::None => SimCluster::new(cfg),
+        Instrument::Observed => SimCluster::new_observed(cfg),
+        Instrument::Traced => {
+            let mut sim = SimCluster::new_observed(cfg);
+            sim.enable_flight(TRACE_CAPACITY);
+            sim
+        }
     };
     for r in 0..4 {
         sim.add_node(
@@ -150,6 +214,16 @@ fn run_sim(scenario: &str, seed: u64, traced: bool) -> (RunVerdict, SimCluster) 
     sim.install_checker(InvariantChecker::new());
     sim.install_faults(fault_plan(scenario, seed));
     sim.add_clients(1, 8, membership, |_| Bytes::new());
+    sim
+}
+
+fn run_sim(
+    scenario: &str,
+    seed: u64,
+    instrument: Instrument,
+    initial_view: u64,
+) -> (RunVerdict, SimCluster) {
+    let mut sim = build_sim(scenario, seed, instrument, initial_view);
     sim.run_until(HORIZON);
 
     let completed_total = sim.metrics.completed();

@@ -1,0 +1,127 @@
+//! Property-based tests over the health pipeline's rolling-window fold and
+//! eviction (proptest): the edge cases the streaming aggregation must get
+//! right — empty windows, single samples, exact window-boundary eviction,
+//! count conservation inside one window span, the monotone clock clamp,
+//! and quantile monotonicity.
+
+use proptest::prelude::*;
+
+use lazarus_obs::{bucket_bound, bucket_index, RollingWindow};
+
+proptest! {
+    /// A window that never saw a sample folds to the empty stats: zero
+    /// count and sum, no quantile, no mean — for any geometry, including
+    /// the degenerate clamps (`bucket_us = 0`, `window_us < bucket_us`).
+    #[test]
+    fn empty_window_folds_to_nothing(window_us in 0u64..2_000_000, bucket_us in 0u64..300_000) {
+        let w = RollingWindow::new(window_us, bucket_us);
+        let stats = w.fold();
+        prop_assert_eq!(stats.count, 0);
+        prop_assert_eq!(stats.sum, 0);
+        prop_assert_eq!(stats.quantile_permille(500), None);
+        prop_assert_eq!(stats.quantile_permille(1000), None);
+        prop_assert_eq!(stats.mean(), None);
+        prop_assert!(w.window_us() >= 1, "the ring never collapses to zero span");
+    }
+
+    /// One sample: every quantile lands on that sample's histogram bucket
+    /// bound, the mean is exact, and the fold conserves count and sum.
+    #[test]
+    fn single_sample_owns_every_quantile(
+        at_us in 0u64..10_000_000,
+        value in 0u64..50_000_000,
+        q_permille in 0u64..1001,
+    ) {
+        let mut w = RollingWindow::new(500_000, 100_000);
+        w.observe(at_us, value);
+        let stats = w.fold();
+        prop_assert_eq!(stats.count, 1);
+        prop_assert_eq!(stats.sum, value);
+        prop_assert_eq!(stats.mean(), Some(value));
+        let bound = bucket_bound(bucket_index(value));
+        prop_assert_eq!(stats.quantile_permille(q_permille), Some(bound));
+        prop_assert!(bound >= value, "a bucket bound is an upper bound");
+    }
+
+    /// Exact boundary eviction: a sample is still in the fold after
+    /// advancing to the last instant of its window (`t + window - bucket`
+    /// lands in the final retained bucket) and gone one bucket later, when
+    /// the eviction horizon reaches exactly `t + window`.
+    #[test]
+    fn exact_window_boundary_evicts(
+        t in 0u64..5_000_000,
+        value in 1u64..1_000_000,
+        len in 1u64..12,
+        bucket_us in 1u64..200_000,
+    ) {
+        let window_us = len * bucket_us;
+        let mut w = RollingWindow::new(window_us, bucket_us);
+        prop_assert_eq!(w.window_us(), window_us);
+        w.observe(t, value);
+        w.advance_to(t + window_us - bucket_us);
+        let kept = w.fold();
+        prop_assert_eq!(kept.count, 1, "inside the window span the sample survives");
+        prop_assert_eq!(kept.sum, value);
+        w.advance_to(t + window_us);
+        let evicted = w.fold();
+        prop_assert_eq!(evicted.count, 0, "at exactly one window span the sample is evicted");
+        prop_assert_eq!(evicted.sum, 0);
+    }
+
+    /// Count conservation: samples at non-decreasing offsets inside one
+    /// window span (bucket-aligned base, offsets `<= window - bucket`) are
+    /// all retained — the fold's count and sum equal the totals observed,
+    /// and the quantiles are monotone in `q` with p100 bounding the max.
+    #[test]
+    fn in_window_samples_are_conserved(
+        base_bucket in 0u64..1_000,
+        offsets in proptest::collection::vec(0u64..400_001, 1..40),
+        values in proptest::collection::vec(0u64..100_000, 40usize),
+    ) {
+        let (window_us, bucket_us) = (500_000u64, 100_000u64);
+        let base = base_bucket * bucket_us;
+        let mut offsets = offsets;
+        offsets.sort_unstable();
+        let mut w = RollingWindow::new(window_us, bucket_us);
+        let mut expected_sum = 0u64;
+        let mut max_value = 0u64;
+        for (i, &off) in offsets.iter().enumerate() {
+            let value = values[i];
+            w.observe(base + off, value);
+            expected_sum += value;
+            max_value = max_value.max(value);
+        }
+        let stats = w.fold();
+        prop_assert_eq!(stats.count, offsets.len() as u64, "no in-window sample is evicted");
+        prop_assert_eq!(stats.sum, expected_sum);
+        let p50 = stats.quantile_permille(500);
+        let p99 = stats.quantile_permille(990);
+        let p100 = stats.quantile_permille(1000);
+        prop_assert!(p50 <= p99 && p99 <= p100, "quantiles are monotone: {p50:?} {p99:?} {p100:?}");
+        prop_assert!(p100 >= Some(max_value), "p100 bounds the largest sample");
+        prop_assert!(stats.mean() <= Some(max_value.max(1)), "the mean never exceeds the max");
+    }
+
+    /// The monotone clock clamp: a stale producer observing *earlier* than
+    /// the head neither panics nor corrupts the ring — the late sample
+    /// joins the newest bucket and the fold still counts it. A jump far
+    /// beyond the window clears everything.
+    #[test]
+    fn stale_observes_clamp_and_far_jumps_clear(
+        t in 500_000u64..5_000_000,
+        back in 0u64..5_000_000,
+        jump in 0u64..3_000_000,
+    ) {
+        let window_us = 500_000u64;
+        let mut w = RollingWindow::new(window_us, 100_000);
+        w.observe(t, 7);
+        w.observe(t.saturating_sub(back), 9);
+        let stats = w.fold();
+        prop_assert_eq!(stats.count, 2, "the late sample is clamped into the head bucket");
+        prop_assert_eq!(stats.sum, 16);
+        let idx_before = w.advance_to(0);
+        prop_assert_eq!(idx_before, w.advance_to(0), "advance_to is idempotent backwards");
+        w.advance_to(t + window_us + jump);
+        prop_assert_eq!(w.fold().count, 0, "a jump past the whole window evicts everything");
+    }
+}

@@ -50,3 +50,35 @@ fn registry_snapshot_is_byte_identical_across_thread_counts() {
     );
     assert_eq!(serial, parallel, "registry snapshot must not depend on LAZARUS_THREADS");
 }
+
+fn health_with_threads(threads: &str) -> (String, String) {
+    std::env::set_var("LAZARUS_THREADS", threads);
+    let run = lazarus_testbed::nemesis::run_scenario_placed("mute", 1, 0);
+    std::env::remove_var("LAZARUS_THREADS");
+    (run.health.to_json(), run.snapshot.to_prometheus())
+}
+
+/// The same contract for the health pipeline: the final `ReplicaHealth`
+/// reduction and the Prometheus rendering of a fixed-seed nemesis run are
+/// pure functions of the seed — `LAZARUS_THREADS` must not leak into the
+/// rolling-window folds, anomaly onsets, or label ordering. This is what
+/// makes `fig_health_ablation`'s JSON byte-comparable in ci.sh.
+#[test]
+fn health_snapshot_is_byte_identical_across_thread_counts() {
+    let (health_serial, prom_serial) = health_with_threads("1");
+    let (health_parallel, prom_parallel) = health_with_threads("8");
+    assert!(
+        prom_serial.contains("lazarus_health_score"),
+        "expected per-replica health gauges:\n{prom_serial}"
+    );
+    assert!(
+        prom_serial.contains("health_anomalies_total{kind=\"silence\"}"),
+        "a muted replica must trip the silence detector:\n{prom_serial}"
+    );
+    assert!(
+        health_serial.contains("\"anomalies\":[\"silence\"]"),
+        "the reduction names the anomaly:\n{health_serial}"
+    );
+    assert_eq!(health_serial, health_parallel, "health JSON must not depend on LAZARUS_THREADS");
+    assert_eq!(prom_serial, prom_parallel, "health metrics must not depend on LAZARUS_THREADS");
+}
