@@ -26,7 +26,7 @@ fi
 echo "    library crates clean"
 
 echo "==> no unwrap() on the BFT ingress path (malformed input must reject, not panic)"
-for f in replica.rs consensus.rs messages.rs client.rs; do
+for f in replica.rs consensus.rs messages.rs client.rs storage.rs; do
     # Only the production half of each module counts — cut at the test module.
     offenders=$(awk '/^(#\[cfg\(test\)\]|mod tests)/{exit} {print FILENAME":"NR": "$0}' \
         "crates/bft/src/$f" | grep '\.unwrap()' | grep -v 'unwrap_or' || true)
@@ -70,6 +70,19 @@ done
 echo "==> nemesis smoke: every fault scenario, 2 seeds, zero violations"
 LAZARUS_METRICS_DIR="$metrics_dir" target/release/nemesis 2 > /dev/null
 echo "    nemesis sweep green"
+
+echo "==> durable storage: journal recovery smoke + bench_cst thread-count invariant"
+# bench_cst writes a journal into a temp dir, reopens it, and replays —
+# the recovery smoke — then asserts the interrupted chunked transfer
+# resumed with zero re-fetched chunks. Its report is all virtual time, so
+# it must be byte-identical at any worker count.
+LAZARUS_THREADS=1 target/release/bench_cst "$metrics_dir/BENCH_cst.t1.json" > /dev/null
+LAZARUS_THREADS=4 target/release/bench_cst "$metrics_dir/BENCH_cst.json" > /dev/null
+if ! cmp -s "$metrics_dir/BENCH_cst.t1.json" "$metrics_dir/BENCH_cst.json"; then
+    echo "FAIL: BENCH_cst.json differs between 1 and 4 threads" >&2
+    exit 1
+fi
+echo "    journal recovery green, BENCH_cst.json thread-count invariant"
 
 echo "==> causal tracing: streams validate, DAG complete, identical across thread counts"
 trace1="$metrics_dir/trace1"

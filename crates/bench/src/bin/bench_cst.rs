@@ -1,0 +1,220 @@
+//! Durable-storage + chunked-CST benchmark: state-transfer latency vs
+//! state size, a designee-rotation resume with zero re-fetched chunks,
+//! and journal recovery cost vs journal size, written to `BENCH_cst.json`
+//! for regression tracking.
+//!
+//! Every number in the report is virtual (sim-time or the journal's
+//! byte-derived replay model), so the JSON is byte-identical across runs
+//! and at any `LAZARUS_THREADS` setting — ci diffs it directly.
+//!
+//! Usage: `bench_cst [out_path]` (default `BENCH_cst.json`).
+
+use bytes::Bytes;
+use lazarus_bench::write_bench_json;
+use lazarus_bft::crypto::{AuthTag, Digest};
+use lazarus_bft::log::Checkpoint;
+use lazarus_bft::messages::{Batch, Request};
+use lazarus_bft::service::BlobService;
+use lazarus_bft::storage::{Journal, JournalConfig, Storage};
+use lazarus_bft::types::{ClientId, Epoch, Membership, ReplicaId, SeqNo};
+use lazarus_osint::json::Value;
+use lazarus_testbed::cluster::{SimCluster, SimConfig};
+use lazarus_testbed::faults::FaultPlan;
+use lazarus_testbed::oscatalog::PerfProfile;
+use lazarus_testbed::sim::{Micros, MS, SEC};
+
+/// Chunk size every transfer below runs at (fine-grained so a multi-MB
+/// blob becomes dozens of chunks).
+const CHUNK: usize = 64 * 1024;
+
+/// When the joiner powers on; it is up `boot` later.
+const BOOT_AT: Micros = 350 * MS;
+
+const JOINER: ReplicaId = ReplicaId(4);
+
+/// Bare metal with boot compressed to 50 ms: these runs measure the
+/// *transfer*, not the BIOS.
+fn fast_boot() -> PerfProfile {
+    PerfProfile { boot: 50 * MS, ..PerfProfile::bare_metal() }
+}
+
+struct TransferOutcome {
+    /// Sim time the joiner finished installing the state, if it did.
+    done_at: Option<Micros>,
+    up_at: Micros,
+    fetched: u64,
+    rejected: u64,
+    resumed: u64,
+}
+
+/// One joiner-transfer run: four donors seeded with a `blob`-byte service
+/// state, a joiner booting empty at 350 ms, and (optionally) a power
+/// pause of the joiner mid-transfer to force a designee rotation.
+fn transfer_run(
+    blob: usize,
+    donor_profile: PerfProfile,
+    pause: Option<(Micros, Micros)>,
+) -> TransferOutcome {
+    let membership = Membership::new(Epoch(0), (0..4).map(ReplicaId).collect());
+    let cfg = SimConfig {
+        cst_chunk_bytes: CHUNK,
+        // Keep the genesis checkpoint stable for the whole run so an
+        // interrupted transfer certifies the *same* manifest again and
+        // resumes instead of starting over.
+        checkpoint_period: 100_000,
+        ..SimConfig::default()
+    };
+    let mut sim = SimCluster::new_observed(cfg);
+    for r in 0..4 {
+        sim.add_node(
+            ReplicaId(r),
+            donor_profile,
+            membership.clone(),
+            Box::new(BlobService::new(blob)),
+        );
+    }
+    let up_at = BOOT_AT + fast_boot().boot;
+    sim.boot_joiner_at(
+        BOOT_AT,
+        JOINER,
+        fast_boot(),
+        membership.reconfigured(Some(JOINER), None),
+        Box::new(BlobService::new(0)),
+    );
+    if let Some((down, up)) = pause {
+        sim.install_faults(FaultPlan::new(1).crash_restart(JOINER, down, up));
+    }
+    sim.add_clients(1, 4, membership, |_| Bytes::new());
+    sim.run_until(4 * SEC);
+
+    let snapshot = sim.obs().expect("observed cluster").registry.snapshot();
+    let counter = |name: &str| {
+        snapshot.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+    };
+    TransferOutcome {
+        done_at: sim.transfers.iter().find(|(_, r)| *r == JOINER).map(|(t, _)| *t),
+        up_at,
+        fetched: counter("bft_cst_chunks_fetched_total"),
+        rejected: counter("bft_cst_chunks_rejected_total"),
+        resumed: counter("bft_cst_chunks_resumed_total"),
+    }
+}
+
+/// Chunks in the manifest of a `blob`-byte [`BlobService`] snapshot
+/// (8-byte length header + payload).
+fn chunk_count(blob: usize) -> u64 {
+    ((blob + 8) as u64).div_ceil(CHUNK as u64)
+}
+
+/// Writes a journal with one `snapshot_bytes` stable checkpoint plus
+/// `batches` decided 1 KiB batches, then reopens it and reports the
+/// recovery replay: (virtual µs, bytes scanned, records applied).
+fn journal_run(snapshot_bytes: usize, batches: u64) -> (u64, u64, u64) {
+    let dir = std::env::temp_dir()
+        .join(format!("lazarus_bench_cst_{}_{snapshot_bytes}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = || JournalConfig { fsync: false, ..JournalConfig::new(&dir) };
+    let (mut journal, _) = Journal::open(cfg()).expect("fresh journal opens");
+    let snapshot = Bytes::from(vec![0xAB; snapshot_bytes]);
+    let checkpoint = Checkpoint { seq: SeqNo(100), digest: Digest::of(&snapshot), snapshot };
+    journal.commit_checkpoint(&checkpoint, &[]).expect("checkpoint persists");
+    for i in 0..batches {
+        let request = Request {
+            client: ClientId(1),
+            op: i,
+            payload: Bytes::from(vec![0u8; 1024]),
+            tag: AuthTag([0u8; 32]),
+        };
+        journal.append_batch(SeqNo(101 + i), &Batch::new(vec![request])).expect("append persists");
+    }
+    drop(journal);
+    let (_journal, recovered) = Journal::open(cfg()).expect("journal reopens");
+    let out = (recovered.virtual_recovery_us(), recovered.bytes_scanned, recovered.records);
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_cst.json".to_string());
+    let n = Value::Number;
+
+    // Chunked transfer latency vs state size.
+    println!("=== Chunked CST benchmark (chunk {} KiB) ===", CHUNK / 1024);
+    let mut transfer_rows = Vec::new();
+    for blob in [256 << 10, 1 << 20, 4 << 20] {
+        let run = transfer_run(blob, fast_boot(), None);
+        let done = run.done_at.expect("unfaulted transfer completes");
+        let latency = done - run.up_at;
+        println!(
+            "state {:>4} KiB: {:>3} chunks, transfer {:>6} us",
+            blob / 1024,
+            run.fetched,
+            latency
+        );
+        assert_eq!(run.fetched, chunk_count(blob), "every chunk fetched exactly once");
+        transfer_rows.push(Value::Object(vec![
+            ("state_bytes".into(), n(blob as f64)),
+            ("chunks".into(), n(run.fetched as f64)),
+            ("transfer_us".into(), n(latency as f64)),
+        ]));
+    }
+
+    // Designee-rotation resume: slow donors spread the chunk replies over
+    // hundreds of milliseconds, and the joiner is power-paused mid-stream.
+    // On restart the CST watchdog rotates the designee, and the transfer
+    // finishes by fetching only the still-missing chunks.
+    let blob = 4 << 20;
+    let slow_donor = PerfProfile { snapshot_mb_s: 10, cores: 1, ..fast_boot() };
+    let run = transfer_run(blob, slow_donor, Some((500 * MS, 700 * MS)));
+    let done = run.done_at.expect("interrupted transfer still completes");
+    let zero_refetch = run.fetched == chunk_count(blob);
+    println!(
+        "resume: {} chunks kept across rotation, {} fetched total ({} in manifest), done t={} us",
+        run.resumed,
+        run.fetched,
+        chunk_count(blob),
+        done
+    );
+    assert!(run.resumed > 0, "the pause lands mid-transfer, so chunks carry over");
+    assert!(zero_refetch, "completed chunks are never re-fetched");
+    let resume = Value::Object(vec![
+        ("state_bytes".into(), n(blob as f64)),
+        ("chunks".into(), n(chunk_count(blob) as f64)),
+        ("chunks_resumed".into(), n(run.resumed as f64)),
+        ("chunks_fetched_total".into(), n(run.fetched as f64)),
+        ("chunks_rejected".into(), n(run.rejected as f64)),
+        ("zero_refetch".into(), Value::Bool(zero_refetch)),
+        ("done_at_us".into(), n(done as f64)),
+    ]);
+
+    // Journal recovery replay vs journal size (virtual replay model).
+    println!("\n=== Journal recovery benchmark ===");
+    let mut recovery_rows = Vec::new();
+    for snapshot_bytes in [64 << 10, 1 << 20, 4 << 20] {
+        let (virtual_us, bytes_scanned, records) = journal_run(snapshot_bytes, 50);
+        println!(
+            "checkpoint {:>4} KiB + 50 batches: scan {:>8} B, {} records, recovery {:>6} virtual us",
+            snapshot_bytes / 1024,
+            bytes_scanned,
+            records,
+            virtual_us
+        );
+        recovery_rows.push(Value::Object(vec![
+            ("checkpoint_bytes".into(), n(snapshot_bytes as f64)),
+            ("bytes_scanned".into(), n(bytes_scanned as f64)),
+            ("records".into(), n(records as f64)),
+            ("recovery_virtual_us".into(), n(virtual_us as f64)),
+        ]));
+    }
+
+    let report = Value::Object(vec![
+        ("chunk_bytes".into(), n(CHUNK as f64)),
+        ("transfer_latency".into(), Value::Array(transfer_rows)),
+        ("resume_across_rotation".into(), resume),
+        ("journal_recovery".into(), Value::Array(recovery_rows)),
+    ]);
+    match write_bench_json(&out_path, &report) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("failed to write {out_path}: {e}"),
+    }
+}

@@ -129,6 +129,46 @@ fn health_anomaly_counters_match_fault_and_analyzer_evidence() {
 }
 
 #[test]
+fn chunked_cst_and_recovery_metrics_match_flight_events() {
+    // Chunked transfer under chunk corruption: every *verified* chunk
+    // fetch surfaces once as a `cst_chunk` flight event and once in the
+    // fetched counter, while corrupt replies only bump the rejected
+    // counter (they are re-requested, never installed).
+    let traced = run_scenario_traced("corrupt-chunk", 19);
+    assert!(traced.verdict.passed(), "corrupt-chunk scenario passes: {:?}", traced.verdict);
+    let chunk_events: u64 = traced
+        .streams
+        .iter()
+        .map(|(_, evs)| evs.iter().filter(|e| e.event == EventKind::CstChunk).count() as u64)
+        .sum();
+    let fetched = counter(&traced.snapshot, "bft_cst_chunks_fetched_total");
+    assert!(fetched > 0, "the joiner fetched chunks");
+    assert_eq!(chunk_events, fetched, "verified fetches and flight events agree");
+    let rejected = counter(&traced.snapshot, "bft_cst_chunks_rejected_total");
+    assert!(rejected > 0, "the corruption knob produced rejected chunks");
+
+    // Durable reboot: exactly one `recover` flight event (replica 2 loses
+    // power once), and the recovery-duration gauge carries the journal
+    // replay's virtual time.
+    let traced = run_scenario_traced("crash-torn-write", 13);
+    assert!(traced.verdict.passed(), "crash-torn-write scenario passes: {:?}", traced.verdict);
+    let recover_events: usize = traced
+        .streams
+        .iter()
+        .map(|(_, evs)| evs.iter().filter(|e| e.event == EventKind::Recover).count())
+        .sum();
+    assert_eq!(recover_events, 1, "one reboot, one recover flight event");
+    let recovery_us = traced
+        .snapshot
+        .gauges
+        .iter()
+        .find(|(n, _)| n == "bft_recovery_duration_us")
+        .map(|(_, v)| *v)
+        .unwrap_or(0.0);
+    assert!(recovery_us > 0.0, "the recovery gauge is set from the journal replay");
+}
+
+#[test]
 fn controller_demotion_counter_matches_reconfig_decision_events() {
     // The ablation control loop in miniature: probe a mute run before the
     // watchdog heals it, ingest the evidence, and plan. Exactly one

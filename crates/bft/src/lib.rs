@@ -15,6 +15,9 @@
 //!   distribution;
 //! * [`consensus`], [`log`], [`messages`], [`types`] — the protocol
 //!   building blocks;
+//! * [`storage`] — pluggable durability behind the decided log: an
+//!   in-memory backend and an append-only CRC-framed journal a rebooting
+//!   replica recovers from;
 //! * [`runtime`] — a threaded wall-clock runtime (one thread per replica,
 //!   crossbeam channels as the network);
 //! * [`testkit`] — a deterministic in-memory cluster for tests.
@@ -48,6 +51,7 @@ pub mod obs;
 pub mod replica;
 pub mod runtime;
 pub mod service;
+pub mod storage;
 pub mod testkit;
 pub mod types;
 

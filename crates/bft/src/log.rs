@@ -6,11 +6,13 @@
 //! throughput dips these checkpoints and the ensuing state transfers cause).
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use bytes::Bytes;
 
 use crate::crypto::Digest;
 use crate::messages::Batch;
+use crate::storage::{MemStorage, Recovered, Storage};
 use crate::types::{ReplicaId, SeqNo};
 
 /// A service snapshot pinned to a slot.
@@ -24,8 +26,42 @@ pub struct Checkpoint {
     pub digest: Digest,
 }
 
-/// The decided log with checkpoint management.
-#[derive(Debug, Clone)]
+/// Why a transferred checkpoint was refused by [`DecidedLog::install`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstallError {
+    /// The snapshot bytes do not hash to the checkpoint digest.
+    SnapshotDigest,
+    /// The suffix is not strictly ordered above the checkpoint slot.
+    SuffixOrder,
+}
+
+impl InstallError {
+    /// The rejection-reason label for `bft_rejected_messages_total`.
+    #[must_use]
+    pub fn reason(&self) -> &'static str {
+        match self {
+            InstallError::SnapshotDigest => "bad-snapshot",
+            InstallError::SuffixOrder => "bad-suffix",
+        }
+    }
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::SnapshotDigest => {
+                write!(f, "snapshot bytes do not match the checkpoint digest")
+            }
+            InstallError::SuffixOrder => {
+                write!(f, "suffix slots not strictly ordered above the checkpoint")
+            }
+        }
+    }
+}
+
+/// The decided log with checkpoint management, writing through to a
+/// pluggable [`Storage`] backend.
+#[derive(Debug)]
 pub struct DecidedLog {
     /// Decided batches above the stable checkpoint.
     entries: BTreeMap<u64, Batch>,
@@ -37,16 +73,34 @@ pub struct DecidedLog {
     votes: BTreeMap<(u64, Digest), Vec<ReplicaId>>,
     /// Snapshot cadence in slots.
     period: u64,
+    /// Durability backend ([`MemStorage`] when nothing should persist).
+    storage: Box<dyn Storage>,
+    /// Write failures absorbed (the log degrades to in-memory, it never
+    /// panics on a sick disk).
+    storage_errors: u64,
 }
 
 impl DecidedLog {
     /// A log starting from genesis (`seq` −, an empty snapshot) with the
-    /// given checkpoint period.
+    /// given checkpoint period, persisting nothing.
     ///
     /// # Panics
     ///
     /// Panics if `period` is zero.
     pub fn new(period: u64, genesis_snapshot: Bytes) -> DecidedLog {
+        DecidedLog::with_storage(period, genesis_snapshot, Box::new(MemStorage))
+    }
+
+    /// A log starting from genesis that writes through to `storage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn with_storage(
+        period: u64,
+        genesis_snapshot: Bytes,
+        storage: Box<dyn Storage>,
+    ) -> DecidedLog {
         assert!(period > 0, "checkpoint period must be positive");
         let digest = Digest::of(&genesis_snapshot);
         DecidedLog {
@@ -55,6 +109,60 @@ impl DecidedLog {
             pending: None,
             votes: BTreeMap::new(),
             period,
+            storage,
+            storage_errors: 0,
+        }
+    }
+
+    /// Rebuilds a log from a journal replay: the recovered stable
+    /// checkpoint (genesis when none was durable) plus the decided suffix.
+    /// Nothing is re-written to `storage` — the records are already there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn from_recovered(
+        period: u64,
+        genesis_snapshot: Bytes,
+        storage: Box<dyn Storage>,
+        recovered: Recovered,
+    ) -> DecidedLog {
+        assert!(period > 0, "checkpoint period must be positive");
+        let stable = recovered.stable.unwrap_or_else(|| {
+            let digest = Digest::of(&genesis_snapshot);
+            Checkpoint { seq: SeqNo(0), snapshot: genesis_snapshot, digest }
+        });
+        let floor = stable.seq.0;
+        let entries = recovered.entries.into_iter().filter(|&(s, _)| s > floor).collect();
+        DecidedLog {
+            entries,
+            stable,
+            pending: None,
+            votes: BTreeMap::new(),
+            period,
+            storage,
+            storage_errors: 0,
+        }
+    }
+
+    /// Write failures the storage backend has absorbed so far.
+    pub fn storage_errors(&self) -> u64 {
+        self.storage_errors
+    }
+
+    fn persist_batch(&mut self, seq: SeqNo, batch: &Batch) {
+        if self.storage.append_batch(seq, batch).is_err() {
+            self.storage_errors += 1;
+        }
+    }
+
+    fn persist_stable(&mut self) {
+        let checkpoint = self.stable.clone();
+        // Batches retained above the checkpoint ride along: compaction
+        // destroys the segments they were first journaled into.
+        let suffix = self.suffix(checkpoint.seq);
+        if self.storage.commit_checkpoint(&checkpoint, &suffix).is_err() {
+            self.storage_errors += 1;
         }
     }
 
@@ -77,6 +185,7 @@ impl DecidedLog {
     /// completes a checkpoint period (the caller should snapshot the
     /// service and call [`local_checkpoint`](Self::local_checkpoint)).
     pub fn append(&mut self, seq: SeqNo, batch: Batch) -> bool {
+        self.persist_batch(seq, &batch);
         self.entries.insert(seq.0, batch);
         seq.0.is_multiple_of(self.period)
     }
@@ -139,20 +248,46 @@ impl DecidedLog {
         }
         let pending = self.pending.take().expect("checked above");
         self.stable = pending;
+        self.persist_stable();
         self.trim();
         Some(seq)
     }
 
-    /// Installs a checkpoint obtained via state transfer (trusted because
-    /// `f + 1` repliers matched) and the decided suffix after it.
-    pub fn install(&mut self, checkpoint: Checkpoint, suffix: Vec<(SeqNo, Batch)>) {
+    /// Installs a checkpoint obtained via state transfer and the decided
+    /// suffix after it — after verifying it, rather than trusting the
+    /// transfer path blindly: the snapshot must hash to the checkpoint
+    /// digest and the suffix must be strictly ordered above the checkpoint
+    /// slot. On a mismatch nothing changes and the caller counts the
+    /// rejection ([`InstallError::reason`]).
+    ///
+    /// # Errors
+    ///
+    /// [`InstallError`] describing the verification failure.
+    pub fn install(
+        &mut self,
+        checkpoint: Checkpoint,
+        suffix: Vec<(SeqNo, Batch)>,
+    ) -> Result<(), InstallError> {
+        if Digest::of(&checkpoint.snapshot) != checkpoint.digest {
+            return Err(InstallError::SnapshotDigest);
+        }
+        let mut prev = checkpoint.seq;
+        for (seq, _) in &suffix {
+            if *seq <= prev {
+                return Err(InstallError::SuffixOrder);
+            }
+            prev = *seq;
+        }
         self.stable = checkpoint;
         self.pending = None;
         self.entries.clear();
+        self.persist_stable();
         for (seq, batch) in suffix {
+            self.persist_batch(seq, &batch);
             self.entries.insert(seq.0, batch);
         }
         self.trim();
+        Ok(())
     }
 
     fn trim(&mut self) {
@@ -242,11 +377,78 @@ mod tests {
             snapshot: Bytes::from_static(b"transferred"),
             digest: Digest::of(b"transferred"),
         };
-        log.install(ck.clone(), vec![(SeqNo(11), batch()), (SeqNo(12), batch())]);
+        log.install(ck.clone(), vec![(SeqNo(11), batch()), (SeqNo(12), batch())])
+            .expect("verified install");
         assert_eq!(log.stable_checkpoint().seq, SeqNo(10));
         assert_eq!(log.len(), 2);
         assert!(log.get(SeqNo(11)).is_some());
         assert!(log.get(SeqNo(5)).is_none());
+    }
+
+    #[test]
+    fn install_rejects_forged_snapshot_and_disordered_suffix() {
+        let mut log = DecidedLog::new(100, Bytes::new());
+        log.append(SeqNo(1), batch());
+        let before = log.stable_checkpoint().clone();
+        // Snapshot bytes that do not hash to the claimed digest.
+        let forged = Checkpoint {
+            seq: SeqNo(10),
+            snapshot: Bytes::from_static(b"evil"),
+            digest: Digest::of(b"claimed"),
+        };
+        assert_eq!(log.install(forged, vec![]), Err(InstallError::SnapshotDigest));
+        assert_eq!(InstallError::SnapshotDigest.reason(), "bad-snapshot");
+        // A valid checkpoint but a suffix below / repeating it.
+        let ck = Checkpoint {
+            seq: SeqNo(10),
+            snapshot: Bytes::from_static(b"ok"),
+            digest: Digest::of(b"ok"),
+        };
+        assert_eq!(
+            log.install(ck.clone(), vec![(SeqNo(10), batch())]),
+            Err(InstallError::SuffixOrder)
+        );
+        assert_eq!(
+            log.install(ck, vec![(SeqNo(12), batch()), (SeqNo(11), batch())]),
+            Err(InstallError::SuffixOrder)
+        );
+        assert_eq!(InstallError::SuffixOrder.reason(), "bad-suffix");
+        // Nothing changed: the refused transfers left the log intact.
+        assert_eq!(log.stable_checkpoint(), &before);
+        assert!(log.get(SeqNo(1)).is_some());
+    }
+
+    #[test]
+    fn journal_backed_log_survives_reopen() {
+        use crate::storage::{Journal, JournalConfig};
+        let dir = std::env::temp_dir().join(format!("lazarus_log_journal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = JournalConfig { fsync: false, ..JournalConfig::new(&dir) };
+        {
+            let (journal, recovered) = Journal::open(cfg.clone()).expect("open");
+            assert!(recovered.is_empty());
+            let mut log = DecidedLog::from_recovered(2, Bytes::new(), Box::new(journal), recovered);
+            for s in 1..=3u64 {
+                log.append(SeqNo(s), batch());
+            }
+            let snap = Bytes::from_static(b"state@2");
+            let d = log.local_checkpoint(SeqNo(2), snap);
+            for r in 0..3 {
+                log.on_checkpoint_vote(ReplicaId(r), SeqNo(2), d, 3);
+            }
+            assert_eq!(log.stable_checkpoint().seq, SeqNo(2));
+            assert_eq!(log.storage_errors(), 0);
+        }
+        // A "rebooted" log replays the journal: stable checkpoint at 2, the
+        // suffix slot 3 retained.
+        let (journal, recovered) = Journal::open(cfg).expect("reopen");
+        assert!(!recovered.torn_tail);
+        let log = DecidedLog::from_recovered(2, Bytes::new(), Box::new(journal), recovered);
+        assert_eq!(log.stable_checkpoint().seq, SeqNo(2));
+        assert_eq!(&log.stable_checkpoint().snapshot[..], b"state@2");
+        assert_eq!(log.len(), 1);
+        assert!(log.get(SeqNo(3)).is_some());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -238,17 +238,91 @@ pub struct CheckpointMsg {
     pub digest: Digest,
 }
 
-/// State-transfer reply: a stable checkpoint plus the decided suffix.
+/// Per-chunk digests of a snapshot split into fixed-size chunks.
+///
+/// The manifest is what CST repliers certify (`f + 1` matching summaries);
+/// the chunk bytes themselves then stream in from *any* mix of peers in
+/// [`Message::CstChunkReply`] messages, each verifiable in isolation
+/// against its manifest digest.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChunkManifest {
+    /// Size of every chunk except possibly the last, in bytes.
+    pub chunk_size: u32,
+    /// Total snapshot length in bytes.
+    pub total_len: u64,
+    /// Digest of each chunk, in offset order (empty for an empty snapshot).
+    pub chunks: Vec<Digest>,
+}
+
+impl ChunkManifest {
+    /// Splits `snapshot` into `chunk_size`-byte chunks and digests each
+    /// (`chunk_size` is clamped to at least 1).
+    pub fn build(snapshot: &[u8], chunk_size: usize) -> ChunkManifest {
+        let chunk_size = chunk_size.max(1);
+        ChunkManifest {
+            chunk_size: chunk_size as u32,
+            total_len: snapshot.len() as u64,
+            chunks: snapshot.chunks(chunk_size).map(Digest::of).collect(),
+        }
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The byte range of chunk `index` within the snapshot, `None` when out
+    /// of range.
+    pub fn chunk_range(&self, index: usize) -> Option<std::ops::Range<usize>> {
+        if index >= self.chunks.len() {
+            return None;
+        }
+        let start = index * self.chunk_size as usize;
+        let end = (start + self.chunk_size as usize).min(self.total_len as usize);
+        Some(start..end)
+    }
+
+    /// Chunk `index` of `snapshot`, `None` when out of range or when the
+    /// snapshot is shorter than the manifest claims.
+    pub fn slice<'a>(&self, snapshot: &'a [u8], index: usize) -> Option<&'a [u8]> {
+        snapshot.get(self.chunk_range(index)?)
+    }
+
+    /// True when `data` is exactly chunk `index`: right length, right
+    /// digest.
+    pub fn verify_chunk(&self, index: usize, data: &[u8]) -> bool {
+        match (self.chunk_range(index), self.chunks.get(index)) {
+            (Some(range), Some(digest)) => range.len() == data.len() && Digest::of(data) == *digest,
+            _ => false,
+        }
+    }
+
+    /// Digest over the whole manifest (covered by the CST summary, so a
+    /// certified summary pins every chunk digest).
+    pub fn digest(&self) -> Digest {
+        let mut parts: Vec<Vec<u8>> = vec![
+            u64::from(self.chunk_size).to_be_bytes().to_vec(),
+            self.total_len.to_be_bytes().to_vec(),
+        ];
+        for c in &self.chunks {
+            parts.push(c.0.to_vec());
+        }
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        Digest::of_parts(&refs)
+    }
+}
+
+/// State-transfer reply: a stable checkpoint summary plus the decided
+/// suffix. The snapshot bytes are *not* carried here — they stream in as
+/// verified chunks ([`Message::CstChunkReply`]) named by the manifest.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CstReply {
     /// Slot of the included checkpoint.
     pub checkpoint_seq: SeqNo,
-    /// Snapshot digest (all repliers), snapshot bytes (one designated
-    /// replier — the BFT-SMaRt optimization of fetching the state once and
-    /// digests from the rest).
+    /// Digest of the whole snapshot.
     pub snapshot_digest: Digest,
-    /// The snapshot itself, when this replica was the designated sender.
-    pub snapshot: Option<Bytes>,
+    /// Per-chunk digests of the snapshot.
+    pub manifest: ChunkManifest,
     /// Decided batches after the checkpoint, in slot order.
     pub suffix: Vec<(SeqNo, Batch)>,
     /// Membership at the reply.
@@ -258,12 +332,13 @@ pub struct CstReply {
 }
 
 impl CstReply {
-    /// Digest summarizing the reply (checkpoint digest + suffix digests +
-    /// membership), used to cross-check `f + 1` replies.
+    /// Digest summarizing the reply (checkpoint digest + chunk manifest +
+    /// suffix digests + membership), used to cross-check `f + 1` replies.
     pub fn summary_digest(&self) -> Digest {
         let mut parts: Vec<Vec<u8>> = vec![
             self.checkpoint_seq.0.to_be_bytes().to_vec(),
             self.snapshot_digest.0.to_vec(),
+            self.manifest.digest().0.to_vec(),
             self.membership.epoch.0.to_be_bytes().to_vec(),
         ];
         for r in &self.membership.replicas {
@@ -332,15 +407,36 @@ pub enum Message {
         from: ReplicaId,
         /// Last slot the requester has applied.
         from_seq: SeqNo,
-        /// Whether the receiver is the designated full-state sender.
-        want_snapshot: bool,
     },
-    /// State-transfer reply.
+    /// State-transfer reply (summary + suffix; snapshot bytes stream
+    /// separately as chunks).
     CstReply {
         /// Replying replica.
         from: ReplicaId,
         /// Payload.
         reply: Box<CstReply>,
+    },
+    /// State-transfer chunk request: one snapshot chunk of the checkpoint
+    /// at `seq`.
+    CstChunkRequest {
+        /// Requesting replica.
+        from: ReplicaId,
+        /// Checkpoint slot the chunk belongs to.
+        seq: SeqNo,
+        /// Chunk index within the manifest.
+        index: u32,
+    },
+    /// State-transfer chunk reply: the snapshot bytes of one chunk,
+    /// verifiable against the certified manifest.
+    CstChunkReply {
+        /// Replying replica.
+        from: ReplicaId,
+        /// Checkpoint slot the chunk belongs to.
+        seq: SeqNo,
+        /// Chunk index within the manifest.
+        index: u32,
+        /// The chunk bytes.
+        data: Bytes,
     },
     /// A controller-issued reconfiguration (enters the total order like a
     /// request).
@@ -361,6 +457,8 @@ impl Message {
             Message::Sync { .. } => "SYNC",
             Message::CstRequest { .. } => "CST-REQUEST",
             Message::CstReply { .. } => "CST-REPLY",
+            Message::CstChunkRequest { .. } => "CST-CHUNK-REQUEST",
+            Message::CstChunkReply { .. } => "CST-CHUNK-REPLY",
             Message::Reconfig(_) => "RECONFIG",
         }
     }
@@ -398,7 +496,9 @@ impl Message {
             Message::CstRequest { .. } => HEADER,
             Message::CstReply { from: _, reply } => {
                 HEADER
-                    + reply.snapshot.as_ref().map(Bytes::len).unwrap_or(32)
+                    + 32
+                    + 12
+                    + 32 * reply.manifest.chunk_count()
                     + reply
                         .suffix
                         .iter()
@@ -407,6 +507,8 @@ impl Message {
                         })
                         .sum::<usize>()
             }
+            Message::CstChunkRequest { .. } => HEADER + 12,
+            Message::CstChunkReply { data, .. } => HEADER + 12 + data.len(),
             Message::Reconfig(_) => HEADER + 16,
         }
     }
@@ -421,7 +523,9 @@ impl Message {
             | Message::StopData { from, .. }
             | Message::Sync { from, .. }
             | Message::CstRequest { from, .. }
-            | Message::CstReply { from, .. } => Some(*from),
+            | Message::CstReply { from, .. }
+            | Message::CstChunkRequest { from, .. }
+            | Message::CstChunkReply { from, .. } => Some(*from),
             Message::Request(_) | Message::Reconfig(_) => None,
         }
     }
@@ -670,20 +774,23 @@ mod tests {
     #[test]
     fn cst_summary_digest_detects_divergence() {
         let membership = Membership::new(Epoch(0), (0..4).map(ReplicaId).collect());
+        let state = b"the full service state";
         let base = CstReply {
             checkpoint_seq: SeqNo(10),
-            snapshot_digest: Digest::of(b"state"),
-            snapshot: None,
+            snapshot_digest: Digest::of(state),
+            manifest: ChunkManifest::build(state, 8),
             suffix: vec![(SeqNo(11), Batch::new(vec![request(1, 1, b"x")]))],
             membership: membership.clone(),
             view: View(0),
         };
-        let same_with_snapshot =
-            CstReply { snapshot: Some(Bytes::from_static(b"full state")), ..base.clone() };
-        // the summary covers content, not who shipped the snapshot bytes
-        assert_eq!(base.summary_digest(), same_with_snapshot.summary_digest());
+        // the summary covers content, not who sent it
+        assert_eq!(base.summary_digest(), base.clone().summary_digest());
         let diverged = CstReply { snapshot_digest: Digest::of(b"other"), ..base.clone() };
         assert_ne!(base.summary_digest(), diverged.summary_digest());
+        // a different chunking of the same state is a different summary:
+        // the manifest is pinned by certification, chunk by chunk
+        let rechunked = CstReply { manifest: ChunkManifest::build(state, 4), ..base.clone() };
+        assert_ne!(base.summary_digest(), rechunked.summary_digest());
         let longer = CstReply {
             suffix: vec![
                 (SeqNo(11), Batch::new(vec![request(1, 1, b"x")])),
@@ -692,5 +799,50 @@ mod tests {
             ..base.clone()
         };
         assert_ne!(base.summary_digest(), longer.summary_digest());
+    }
+
+    #[test]
+    fn chunk_manifest_splits_verifies_and_rejects() {
+        let state: Vec<u8> = (0..100u8).collect();
+        let manifest = ChunkManifest::build(&state, 32);
+        assert_eq!(manifest.chunk_count(), 4);
+        assert_eq!(manifest.total_len, 100);
+        assert_eq!(manifest.chunk_range(3), Some(96..100));
+        assert_eq!(manifest.chunk_range(4), None);
+        for i in 0..manifest.chunk_count() {
+            let chunk = manifest.slice(&state, i).expect("in range");
+            assert!(manifest.verify_chunk(i, chunk));
+        }
+        // Wrong bytes, wrong length, wrong index all fail closed.
+        assert!(!manifest.verify_chunk(0, &state[1..33]));
+        assert!(!manifest.verify_chunk(3, &state[96..99]));
+        assert!(!manifest.verify_chunk(9, &state[..32]));
+        // Empty snapshot: no chunks, nothing to fetch.
+        let empty = ChunkManifest::build(b"", 32);
+        assert_eq!(empty.chunk_count(), 0);
+        assert_eq!(empty.total_len, 0);
+        // Reassembling every chunk reproduces the snapshot digest.
+        let mut assembled = Vec::new();
+        for i in 0..manifest.chunk_count() {
+            assembled.extend_from_slice(manifest.slice(&state, i).expect("in range"));
+        }
+        assert_eq!(Digest::of(&assembled), Digest::of(&state));
+    }
+
+    #[test]
+    fn chunk_message_labels_and_sizes() {
+        let req = Message::CstChunkRequest { from: ReplicaId(4), seq: SeqNo(10), index: 2 };
+        assert_eq!(req.label(), "CST-CHUNK-REQUEST");
+        assert_eq!(req.sender(), Some(ReplicaId(4)));
+        assert_eq!(req.consensus_slot(), None);
+        let reply = Message::CstChunkReply {
+            from: ReplicaId(1),
+            seq: SeqNo(10),
+            index: 2,
+            data: Bytes::from_static(&[0u8; 256]),
+        };
+        assert_eq!(reply.label(), "CST-CHUNK-REPLY");
+        assert_eq!(reply.sender(), Some(ReplicaId(1)));
+        assert!(reply.wire_size() >= 256 + req.wire_size());
     }
 }

@@ -21,13 +21,14 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use lazarus_obs::{Clock, Counter, HealthTracker, Histogram, Obs, Tracer};
+use lazarus_obs::{Clock, Counter, Gauge, HealthTracker, Histogram, Obs, Tracer};
 
 use crate::types::{Epoch, ReplicaId, SeqNo, View};
 
 /// Every [`Message::label`](crate::messages::Message::label) value, in the
-/// protocol's phase order.
-pub const MESSAGE_KINDS: [&str; 11] = [
+/// protocol's phase order (new kinds are appended — slot indices are part
+/// of the metric contract).
+pub const MESSAGE_KINDS: [&str; 13] = [
     "REQUEST",
     "PROPOSE",
     "WRITE",
@@ -39,6 +40,8 @@ pub const MESSAGE_KINDS: [&str; 11] = [
     "CST-REQUEST",
     "CST-REPLY",
     "RECONFIG",
+    "CST-CHUNK-REQUEST",
+    "CST-CHUNK-REPLY",
 ];
 
 fn kind_slot(label: &str) -> usize {
@@ -49,7 +52,7 @@ fn kind_slot(label: &str) -> usize {
 /// *designed* response to malformed, forged, stale, or Byzantine traffic —
 /// they must be countable (for the nemesis harness and for operators), and
 /// they must never escalate to a panic.
-pub const REJECT_REASONS: [&str; 13] = [
+pub const REJECT_REASONS: [&str; 15] = [
     "bad-request-sig",
     "stale-request",
     "duplicate-request",
@@ -63,6 +66,8 @@ pub const REJECT_REASONS: [&str; 13] = [
     "bad-snapshot",
     "bad-reconfig-sig",
     "stale-reconfig",
+    "bad-chunk",
+    "bad-suffix",
 ];
 
 fn reason_slot(reason: &str) -> usize {
@@ -124,6 +129,10 @@ pub struct ReplicaObs {
     checkpoints_total: Counter,
     state_transfers_total: Counter,
     commit_latency_us: Histogram,
+    cst_chunks_fetched_total: Counter,
+    cst_chunks_rejected_total: Counter,
+    cst_chunks_resumed_total: Counter,
+    recovery_duration_us: Gauge,
 
     /// Open proposals: slot → phase timestamps along the critical path.
     marks: HashMap<u64, SlotMarks>,
@@ -154,6 +163,10 @@ impl ReplicaObs {
             checkpoints_total: obs.registry.counter("bft_checkpoints_total"),
             state_transfers_total: obs.registry.counter("bft_state_transfers_total"),
             commit_latency_us: obs.registry.histogram("bft_commit_latency_us"),
+            cst_chunks_fetched_total: obs.registry.counter("bft_cst_chunks_fetched_total"),
+            cst_chunks_rejected_total: obs.registry.counter("bft_cst_chunks_rejected_total"),
+            cst_chunks_resumed_total: obs.registry.counter("bft_cst_chunks_resumed_total"),
+            recovery_duration_us: obs.registry.gauge("bft_recovery_duration_us"),
             marks: HashMap::new(),
             health: None,
         }
@@ -181,6 +194,21 @@ impl ReplicaObs {
         r.describe("bft_slots_decided_total", "Consensus slots decided locally.");
         r.describe("bft_state_transfers_total", "Completed CST state transfers.");
         r.describe("bft_commit_latency_us", "Proposal-to-decide latency per slot.");
+        r.describe("bft_cst_chunks_fetched_total", "CST snapshot chunks fetched and verified.");
+        r.describe("bft_cst_chunks_rejected_total", "CST chunks refused for a digest mismatch.");
+        r.describe(
+            "bft_cst_chunks_resumed_total",
+            "Verified chunks carried across a CST designee rotation instead of re-fetched.",
+        );
+        r.describe(
+            "bft_recovery_duration_us",
+            "Virtual duration of the last journal replay at replica boot.",
+        );
+        r.describe("bft_journal_fsync_us", "Virtual journal sync durations (bytes-derived).");
+        r.describe(
+            "bft_journal_compaction_us",
+            "Virtual journal compaction durations (bytes-derived).",
+        );
     }
 
     /// A protocol message reached `on_message`.
@@ -299,6 +327,39 @@ impl ReplicaObs {
         );
     }
 
+    /// A snapshot chunk arrived and passed its manifest digest check.
+    pub fn cst_chunk_fetched(&self) {
+        self.cst_chunks_fetched_total.inc();
+    }
+
+    /// A snapshot chunk failed its manifest digest check (also counted into
+    /// `bft_rejected_messages_total{reason="bad-chunk"}` via
+    /// [`rejected`](Self::rejected)).
+    pub fn cst_chunk_rejected(&self) {
+        self.cst_chunks_rejected_total.inc();
+    }
+
+    /// `n` already-verified chunks were carried across a designee rotation
+    /// instead of being fetched again.
+    pub fn cst_chunks_resumed(&self, n: u64) {
+        self.cst_chunks_resumed_total.add(n);
+    }
+
+    /// The replica finished replaying its journal at boot; `virtual_us` is
+    /// the deterministic bytes-derived replay duration.
+    pub fn recovered(&self, seq: SeqNo, virtual_us: u64, torn_tail: bool) {
+        self.recovery_duration_us.set(virtual_us as f64);
+        self.tracer.event(
+            "replica.recovery",
+            vec![
+                ("replica", self.id.0.into()),
+                ("seq", seq.0.into()),
+                ("virtual_us", virtual_us.into()),
+                ("torn_tail", u64::from(torn_tail).into()),
+            ],
+        );
+    }
+
     /// A state transfer completed at `seq`.
     pub fn state_transferred(&self, seq: SeqNo) {
         self.state_transfers_total.inc();
@@ -317,6 +378,44 @@ impl ReplicaObs {
             "replica.epoch_change",
             vec![("replica", self.id.0.into()), ("epoch", epoch.0.into()), ("n", n.into())],
         );
+    }
+}
+
+/// Metric handles for a [`Journal`](crate::storage::Journal) backend.
+///
+/// Durations fed here are *virtual* (deterministic functions of the bytes
+/// involved — see `crate::storage`), never wall time, so metric snapshots
+/// stay byte-identical across reruns and thread counts.
+#[derive(Debug, Clone)]
+pub struct JournalObs {
+    fsyncs_total: Counter,
+    fsync_us: Histogram,
+    compactions_total: Counter,
+    compaction_us: Histogram,
+}
+
+impl JournalObs {
+    /// Registers the `bft_journal_*` series in `obs`'s registry.
+    #[must_use]
+    pub fn new(obs: &Obs) -> JournalObs {
+        JournalObs {
+            fsyncs_total: obs.registry.counter("bft_journal_fsyncs_total"),
+            fsync_us: obs.registry.histogram("bft_journal_fsync_us"),
+            compactions_total: obs.registry.counter("bft_journal_compactions_total"),
+            compaction_us: obs.registry.histogram("bft_journal_compaction_us"),
+        }
+    }
+
+    /// One journal sync completed with the given virtual duration.
+    pub fn fsync(&self, virtual_us: u64) {
+        self.fsyncs_total.inc();
+        self.fsync_us.observe(virtual_us);
+    }
+
+    /// One compaction completed with the given virtual duration.
+    pub fn compaction(&self, virtual_us: u64) {
+        self.compactions_total.inc();
+        self.compaction_us.observe(virtual_us);
     }
 }
 

@@ -32,11 +32,12 @@ use crate::consensus::Instance;
 use crate::crypto::{Digest, Keyring, Principal};
 use crate::log::{Checkpoint, DecidedLog};
 use crate::messages::{
-    Batch, CheckpointMsg, ConsensusMsg, CstReply, Message, ReconfigCommand, Reply, Request,
-    WriteCertificate,
+    Batch, CheckpointMsg, ChunkManifest, ConsensusMsg, CstReply, Message, ReconfigCommand, Reply,
+    Request, WriteCertificate,
 };
 use crate::obs::ReplicaObs;
 use crate::service::Service;
+use crate::storage::{Recovered, Storage};
 use crate::types::{ClientId, Epoch, Membership, ReplicaId, SeqNo, View};
 
 /// The pseudo-client identity under which reconfiguration commands enter
@@ -117,6 +118,11 @@ pub struct ReplicaConfig {
     /// control plane places its chosen leader by booting the whole cluster
     /// at the matching view. Every replica must agree on it.
     pub initial_view: View,
+    /// Chunk size for state transfer: snapshots stream as CRC-verifiable
+    /// chunks of this many bytes. Must agree cluster-wide (the chunk
+    /// manifest a donor derives must match the one the requester
+    /// certified).
+    pub cst_chunk_bytes: usize,
 }
 
 impl ReplicaConfig {
@@ -132,16 +138,66 @@ impl ReplicaConfig {
             master_secret: b"lazarus-deployment".to_vec(),
             join: false,
             initial_view: View(0),
+            cst_chunk_bytes: 256 * 1024,
         }
     }
 }
 
-/// In-progress state transfer bookkeeping.
+/// In-progress state transfer bookkeeping for one round (one designee).
 #[derive(Debug)]
 struct CstState {
-    summaries: HashMap<ReplicaId, Digest>,
-    full: Option<CstReply>,
+    /// Per-peer summary digest + full reply received this round.
+    replies: HashMap<ReplicaId, (Digest, CstReply)>,
+    /// The certified state once f+1 summaries matched.
+    certified: Option<CertifiedCst>,
+    /// Round counter; offsets the chunk-to-peer striping so a rotation
+    /// spreads re-requests onto different donors.
     designee: usize,
+}
+
+/// A state certified by f+1 matching summary digests: at least one of the
+/// matching senders is correct, so the checkpoint digest, chunk manifest,
+/// suffix batches, membership, and view are all trustworthy.
+#[derive(Debug, Clone)]
+struct CertifiedCst {
+    reply: CstReply,
+    /// The replicas whose summaries matched, sorted by id — the only peers
+    /// chunk requests go to.
+    sources: Vec<ReplicaId>,
+}
+
+/// Verified snapshot chunks accumulated across transfer rounds. Lives
+/// *outside* [`CstState`] so a designee rotation (which resets the round)
+/// keeps the chunks — the heart of resumable state transfer: a partition
+/// mid-transfer wastes no completed chunk.
+#[derive(Debug)]
+struct ChunkStore {
+    checkpoint_seq: SeqNo,
+    manifest_digest: Digest,
+    chunks: Vec<Option<Bytes>>,
+}
+
+impl ChunkStore {
+    fn done(&self) -> usize {
+        self.chunks.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+/// What a reboot from durable storage recovered, for the embedding runtime
+/// (metrics gauge, invariant checking, logs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Slot of the recovered stable checkpoint (genesis when none).
+    pub stable_seq: SeqNo,
+    /// Digest of the recovered stable checkpoint's snapshot.
+    pub stable_digest: Digest,
+    /// Decided batches replayed through the service above the checkpoint.
+    pub replayed: u64,
+    /// True when the journal ended in a torn (partially written) record.
+    pub torn_tail: bool,
+    /// Deterministic virtual replay cost in µs (byte-derived, not wall
+    /// time).
+    pub virtual_us: u64,
 }
 
 /// The replica state machine (generic over the replicated [`Service`]).
@@ -177,8 +233,10 @@ pub struct Replica<S: Service> {
     stop_datas: HashMap<u64, HashMap<ReplicaId, (SeqNo, Option<WriteCertificate>)>>,
     sent_stop_for: Option<View>,
 
-    // State transfer.
+    // State transfer. The chunk store outlives individual CST rounds so
+    // verified chunks survive designee rotation (resumable transfer).
     cst: Option<CstState>,
+    chunk_store: Option<ChunkStore>,
 
     // Optional instrumentation (None = one branch per hook).
     obs: Option<ReplicaObs>,
@@ -203,15 +261,91 @@ impl<S: Service> std::fmt::Debug for Replica<S> {
 }
 
 impl<S: Service> Replica<S> {
-    /// Creates the replica. Joining replicas immediately request state.
+    /// Creates the replica (volatile in-memory log). Joining replicas
+    /// immediately request state.
     pub fn new(cfg: ReplicaConfig, service: S) -> (Replica<S>, Vec<Action>) {
-        let keyring = Keyring::new(&cfg.master_secret);
         let genesis = service.snapshot();
+        let log = DecidedLog::new(cfg.checkpoint_period, genesis);
+        Self::boot(Self::fresh(cfg, service, log))
+    }
+
+    /// Creates the replica with a durable [`Storage`] backend behind the
+    /// decided log: every decided batch and stable checkpoint is written
+    /// through, so a later crash can be recovered from via
+    /// [`Replica::recover`].
+    pub fn with_storage(
+        cfg: ReplicaConfig,
+        service: S,
+        storage: Box<dyn Storage>,
+    ) -> (Replica<S>, Vec<Action>) {
+        let genesis = service.snapshot();
+        let log = DecidedLog::with_storage(cfg.checkpoint_period, genesis, storage);
+        Self::boot(Self::fresh(cfg, service, log))
+    }
+
+    /// Reboots the replica from what a durable journal recovered: installs
+    /// the recovered stable checkpoint into the service, replays the
+    /// contiguous decided suffix (client replies suppressed), and resumes
+    /// with the journal as the write-through backend. Returns the usual
+    /// boot actions plus a [`RecoveryInfo`] for the embedding runtime.
+    pub fn recover(
+        cfg: ReplicaConfig,
+        mut service: S,
+        storage: Box<dyn Storage>,
+        recovered: Recovered,
+    ) -> (Replica<S>, Vec<Action>, RecoveryInfo) {
+        let genesis = service.snapshot();
+        let torn_tail = recovered.torn_tail;
+        let virtual_us = recovered.virtual_recovery_us();
+        if let Some(stable) = &recovered.stable {
+            service.install(&stable.snapshot);
+        }
+        let log = DecidedLog::from_recovered(cfg.checkpoint_period, genesis, storage, recovered);
+        let stable_seq = log.stable_checkpoint().seq;
+        let stable_digest = log.stable_checkpoint().digest;
+        let mut replica = Self::fresh(cfg, service, log);
+        let mut actions = Vec::new();
+        replica.last_decided = stable_seq;
+        // Replay the decided suffix with client replies suppressed (the
+        // clients were answered before the crash; re-sending would be
+        // harmless but noisy). A gap in the journaled suffix ends the
+        // replay — slots past a gap cannot be executed in order.
+        replica.status = Status::StateTransfer;
+        let mut replayed = 0u64;
+        for (seq, batch) in replica.log.suffix(stable_seq) {
+            if seq.0 != replica.last_decided.0 + 1 {
+                break;
+            }
+            replica.execute_batch(seq, &batch, &mut actions);
+            replica.last_decided = seq;
+            replayed += 1;
+        }
+        replica.status = if replica.cfg.join { Status::StateTransfer } else { Status::Active };
+        if replica.cfg.join {
+            replica.start_cst(&mut actions);
+        } else {
+            actions.push(Action::SetTimer(TimerId::Request, replica.cfg.request_timeout));
+        }
+        let info = RecoveryInfo { stable_seq, stable_digest, replayed, torn_tail, virtual_us };
+        (replica, actions, info)
+    }
+
+    /// Emits the recovery gauge + flight event for a reboot. Separate from
+    /// [`Replica::recover`] because instrumentation attaches after
+    /// construction ([`Self::attach_obs`] / [`Self::attach_flight`]).
+    pub fn note_recovered(&mut self, info: &RecoveryInfo) {
+        if let Some(obs) = &self.obs {
+            obs.recovered(info.stable_seq, info.virtual_us, info.torn_tail);
+        }
+        self.flight_event(EventKind::Recover, Some(info.stable_seq.0), None, info.virtual_us);
+    }
+
+    fn fresh(cfg: ReplicaConfig, service: S, log: DecidedLog) -> Replica<S> {
+        let keyring = Keyring::new(&cfg.master_secret);
         let membership = cfg.membership.clone();
         let status = if cfg.join { Status::StateTransfer } else { Status::Active };
-        let log = DecidedLog::new(cfg.checkpoint_period, genesis);
         let initial_view = cfg.initial_view;
-        let mut replica = Replica {
+        Replica {
             cfg,
             keyring,
             service,
@@ -232,10 +366,14 @@ impl<S: Service> Replica<S> {
             stop_datas: HashMap::new(),
             sent_stop_for: None,
             cst: None,
+            chunk_store: None,
             obs: None,
             flight: None,
             cur_ctx: TraceCtx::root(NO_SPAN, NO_SPAN),
-        };
+        }
+    }
+
+    fn boot(mut replica: Replica<S>) -> (Replica<S>, Vec<Action>) {
         let mut actions = Vec::new();
         if replica.cfg().join {
             replica.start_cst(&mut actions);
@@ -416,11 +554,17 @@ impl<S: Service> Replica<S> {
             Message::Sync { from, new_view, repropose } => {
                 self.on_sync(from, new_view, repropose, &mut actions);
             }
-            Message::CstRequest { from, from_seq, want_snapshot } => {
-                self.on_cst_request(from, from_seq, want_snapshot, &mut actions);
+            Message::CstRequest { from, from_seq } => {
+                self.on_cst_request(from, from_seq, &mut actions);
             }
             Message::CstReply { from, reply } => {
                 self.on_cst_reply(from, *reply, &mut actions);
+            }
+            Message::CstChunkRequest { from, seq, index } => {
+                self.on_cst_chunk_request(from, seq, index, &mut actions);
+            }
+            Message::CstChunkReply { from, seq, index, data } => {
+                self.on_cst_chunk_reply(from, seq, index, data, &mut actions);
             }
             Message::Reconfig(cmd) => {
                 self.on_reconfig_command(cmd, &mut actions);
@@ -453,10 +597,9 @@ impl<S: Service> Replica<S> {
             }
             TimerId::Cst => {
                 if self.status == Status::StateTransfer {
-                    // Rotate the designated snapshot sender and retry.
-                    let designee = self.cst.as_ref().map(|c| c.designee + 1).unwrap_or(0);
-                    self.cst = None;
-                    self.start_cst_with_designee(designee, &mut actions);
+                    // Rotate the donor stripe and retry. Verified chunks are
+                    // kept — the next round only fetches what is missing.
+                    self.rotate_cst(&mut actions);
                 }
             }
         }
@@ -1067,28 +1210,26 @@ impl<S: Service> Replica<S> {
             return;
         }
         let designee = designee % others.len();
-        self.cst = Some(CstState { summaries: HashMap::new(), full: None, designee });
+        self.cst = Some(CstState { replies: HashMap::new(), certified: None, designee });
         self.flight_event(EventKind::CstStart, Some(self.last_decided.0), Some(self.view.0), 0);
-        for (i, peer) in others.iter().enumerate() {
+        for peer in others {
             actions.push(Action::Send(
-                *peer,
-                Message::CstRequest {
-                    from: self.cfg.id,
-                    from_seq: self.last_decided,
-                    want_snapshot: i == designee,
-                },
+                peer,
+                Message::CstRequest { from: self.cfg.id, from_seq: self.last_decided },
             ));
         }
         actions.push(Action::SetTimer(TimerId::Cst, self.cfg.request_timeout * 8));
     }
 
-    fn on_cst_request(
-        &mut self,
-        from: ReplicaId,
-        _from_seq: SeqNo,
-        want_snapshot: bool,
-        actions: &mut Vec<Action>,
-    ) {
+    /// Aborts the current CST round and starts the next one. The chunk
+    /// store is *kept*: verified chunks of the same checkpoint resume.
+    fn rotate_cst(&mut self, actions: &mut Vec<Action>) {
+        let next = self.cst.as_ref().map(|c| c.designee + 1).unwrap_or(0);
+        self.cst = None;
+        self.start_cst_with_designee(next, actions);
+    }
+
+    fn on_cst_request(&mut self, from: ReplicaId, _from_seq: SeqNo, actions: &mut Vec<Action>) {
         if self.status != Status::Active {
             return;
         }
@@ -1096,7 +1237,7 @@ impl<S: Service> Replica<S> {
         let reply = CstReply {
             checkpoint_seq: stable.seq,
             snapshot_digest: stable.digest,
-            snapshot: want_snapshot.then(|| stable.snapshot.clone()),
+            manifest: ChunkManifest::build(&stable.snapshot, self.cfg.cst_chunk_bytes),
             suffix: self.log.suffix(stable.seq),
             membership: self.membership.clone(),
             view: self.view,
@@ -1111,60 +1252,218 @@ impl<S: Service> Replica<S> {
         if self.status != Status::StateTransfer {
             return;
         }
-        if self.cst.is_none() {
-            return;
-        }
-        // Verify a shipped snapshot against its claimed digest before
-        // trusting it as the full reply.
-        let snapshot_ok =
-            reply.snapshot.as_ref().is_none_or(|s| Digest::of(s) == reply.snapshot_digest);
-        if !snapshot_ok {
-            self.reject_from("bad-snapshot", from);
-        }
         let n_others = self.membership.others(self.cfg.id).count();
         let Some(cst) = self.cst.as_mut() else { return };
+        if cst.certified.is_some() {
+            return; // past the summary phase; chunks are in flight
+        }
         let summary = reply.summary_digest();
-        cst.summaries.insert(from, summary);
-        if reply.snapshot.is_some() && snapshot_ok {
-            cst.full = Some(reply);
-        }
-        let all_replied = cst.summaries.len() >= n_others;
-        let Some(full) = cst.full.clone() else {
-            // Every peer replied but the designated snapshot never made it
-            // (dropped or corrupt): rotate the designee now instead of
-            // waiting out the CST timer.
-            if all_replied {
-                let next = cst.designee + 1;
-                self.cst = None;
-                self.start_cst_with_designee(next, actions);
-            }
+        let f = reply.membership.f();
+        cst.replies.insert(from, (summary, reply));
+        // f+1 matching summaries certify the checkpoint digest, chunk
+        // manifest, suffix, membership, and view — at least one of the
+        // matching senders is correct. Sources are sorted by id so chunk
+        // striping (and everything downstream) is deterministic.
+        let mut sources: Vec<ReplicaId> =
+            cst.replies.iter().filter(|(_, (s, _))| *s == summary).map(|(id, _)| *id).collect();
+        sources.sort_unstable();
+        if sources.len() > f {
+            let representative = sources[0];
+            let reply = cst.replies[&representative].1.clone();
+            cst.certified = Some(CertifiedCst { reply, sources });
+            self.begin_chunk_phase(actions);
             return;
+        }
+        if cst.replies.len() >= n_others {
+            // Everyone answered yet no summary reached f+1 (peers split
+            // across checkpoints, or Byzantine noise): rotate now instead
+            // of waiting out the CST timer.
+            self.rotate_cst(actions);
+        }
+    }
+
+    /// Entered once a summary is certified: set up (or resume) the chunk
+    /// store and request every missing chunk, striped across the matching
+    /// sources.
+    fn begin_chunk_phase(&mut self, actions: &mut Vec<Action>) {
+        let Some(cert) = self.cst.as_ref().and_then(|c| c.certified.as_ref()) else { return };
+        let seq = cert.reply.checkpoint_seq;
+        let manifest_digest = cert.reply.manifest.digest();
+        let chunk_count = cert.reply.manifest.chunk_count();
+        let resumable = self
+            .chunk_store
+            .as_ref()
+            .is_some_and(|s| s.checkpoint_seq == seq && s.manifest_digest == manifest_digest);
+        if resumable {
+            // Chunks verified before the interruption (designee rotation,
+            // partition, donor crash) are kept — zero re-fetch.
+            let kept = self.chunk_store.as_ref().map(ChunkStore::done).unwrap_or(0);
+            if kept > 0 {
+                if let Some(obs) = &self.obs {
+                    obs.cst_chunks_resumed(kept as u64);
+                }
+            }
+        } else {
+            self.chunk_store = Some(ChunkStore {
+                checkpoint_seq: seq,
+                manifest_digest,
+                chunks: vec![None; chunk_count],
+            });
+        }
+        self.request_missing_chunks(actions);
+        self.maybe_finish_cst(actions);
+    }
+
+    fn request_missing_chunks(&mut self, actions: &mut Vec<Action>) {
+        let Some(cst) = self.cst.as_ref() else { return };
+        let Some(cert) = cst.certified.as_ref() else { return };
+        let Some(store) = self.chunk_store.as_ref() else { return };
+        let seq = cert.reply.checkpoint_seq;
+        let me = self.cfg.id;
+        for (index, slot) in store.chunks.iter().enumerate() {
+            if slot.is_none() {
+                let target = cert.sources[(cst.designee + index) % cert.sources.len()];
+                actions.push(Action::Send(
+                    target,
+                    Message::CstChunkRequest { from: me, seq, index: index as u32 },
+                ));
+            }
+        }
+    }
+
+    fn on_cst_chunk_request(
+        &mut self,
+        from: ReplicaId,
+        seq: SeqNo,
+        index: u32,
+        actions: &mut Vec<Action>,
+    ) {
+        if self.status != Status::Active {
+            return;
+        }
+        let stable = self.log.stable_checkpoint();
+        if stable.seq != seq {
+            return; // benign: the requester certified a different checkpoint
+        }
+        // Serving a chunk needs only its byte range, never the per-chunk
+        // digests — rebuilding the manifest here would re-hash the whole
+        // snapshot for every chunk request and stall the donor process.
+        // The range arithmetic mirrors `ChunkManifest::chunk_range` for
+        // the same snapshot and the cluster-wide chunk size.
+        let chunk_size = self.cfg.cst_chunk_bytes.max(1);
+        let start = (index as usize).saturating_mul(chunk_size);
+        let end = start.saturating_add(chunk_size).min(stable.snapshot.len());
+        if start >= end {
+            self.reject_from("bad-chunk", from);
+            return;
+        }
+        let data = Bytes::copy_from_slice(&stable.snapshot[start..end]);
+        actions.push(Action::Send(
+            from,
+            Message::CstChunkReply { from: self.cfg.id, seq, index, data },
+        ));
+    }
+
+    fn on_cst_chunk_reply(
+        &mut self,
+        from: ReplicaId,
+        seq: SeqNo,
+        index: u32,
+        data: Bytes,
+        actions: &mut Vec<Action>,
+    ) {
+        if self.status != Status::StateTransfer {
+            return;
+        }
+        let Some(cst) = self.cst.as_ref() else { return };
+        let Some(cert) = cst.certified.as_ref() else { return };
+        if seq != cert.reply.checkpoint_seq {
+            return; // stale round
+        }
+        let index_us = index as usize;
+        let chunk_ok = cert.reply.manifest.verify_chunk(index_us, &data);
+        // Where to re-request from on a bad chunk: the next source in the
+        // stripe, so a single corrupt donor cannot pin a chunk forever.
+        let next_source = cert.sources[(cst.designee + index_us + 1) % cert.sources.len()];
+        let (in_range, duplicate) = match self.chunk_store.as_ref() {
+            Some(store) => (
+                index_us < store.chunks.len(),
+                store.chunks.get(index_us).is_some_and(|c| c.is_some()),
+            ),
+            None => return,
         };
-        let full_summary = full.summary_digest();
-        let matching = cst.summaries.values().filter(|&&s| s == full_summary).count();
-        // f+1 matching summaries (the full reply counts as one of them).
-        let f = full.membership.f();
-        if matching < f + 1 {
-            // With all replies in and the designee's summary still in the
-            // minority, this round can never reach f+1 — the designee is
-            // either lying or (more likely) decided ahead of the cluster.
-            // Re-request with the next designee immediately.
-            if all_replied {
-                let next = cst.designee + 1;
-                self.cst = None;
-                self.start_cst_with_designee(next, actions);
-            }
+        if !in_range {
+            self.reject_from("bad-chunk", from);
             return;
         }
-        // Install.
-        let snapshot = full.snapshot.clone().expect("full reply has the snapshot");
+        if duplicate {
+            return;
+        }
+        if !chunk_ok {
+            // Corrupt or wrong-sized chunk: count it, charge the sender,
+            // and re-request from a different source.
+            self.reject_from("bad-chunk", from);
+            if let Some(obs) = &self.obs {
+                obs.cst_chunk_rejected();
+            }
+            actions.push(Action::Send(
+                next_source,
+                Message::CstChunkRequest { from: self.cfg.id, seq, index },
+            ));
+            return;
+        }
+        if let Some(store) = self.chunk_store.as_mut() {
+            store.chunks[index_us] = Some(data);
+        }
+        if let Some(obs) = &self.obs {
+            obs.cst_chunk_fetched();
+        }
+        self.flight_event(EventKind::CstChunk, Some(seq.0), None, u64::from(index));
+        self.maybe_finish_cst(actions);
+    }
+
+    /// Assembles and installs the snapshot once every chunk is present.
+    fn maybe_finish_cst(&mut self, actions: &mut Vec<Action>) {
+        let complete =
+            self.chunk_store.as_ref().is_some_and(|s| s.chunks.iter().all(|c| c.is_some()));
+        if !complete {
+            return;
+        }
+        let Some(cert) = self.cst.as_ref().and_then(|c| c.certified.clone()) else { return };
+        let Some(store) = self.chunk_store.take() else { return };
+        let mut snapshot = Vec::with_capacity(cert.reply.manifest.total_len as usize);
+        for chunk in store.chunks.into_iter().flatten() {
+            snapshot.extend_from_slice(&chunk);
+        }
+        let snapshot = Bytes::from(snapshot);
+        if Digest::of(&snapshot) != cert.reply.snapshot_digest {
+            // Only reachable when f+1 summaries certified a manifest that is
+            // inconsistent with its own snapshot digest — collusion beyond
+            // the fault budget. Refuse it and retry elsewhere regardless.
+            self.reject("bad-snapshot");
+            self.rotate_cst(actions);
+            return;
+        }
+        self.finish_cst(cert.reply, snapshot, actions);
+    }
+
+    fn finish_cst(&mut self, full: CstReply, snapshot: Bytes, actions: &mut Vec<Action>) {
+        // The log re-verifies the checkpoint digest and the suffix ordering
+        // before anything is installed; a forged certified reply is counted
+        // and dropped, never trusted.
+        let checkpoint = Checkpoint {
+            seq: full.checkpoint_seq,
+            snapshot: snapshot.clone(),
+            digest: full.snapshot_digest,
+        };
+        if let Err(err) = self.log.install(checkpoint, full.suffix.clone()) {
+            self.reject(err.reason());
+            self.rotate_cst(actions);
+            return;
+        }
         self.service.install(&snapshot);
         self.membership = full.membership.clone();
         self.view = full.view;
-        self.log.install(
-            Checkpoint { seq: full.checkpoint_seq, snapshot, digest: full.snapshot_digest },
-            full.suffix.clone(),
-        );
         self.last_decided = full.checkpoint_seq;
         self.insts.clear();
         self.cst = None;
@@ -1297,6 +1596,7 @@ impl<S: Service> Replica<S> {
 mod tests {
     use super::*;
     use crate::client::Client;
+    use crate::service::CounterService;
     use crate::testkit::{TestCluster, TEST_SECRET};
 
     fn client(id: u64, cluster: &TestCluster) -> Client {
@@ -1547,6 +1847,186 @@ mod tests {
                 assert_eq!(cluster.replica(id).service().snapshot(), snap, "seed {seed}");
             }
         }
+    }
+
+    fn chunk_requests(actions: &[Action]) -> Vec<(ReplicaId, u32)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send(to, Message::CstChunkRequest { index, .. }) => Some((*to, *index)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// A joiner plus the donor-side reply for a 10-chunk snapshot, driven
+    /// by direct message injection (no cluster) so the chunk round-trips
+    /// are observable one by one.
+    fn chunked_cst_fixture() -> (Replica<CounterService>, Vec<u8>, CstReply) {
+        let membership = Membership::new(Epoch(0), (0..4).map(ReplicaId).collect());
+        let mut cfg = ReplicaConfig::new(ReplicaId(9), membership.clone());
+        cfg.join = true;
+        cfg.cst_chunk_bytes = 16;
+        let (joiner, actions) = Replica::new(cfg, CounterService::new());
+        let summary_requests = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Send(_, Message::CstRequest { .. })))
+            .count();
+        assert_eq!(summary_requests, 4, "every donor is asked for a summary");
+        let snapshot: Vec<u8> = (0..160u32).map(|i| i as u8).collect();
+        let reply = CstReply {
+            checkpoint_seq: SeqNo(40),
+            snapshot_digest: Digest::of(&snapshot),
+            manifest: ChunkManifest::build(&snapshot, 16),
+            suffix: Vec::new(),
+            membership,
+            view: View(0),
+        };
+        assert_eq!(reply.manifest.chunk_count(), 10);
+        (joiner, snapshot, reply)
+    }
+
+    fn serve_chunk(
+        joiner: &mut Replica<CounterService>,
+        snapshot: &[u8],
+        reply: &CstReply,
+        to: ReplicaId,
+        index: u32,
+    ) -> Vec<Action> {
+        let data = Bytes::copy_from_slice(
+            reply.manifest.slice(snapshot, index as usize).expect("chunk in range"),
+        );
+        joiner.on_message(Message::CstChunkReply {
+            from: to,
+            seq: reply.checkpoint_seq,
+            index,
+            data,
+        })
+    }
+
+    /// Satellite: kill the designee after k fetched chunks; after rotation
+    /// the transfer resumes and re-fetches exactly zero completed chunks.
+    #[test]
+    fn chunked_cst_resumes_with_zero_refetched_chunks() {
+        let (mut joiner, snapshot, reply) = chunked_cst_fixture();
+        // f+1 = 2 matching summaries certify the manifest.
+        let first = joiner
+            .on_message(Message::CstReply { from: ReplicaId(0), reply: Box::new(reply.clone()) });
+        assert!(chunk_requests(&first).is_empty(), "one summary is below f+1");
+        let actions = joiner
+            .on_message(Message::CstReply { from: ReplicaId(1), reply: Box::new(reply.clone()) });
+        let round1 = chunk_requests(&actions);
+        assert_eq!(round1.len(), 10, "all chunks requested, striped over sources");
+
+        // Serve 4 chunks, then the designee dies: the CST timer rotates.
+        for (to, index) in &round1[..4] {
+            serve_chunk(&mut joiner, &snapshot, &reply, *to, *index);
+        }
+        let actions = joiner.on_timer(TimerId::Cst);
+        assert!(
+            actions.iter().any(|a| matches!(a, Action::Send(_, Message::CstRequest { .. }))),
+            "rotation restarts the summary phase"
+        );
+        assert_eq!(joiner.status(), Status::StateTransfer);
+
+        // Re-certify from two different donors and resume.
+        joiner.on_message(Message::CstReply { from: ReplicaId(2), reply: Box::new(reply.clone()) });
+        let actions = joiner
+            .on_message(Message::CstReply { from: ReplicaId(3), reply: Box::new(reply.clone()) });
+        let round2 = chunk_requests(&actions);
+        assert_eq!(round2.len(), 6, "only the missing chunks are requested");
+        let fetched: HashSet<u32> = round1[..4].iter().map(|(_, i)| *i).collect();
+        assert!(
+            round2.iter().all(|(_, i)| !fetched.contains(i)),
+            "zero re-fetched completed chunks"
+        );
+
+        // Serve the rest: the transfer completes against the certified
+        // checkpoint.
+        for (to, index) in round2 {
+            serve_chunk(&mut joiner, &snapshot, &reply, to, index);
+        }
+        assert_eq!(joiner.status(), Status::Active);
+        assert_eq!(joiner.last_decided(), SeqNo(40));
+        assert_eq!(joiner.decided_log().stable_checkpoint().digest, Digest::of(&snapshot));
+    }
+
+    /// A corrupt chunk is refused (never installed) and re-requested from a
+    /// different source; the good copy then completes the slot.
+    #[test]
+    fn corrupt_chunk_is_rejected_and_rerequested() {
+        let (mut joiner, snapshot, reply) = chunked_cst_fixture();
+        joiner.on_message(Message::CstReply { from: ReplicaId(0), reply: Box::new(reply.clone()) });
+        let actions = joiner
+            .on_message(Message::CstReply { from: ReplicaId(1), reply: Box::new(reply.clone()) });
+        let round = chunk_requests(&actions);
+        let (victim_target, victim_index) = round[0];
+
+        let actions = joiner.on_message(Message::CstChunkReply {
+            from: victim_target,
+            seq: reply.checkpoint_seq,
+            index: victim_index,
+            data: Bytes::from_static(&[0xAA; 16]),
+        });
+        let rerequests = chunk_requests(&actions);
+        assert_eq!(rerequests.len(), 1, "the bad chunk is re-requested");
+        assert_eq!(rerequests[0].1, victim_index);
+        assert_ne!(rerequests[0].0, victim_target, "…from a different source");
+
+        for (to, index) in round {
+            serve_chunk(&mut joiner, &snapshot, &reply, to, index);
+        }
+        assert_eq!(joiner.status(), Status::Active);
+        assert_eq!(joiner.decided_log().stable_checkpoint().digest, Digest::of(&snapshot));
+    }
+
+    /// Tentpole: a journal-backed replica reboots from its own storage —
+    /// stable checkpoint installed, decided suffix replayed — instead of
+    /// starting empty.
+    #[test]
+    fn replica_recovers_from_journal() {
+        use crate::storage::{Journal, JournalConfig};
+        let dir =
+            std::env::temp_dir().join(format!("lazarus_replica_recover_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let jcfg = JournalConfig { fsync: false, ..JournalConfig::new(&dir) };
+
+        // A 4-replica cluster where replica 0 journals every decided slot:
+        // five client ops leave a stable checkpoint at 4 (period 2) plus
+        // slot 5 in its journal.
+        let mut cfg = ReplicaConfig::new(
+            ReplicaId(0),
+            Membership::new(Epoch(0), (0..4).map(ReplicaId).collect()),
+        );
+        cfg.checkpoint_period = 2;
+        {
+            let mut cluster = TestCluster::new(4, 2);
+            let (journal, recovered) = Journal::open(jcfg.clone()).expect("open journal");
+            assert!(recovered.is_empty());
+            let (replica, actions) =
+                Replica::with_storage(cfg.clone(), CounterService::new(), Box::new(journal));
+            cluster.insert_replica(0, replica, actions);
+            let mut c = client(7, &cluster);
+            for op in 1..=5u64 {
+                cluster.run_client_op(&mut c, &op.to_be_bytes());
+            }
+            assert_eq!(cluster.replica(0).last_decided(), SeqNo(5));
+            assert_eq!(cluster.replica(0).decided_log().stable_checkpoint().seq, SeqNo(4));
+            assert_eq!(cluster.replica(0).decided_log().storage_errors(), 0);
+        }
+
+        // Crash (drop) and reboot from the journal.
+        let (journal, recovered) = Journal::open(jcfg).expect("reopen journal");
+        let (rebooted, _, info) =
+            Replica::recover(cfg, CounterService::new(), Box::new(journal), recovered);
+        assert_eq!(info.stable_seq, SeqNo(4));
+        assert_eq!(info.replayed, 1, "slot 5 replays above the checkpoint");
+        assert!(!info.torn_tail);
+        assert!(info.virtual_us > 0);
+        assert_eq!(rebooted.status(), Status::Active);
+        assert_eq!(rebooted.last_decided(), SeqNo(5));
+        assert_eq!(rebooted.service().executed(), 5);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -72,6 +72,75 @@ impl Service for CounterService {
     }
 }
 
+/// A service with a configurable multi-megabyte state blob, used by the
+/// testbed and benches to exercise chunked state transfer: every executed
+/// operation deterministically perturbs a slice of the blob, and the
+/// snapshot is the execution counter followed by the whole blob.
+#[derive(Debug, Clone)]
+pub struct BlobService {
+    executed: u64,
+    blob: Vec<u8>,
+}
+
+impl BlobService {
+    /// A blob of `size` bytes filled with a deterministic pattern.
+    pub fn new(size: usize) -> BlobService {
+        let blob = (0..size).map(|i| (i.wrapping_mul(31).wrapping_add(7)) as u8).collect();
+        BlobService { executed: 0, blob }
+    }
+
+    /// Number of operations executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// The blob size in bytes.
+    pub fn blob_len(&self) -> usize {
+        self.blob.len()
+    }
+}
+
+impl Service for BlobService {
+    fn execute(&mut self, _client: ClientId, payload: &[u8]) -> Bytes {
+        self.executed += 1;
+        // Perturb a payload-dependent window of the blob so state transfer
+        // really must move the mutated bytes.
+        if !self.blob.is_empty() {
+            let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.executed;
+            for &b in payload {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+            let start = (h as usize) % self.blob.len();
+            let span = 64.min(self.blob.len() - start);
+            for (i, byte) in self.blob[start..start + span].iter_mut().enumerate() {
+                *byte = byte.wrapping_add(1).wrapping_add(i as u8);
+            }
+        }
+        Bytes::copy_from_slice(payload)
+    }
+
+    fn snapshot(&self) -> Bytes {
+        let mut out = Vec::with_capacity(8 + self.blob.len());
+        out.extend_from_slice(&self.executed.to_be_bytes());
+        out.extend_from_slice(&self.blob);
+        Bytes::from(out)
+    }
+
+    fn install(&mut self, snapshot: &[u8]) {
+        if snapshot.len() < 8 {
+            return; // malformed snapshot: keep current state rather than panic
+        }
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&snapshot[..8]);
+        self.executed = u64::from_be_bytes(buf);
+        self.blob = snapshot[8..].to_vec();
+    }
+
+    fn state_size(&self) -> usize {
+        8 + self.blob.len()
+    }
+}
+
 impl Service for Box<dyn Service> {
     fn execute(&mut self, client: ClientId, payload: &[u8]) -> Bytes {
         (**self).execute(client, payload)
@@ -116,5 +185,24 @@ mod tests {
         assert_eq!(b.executed(), 5);
         assert_eq!(a.snapshot(), b.snapshot());
         assert_eq!(a.state_size(), 8);
+    }
+
+    #[test]
+    fn blob_service_roundtrip_and_divergence() {
+        let mut a = BlobService::new(4096);
+        assert_eq!(a.state_size(), 8 + 4096);
+        let before = a.snapshot();
+        a.execute(ClientId(1), b"mutate");
+        let after = a.snapshot();
+        assert_ne!(before, after, "execution must perturb the blob");
+
+        let mut b = BlobService::new(4096);
+        b.install(&after);
+        assert_eq!(b.executed(), 1);
+        assert_eq!(b.snapshot(), after);
+
+        // Malformed snapshots are ignored, not panicked on.
+        b.install(b"short");
+        assert_eq!(b.snapshot(), after);
     }
 }

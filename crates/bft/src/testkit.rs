@@ -195,6 +195,20 @@ impl TestCluster {
         }
     }
 
+    /// Inserts (or replaces) a replica the caller built — e.g. a
+    /// journal-backed one via [`Replica::with_storage`] or
+    /// [`Replica::recover`] — absorbing its boot actions.
+    pub fn insert_replica(
+        &mut self,
+        id: u32,
+        replica: Replica<CounterService>,
+        actions: Vec<Action>,
+    ) {
+        self.crashed.remove(&ReplicaId(id));
+        self.replicas.insert(id, replica);
+        self.absorb(ReplicaId(id), actions);
+    }
+
     /// Adds a brand-new joining replica (status `StateTransfer`): it will
     /// fetch state from the others. The caller is responsible for having the
     /// controller reconfigure it into the membership.

@@ -141,11 +141,17 @@ pub enum EventKind {
     CstStart,
     /// State transfer completed (snapshot + log adopted).
     CstDone,
+    /// A state-transfer chunk was fetched and verified; `extra` holds the
+    /// chunk index.
+    CstChunk,
+    /// The replica rebooted from durable storage; `extra` holds the
+    /// recovered stable checkpoint slot.
+    Recover,
 }
 
 impl EventKind {
     /// All kinds, in a fixed order (the JSONL schema vocabulary).
-    pub const ALL: [EventKind; 15] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::Send,
         EventKind::Recv,
         EventKind::Drop,
@@ -161,6 +167,8 @@ impl EventKind {
         EventKind::HelpRevote,
         EventKind::CstStart,
         EventKind::CstDone,
+        EventKind::CstChunk,
+        EventKind::Recover,
     ];
 
     /// The stable wire name of this kind.
@@ -182,6 +190,8 @@ impl EventKind {
             EventKind::HelpRevote => "help_revote",
             EventKind::CstStart => "cst_start",
             EventKind::CstDone => "cst_done",
+            EventKind::CstChunk => "cst_chunk",
+            EventKind::Recover => "recover",
         }
     }
 

@@ -11,6 +11,7 @@
 //! paper observes in §7.2.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -19,8 +20,9 @@ use lazarus_bft::client::Client;
 use lazarus_bft::crypto::{Keyring, Principal};
 use lazarus_bft::messages::{Batch, CheckpointMsg, ConsensusMsg, Message, ReconfigCommand, Reply};
 use lazarus_bft::obs::{ReplicaObs, WireObs};
-use lazarus_bft::replica::{Action, Replica, ReplicaConfig, TimerId};
+use lazarus_bft::replica::{Action, Replica, ReplicaConfig, Status, TimerId};
 use lazarus_bft::service::Service;
+use lazarus_bft::storage::{tear_tail, Journal, JournalConfig};
 use lazarus_bft::types::{ClientId, Epoch, Membership, ReplicaId, SeqNo, View};
 use lazarus_obs::causal::{
     slot_trace_id, EventKind, FlightEvent, FlightRecorder, TraceCtx, NO_SPAN,
@@ -74,6 +76,8 @@ pub struct SimConfig {
     /// View every replica boots in (leader of view `v` is
     /// `replicas[v % n]` — the control plane's leader-placement knob).
     pub initial_view: u64,
+    /// CST chunk size every replica agrees on (manifest granularity).
+    pub cst_chunk_bytes: usize,
 }
 
 impl Default for SimConfig {
@@ -84,6 +88,7 @@ impl Default for SimConfig {
             max_batch: 400,
             client_retry: 30 * SEC,
             initial_view: 0,
+            cst_chunk_bytes: 256 * 1024, // ReplicaConfig's default
         }
     }
 }
@@ -105,8 +110,19 @@ enum Ev {
     NodeDown(ReplicaId),
     /// Power restored after a scheduled crash (state retained).
     NodeRestart(ReplicaId),
+    /// Power restored after a crash that lost volatile state: a durable
+    /// node rebuilds its replica from the journal.
+    NodeReboot(ReplicaId),
     /// Periodic online health reduction (observed clusters only).
     HealthTick,
+}
+
+/// Rebuild recipe for a journal-backed node: reopen the journal in `dir`,
+/// recover, and wrap a fresh service instance from `factory`.
+struct DurableSpec {
+    dir: PathBuf,
+    rcfg: ReplicaConfig,
+    factory: Box<dyn FnMut() -> Box<dyn Service>>,
 }
 
 struct Node {
@@ -116,6 +132,7 @@ struct Node {
     ready: bool,
     timer_gen: HashMap<TimerId, u64>,
     powered: bool,
+    durable: Option<DurableSpec>,
 }
 
 struct ClientState {
@@ -160,6 +177,20 @@ pub struct SimCluster {
     /// Ring capacity for recorders attached to future nodes; `None` =
     /// tracing off.
     flight_capacity: Option<usize>,
+    /// Scratch directories (e.g. journals of durable nodes) owned by this
+    /// run and removed when the cluster is dropped.
+    scratch: Vec<PathBuf>,
+}
+
+impl Drop for SimCluster {
+    fn drop(&mut self) {
+        // Drop replicas first so journal file handles are closed before
+        // their directories disappear.
+        self.nodes.clear();
+        for dir in &self.scratch {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
 }
 
 /// Instrumentation handles owned by an observed [`SimCluster`].
@@ -201,7 +232,14 @@ impl SimCluster {
             checker: None,
             flights: HashMap::new(),
             flight_capacity: None,
+            scratch: Vec::new(),
         }
+    }
+
+    /// Registers a scratch directory (a durable node's journal) to be
+    /// deleted when this cluster is dropped.
+    pub fn register_scratch(&mut self, dir: PathBuf) {
+        self.scratch.push(dir);
     }
 
     /// An empty cluster instrumented against a fresh [`Obs`] bundle whose
@@ -306,7 +344,12 @@ impl SimCluster {
         for crash in plan.crash_schedule() {
             self.queue.schedule_at(crash.at, Ev::NodeDown(crash.replica));
             if let Some(restart) = crash.restart_at {
-                self.queue.schedule_at(restart, Ev::NodeRestart(crash.replica));
+                let ev = if crash.reboot {
+                    Ev::NodeReboot(crash.replica)
+                } else {
+                    Ev::NodeRestart(crash.replica)
+                };
+                self.queue.schedule_at(restart, ev);
             }
         }
         if let Some(checker) = self.checker.as_mut() {
@@ -349,6 +392,55 @@ impl SimCluster {
         self.queue.schedule_at(at, Ev::NodeRestart(id));
     }
 
+    /// Rebuilds a durable node's replica from its journal after a crash
+    /// that lost volatile state: the journal is reopened (replaying through
+    /// any torn tail), the stable checkpoint is re-installed into a fresh
+    /// service instance, and the decided suffix is replayed. The node comes
+    /// ready only after the recovery's virtual time has elapsed. Nodes
+    /// without a journal fall back to pause/resume semantics.
+    fn reboot_node(&mut self, at: Micros, id: ReplicaId) {
+        if self.nodes.get(&id.0).is_none_or(|n| n.durable.is_none()) {
+            self.handle(at, Ev::NodeRestart(id));
+            return;
+        }
+        let (dir, rcfg, service) = {
+            let node = self.nodes.get_mut(&id.0).expect("checked above");
+            let spec = node.durable.as_mut().expect("checked above");
+            (spec.dir.clone(), spec.rcfg.clone(), (spec.factory)())
+        };
+        let jcfg = JournalConfig { fsync: false, ..JournalConfig::new(&dir) };
+        let Ok((journal, recovered)) = Journal::open(jcfg) else { return };
+        let (mut replica, actions, info) =
+            Replica::recover(rcfg, service, Box::new(journal), recovered);
+        if let Some(obs) = &self.obs {
+            replica.attach_obs(&obs.bundle);
+            replica.attach_health(obs.health.clone());
+        }
+        if let Some(checker) = self.checker.as_mut() {
+            checker.record_recovery(id, info.stable_seq, info.stable_digest);
+        }
+        let ready_at = at + info.virtual_us;
+        {
+            let node = self.nodes.get_mut(&id.0).expect("checked above");
+            node.replica = replica;
+            node.powered = true;
+            node.ready = false;
+            // A rebooted machine has an empty run queue; timer generations
+            // stay monotone so pre-crash timer events remain dead.
+            node.station = ProcessingStation::new(node.profile.cores);
+        }
+        self.attach_flight(id);
+        // Emits the recovery metrics + the `recover` flight event, so it
+        // runs after the recorder is re-attached.
+        if let Some(node) = self.nodes.get_mut(&id.0) {
+            node.replica.note_recovered(&info);
+        }
+        self.queue.schedule_at(ready_at, Ev::NodeUp(id));
+        for action in actions {
+            self.schedule_action(id, ready_at, action, UNTRACED);
+        }
+    }
+
     /// Adds a ready replica node at time zero.
     pub fn add_node(
         &mut self,
@@ -362,6 +454,7 @@ impl SimCluster {
         rcfg.max_batch = self.cfg.max_batch;
         rcfg.master_secret = SIM_SECRET.to_vec();
         rcfg.initial_view = View(self.cfg.initial_view);
+        rcfg.cst_chunk_bytes = self.cfg.cst_chunk_bytes;
         let (mut replica, actions) = Replica::new(rcfg, service);
         if let Some(obs) = &self.obs {
             replica.attach_obs(&obs.bundle);
@@ -374,11 +467,70 @@ impl SimCluster {
             ready: true,
             timer_gen: HashMap::new(),
             powered: true,
+            durable: None,
         };
         self.nodes.insert(id.0, node);
         self.attach_flight(id);
         let at = self.queue.now();
         self.absorb(id, at, actions, UNTRACED);
+    }
+
+    /// Adds a ready *durable* replica node at time zero: its decided log is
+    /// backed by an append-only journal in `dir`, and a scheduled
+    /// [`FaultPlan::crash_reboot`] makes it lose volatile state and rebuild
+    /// itself from that journal. `factory` produces a fresh (empty) service
+    /// instance per boot; recovery re-derives its state from the journal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal I/O errors.
+    pub fn add_durable_node(
+        &mut self,
+        id: ReplicaId,
+        profile: PerfProfile,
+        membership: Membership,
+        dir: &Path,
+        mut factory: Box<dyn FnMut() -> Box<dyn Service>>,
+    ) -> std::io::Result<()> {
+        let mut rcfg = ReplicaConfig::new(id, membership);
+        rcfg.checkpoint_period = self.cfg.checkpoint_period;
+        rcfg.max_batch = self.cfg.max_batch;
+        rcfg.master_secret = SIM_SECRET.to_vec();
+        rcfg.initial_view = View(self.cfg.initial_view);
+        rcfg.cst_chunk_bytes = self.cfg.cst_chunk_bytes;
+        // Sync-on-checkpoint still happens; per-record fsync off keeps mass
+        // simulation fast (virtual fsync time is charged either way).
+        let jcfg = JournalConfig { fsync: false, ..JournalConfig::new(dir) };
+        let (journal, recovered) = Journal::open(jcfg)?;
+        let service = factory();
+        let (mut replica, actions) = if recovered.is_empty() {
+            Replica::with_storage(rcfg.clone(), service, Box::new(journal))
+        } else {
+            let (replica, actions, info) =
+                Replica::recover(rcfg.clone(), service, Box::new(journal), recovered);
+            if let Some(checker) = self.checker.as_mut() {
+                checker.record_recovery(id, info.stable_seq, info.stable_digest);
+            }
+            (replica, actions)
+        };
+        if let Some(obs) = &self.obs {
+            replica.attach_obs(&obs.bundle);
+            replica.attach_health(obs.health.clone());
+        }
+        let node = Node {
+            replica,
+            station: ProcessingStation::new(profile.cores),
+            profile,
+            ready: true,
+            timer_gen: HashMap::new(),
+            powered: true,
+            durable: Some(DurableSpec { dir: dir.to_path_buf(), rcfg, factory }),
+        };
+        self.nodes.insert(id.0, node);
+        self.attach_flight(id);
+        let at = self.queue.now();
+        self.absorb(id, at, actions, UNTRACED);
+        Ok(())
     }
 
     /// Powers on a *joining* replica: it boots for `profile.boot`, then
@@ -397,6 +549,7 @@ impl SimCluster {
         rcfg.master_secret = SIM_SECRET.to_vec();
         rcfg.join = true;
         rcfg.initial_view = View(self.cfg.initial_view);
+        rcfg.cst_chunk_bytes = self.cfg.cst_chunk_bytes;
         let (mut replica, actions) = Replica::new(rcfg, service);
         if let Some(obs) = &self.obs {
             replica.attach_obs(&obs.bundle);
@@ -409,6 +562,7 @@ impl SimCluster {
             ready: false,
             timer_gen: HashMap::new(),
             powered: true,
+            durable: None,
         };
         self.nodes.insert(id.0, node);
         self.attach_flight(id);
@@ -546,23 +700,48 @@ impl SimCluster {
                 }
             }
             Ev::NodeDown(id) => {
-                if let Some(node) = self.nodes.get_mut(&id.0) {
+                let journal_dir = {
+                    let Some(node) = self.nodes.get_mut(&id.0) else { return };
                     node.powered = false;
                     node.ready = false;
+                    node.durable.as_ref().map(|d| d.dir.clone())
+                };
+                // A crashing durable node may lose the tail of its last
+                // journal write — recovery must detect the torn frame.
+                if let (Some(dir), Some(plan)) = (journal_dir, self.faults.as_mut()) {
+                    if plan.disk().torn_write_max_bytes > 0 {
+                        let torn = plan.torn_write_len();
+                        let _ = tear_tail(&dir, torn);
+                    }
                 }
             }
             Ev::NodeRestart(id) => {
-                let timeout = {
+                let (timeout, in_cst) = {
                     let Some(node) = self.nodes.get_mut(&id.0) else { return };
                     node.powered = true;
                     node.ready = true;
-                    node.replica.cfg().request_timeout
+                    (
+                        node.replica.cfg().request_timeout,
+                        node.replica.status() == Status::StateTransfer,
+                    )
                 };
                 // Timers armed before the crash were swallowed while the
                 // node was down; re-arm the request watchdog so the revived
                 // replica can still notice a stalled leader.
                 self.schedule_action(id, at, Action::SetTimer(TimerId::Request, timeout), UNTRACED);
+                if in_cst {
+                    // A replica that crashed mid-transfer keeps its verified
+                    // chunks; re-arming the CST watchdog rotates the designee
+                    // and re-requests only what is still missing.
+                    self.schedule_action(
+                        id,
+                        at,
+                        Action::SetTimer(TimerId::Cst, timeout * 8),
+                        UNTRACED,
+                    );
+                }
             }
+            Ev::NodeReboot(id) => self.reboot_node(at, id),
             Ev::HealthTick => {
                 if let Some(obs) = &self.obs {
                     // Reduce-only: the snapshot reads the windows, publishes
@@ -586,12 +765,10 @@ impl SimCluster {
         if !node.powered || !node.ready {
             return;
         }
-        // Extra install work for arriving snapshots.
+        // Extra install work for arriving state chunks.
         let mut cost = node.profile.msg_cost(message.wire_size());
-        if let Message::CstReply { reply, .. } = &*message {
-            if let Some(snapshot) = &reply.snapshot {
-                cost += snapshot_cost(node.profile.snapshot_mb_s, snapshot.len());
-            }
+        if let Message::CstChunkReply { data, .. } = &*message {
+            cost += snapshot_cost(node.profile.snapshot_mb_s, data.len());
         }
         let done = node.station.submit(at, cost);
         // The replica's handling "happens" when its station finishes the
@@ -633,16 +810,39 @@ impl SimCluster {
     }
 
     fn deliver_client(&mut self, at: Micros, client: ClientId, reply: Reply) {
-        let Some(state) = self.clients.get_mut(&client.0) else { return };
-        if let Some(completion) = state.client.on_reply(reply) {
-            self.metrics.record(at, at - state.started_at);
-            if let Some(obs) = &self.obs {
-                obs.client_latency_us.observe(at - state.started_at);
+        let (completion, started_at, stopped) = {
+            let Some(state) = self.clients.get_mut(&client.0) else { return };
+            let Some(completion) = state.client.on_reply(reply) else { return };
+            (completion, state.started_at, state.stopped)
+        };
+        self.metrics.record(at, at - started_at);
+        if let Some(obs) = &self.obs {
+            obs.client_latency_us.observe(at - started_at);
+        }
+        // Replies carry the membership epoch the quorum executed under.
+        // When it moves past the epoch the client targets, adopt the
+        // reconfigured replica set (the real deployment re-queries the
+        // controller here): a leader seated at a newly added replica is
+        // unreachable under the stale set, and every operation would limp
+        // through the request watchdog instead of the fast path.
+        let stale = {
+            let state = self.clients.get(&client.0).expect("present above");
+            completion.epoch.0 > state.client.membership().epoch.0
+        };
+        if stale {
+            if let Some(membership) = self
+                .epoch_changes
+                .iter()
+                .rev()
+                .find(|(_, m)| m.epoch == completion.epoch)
+                .map(|(_, m)| m.clone())
+            {
+                let state = self.clients.get_mut(&client.0).expect("present above");
+                state.client.set_membership(membership);
             }
-            let _ = completion;
-            if !state.stopped {
-                self.queue.schedule_at(at, Ev::ClientStart(client));
-            }
+        }
+        if !stopped {
+            self.queue.schedule_at(at, Ev::ClientStart(client));
         }
     }
 
@@ -684,7 +884,8 @@ impl SimCluster {
         if let Some(batch) = node.replica.decided_log().get(seq) {
             checker.record_commit(id, seq, batch);
         }
-        checker.record_checkpoint(id, node.replica.decided_log().stable_checkpoint().seq);
+        let stable = node.replica.decided_log().stable_checkpoint();
+        checker.record_checkpoint(id, stable.seq, stable.digest);
     }
 
     /// Records a sender-attributed fault event (drop/delay/dup) for the
@@ -762,6 +963,21 @@ impl SimCluster {
                     .schedule_at(departed + delay + echo, Ev::DeliverReplica(to, message, ctx));
             }
         }
+    }
+
+    /// Applies the fault plan's in-flight chunk corruption to an outbound
+    /// CST chunk reply (the disk-fault analog of a bad sector on the
+    /// donor). Other messages pass through untouched, and the plan draws
+    /// no randomness unless the knob is enabled.
+    fn maybe_corrupt_chunk(&mut self, mut message: Message) -> Message {
+        if let (Message::CstChunkReply { data, .. }, Some(plan)) =
+            (&mut message, self.faults.as_mut())
+        {
+            if let Some(bad) = plan.corrupt_chunk(data) {
+                *data = Bytes::from(bad);
+            }
+        }
+        message
     }
 
     /// Applies the sender's Byzantine mode (if any) to an outbound protocol
@@ -850,6 +1066,7 @@ impl SimCluster {
         match action {
             Action::Send(to, message) => {
                 let Some(message) = self.byz_transform(id, message) else { return };
+                let message = self.maybe_corrupt_chunk(message);
                 let (departed, delay) = {
                     let node = self.nodes.get_mut(&id.0).expect("sender exists");
                     // Sending costs half a message-handling unit; checkpoints
@@ -866,13 +1083,11 @@ impl SimCluster {
                         ) * node.profile.cores as u64;
                         cost += stall / (node.replica.membership().n() as u64 - 1).max(1);
                     }
-                    if let Message::CstReply { reply, .. } = &message {
-                        if let Some(snapshot) = &reply.snapshot {
-                            // Serializing the full state for a joiner stalls the
-                            // donor like a checkpoint does.
-                            cost += snapshot_cost(node.profile.snapshot_mb_s, snapshot.len())
-                                * node.profile.cores as u64;
-                        }
+                    if let Message::CstChunkReply { data, .. } = &message {
+                        // Serializing one chunk for a joiner costs the donor
+                        // proportional snapshot bandwidth; chunking spreads
+                        // the old full-snapshot stall across the transfer.
+                        cost += snapshot_cost(node.profile.snapshot_mb_s, data.len());
                     }
                     (node.station.submit(from, cost), self.cfg.network.delay(message.wire_size()))
                 };
@@ -1006,7 +1221,8 @@ fn snapshot_cost(mb_s: u64, bytes: usize) -> Micros {
 /// * requests / proposed batches → flipped payload, tag now invalid;
 /// * WRITE / ACCEPT / checkpoint digests → votes for a value nobody
 ///   proposed (they pile up below quorum, harmlessly);
-/// * CST snapshots → bytes that no longer match the claimed digest.
+/// * CST chunk replies → bytes that no longer match the manifest's
+///   per-chunk digest.
 ///
 /// View-change and CST-request messages pass through: they carry no
 /// payload whose corruption the receiver could distinguish from a
@@ -1043,12 +1259,12 @@ fn corrupt_message(plan: &mut FaultPlan, message: Message) -> Message {
             from,
             msg: CheckpointMsg { seq: msg.seq, digest: plan.corrupt_digest(msg.digest) },
         },
-        Message::CstReply { from, mut reply } => {
-            if let Some(snapshot) = reply.snapshot.take() {
-                reply.snapshot = Some(Bytes::from(plan.corrupt_bytes(&snapshot)));
-            }
-            Message::CstReply { from, reply }
-        }
+        Message::CstChunkReply { from, seq, index, data } => Message::CstChunkReply {
+            from,
+            seq,
+            index,
+            data: Bytes::from(plan.corrupt_bytes(&data)),
+        },
         other => other,
     }
 }
@@ -1092,6 +1308,50 @@ mod tests {
         sim.add_clients(1, 4, membership, |_| Bytes::new());
         sim.run_until(100 * MS);
         sim
+    }
+
+    #[test]
+    fn clients_adopt_reconfigured_membership() {
+        // initial_view 3 seats the leader at members[3]: r3 before the
+        // rotation, but the *joiner* r4 once r1 is removed (members
+        // [0,2,3,4]). Clients bootstrapped at epoch 0 never target r4 —
+        // unless reply epochs steer them onto the reconfigured set, every
+        // operation after the removal limps through the request watchdog.
+        let membership = Membership::new(Epoch(0), (0..4).map(ReplicaId).collect());
+        let cfg = SimConfig { initial_view: 3, ..SimConfig::default() };
+        let mut sim = SimCluster::new(cfg);
+        for r in 0..4 {
+            sim.add_node(
+                ReplicaId(r),
+                PerfProfile::bare_metal(),
+                membership.clone(),
+                Box::new(CounterService::new()),
+            );
+        }
+        sim.add_clients(1, 8, membership.clone(), |_| Bytes::new());
+        let joined = membership.reconfigured(Some(ReplicaId(4)), None);
+        let profile = PerfProfile { boot: 20 * MS, ..PerfProfile::bare_metal() };
+        sim.boot_joiner_at(50 * MS, ReplicaId(4), profile, joined, Box::new(CounterService::new()));
+        sim.inject_reconfig_at(300 * MS, Epoch(0), Some(ReplicaId(4)), None);
+        sim.inject_reconfig_at(600 * MS, Epoch(1), None, Some(ReplicaId(1)));
+        sim.run_until(1500 * MS);
+
+        assert_eq!(sim.replica(ReplicaId(0)).membership().epoch, Epoch(2));
+        assert_eq!(sim.replica(ReplicaId(0)).membership().leader(View(3)), ReplicaId(4));
+        for state in sim.clients.values() {
+            assert_eq!(
+                state.client.membership().epoch,
+                Epoch(2),
+                "reply epochs moved the client onto the reconfigured set"
+            );
+        }
+        let before = sim.metrics.throughput(100 * MS, 300 * MS);
+        let after = sim.metrics.throughput(700 * MS, 1500 * MS);
+        assert!(
+            after > before * 0.3,
+            "the fast path survives a leader seated at the new replica \
+             (before {before:.0} ops/s, after {after:.0} ops/s)"
+        );
     }
 
     #[test]

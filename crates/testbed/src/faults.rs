@@ -123,6 +123,23 @@ pub struct CrashEvent {
     pub at: Micros,
     /// When it comes back (state retained), if ever.
     pub restart_at: Option<Micros>,
+    /// `true` = the restart is a *reboot*: in-memory state is lost and the
+    /// replica must rebuild itself from its journal (durable nodes only).
+    /// `false` = pause/resume with state retained.
+    pub reboot: bool,
+}
+
+/// Storage-level faults applied to journal-backed ("durable") replicas.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiskFaults {
+    /// On crash, tear up to this many bytes off the journal's tail (0 =
+    /// clean power loss). Models a frame cut mid-write; recovery must
+    /// detect the torn record by CRC and discard it, never replay garbage.
+    pub torn_write_max_bytes: u64,
+    /// Probability an outbound CST chunk reply has its payload flipped in
+    /// flight; receivers must reject the chunk by manifest digest and
+    /// re-request it from another source.
+    pub corrupt_chunk_p: f64,
 }
 
 /// Counters of injected faults, for reporting (these count *injections*,
@@ -145,6 +162,10 @@ pub struct FaultStats {
     pub corrupted: u64,
     /// Conflicting proposals fabricated by an equivocating leader.
     pub equivocations: u64,
+    /// Journal tails torn by a crash (disk faults).
+    pub torn_writes: u64,
+    /// CST chunk replies corrupted in flight (disk faults).
+    pub chunks_corrupted: u64,
 }
 
 /// A seeded, deterministic fault schedule for one simulation run.
@@ -158,6 +179,7 @@ pub struct FaultPlan {
     partitions: Vec<Partition>,
     crashes: Vec<CrashEvent>,
     byz: HashMap<u32, ByzMode>,
+    disk: DiskFaults,
     /// Injection counters (read them after the run).
     pub stats: FaultStats,
 }
@@ -173,6 +195,7 @@ impl FaultPlan {
             partitions: Vec::new(),
             crashes: Vec::new(),
             byz: HashMap::new(),
+            disk: DiskFaults::default(),
             stats: FaultStats::default(),
         }
     }
@@ -209,7 +232,7 @@ impl FaultPlan {
     /// Powers `replica` off at `at`, never to return.
     #[must_use]
     pub fn crash(mut self, replica: ReplicaId, at: Micros) -> FaultPlan {
-        self.crashes.push(CrashEvent { replica, at, restart_at: None });
+        self.crashes.push(CrashEvent { replica, at, restart_at: None, reboot: false });
         self
     }
 
@@ -222,8 +245,59 @@ impl FaultPlan {
         at: Micros,
         restart_at: Micros,
     ) -> FaultPlan {
-        self.crashes.push(CrashEvent { replica, at, restart_at: Some(restart_at) });
+        self.crashes.push(CrashEvent { replica, at, restart_at: Some(restart_at), reboot: false });
         self
+    }
+
+    /// Crashes `replica` at `at` with total loss of volatile state and
+    /// reboots it from its journal at `restart_at`. Only meaningful for
+    /// durable (journal-backed) nodes; combine with
+    /// [`DiskFaults::torn_write_max_bytes`] to tear the tail on the way
+    /// down.
+    #[must_use]
+    pub fn crash_reboot(mut self, replica: ReplicaId, at: Micros, restart_at: Micros) -> FaultPlan {
+        self.crashes.push(CrashEvent { replica, at, restart_at: Some(restart_at), reboot: true });
+        self
+    }
+
+    /// Installs storage-level faults (torn tails on crash, corrupt CST
+    /// chunks in flight).
+    #[must_use]
+    pub fn disk_faults(mut self, disk: DiskFaults) -> FaultPlan {
+        self.disk = disk;
+        self
+    }
+
+    /// The installed storage-level faults.
+    pub fn disk(&self) -> DiskFaults {
+        self.disk
+    }
+
+    /// Bytes to tear off a crashing replica's journal tail (drawn from the
+    /// plan's RNG; counts a torn write). Call only when
+    /// `disk().torn_write_max_bytes > 0`.
+    pub fn torn_write_len(&mut self) -> u64 {
+        self.stats.torn_writes += 1;
+        self.rng.gen_range(1..=self.disk.torn_write_max_bytes.max(1))
+    }
+
+    /// Decides whether one outbound CST chunk reply is corrupted, and if
+    /// so returns the flipped payload. Draws from the RNG only when the
+    /// knob is enabled, so plans without disk faults keep their exact
+    /// decision stream.
+    pub fn corrupt_chunk(&mut self, data: &[u8]) -> Option<Vec<u8>> {
+        if self.disk.corrupt_chunk_p <= 0.0 || !self.rng.gen_bool(self.disk.corrupt_chunk_p) {
+            return None;
+        }
+        self.stats.chunks_corrupted += 1;
+        let mut out = data.to_vec();
+        if out.is_empty() {
+            out.push(0xFF);
+        } else {
+            let i = self.rng.gen_range(0..out.len());
+            out[i] ^= 0xA5;
+        }
+        Some(out)
     }
 
     /// Assigns a Byzantine mode to `replica` for the whole run.
@@ -355,6 +429,14 @@ pub enum Violation {
     },
     /// No client operation completed after the fault window closed.
     Liveness,
+    /// A rebooted replica recovered a stable checkpoint that was never
+    /// quorum-certified before the crash (wrong slot or wrong digest).
+    Durability {
+        /// The recovering replica.
+        replica: ReplicaId,
+        /// The stable slot it claims to have recovered.
+        seq: SeqNo,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -378,6 +460,11 @@ impl std::fmt::Display for Violation {
                 replica.0, from.0, to.0
             ),
             Violation::Liveness => write!(f, "liveness: no operation completed after heal"),
+            Violation::Durability { replica, seq } => write!(
+                f,
+                "durability: replica {} recovered uncertified stable checkpoint at seq {}",
+                replica.0, seq.0
+            ),
         }
     }
 }
@@ -395,6 +482,10 @@ pub struct InvariantChecker {
     commits: BTreeMap<u64, (Digest, ReplicaId)>,
     /// Highest stable-checkpoint slot seen per replica.
     checkpoints: HashMap<u32, u64>,
+    /// Snapshot digest of every stable checkpoint observed on a correct
+    /// replica (stability requires a quorum of matching votes, so these
+    /// are the quorum-certified checkpoints a reboot may recover to).
+    certified: BTreeMap<u64, Digest>,
     violations: Vec<Violation>,
     commits_checked: u64,
 }
@@ -414,6 +505,7 @@ impl InvariantChecker {
             byzantine: HashSet::new(),
             commits: BTreeMap::new(),
             checkpoints: HashMap::new(),
+            certified: BTreeMap::new(),
             violations: Vec::new(),
             commits_checked: 0,
         }
@@ -460,9 +552,13 @@ impl InvariantChecker {
         }
     }
 
-    /// Records `replica`'s current stable-checkpoint slot, checking
-    /// monotonicity.
-    pub fn record_checkpoint(&mut self, replica: ReplicaId, stable: SeqNo) {
+    /// Records `replica`'s current stable-checkpoint slot and snapshot
+    /// digest, checking monotonicity and remembering the certified
+    /// `(seq, digest)` pair for later durability checks.
+    pub fn record_checkpoint(&mut self, replica: ReplicaId, stable: SeqNo, digest: Digest) {
+        if !self.byzantine.contains(&replica.0) {
+            self.certified.entry(stable.0).or_insert(digest);
+        }
         let entry = self.checkpoints.entry(replica.0).or_insert(0);
         if stable.0 < *entry {
             self.violations.push(Violation::CheckpointRegression {
@@ -473,6 +569,19 @@ impl InvariantChecker {
         } else {
             *entry = stable.0;
         }
+    }
+
+    /// Records that `replica` rebooted from its journal claiming the given
+    /// stable checkpoint. The claim must match a checkpoint some correct
+    /// replica certified before the crash — recovering to an *older*
+    /// certified checkpoint is legitimate (a torn tail may lose the last
+    /// one), so the monotone tracker is rewound to the recovered slot
+    /// rather than flagging a regression.
+    pub fn record_recovery(&mut self, replica: ReplicaId, seq: SeqNo, digest: Digest) {
+        if seq.0 > 0 && self.certified.get(&seq.0) != Some(&digest) {
+            self.violations.push(Violation::Durability { replica, seq });
+        }
+        self.checkpoints.insert(replica.0, seq.0);
     }
 
     /// Asserts liveness after the fault window: zero completions become a
@@ -616,16 +725,70 @@ mod tests {
 
     #[test]
     fn checkpoints_must_be_monotone() {
+        let d = Digest::of(b"snap");
         let mut checker = InvariantChecker::new();
-        checker.record_checkpoint(ReplicaId(0), SeqNo(10));
-        checker.record_checkpoint(ReplicaId(0), SeqNo(10));
-        checker.record_checkpoint(ReplicaId(0), SeqNo(20));
+        checker.record_checkpoint(ReplicaId(0), SeqNo(10), d);
+        checker.record_checkpoint(ReplicaId(0), SeqNo(10), d);
+        checker.record_checkpoint(ReplicaId(0), SeqNo(20), d);
         assert!(checker.ok());
-        checker.record_checkpoint(ReplicaId(0), SeqNo(5));
+        checker.record_checkpoint(ReplicaId(0), SeqNo(5), d);
         assert!(matches!(
             checker.violations()[0],
             Violation::CheckpointRegression { from: SeqNo(20), to: SeqNo(5), .. }
         ));
+    }
+
+    #[test]
+    fn recovery_must_match_a_certified_checkpoint() {
+        let good = Digest::of(b"certified");
+        let mut checker = InvariantChecker::new();
+        checker.record_checkpoint(ReplicaId(1), SeqNo(10), good);
+        checker.record_checkpoint(ReplicaId(1), SeqNo(20), Digest::of(b"later"));
+
+        // Recovering the latest or an older certified checkpoint is fine —
+        // and legitimately rewinds the monotone tracker.
+        checker.record_recovery(ReplicaId(1), SeqNo(10), good);
+        assert!(checker.ok(), "{:?}", checker.violations());
+        checker.record_checkpoint(ReplicaId(1), SeqNo(20), Digest::of(b"later"));
+        assert!(checker.ok(), "catch-up after recovery is not a regression");
+
+        // Genesis (seq 0) recovery is always fine.
+        checker.record_recovery(ReplicaId(2), SeqNo(0), Digest::of(b"genesis"));
+        assert!(checker.ok());
+
+        // Wrong digest at a certified slot → durability violation.
+        checker.record_recovery(ReplicaId(1), SeqNo(10), Digest::of(b"forged"));
+        assert!(matches!(
+            checker.violations()[0],
+            Violation::Durability { replica: ReplicaId(1), seq: SeqNo(10) }
+        ));
+        // A slot nobody certified → durability violation too.
+        checker.record_recovery(ReplicaId(1), SeqNo(15), good);
+        assert_eq!(checker.violations().len(), 2);
+    }
+
+    #[test]
+    fn chunk_corruption_draws_only_when_enabled() {
+        let mut plan = FaultPlan::new(4);
+        assert_eq!(plan.corrupt_chunk(b"data"), None, "disabled knob must not draw");
+        assert_eq!(plan.stats.chunks_corrupted, 0);
+
+        let mut plan = FaultPlan::new(4)
+            .disk_faults(DiskFaults { corrupt_chunk_p: 1.0, ..DiskFaults::default() });
+        let bad = plan.corrupt_chunk(b"data").expect("p=1 always corrupts");
+        assert_ne!(bad, b"data".to_vec());
+        assert_eq!(plan.stats.chunks_corrupted, 1);
+    }
+
+    #[test]
+    fn torn_write_len_is_bounded_and_counted() {
+        let mut plan = FaultPlan::new(8)
+            .disk_faults(DiskFaults { torn_write_max_bytes: 24, ..DiskFaults::default() });
+        for _ in 0..16 {
+            let n = plan.torn_write_len();
+            assert!((1..=24).contains(&n));
+        }
+        assert_eq!(plan.stats.torn_writes, 16);
     }
 
     #[test]

@@ -64,8 +64,12 @@ fn main() {
         sim.metrics.throughput(100 * SEC, 150 * SEC)
     );
     println!("\nevents:");
+    // One entry per replica per epoch, stamped with each station's own
+    // completion time — sort so the first (earliest) adoption is reported.
+    let mut changes = sim.epoch_changes.clone();
+    changes.sort_by_key(|(t, m)| (m.epoch.0, *t));
     let mut seen = std::collections::HashSet::new();
-    for (t, m) in &sim.epoch_changes {
+    for (t, m) in &changes {
         if seen.insert(m.epoch) {
             println!("    t={:>3}s epoch {} (n = {})", t / SEC, m.epoch, m.n());
         }
