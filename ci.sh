@@ -96,7 +96,7 @@ done
 target/release/trace_analyze "$trace1" > /dev/null
 for t in 4 8; do
     for f in replica_0.jsonl replica_1.jsonl replica_2.jsonl replica_3.jsonl \
-             trace_summary.json trace_chrome.json; do
+             queues.jsonl trace_summary.json trace_chrome.json; do
         if ! cmp -s "$trace1/$f" "$metrics_dir/trace$t/$f"; then
             echo "FAIL: $f differs between 1 and $t threads" >&2
             exit 1
@@ -118,5 +118,35 @@ for f in fig_health_ablation_results.json fig_health_ablation_metrics.json; do
     fi
 done
 echo "    ablation green, results and metrics json identical"
+
+echo "==> perf: bench_suite deterministic outputs + regression gate vs committed baseline"
+# The suite's JSON and profiler outputs are virtual-time only, so they
+# must be byte-identical across worker counts.
+for t in 1 4; do
+    mkdir -p "$metrics_dir/perf$t"
+    LAZARUS_THREADS=$t LAZARUS_PROFILE_DIR="$metrics_dir/perf$t" \
+        target/release/bench_suite --smoke "$metrics_dir/perf$t/BENCH_suite.json" > /dev/null
+done
+for f in BENCH_suite.json profile.json profile.folded queues.jsonl; do
+    if ! cmp -s "$metrics_dir/perf1/$f" "$metrics_dir/perf4/$f"; then
+        echo "FAIL: $f differs between 1 and 4 threads" >&2
+        exit 1
+    fi
+done
+# Gate against the committed baseline: tolerances are per metric suffix
+# (_ops_s -10%, _us +15%, _p999_us/_max_us +25%); a genuine perf change
+# regenerates results/BENCH_baseline.json with bench_suite --smoke.
+target/release/perf_report results/BENCH_baseline.json \
+    "$metrics_dir/perf1/BENCH_suite.json" > /dev/null
+# The gate must actually bite: an injected 50% throughput drop has to
+# flip the exit code.
+sed 's/"throughput_ops_s":[0-9][0-9]*\(\.[0-9][0-9]*\)\{0,1\}/"throughput_ops_s":1.0/g' \
+    "$metrics_dir/perf1/BENCH_suite.json" > "$metrics_dir/perf1/regressed.json"
+if target/release/perf_report results/BENCH_baseline.json \
+    "$metrics_dir/perf1/regressed.json" > /dev/null 2>&1; then
+    echo "FAIL: perf_report passed an injected throughput regression" >&2
+    exit 1
+fi
+echo "    bench_suite thread-count invariant, baseline gate green, gate bites"
 
 echo "CI green."

@@ -129,12 +129,15 @@ fn run_panel(panel: &Panel, state_mb: usize, registry: &Registry) {
     if let Some(dir) = trace_dir {
         let dir = std::path::PathBuf::from(dir).join(format!("panel_{}", panel.tag));
         let streams = sim.flight_streams();
-        let analysis = lazarus_bench::flight::dump_traced(&dir, &streams).expect("write trace dir");
+        let queues = sim.queue_samples();
+        let analysis = lazarus_bench::flight::dump_traced_with_queues(&dir, &streams, queues)
+            .expect("write trace dir");
         println!(
-            "trace: {} events, {} committed slots in window, {} orphans → {}",
+            "trace: {} events, {} committed slots in window, {} orphans, {} queue samples → {}",
             analysis.events.len(),
             analysis.committed_slots().count(),
             analysis.orphans.len(),
+            queues.len(),
             dir.display()
         );
     }

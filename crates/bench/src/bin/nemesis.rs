@@ -65,12 +65,14 @@ fn main() {
         let traced = run_scenario_traced(scenario, 1);
         let dir = std::path::PathBuf::from(trace_dir);
         let analysis =
-            lazarus_bench::flight::dump_traced(&dir, &traced.streams).expect("write trace dir");
+            lazarus_bench::flight::dump_traced_with_queues(&dir, &traced.streams, &traced.queues)
+                .expect("write trace dir");
         println!(
-            "trace ({scenario}, seed 1): {} events, {} committed slots, {} orphans → {}",
+            "trace ({scenario}, seed 1): {} events, {} committed slots, {} orphans, {} queue samples → {}",
             analysis.events.len(),
             analysis.committed_slots().count(),
             analysis.orphans.len(),
+            traced.queues.len(),
             dir.display()
         );
     }

@@ -6,7 +6,9 @@
 //! Usage: `trace_analyze <dir> [--slot N]`
 //!
 //! Reads every `replica_*.jsonl` under `<dir>`, validating each line
-//! against the flight-event schema (exit 2 on the first violation). Writes
+//! against the flight-event schema (exit 2 on the first violation). When
+//! `queues.jsonl` is present its samples are validated too and rendered
+//! into the Chrome trace as per-replica counter tracks. Writes
 //! `<dir>/trace_summary.json` and `<dir>/trace_chrome.json`, prints a
 //! per-slot phase table, and — with `--slot N` — the full critical path of
 //! slot N. Exits 1 when the DAG has orphan events (a parent span missing
@@ -17,7 +19,7 @@
 
 use std::path::PathBuf;
 
-use lazarus_bench::flight::{load_dir, merge, Analysis};
+use lazarus_bench::flight::{load_dir, load_queue_samples, merge, Analysis};
 use lazarus_bench::print_table;
 
 fn main() {
@@ -49,6 +51,13 @@ fn main() {
         }
     };
     let names: Vec<String> = streams.iter().map(|(name, _)| name.clone()).collect();
+    let queues = match load_queue_samples(&dir) {
+        Ok(queues) => queues,
+        Err(err) => {
+            eprintln!("trace_analyze: {err}");
+            std::process::exit(2);
+        }
+    };
     let analysis = Analysis::build(merge(streams.into_iter().map(|(_, evs)| evs).collect()));
 
     println!(
@@ -85,6 +94,21 @@ fn main() {
         a.view_changes, a.help_revotes, a.cst_fetches, a.drops, a.delays, a.dups, a.storms.len()
     );
 
+    if !queues.is_empty() {
+        let nodes: std::collections::BTreeSet<u32> = queues.iter().map(|s| s.node).collect();
+        let peak_inbox = queues.iter().map(|s| s.inbox).max().unwrap_or(0);
+        let peak_pending = queues.iter().map(|s| s.pending).max().unwrap_or(0);
+        let peak_gap = queues.iter().map(|s| s.decided_gap).max().unwrap_or(0);
+        println!(
+            "queues: {} samples across {} node(s) — peak inbox={} pending={} decided_gap={} (rendered as Perfetto counter tracks)",
+            queues.len(),
+            nodes.len(),
+            peak_inbox,
+            peak_pending,
+            peak_gap
+        );
+    }
+
     if let Some(seq) = slot_filter {
         let path = analysis.critical_path(seq);
         if path.is_empty() {
@@ -101,7 +125,7 @@ fn main() {
     let chrome_path = dir.join("trace_chrome.json");
     std::fs::write(&summary_path, analysis.summary_json().to_json())
         .expect("write trace_summary.json");
-    std::fs::write(&chrome_path, analysis.chrome_trace().to_json())
+    std::fs::write(&chrome_path, analysis.chrome_trace_with_queues(&queues).to_json())
         .expect("write trace_chrome.json");
     println!("\nsummary: {} | chrome trace: {}", summary_path.display(), chrome_path.display());
 

@@ -20,6 +20,7 @@ use std::path::Path;
 
 use lazarus_bft::obs::MESSAGE_KINDS;
 use lazarus_obs::causal::{slot_trace_id, EventKind, FlightEvent, NO_SPAN};
+use lazarus_obs::profile::QueueSample;
 use lazarus_osint::json::{parse, Value};
 
 /// A node records more than this many `send` events inside one
@@ -114,6 +115,50 @@ pub fn parse_line(line: &str) -> Result<FlightEvent, String> {
     Ok(ev)
 }
 
+/// Parses and validates one `queues.jsonl` line against the
+/// [`QueueSample`] schema (the exact inverse of [`QueueSample::to_jsonl`]).
+pub fn parse_queue_line(line: &str) -> Result<QueueSample, String> {
+    let doc = parse(line).map_err(|e| format!("not JSON: {e}"))?;
+    let node = field_u64(&doc, "node")?;
+    let node = u32::try_from(node).map_err(|_| format!("node {node} exceeds u32"))?;
+    Ok(QueueSample {
+        at_us: field_u64(&doc, "at_us")?,
+        node,
+        inbox: field_u64(&doc, "inbox")?,
+        pending: field_u64(&doc, "pending")?,
+        decided_gap: field_u64(&doc, "decided_gap")?,
+        batch_fill: field_u64(&doc, "batch_fill")?,
+    })
+}
+
+/// Loads `queues.jsonl` under `dir`, validating each line. A missing file
+/// is not an error — queue sampling is optional — and yields an empty vec.
+///
+/// # Errors
+///
+/// [`SchemaError`] on the first invalid line; an opaque message when the
+/// file exists but is unreadable.
+pub fn load_queue_samples(dir: &Path) -> Result<Vec<QueueSample>, Box<dyn std::error::Error>> {
+    let path = dir.join("queues.jsonl");
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let body = std::fs::read_to_string(&path)?;
+    let mut samples = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let sample = parse_queue_line(line).map_err(|what| SchemaError {
+            file: "queues.jsonl".to_string(),
+            line: i + 1,
+            what,
+        })?;
+        samples.push(sample);
+    }
+    Ok(samples)
+}
+
 /// A named per-replica event stream, as loaded from `replica_<id>.jsonl`.
 pub type NamedStream = (String, Vec<FlightEvent>);
 
@@ -167,6 +212,29 @@ pub fn load_dir(dir: &Path) -> Result<Vec<NamedStream>, Box<dyn std::error::Erro
 ///
 /// Propagates the underlying filesystem error.
 pub fn dump_traced(dir: &Path, streams: &[(u32, Vec<FlightEvent>)]) -> std::io::Result<Analysis> {
+    dump_traced_inner(dir, streams, None)
+}
+
+/// As [`dump_traced`], but also writes the run's queue samples as
+/// `queues.jsonl` and renders them into `trace_chrome.json` as Perfetto
+/// counter tracks alongside the span slices.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn dump_traced_with_queues(
+    dir: &Path,
+    streams: &[(u32, Vec<FlightEvent>)],
+    queues: &[QueueSample],
+) -> std::io::Result<Analysis> {
+    dump_traced_inner(dir, streams, Some(queues))
+}
+
+fn dump_traced_inner(
+    dir: &Path,
+    streams: &[(u32, Vec<FlightEvent>)],
+    queues: Option<&[QueueSample]>,
+) -> std::io::Result<Analysis> {
     std::fs::create_dir_all(dir)?;
     for (node, events) in streams {
         let mut body = String::new();
@@ -176,9 +244,18 @@ pub fn dump_traced(dir: &Path, streams: &[(u32, Vec<FlightEvent>)]) -> std::io::
         }
         std::fs::write(dir.join(format!("replica_{node}.jsonl")), body)?;
     }
+    if let Some(queues) = queues {
+        let mut body = String::new();
+        for sample in queues {
+            body.push_str(&sample.to_jsonl());
+            body.push('\n');
+        }
+        std::fs::write(dir.join("queues.jsonl"), body)?;
+    }
     let analysis = Analysis::build(merge(streams.iter().map(|(_, evs)| evs.clone()).collect()));
     std::fs::write(dir.join("trace_summary.json"), analysis.summary_json().to_json())?;
-    std::fs::write(dir.join("trace_chrome.json"), analysis.chrome_trace().to_json())?;
+    let chrome = analysis.chrome_trace_with_queues(queues.unwrap_or(&[]));
+    std::fs::write(dir.join("trace_chrome.json"), chrome.to_json())?;
     Ok(analysis)
 }
 
@@ -447,6 +524,15 @@ impl Analysis {
     /// anomalies and transport faults. `pid` is the replica id.
     #[must_use]
     pub fn chrome_trace(&self) -> Value {
+        self.chrome_trace_with_queues(&[])
+    }
+
+    /// As [`Analysis::chrome_trace`], with one `"C"` (counter) event per
+    /// queue sample and metric — `queue_inbox`, `queue_pending`,
+    /// `queue_decided_gap`, `queue_batch_fill` — so Perfetto renders
+    /// per-replica backpressure counter tracks under the span tracks.
+    #[must_use]
+    pub fn chrome_trace_with_queues(&self, queues: &[QueueSample]) -> Value {
         let n = |v: u64| Value::Number(v as f64);
         let mut spans: BTreeMap<(u64, u32), (u64, u64)> = BTreeMap::new();
         for ev in &self.events {
@@ -491,6 +577,24 @@ impl Analysis {
                 ("tid".into(), n(0)),
                 ("s".into(), Value::String("p".into())),
             ]));
+        }
+        for sample in queues {
+            let counters = [
+                ("queue_inbox", sample.inbox),
+                ("queue_pending", sample.pending),
+                ("queue_decided_gap", sample.decided_gap),
+                ("queue_batch_fill", sample.batch_fill),
+            ];
+            for (name, value) in counters {
+                trace_events.push(Value::Object(vec![
+                    ("name".into(), Value::String(name.into())),
+                    ("ph".into(), Value::String("C".into())),
+                    ("ts".into(), n(sample.at_us)),
+                    ("pid".into(), n(u64::from(sample.node))),
+                    ("tid".into(), n(0)),
+                    ("args".into(), Value::Object(vec![("value".into(), n(value))])),
+                ]));
+            }
         }
         Value::Object(vec![("traceEvents".into(), Value::Array(trace_events))])
     }
@@ -616,5 +720,61 @@ mod tests {
         let slices = chrome.req("traceEvents").unwrap().as_array("traceEvents").unwrap();
         assert!(slices.iter().any(|s| s.get("ph") == Some(&Value::String("X".into()))));
         assert!(slices.iter().any(|s| s.get("ph") == Some(&Value::String("i".into()))));
+    }
+
+    #[test]
+    fn queue_sample_jsonl_round_trips_through_the_validator() {
+        let original = QueueSample {
+            at_us: 250_000,
+            node: 3,
+            inbox: 7,
+            pending: 12,
+            decided_gap: 2,
+            batch_fill: 64,
+        };
+        let parsed = parse_queue_line(&original.to_jsonl()).expect("valid line");
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn queue_sample_parser_rejects_malformed_lines() {
+        assert!(parse_queue_line("not json").is_err());
+        assert!(parse_queue_line(r#"{"at_us":1,"node":0,"inbox":-3}"#).is_err());
+        assert!(
+            parse_queue_line(
+                r#"{"at_us":1,"node":4294967296,"inbox":0,"pending":0,"decided_gap":0,"batch_fill":0}"#
+            )
+            .is_err(),
+            "node must fit in u32"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_renders_queue_samples_as_counter_tracks() {
+        let events = vec![ev(10, 0, EventKind::Propose, Some(1), 0, 1)];
+        let samples = vec![QueueSample {
+            at_us: 250_000,
+            node: 1,
+            inbox: 5,
+            pending: 9,
+            decided_gap: 1,
+            batch_fill: 32,
+        }];
+        let a = Analysis::build(events);
+        let chrome = parse(&a.chrome_trace_with_queues(&samples).to_json()).expect("valid JSON");
+        let entries = chrome.req("traceEvents").unwrap().as_array("traceEvents").unwrap();
+        let counters: Vec<&Value> =
+            entries.iter().filter(|e| e.get("ph") == Some(&Value::String("C".into()))).collect();
+        assert_eq!(counters.len(), 4, "one counter event per queue metric");
+        let inbox = counters
+            .iter()
+            .find(|e| e.get("name") == Some(&Value::String("queue_inbox".into())))
+            .expect("inbox counter present");
+        assert_eq!(inbox.get("pid"), Some(&Value::Number(1.0)));
+        assert_eq!(inbox.get("args").and_then(|a| a.get("value")), Some(&Value::Number(5.0)));
+        // Without samples the chrome trace has no counter events.
+        let plain = parse(&a.chrome_trace().to_json()).expect("valid JSON");
+        let entries = plain.req("traceEvents").unwrap().as_array("traceEvents").unwrap();
+        assert!(entries.iter().all(|e| e.get("ph") != Some(&Value::String("C".into()))));
     }
 }

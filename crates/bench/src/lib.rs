@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod flight;
+pub mod perf;
 
 use bytes::Bytes;
 use lazarus_bft::service::Service;
@@ -39,6 +40,8 @@ pub struct ThroughputRun {
     /// hot-path metrics and the `sim_client_latency_us` histogram, all on
     /// virtual time.
     pub obs: lazarus_obs::Obs,
+    /// Queue/backpressure samples taken on each health tick.
+    pub queues: Vec<lazarus_obs::QueueSample>,
 }
 
 /// [`measure_throughput`] on an instrumented cluster, returning the full
@@ -50,8 +53,26 @@ pub fn measure_throughput_observed(
     clients: usize,
     run_secs: u64,
 ) -> ThroughputRun {
+    measure_throughput_profiled(profiles, services, payload, clients, run_secs, None)
+}
+
+/// As [`measure_throughput_observed`], optionally charging the run's
+/// modeled hot-path costs into `profiler` under a `root` frame — the
+/// `bench_suite` hook that lets every workload share one [`lazarus_obs::Profiler`]
+/// with per-workload roots.
+pub fn measure_throughput_profiled(
+    profiles: &[PerfProfile],
+    services: impl Fn() -> Box<dyn Service>,
+    payload: impl Fn(u64) -> Bytes + Clone + 'static,
+    clients: usize,
+    run_secs: u64,
+    profiler: Option<(&lazarus_obs::Profiler, &str)>,
+) -> ThroughputRun {
     let membership = Membership::new(Epoch(0), (0..profiles.len() as u32).map(ReplicaId).collect());
     let mut sim = SimCluster::new_observed(SimConfig::default());
+    if let Some((p, root)) = profiler {
+        sim.attach_profiler(p.clone(), root);
+    }
     for (r, p) in profiles.iter().enumerate() {
         sim.add_node(ReplicaId(r as u32), *p, membership.clone(), services());
     }
@@ -63,6 +84,7 @@ pub fn measure_throughput_observed(
         throughput_ops_s: sim.metrics.throughput(SEC, horizon),
         summary: sim.metrics.summary(),
         obs,
+        queues: sim.queue_samples().to_vec(),
     }
 }
 

@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use lazarus_obs::causal::{EventKind, FlightRecorder, TraceCtx, NO_SPAN};
+use lazarus_obs::profile::{Profiler, Scope};
 
 use crate::consensus::Instance;
 use crate::crypto::{Digest, Keyring, Principal};
@@ -246,6 +247,14 @@ pub struct Replica<S: Service> {
     // input runs is parented to that input's receive (or timer) span.
     flight: Option<FlightRecorder>,
     cur_ctx: TraceCtx,
+
+    // Optional phase profiler, plus the root scope of the input currently
+    // being handled — internal phases (enqueue/propose/execute/cst) open
+    // children of it. `last_batch_fill` is the leader-side batch occupancy
+    // the queue sampler reads.
+    profiler: Option<Profiler>,
+    cur_scope: Option<Scope>,
+    last_batch_fill: usize,
 }
 
 impl<S: Service> std::fmt::Debug for Replica<S> {
@@ -370,6 +379,9 @@ impl<S: Service> Replica<S> {
             obs: None,
             flight: None,
             cur_ctx: TraceCtx::root(NO_SPAN, NO_SPAN),
+            profiler: None,
+            cur_scope: None,
+            last_batch_fill: 0,
         }
     }
 
@@ -459,6 +471,48 @@ impl<S: Service> Replica<S> {
         self.flight.as_ref()
     }
 
+    /// Attaches a phase profiler: every input handled opens a scope at
+    /// `replica_<id>;on_message;<label>` (or `on_timer`), and internal
+    /// phases — enqueue, propose, execute, cst — open children of it. In
+    /// the discrete-event testbed the clock is frozen while a handler
+    /// runs, so these scopes contribute deterministic call counts and
+    /// wall-clock self-times; virtual time is charged by the embedder.
+    pub fn attach_profiler(&mut self, profiler: Profiler) {
+        self.profiler = Some(profiler);
+    }
+
+    /// Opens the root scope for one input; the returned value is stored in
+    /// `cur_scope` so phase children can be created from `&self`.
+    fn input_scope(&self, entry: &str, label: &str) -> Option<Scope> {
+        self.profiler
+            .as_ref()
+            .map(|p| p.scope(&[&format!("replica_{}", self.cfg.id.0), entry, label]))
+    }
+
+    /// A child scope of the current input's root scope, if profiling.
+    fn phase_scope(&self, name: &str) -> Option<Scope> {
+        self.cur_scope.as_ref().map(|s| s.child(name))
+    }
+
+    /// Client requests queued but not yet proposed (queue sampler).
+    pub fn pending_requests(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Consensus instances open above the last decided slot — the
+    /// decided-but-unexecuted gap the queue sampler reports. Execution is
+    /// immediate on decide in this codebase, so the gap measures in-flight
+    /// ordering work.
+    pub fn open_instances(&self) -> usize {
+        self.insts.range(self.last_decided.0 + 1..).count()
+    }
+
+    /// Requests taken into this replica's most recent proposal (leader-side
+    /// batch occupancy; stays at its last value on non-leaders).
+    pub fn last_batch_fill(&self) -> usize {
+        self.last_batch_fill
+    }
+
     /// Records one protocol event under the current input's context.
     fn flight_event(&self, event: EventKind, seq: Option<u64>, view: Option<u64>, extra: u64) {
         if let Some(flight) = &self.flight {
@@ -530,6 +584,7 @@ impl<S: Service> Replica<S> {
         if self.status == Status::Retired {
             return Vec::new();
         }
+        self.cur_scope = self.input_scope("on_message", message.label());
         if let Some(obs) = &self.obs {
             obs.message_in(message.label());
         }
@@ -570,6 +625,7 @@ impl<S: Service> Replica<S> {
                 self.on_reconfig_command(cmd, &mut actions);
             }
         }
+        self.cur_scope = None;
         actions
     }
 
@@ -586,6 +642,12 @@ impl<S: Service> Replica<S> {
         if self.status == Status::Retired {
             return Vec::new();
         }
+        let timer_label = match timer {
+            TimerId::Request => "request",
+            TimerId::Sync => "sync",
+            TimerId::Cst => "cst",
+        };
+        self.cur_scope = self.input_scope("on_timer", timer_label);
         let mut actions = Vec::new();
         match timer {
             TimerId::Request => self.on_request_timer(&mut actions),
@@ -603,6 +665,7 @@ impl<S: Service> Replica<S> {
                 }
             }
         }
+        self.cur_scope = None;
         actions
     }
 
@@ -611,6 +674,7 @@ impl<S: Service> Replica<S> {
     // -----------------------------------------------------------------
 
     fn enqueue_request(&mut self, request: Request, _actions: &mut [Action]) {
+        let _phase = self.phase_scope("enqueue");
         // Authentication: reject forged client tags.
         let principal = if request.client == CONTROLLER_CLIENT {
             Principal::Controller
@@ -656,7 +720,9 @@ impl<S: Service> Replica<S> {
         if self.instance(seq).batch.is_some() {
             return; // a proposal is already in flight
         }
+        let _phase = self.phase_scope("propose");
         let take = self.cfg.max_batch.min(self.pending.len());
+        self.last_batch_fill = take;
         let requests: Vec<Request> =
             self.pending.iter().take(take).map(|(_, r)| r.clone()).collect();
         let batch = Batch::new(requests);
@@ -895,6 +961,7 @@ impl<S: Service> Replica<S> {
     }
 
     fn execute_batch(&mut self, seq: SeqNo, batch: &Batch, actions: &mut Vec<Action>) {
+        let _phase = self.phase_scope("execute");
         let mut executed = 0usize;
         for request in batch.requests() {
             let digest = request.digest();
@@ -1204,6 +1271,7 @@ impl<S: Service> Replica<S> {
     }
 
     fn start_cst_with_designee(&mut self, designee: usize, actions: &mut Vec<Action>) {
+        let _phase = self.phase_scope("cst");
         self.status = Status::StateTransfer;
         let others: Vec<ReplicaId> = self.membership.others(self.cfg.id).collect();
         if others.is_empty() {

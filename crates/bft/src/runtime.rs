@@ -20,7 +20,8 @@ use parking_lot::Mutex;
 use lazarus_obs::causal::{
     slot_trace_id, EventKind, FlightEvent, FlightRecorder, TraceCtx, NO_SPAN,
 };
-use lazarus_obs::{HealthConfig, HealthTracker, Obs, WallClock};
+use lazarus_obs::profile::Profiler;
+use lazarus_obs::{Gauge, HealthConfig, HealthTracker, Obs, WallClock};
 
 use crate::client::Client;
 use crate::messages::{Message, Reply};
@@ -113,6 +114,7 @@ pub struct ThreadCluster {
     obs: Option<Obs>,
     health: Option<HealthTracker>,
     flights: HashMap<u32, FlightRecorder>,
+    profiler: Option<Profiler>,
 }
 
 impl std::fmt::Debug for ThreadCluster {
@@ -174,6 +176,11 @@ impl ThreadCluster {
         // telemetry (best-effort, unlike the deterministic sim-time health
         // the testbed produces).
         let health = obs.as_ref().map(|o| HealthTracker::new(HealthConfig::default(), o));
+        // One shared profiler across all replica threads: frame charges
+        // commute under its mutex, and the per-replica root frames keep
+        // the threads' stacks apart. Wall-clock scopes measure real CPU;
+        // scope `sim_us` deltas follow the bundle's wall clock here.
+        let profiler = obs.as_ref().map(|o| Profiler::new(Arc::clone(o.clock())));
         let mut handles = Vec::new();
         let mut flights = HashMap::new();
         for (id, rx) in (0..n).zip(rxs) {
@@ -188,6 +195,15 @@ impl ThreadCluster {
                     replica.attach_health(health.clone());
                 }
                 WireObs::new(o)
+            });
+            if let Some(p) = &profiler {
+                replica.attach_profiler(p.clone());
+            }
+            // Real inbox depth of this replica's channel, sampled on every
+            // loop iteration (wall-clock telemetry; the deterministic
+            // counterpart is the testbed's health-tick sampler).
+            let inbox_gauge = obs.as_ref().map(|o| {
+                o.registry.gauge_with("lazarus_queue_inbox_depth", &[("replica", &id.to_string())])
             });
             // An observed cluster also records causal flight events
             // (wall-clock stamps — best-effort, unlike the deterministic
@@ -217,6 +233,7 @@ impl ThreadCluster {
                     wire,
                     flight,
                     health_tx,
+                    inbox_gauge,
                 );
             }));
         }
@@ -231,6 +248,7 @@ impl ThreadCluster {
             obs,
             health,
             flights,
+            profiler,
         }
     }
 
@@ -245,6 +263,13 @@ impl ThreadCluster {
     /// [`HealthTracker::snapshot`] to reduce the current windows.
     pub fn health(&self) -> Option<&HealthTracker> {
         self.health.as_ref()
+    }
+
+    /// The shared phase profiler, when started via
+    /// [`ThreadCluster::start_observed`]. Snapshot it for a wall-clock
+    /// phase profile of every replica thread.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
     }
 
     /// Replica `id`'s flight recorder (shares the ring with the replica
@@ -292,6 +317,7 @@ fn replica_loop<S: Service>(
     wire: Option<WireObs>,
     flight: Option<FlightRecorder>,
     health: Option<HealthTracker>,
+    inbox_gauge: Option<Gauge>,
 ) {
     let me = replica.id().0;
     let mut timers: HashMap<TimerId, Instant> = HashMap::new();
@@ -351,6 +377,9 @@ fn replica_loop<S: Service>(
             .unwrap_or(Duration::from_millis(50));
         match rx.recv_timeout(timeout) {
             Ok(Input::Msg(message, wire_ctx)) => {
+                if let Some(gauge) = &inbox_gauge {
+                    gauge.set(rx.len() as f64);
+                }
                 let ctx = recv_ctx(flight.as_ref(), &message, wire_ctx);
                 let message = Arc::try_unwrap(message).unwrap_or_else(|shared| (*shared).clone());
                 let actions = replica.on_message_traced(message, ctx);

@@ -13,6 +13,9 @@
 //! * [`causal`] — cross-replica causal tracing: the [`TraceCtx`] carried
 //!   on the wire and the bounded per-replica [`FlightRecorder`] of
 //!   protocol events, with fully deterministic ID allocation.
+//! * [`profile`] — scoped hierarchical phase timers with dual (sim-time +
+//!   wall-clock) attribution, folded-stack/JSON export, and the
+//!   [`QueueSample`] queue/backpressure record.
 //!
 //! Every timestamp flows through the injected [`Clock`] trait
 //! ([`clock`]): the discrete-event testbed passes its [`ManualClock`]
@@ -31,6 +34,7 @@ pub mod causal;
 pub mod clock;
 pub mod health;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
 pub use causal::{slot_trace_id, EventKind, FlightEvent, FlightRecorder, TraceCtx, NO_SPAN};
@@ -43,6 +47,7 @@ pub use metrics::{
     bucket_bound, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot,
     HISTOGRAM_BUCKETS,
 };
+pub use profile::{escape_frame, Frame, Profile, Profiler, QueueSample, Scope, PROFILE_SCHEMA};
 pub use trace::{
     FieldValue, JsonlSink, MemorySink, Sink, SpanGuard, StderrSink, TraceEvent, TraceKind, Tracer,
 };

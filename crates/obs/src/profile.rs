@@ -1,0 +1,429 @@
+//! Deterministic hierarchical profiler with dual-clock attribution, plus
+//! the queue/backpressure sample record the testbed and runtime emit.
+//!
+//! # Dual-clock attribution
+//!
+//! Every frame accumulates two costs:
+//!
+//! * `sim_us` — virtual time from the injected [`Clock`]. In the
+//!   discrete-event testbed the [`ManualClock`] is frozen while a handler
+//!   runs, so scope deltas are zero there; the testbed instead charges its
+//!   *modeled* processing costs explicitly via [`Profiler::add`]. The
+//!   result is a profile that is a pure function of the event schedule —
+//!   byte-identical at any `LAZARUS_THREADS` setting.
+//! * `wall_ns` — real elapsed time from [`Instant`]. This is where actual
+//!   CPU cost shows up, and it is deliberately *excluded* from
+//!   [`Profile::deterministic_json`] and [`Profile::folded`] so the
+//!   deterministic artifacts stay comparable while the full
+//!   [`Profile::to_json`] remains available for local investigation.
+//!
+//! # Self-time frames
+//!
+//! Frames store **self** time, not inclusive time. A [`Scope`] tracks the
+//! inclusive time of its children through shared accumulators handed to
+//! each child, and on drop charges `inclusive − children` to its own
+//! frame. For well-nested scopes the folded output therefore conserves
+//! counts exactly: the sum of all self times equals the sum of root
+//! inclusive times, which is what flamegraph renderers assume.
+//!
+//! # Folded output
+//!
+//! [`Profile::folded`] renders the classic collapsed-stack format —
+//! `frame;frame;frame <count>` per line, count = `sim_us` — loadable by
+//! inferno / `flamegraph.pl` directly. Frame names are escaped on entry
+//! ([`escape_frame`]): `;` and whitespace/control characters become `_`
+//! so a hostile name cannot forge stack separators or line breaks.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::clock::{Clock, NullClock};
+use crate::metrics::json_string;
+
+/// Schema tag stamped into every profile JSON.
+pub const PROFILE_SCHEMA: &str = "lazarus-profile-v1";
+
+/// Accumulated cost of one stack path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Frame {
+    /// Times the path was entered (scope drops + explicit charges).
+    pub calls: u64,
+    /// Deterministic virtual self-time, microseconds.
+    pub sim_us: u64,
+    /// Wall-clock self-time, nanoseconds. Real CPU cost; never part of
+    /// the deterministic artifacts.
+    pub wall_ns: u64,
+}
+
+struct ProfilerInner {
+    frames: Mutex<BTreeMap<String, Frame>>,
+    clock: Arc<dyn Clock>,
+}
+
+impl std::fmt::Debug for ProfilerInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfilerInner").finish_non_exhaustive()
+    }
+}
+
+/// Shared profile accumulator. Cloning shares the underlying frame map,
+/// so one profiler can be attached to many replicas / clusters and still
+/// produce a single merged profile.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    inner: Arc<ProfilerInner>,
+}
+
+impl Profiler {
+    /// A profiler timestamping virtual time from `clock`.
+    #[must_use]
+    pub fn new(clock: Arc<dyn Clock>) -> Profiler {
+        Profiler { inner: Arc::new(ProfilerInner { frames: Mutex::new(BTreeMap::new()), clock }) }
+    }
+
+    /// A profiler on the frozen [`NullClock`]: scope `sim_us` deltas are
+    /// zero and all virtual cost comes from [`Profiler::add`] charges.
+    #[must_use]
+    pub fn unclocked() -> Profiler {
+        Profiler::new(Arc::new(NullClock))
+    }
+
+    /// Opens a root scope at the escaped, `;`-joined `frames` path.
+    /// Dropping the returned guard charges the frame.
+    #[must_use]
+    pub fn scope(&self, frames: &[&str]) -> Scope {
+        Scope::open(self.clone(), join_frames(frames), None)
+    }
+
+    /// Charges an explicit modeled cost to a path: one call and `sim_us`
+    /// of virtual self-time. This is how the discrete-event testbed
+    /// attributes its processing-station costs, since its clock is frozen
+    /// while handlers run.
+    pub fn add(&self, frames: &[&str], sim_us: u64) {
+        self.charge(&join_frames(frames), 1, sim_us, 0);
+    }
+
+    fn charge(&self, path: &str, calls: u64, sim_us: u64, wall_ns: u64) {
+        let mut map = self.inner.frames.lock().unwrap_or_else(|e| e.into_inner());
+        let frame = map.entry(path.to_string()).or_default();
+        frame.calls += calls;
+        frame.sim_us += sim_us;
+        frame.wall_ns += wall_ns;
+    }
+
+    /// A point-in-time copy of every accumulated frame, sorted by path.
+    #[must_use]
+    pub fn snapshot(&self) -> Profile {
+        let map = self.inner.frames.lock().unwrap_or_else(|e| e.into_inner());
+        Profile { frames: map.iter().map(|(k, v)| (k.clone(), *v)).collect() }
+    }
+}
+
+/// Escapes one frame name for the folded-stack format: `;` (the stack
+/// separator) and all whitespace/control characters become `_`; an empty
+/// name becomes `?` so it stays visible in the collapsed output.
+#[must_use]
+pub fn escape_frame(name: &str) -> String {
+    if name.is_empty() {
+        return "?".to_string();
+    }
+    name.chars()
+        .map(|c| if c == ';' || c.is_whitespace() || c.is_control() { '_' } else { c })
+        .collect()
+}
+
+fn join_frames(frames: &[&str]) -> String {
+    if frames.is_empty() {
+        return "?".to_string();
+    }
+    let mut path = String::new();
+    for (i, f) in frames.iter().enumerate() {
+        if i > 0 {
+            path.push(';');
+        }
+        path.push_str(&escape_frame(f));
+    }
+    path
+}
+
+/// RAII phase timer. Obtain roots from [`Profiler::scope`] and nest with
+/// [`Scope::child`]; the drop order of well-nested scopes makes frame
+/// self-times conserve counts (see module docs).
+///
+/// Scopes hold no borrows — children keep `Arc` handles to the parent's
+/// child-time accumulators — so they can be stored in structs and vectors.
+#[derive(Debug)]
+pub struct Scope {
+    prof: Profiler,
+    path: String,
+    sim_start: u64,
+    wall_start: Instant,
+    child_sim: Arc<AtomicU64>,
+    child_wall: Arc<AtomicU64>,
+    parent: Option<(Arc<AtomicU64>, Arc<AtomicU64>)>,
+}
+
+impl Scope {
+    fn open(
+        prof: Profiler,
+        path: String,
+        parent: Option<(Arc<AtomicU64>, Arc<AtomicU64>)>,
+    ) -> Scope {
+        let sim_start = prof.inner.clock.now_micros();
+        Scope {
+            prof,
+            path,
+            sim_start,
+            wall_start: Instant::now(),
+            child_sim: Arc::new(AtomicU64::new(0)),
+            child_wall: Arc::new(AtomicU64::new(0)),
+            parent,
+        }
+    }
+
+    /// Opens a child scope one frame deeper. The child's inclusive time is
+    /// subtracted from this scope's self-time when both have dropped.
+    #[must_use]
+    pub fn child(&self, name: &str) -> Scope {
+        let mut path = String::with_capacity(self.path.len() + name.len() + 1);
+        path.push_str(&self.path);
+        path.push(';');
+        path.push_str(&escape_frame(name));
+        Scope::open(
+            self.prof.clone(),
+            path,
+            Some((Arc::clone(&self.child_sim), Arc::clone(&self.child_wall))),
+        )
+    }
+
+    /// The escaped `;`-joined path this scope charges.
+    #[must_use]
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        let incl_sim = self.prof.inner.clock.now_micros().saturating_sub(self.sim_start);
+        let incl_wall = u64::try_from(self.wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let self_sim = incl_sim.saturating_sub(self.child_sim.load(Ordering::Relaxed));
+        let self_wall = incl_wall.saturating_sub(self.child_wall.load(Ordering::Relaxed));
+        self.prof.charge(&self.path, 1, self_sim, self_wall);
+        if let Some((sim, wall)) = &self.parent {
+            sim.fetch_add(incl_sim, Ordering::Relaxed);
+            wall.fetch_add(incl_wall, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time profile snapshot: `(path, frame)` pairs sorted by path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Escaped `;`-joined stack paths with their accumulated frames.
+    pub frames: Vec<(String, Frame)>,
+}
+
+impl Profile {
+    /// Collapsed-stack text (`stack count` per line, count = `sim_us`),
+    /// loadable by inferno/`flamegraph.pl`. Zero-cost paths are omitted —
+    /// a flamegraph renders samples, and a frame with no virtual time has
+    /// none to show.
+    #[must_use]
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for (path, frame) in &self.frames {
+            if frame.sim_us > 0 {
+                let _ = writeln!(out, "{path} {}", frame.sim_us);
+            }
+        }
+        out
+    }
+
+    /// Full JSON profile including wall-clock self-times.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.render_json(true)
+    }
+
+    /// JSON profile restricted to the deterministic fields (`calls`,
+    /// `sim_us`) — byte-identical across reruns and thread counts.
+    #[must_use]
+    pub fn deterministic_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    fn render_json(&self, wall: bool) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"schema\":{},\"frames\":[", json_string(PROFILE_SCHEMA));
+        for (i, (path, frame)) in self.frames.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"stack\":{},\"calls\":{},\"sim_us\":{}",
+                json_string(path),
+                frame.calls,
+                frame.sim_us
+            );
+            if wall {
+                let _ = write!(out, ",\"wall_ns\":{}", frame.wall_ns);
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Total virtual self-time over all frames, microseconds.
+    #[must_use]
+    pub fn total_sim_us(&self) -> u64 {
+        self.frames.iter().map(|(_, f)| f.sim_us).sum()
+    }
+
+    /// Total wall-clock self-time over all frames, nanoseconds.
+    #[must_use]
+    pub fn total_wall_ns(&self) -> u64 {
+        self.frames.iter().map(|(_, f)| f.wall_ns).sum()
+    }
+}
+
+/// One periodic queue/backpressure observation of one replica.
+///
+/// The testbed samples these on its existing health tick (no new events
+/// are scheduled, so enabling sampling cannot perturb event interleaving)
+/// and the threaded runtime samples its real inbox; both also mirror the
+/// values into `lazarus_queue_*` gauges. [`QueueSample::to_jsonl`] is the
+/// line format of `queues.jsonl`, which `trace_analyze` merges into the
+/// Perfetto trace as counter tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueSample {
+    /// Sample timestamp, microseconds on the injected clock.
+    pub at_us: u64,
+    /// Replica the sample describes.
+    pub node: u32,
+    /// Messages scheduled for delivery but not yet processed (sim), or
+    /// channel length (threaded runtime).
+    pub inbox: u64,
+    /// Client requests queued but not yet proposed.
+    pub pending: u64,
+    /// Consensus instances open above the last decided slot.
+    pub decided_gap: u64,
+    /// Requests taken into the most recent proposal by this replica.
+    pub batch_fill: u64,
+}
+
+impl QueueSample {
+    /// The `queues.jsonl` line for this sample (no trailing newline).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"at_us\":{},\"node\":{},\"inbox\":{},\"pending\":{},\"decided_gap\":{},\"batch_fill\":{}}}",
+            self.at_us, self.node, self.inbox, self.pending, self.decided_gap, self.batch_fill
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn frame(prof: &Profile, path: &str) -> Frame {
+        prof.frames
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, f)| *f)
+            .unwrap_or_else(|| panic!("no frame {path}"))
+    }
+
+    #[test]
+    fn scopes_charge_self_time_not_inclusive() {
+        let clock = Arc::new(ManualClock::new());
+        let prof = Profiler::new(clock.clone());
+        {
+            let root = prof.scope(&["root"]);
+            clock.set(10);
+            {
+                let _child = root.child("inner");
+                clock.set(35);
+            }
+            clock.set(40);
+        }
+        let snap = prof.snapshot();
+        assert_eq!(frame(&snap, "root").sim_us, 15, "40 total minus 25 in the child");
+        assert_eq!(frame(&snap, "root;inner").sim_us, 25);
+        assert_eq!(snap.total_sim_us(), 40, "self times conserve the root inclusive time");
+    }
+
+    #[test]
+    fn add_merges_with_scope_charges() {
+        let prof = Profiler::unclocked();
+        prof.add(&["root", "recv"], 7);
+        prof.add(&["root", "recv"], 3);
+        drop(prof.scope(&["root", "recv"]));
+        let snap = prof.snapshot();
+        let f = frame(&snap, "root;recv");
+        assert_eq!(f.calls, 3);
+        assert_eq!(f.sim_us, 10);
+    }
+
+    #[test]
+    fn escaping_keeps_folded_lines_parseable() {
+        assert_eq!(escape_frame("a;b c\nd"), "a_b_c_d");
+        assert_eq!(escape_frame(""), "?");
+        let prof = Profiler::unclocked();
+        prof.add(&["weird; name", "tab\there"], 5);
+        let folded = prof.snapshot().folded();
+        assert_eq!(folded, "weird__name;tab_here 5\n");
+    }
+
+    #[test]
+    fn folded_omits_zero_cost_frames() {
+        let prof = Profiler::unclocked();
+        prof.add(&["hot"], 9);
+        drop(prof.scope(&["cold"])); // NullClock: zero sim delta
+        assert_eq!(prof.snapshot().folded(), "hot 9\n");
+    }
+
+    #[test]
+    fn json_is_sorted_and_schema_versioned() {
+        let prof = Profiler::unclocked();
+        prof.add(&["b"], 2);
+        prof.add(&["a"], 1);
+        let det = prof.snapshot().deterministic_json();
+        assert!(det.starts_with("{\"schema\":\"lazarus-profile-v1\""));
+        assert!(det.find("\"stack\":\"a\"").unwrap() < det.find("\"stack\":\"b\"").unwrap());
+        assert!(!det.contains("wall_ns"));
+        assert!(prof.snapshot().to_json().contains("wall_ns"));
+    }
+
+    #[test]
+    fn shared_profiler_merges_across_clones() {
+        let prof = Profiler::unclocked();
+        let other = prof.clone();
+        prof.add(&["x"], 1);
+        other.add(&["x"], 2);
+        assert_eq!(frame(&prof.snapshot(), "x").sim_us, 3);
+    }
+
+    #[test]
+    fn queue_sample_jsonl_shape() {
+        let s = QueueSample {
+            at_us: 250_000,
+            node: 3,
+            inbox: 4,
+            pending: 17,
+            decided_gap: 2,
+            batch_fill: 16,
+        };
+        assert_eq!(
+            s.to_jsonl(),
+            "{\"at_us\":250000,\"node\":3,\"inbox\":4,\"pending\":17,\"decided_gap\":2,\"batch_fill\":16}"
+        );
+    }
+}

@@ -27,6 +27,7 @@ use lazarus_bft::types::{ClientId, Epoch, Membership, ReplicaId, SeqNo, View};
 use lazarus_obs::causal::{
     slot_trace_id, EventKind, FlightEvent, FlightRecorder, TraceCtx, NO_SPAN,
 };
+use lazarus_obs::profile::{Profiler, QueueSample};
 use lazarus_obs::{
     Clock, HealthConfig, HealthSnapshot, HealthTracker, Histogram, ManualClock, Obs,
 };
@@ -180,6 +181,15 @@ pub struct SimCluster {
     /// Scratch directories (e.g. journals of durable nodes) owned by this
     /// run and removed when the cluster is dropped.
     scratch: Vec<PathBuf>,
+    /// Optional phase profiler plus a root-frame prefix: the testbed
+    /// charges its modeled station costs here (deterministic virtual
+    /// self-times, since the sim clock is frozen while handlers run).
+    profiler: Option<(Profiler, String)>,
+    /// Periodic queue/backpressure samples, taken on the health tick of an
+    /// observed cluster.
+    queue_log: Vec<QueueSample>,
+    /// In-flight `DeliverReplica` events per node — the sim's inbox depth.
+    inbox_depth: HashMap<u32, u64>,
 }
 
 impl Drop for SimCluster {
@@ -233,6 +243,9 @@ impl SimCluster {
             flights: HashMap::new(),
             flight_capacity: None,
             scratch: Vec::new(),
+            profiler: None,
+            queue_log: Vec::new(),
+            inbox_depth: HashMap::new(),
         }
     }
 
@@ -329,6 +342,98 @@ impl SimCluster {
     /// only).
     pub fn health_snapshot(&self) -> Option<HealthSnapshot> {
         self.obs.as_ref().map(|o| o.health.snapshot())
+    }
+
+    /// Attaches a phase profiler: the testbed charges every modeled
+    /// processing-station cost (message receive, send, broadcast, client
+    /// reply) to `root;replica_<id>;<kind>;<label>` frames (`root` empty
+    /// drops the prefix). The charges are the simulation's *virtual* cost
+    /// model, so the resulting profile is byte-identical across reruns and
+    /// thread counts. A `bench_suite` run attaches one shared profiler to
+    /// several clusters with distinct roots to keep workloads apart.
+    pub fn attach_profiler(&mut self, profiler: Profiler, root: &str) {
+        self.profiler = Some((profiler, root.to_string()));
+    }
+
+    /// Charges one modeled cost to the attached profiler, if any.
+    fn profile_charge(&self, node: u32, kind: &str, label: &str, cost: Micros) {
+        if let Some((prof, root)) = &self.profiler {
+            let replica = format!("replica_{node}");
+            if root.is_empty() {
+                prof.add(&[&replica, kind, label], cost);
+            } else {
+                prof.add(&[root, &replica, kind, label], cost);
+            }
+        }
+    }
+
+    /// Queue/backpressure samples collected so far (observed clusters
+    /// sample every health tick; empty otherwise).
+    pub fn queue_samples(&self) -> &[QueueSample] {
+        &self.queue_log
+    }
+
+    /// Writes the queue samples as `queues.jsonl` into `dir` (created if
+    /// missing) — the counter-track input of `trace_analyze`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_queue_jsonl(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut out = String::new();
+        for sample in &self.queue_log {
+            out.push_str(&sample.to_jsonl());
+            out.push('\n');
+        }
+        std::fs::write(dir.join("queues.jsonl"), out)
+    }
+
+    /// Samples every node's queue state into `lazarus_queue_*` gauges and
+    /// the in-memory queue log. Runs on the *existing* health tick — no new
+    /// events are scheduled, so sampling cannot perturb the event
+    /// interleaving (a new periodic event would shift the queue's
+    /// insertion-order tie-breaking and with it every stochastic output).
+    fn sample_queues(&mut self, at: Micros) {
+        let Some(obs) = &self.obs else { return };
+        let mut ids: Vec<u32> = self.nodes.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let node = &self.nodes[&id];
+            let sample = QueueSample {
+                at_us: at,
+                node: id,
+                inbox: self.inbox_depth.get(&id).copied().unwrap_or(0),
+                pending: node.replica.pending_requests() as u64,
+                decided_gap: node.replica.open_instances() as u64,
+                batch_fill: node.replica.last_batch_fill() as u64,
+            };
+            let rid = id.to_string();
+            let labels = [("replica", rid.as_str())];
+            let registry = &obs.bundle.registry;
+            registry.gauge_with("lazarus_queue_inbox_depth", &labels).set(sample.inbox as f64);
+            registry
+                .gauge_with("lazarus_queue_pending_requests", &labels)
+                .set(sample.pending as f64);
+            registry
+                .gauge_with("lazarus_queue_decided_gap", &labels)
+                .set(sample.decided_gap as f64);
+            registry.gauge_with("lazarus_queue_batch_fill", &labels).set(sample.batch_fill as f64);
+            self.queue_log.push(sample);
+        }
+    }
+
+    /// Schedules a replica delivery, counting it toward the target's
+    /// inbox depth until [`Self::deliver_replica`] consumes it.
+    fn enqueue_deliver(
+        &mut self,
+        at: Micros,
+        to: ReplicaId,
+        message: Arc<Message>,
+        ctx: Option<TraceCtx>,
+    ) {
+        *self.inbox_depth.entry(to.0).or_insert(0) += 1;
+        self.queue.schedule_at(at, Ev::DeliverReplica(to, message, ctx));
     }
 
     /// Current virtual time.
@@ -595,10 +700,7 @@ impl SimCluster {
         let cmd = ReconfigCommand { epoch, add, remove, tag };
         let ids: Vec<u32> = self.nodes.keys().copied().collect();
         for id in ids {
-            self.queue.schedule_at(
-                at,
-                Ev::DeliverReplica(ReplicaId(id), Arc::new(Message::Reconfig(cmd.clone())), None),
-            );
+            self.enqueue_deliver(at, ReplicaId(id), Arc::new(Message::Reconfig(cmd.clone())), None);
         }
     }
 
@@ -684,10 +786,7 @@ impl SimCluster {
                     let sends = state.client.retransmit();
                     for (to, message) in sends {
                         let delay = self.cfg.network.delay(message.wire_size());
-                        self.queue.schedule_at(
-                            at + delay,
-                            Ev::DeliverReplica(to, Arc::new(message), None),
-                        );
+                        self.enqueue_deliver(at + delay, to, Arc::new(message), None);
                     }
                     self.queue.schedule_at(at + self.cfg.client_retry, Ev::ClientRetry(client, op));
                 }
@@ -743,13 +842,19 @@ impl SimCluster {
             }
             Ev::NodeReboot(id) => self.reboot_node(at, id),
             Ev::HealthTick => {
+                if self.obs.is_none() {
+                    return;
+                }
                 if let Some(obs) = &self.obs {
                     // Reduce-only: the snapshot reads the windows, publishes
                     // gauges, and counts anomaly onsets — it never perturbs
                     // the simulation itself.
                     let _ = obs.health.snapshot();
-                    self.queue.schedule_at(at + HEALTH_TICK, Ev::HealthTick);
                 }
+                // Piggy-backed on the same tick for the same reason: reads
+                // queue state, schedules nothing.
+                self.sample_queues(at);
+                self.queue.schedule_at(at + HEALTH_TICK, Ev::HealthTick);
             }
         }
     }
@@ -761,6 +866,11 @@ impl SimCluster {
         message: Arc<Message>,
         wire_ctx: Option<TraceCtx>,
     ) {
+        // The scheduled delivery is consumed here no matter what happens to
+        // it, so the inbox count drops even for unpowered targets.
+        if let Some(depth) = self.inbox_depth.get_mut(&to.0) {
+            *depth = depth.saturating_sub(1);
+        }
         let Some(node) = self.nodes.get_mut(&to.0) else { return };
         if !node.powered || !node.ready {
             return;
@@ -774,6 +884,7 @@ impl SimCluster {
         // The replica's handling "happens" when its station finishes the
         // message, so obs timestamps taken inside on_message use that time.
         self.sim_clock.set(done);
+        self.profile_charge(to.0, "recv", message.label(), cost);
         // The handling context: a fresh receive span adopting the wire
         // span as parent (or a root for untraced client traffic).
         let ctx = self.flights.get(&to.0).map(|flight| {
@@ -858,7 +969,7 @@ impl SimCluster {
         let op = state.current_op;
         for (to, message) in sends {
             let delay = self.cfg.network.delay(message.wire_size());
-            self.queue.schedule_at(at + delay, Ev::DeliverReplica(to, Arc::new(message), None));
+            self.enqueue_deliver(at + delay, to, Arc::new(message), None);
         }
         self.queue.schedule_at(at + self.cfg.client_retry, Ev::ClientRetry(client, op));
     }
@@ -935,7 +1046,7 @@ impl SimCluster {
         ctx: Option<TraceCtx>,
     ) {
         if self.faults.is_none() {
-            self.queue.schedule_at(departed + delay, Ev::DeliverReplica(to, message, ctx));
+            self.enqueue_deliver(departed + delay, to, message, ctx);
             return;
         }
         let verdict = self.faults.as_mut().expect("checked").route(departed, from, to);
@@ -947,20 +1058,15 @@ impl SimCluster {
                 if extra > 0 {
                     self.wire_fault(departed, from, to, EventKind::Delay, &message, ctx, extra);
                 }
-                self.queue
-                    .schedule_at(departed + delay + extra, Ev::DeliverReplica(to, message, ctx));
+                self.enqueue_deliver(departed + delay + extra, to, message, ctx);
             }
             [Some(extra), Some(echo)] => {
                 if extra > 0 {
                     self.wire_fault(departed, from, to, EventKind::Delay, &message, ctx, extra);
                 }
                 self.wire_fault(departed, from, to, EventKind::Dup, &message, ctx, echo);
-                self.queue.schedule_at(
-                    departed + delay + extra,
-                    Ev::DeliverReplica(to, Arc::clone(&message), ctx),
-                );
-                self.queue
-                    .schedule_at(departed + delay + echo, Ev::DeliverReplica(to, message, ctx));
+                self.enqueue_deliver(departed + delay + extra, to, Arc::clone(&message), ctx);
+                self.enqueue_deliver(departed + delay + echo, to, message, ctx);
             }
         }
     }
@@ -1038,7 +1144,7 @@ impl SimCluster {
         message: Arc<Message>,
         handling: TraceCtx,
     ) {
-        let (departed, delay) = {
+        let (departed, delay, cost) = {
             let node = self.nodes.get_mut(&id.0).expect("sender exists");
             // The zero-copy path signs and serializes once per broadcast, so
             // the sender pays one message-handling unit (and, for
@@ -1050,8 +1156,9 @@ impl SimCluster {
                     snapshot_cost(node.profile.snapshot_mb_s, node.replica.service().state_size())
                         * node.profile.cores as u64;
             }
-            (node.station.submit(from, cost), self.cfg.network.delay(message.wire_size()))
+            (node.station.submit(from, cost), self.cfg.network.delay(message.wire_size()), cost)
         };
+        self.profile_charge(id.0, "send", message.label(), cost);
         if let Some(obs) = &self.obs {
             obs.wire.sent(message.label(), message.wire_size(), peers.len());
             obs.health.seen(id.0);
@@ -1067,7 +1174,7 @@ impl SimCluster {
             Action::Send(to, message) => {
                 let Some(message) = self.byz_transform(id, message) else { return };
                 let message = self.maybe_corrupt_chunk(message);
-                let (departed, delay) = {
+                let (departed, delay, cost) = {
                     let node = self.nodes.get_mut(&id.0).expect("sender exists");
                     // Sending costs half a message-handling unit; checkpoints
                     // additionally serialize the service snapshot.
@@ -1089,8 +1196,13 @@ impl SimCluster {
                         // the old full-snapshot stall across the transfer.
                         cost += snapshot_cost(node.profile.snapshot_mb_s, data.len());
                     }
-                    (node.station.submit(from, cost), self.cfg.network.delay(message.wire_size()))
+                    (
+                        node.station.submit(from, cost),
+                        self.cfg.network.delay(message.wire_size()),
+                        cost,
+                    )
                 };
+                self.profile_charge(id.0, "send", message.label(), cost);
                 if let Some(obs) = &self.obs {
                     obs.wire.sent(message.label(), message.wire_size(), 1);
                     obs.health.seen(id.0);
@@ -1149,6 +1261,7 @@ impl SimCluster {
                     + (reply.result.len() as u64 * node.profile.per_kb_us) / 2048;
                 let departed = node.station.submit(from, cost);
                 let delay = self.cfg.network.delay(48 + reply.result.len());
+                self.profile_charge(id.0, "send", "REPLY", cost);
                 self.queue.schedule_at(departed + delay, Ev::DeliverClient(client, reply));
             }
             Action::SetTimer(timer, hint_ms) => {

@@ -15,6 +15,9 @@ pub struct LatencySummary {
     pub p95_us: Micros,
     /// 99th percentile (nearest-rank).
     pub p99_us: Micros,
+    /// 99.9th percentile (nearest-rank) — on small samples this collapses
+    /// onto the max, which is what nearest-rank prescribes.
+    pub p999_us: Micros,
     /// Worst observed latency.
     pub max_us: Micros,
 }
@@ -23,10 +26,11 @@ impl std::fmt::Display for LatencySummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms, max {:.1} ms (mean {:.1} ms, n={})",
+            "p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms, p99.9 {:.1} ms, max {:.1} ms (mean {:.1} ms, n={})",
             self.p50_us as f64 / 1e3,
             self.p95_us as f64 / 1e3,
             self.p99_us as f64 / 1e3,
+            self.p999_us as f64 / 1e3,
             self.max_us as f64 / 1e3,
             self.mean_us / 1e3,
             self.count
@@ -102,8 +106,8 @@ impl Metrics {
         Some(lats[rank.min(lats.len()) - 1])
     }
 
-    /// p50/p95/p99/mean/max latency over all completions (`None` when no
-    /// operation completed).
+    /// p50/p95/p99/p99.9/mean/max latency over all completions (`None`
+    /// when no operation completed).
     pub fn summary(&self) -> Option<LatencySummary> {
         Some(LatencySummary {
             count: self.completed(),
@@ -111,6 +115,7 @@ impl Metrics {
             p50_us: self.latency_percentile(0.50)?,
             p95_us: self.latency_percentile(0.95)?,
             p99_us: self.latency_percentile(0.99)?,
+            p999_us: self.latency_percentile(0.999)?,
             max_us: self.completions.iter().map(|&(_, l)| l).max()?,
         })
     }
@@ -207,6 +212,45 @@ mod tests {
         assert_eq!(m.latency_percentile(0.50), Some(20));
         assert_eq!(m.latency_percentile(0.25), Some(10));
         assert_eq!(m.latency_percentile(0.95), Some(40));
+    }
+
+    #[test]
+    fn tail_percentiles_collapse_onto_max_for_tiny_samples() {
+        // N=1: every percentile is the single sample.
+        let mut one = Metrics::new();
+        one.record(0, 7);
+        let s = one.summary().expect("non-empty");
+        assert_eq!((s.p50_us, s.p99_us, s.p999_us, s.max_us), (7, 7, 7, 7));
+
+        // N=4: ⌈0.99·4⌉ = ⌈0.999·4⌉ = 4 → both tails are the max.
+        let mut m = Metrics::new();
+        for latency in [10, 20, 30, 40] {
+            m.record(0, latency);
+        }
+        let s = m.summary().expect("non-empty");
+        assert_eq!(s.p99_us, 40);
+        assert_eq!(s.p999_us, 40);
+        assert_eq!(s.max_us, 40);
+    }
+
+    #[test]
+    fn p999_separates_from_max_past_a_thousand_samples() {
+        // 1999 samples of 1 µs plus one outlier: ⌈0.999·2000⌉ = 1998 → the
+        // p99.9 stays on the bulk while max reports the outlier.
+        let mut m = Metrics::new();
+        for _ in 0..1999 {
+            m.record(0, 1);
+        }
+        m.record(0, 1000);
+        let s = m.summary().expect("non-empty");
+        assert_eq!(s.p999_us, 1);
+        assert_eq!(s.max_us, 1000);
+        // 1000 samples 1..=1000: ⌈0.999·1000⌉ = 999.
+        let mut m = Metrics::new();
+        for latency in 1..=1000 {
+            m.record(0, latency);
+        }
+        assert_eq!(m.latency_percentile(0.999), Some(999));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use bytes::Bytes;
 use lazarus_bft::service::{BlobService, CounterService, Service};
 use lazarus_bft::types::{Epoch, Membership, ReplicaId};
 use lazarus_obs::causal::FlightEvent;
+use lazarus_obs::profile::QueueSample;
 use lazarus_obs::{HealthSnapshot, Registry, Snapshot};
 use lazarus_osint::json::Value;
 
@@ -163,6 +164,9 @@ pub struct TracedRun {
     /// Final health reduction of the run (the online ticks already counted
     /// anomaly onsets into the snapshot above).
     pub health: HealthSnapshot,
+    /// Queue/backpressure samples taken on each health tick, in sample
+    /// order (time-major, node-minor).
+    pub queues: Vec<QueueSample>,
 }
 
 /// Ring capacity for traced nemesis runs. A 3 s scenario at full tilt
@@ -180,7 +184,8 @@ pub fn run_scenario_traced(scenario: &str, seed: u64) -> TracedRun {
     let streams = sim.flight_streams();
     let snapshot = sim.obs().expect("traced runs are observed").registry.snapshot();
     let health = sim.health_snapshot().expect("traced runs are observed");
-    TracedRun { verdict, streams, snapshot, health }
+    let queues = sim.queue_samples().to_vec();
+    TracedRun { verdict, streams, snapshot, health, queues }
 }
 
 /// An observed run at a chosen leader placement: the verdict plus the

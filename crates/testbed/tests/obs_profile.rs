@@ -1,0 +1,125 @@
+//! Profiler determinism and folded-stack encoder properties.
+//!
+//! The performance observatory promises that every *deterministic* profile
+//! output — `profile.json` (sim-time frames), `profile.folded` (collapsed
+//! stacks), `queues.jsonl` (backpressure samples) — is a pure function of
+//! the simulated run: rerunning the same configuration yields
+//! byte-identical files (`ci.sh` additionally compares `LAZARUS_THREADS=1`
+//! vs `4` across the `bench_suite` binary). The property test pins the
+//! folded encoder itself: arbitrary frame names survive escaping as
+//! parseable one-line-per-stack output, and self-time is conserved under
+//! arbitrary scope nesting.
+
+use bytes::Bytes;
+use lazarus_bft::service::CounterService;
+use lazarus_bft::types::{Epoch, Membership, ReplicaId};
+use lazarus_obs::{escape_frame, ManualClock, Profiler};
+use lazarus_testbed::cluster::{SimCluster, SimConfig};
+use lazarus_testbed::sim::SEC;
+use std::sync::Arc;
+
+/// One profiled echo run: 4 replicas, 8 closed-loop clients, 1 s of sim
+/// time. Returns the three deterministic artifacts as strings.
+fn profiled_run() -> (String, String, String) {
+    let profiler = Profiler::unclocked();
+    let membership = Membership::new(Epoch(0), (0..4).map(ReplicaId).collect());
+    let mut sim = SimCluster::new_observed(SimConfig::default());
+    sim.attach_profiler(profiler.clone(), "echo");
+    for r in 0..4 {
+        sim.add_node(
+            ReplicaId(r),
+            lazarus_testbed::oscatalog::PerfProfile::bare_metal(),
+            membership.clone(),
+            Box::new(CounterService::new()),
+        );
+    }
+    sim.add_clients(1, 8, membership, |_| Bytes::new());
+    sim.run_until(SEC);
+    let profile = profiler.snapshot();
+    let queues: String = sim.queue_samples().iter().map(|s| s.to_jsonl() + "\n").collect();
+    (profile.deterministic_json(), profile.folded(), queues)
+}
+
+#[test]
+fn profiled_sim_run_is_byte_reproducible() {
+    let (json_a, folded_a, queues_a) = profiled_run();
+    let (json_b, folded_b, queues_b) = profiled_run();
+    assert!(!folded_a.is_empty(), "a 1 s echo run charges hot-path frames");
+    assert!(!queues_a.is_empty(), "health ticks sample the queues");
+    assert_eq!(json_a, json_b, "profile.json must be byte-identical across reruns");
+    assert_eq!(folded_a, folded_b, "profile.folded must be byte-identical across reruns");
+    assert_eq!(queues_a, queues_b, "queues.jsonl must be byte-identical across reruns");
+    assert!(json_a.contains("lazarus-profile-v1"), "schema-versioned profile");
+}
+
+proptest::proptest! {
+    /// Arbitrary (printable, possibly `;`/space-laden, possibly empty)
+    /// frame names survive the folded encoding as exactly one
+    /// `path count` line per charged frame, and nested scope self-times
+    /// sum back to the total elapsed clock — count conservation.
+    #[test]
+    fn folded_encoder_escapes_and_conserves(
+        names in proptest::collection::vec("\\PC{0,12}", 1..6),
+        advances in proptest::collection::vec(1u64..500, 6..7),
+    ) {
+        let clock = Arc::new(ManualClock::new());
+        let profiler = Profiler::new(clock.clone());
+
+        // Build one nested scope chain, advancing the clock inside every
+        // level so each frame accrues self-time.
+        let mut elapsed = 0u64;
+        let mut scopes = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            let scope = match scopes.last() {
+                None => profiler.scope(&[name.as_str()]),
+                Some(parent) => lazarus_obs::Scope::child(parent, name),
+            };
+            scopes.push(scope);
+            elapsed += advances[i];
+            clock.advance(advances[i]);
+        }
+        // Innermost extra advance, then unwind innermost-first so every
+        // child hands its inclusive time to its parent before the parent
+        // computes its own self-time.
+        elapsed += advances[names.len() % advances.len()];
+        clock.advance(advances[names.len() % advances.len()]);
+        while let Some(scope) = scopes.pop() {
+            drop(scope);
+        }
+
+        let profile = profiler.snapshot();
+        proptest::prop_assert_eq!(profile.total_sim_us(), elapsed);
+
+        let folded = profile.folded();
+        let mut folded_total = 0u64;
+        for line in folded.lines() {
+            let (path, count) = line.rsplit_once(' ').expect("one space before the count");
+            proptest::prop_assert!(!path.is_empty());
+            // Escaped frames never smuggle separators: splitting the path
+            // on ';' recovers one non-empty, whitespace-free frame per
+            // nesting level.
+            for frame in path.split(';') {
+                proptest::prop_assert!(!frame.is_empty(), "frame empty in {:?}", line);
+                proptest::prop_assert!(
+                    !frame.contains(char::is_whitespace),
+                    "unescaped whitespace in {:?}",
+                    line
+                );
+            }
+            folded_total += count.parse::<u64>().expect("numeric count");
+        }
+        // Conservation: the folded lines partition the elapsed time
+        // (zero-cost frames are omitted and contribute nothing).
+        proptest::prop_assert_eq!(folded_total, elapsed);
+    }
+
+    /// `escape_frame` output is always a safe folded-stack frame.
+    #[test]
+    fn escape_frame_output_is_always_safe(name in "\\PC{0,24}") {
+        let escaped = escape_frame(&name);
+        proptest::prop_assert!(!escaped.is_empty());
+        proptest::prop_assert!(!escaped.contains(';'));
+        proptest::prop_assert!(!escaped.contains(char::is_whitespace));
+        proptest::prop_assert!(!escaped.contains(char::is_control));
+    }
+}

@@ -4,20 +4,146 @@
 //! unbounded channel API with `std::sync::mpsc`, which has identical
 //! semantics for the subset the repository uses (cloneable senders, a
 //! single receiver per channel, `recv_timeout`, iteration until
-//! disconnect).
+//! disconnect). A shared depth counter adds crossbeam's `len()` — the
+//! runtime's inbox-depth gauge reads it.
 
 #![warn(missing_docs)]
 
 /// Multi-producer single-consumer channels.
 pub mod channel {
-    pub use std::sync::mpsc::{
-        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
-    };
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{mpsc, Arc};
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Cloneable sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+        depth: Arc<AtomicUsize>,
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Sender").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender { inner: self.inner.clone(), depth: Arc::clone(&self.depth) }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Queues `value`; fails only when the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)?;
+            self.depth.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+        depth: Arc<AtomicUsize>,
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Receiver").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let value = self.inner.recv()?;
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Ok(value)
+        }
+
+        /// Blocks up to `timeout` for a value.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let value = self.inner.recv_timeout(timeout)?;
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Ok(value)
+        }
+
+        /// Pops a value without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let value = self.inner.try_recv()?;
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Ok(value)
+        }
+
+        /// Values sent but not yet received. Approximate under concurrent
+        /// sends, like crossbeam's — sufficient for a backpressure gauge.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::Relaxed)
+        }
+
+        /// True when [`Receiver::len`] is zero.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    /// Draining iterator that ends when every sender is gone.
+    #[derive(Debug)]
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Borrowing draining iterator.
+    #[derive(Debug)]
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
 
     /// Creates an unbounded channel.
     #[must_use]
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        std::sync::mpsc::channel()
+        let (tx, rx) = std::sync::mpsc::channel();
+        let depth = Arc::new(AtomicUsize::new(0));
+        (Sender { inner: tx, depth: Arc::clone(&depth) }, Receiver { inner: rx, depth })
     }
 }
 
@@ -45,5 +171,19 @@ mod tests {
         drop(tx);
         let err = rx.recv_timeout(Duration::from_millis(1)).unwrap_err();
         assert_eq!(err, channel::RecvTimeoutError::Disconnected);
+    }
+
+    #[test]
+    fn len_tracks_queued_values() {
+        let (tx, rx) = channel::unbounded();
+        assert_eq!(rx.len(), 0);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.len(), 1);
+        assert!(!rx.is_empty());
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert!(rx.is_empty());
     }
 }
