@@ -26,7 +26,7 @@ fi
 echo "    library crates clean"
 
 echo "==> no unwrap() on the BFT ingress path (malformed input must reject, not panic)"
-for f in replica.rs consensus.rs messages.rs client.rs storage.rs; do
+for f in replica.rs consensus.rs messages.rs client.rs storage.rs batcher.rs; do
     # Only the production half of each module counts — cut at the test module.
     offenders=$(awk '/^(#\[cfg\(test\)\]|mod tests)/{exit} {print FILENAME":"NR": "$0}' \
         "crates/bft/src/$f" | grep '\.unwrap()' | grep -v 'unwrap_or' || true)
@@ -70,6 +70,24 @@ done
 echo "==> nemesis smoke: every fault scenario, 2 seeds, zero violations"
 LAZARUS_METRICS_DIR="$metrics_dir" target/release/nemesis 2 > /dev/null
 echo "    nemesis sweep green"
+
+echo "==> pipelining: bench_pipeline thread-count invariant + windowed nemesis smoke"
+# The window sweep is virtual-time only, so both the report and the
+# metrics snapshot must be byte-identical at any worker count.
+for t in 1 4; do
+    mkdir -p "$metrics_dir/pipe$t"
+    LAZARUS_THREADS=$t LAZARUS_METRICS_DIR="$metrics_dir/pipe$t" \
+        target/release/bench_pipeline --smoke "$metrics_dir/pipe$t/BENCH_pipeline.json" > /dev/null
+done
+for f in BENCH_pipeline.json bench_pipeline_metrics.json; do
+    if ! cmp -s "$metrics_dir/pipe1/$f" "$metrics_dir/pipe4/$f"; then
+        echo "FAIL: $f differs between 1 and 4 threads" >&2
+        exit 1
+    fi
+done
+# The full fault matrix must stay green with four slots in flight.
+LAZARUS_WINDOW=4 LAZARUS_METRICS_DIR="$metrics_dir" target/release/nemesis 2 > /dev/null
+echo "    bench_pipeline thread-count invariant, window=4 nemesis green"
 
 echo "==> durable storage: journal recovery smoke + bench_cst thread-count invariant"
 # bench_cst writes a journal into a temp dir, reopens it, and replays —

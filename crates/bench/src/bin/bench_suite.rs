@@ -20,7 +20,10 @@
 
 use bytes::Bytes;
 use lazarus_bench::perf::Suite;
-use lazarus_bench::{measure_throughput_profiled, write_bench_json, ThroughputRun};
+use lazarus_bench::{
+    measure_throughput_configured, measure_throughput_profiled, write_bench_json, ThroughputRun,
+};
+use lazarus_bft::batcher::BatchPolicy;
 use lazarus_bft::service::{BlobService, CounterService};
 use lazarus_bft::types::{Epoch, Membership, ReplicaId};
 use lazarus_obs::{Profiler, QueueSample};
@@ -133,6 +136,33 @@ fn sweep_workload(
         suite.push("pipeline", &format!("c{clients}_peak_inbox"), peak_inbox as f64);
         suite.push("pipeline", &format!("c{clients}_peak_pending"), peak_pending as f64);
         queues.extend_from_slice(&run.queues);
+    }
+}
+
+/// Consensus-window sweep in the batch-capped regime (`max_batch` well
+/// below the client population), adaptive batching: the throughput of
+/// each window depth lands in the baseline so `perf_report` catches a
+/// pipelining regression, not just a hot-path one.
+fn window_workload(preset: &Preset, suite: &mut Suite) {
+    let clients = if preset.smoke { 24 } else { 64 };
+    let max_batch = if preset.smoke { 8 } else { 16 };
+    for window in [1u64, 2, 4] {
+        let cfg = SimConfig {
+            window,
+            batch_policy: BatchPolicy::Adaptive,
+            max_batch,
+            ..SimConfig::default()
+        };
+        let run = measure_throughput_configured(
+            cfg,
+            &[PerfProfile::bare_metal(); 4],
+            || Box::new(CounterService::new()),
+            |_| Bytes::new(),
+            clients,
+            preset.echo_secs,
+        );
+        println!("pipeline w={window}: {:.0} ops/s", run.throughput_ops_s);
+        suite.push("pipeline", &format!("w{window}_ops_s"), run.throughput_ops_s);
     }
 }
 
@@ -264,6 +294,7 @@ fn main() {
     echo_workload(&preset, 0, "echo_0b", &profiler, &mut suite, &mut queues);
     echo_workload(&preset, 1024, "echo_1k", &profiler, &mut suite, &mut queues);
     sweep_workload(&preset, &profiler, &mut suite, &mut queues);
+    window_workload(&preset, &mut suite);
     cst_workload(&preset, &profiler, &mut suite, &mut queues);
     reconfig_workload(&profiler, &mut suite, &mut queues);
 

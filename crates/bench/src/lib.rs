@@ -88,6 +88,35 @@ pub fn measure_throughput_profiled(
     }
 }
 
+/// As [`measure_throughput_observed`], but on a caller-supplied
+/// [`SimConfig`] — the pipelining benchmarks sweep `window` and
+/// `batch_policy`, which the default-config helpers pin to the classic
+/// one-slot pipeline.
+pub fn measure_throughput_configured(
+    cfg: SimConfig,
+    profiles: &[PerfProfile],
+    services: impl Fn() -> Box<dyn Service>,
+    payload: impl Fn(u64) -> Bytes + Clone + 'static,
+    clients: usize,
+    run_secs: u64,
+) -> ThroughputRun {
+    let membership = Membership::new(Epoch(0), (0..profiles.len() as u32).map(ReplicaId).collect());
+    let mut sim = SimCluster::new_observed(cfg);
+    for (r, p) in profiles.iter().enumerate() {
+        sim.add_node(ReplicaId(r as u32), *p, membership.clone(), services());
+    }
+    sim.add_clients(1, clients, membership, payload);
+    let horizon: Micros = run_secs * SEC;
+    sim.run_until(horizon);
+    let obs = sim.obs().expect("observed cluster").clone();
+    ThroughputRun {
+        throughput_ops_s: sim.metrics.throughput(SEC, horizon),
+        summary: sim.metrics.summary(),
+        obs,
+        queues: sim.queue_samples().to_vec(),
+    }
+}
+
 /// The canonical metrics-report path for a figure binary: `<bin>_metrics.json`
 /// in the current directory, or under `$LAZARUS_METRICS_DIR` when set.
 pub fn metrics_path(bin: &str) -> std::path::PathBuf {

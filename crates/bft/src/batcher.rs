@@ -1,0 +1,113 @@
+//! Leader-side batch assembly for the consensus pipeline.
+//!
+//! The leader calls [`plan_take`] once per vacant in-window slot to decide
+//! how many eligible pending requests the next PROPOSE should carry. Two
+//! policies exist:
+//!
+//! * [`BatchPolicy::Fixed`] — the classic greedy assembler: take everything
+//!   eligible, capped at `max_batch`. With a window of 1 this is exactly the
+//!   pre-pipelining behaviour.
+//! * [`BatchPolicy::Adaptive`] — queue-depth-aware: spread the eligible
+//!   queue evenly across the free window slots, so light load ships small
+//!   low-latency batches (one request per slot) while overload fills every
+//!   slot toward `max_batch`. This is the policy the roadmap's pipelining
+//!   prototype measured; the signal (`pending_requests()`) is the same
+//!   queue-depth probe the health telemetry samples.
+//!
+//! The function is pure so the policy can be unit-tested at its boundaries
+//! (empty queue, exactly `max_batch`, overload) without a replica.
+
+/// How the leader sizes the batch proposed into a free consensus slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// Take everything eligible up to `max_batch` (greedy; the historical
+    /// single-slot behaviour).
+    #[default]
+    Fixed,
+    /// Divide the eligible queue across the free window slots, clamped to
+    /// `[1, max_batch]` — small batches at low load, full batches under
+    /// overload.
+    Adaptive,
+}
+
+/// Plans the size of the next proposal batch.
+///
+/// `eligible` is the number of pending requests not already carried by an
+/// in-flight proposal; `free_slots` is how many window slots (including the
+/// one being filled) currently have no proposal. Returns 0 when there is
+/// nothing to propose.
+pub fn plan_take(policy: BatchPolicy, eligible: usize, free_slots: u64, max_batch: usize) -> usize {
+    if eligible == 0 {
+        return 0;
+    }
+    let max_batch = max_batch.max(1);
+    match policy {
+        BatchPolicy::Fixed => eligible.min(max_batch),
+        BatchPolicy::Adaptive => {
+            let slots = (free_slots.max(1) as usize).min(eligible);
+            eligible.div_ceil(slots).clamp(1, max_batch)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_queue_proposes_nothing() {
+        for policy in [BatchPolicy::Fixed, BatchPolicy::Adaptive] {
+            assert_eq!(plan_take(policy, 0, 4, 400), 0);
+            assert_eq!(plan_take(policy, 0, 1, 400), 0);
+        }
+    }
+
+    #[test]
+    fn fixed_takes_everything_up_to_max_batch() {
+        assert_eq!(plan_take(BatchPolicy::Fixed, 3, 4, 400), 3);
+        assert_eq!(plan_take(BatchPolicy::Fixed, 400, 4, 400), 400);
+        assert_eq!(plan_take(BatchPolicy::Fixed, 10_000, 4, 400), 400);
+    }
+
+    #[test]
+    fn adaptive_spreads_light_load_across_free_slots() {
+        // 4 requests over 4 free slots: one per slot for minimum latency.
+        assert_eq!(plan_take(BatchPolicy::Adaptive, 4, 4, 400), 1);
+        // 10 requests over 4 slots: ceil(10/4) = 3.
+        assert_eq!(plan_take(BatchPolicy::Adaptive, 10, 4, 400), 3);
+        // Fewer requests than slots: still at least one request per batch.
+        assert_eq!(plan_take(BatchPolicy::Adaptive, 2, 8, 400), 1);
+    }
+
+    #[test]
+    fn adaptive_fills_exactly_max_batch_at_the_boundary() {
+        // eligible == free_slots * max_batch: every slot ships a full batch.
+        assert_eq!(plan_take(BatchPolicy::Adaptive, 4 * 400, 4, 400), 400);
+        // One request short of the boundary stays under max_batch.
+        assert_eq!(plan_take(BatchPolicy::Adaptive, 4 * 400 - 4, 4, 400), 399);
+    }
+
+    #[test]
+    fn overload_clamps_to_max_batch() {
+        assert_eq!(plan_take(BatchPolicy::Adaptive, 1_000_000, 4, 400), 400);
+        assert_eq!(plan_take(BatchPolicy::Adaptive, 1_000_000, 1, 400), 400);
+    }
+
+    #[test]
+    fn single_slot_adaptive_matches_fixed() {
+        // With window=1 the adaptive policy degenerates to the greedy one,
+        // which is what keeps the default configuration byte-identical.
+        for eligible in [1usize, 7, 399, 400, 401, 5_000] {
+            assert_eq!(
+                plan_take(BatchPolicy::Adaptive, eligible, 1, 400),
+                plan_take(BatchPolicy::Fixed, eligible, 1, 400),
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_max_batch_still_makes_progress() {
+        assert_eq!(plan_take(BatchPolicy::Fixed, 5, 1, 0), 1);
+        assert_eq!(plan_take(BatchPolicy::Adaptive, 5, 4, 0), 1);
+    }
+}

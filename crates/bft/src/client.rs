@@ -5,8 +5,14 @@
 //! `f + 1` repliers is correct). Replies carry the membership epoch, so the
 //! client learns about reconfigurations and refreshes its replica set from
 //! the controller when the epoch moves.
+//!
+//! A client multiplexes up to `max_in_flight` concurrent operations over
+//! one logical connection ([`Client::pipelined`]); the default depth of 1
+//! reproduces the classic closed-loop client. Replies for the different
+//! outstanding operations are aggregated independently, keyed by operation
+//! number.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use bytes::Bytes;
 
@@ -17,20 +23,21 @@ use crate::types::{ClientId, Epoch, Membership, ReplicaId};
 /// One in-flight operation.
 #[derive(Debug)]
 struct PendingOp {
-    op: u64,
     payload: Bytes,
     votes: HashMap<Digest, Vec<ReplicaId>>,
     results: HashMap<Digest, Bytes>,
 }
 
-/// A closed-loop BFT client state machine.
+/// A BFT client state machine multiplexing up to `max_in_flight`
+/// outstanding operations (1 = classic closed loop).
 #[derive(Debug)]
 pub struct Client {
     id: ClientId,
     keyring: Keyring,
     membership: Membership,
     next_op: u64,
-    pending: Option<PendingOp>,
+    max_in_flight: usize,
+    pending: BTreeMap<u64, PendingOp>,
 }
 
 /// The completed result of an operation.
@@ -45,9 +52,29 @@ pub struct Completion {
 }
 
 impl Client {
-    /// Creates a client for the given deployment.
+    /// Creates a closed-loop client (one operation in flight at a time).
     pub fn new(id: ClientId, membership: Membership, master_secret: &[u8]) -> Client {
-        Client { id, keyring: Keyring::new(master_secret), membership, next_op: 1, pending: None }
+        Self::pipelined(id, membership, master_secret, 1)
+    }
+
+    /// Creates a client that keeps up to `depth` operations in flight over
+    /// one logical connection (clamped to at least 1). This is how the
+    /// testbed multiplexes the request streams of many simulated clients
+    /// without paying one connection per stream.
+    pub fn pipelined(
+        id: ClientId,
+        membership: Membership,
+        master_secret: &[u8],
+        depth: usize,
+    ) -> Client {
+        Client {
+            id,
+            keyring: Keyring::new(master_secret),
+            membership,
+            next_op: 1,
+            max_in_flight: depth.max(1),
+            pending: BTreeMap::new(),
+        }
     }
 
     /// This client's id.
@@ -65,9 +92,32 @@ impl Client {
         self.membership = membership;
     }
 
-    /// True when an operation is in flight.
+    /// True when the client is at its in-flight capacity (a depth-1 client
+    /// is busy whenever anything is outstanding).
     pub fn busy(&self) -> bool {
-        self.pending.is_some()
+        self.pending.len() >= self.max_in_flight
+    }
+
+    /// True when another operation may be started without panicking.
+    pub fn can_invoke(&self) -> bool {
+        !self.busy()
+    }
+
+    /// Number of operations currently outstanding.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True while operation `op` is still awaiting its `f + 1` quorum.
+    pub fn has_pending(&self, op: u64) -> bool {
+        self.pending.contains_key(&op)
+    }
+
+    fn request_for(&self, op: u64, payload: &Bytes) -> Request {
+        let tag = self
+            .keyring
+            .sign(Principal::Client(self.id.0), &Request::auth_bytes(self.id, op, payload));
+        Request { client: self.id, op, payload: payload.clone(), tag }
     }
 
     /// Starts an operation: returns the request messages to send (one per
@@ -75,40 +125,36 @@ impl Client {
     ///
     /// # Panics
     ///
-    /// Panics if an operation is already in flight (this is a closed-loop
-    /// client).
+    /// Panics if the client already has `max_in_flight` operations in
+    /// flight — check [`Client::can_invoke`] first when pipelining.
     pub fn invoke(&mut self, payload: Bytes) -> Vec<(ReplicaId, Message)> {
-        assert!(self.pending.is_none(), "closed-loop client already has an operation in flight");
+        assert!(self.can_invoke(), "client already at max operations in flight");
         let op = self.next_op;
         self.next_op += 1;
-        let tag = self
-            .keyring
-            .sign(Principal::Client(self.id.0), &Request::auth_bytes(self.id, op, &payload));
-        let request = Request { client: self.id, op, payload: payload.clone(), tag };
-        self.pending =
-            Some(PendingOp { op, payload, votes: HashMap::new(), results: HashMap::new() });
+        let request = self.request_for(op, &payload);
+        self.pending
+            .insert(op, PendingOp { payload, votes: HashMap::new(), results: HashMap::new() });
         self.membership.replicas.iter().map(|&r| (r, Message::Request(request.clone()))).collect()
     }
 
-    /// Retransmission of the in-flight request (on timeout), if any.
+    /// Retransmission of every in-flight request (on timeout), if any,
+    /// lowest operation first.
     pub fn retransmit(&self) -> Vec<(ReplicaId, Message)> {
-        let Some(pending) = &self.pending else { return Vec::new() };
-        let tag = self.keyring.sign(
-            Principal::Client(self.id.0),
-            &Request::auth_bytes(self.id, pending.op, &pending.payload),
-        );
-        let request =
-            Request { client: self.id, op: pending.op, payload: pending.payload.clone(), tag };
+        self.pending.keys().flat_map(|&op| self.retransmit_op(op)).collect()
+    }
+
+    /// Retransmission of one in-flight operation (empty when `op` is no
+    /// longer pending).
+    pub fn retransmit_op(&self, op: u64) -> Vec<(ReplicaId, Message)> {
+        let Some(pending) = self.pending.get(&op) else { return Vec::new() };
+        let request = self.request_for(op, &pending.payload);
         self.membership.replicas.iter().map(|&r| (r, Message::Request(request.clone()))).collect()
     }
 
     /// Processes a reply. Returns the completion once `f + 1` matching
-    /// replies arrived.
+    /// replies arrived for that reply's operation.
     pub fn on_reply(&mut self, reply: Reply) -> Option<Completion> {
-        let pending = self.pending.as_mut()?;
-        if reply.op != pending.op {
-            return None;
-        }
+        let pending = self.pending.get_mut(&reply.op)?;
         // Verify the replica's tag.
         let mut bytes = Vec::with_capacity(16 + reply.result.len());
         bytes.extend_from_slice(&reply.op.to_be_bytes());
@@ -125,9 +171,8 @@ impl Client {
         pending.results.insert(digest, reply.result.clone());
         if voters.len() > self.membership.f() {
             let result = pending.results[&digest].clone();
-            let op = pending.op;
-            self.pending = None;
-            Some(Completion { op, result, epoch: reply.epoch })
+            self.pending.remove(&reply.op);
+            Some(Completion { op: reply.op, result, epoch: reply.epoch })
         } else {
             None
         }
@@ -261,5 +306,35 @@ mod tests {
         let mut c = Client::new(ClientId(7), membership(), b"secret");
         c.invoke(Bytes::from_static(b"a"));
         c.invoke(Bytes::from_static(b"b"));
+    }
+
+    #[test]
+    fn pipelined_client_multiplexes_operations() {
+        let mut c = Client::pipelined(ClientId(7), membership(), b"secret", 3);
+        c.invoke(Bytes::from_static(b"a"));
+        c.invoke(Bytes::from_static(b"b"));
+        assert_eq!(c.in_flight(), 2);
+        assert!(c.can_invoke());
+        c.invoke(Bytes::from_static(b"c"));
+        assert!(c.busy(), "at depth");
+        // Replies aggregate per operation; op 2 can complete before op 1.
+        assert!(c.on_reply(reply_from(&c, 0, 2, b"rb", Epoch(0))).is_none());
+        let done = c.on_reply(reply_from(&c, 1, 2, b"rb", Epoch(0))).expect("op 2 quorum");
+        assert_eq!(done.op, 2);
+        assert_eq!(c.in_flight(), 2);
+        assert!(c.has_pending(1) && !c.has_pending(2) && c.has_pending(3));
+        // Retransmit covers every outstanding op; per-op retransmit is exact.
+        assert_eq!(c.retransmit().len(), 8);
+        assert!(c.retransmit_op(2).is_empty());
+        assert_eq!(c.retransmit_op(3).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "in flight")]
+    fn pipelined_depth_enforced() {
+        let mut c = Client::pipelined(ClientId(7), membership(), b"secret", 2);
+        c.invoke(Bytes::from_static(b"a"));
+        c.invoke(Bytes::from_static(b"b"));
+        c.invoke(Bytes::from_static(b"c"));
     }
 }

@@ -66,14 +66,19 @@ impl Instance {
         match self.digest {
             Some(existing) if self.view == view => existing == digest,
             _ => {
-                self.view = view;
-                self.digest = Some(digest);
-                self.batch = Some(batch);
-                // Votes from an older view are meaningless for the new value.
+                // Votes and phase flags from an older view are meaningless
+                // for the re-proposal: a replica that WROTE or ACCEPTed the
+                // value in the old view must vote again in the new one, or
+                // the quorum can never re-form after a leader change.
                 if self.view != view {
                     self.writes.clear();
                     self.accepts.clear();
+                    self.sent_write = false;
+                    self.sent_accept = false;
                 }
+                self.view = view;
+                self.digest = Some(digest);
+                self.batch = Some(batch);
                 true
             }
         }
@@ -122,6 +127,24 @@ impl Instance {
     /// The write certificate if this replica reached the ACCEPT phase.
     pub fn certificate(&self) -> Option<WriteCertificate> {
         if self.sent_accept && !self.decided {
+            self.batch.clone().map(|batch| WriteCertificate {
+                view: self.view,
+                seq: self.seq,
+                batch,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Leader-change evidence for this slot: the write certificate once the
+    /// ACCEPT phase was reached, or the decided batch itself. A decision is
+    /// irrevocable even while the slot waits (decided-but-unexecuted) for
+    /// its predecessors, so a new leader must carry the value forward
+    /// unchanged — which is why, unlike [`certificate`](Instance::certificate),
+    /// decided slots report evidence too.
+    pub fn evidence(&self) -> Option<WriteCertificate> {
+        if self.sent_accept || self.decided {
             self.batch.clone().map(|batch| WriteCertificate {
                 view: self.view,
                 seq: self.seq,

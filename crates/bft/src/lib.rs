@@ -2,12 +2,15 @@
 //!
 //! A from-scratch, BFT-SMaRt-inspired replication kernel:
 //!
-//! * [`replica`] — the Mod-SMaRt-style replica state machine: sequential
-//!   PROPOSE/WRITE/ACCEPT consensus with Byzantine quorums, request
+//! * [`replica`] — the Mod-SMaRt-style replica state machine: pipelined
+//!   PROPOSE/WRITE/ACCEPT consensus (up to a configurable window of slots
+//!   in flight, executed in order) with Byzantine quorums, request
 //!   watchdogs, STOP/STOP-DATA/SYNC leader change, quorum-stable
 //!   checkpoints, state transfer, and controller-driven replica-set
 //!   **reconfiguration** (the mechanism Lazarus uses to rotate diverse
 //!   replicas in and out, paper §5.2/§7.3);
+//! * [`batcher`] — the leader-side batch assembler (fixed or
+//!   queue-depth-adaptive sizing);
 //! * [`client`] — the `f + 1`-matching-replies client;
 //! * [`service`] — the deterministic state-machine trait applications
 //!   implement;
@@ -42,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batcher;
 pub mod client;
 pub mod consensus;
 pub mod crypto;
@@ -55,7 +59,9 @@ pub mod storage;
 pub mod testkit;
 pub mod types;
 
+pub use batcher::BatchPolicy;
 pub use client::Client;
-pub use replica::{Action, Replica, ReplicaConfig, Status, TimerId};
+pub use obs::Instruments;
+pub use replica::{Action, Ctx, Replica, ReplicaConfig, Status, TimerId};
 pub use service::Service;
 pub use types::{ClientId, Epoch, Membership, ReplicaId, SeqNo, View};

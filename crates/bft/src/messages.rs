@@ -332,6 +332,26 @@ pub struct CstReply {
 }
 
 impl CstReply {
+    /// Digest over everything [`CstReply::summary_digest`] covers *except*
+    /// the decided suffix: checkpoint seq, snapshot digest, chunk manifest,
+    /// and membership. Donors serving the same stable checkpoint share this
+    /// base even when their live logs are caught at different decided
+    /// points; certification then installs the longest suffix prefix the
+    /// f + 1 base-matching donors agree on.
+    pub fn base_digest(&self) -> Digest {
+        let mut parts: Vec<Vec<u8>> = vec![
+            self.checkpoint_seq.0.to_be_bytes().to_vec(),
+            self.snapshot_digest.0.to_vec(),
+            self.manifest.digest().0.to_vec(),
+            self.membership.epoch.0.to_be_bytes().to_vec(),
+        ];
+        for r in &self.membership.replicas {
+            parts.push(r.0.to_be_bytes().to_vec());
+        }
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        Digest::of_parts(&refs)
+    }
+
     /// Digest summarizing the reply (checkpoint digest + chunk manifest +
     /// suffix digests + membership), used to cross-check `f + 1` replies.
     pub fn summary_digest(&self) -> Digest {
@@ -388,8 +408,11 @@ pub enum Message {
         new_view: View,
         /// Highest slot decided by the sender.
         last_decided: SeqNo,
-        /// The sender's write certificate for the in-flight slot, if any.
-        prepared: Option<WriteCertificate>,
+        /// The sender's evidence for every in-flight window slot: write
+        /// certificates where the ACCEPT phase was reached, plus the
+        /// batches of slots decided out of order (not yet covered by
+        /// `last_decided`), ordered by slot.
+        prepared: Vec<WriteCertificate>,
     },
     /// Leader-change: `SYNC` — the new leader's installation message.
     Sync {
@@ -397,9 +420,11 @@ pub enum Message {
         from: ReplicaId,
         /// The view being installed.
         new_view: View,
-        /// The value that must be re-proposed first, if any (the highest
-        /// write certificate among 2f+1 STOP-DATA messages).
-        repropose: Option<WriteCertificate>,
+        /// The values that must be re-proposed before new proposals, ordered
+        /// by slot: for each undecided window slot the highest write
+        /// certificate among 2f+1 STOP-DATA messages (or an explicit no-op
+        /// filler for a hole below a certified slot).
+        repropose: Vec<WriteCertificate>,
     },
     /// State-transfer request: the sender wants everything after `from_seq`.
     CstRequest {
@@ -478,20 +503,18 @@ impl Message {
             Message::StopData { prepared, .. } => {
                 HEADER
                     + prepared
-                        .as_ref()
-                        .map(|c| {
-                            c.batch.requests().iter().map(|r| 48 + r.payload.len()).sum::<usize>()
-                        })
-                        .unwrap_or(0)
+                        .iter()
+                        .flat_map(|c| c.batch.requests().iter())
+                        .map(|r| 48 + r.payload.len())
+                        .sum::<usize>()
             }
             Message::Sync { repropose, .. } => {
                 HEADER
                     + repropose
-                        .as_ref()
-                        .map(|c| {
-                            c.batch.requests().iter().map(|r| 48 + r.payload.len()).sum::<usize>()
-                        })
-                        .unwrap_or(0)
+                        .iter()
+                        .flat_map(|c| c.batch.requests().iter())
+                        .map(|r| 48 + r.payload.len())
+                        .sum::<usize>()
             }
             Message::CstRequest { .. } => HEADER,
             Message::CstReply { from: _, reply } => {

@@ -74,6 +74,78 @@ fn reason_slot(reason: &str) -> usize {
     REJECT_REASONS.iter().position(|&r| r == reason).unwrap_or(0)
 }
 
+/// The replica instrumentation bundle: every optional observer a
+/// [`Replica`](crate::replica::Replica) accepts, attached in one
+/// [`attach`](crate::replica::Replica::attach) call instead of four
+/// separate setters. Embedders build one with the `with_*` combinators and
+/// hand clones to each replica:
+///
+/// ```ignore
+/// replica.attach(Instruments::new().with_obs(obs.clone()).with_flight(rec));
+/// ```
+///
+/// Only the present fields are applied, in dependency order — the health
+/// tracker hooks into the metrics bundle, so `obs` (when present) attaches
+/// first.
+#[derive(Clone, Default)]
+pub struct Instruments {
+    /// Shared metrics/tracer bundle (registry + injected clock).
+    pub obs: Option<Obs>,
+    /// Streaming health tracker. Requires `obs` (attached previously or in
+    /// the same bundle); ignored otherwise.
+    pub health: Option<HealthTracker>,
+    /// Causal flight recorder for this replica's protocol events.
+    pub flight: Option<lazarus_obs::causal::FlightRecorder>,
+    /// Phase profiler (deterministic call counts, embedder-charged time).
+    pub profiler: Option<lazarus_obs::profile::Profiler>,
+}
+
+impl Instruments {
+    /// An empty bundle (attaching it is a no-op).
+    pub fn new() -> Instruments {
+        Instruments::default()
+    }
+
+    /// Adds the shared metrics/tracer bundle.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Instruments {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Adds the streaming health tracker.
+    #[must_use]
+    pub fn with_health(mut self, health: HealthTracker) -> Instruments {
+        self.health = Some(health);
+        self
+    }
+
+    /// Adds the causal flight recorder.
+    #[must_use]
+    pub fn with_flight(mut self, flight: lazarus_obs::causal::FlightRecorder) -> Instruments {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// Adds the phase profiler.
+    #[must_use]
+    pub fn with_profiler(mut self, profiler: lazarus_obs::profile::Profiler) -> Instruments {
+        self.profiler = Some(profiler);
+        self
+    }
+}
+
+impl std::fmt::Debug for Instruments {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instruments")
+            .field("obs", &self.obs.is_some())
+            .field("health", &self.health.is_some())
+            .field("flight", &self.flight.is_some())
+            .field("profiler", &self.profiler.is_some())
+            .finish()
+    }
+}
+
 /// Per-slot clock marks along the commit critical path.
 #[derive(Debug, Clone, Copy)]
 struct SlotMarks {

@@ -57,6 +57,36 @@ pub enum TimerId {
     Cst,
 }
 
+/// Per-input context the embedding runtime hands the replica alongside a
+/// message or timer. Today it carries the optional causal [`TraceCtx`] of
+/// the transport's receive (or timer) span; bundling it as a struct keeps
+/// the ingress API at one entry point per input kind, so future per-input
+/// metadata (deadlines, priorities) extends this struct instead of forking
+/// `on_message` again.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ctx {
+    /// Causal context of the input; `None` makes the events recorded while
+    /// handling it causal roots.
+    pub trace: Option<TraceCtx>,
+}
+
+impl Ctx {
+    /// An input with no causal context (a root).
+    pub const UNTRACED: Ctx = Ctx { trace: None };
+
+    /// An input handled under `trace`: every protocol event recorded while
+    /// it runs links to that span.
+    pub fn traced(trace: TraceCtx) -> Ctx {
+        Ctx { trace: Some(trace) }
+    }
+}
+
+impl From<Option<TraceCtx>> for Ctx {
+    fn from(trace: Option<TraceCtx>) -> Ctx {
+        Ctx { trace }
+    }
+}
+
 /// Effects requested by the state machine.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Action {
@@ -83,6 +113,45 @@ pub enum Action {
     Retired,
     /// This replica finished a state transfer at the given slot.
     StateTransferred(SeqNo),
+}
+
+/// Per-client at-most-once execution ledger.
+///
+/// A pipelined client keeps several operations outstanding at once, and a
+/// view change can commit them *out of op order* (an abandoned slot's
+/// request is re-proposed after a later op already executed). Executed-op
+/// tracking is therefore exact, not a monotone high-water mark: `hwm`
+/// covers the contiguous executed prefix, and `replies` caches the reply
+/// for `hwm` plus every executed op above it — at most the client's
+/// pipeline depth plus one entries.
+#[derive(Debug, Clone, Default)]
+struct ClientLedger {
+    /// Every op `<= hwm` has executed.
+    hwm: u64,
+    /// Cached replies: the op at `hwm` plus executed ops above it.
+    replies: BTreeMap<u64, Reply>,
+}
+
+impl ClientLedger {
+    /// True when `op` already executed (its re-execution must be refused).
+    fn executed(&self, op: u64) -> bool {
+        op <= self.hwm || self.replies.contains_key(&op)
+    }
+
+    /// The cached reply for `op`, when still held.
+    fn reply(&self, op: u64) -> Option<&Reply> {
+        self.replies.get(&op)
+    }
+
+    /// Records an execution, advancing the contiguous prefix and dropping
+    /// reply cache entries below it.
+    fn record(&mut self, op: u64, reply: Reply) {
+        self.replies.insert(op, reply);
+        while self.replies.contains_key(&(self.hwm + 1)) {
+            self.hwm += 1;
+        }
+        self.replies.retain(|&o, _| o >= self.hwm);
+    }
 }
 
 /// Liveness/participation status.
@@ -124,6 +193,12 @@ pub struct ReplicaConfig {
     /// manifest a donor derives must match the one the requester
     /// certified).
     pub cst_chunk_bytes: usize,
+    /// Consensus pipelining window: how many slots may be in flight above
+    /// the last executed slot (BFT-SMaRt-style). 1 (the default) keeps the
+    /// classic single-open-slot behaviour; values are clamped to at least 1.
+    pub window: u64,
+    /// How the leader sizes proposal batches (see [`crate::batcher`]).
+    pub batch_policy: crate::batcher::BatchPolicy,
 }
 
 impl ReplicaConfig {
@@ -140,6 +215,8 @@ impl ReplicaConfig {
             join: false,
             initial_view: View(0),
             cst_chunk_bytes: 256 * 1024,
+            window: 1,
+            batch_policy: crate::batcher::BatchPolicy::Fixed,
         }
     }
 }
@@ -214,7 +291,12 @@ pub struct Replica<S: Service> {
     // SHA-256 recomputation on every scan dominates profiles otherwise.
     pending: VecDeque<(Digest, Request)>,
     pending_digests: HashSet<Digest>,
-    last_replies: HashMap<ClientId, (u64, Reply)>,
+    // Pending requests already carried by an in-flight proposal (always a
+    // subset of `pending_digests`): with several slots open concurrently,
+    // the leader must not propose the same request into two batches.
+    // Cleared on view change (re-proposals restore it from certificates).
+    in_flight: HashSet<Digest>,
+    last_replies: HashMap<ClientId, ClientLedger>,
     watchdog_strikes: u8,
     executed_at_last_strike: SeqNo,
 
@@ -231,7 +313,7 @@ pub struct Replica<S: Service> {
 
     // Leader change.
     stops: HashMap<u64, HashSet<ReplicaId>>,
-    stop_datas: HashMap<u64, HashMap<ReplicaId, (SeqNo, Option<WriteCertificate>)>>,
+    stop_datas: HashMap<u64, HashMap<ReplicaId, (SeqNo, Vec<WriteCertificate>)>>,
     sent_stop_for: Option<View>,
 
     // State transfer. The chunk store outlives individual CST rounds so
@@ -341,7 +423,7 @@ impl<S: Service> Replica<S> {
 
     /// Emits the recovery gauge + flight event for a reboot. Separate from
     /// [`Replica::recover`] because instrumentation attaches after
-    /// construction ([`Self::attach_obs`] / [`Self::attach_flight`]).
+    /// construction ([`Self::attach`]).
     pub fn note_recovered(&mut self, info: &RecoveryInfo) {
         if let Some(obs) = &self.obs {
             obs.recovered(info.stable_seq, info.virtual_us, info.torn_tail);
@@ -363,6 +445,7 @@ impl<S: Service> Replica<S> {
             status,
             pending: VecDeque::new(),
             pending_digests: HashSet::new(),
+            in_flight: HashSet::new(),
             last_replies: HashMap::new(),
             watchdog_strikes: 0,
             executed_at_last_strike: SeqNo(0),
@@ -440,30 +523,59 @@ impl<S: Service> Replica<S> {
         self.membership.leader(self.view) == self.cfg.id
     }
 
-    /// Attaches an instrumentation bundle built against `obs`'s shared
-    /// registry, tracer, and clock. Without one, every hook is a single
-    /// `Option` branch.
-    pub fn attach_obs(&mut self, obs: &lazarus_obs::Obs) {
-        self.obs = Some(ReplicaObs::new(obs, self.cfg.id));
-    }
-
-    /// Attaches the streaming health tracker (requires [`Self::attach_obs`]
-    /// first — health signals flow through the same hook sites). The
-    /// replica registers itself under its current view and leader.
-    pub fn attach_health(&mut self, health: lazarus_obs::HealthTracker) {
-        let view = self.view;
-        let leader = self.membership.leader(view);
-        if let Some(obs) = self.obs.as_mut() {
-            obs.attach_health(health, view, leader);
+    /// Attaches an instrumentation bundle: metrics, health tracking, the
+    /// causal flight recorder, and the phase profiler — each optional,
+    /// applied in dependency order (the health tracker hooks into the
+    /// metrics bundle, so `obs` attaches first).
+    ///
+    /// * metrics (`obs`) — per-replica counters/histograms against the
+    ///   shared registry and injected clock; without one every hook is a
+    ///   single `Option` branch;
+    /// * health — the streaming tracker; the replica registers itself under
+    ///   its current view and leader (requires metrics, now or earlier);
+    /// * flight — protocol milestones (propose / write / accept / commit /
+    ///   exec / view-change / help re-vote / cst) recorded into its ring,
+    ///   each parented to the context of the input being handled;
+    /// * profiler — every input opens a scope at
+    ///   `replica_<id>;on_message;<label>` (or `on_timer`) with internal
+    ///   phases as children. In the discrete-event testbed the clock is
+    ///   frozen while a handler runs, so scopes contribute deterministic
+    ///   call counts; virtual time is charged by the embedder.
+    pub fn attach(&mut self, instruments: crate::obs::Instruments) {
+        if let Some(obs) = &instruments.obs {
+            self.obs = Some(ReplicaObs::new(obs, self.cfg.id));
+        }
+        if let Some(health) = instruments.health {
+            let view = self.view;
+            let leader = self.membership.leader(view);
+            if let Some(obs) = self.obs.as_mut() {
+                obs.attach_health(health, view, leader);
+            }
+        }
+        if let Some(flight) = instruments.flight {
+            self.flight = Some(flight);
+        }
+        if let Some(profiler) = instruments.profiler {
+            self.profiler = Some(profiler);
         }
     }
 
-    /// Attaches the causal flight recorder: protocol milestones
-    /// (propose / write / accept / commit / exec / view-change / help
-    /// re-vote / cst) are recorded into its ring, each parented to the
-    /// context of the input being handled.
+    /// Attaches the metrics bundle only.
+    #[deprecated(note = "use Replica::attach with an Instruments bundle")]
+    pub fn attach_obs(&mut self, obs: &lazarus_obs::Obs) {
+        self.attach(crate::obs::Instruments::new().with_obs(obs.clone()));
+    }
+
+    /// Attaches the streaming health tracker only.
+    #[deprecated(note = "use Replica::attach with an Instruments bundle")]
+    pub fn attach_health(&mut self, health: lazarus_obs::HealthTracker) {
+        self.attach(crate::obs::Instruments::new().with_health(health));
+    }
+
+    /// Attaches the causal flight recorder only.
+    #[deprecated(note = "use Replica::attach with an Instruments bundle")]
     pub fn attach_flight(&mut self, flight: FlightRecorder) {
-        self.flight = Some(flight);
+        self.attach(crate::obs::Instruments::new().with_flight(flight));
     }
 
     /// The attached flight recorder, if any.
@@ -471,14 +583,10 @@ impl<S: Service> Replica<S> {
         self.flight.as_ref()
     }
 
-    /// Attaches a phase profiler: every input handled opens a scope at
-    /// `replica_<id>;on_message;<label>` (or `on_timer`), and internal
-    /// phases — enqueue, propose, execute, cst — open children of it. In
-    /// the discrete-event testbed the clock is frozen while a handler
-    /// runs, so these scopes contribute deterministic call counts and
-    /// wall-clock self-times; virtual time is charged by the embedder.
+    /// Attaches the phase profiler only.
+    #[deprecated(note = "use Replica::attach with an Instruments bundle")]
     pub fn attach_profiler(&mut self, profiler: Profiler) {
-        self.profiler = Some(profiler);
+        self.attach(crate::obs::Instruments::new().with_profiler(profiler));
     }
 
     /// Opens the root scope for one input; the returned value is stored in
@@ -499,10 +607,10 @@ impl<S: Service> Replica<S> {
         self.pending.len()
     }
 
-    /// Consensus instances open above the last decided slot — the
-    /// decided-but-unexecuted gap the queue sampler reports. Execution is
-    /// immediate on decide in this codebase, so the gap measures in-flight
-    /// ordering work.
+    /// Consensus instances open above the last executed slot — in-flight
+    /// ordering work plus any decided-but-unexecuted slots waiting for the
+    /// contiguous prefix to catch up (with `window > 1` decisions can land
+    /// out of order; execution stays in slot order).
     pub fn open_instances(&self) -> usize {
         self.insts.range(self.last_decided.0 + 1..).count()
     }
@@ -570,17 +678,13 @@ impl<S: Service> Replica<S> {
         actions
     }
 
-    /// Handles a protocol message.
-    pub fn on_message(&mut self, message: Message) -> Vec<Action> {
-        self.on_message_traced(message, None)
-    }
-
-    /// [`on_message`](Replica::on_message) under a causal context: the
+    /// Handles a protocol message under the given input [`Ctx`]: the
     /// transport passes the [`TraceCtx`] of its receive span (adopted from
-    /// the wire envelope), and every protocol event recorded while this
-    /// input runs links to it. `None` makes the events causal roots.
-    pub fn on_message_traced(&mut self, message: Message, ctx: Option<TraceCtx>) -> Vec<Action> {
-        self.cur_ctx = ctx.unwrap_or(TraceCtx::root(NO_SPAN, NO_SPAN));
+    /// the wire envelope) via [`Ctx::traced`], and every protocol event
+    /// recorded while this input runs links to it; [`Ctx::UNTRACED`] makes
+    /// the events causal roots.
+    pub fn on_message(&mut self, message: Message, ctx: Ctx) -> Vec<Action> {
+        self.cur_ctx = ctx.trace.unwrap_or(TraceCtx::root(NO_SPAN, NO_SPAN));
         if self.status == Status::Retired {
             return Vec::new();
         }
@@ -629,16 +733,18 @@ impl<S: Service> Replica<S> {
         actions
     }
 
-    /// Handles a timer expiry.
-    pub fn on_timer(&mut self, timer: TimerId) -> Vec<Action> {
-        self.on_timer_traced(timer, None)
+    /// [`on_message`](Replica::on_message) with the context passed as a
+    /// bare optional trace.
+    #[deprecated(note = "use on_message(message, ctx) with a replica::Ctx")]
+    pub fn on_message_traced(&mut self, message: Message, ctx: Option<TraceCtx>) -> Vec<Action> {
+        self.on_message(message, Ctx::from(ctx))
     }
 
-    /// [`on_timer`](Replica::on_timer) under a causal context (the
+    /// Handles a timer expiry under the given input [`Ctx`] (the
     /// transport's timer span — timers are causal roots of everything they
     /// trigger, e.g. watchdog-driven view changes).
-    pub fn on_timer_traced(&mut self, timer: TimerId, ctx: Option<TraceCtx>) -> Vec<Action> {
-        self.cur_ctx = ctx.unwrap_or(TraceCtx::root(NO_SPAN, NO_SPAN));
+    pub fn on_timer(&mut self, timer: TimerId, ctx: Ctx) -> Vec<Action> {
+        self.cur_ctx = ctx.trace.unwrap_or(TraceCtx::root(NO_SPAN, NO_SPAN));
         if self.status == Status::Retired {
             return Vec::new();
         }
@@ -669,6 +775,13 @@ impl<S: Service> Replica<S> {
         actions
     }
 
+    /// [`on_timer`](Replica::on_timer) with the context passed as a bare
+    /// optional trace.
+    #[deprecated(note = "use on_timer(timer, ctx) with a replica::Ctx")]
+    pub fn on_timer_traced(&mut self, timer: TimerId, ctx: Option<TraceCtx>) -> Vec<Action> {
+        self.on_timer(timer, Ctx::from(ctx))
+    }
+
     // -----------------------------------------------------------------
     // Requests and proposals
     // -----------------------------------------------------------------
@@ -687,8 +800,8 @@ impl<S: Service> Replica<S> {
             return;
         }
         // Drop already-answered or queued duplicates.
-        if let Some((last_op, _)) = self.last_replies.get(&request.client) {
-            if request.op <= *last_op && request.client != CONTROLLER_CLIENT {
+        if let Some(ledger) = self.last_replies.get(&request.client) {
+            if ledger.executed(request.op) && request.client != CONTROLLER_CLIENT {
                 self.reject("stale-request");
                 return;
             }
@@ -706,29 +819,78 @@ impl<S: Service> Replica<S> {
         self.last_decided.next()
     }
 
+    /// The configured pipelining window, clamped to at least one slot.
+    fn window(&self) -> u64 {
+        self.cfg.window.max(1)
+    }
+
+    /// Highest slot currently eligible for consensus work: slots in
+    /// `(last_decided, horizon]` are in the window; traffic beyond it is
+    /// buffered in `future` until execution slides the window forward.
+    fn horizon(&self) -> u64 {
+        self.last_decided.0 + self.window()
+    }
+
     fn instance(&mut self, seq: SeqNo) -> &mut Instance {
         let view = self.view;
         self.insts.entry(seq.0).or_insert_with(|| Instance::new(seq, view))
     }
 
+    /// Fills vacant window slots with proposals. With `window=1` this is
+    /// the classic single-open-slot assembler; with a wider window the
+    /// leader keeps proposing into free slots while earlier slots are still
+    /// gathering votes, and the [`crate::batcher`] policy decides how much
+    /// of the eligible queue each proposal carries.
     fn maybe_propose(&mut self, actions: &mut Vec<Action>) {
-        if self.status != Status::Active || !self.is_leader() || self.pending.is_empty() {
+        if self.status != Status::Active || !self.is_leader() {
             return;
         }
-        let seq = self.open_slot();
-        let view = self.view;
-        if self.instance(seq).batch.is_some() {
-            return; // a proposal is already in flight
+        loop {
+            // Lowest vacant in-window slot, and the free-slot count the
+            // adaptive policy divides the queue over.
+            let mut target = None;
+            let mut free = 0u64;
+            for s in self.last_decided.0 + 1..=self.horizon() {
+                let vacant = self.insts.get(&s).is_none_or(|i| i.batch.is_none() && !i.decided);
+                if vacant {
+                    free += 1;
+                    if target.is_none() {
+                        target = Some(SeqNo(s));
+                    }
+                }
+            }
+            let Some(seq) = target else { return };
+            let eligible = self.pending.len().saturating_sub(self.in_flight.len());
+            let take = crate::batcher::plan_take(
+                self.cfg.batch_policy,
+                eligible,
+                free,
+                self.cfg.max_batch,
+            );
+            if take == 0 {
+                return;
+            }
+            let _phase = self.phase_scope("propose");
+            self.last_batch_fill = take;
+            let mut taken: Vec<Digest> = Vec::with_capacity(take);
+            let mut requests: Vec<Request> = Vec::with_capacity(take);
+            for (digest, request) in &self.pending {
+                if requests.len() == take {
+                    break;
+                }
+                if self.in_flight.contains(digest) {
+                    continue;
+                }
+                taken.push(*digest);
+                requests.push(request.clone());
+            }
+            self.in_flight.extend(taken);
+            let view = self.view;
+            let batch = Batch::new(requests);
+            let msg = ConsensusMsg::Propose { view, seq, batch: batch.clone() };
+            self.broadcast_consensus(msg.clone(), actions);
+            self.handle_consensus_local(self.cfg.id, msg, actions);
         }
-        let _phase = self.phase_scope("propose");
-        let take = self.cfg.max_batch.min(self.pending.len());
-        self.last_batch_fill = take;
-        let requests: Vec<Request> =
-            self.pending.iter().take(take).map(|(_, r)| r.clone()).collect();
-        let batch = Batch::new(requests);
-        let msg = ConsensusMsg::Propose { view, seq, batch: batch.clone() };
-        self.broadcast_consensus(msg.clone(), actions);
-        self.handle_consensus_local(self.cfg.id, msg, actions);
     }
 
     /// Emits one [`Action::Broadcast`] of `message` to every other replica.
@@ -801,10 +963,11 @@ impl<S: Service> Replica<S> {
             self.reject("non-member");
             return;
         }
-        if seq.0 > self.open_slot().0 {
-            // Ahead of us: buffer. If the cluster is provably past our open
-            // slot (f+1 distinct senders vouch for a future slot — at least
-            // one of them is correct) or the gap is large, transfer state.
+        if seq.0 > self.horizon() {
+            // Beyond the window: buffer. If the cluster is provably past our
+            // window (f+1 distinct senders vouch for a slot beyond it — at
+            // least one of them is correct) or the gap is large, transfer
+            // state.
             self.future.entry(seq.0).or_default().push((from, msg));
             let distinct: HashSet<ReplicaId> = self
                 .future
@@ -821,7 +984,7 @@ impl<S: Service> Replica<S> {
         self.handle_consensus_local(from, msg, actions);
     }
 
-    /// Core consensus handling for the open slot (assumes `seq` is open).
+    /// Core consensus handling for one in-window slot.
     fn handle_consensus_local(
         &mut self,
         from: ReplicaId,
@@ -829,6 +992,13 @@ impl<S: Service> Replica<S> {
         actions: &mut Vec<Action>,
     ) {
         let seq = msg.seq();
+        // Callers gate on the window, but replaying buffered traffic can
+        // decide slots mid-loop — messages that went stale (or slid beyond
+        // the advancing horizon) while buffered are dropped here rather
+        // than resurrecting bookkeeping for a closed slot.
+        if seq.0 <= self.last_decided.0 || seq.0 > self.horizon() {
+            return;
+        }
         let view = self.view;
         match msg {
             ConsensusMsg::Propose { view: pview, seq, batch } => {
@@ -868,9 +1038,12 @@ impl<S: Service> Replica<S> {
         self.try_advance(seq, actions);
     }
 
-    /// Drives the open slot through its phases as evidence accumulates.
+    /// Drives one slot through its phases as evidence accumulates. Slots
+    /// advance independently — any in-window slot (or a view-change
+    /// re-proposal just beyond it) may reach a decision out of order; only
+    /// *execution* is serialized, by [`Self::execute_ready`].
     fn try_advance(&mut self, seq: SeqNo, actions: &mut Vec<Action>) {
-        if seq != self.open_slot() {
+        if seq.0 <= self.last_decided.0 {
             return;
         }
         let quorum = self.membership.quorum();
@@ -913,46 +1086,64 @@ impl<S: Service> Replica<S> {
             }
         }
         let inst = self.insts.get_mut(&seq.0).expect("instance exists");
-        // Decision.
+        // Decision. The slot may be ahead of the contiguous prefix — it
+        // stays decided-but-unexecuted (the gap `open_instances()` reports)
+        // until its predecessors land.
         if inst.accept_votes() >= quorum && inst.batch.is_some() {
             inst.decided = true;
-            let batch = inst.batch.clone().expect("checked");
-            self.decide(seq, batch, actions);
+            self.execute_ready(actions);
         }
     }
 
-    /// Applies a decided slot: log append, checkpointing, execution, and
-    /// opening the next slot.
-    fn decide(&mut self, seq: SeqNo, batch: Batch, actions: &mut Vec<Action>) {
-        debug_assert_eq!(seq, self.open_slot());
-        let checkpoint_due = self.log.append(seq, batch.clone());
-        self.execute_batch(seq, &batch, actions);
-        self.last_decided = seq;
-        self.insts.remove(&seq.0);
-        if let Some(obs) = self.obs.as_mut() {
-            obs.decided(seq);
-        }
-        self.flight_event(EventKind::Commit, Some(seq.0), Some(self.view.0), batch.len() as u64);
-        if checkpoint_due {
-            let snapshot = self.service.snapshot();
-            let digest = self.log.local_checkpoint(seq, snapshot);
-            let msg = CheckpointMsg { seq, digest };
-            self.broadcast(Message::Checkpoint { from: self.cfg.id, msg }, actions);
-            // Count our own vote.
-            let quorum = self.membership.quorum();
-            self.log.on_checkpoint_vote(self.cfg.id, seq, digest, quorum);
-            if let Some(obs) = &self.obs {
-                obs.checkpoint(seq);
+    /// Applies the contiguous prefix of decided slots in order: log append,
+    /// execution, checkpointing — then replays buffered traffic that slid
+    /// into the advanced window and refills it with proposals. Decisions
+    /// landing out of order wait in `insts` until the slot below them
+    /// executes.
+    fn execute_ready(&mut self, actions: &mut Vec<Action>) {
+        loop {
+            let next = self.open_slot();
+            let ready =
+                self.insts.get(&next.0).is_some_and(|inst| inst.decided && inst.batch.is_some());
+            if !ready {
+                break;
             }
+            let Some(inst) = self.insts.remove(&next.0) else { break };
+            let Some(batch) = inst.batch else { break };
+            let checkpoint_due = self.log.append(next, batch.clone());
+            self.execute_batch(next, &batch, actions);
+            self.last_decided = next;
+            if let Some(obs) = self.obs.as_mut() {
+                obs.decided(next);
+            }
+            self.flight_event(
+                EventKind::Commit,
+                Some(next.0),
+                Some(self.view.0),
+                batch.len() as u64,
+            );
+            if checkpoint_due {
+                let snapshot = self.service.snapshot();
+                let digest = self.log.local_checkpoint(next, snapshot);
+                let msg = CheckpointMsg { seq: next, digest };
+                self.broadcast(Message::Checkpoint { from: self.cfg.id, msg }, actions);
+                // Count our own vote.
+                let quorum = self.membership.quorum();
+                self.log.on_checkpoint_vote(self.cfg.id, next, digest, quorum);
+                if let Some(obs) = &self.obs {
+                    obs.checkpoint(next);
+                }
+            }
+            // Progress resets the watchdog escalation (and its baseline, so
+            // the next timer tick doesn't see stale progress).
+            self.watchdog_strikes = 0;
+            self.executed_at_last_strike = next;
         }
-        // Progress resets the watchdog escalation (and its baseline, so the
-        // next timer tick doesn't see stale progress).
-        self.watchdog_strikes = 0;
-        self.executed_at_last_strike = seq;
 
-        // Open the next slot and replay buffered messages for it.
-        let next = self.open_slot();
-        if let Some(buffered) = self.future.remove(&next.0) {
+        // Execution slid the window forward: replay buffered messages for
+        // every slot now inside it, lowest first.
+        while let Some(slot) = self.future.range(..=self.horizon()).next().map(|(&slot, _)| slot) {
+            let Some(buffered) = self.future.remove(&slot) else { break };
             for (from, msg) in buffered {
                 self.handle_consensus_local(from, msg, actions);
             }
@@ -966,6 +1157,7 @@ impl<S: Service> Replica<S> {
         for request in batch.requests() {
             let digest = request.digest();
             if self.pending_digests.remove(&digest) {
+                self.in_flight.remove(&digest);
                 if let Some(pos) = self.pending.iter().position(|(d, _)| *d == digest) {
                     self.pending.remove(pos);
                 }
@@ -975,20 +1167,22 @@ impl<S: Service> Replica<S> {
                 executed += 1;
                 continue;
             }
-            // At-most-once execution per (client, op).
-            if let Some((last_op, reply)) = self.last_replies.get(&request.client) {
-                if request.op < *last_op {
+            // At-most-once execution per (client, op): a duplicate with a
+            // cached reply gets the cached reply resent; an executed op
+            // whose reply aged out of the cache is silently refused.
+            if let Some(ledger) = self.last_replies.get(&request.client) {
+                if let Some(reply) = ledger.reply(request.op) {
+                    actions.push(Action::SendClient(request.client, reply.clone()));
                     continue;
                 }
-                if request.op == *last_op {
-                    actions.push(Action::SendClient(request.client, reply.clone()));
+                if ledger.executed(request.op) {
                     continue;
                 }
             }
             let result = self.service.execute(request.client, &request.payload);
             executed += 1;
             let reply = self.make_reply(request.op, result);
-            self.last_replies.insert(request.client, (request.op, reply.clone()));
+            self.last_replies.entry(request.client).or_default().record(request.op, reply.clone());
             if self.status != Status::StateTransfer {
                 actions.push(Action::SendClient(request.client, reply));
             }
@@ -1077,21 +1271,47 @@ impl<S: Service> Replica<S> {
     }
 
     fn record_stop(&mut self, from: ReplicaId, view: View, actions: &mut Vec<Action>) {
-        let votes = self.stops.entry(view.0).or_default();
-        votes.insert(from);
-        let count = votes.len();
+        self.stops.entry(view.0).or_default().insert(from);
         let f = self.membership.f();
-        if count > f && view == self.view && self.sent_stop_for.is_none_or(|v| v < view) {
+        // Regency catch-up (Mod-SMaRt): f + 1 distinct replicas — at least
+        // one of them correct — are stopping a view *ahead* of ours, so we
+        // missed one or more leader changes (their SYNCs were lost). Views
+        // can otherwise split permanently: each replica STOPs only its own
+        // view, no view ever gathers a quorum, and every view's leader sits
+        // in a different view. Adopt the lowest such view and join its wave.
+        let jump = self
+            .stops
+            .iter()
+            .filter(|&(&v, votes)| v > self.view.0 && votes.len() > f)
+            .map(|(&v, _)| v)
+            .min();
+        if let Some(v) = jump {
+            self.adopt_view(View(v));
+        }
+        let cur = self.view;
+        let count = self.stops.get(&cur.0).map(HashSet::len).unwrap_or(0);
+        if count > f && self.sent_stop_for.is_none_or(|v| v < cur) {
             // Join the stop wave (Mod-SMaRt's f+1 amplification).
-            self.sent_stop_for = Some(view);
-            self.broadcast(Message::Stop { from: self.cfg.id, view }, actions);
-            let votes = self.stops.entry(view.0).or_default();
-            votes.insert(self.cfg.id);
+            self.sent_stop_for = Some(cur);
+            self.broadcast(Message::Stop { from: self.cfg.id, view: cur }, actions);
+            self.stops.entry(cur.0).or_default().insert(self.cfg.id);
         }
-        let count = self.stops.get(&view.0).map(HashSet::len).unwrap_or(0);
-        if count >= self.membership.quorum() && view == self.view {
-            self.install_view(view.next(), actions);
+        let count = self.stops.get(&cur.0).map(HashSet::len).unwrap_or(0);
+        if count >= self.membership.quorum() {
+            self.install_view(cur.next(), actions);
         }
+    }
+
+    /// Jumps straight to `view` without a STOP quorum of our own — only
+    /// called when f + 1 replicas are already stopping it. Only the view
+    /// number moves: open instances keep their votes and write certificates
+    /// untouched, because [`Replica::install_view`] captures that evidence
+    /// for STOP-DATA *before* resetting the slots — wiping it here would
+    /// let the new leader re-propose over a value some replica already
+    /// accepted (or decided), violating agreement.
+    fn adopt_view(&mut self, view: View) {
+        self.view = view;
+        self.flight_event(EventKind::ViewChange, None, Some(view.0), 1);
     }
 
     fn install_view(&mut self, new_view: View, actions: &mut Vec<Action>) {
@@ -1102,13 +1322,20 @@ impl<S: Service> Replica<S> {
             obs.view_change(new_view, new_leader);
         }
         self.flight_event(EventKind::ViewChange, None, Some(new_view.0), 0);
-        // Capture our write certificate *before* resetting the open slot —
-        // it is the evidence the new leader must respect.
-        let prepared = self.prepared_certificate();
-        let open = self.open_slot();
-        if let Some(inst) = self.insts.get_mut(&open.0) {
-            inst.reset_for_view(new_view);
+        // Capture the whole window's evidence *before* resetting its slots —
+        // write certificates and out-of-order decisions are what the new
+        // leader must respect.
+        let prepared = self.prepared_certificates();
+        let open_slots: Vec<u64> =
+            self.insts.range(self.last_decided.0 + 1..).map(|(&s, _)| s).collect();
+        for s in open_slots {
+            if let Some(inst) = self.insts.get_mut(&s) {
+                inst.reset_for_view(new_view);
+            }
         }
+        // Every undecided in-flight proposal is abandoned; SYNC re-proposals
+        // re-mark what they carry forward.
+        self.in_flight.clear();
         let leader = new_leader;
         if leader == self.cfg.id {
             let last_decided = self.last_decided;
@@ -1134,7 +1361,7 @@ impl<S: Service> Replica<S> {
         from: ReplicaId,
         new_view: View,
         last_decided: SeqNo,
-        prepared: Option<WriteCertificate>,
+        prepared: Vec<WriteCertificate>,
         actions: &mut Vec<Action>,
     ) {
         if self.status != Status::Active {
@@ -1161,28 +1388,70 @@ impl<S: Service> Replica<S> {
         if reports.len() < quorum {
             return;
         }
-        // If someone decided further than us, catch up first.
+        // How far anyone claims to have decided. With a pipelined window
+        // this can run several slots past our own prefix and still be
+        // coverable by re-proposals — every decided slot had 2f+1 ACCEPT
+        // senders, so (per the argument below) the quorum's certificates
+        // reach it. Only a decided slot with *no* certificate in any report
+        // forces a state transfer; that case is detected per slot.
         let max_decided = reports.values().map(|(d, _)| *d).max().unwrap_or(self.last_decided);
-        if max_decided > self.last_decided.next() {
-            self.start_cst(actions);
-            return;
+        // Highest-view evidence per slot across the quorum's reports. Any
+        // slot a replica decided (possibly out of order) had 2f+1 ACCEPT
+        // senders, each holding a certificate; at least one of them is a
+        // correct member of this stop-data quorum — so every possibly
+        // decided slot above our prefix is represented here.
+        let mut best: BTreeMap<u64, WriteCertificate> = BTreeMap::new();
+        for (_, certs) in reports.values() {
+            for cert in certs {
+                if cert.seq.0 <= self.last_decided.0 {
+                    continue;
+                }
+                if best.get(&cert.seq.0).is_none_or(|b| cert.view > b.view) {
+                    best.insert(cert.seq.0, cert.clone());
+                }
+            }
         }
-        // The value to re-propose: the highest-view certificate for our open
-        // slot among the reports.
-        let open = self.open_slot();
-        let repropose = reports
-            .values()
-            .filter_map(|(_, cert)| cert.as_ref())
-            .filter(|c| c.seq == open)
-            .max_by_key(|c| c.view)
-            .cloned();
-        // Someone already decided our open slot but no report carries its
-        // certificate (deciders report none — their slot is closed). Leading
-        // with a fresh proposal here could contradict that decision; fetch
-        // the decided state instead.
-        if repropose.is_none() && max_decided >= open {
-            self.start_cst(actions);
-            return;
+        let top = max_decided.0.max(best.keys().next_back().copied().unwrap_or(0));
+        let mut repropose = Vec::new();
+        // Quorum members behind the leader's own decided prefix may be
+        // unable to state-transfer it: certification needs f + 1 matching
+        // donors, and after repeated view changes the leader can be the
+        // *only* replica holding some decided slots. The SYNC re-carries
+        // those from the leader's log (they are decided, so this is the one
+        // value consensus can re-confirm) so the quorum converges on a
+        // common prefix before any new proposal. Slots already folded into
+        // a quorum-stable checkpoint are omitted — enough donors exist for
+        // a regular state transfer below that line.
+        let min_decided = reports.values().map(|(d, _)| *d).min().unwrap_or(self.last_decided);
+        for s in min_decided.0 + 1..=self.last_decided.0 {
+            if let Some(batch) = self.log.get(SeqNo(s)) {
+                repropose.push(WriteCertificate {
+                    view: new_view,
+                    seq: SeqNo(s),
+                    batch: batch.clone(),
+                });
+            }
+        }
+        for s in self.last_decided.0 + 1..=top {
+            match best.remove(&s) {
+                Some(cert) => repropose.push(cert),
+                // Someone already decided this slot but no report carries
+                // its certificate (deciders whose slot is fully closed
+                // report none). Leading with a fresh proposal could
+                // contradict that decision; fetch the decided state instead.
+                None if s <= max_decided.0 => {
+                    self.start_cst(actions);
+                    return;
+                }
+                // A hole below a certified slot: re-propose an explicit
+                // no-op batch so execution stays contiguous without
+                // guessing a value nobody certified.
+                None => repropose.push(WriteCertificate {
+                    view: new_view,
+                    seq: SeqNo(s),
+                    batch: Batch::new(Vec::new()),
+                }),
+            }
         }
         self.stop_datas.remove(&new_view.0);
         self.broadcast(
@@ -1196,7 +1465,7 @@ impl<S: Service> Replica<S> {
         &mut self,
         from: ReplicaId,
         new_view: View,
-        repropose: Option<WriteCertificate>,
+        repropose: Vec<WriteCertificate>,
         actions: &mut Vec<Action>,
     ) {
         if self.status != Status::Active {
@@ -1217,31 +1486,70 @@ impl<S: Service> Replica<S> {
     fn adopt_sync(
         &mut self,
         new_view: View,
-        repropose: Option<WriteCertificate>,
+        repropose: Vec<WriteCertificate>,
         actions: &mut Vec<Action>,
     ) {
         if new_view > self.view {
             self.view = new_view;
-            let open = self.open_slot();
-            if let Some(inst) = self.insts.get_mut(&open.0) {
-                inst.reset_for_view(new_view);
-            }
-        }
-        if let Some(cert) = repropose {
-            if cert.seq == self.open_slot() {
-                // A write certificate travels through STOP-DATA/SYNC, so a
-                // Byzantine reporter (or new leader) could smuggle a
-                // tampered batch in — the validity gate applies here too.
-                if !self.verify_batch(&cert.batch) {
-                    self.reject("bad-batch");
-                } else {
-                    let view = self.view;
-                    let seq = cert.seq;
-                    let inst = self.instance(seq);
-                    inst.set_proposal(view, cert.batch);
-                    self.try_advance(seq, actions);
+            let open_slots: Vec<u64> =
+                self.insts.range(self.last_decided.0 + 1..).map(|(&s, _)| s).collect();
+            for s in open_slots {
+                if let Some(inst) = self.insts.get_mut(&s) {
+                    inst.reset_for_view(new_view);
                 }
             }
+            self.in_flight.clear();
+        }
+        for cert in repropose {
+            if cert.seq.0 <= self.last_decided.0 {
+                // Already executed here, but peers re-running consensus for
+                // this slot in the sync view still need votes to re-form
+                // their quorums — without them, a slot decided by fewer
+                // than a quorum of the survivors can never close. The
+                // decision is irrevocable, so re-affirming its digest is
+                // always safe (and our own log, not the certificate, is
+                // the vote's source of truth).
+                if let Some(batch) = self.log.get(cert.seq) {
+                    let digest = batch.digest();
+                    let view = self.view;
+                    let seq = cert.seq;
+                    self.broadcast_consensus(ConsensusMsg::Write { view, seq, digest }, actions);
+                    self.broadcast_consensus(ConsensusMsg::Accept { view, seq, digest }, actions);
+                }
+                continue;
+            }
+            // A write certificate travels through STOP-DATA/SYNC, so a
+            // Byzantine reporter (or new leader) could smuggle a tampered
+            // batch in — the validity gate applies here too.
+            if !self.verify_batch(&cert.batch) {
+                self.reject("bad-batch");
+                continue;
+            }
+            // Requests re-proposed from a certificate are in flight again —
+            // the leader must not batch them a second time.
+            for request in cert.batch.requests() {
+                let digest = request.digest();
+                if self.pending_digests.contains(&digest) {
+                    self.in_flight.insert(digest);
+                }
+            }
+            let view = self.view;
+            let seq = cert.seq;
+            // A slot we decided out of order keeps its (irrevocable) value;
+            // the certificate necessarily carries the same one. As above,
+            // the decision is re-affirmed so peers that reset the slot
+            // during the view change can re-form their quorums around it.
+            let inst = self.instance(seq);
+            if inst.decided {
+                let decided_digest = inst.digest;
+                if let Some(digest) = decided_digest {
+                    self.broadcast_consensus(ConsensusMsg::Write { view, seq, digest }, actions);
+                    self.broadcast_consensus(ConsensusMsg::Accept { view, seq, digest }, actions);
+                }
+                continue;
+            }
+            inst.set_proposal(view, cert.batch);
+            self.try_advance(seq, actions);
         }
         self.maybe_propose(actions);
     }
@@ -1325,19 +1633,39 @@ impl<S: Service> Replica<S> {
         if cst.certified.is_some() {
             return; // past the summary phase; chunks are in flight
         }
-        let summary = reply.summary_digest();
+        let base = reply.base_digest();
         let f = reply.membership.f();
-        cst.replies.insert(from, (summary, reply));
-        // f+1 matching summaries certify the checkpoint digest, chunk
-        // manifest, suffix, membership, and view — at least one of the
-        // matching senders is correct. Sources are sorted by id so chunk
-        // striping (and everything downstream) is deterministic.
+        cst.replies.insert(from, (base, reply));
+        // f+1 matching base summaries certify the checkpoint digest, chunk
+        // manifest and membership — at least one of the matching senders is
+        // correct. Their live logs may be caught at different decided
+        // points (a donor can be one slot ahead of another while consensus
+        // is in flight), so the *suffix* certified is the longest prefix
+        // all matching donors agree on; anything past it re-decides through
+        // normal consensus once this replica rejoins the ring. Requiring
+        // byte-equal suffixes instead would wedge CST whenever the Active
+        // donors never quiesce at the same slot. Sources are sorted by id
+        // so chunk striping (and everything downstream) is deterministic.
         let mut sources: Vec<ReplicaId> =
-            cst.replies.iter().filter(|(_, (s, _))| *s == summary).map(|(id, _)| *id).collect();
+            cst.replies.iter().filter(|(_, (b, _))| *b == base).map(|(id, _)| *id).collect();
         sources.sort_unstable();
         if sources.len() > f {
-            let representative = sources[0];
-            let reply = cst.replies[&representative].1.clone();
+            let mut reply = cst.replies[&sources[0]].1.clone();
+            let suffixes: Vec<&[(SeqNo, Batch)]> =
+                sources.iter().map(|id| cst.replies[id].1.suffix.as_slice()).collect();
+            let shortest = suffixes.iter().map(|s| s.len()).min().unwrap_or(0);
+            let mut common = 0;
+            while common < shortest {
+                let (seq0, batch0) = &suffixes[0][common];
+                let agreed = suffixes[1..]
+                    .iter()
+                    .all(|s| s[common].0 == *seq0 && s[common].1.digest() == batch0.digest());
+                if !agreed {
+                    break;
+                }
+                common += 1;
+            }
+            reply.suffix.truncate(common);
             cst.certified = Some(CertifiedCst { reply, sources });
             self.begin_chunk_phase(actions);
             return;
@@ -1516,6 +1844,35 @@ impl<S: Service> Replica<S> {
     }
 
     fn finish_cst(&mut self, full: CstReply, snapshot: Bytes, actions: &mut Vec<Action>) {
+        // A transfer may certify *less* state than this replica already
+        // executed (donors caught mid-decision certify only their common
+        // prefix). Installing it would rewind the decided log and let the
+        // replica re-vote slots it already executed — a direct agreement
+        // violation. Refuse and return to the ring; the gap that triggered
+        // the transfer closes through normal consensus or a later, further
+        // along transfer.
+        let end = full.suffix.last().map(|(s, _)| *s).unwrap_or(full.checkpoint_seq);
+        if end <= self.last_decided {
+            self.cst = None;
+            self.chunk_store = None;
+            self.status = Status::Active;
+            actions.push(Action::CancelTimer(TimerId::Cst));
+            actions.push(Action::SetTimer(TimerId::Request, self.cfg.request_timeout));
+            // A leader that detoured into this transfer from a pending view
+            // change still owes the quorum its SYNC (stop-data reports are
+            // only dropped once the SYNC goes out). Proposing fresh batches
+            // here could contradict slots that quorum already decided, and
+            // immediately re-running the sync could ping-pong back into the
+            // same refused transfer — stay quiet and let the Sync watchdogs
+            // escalate the view change if the gap does not close.
+            let view = self.view;
+            if !(self.stop_datas.contains_key(&view.0)
+                && self.membership.leader(view) == self.cfg.id)
+            {
+                self.maybe_propose(actions);
+            }
+            return;
+        }
         // The log re-verifies the checkpoint digest and the suffix ordering
         // before anything is installed; a forged certified reply is counted
         // and dropped, never trusted.
@@ -1530,10 +1887,23 @@ impl<S: Service> Replica<S> {
             return;
         }
         self.service.install(&snapshot);
+        // Installing the checkpoint rolled the service back to the
+        // checkpoint's state; the at-most-once ledger must roll back with it
+        // or the suffix replay below would *skip* ops this replica executed
+        // before the transfer, leaving the service permanently behind the
+        // slots it claims to have decided (state divergence). Rebuilding the
+        // ledger from the replayed suffix mirrors journal recovery.
+        self.last_replies.clear();
         self.membership = full.membership.clone();
         self.view = full.view;
         self.last_decided = full.checkpoint_seq;
-        self.insts.clear();
+        // Open instances are superseded by the installed prefix — but
+        // slots *beyond* it with evidence (decided, or an ACCEPT sent)
+        // must survive: a decided slot re-voted differently, or an ACCEPT
+        // promise forgotten and missing from a later STOP-DATA report,
+        // would let a new leader re-propose over a decided value.
+        self.insts.retain(|&s, inst| s > end.0 && inst.evidence().is_some());
+        self.in_flight.clear();
         self.cst = None;
         // Replay the decided suffix through the service.
         for (seq, batch) in full.suffix {
@@ -1548,15 +1918,27 @@ impl<S: Service> Replica<S> {
         }
         self.flight_event(EventKind::CstDone, Some(self.last_decided.0), Some(self.view.0), 0);
         actions.push(Action::SetTimer(TimerId::Request, self.cfg.request_timeout));
-        // Replay consensus traffic buffered during the transfer.
+        // Replay consensus traffic buffered during the transfer, for every
+        // slot now inside the window (lowest first).
         let last = self.last_decided;
         self.future.retain(|&s, _| s > last.0);
-        let open = self.open_slot();
-        if let Some(buffered) = self.future.remove(&open.0) {
+        while let Some(slot) = self.future.range(..=self.horizon()).next().map(|(&slot, _)| slot) {
+            let Some(buffered) = self.future.remove(&slot) else { break };
             for (from, msg) in buffered {
                 if self.membership.contains(from) {
                     self.handle_consensus_local(from, msg, actions);
                 }
+            }
+        }
+        // Same hazard as the refusal path above: with a view change still
+        // pending for the (possibly just-installed) current view, the
+        // leader's first duty is the SYNC — its certificates re-propose any
+        // decided-elsewhere slots; a fresh proposal could contradict them.
+        let view = self.view;
+        if self.stop_datas.contains_key(&view.0) && self.membership.leader(view) == self.cfg.id {
+            self.maybe_sync(view, actions);
+            if self.status != Status::Active {
+                return;
             }
         }
         self.maybe_propose(actions);
@@ -1653,10 +2035,18 @@ impl<S: Service> Replica<S> {
 }
 
 impl<S: Service> Replica<S> {
-    /// Our write certificate for the open slot, if the ACCEPT phase was
-    /// reached (the value a new leader must re-propose).
-    fn prepared_certificate(&self) -> Option<WriteCertificate> {
-        self.insts.get(&self.open_slot().0).and_then(Instance::certificate)
+    /// Our evidence for every in-window slot, ordered by slot: write
+    /// certificates where the ACCEPT phase was reached, plus the batches of
+    /// slots decided out of order — the values a new leader must re-propose
+    /// (see [`Instance::evidence`]).
+    fn prepared_certificates(&self) -> Vec<WriteCertificate> {
+        // The full range above the executed prefix, not just the window —
+        // view-change re-proposals may have planted instances one window
+        // beyond ours, and their evidence must survive a further change.
+        self.insts
+            .range(self.last_decided.0 + 1..)
+            .filter_map(|(_, inst)| inst.evidence())
+            .collect()
     }
 }
 
@@ -1964,12 +2354,10 @@ mod tests {
         let data = Bytes::copy_from_slice(
             reply.manifest.slice(snapshot, index as usize).expect("chunk in range"),
         );
-        joiner.on_message(Message::CstChunkReply {
-            from: to,
-            seq: reply.checkpoint_seq,
-            index,
-            data,
-        })
+        joiner.on_message(
+            Message::CstChunkReply { from: to, seq: reply.checkpoint_seq, index, data },
+            Ctx::UNTRACED,
+        )
     }
 
     /// Satellite: kill the designee after k fetched chunks; after rotation
@@ -1978,11 +2366,15 @@ mod tests {
     fn chunked_cst_resumes_with_zero_refetched_chunks() {
         let (mut joiner, snapshot, reply) = chunked_cst_fixture();
         // f+1 = 2 matching summaries certify the manifest.
-        let first = joiner
-            .on_message(Message::CstReply { from: ReplicaId(0), reply: Box::new(reply.clone()) });
+        let first = joiner.on_message(
+            Message::CstReply { from: ReplicaId(0), reply: Box::new(reply.clone()) },
+            Ctx::UNTRACED,
+        );
         assert!(chunk_requests(&first).is_empty(), "one summary is below f+1");
-        let actions = joiner
-            .on_message(Message::CstReply { from: ReplicaId(1), reply: Box::new(reply.clone()) });
+        let actions = joiner.on_message(
+            Message::CstReply { from: ReplicaId(1), reply: Box::new(reply.clone()) },
+            Ctx::UNTRACED,
+        );
         let round1 = chunk_requests(&actions);
         assert_eq!(round1.len(), 10, "all chunks requested, striped over sources");
 
@@ -1990,7 +2382,7 @@ mod tests {
         for (to, index) in &round1[..4] {
             serve_chunk(&mut joiner, &snapshot, &reply, *to, *index);
         }
-        let actions = joiner.on_timer(TimerId::Cst);
+        let actions = joiner.on_timer(TimerId::Cst, Ctx::UNTRACED);
         assert!(
             actions.iter().any(|a| matches!(a, Action::Send(_, Message::CstRequest { .. }))),
             "rotation restarts the summary phase"
@@ -1998,9 +2390,14 @@ mod tests {
         assert_eq!(joiner.status(), Status::StateTransfer);
 
         // Re-certify from two different donors and resume.
-        joiner.on_message(Message::CstReply { from: ReplicaId(2), reply: Box::new(reply.clone()) });
-        let actions = joiner
-            .on_message(Message::CstReply { from: ReplicaId(3), reply: Box::new(reply.clone()) });
+        joiner.on_message(
+            Message::CstReply { from: ReplicaId(2), reply: Box::new(reply.clone()) },
+            Ctx::UNTRACED,
+        );
+        let actions = joiner.on_message(
+            Message::CstReply { from: ReplicaId(3), reply: Box::new(reply.clone()) },
+            Ctx::UNTRACED,
+        );
         let round2 = chunk_requests(&actions);
         assert_eq!(round2.len(), 6, "only the missing chunks are requested");
         let fetched: HashSet<u32> = round1[..4].iter().map(|(_, i)| *i).collect();
@@ -2024,18 +2421,26 @@ mod tests {
     #[test]
     fn corrupt_chunk_is_rejected_and_rerequested() {
         let (mut joiner, snapshot, reply) = chunked_cst_fixture();
-        joiner.on_message(Message::CstReply { from: ReplicaId(0), reply: Box::new(reply.clone()) });
-        let actions = joiner
-            .on_message(Message::CstReply { from: ReplicaId(1), reply: Box::new(reply.clone()) });
+        joiner.on_message(
+            Message::CstReply { from: ReplicaId(0), reply: Box::new(reply.clone()) },
+            Ctx::UNTRACED,
+        );
+        let actions = joiner.on_message(
+            Message::CstReply { from: ReplicaId(1), reply: Box::new(reply.clone()) },
+            Ctx::UNTRACED,
+        );
         let round = chunk_requests(&actions);
         let (victim_target, victim_index) = round[0];
 
-        let actions = joiner.on_message(Message::CstChunkReply {
-            from: victim_target,
-            seq: reply.checkpoint_seq,
-            index: victim_index,
-            data: Bytes::from_static(&[0xAA; 16]),
-        });
+        let actions = joiner.on_message(
+            Message::CstChunkReply {
+                from: victim_target,
+                seq: reply.checkpoint_seq,
+                index: victim_index,
+                data: Bytes::from_static(&[0xAA; 16]),
+            },
+            Ctx::UNTRACED,
+        );
         let rerequests = chunk_requests(&actions);
         assert_eq!(rerequests.len(), 1, "the bad chunk is re-requested");
         assert_eq!(rerequests[0].1, victim_index);
@@ -2105,5 +2510,126 @@ mod tests {
         let payload = R::encode_reconfig(Epoch(0), None, Some(ReplicaId(0)));
         assert_eq!(R::decode_reconfig(&payload), Some((Epoch(0), None, Some(ReplicaId(0)))));
         assert_eq!(R::decode_reconfig(b"short"), None);
+    }
+
+    /// Injects `ops` distinct single-request operations to the leader only
+    /// (no deliveries yet) and returns the pipelined client driving them.
+    fn inject_ops_to_leader(cluster: &mut TestCluster, ops: &[&[u8]]) -> Client {
+        let mut c =
+            Client::pipelined(ClientId(1), cluster.membership(), TEST_SECRET, ops.len().max(1));
+        for payload in ops {
+            for (to, m) in c.invoke(Bytes::copy_from_slice(payload)) {
+                if to == ReplicaId(0) {
+                    cluster.inject(to, m);
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn window_allows_multiple_slots_in_flight() {
+        // Window 4: three back-to-back requests open three consensus slots
+        // before any vote returns.
+        let mut w4 = TestCluster::new_windowed(4, 1000, 4);
+        inject_ops_to_leader(&mut w4, &[b"a", b"b", b"c"]);
+        for _ in 0..3 {
+            w4.step();
+        }
+        assert_eq!(w4.replica(0).open_instances(), 3, "window 4 pipelines all three");
+
+        // Window 1 (default): the same traffic opens one slot; the rest of
+        // the queue waits for the decision.
+        let mut w1 = TestCluster::new(4, 1000);
+        inject_ops_to_leader(&mut w1, &[b"a", b"b", b"c"]);
+        for _ in 0..3 {
+            w1.step();
+        }
+        assert_eq!(w1.replica(0).open_instances(), 1, "window 1 serializes slots");
+
+        // Both pipelines drain to the same final service state. The window-4
+        // run spread the three requests over three single-request slots; the
+        // window-1 run coalesced the two queued ones into slot 2's batch.
+        w4.run_to_quiescence();
+        w1.run_to_quiescence();
+        for id in 0..4 {
+            assert_eq!(w4.replica(id).last_decided(), SeqNo(3), "replica {id}");
+            assert_eq!(w1.replica(id).last_decided(), SeqNo(2), "replica {id}");
+            assert_eq!(w4.replica(id).service().executed(), 3, "replica {id}");
+            assert_eq!(w1.replica(id).service().executed(), 3, "replica {id}");
+        }
+        assert_eq!(w4.replica(0).service().snapshot(), w1.replica(0).service().snapshot());
+    }
+
+    #[test]
+    fn decisions_beyond_a_hole_wait_for_the_gap() {
+        // Lose slot 2 entirely: slot 3 decides but must not execute until
+        // the hole is filled.
+        let mut cluster = TestCluster::new_windowed(4, 1000, 4);
+        inject_ops_to_leader(&mut cluster, &[b"a", b"b", b"c"]);
+        for _ in 0..3 {
+            cluster.step();
+        }
+        cluster.drop_queued(|_, m| matches!(m.consensus_slot(), Some((_, SeqNo(2)))));
+        cluster.run_to_quiescence();
+        for id in 0..4 {
+            assert_eq!(cluster.replica(id).last_decided(), SeqNo(1), "replica {id}: slot 1 only");
+            assert_eq!(
+                cluster.replica(id).service().executed(),
+                1,
+                "replica {id}: slot 3 is decided but held back by the slot-2 hole"
+            );
+        }
+        assert!(cluster.replica(1).open_instances() >= 1, "slot 3 parked above the gap");
+    }
+
+    #[test]
+    fn view_change_abandons_partially_decided_window() {
+        // Full client broadcast this time, so every replica holds the
+        // pending requests and can watchdog the leader.
+        let mut cluster = TestCluster::new_windowed(4, 1000, 4);
+        let mut c = Client::pipelined(ClientId(1), cluster.membership(), TEST_SECRET, 3);
+        for payload in [&b"a"[..], b"b", b"c"] {
+            for (to, m) in c.invoke(Bytes::copy_from_slice(payload)) {
+                cluster.inject(to, m);
+            }
+        }
+        // Deliver all twelve request copies: the leader opens slots 1..3.
+        for _ in 0..12 {
+            cluster.step();
+        }
+        assert_eq!(cluster.replica(0).open_instances(), 3);
+        // Slot 2 vanishes from the wire; 1 and 3 decide, 3 cannot execute.
+        cluster.drop_queued(|_, m| matches!(m.consensus_slot(), Some((_, SeqNo(2)))));
+        cluster.run_to_quiescence();
+        for id in 0..4 {
+            assert_eq!(cluster.replica(id).last_decided(), SeqNo(1), "replica {id}");
+        }
+
+        // Watchdog: forward to the (stuck) leader, then stop the view. The
+        // new leader must re-propose decided-but-unexecuted slot 3 verbatim,
+        // fill slot 2 with a no-op, and re-propose the abandoned request.
+        cluster.fire_timers(TimerId::Request);
+        cluster.run_to_quiescence();
+        cluster.fire_timers(TimerId::Request);
+        cluster.run_to_quiescence();
+        cluster.fire_timers(TimerId::Request);
+        cluster.run_to_quiescence();
+
+        let mut completed = 0;
+        for (cid, reply) in std::mem::take(&mut cluster.client_replies) {
+            if cid == c.id() && c.on_reply(reply).is_some() {
+                completed += 1;
+            }
+        }
+        assert_eq!(completed, 3, "every operation survives the window abandonment");
+        let snap0 = cluster.replica(0).service().snapshot();
+        for id in 0..4 {
+            let r = cluster.replica(id);
+            assert!(r.view() > View(0), "replica {id} moved on");
+            assert_eq!(r.service().executed(), 3, "replica {id}: a no-op gap adds nothing");
+            assert!(r.last_decided() >= SeqNo(3), "replica {id}");
+            assert_eq!(r.service().snapshot(), snap0, "replica {id} state agrees");
+        }
     }
 }

@@ -25,7 +25,7 @@ use lazarus_obs::{Gauge, HealthConfig, HealthTracker, Obs, WallClock};
 
 use crate::client::Client;
 use crate::messages::{Message, Reply};
-use crate::obs::WireObs;
+use crate::obs::{Instruments, WireObs};
 use crate::replica::{Action, Replica, ReplicaConfig, TimerId};
 use crate::service::Service;
 use crate::types::{ClientId, Epoch, Membership, ReplicaId};
@@ -145,19 +145,45 @@ impl ThreadCluster {
         F: FnMut() -> S,
     {
         let obs = Obs::new(Arc::new(WallClock::new()));
-        Self::start_inner(n, checkpoint_period, make_service, Some(obs))
+        Self::start_instrumented(
+            n,
+            checkpoint_period,
+            make_service,
+            Instruments::new().with_obs(obs),
+        )
+    }
+
+    /// As [`ThreadCluster::start`], with every replica attached to the
+    /// given [`Instruments`] base: the bundle's metrics, health tracker,
+    /// and profiler are shared across all replica threads (a missing health
+    /// tracker or profiler is derived from the bundle's `obs` when one is
+    /// present). Per-replica flight recorders are always created internally
+    /// — a recorder in `base` is ignored, since one shared ring cannot
+    /// carry per-replica streams.
+    pub fn start_instrumented<S, F>(
+        n: u32,
+        checkpoint_period: u64,
+        make_service: F,
+        base: Instruments,
+    ) -> ThreadCluster
+    where
+        S: Service + 'static,
+        F: FnMut() -> S,
+    {
+        Self::start_inner(n, checkpoint_period, make_service, Some(base))
     }
 
     fn start_inner<S, F>(
         n: u32,
         checkpoint_period: u64,
         mut make_service: F,
-        obs: Option<Obs>,
+        base: Option<Instruments>,
     ) -> ThreadCluster
     where
         S: Service + 'static,
         F: FnMut() -> S,
     {
+        let obs = base.as_ref().and_then(|b| b.obs.clone());
         let membership = Membership::new(Epoch(0), (0..n).map(ReplicaId).collect());
         let master_secret = b"lazarus-deployment".to_vec();
         let router: ReplyRouter = Arc::new(Mutex::new(HashMap::new()));
@@ -175,12 +201,18 @@ impl ThreadCluster {
         // hooks commute under its mutex, scores read from wall-clock
         // telemetry (best-effort, unlike the deterministic sim-time health
         // the testbed produces).
-        let health = obs.as_ref().map(|o| HealthTracker::new(HealthConfig::default(), o));
+        let health = base
+            .as_ref()
+            .and_then(|b| b.health.clone())
+            .or_else(|| obs.as_ref().map(|o| HealthTracker::new(HealthConfig::default(), o)));
         // One shared profiler across all replica threads: frame charges
         // commute under its mutex, and the per-replica root frames keep
         // the threads' stacks apart. Wall-clock scopes measure real CPU;
         // scope `sim_us` deltas follow the bundle's wall clock here.
-        let profiler = obs.as_ref().map(|o| Profiler::new(Arc::clone(o.clock())));
+        let profiler = base
+            .as_ref()
+            .and_then(|b| b.profiler.clone())
+            .or_else(|| obs.as_ref().map(|o| Profiler::new(Arc::clone(o.clock()))));
         let mut handles = Vec::new();
         let mut flights = HashMap::new();
         for (id, rx) in (0..n).zip(rxs) {
@@ -189,16 +221,7 @@ impl ThreadCluster {
             cfg.master_secret = master_secret.clone();
             cfg.request_timeout = 50; // ms, wall clock
             let (mut replica, initial_actions) = Replica::new(cfg, make_service());
-            let wire = obs.as_ref().map(|o| {
-                replica.attach_obs(o);
-                if let Some(health) = &health {
-                    replica.attach_health(health.clone());
-                }
-                WireObs::new(o)
-            });
-            if let Some(p) = &profiler {
-                replica.attach_profiler(p.clone());
-            }
+            let wire = obs.as_ref().map(WireObs::new);
             // Real inbox depth of this replica's channel, sampled on every
             // loop iteration (wall-clock telemetry; the deterministic
             // counterpart is the testbed's health-tick sampler).
@@ -214,10 +237,23 @@ impl ThreadCluster {
                     FlightRecorder::DEFAULT_CAPACITY,
                     Arc::clone(o.clock()),
                 );
-                replica.attach_flight(rec.clone());
                 flights.insert(id, rec.clone());
                 rec
             });
+            let mut instruments = Instruments::new();
+            if let Some(o) = &obs {
+                instruments = instruments.with_obs(o.clone());
+            }
+            if let Some(h) = &health {
+                instruments = instruments.with_health(h.clone());
+            }
+            if let Some(rec) = &flight {
+                instruments = instruments.with_flight(rec.clone());
+            }
+            if let Some(p) = &profiler {
+                instruments = instruments.with_profiler(p.clone());
+            }
+            replica.attach(instruments);
             let peers = inboxes.clone();
             let router = Arc::clone(&router);
             let running = Arc::clone(&running);
@@ -382,7 +418,7 @@ fn replica_loop<S: Service>(
                 }
                 let ctx = recv_ctx(flight.as_ref(), &message, wire_ctx);
                 let message = Arc::try_unwrap(message).unwrap_or_else(|shared| (*shared).clone());
-                let actions = replica.on_message_traced(message, ctx);
+                let actions = replica.on_message(message, ctx.into());
                 apply(actions, &mut timers, ctx.unwrap_or(UNTRACED));
             }
             Ok(Input::Shutdown) => break,
@@ -396,7 +432,7 @@ fn replica_loop<S: Service>(
                     let ctx = flight
                         .as_ref()
                         .map(|f| f.protocol(EventKind::Timer, None, None, &UNTRACED, 0));
-                    let actions = replica.on_timer_traced(timer, ctx);
+                    let actions = replica.on_timer(timer, ctx.into());
                     apply(actions, &mut timers, ctx.unwrap_or(UNTRACED));
                 }
             }

@@ -15,12 +15,24 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::messages::{Message, Reply};
-use crate::replica::{Action, Replica, ReplicaConfig, TimerId};
+use crate::replica::{Action, Ctx, Replica, ReplicaConfig, TimerId};
 use crate::service::CounterService;
 use crate::types::{ClientId, Epoch, Membership, ReplicaId};
 
 /// The shared test master secret.
 pub const TEST_SECRET: &[u8] = b"lazarus-deployment";
+
+/// Seeded per-delivery link faults for [`TestCluster`]: each queued message
+/// is independently dropped, deferred to the back of the queue, or
+/// duplicated. Combined with [`TestCluster::randomize_delivery`] (reorder)
+/// this covers the drop/delay/dup/reorder fault matrix in a synchronous
+/// pump, reproducible from the seed.
+struct LinkChaos {
+    rng: StdRng,
+    drop_p: f64,
+    delay_p: f64,
+    dup_p: f64,
+}
 
 /// An in-memory cluster of [`CounterService`] replicas.
 pub struct TestCluster {
@@ -28,9 +40,15 @@ pub struct TestCluster {
     queue: VecDeque<(ReplicaId, Arc<Message>)>,
     /// Replies emitted to clients, in delivery order.
     pub client_replies: Vec<(ClientId, Reply)>,
+    /// Every reply emission tagged with the replica that produced it, in
+    /// emission order: the first occurrence of a `(replica, client, op)`
+    /// triple marks where that replica *executed* the operation (later
+    /// occurrences are cached at-most-once resends).
+    pub reply_log: Vec<(ReplicaId, ClientId, u64)>,
     crashed: HashSet<ReplicaId>,
     armed: HashSet<(ReplicaId, TimerId)>,
     rng: Option<StdRng>,
+    chaos: Option<LinkChaos>,
     /// Messages delivered so far (diagnostic).
     pub delivered: usize,
 }
@@ -48,19 +66,29 @@ impl std::fmt::Debug for TestCluster {
 impl TestCluster {
     /// A fresh cluster of `n` replicas with the given checkpoint period.
     pub fn new(n: u32, checkpoint_period: u64) -> TestCluster {
+        Self::new_windowed(n, checkpoint_period, 1)
+    }
+
+    /// As [`TestCluster::new`], with a consensus pipeline `window` (number
+    /// of slots allowed in flight at once; `1` reproduces the classic
+    /// one-at-a-time pipeline).
+    pub fn new_windowed(n: u32, checkpoint_period: u64, window: u64) -> TestCluster {
         let membership = Membership::new(Epoch(0), (0..n).map(ReplicaId).collect());
         let mut cluster = TestCluster {
             replicas: BTreeMap::new(),
             queue: VecDeque::new(),
             client_replies: Vec::new(),
+            reply_log: Vec::new(),
             crashed: HashSet::new(),
             armed: HashSet::new(),
             rng: None,
+            chaos: None,
             delivered: 0,
         };
         for id in 0..n {
             let mut cfg = ReplicaConfig::new(ReplicaId(id), membership.clone());
             cfg.checkpoint_period = checkpoint_period;
+            cfg.window = window;
             let (replica, actions) = Replica::new(cfg, CounterService::new());
             cluster.replicas.insert(id, replica);
             cluster.absorb(ReplicaId(id), actions);
@@ -71,6 +99,23 @@ impl TestCluster {
     /// Switches delivery order to seeded-random (for schedule exploration).
     pub fn randomize_delivery(&mut self, seed: u64) {
         self.rng = Some(StdRng::seed_from_u64(seed));
+    }
+
+    /// Enables seeded link faults: each delivery attempt independently drops
+    /// the message with `drop_p`, defers it to the back of the queue with
+    /// `delay_p`, or duplicates it with `dup_p`. Deterministic from `seed`.
+    ///
+    /// Drops apply to *every* message class (requests, protocol traffic,
+    /// replies), so tests driving a faulty cluster must retransmit and fire
+    /// [`TimerId::Request`] watchdogs in rounds, exactly like a real client.
+    pub fn chaos_links(&mut self, seed: u64, drop_p: f64, delay_p: f64, dup_p: f64) {
+        self.chaos = Some(LinkChaos { rng: StdRng::seed_from_u64(seed), drop_p, delay_p, dup_p });
+    }
+
+    /// Heals the links: stops injecting drop/delay/dup faults (delivery
+    /// order randomization, if any, stays in effect).
+    pub fn heal_links(&mut self) {
+        self.chaos = None;
     }
 
     /// The default membership used by this cluster's clients.
@@ -98,6 +143,13 @@ impl TestCluster {
         self.queue.push_back((to, Arc::new(message)));
     }
 
+    /// Drops every currently queued message matching `pred` — selective
+    /// message loss for protocol tests (e.g. losing one slot's PROPOSE to
+    /// force a hole in a pipelined window).
+    pub fn drop_queued(&mut self, mut pred: impl FnMut(ReplicaId, &Message) -> bool) {
+        self.queue.retain(|(to, m)| !pred(*to, m));
+    }
+
     /// Fires a timer on a live replica and absorbs the resulting actions.
     /// Returns `true` if the timer was armed.
     pub fn fire_timer(&mut self, id: u32, timer: TimerId) -> bool {
@@ -108,7 +160,7 @@ impl TestCluster {
             return false;
         }
         let actions = match self.replicas.get_mut(&id) {
-            Some(r) => r.on_timer(timer),
+            Some(r) => r.on_timer(timer, Ctx::UNTRACED),
             None => return false,
         };
         self.absorb(ReplicaId(id), actions);
@@ -142,6 +194,7 @@ impl TestCluster {
                 }
                 Action::SendClient(client, reply) => {
                     if !self.crashed.contains(&from) {
+                        self.reply_log.push((from, client, reply.op));
                         self.client_replies.push((client, reply));
                     }
                 }
@@ -169,6 +222,19 @@ impl TestCluster {
             _ => self.queue.pop_front(),
         };
         let Some((to, message)) = next else { return false };
+        if let Some(chaos) = &mut self.chaos {
+            let roll: f64 = chaos.rng.gen();
+            if roll < chaos.drop_p {
+                return true; // lost on the wire
+            }
+            if roll < chaos.drop_p + chaos.delay_p {
+                self.queue.push_back((to, message)); // delivered later
+                return true;
+            }
+            if roll < chaos.drop_p + chaos.delay_p + chaos.dup_p {
+                self.queue.push_back((to, Arc::clone(&message)));
+            }
+        }
         self.delivered += 1;
         if self.crashed.contains(&to) {
             return true;
@@ -177,7 +243,7 @@ impl TestCluster {
         // Last holder takes the message without a copy; earlier holders make
         // a shallow clone (batches share their request slice).
         let message = Arc::try_unwrap(message).unwrap_or_else(|shared| (*shared).clone());
-        let actions = replica.on_message(message);
+        let actions = replica.on_message(message, Ctx::UNTRACED);
         self.absorb(to, actions);
         true
     }

@@ -16,10 +16,11 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
+use lazarus_bft::batcher::BatchPolicy;
 use lazarus_bft::client::Client;
 use lazarus_bft::crypto::{Keyring, Principal};
 use lazarus_bft::messages::{Batch, CheckpointMsg, ConsensusMsg, Message, ReconfigCommand, Reply};
-use lazarus_bft::obs::{ReplicaObs, WireObs};
+use lazarus_bft::obs::{Instruments, ReplicaObs, WireObs};
 use lazarus_bft::replica::{Action, Replica, ReplicaConfig, Status, TimerId};
 use lazarus_bft::service::Service;
 use lazarus_bft::storage::{tear_tail, Journal, JournalConfig};
@@ -79,6 +80,11 @@ pub struct SimConfig {
     pub initial_view: u64,
     /// CST chunk size every replica agrees on (manifest granularity).
     pub cst_chunk_bytes: usize,
+    /// Consensus pipeline window: slots allowed in flight at once
+    /// (1 = the classic one-slot-at-a-time pipeline).
+    pub window: u64,
+    /// Leader batch-sizing policy.
+    pub batch_policy: BatchPolicy,
 }
 
 impl Default for SimConfig {
@@ -90,6 +96,8 @@ impl Default for SimConfig {
             client_retry: 30 * SEC,
             initial_view: 0,
             cst_chunk_bytes: 256 * 1024, // ReplicaConfig's default
+            window: 1,
+            batch_policy: BatchPolicy::Fixed,
         }
     }
 }
@@ -139,7 +147,9 @@ struct Node {
 struct ClientState {
     client: Client,
     factory: Box<dyn FnMut(u64) -> Bytes>,
-    started_at: Micros,
+    /// Start time of each in-flight operation (keyed by op number), for
+    /// per-operation latency accounting under pipelining.
+    starts: HashMap<u64, Micros>,
     current_op: u64,
     stopped: bool,
 }
@@ -294,7 +304,7 @@ impl SimCluster {
             FlightRecorder::new(id.0, capacity, Arc::clone(&self.sim_clock) as Arc<dyn Clock>)
         });
         if let Some(node) = self.nodes.get_mut(&id.0) {
-            node.replica.attach_flight(rec.clone());
+            node.replica.attach(Instruments::new().with_flight(rec.clone()));
         }
     }
 
@@ -518,8 +528,9 @@ impl SimCluster {
         let (mut replica, actions, info) =
             Replica::recover(rcfg, service, Box::new(journal), recovered);
         if let Some(obs) = &self.obs {
-            replica.attach_obs(&obs.bundle);
-            replica.attach_health(obs.health.clone());
+            replica.attach(
+                Instruments::new().with_obs(obs.bundle.clone()).with_health(obs.health.clone()),
+            );
         }
         if let Some(checker) = self.checker.as_mut() {
             checker.record_recovery(id, info.stable_seq, info.stable_digest);
@@ -560,10 +571,13 @@ impl SimCluster {
         rcfg.master_secret = SIM_SECRET.to_vec();
         rcfg.initial_view = View(self.cfg.initial_view);
         rcfg.cst_chunk_bytes = self.cfg.cst_chunk_bytes;
+        rcfg.window = self.cfg.window;
+        rcfg.batch_policy = self.cfg.batch_policy;
         let (mut replica, actions) = Replica::new(rcfg, service);
         if let Some(obs) = &self.obs {
-            replica.attach_obs(&obs.bundle);
-            replica.attach_health(obs.health.clone());
+            replica.attach(
+                Instruments::new().with_obs(obs.bundle.clone()).with_health(obs.health.clone()),
+            );
         }
         let node = Node {
             replica,
@@ -603,6 +617,8 @@ impl SimCluster {
         rcfg.master_secret = SIM_SECRET.to_vec();
         rcfg.initial_view = View(self.cfg.initial_view);
         rcfg.cst_chunk_bytes = self.cfg.cst_chunk_bytes;
+        rcfg.window = self.cfg.window;
+        rcfg.batch_policy = self.cfg.batch_policy;
         // Sync-on-checkpoint still happens; per-record fsync off keeps mass
         // simulation fast (virtual fsync time is charged either way).
         let jcfg = JournalConfig { fsync: false, ..JournalConfig::new(dir) };
@@ -619,8 +635,9 @@ impl SimCluster {
             (replica, actions)
         };
         if let Some(obs) = &self.obs {
-            replica.attach_obs(&obs.bundle);
-            replica.attach_health(obs.health.clone());
+            replica.attach(
+                Instruments::new().with_obs(obs.bundle.clone()).with_health(obs.health.clone()),
+            );
         }
         let node = Node {
             replica,
@@ -655,10 +672,13 @@ impl SimCluster {
         rcfg.join = true;
         rcfg.initial_view = View(self.cfg.initial_view);
         rcfg.cst_chunk_bytes = self.cfg.cst_chunk_bytes;
+        rcfg.window = self.cfg.window;
+        rcfg.batch_policy = self.cfg.batch_policy;
         let (mut replica, actions) = Replica::new(rcfg, service);
         if let Some(obs) = &self.obs {
-            replica.attach_obs(&obs.bundle);
-            replica.attach_health(obs.health.clone());
+            replica.attach(
+                Instruments::new().with_obs(obs.bundle.clone()).with_health(obs.health.clone()),
+            );
         }
         let node = Node {
             replica,
@@ -714,16 +734,31 @@ impl SimCluster {
         membership: Membership,
         factory: impl Fn(u64) -> Bytes + Clone + 'static,
     ) {
+        self.add_pipelined_clients(first_id, count, 1, membership, factory);
+    }
+
+    /// Adds `count` clients each keeping up to `depth` operations in flight
+    /// over one logical connection (`depth == 1` is the classic closed
+    /// loop). Multiplexing lets a testbed drive very large simulated client
+    /// populations without one [`ClientState`] per request stream.
+    pub fn add_pipelined_clients(
+        &mut self,
+        first_id: u64,
+        count: usize,
+        depth: usize,
+        membership: Membership,
+        factory: impl Fn(u64) -> Bytes + Clone + 'static,
+    ) {
         for i in 0..count {
             let id = first_id + i as u64;
-            let client = Client::new(ClientId(id), membership.clone(), SIM_SECRET);
+            let client = Client::pipelined(ClientId(id), membership.clone(), SIM_SECRET, depth);
             let f = factory.clone();
             self.clients.insert(
                 id,
                 ClientState {
                     client,
                     factory: Box::new(f),
-                    started_at: 0,
+                    starts: HashMap::new(),
                     current_op: 0,
                     stopped: false,
                 },
@@ -775,15 +810,15 @@ impl SimCluster {
                         .get_mut(&id.0)
                         .expect("exists")
                         .replica
-                        .on_timer_traced(timer, ctx);
+                        .on_timer(timer, ctx.into());
                     self.absorb(id, at, actions, ctx.unwrap_or(UNTRACED));
                 }
             }
             Ev::ClientStart(client) => self.client_start(at, client),
             Ev::ClientRetry(client, op) => {
                 let Some(state) = self.clients.get_mut(&client.0) else { return };
-                if state.client.busy() && state.current_op == op {
-                    let sends = state.client.retransmit();
+                if state.client.has_pending(op) {
+                    let sends = state.client.retransmit_op(op);
                     for (to, message) in sends {
                         let delay = self.cfg.network.delay(message.wire_size());
                         self.enqueue_deliver(at + delay, to, Arc::new(message), None);
@@ -916,7 +951,7 @@ impl SimCluster {
         // Shallow clone unless we are the last recipient of a broadcast.
         let message = Arc::try_unwrap(message).unwrap_or_else(|shared| (*shared).clone());
         let node = self.nodes.get_mut(&to.0).expect("checked above");
-        let actions = node.replica.on_message_traced(message, ctx);
+        let actions = node.replica.on_message(message, ctx.into());
         self.absorb(to, done, actions, ctx.unwrap_or(UNTRACED));
     }
 
@@ -924,7 +959,8 @@ impl SimCluster {
         let (completion, started_at, stopped) = {
             let Some(state) = self.clients.get_mut(&client.0) else { return };
             let Some(completion) = state.client.on_reply(reply) else { return };
-            (completion, state.started_at, state.stopped)
+            let started_at = state.starts.remove(&completion.op).unwrap_or(at);
+            (completion, started_at, state.stopped)
         };
         self.metrics.record(at, at - started_at);
         if let Some(obs) = &self.obs {
@@ -958,20 +994,25 @@ impl SimCluster {
     }
 
     fn client_start(&mut self, at: Micros, client: ClientId) {
-        let Some(state) = self.clients.get_mut(&client.0) else { return };
-        if state.client.busy() || state.stopped {
-            return;
+        // Fill the client's pipeline: a depth-1 client issues exactly one
+        // operation here (the classic closed loop), a pipelined one issues
+        // operations until it reaches its in-flight capacity.
+        loop {
+            let Some(state) = self.clients.get_mut(&client.0) else { return };
+            if state.client.busy() || state.stopped {
+                return;
+            }
+            state.current_op += 1;
+            state.starts.insert(state.current_op, at);
+            let payload = (state.factory)(state.current_op);
+            let sends = state.client.invoke(payload);
+            let op = state.current_op;
+            for (to, message) in sends {
+                let delay = self.cfg.network.delay(message.wire_size());
+                self.enqueue_deliver(at + delay, to, Arc::new(message), None);
+            }
+            self.queue.schedule_at(at + self.cfg.client_retry, Ev::ClientRetry(client, op));
         }
-        state.started_at = at;
-        state.current_op += 1;
-        let payload = (state.factory)(state.current_op);
-        let sends = state.client.invoke(payload);
-        let op = state.current_op;
-        for (to, message) in sends {
-            let delay = self.cfg.network.delay(message.wire_size());
-            self.enqueue_deliver(at + delay, to, Arc::new(message), None);
-        }
-        self.queue.schedule_at(at + self.cfg.client_retry, Ev::ClientRetry(client, op));
     }
 
     /// Applies a replica's actions starting at `from` (the time its

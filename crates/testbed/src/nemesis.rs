@@ -247,6 +247,15 @@ enum Instrument {
 fn build_sim(scenario: &str, seed: u64, instrument: Instrument, initial_view: u64) -> SimCluster {
     let membership = Membership::new(Epoch(0), (0..4).map(ReplicaId).collect());
     let mut cfg = SimConfig { initial_view, ..SimConfig::default() };
+    // `LAZARUS_WINDOW=w` runs the whole nemesis matrix with a consensus
+    // pipeline of `w` slots in flight — the fault scenarios then exercise
+    // out-of-order decisions, window abandonment on view change, and CST
+    // with a partially decided window. Unset (or 1) is the classic pipeline.
+    if let Ok(w) = std::env::var("LAZARUS_WINDOW") {
+        if let Ok(w) = w.parse::<u64>() {
+            cfg.window = w.max(1);
+        }
+    }
     if scenario == "crash-torn-write" {
         // The journal scenario needs checkpoints stabilizing (and hence
         // compaction running) well before the 600 ms crash.

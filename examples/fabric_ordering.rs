@@ -9,7 +9,7 @@
 
 use lazarus::apps::fabric::{header_op, submit_op, OrderingService};
 use lazarus::bft::client::Client;
-use lazarus::bft::replica::{Replica, ReplicaConfig};
+use lazarus::bft::replica::{Ctx, Replica, ReplicaConfig};
 use lazarus::bft::types::{ClientId, Epoch, Membership, ReplicaId};
 
 use bytes::Bytes;
@@ -40,7 +40,7 @@ impl Pump {
 
     fn run(&mut self) {
         while let Some((to, message)) = self.queue.pop_front() {
-            let actions = self.replicas[to.0 as usize].on_message(message);
+            let actions = self.replicas[to.0 as usize].on_message(message, Ctx::UNTRACED);
             for action in actions {
                 match action {
                     Action::Send(peer, m) => self.queue.push_back((peer, m)),

@@ -7,7 +7,7 @@ use lazarus::apps::kvs::{KvsOp, KvsService};
 use lazarus::apps::sieveq::{dequeue_op, enqueue_op, SieveQService};
 use lazarus::bft::client::Client;
 use lazarus::bft::messages::Message;
-use lazarus::bft::replica::{Action, Replica, ReplicaConfig, TimerId};
+use lazarus::bft::replica::{Action, Ctx, Replica, ReplicaConfig, TimerId};
 use lazarus::bft::testkit::{TestCluster, TEST_SECRET};
 use lazarus::bft::types::{ClientId, Epoch, Membership, ReplicaId};
 use lazarus::bft::Service;
@@ -59,7 +59,7 @@ impl<S: Service> Pump<S> {
         while let Some((to, message)) = self.queue.pop_front() {
             steps += 1;
             assert!(steps < 1_000_000, "no quiescence");
-            let actions = self.replicas[to.0 as usize].on_message(message);
+            let actions = self.replicas[to.0 as usize].on_message(message, Ctx::UNTRACED);
             for action in actions {
                 match action {
                     Action::Send(peer, m) => self.queue.push_back((peer, m)),

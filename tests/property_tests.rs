@@ -318,7 +318,7 @@ proptest! {
 #[test]
 fn broadcast_equivalent_to_per_peer_send() {
     use lazarus::bft::messages::Message;
-    use lazarus::bft::replica::{Action, Replica, ReplicaConfig};
+    use lazarus::bft::replica::{Action, Ctx, Replica, ReplicaConfig};
     use lazarus::bft::service::CounterService;
     use lazarus::bft::types::{Epoch, Membership, ReplicaId};
     use std::collections::VecDeque;
@@ -383,7 +383,7 @@ fn broadcast_equivalent_to_per_peer_send() {
                 assert!(steps < 1_000_000, "no quiescence");
                 self.deliveries.push((to, message.wire_size()));
                 let message = Arc::try_unwrap(message).unwrap_or_else(|m| (*m).clone());
-                let actions = self.replicas[to.0 as usize].on_message(message);
+                let actions = self.replicas[to.0 as usize].on_message(message, Ctx::UNTRACED);
                 self.absorb(actions);
             }
         }
